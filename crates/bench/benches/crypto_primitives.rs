@@ -1,0 +1,75 @@
+//! A4 — ablation: raw cost of the from-scratch crypto primitives the secure
+//! extension is built on (RSA, SHA-256, HMAC, AES-CTR, Base64).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jxta_crypto::aes::{ctr_process, Aes};
+use jxta_crypto::drbg::HmacDrbg;
+use jxta_crypto::hmac::hmac_sha256;
+use jxta_crypto::rsa::RsaKeyPair;
+use jxta_crypto::sha2::sha256;
+use jxta_crypto::{base64, seal_envelope};
+
+fn bench_crypto(c: &mut Criterion) {
+    let mut rng = HmacDrbg::from_seed_u64(0xA4);
+    let kp1024 = RsaKeyPair::generate(&mut rng, 1024).unwrap();
+    let message = rng.generate_vec(4096);
+    let signature = kp1024.private.sign(&message).unwrap();
+    let small = rng.generate_vec(32);
+    let ciphertext = kp1024.public.encrypt_pkcs1_v15(&mut rng, &small).unwrap();
+
+    let mut group = c.benchmark_group("crypto_primitives");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("rsa1024_sign", |b| b.iter(|| kp1024.private.sign(&message).unwrap()));
+    group.bench_function("rsa1024_verify", |b| {
+        b.iter(|| kp1024.public.verify(&message, &signature).unwrap())
+    });
+    group.bench_function("rsa1024_encrypt_pkcs1", |b| {
+        b.iter(|| kp1024.public.encrypt_pkcs1_v15(&mut rng, &small).unwrap())
+    });
+    group.bench_function("rsa1024_decrypt_pkcs1", |b| {
+        b.iter(|| kp1024.private.decrypt_pkcs1_v15(&ciphertext).unwrap())
+    });
+    group.bench_function("envelope_seal_4k", |b| {
+        b.iter(|| seal_envelope(&mut rng, &kp1024.public, &message).unwrap())
+    });
+
+    for size in [1usize << 10, 64 << 10, 1 << 20] {
+        let data = rng.generate_vec(size);
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sha256", size), &data, |b, data| {
+            b.iter(|| sha256(data))
+        });
+        group.bench_with_input(BenchmarkId::new("hmac_sha256", size), &data, |b, data| {
+            b.iter(|| hmac_sha256(b"key", data))
+        });
+        let aes = Aes::new(&[7u8; 32]).unwrap();
+        group.bench_with_input(BenchmarkId::new("aes256_ctr", size), &data, |b, data| {
+            b.iter(|| {
+                let mut buf = data.clone();
+                ctr_process(&aes, &[0u8; 16], &mut buf);
+                buf
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("base64_encode", size), &data, |b, data| {
+            b.iter(|| base64::encode(data))
+        });
+    }
+
+    group.finish();
+
+    // Key generation is expensive; sample it only a few times.
+    let mut keygen_group = c.benchmark_group("rsa_keygen");
+    keygen_group.sample_size(10);
+    keygen_group.measurement_time(std::time::Duration::from_secs(5));
+    keygen_group.warm_up_time(std::time::Duration::from_millis(500));
+    for bits in [512usize, 1024] {
+        keygen_group.bench_function(BenchmarkId::from_parameter(bits), |b| {
+            b.iter(|| RsaKeyPair::generate(&mut rng, bits).unwrap())
+        });
+    }
+    keygen_group.finish();
+}
+
+criterion_group!(benches, bench_crypto);
+criterion_main!(benches);

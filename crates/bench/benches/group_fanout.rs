@@ -1,0 +1,51 @@
+//! A3 — ablation: `secureMsgPeerGroup` sequential vs parallel fan-out as the
+//! group grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jxta_bench::{build_fanout_world, build_world, make_payload, ExperimentConfig};
+
+fn bench_fanout(c: &mut Criterion) {
+    let payload = make_payload(1024);
+    let mut group = c.benchmark_group("group_fanout");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for group_size in [2usize, 4, 8, 16] {
+        let config = ExperimentConfig::default();
+        let mut world = build_world(&config, group_size + 1);
+        let mut fanout = build_fanout_world(&mut world, group_size);
+
+        group.bench_with_input(
+            BenchmarkId::new("sequential", group_size),
+            &payload,
+            |b, payload| {
+                b.iter(|| {
+                    fanout
+                        .sender
+                        .secure_msg_peer_group(&fanout.group, payload)
+                        .unwrap()
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", group_size),
+            &payload,
+            |b, payload| {
+                b.iter(|| {
+                    fanout
+                        .sender
+                        .secure_msg_peer_group_parallel(&fanout.group, payload)
+                        .unwrap()
+                })
+            },
+        );
+        // Drain receiver inboxes between configurations.
+        for receiver in &mut fanout.receivers {
+            let _ = receiver.receive_secure_messages();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout);
+criterion_main!(benches);

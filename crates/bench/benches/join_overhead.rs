@@ -1,0 +1,31 @@
+//! E1 — network-join overhead: plain `connect`+`login` vs
+//! `secureConnection`+`secureLogin` (paper §5, "about 81.76%").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jxta_bench::{build_world, measure_plain_join, measure_secure_join, ExperimentConfig};
+use jxta_overlay_secure::identity::PeerIdentity;
+
+fn bench_join(c: &mut Criterion) {
+    let config = ExperimentConfig::default();
+    let mut world = build_world(&config, 1);
+    let mut rng = jxta_crypto::drbg::HmacDrbg::from_seed_u64(0xE1);
+
+    let mut group = c.benchmark_group("join_overhead");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(5));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.bench_function(BenchmarkId::new("plain", config.key_bits), |b| {
+        b.iter(|| measure_plain_join(&mut world, 0).total())
+    });
+    group.bench_function(BenchmarkId::new("secure", config.key_bits), |b| {
+        b.iter_batched(
+            || PeerIdentity::generate(&mut rng, config.key_bits).expect("identity"),
+            |identity| measure_secure_join(&mut world, identity, 0).total(),
+            criterion::BatchSize::PerIteration,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_join);
+criterion_main!(benches);

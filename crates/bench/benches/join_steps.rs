@@ -1,0 +1,69 @@
+//! A1 — ablation: per-step cost of the secure join
+//! (challenge signing/verification, credential verification, login-request
+//! envelope seal/open, credential issuance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use jxta_crypto::drbg::HmacDrbg;
+use jxta_crypto::envelope::{open_envelope, seal_envelope};
+use jxta_overlay_secure::admin::Administrator;
+use jxta_overlay_secure::broker_ext::login_signed_content;
+use jxta_overlay_secure::credential::{Credential, CredentialRole};
+use jxta_overlay_secure::identity::PeerIdentity;
+
+fn bench_join_steps(c: &mut Criterion) {
+    let bits = 1024;
+    let mut rng = HmacDrbg::from_seed_u64(0xA1);
+    let admin = Administrator::new(&mut rng, "admin", bits).unwrap();
+    let broker = PeerIdentity::generate(&mut rng, bits).unwrap();
+    let broker_cred = admin
+        .issue_broker_credential("broker", broker.peer_id(), broker.public_key(), u64::MAX)
+        .unwrap();
+    let client = PeerIdentity::generate(&mut rng, bits).unwrap();
+    let challenge = rng.generate_vec(32);
+    let challenge_sig = broker.sign(&challenge).unwrap();
+
+    let pk_bytes = client.public_key().to_bytes();
+    let login_content = login_signed_content("alice", "password", &pk_bytes);
+    let login_sig = client.sign(&login_content).unwrap();
+    let mut login_request = login_content.clone();
+    login_request.extend_from_slice(&login_sig);
+    let login_envelope = seal_envelope(&mut rng, broker.public_key(), &login_request).unwrap();
+
+    let mut group = c.benchmark_group("join_steps");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("broker_sign_challenge", |b| b.iter(|| broker.sign(&challenge).unwrap()));
+    group.bench_function("client_verify_challenge_sig", |b| {
+        b.iter(|| broker.public_key().verify(&challenge, &challenge_sig).unwrap())
+    });
+    group.bench_function("client_verify_broker_credential", |b| {
+        b.iter(|| broker_cred.verify(admin.public_key()).unwrap())
+    });
+    group.bench_function("client_sign_login_request", |b| {
+        b.iter(|| client.sign(&login_content).unwrap())
+    });
+    group.bench_function("client_seal_login_envelope", |b| {
+        b.iter(|| seal_envelope(&mut rng, broker.public_key(), &login_request).unwrap())
+    });
+    group.bench_function("broker_open_login_envelope", |b| {
+        b.iter(|| open_envelope(broker.private_key(), &login_envelope).unwrap())
+    });
+    group.bench_function("broker_issue_client_credential", |b| {
+        b.iter(|| {
+            Credential::issue(
+                CredentialRole::Client,
+                "alice",
+                client.peer_id(),
+                client.public_key().clone(),
+                "broker",
+                3600,
+                broker.private_key(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_join_steps);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! A2 — ablation: per-step cost of `secureMsgPeer`
+//! (signed-advertisement validation, message signing, envelope sealing,
+//! envelope opening, signature verification) across payload sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use jxta_bench::make_payload;
+use jxta_crypto::drbg::HmacDrbg;
+use jxta_crypto::envelope::{open_envelope, seal_envelope};
+use jxta_overlay::advertisement::PipeAdvertisement;
+use jxta_overlay::GroupId;
+use jxta_overlay_secure::admin::Administrator;
+use jxta_overlay_secure::broker_ext::message_signed_content;
+use jxta_overlay_secure::credential::{Credential, CredentialRole};
+use jxta_overlay_secure::identity::PeerIdentity;
+use jxta_overlay_secure::signed_adv::{
+    signed_pipe_advertisement, validate_signed_pipe_advertisement, TrustAnchors,
+};
+
+fn bench_msg_steps(c: &mut Criterion) {
+    let bits = 1024;
+    let mut rng = HmacDrbg::from_seed_u64(0xA2);
+    let admin = Administrator::new(&mut rng, "admin", bits).unwrap();
+    let broker = PeerIdentity::generate(&mut rng, bits).unwrap();
+    let broker_cred = admin
+        .issue_broker_credential("broker", broker.peer_id(), broker.public_key(), u64::MAX)
+        .unwrap();
+    let sender = PeerIdentity::generate(&mut rng, bits).unwrap();
+    let receiver = PeerIdentity::generate(&mut rng, bits).unwrap();
+    let receiver_cred = Credential::issue(
+        CredentialRole::Client,
+        "receiver",
+        receiver.peer_id(),
+        receiver.public_key().clone(),
+        "broker",
+        u64::MAX,
+        broker.private_key(),
+    )
+    .unwrap();
+    let mut trust = TrustAnchors::new(admin.credential().clone()).unwrap();
+    trust.add_broker(broker_cred).unwrap();
+
+    let advertisement = PipeAdvertisement {
+        owner: receiver.peer_id(),
+        group: GroupId::new("g"),
+        name: "receiver-inbox".into(),
+    };
+    let signed_xml = signed_pipe_advertisement(&advertisement, &receiver, &receiver_cred).unwrap();
+
+    let mut group = c.benchmark_group("msg_steps");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.bench_function("validate_signed_advertisement", |b| {
+        b.iter(|| validate_signed_pipe_advertisement(&signed_xml, receiver.peer_id(), &trust).unwrap())
+    });
+
+    for size in [1usize << 10, 64 << 10, 1 << 20] {
+        let payload = make_payload(size);
+        let content = message_signed_content("g", &payload);
+        let signature = sender.sign(&content).unwrap();
+        let envelope = seal_envelope(&mut rng, receiver.public_key(), payload.as_bytes()).unwrap();
+
+        group.throughput(Throughput::Bytes(size as u64));
+        group.bench_with_input(BenchmarkId::new("sign_message", size), &content, |b, content| {
+            b.iter(|| sender.sign(content).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("verify_message", size), &content, |b, content| {
+            b.iter(|| sender.public_key().verify(content, &signature).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("seal_envelope", size), &payload, |b, payload| {
+            b.iter(|| seal_envelope(&mut rng, receiver.public_key(), payload.as_bytes()).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("open_envelope", size), &envelope, |b, envelope| {
+            b.iter(|| open_envelope(receiver.private_key(), envelope).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_msg_steps);
+criterion_main!(benches);

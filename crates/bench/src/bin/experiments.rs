@@ -1,0 +1,75 @@
+//! Regenerates the paper's evaluation tables from the command line.
+//!
+//! ```text
+//! cargo run --release -p jxta-bench --bin experiments -- all
+//! cargo run --release -p jxta-bench --bin experiments -- e1        # join overhead
+//! cargo run --release -p jxta-bench --bin experiments -- e2        # Figure 2
+//! cargo run --release -p jxta-bench --bin experiments -- fanout    # ablation A3
+//! cargo run --release -p jxta-bench --bin experiments -- all --quick --json
+//! ```
+//!
+//! `--quick` uses 512-bit keys and fewer repetitions (useful for CI smoke
+//! runs); `--json` additionally prints machine-readable results.
+
+use jxta_bench::{
+    experiment_group_fanout, experiment_join_overhead, experiment_msg_overhead,
+    format_fanout_report, format_join_report, format_msg_report, ExperimentConfig,
+    FIGURE2_PAYLOAD_SIZES,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let json = args.iter().any(|a| a == "--json");
+    let which = args
+        .iter()
+        .find(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "all".to_string());
+
+    let config = if quick {
+        ExperimentConfig::quick()
+    } else {
+        ExperimentConfig::default()
+    };
+
+    println!(
+        "JXTA-Overlay security-cost experiments (key size: {} bits, link: {:?}, {} iterations)\n",
+        config.key_bits, config.link, config.iterations
+    );
+
+    if which == "e1" || which == "all" {
+        let result = experiment_join_overhead(&config);
+        println!("{}", format_join_report(&result));
+        if json {
+            println!("{}\n", serde_json::to_string_pretty(&result).unwrap());
+        }
+    }
+
+    if which == "e2" || which == "all" {
+        let sizes: Vec<usize> = if quick {
+            vec![256, 16 << 10, 256 << 10]
+        } else {
+            FIGURE2_PAYLOAD_SIZES.to_vec()
+        };
+        let rows = experiment_msg_overhead(&config, &sizes);
+        println!("{}", format_msg_report(&rows));
+        if json {
+            println!("{}\n", serde_json::to_string_pretty(&rows).unwrap());
+        }
+    }
+
+    if which == "fanout" || which == "all" {
+        let sizes: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 8, 16] };
+        let rows = experiment_group_fanout(&config, &sizes);
+        println!("{}", format_fanout_report(&rows));
+        if json {
+            println!("{}\n", serde_json::to_string_pretty(&rows).unwrap());
+        }
+    }
+
+    if !["e1", "e2", "fanout", "all"].contains(&which.as_str()) {
+        eprintln!("unknown experiment {which:?}; expected e1, e2, fanout or all");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,576 @@
+//! Experiment harness for the paper's evaluation.
+//!
+//! Section 5 of the paper ("Security Cost") reports two experiments:
+//!
+//! * **E1 — network-join overhead**: the cost of `secureConnection` +
+//!   `secureLogin` relative to the plain `connect` + `login` (the paper
+//!   measures ≈ **81.76 %** on a 1.20 GHz Pentium M).
+//! * **E2 — Figure 2**: the relative overhead of `secureMsgPeer` versus the
+//!   plain `sendMsgPeer` as a function of the message payload size; the
+//!   overhead is large for small messages and falls quickly once network
+//!   latency dominates.
+//!
+//! This crate packages the workload generators and measurement loops used by
+//! both the Criterion benches (`benches/`) and the `experiments` binary that
+//! regenerates the paper's numbers as tables.  The same helpers also drive
+//! the ablation experiments (join step breakdown, message step breakdown,
+//! group fan-out scaling and raw crypto primitives) documented in
+//! `DESIGN.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use jxta_overlay::client::ClientPeer;
+use jxta_overlay::metrics::overhead_percent;
+use jxta_overlay::net::LinkModel;
+use jxta_overlay::{GroupId, OperationTiming};
+use jxta_overlay_secure::identity::PeerIdentity;
+use jxta_overlay_secure::secure_client::SecureClient;
+use jxta_overlay_secure::setup::{SecureNetwork, SecureNetworkBuilder};
+use serde::Serialize;
+use std::time::Duration;
+
+/// Default RSA key size used by the experiments (the paper's era default).
+pub const DEFAULT_KEY_BITS: usize = 1024;
+
+/// Link model used by the experiments: 2 ms one-way latency and an effective
+/// application-level throughput of 10 Mbit/s, which is what JXTA pipes
+/// delivered on the paper's 2009-era LAN testbed (JXTA's message relaying
+/// and XML framing kept goodput far below the raw 100 Mbit/s wire).  This is
+/// the regime in which Figure 2's "overhead falls as network latency becomes
+/// more relevant" observation holds.
+pub fn experiment_link() -> LinkModel {
+    LinkModel::new(std::time::Duration::from_millis(2), 1_250_000)
+}
+
+/// The group every experiment peer belongs to.
+pub const EXPERIMENT_GROUP: &str = "experiment";
+
+/// The payload sizes swept by the Figure 2 reproduction, in bytes.
+pub const FIGURE2_PAYLOAD_SIZES: [usize; 7] = [
+    256,
+    1 << 10,
+    4 << 10,
+    16 << 10,
+    64 << 10,
+    256 << 10,
+    1 << 20,
+];
+
+/// Configuration shared by the experiments.
+#[derive(Debug, Clone)]
+pub struct ExperimentConfig {
+    /// RSA modulus size for every identity.
+    pub key_bits: usize,
+    /// Link model of the simulated network.
+    pub link: LinkModel,
+    /// Repetitions per measurement point.
+    pub iterations: usize,
+    /// Seed for the deterministic DRBG.
+    pub seed: u64,
+}
+
+impl Default for ExperimentConfig {
+    fn default() -> Self {
+        ExperimentConfig {
+            key_bits: DEFAULT_KEY_BITS,
+            link: experiment_link(),
+            iterations: 10,
+            seed: 0xE1E2,
+        }
+    }
+}
+
+impl ExperimentConfig {
+    /// A faster configuration for smoke tests (small keys, few iterations).
+    pub fn quick() -> Self {
+        ExperimentConfig {
+            key_bits: 512,
+            link: experiment_link(),
+            iterations: 3,
+            seed: 0xE1E2,
+        }
+    }
+}
+
+/// A ready-to-measure deployment: network, broker, registered users.
+pub struct ExperimentWorld {
+    /// The running secured deployment.
+    pub setup: SecureNetwork,
+    /// Configuration the world was built with.
+    pub config: ExperimentConfig,
+}
+
+/// Builds a deployment with `n_users` registered users named `user-0`,
+/// `user-1`, … all belonging to [`EXPERIMENT_GROUP`].
+pub fn build_world(config: &ExperimentConfig, n_users: usize) -> ExperimentWorld {
+    let mut builder = SecureNetworkBuilder::new(config.seed)
+        .with_key_bits(config.key_bits)
+        .with_link(config.link)
+        .with_broker_name("experiment-broker");
+    for i in 0..n_users {
+        builder = builder.with_user(&format!("user-{i}"), &format!("password-{i}"), &[EXPERIMENT_GROUP]);
+    }
+    ExperimentWorld {
+        setup: builder.build(),
+        config: config.clone(),
+    }
+}
+
+/// Statistics over a series of duration samples.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct Stats {
+    /// Arithmetic mean in milliseconds.
+    pub mean_ms: f64,
+    /// Minimum in milliseconds.
+    pub min_ms: f64,
+    /// Maximum in milliseconds.
+    pub max_ms: f64,
+}
+
+impl Stats {
+    /// Computes statistics from raw samples.
+    pub fn from_samples(samples: &[Duration]) -> Stats {
+        assert!(!samples.is_empty(), "no samples");
+        let ms: Vec<f64> = samples.iter().map(|d| d.as_secs_f64() * 1e3).collect();
+        let mean = ms.iter().sum::<f64>() / ms.len() as f64;
+        Stats {
+            mean_ms: mean,
+            min_ms: ms.iter().cloned().fold(f64::INFINITY, f64::min),
+            max_ms: ms.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// E1 — network-join overhead
+// ----------------------------------------------------------------------
+
+/// One joined measurement of E1.
+#[derive(Debug, Clone, Serialize)]
+pub struct JoinOverheadResult {
+    /// Statistics of the plain `connect` + `login`.
+    pub plain: Stats,
+    /// Statistics of `secureConnection` + `secureLogin`.
+    pub secure: Stats,
+    /// Relative overhead in percent (the paper reports 81.76 %).
+    pub overhead_percent: f64,
+    /// The value reported by the paper, for the comparison table.
+    pub paper_overhead_percent: f64,
+}
+
+/// Measures a single plain join (connect + login), returning its total cost.
+pub fn measure_plain_join(world: &mut ExperimentWorld, user_index: usize) -> OperationTiming {
+    let broker = world.setup.broker_id();
+    let mut client = world.setup.plain_client(&format!("plain-{user_index}"));
+    let connect = client.connect(broker).expect("plain connect");
+    let login = client
+        .login(&format!("user-{user_index}"), &format!("password-{user_index}"))
+        .expect("plain login");
+    connect + login
+}
+
+/// Measures a single secure join (secureConnection + secureLogin) using a
+/// pre-generated identity (key generation is boot-time cost, not join cost).
+pub fn measure_secure_join(
+    world: &mut ExperimentWorld,
+    identity: PeerIdentity,
+    user_index: usize,
+) -> OperationTiming {
+    let broker = world.setup.broker_id();
+    let mut client = world
+        .setup
+        .secure_client_with_identity(&format!("secure-{user_index}"), identity);
+    client
+        .secure_join(broker, &format!("user-{user_index}"), &format!("password-{user_index}"))
+        .expect("secure join")
+}
+
+/// Runs experiment E1: repeated plain and secure joins, reporting the mean
+/// total cost (CPU + wire) of each and the relative overhead.
+pub fn experiment_join_overhead(config: &ExperimentConfig) -> JoinOverheadResult {
+    let mut world = build_world(config, 1);
+    // Boot-time identity generation is excluded from the join measurement, as
+    // in the paper (keys exist before the peer attempts to join).
+    let mut rng = jxta_crypto::drbg::HmacDrbg::from_seed_u64(config.seed ^ 0x1D);
+    let identities: Vec<PeerIdentity> = (0..config.iterations)
+        .map(|_| PeerIdentity::generate(&mut rng, config.key_bits).expect("identity"))
+        .collect();
+
+    let plain: Vec<Duration> = (0..config.iterations)
+        .map(|_| measure_plain_join(&mut world, 0).total())
+        .collect();
+    let secure: Vec<Duration> = identities
+        .into_iter()
+        .map(|identity| measure_secure_join(&mut world, identity, 0).total())
+        .collect();
+
+    let plain_stats = Stats::from_samples(&plain);
+    let secure_stats = Stats::from_samples(&secure);
+    let overhead = overhead_percent(
+        Duration::from_secs_f64(plain_stats.mean_ms / 1e3),
+        Duration::from_secs_f64(secure_stats.mean_ms / 1e3),
+    );
+    JoinOverheadResult {
+        plain: plain_stats,
+        secure: secure_stats,
+        overhead_percent: overhead,
+        paper_overhead_percent: 81.76,
+    }
+}
+
+// ----------------------------------------------------------------------
+// E2 — Figure 2: secureMsgPeer overhead vs payload size
+// ----------------------------------------------------------------------
+
+/// One row of the Figure 2 reproduction.
+#[derive(Debug, Clone, Serialize)]
+pub struct MsgOverheadRow {
+    /// Payload size in bytes.
+    pub payload_bytes: usize,
+    /// Plain `sendMsgPeer` end-to-end cost.
+    pub plain: Stats,
+    /// `secureMsgPeer` end-to-end cost.
+    pub secure: Stats,
+    /// Relative overhead in percent.
+    pub overhead_percent: f64,
+}
+
+/// A messaging pair: two logged-in peers with published pipe advertisements.
+pub struct MessagingPair {
+    /// Sender (secure).
+    pub secure_sender: SecureClient,
+    /// Receiver (secure).
+    pub secure_receiver: SecureClient,
+    /// Sender (plain baseline).
+    pub plain_sender: ClientPeer,
+    /// Receiver (plain baseline).
+    pub plain_receiver: ClientPeer,
+    /// The experiment group.
+    pub group: GroupId,
+}
+
+/// Builds a messaging pair inside `world` (users 0 and 1 must exist).
+pub fn build_messaging_pair(world: &mut ExperimentWorld) -> MessagingPair {
+    let group = GroupId::new(EXPERIMENT_GROUP);
+    let broker = world.setup.broker_id();
+
+    let mut secure_sender = world.setup.secure_client("secure-sender");
+    let mut secure_receiver = world.setup.secure_client("secure-receiver");
+    secure_sender.secure_join(broker, "user-0", "password-0").expect("join");
+    secure_receiver.secure_join(broker, "user-1", "password-1").expect("join");
+    secure_sender.publish_secure_pipe(&group).expect("publish");
+    secure_receiver.publish_secure_pipe(&group).expect("publish");
+
+    let mut plain_sender = world.setup.plain_client("plain-sender");
+    let mut plain_receiver = world.setup.plain_client("plain-receiver");
+    plain_sender.connect(broker).expect("connect");
+    plain_sender.login("user-0", "password-0").expect("login");
+    plain_receiver.connect(broker).expect("connect");
+    plain_receiver.login("user-1", "password-1").expect("login");
+    plain_sender.publish_pipe(&group).expect("publish");
+    plain_receiver.publish_pipe(&group).expect("publish");
+
+    // Warm the advertisement caches so the sweep measures messaging, not
+    // discovery.
+    let _ = secure_sender.resolve_secure_pipe(&group, secure_receiver.id());
+    let _ = secure_receiver.resolve_secure_pipe(&group, secure_sender.id());
+    let _ = plain_sender.resolve_pipe(&group, plain_receiver.id());
+    let _ = plain_receiver.poll_events();
+    let _ = secure_receiver.receive_secure_messages();
+
+    MessagingPair {
+        secure_sender,
+        secure_receiver,
+        plain_sender,
+        plain_receiver,
+        group,
+    }
+}
+
+/// Generates a deterministic ASCII payload of `size` bytes.
+pub fn make_payload(size: usize) -> String {
+    let alphabet = b"abcdefghijklmnopqrstuvwxyz0123456789 ";
+    (0..size).map(|i| alphabet[i % alphabet.len()] as char).collect()
+}
+
+/// Measures one plain end-to-end message: send primitive plus receiver-side
+/// event processing plus wire time.
+pub fn measure_plain_message(pair: &mut MessagingPair, payload: &str) -> Duration {
+    let send = pair
+        .plain_sender
+        .send_msg_peer(&pair.group, pair.plain_receiver.id(), payload)
+        .expect("plain send");
+    let receive_watch = jxta_overlay::metrics::Stopwatch::start();
+    let events = pair.plain_receiver.poll_events();
+    assert!(!events.is_empty(), "plain message must arrive");
+    let receive_cpu = receive_watch.elapsed();
+    send.total() + receive_cpu
+}
+
+/// Measures one secure end-to-end message: `secureMsgPeer` plus receiver-side
+/// decryption/validation plus wire time.
+pub fn measure_secure_message(pair: &mut MessagingPair, payload: &str) -> Duration {
+    let send = pair
+        .secure_sender
+        .secure_msg_peer(&pair.group, pair.secure_receiver.id(), payload)
+        .expect("secure send");
+    let receive_watch = jxta_overlay::metrics::Stopwatch::start();
+    let received = pair
+        .secure_receiver
+        .receive_secure_messages()
+        .expect("secure receive");
+    assert!(!received.is_empty(), "secure message must arrive and verify");
+    let receive_cpu = receive_watch.elapsed();
+    send.total() + receive_cpu
+}
+
+/// Runs experiment E2: sweeps the payload sizes and reports plain vs secure
+/// end-to-end cost and the relative overhead (the series plotted in
+/// Figure 2).
+pub fn experiment_msg_overhead(
+    config: &ExperimentConfig,
+    payload_sizes: &[usize],
+) -> Vec<MsgOverheadRow> {
+    let mut world = build_world(config, 2);
+    let mut pair = build_messaging_pair(&mut world);
+
+    payload_sizes
+        .iter()
+        .map(|&size| {
+            let payload = make_payload(size);
+            let plain: Vec<Duration> = (0..config.iterations)
+                .map(|_| measure_plain_message(&mut pair, &payload))
+                .collect();
+            let secure: Vec<Duration> = (0..config.iterations)
+                .map(|_| measure_secure_message(&mut pair, &payload))
+                .collect();
+            let plain_stats = Stats::from_samples(&plain);
+            let secure_stats = Stats::from_samples(&secure);
+            MsgOverheadRow {
+                payload_bytes: size,
+                plain: plain_stats,
+                secure: secure_stats,
+                overhead_percent: overhead_percent(
+                    Duration::from_secs_f64(plain_stats.mean_ms / 1e3),
+                    Duration::from_secs_f64(secure_stats.mean_ms / 1e3),
+                ),
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// A3 — group fan-out
+// ----------------------------------------------------------------------
+
+/// One row of the group fan-out ablation.
+#[derive(Debug, Clone, Serialize)]
+pub struct FanoutRow {
+    /// Number of receiving group members.
+    pub group_size: usize,
+    /// Sequential `secureMsgPeerGroup` cost.
+    pub sequential: Stats,
+    /// Parallel fan-out cost.
+    pub parallel: Stats,
+    /// Speed-up of the parallel variant (sequential / parallel).
+    pub speedup: f64,
+}
+
+/// A group of logged-in secure peers used by the fan-out experiments.
+pub struct FanoutWorld {
+    /// The sender.
+    pub sender: SecureClient,
+    /// The receivers (kept alive so their endpoints stay registered).
+    pub receivers: Vec<SecureClient>,
+    /// The experiment group.
+    pub group: GroupId,
+}
+
+/// Builds a sender plus `group_size` receivers, all joined and published.
+pub fn build_fanout_world(world: &mut ExperimentWorld, group_size: usize) -> FanoutWorld {
+    let group = GroupId::new(EXPERIMENT_GROUP);
+    let broker = world.setup.broker_id();
+    let mut sender = world.setup.secure_client("fanout-sender");
+    sender.secure_join(broker, "user-0", "password-0").expect("join");
+    sender.publish_secure_pipe(&group).expect("publish");
+    let receivers: Vec<SecureClient> = (0..group_size)
+        .map(|i| {
+            let user = i + 1;
+            let mut receiver = world.setup.secure_client(&format!("fanout-receiver-{i}"));
+            receiver
+                .secure_join(broker, &format!("user-{user}"), &format!("password-{user}"))
+                .expect("join");
+            receiver.publish_secure_pipe(&group).expect("publish");
+            receiver
+        })
+        .collect();
+    FanoutWorld {
+        sender,
+        receivers,
+        group,
+    }
+}
+
+/// Runs the group fan-out ablation over the given group sizes.
+pub fn experiment_group_fanout(config: &ExperimentConfig, group_sizes: &[usize]) -> Vec<FanoutRow> {
+    group_sizes
+        .iter()
+        .map(|&group_size| {
+            let mut world = build_world(config, group_size + 1);
+            let mut fanout = build_fanout_world(&mut world, group_size);
+            let payload = make_payload(1024);
+
+            let sequential: Vec<Duration> = (0..config.iterations)
+                .map(|_| {
+                    let (sent, timing) = fanout
+                        .sender
+                        .secure_msg_peer_group(&fanout.group, &payload)
+                        .expect("sequential fan-out");
+                    assert_eq!(sent, group_size);
+                    timing.total()
+                })
+                .collect();
+            let parallel: Vec<Duration> = (0..config.iterations)
+                .map(|_| {
+                    let (sent, timing) = fanout
+                        .sender
+                        .secure_msg_peer_group_parallel(&fanout.group, &payload)
+                        .expect("parallel fan-out");
+                    assert_eq!(sent, group_size);
+                    timing.total()
+                })
+                .collect();
+
+            // Drain receiver inboxes so they do not grow unboundedly.
+            for receiver in &mut fanout.receivers {
+                let _ = receiver.receive_secure_messages();
+            }
+
+            let sequential_stats = Stats::from_samples(&sequential);
+            let parallel_stats = Stats::from_samples(&parallel);
+            FanoutRow {
+                group_size,
+                sequential: sequential_stats,
+                parallel: parallel_stats,
+                speedup: sequential_stats.mean_ms / parallel_stats.mean_ms,
+            }
+        })
+        .collect()
+}
+
+// ----------------------------------------------------------------------
+// Report formatting
+// ----------------------------------------------------------------------
+
+/// Formats E1 as a small text table.
+pub fn format_join_report(result: &JoinOverheadResult) -> String {
+    format!(
+        "E1 — network join overhead (connect+login vs secureConnection+secureLogin)\n\
+         ---------------------------------------------------------------------------\n\
+         plain  join mean: {:>10.3} ms  (min {:.3}, max {:.3})\n\
+         secure join mean: {:>10.3} ms  (min {:.3}, max {:.3})\n\
+         measured overhead: {:>8.2} %\n\
+         paper    overhead: {:>8.2} %\n",
+        result.plain.mean_ms,
+        result.plain.min_ms,
+        result.plain.max_ms,
+        result.secure.mean_ms,
+        result.secure.min_ms,
+        result.secure.max_ms,
+        result.overhead_percent,
+        result.paper_overhead_percent,
+    )
+}
+
+/// Formats E2 as the series plotted in Figure 2.
+pub fn format_msg_report(rows: &[MsgOverheadRow]) -> String {
+    let mut out = String::from(
+        "E2 — Figure 2: secureMsgPeer overhead vs payload size\n\
+         ------------------------------------------------------\n\
+         payload (bytes) | plain mean (ms) | secure mean (ms) | overhead (%)\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:>15} | {:>15.3} | {:>16.3} | {:>11.2}\n",
+            row.payload_bytes, row.plain.mean_ms, row.secure.mean_ms, row.overhead_percent
+        ));
+    }
+    out
+}
+
+/// Formats the fan-out ablation table.
+pub fn format_fanout_report(rows: &[FanoutRow]) -> String {
+    let mut out = String::from(
+        "A3 — secureMsgPeerGroup fan-out\n\
+         --------------------------------\n\
+         group size | sequential (ms) | parallel (ms) | speed-up\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:>10} | {:>15.3} | {:>13.3} | {:>7.2}x\n",
+            row.group_size, row.sequential.mean_ms, row.parallel.mean_ms, row.speedup
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_from_samples() {
+        let samples = [
+            Duration::from_millis(1),
+            Duration::from_millis(2),
+            Duration::from_millis(3),
+        ];
+        let stats = Stats::from_samples(&samples);
+        assert!((stats.mean_ms - 2.0).abs() < 1e-9);
+        assert!((stats.min_ms - 1.0).abs() < 1e-9);
+        assert!((stats.max_ms - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "no samples")]
+    fn stats_require_samples() {
+        let _ = Stats::from_samples(&[]);
+    }
+
+    #[test]
+    fn payload_generation() {
+        assert_eq!(make_payload(0).len(), 0);
+        assert_eq!(make_payload(100).len(), 100);
+        assert!(make_payload(64).is_ascii());
+    }
+
+    #[test]
+    fn quick_join_experiment_shows_secure_is_slower() {
+        let result = experiment_join_overhead(&ExperimentConfig::quick());
+        assert!(result.secure.mean_ms > result.plain.mean_ms);
+        assert!(result.overhead_percent > 0.0);
+        assert!(format_join_report(&result).contains("81.76"));
+    }
+
+    #[test]
+    fn quick_msg_experiment_overhead_decays_with_size() {
+        let config = ExperimentConfig::quick();
+        let rows = experiment_msg_overhead(&config, &[256, 256 << 10]);
+        assert_eq!(rows.len(), 2);
+        assert!(rows[0].overhead_percent > rows[1].overhead_percent,
+            "relative overhead must fall as the payload (and thus wire time) grows: {rows:?}");
+        assert!(format_msg_report(&rows).contains("payload"));
+    }
+
+    #[test]
+    fn quick_fanout_experiment_runs() {
+        let config = ExperimentConfig::quick();
+        let rows = experiment_group_fanout(&config, &[2]);
+        assert_eq!(rows.len(), 1);
+        assert_eq!(rows[0].group_size, 2);
+        assert!(rows[0].sequential.mean_ms > 0.0);
+        assert!(rows[0].parallel.mean_ms > 0.0);
+        assert!(format_fanout_report(&rows).contains("group size"));
+    }
+}

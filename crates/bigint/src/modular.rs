@@ -1,0 +1,291 @@
+//! Modular arithmetic on [`BigUint`] values.
+//!
+//! Provides the operations RSA needs: modular addition/subtraction/
+//! multiplication, modular exponentiation (left-to-right square-and-multiply
+//! with a 4-bit fixed window) and modular inverse via the extended Euclidean
+//! algorithm.
+
+use crate::BigUint;
+
+/// `(a + b) mod m`.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn mod_add(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    assert!(!m.is_zero(), "modulus must be non-zero");
+    (a + b) % m
+}
+
+/// `(a - b) mod m`, wrapping around the modulus when `b > a`.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn mod_sub(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    assert!(!m.is_zero(), "modulus must be non-zero");
+    let a = a % m;
+    let b = &(b % m);
+    if &a >= b {
+        a - b
+    } else {
+        a + m - b
+    }
+}
+
+/// `(a * b) mod m`.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn mod_mul(a: &BigUint, b: &BigUint, m: &BigUint) -> BigUint {
+    assert!(!m.is_zero(), "modulus must be non-zero");
+    (a * b) % m
+}
+
+/// `base^exponent mod modulus`.
+///
+/// Uses a fixed 4-bit window over the exponent bits, which reduces the number
+/// of multiplications by roughly 25% compared to plain square-and-multiply
+/// for the 1024–2048 bit exponents used by RSA.
+///
+/// # Panics
+///
+/// Panics if `modulus` is zero.
+pub fn mod_pow(base: &BigUint, exponent: &BigUint, modulus: &BigUint) -> BigUint {
+    assert!(!modulus.is_zero(), "modulus must be non-zero");
+    if modulus.is_one() {
+        return BigUint::zero();
+    }
+    if exponent.is_zero() {
+        return BigUint::one();
+    }
+    let base = base % modulus;
+    if base.is_zero() {
+        return BigUint::zero();
+    }
+
+    // Precompute base^0 .. base^15 (mod modulus).
+    const WINDOW: usize = 4;
+    let mut table = Vec::with_capacity(1 << WINDOW);
+    table.push(BigUint::one());
+    table.push(base.clone());
+    for i in 2..(1 << WINDOW) {
+        table.push(mod_mul(&table[i - 1], &base, modulus));
+    }
+
+    let bits = exponent.bits();
+    // Process the exponent in 4-bit windows, most-significant first.
+    let mut result = BigUint::one();
+    let windows = bits.div_ceil(WINDOW);
+    for w in (0..windows).rev() {
+        for _ in 0..WINDOW {
+            result = mod_mul(&result, &result, modulus);
+        }
+        let mut digit = 0usize;
+        for b in 0..WINDOW {
+            let bit_index = w * WINDOW + (WINDOW - 1 - b);
+            digit <<= 1;
+            if bit_index < bits && exponent.bit(bit_index) {
+                digit |= 1;
+            }
+        }
+        if digit != 0 {
+            result = mod_mul(&result, &table[digit], modulus);
+        }
+    }
+    result
+}
+
+/// Modular inverse: returns `x` such that `a * x ≡ 1 (mod m)`, or `None` if
+/// `gcd(a, m) != 1`.
+///
+/// # Panics
+///
+/// Panics if `m` is zero.
+pub fn mod_inverse(a: &BigUint, m: &BigUint) -> Option<BigUint> {
+    assert!(!m.is_zero(), "modulus must be non-zero");
+    if m.is_one() {
+        return Some(BigUint::zero());
+    }
+    // Extended Euclid on (a mod m, m), tracking coefficients as
+    // (sign, magnitude) pairs to stay within unsigned arithmetic.
+    let mut r0 = a % m;
+    let mut r1 = m.clone();
+    // t coefficients such that t * a ≡ r (mod m)
+    let mut t0 = (false, BigUint::one()); // +1
+    let mut t1 = (false, BigUint::zero()); // 0
+
+    while !r0.is_zero() {
+        let (q, r) = r1.div_rem(&r0);
+        // (t1 - q*t0, t0)
+        let q_t0 = (t0.0, &q * &t0.1);
+        let new_t = signed_sub(&t1, &q_t0);
+        r1 = r0;
+        r0 = r;
+        t1 = t0;
+        t0 = new_t;
+    }
+
+    if !r1.is_one() {
+        return None;
+    }
+    // t1 is the Bezout coefficient for the original `a`.
+    let (neg, mag) = t1;
+    let mag = mag % m;
+    Some(if neg && !mag.is_zero() { m - mag } else { mag })
+}
+
+/// Subtracts two signed magnitudes `(sign, magnitude)` where `sign == true`
+/// means negative: returns `a - b`.
+fn signed_sub(a: &(bool, BigUint), b: &(bool, BigUint)) -> (bool, BigUint) {
+    match (a.0, b.0) {
+        // a - b with both non-negative
+        (false, false) => {
+            if a.1 >= b.1 {
+                (false, &a.1 - &b.1)
+            } else {
+                (true, &b.1 - &a.1)
+            }
+        }
+        // a - (-b) = a + b
+        (false, true) => (false, &a.1 + &b.1),
+        // -a - b = -(a + b)
+        (true, false) => (true, &a.1 + &b.1),
+        // -a - (-b) = b - a
+        (true, true) => {
+            if b.1 >= a.1 {
+                (false, &b.1 - &a.1)
+            } else {
+                (true, &a.1 - &b.1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn big(s: &str) -> BigUint {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn mod_add_wraps() {
+        let m = BigUint::from(7u64);
+        assert_eq!(mod_add(&BigUint::from(5u64), &BigUint::from(6u64), &m), BigUint::from(4u64));
+    }
+
+    #[test]
+    fn mod_sub_wraps_below_zero() {
+        let m = BigUint::from(7u64);
+        assert_eq!(mod_sub(&BigUint::from(2u64), &BigUint::from(5u64), &m), BigUint::from(4u64));
+        assert_eq!(mod_sub(&BigUint::from(5u64), &BigUint::from(2u64), &m), BigUint::from(3u64));
+        // Operands larger than the modulus are reduced first.
+        assert_eq!(mod_sub(&BigUint::from(16u64), &BigUint::from(30u64), &m), BigUint::from(0u64));
+    }
+
+    #[test]
+    fn mod_mul_small() {
+        let m = BigUint::from(97u64);
+        assert_eq!(
+            mod_mul(&BigUint::from(96u64), &BigUint::from(96u64), &m),
+            BigUint::from(1u64)
+        );
+    }
+
+    #[test]
+    fn mod_pow_small_known_values() {
+        let m = BigUint::from(1_000_000_007u64);
+        assert_eq!(
+            mod_pow(&BigUint::from(2u64), &BigUint::from(10u64), &m),
+            BigUint::from(1024u64)
+        );
+        // Fermat's little theorem: a^(p-1) ≡ 1 mod p for prime p.
+        assert_eq!(
+            mod_pow(&BigUint::from(12345u64), &BigUint::from(1_000_000_006u64), &m),
+            BigUint::one()
+        );
+    }
+
+    #[test]
+    fn mod_pow_edge_cases() {
+        let m = BigUint::from(13u64);
+        assert_eq!(mod_pow(&BigUint::from(5u64), &BigUint::zero(), &m), BigUint::one());
+        assert_eq!(mod_pow(&BigUint::zero(), &BigUint::from(5u64), &m), BigUint::zero());
+        assert_eq!(
+            mod_pow(&BigUint::from(5u64), &BigUint::from(3u64), &BigUint::one()),
+            BigUint::zero()
+        );
+    }
+
+    #[test]
+    fn mod_pow_large_values() {
+        // 2^255 - 19 arithmetic sanity check (the modulus of Curve25519).
+        let p = (BigUint::one() << 255) - BigUint::from(19u64);
+        let g = BigUint::from(9u64);
+        // Euler: g^(p-1) ≡ 1 (mod p) since p is prime and gcd(9, p) = 1.
+        let res = mod_pow(&g, &(&p - BigUint::one()), &p);
+        assert_eq!(res, BigUint::one());
+    }
+
+    #[test]
+    fn mod_pow_matches_naive() {
+        let m = BigUint::from(65_537u64);
+        let base = BigUint::from(31_337u64);
+        for e in 0u64..40 {
+            let expected = {
+                let mut acc = BigUint::one();
+                for _ in 0..e {
+                    acc = mod_mul(&acc, &base, &m);
+                }
+                acc
+            };
+            assert_eq!(mod_pow(&base, &BigUint::from(e), &m), expected, "e = {e}");
+        }
+    }
+
+    #[test]
+    fn mod_inverse_small() {
+        let m = BigUint::from(17u64);
+        for a in 1u64..17 {
+            let inv = mod_inverse(&BigUint::from(a), &m).unwrap();
+            assert_eq!(mod_mul(&BigUint::from(a), &inv, &m), BigUint::one(), "a = {a}");
+        }
+    }
+
+    #[test]
+    fn mod_inverse_none_when_not_coprime() {
+        assert!(mod_inverse(&BigUint::from(6u64), &BigUint::from(9u64)).is_none());
+        assert!(mod_inverse(&BigUint::zero(), &BigUint::from(9u64)).is_none());
+    }
+
+    #[test]
+    fn mod_inverse_rsa_style() {
+        // Typical RSA textbook example: p=61, q=53, n=3233, phi=3120, e=17, d=2753.
+        let e = BigUint::from(17u64);
+        let phi = BigUint::from(3120u64);
+        let d = mod_inverse(&e, &phi).unwrap();
+        assert_eq!(d, BigUint::from(2753u64));
+    }
+
+    #[test]
+    fn mod_inverse_large() {
+        let m = big("170141183460469231731687303715884105727"); // 2^127 - 1, a Mersenne prime
+        let a = big("123456789012345678901234567890");
+        let inv = mod_inverse(&a, &m).unwrap();
+        assert_eq!(mod_mul(&a, &inv, &m), BigUint::one());
+    }
+
+    #[test]
+    fn mod_inverse_of_one_is_one() {
+        let m = BigUint::from(101u64);
+        assert_eq!(mod_inverse(&BigUint::one(), &m), Some(BigUint::one()));
+    }
+
+    #[test]
+    fn mod_inverse_modulus_one() {
+        assert_eq!(mod_inverse(&BigUint::from(5u64), &BigUint::one()), Some(BigUint::zero()));
+    }
+}

@@ -1,0 +1,156 @@
+//! Sampling uniformly distributed [`BigUint`] values from a [`rand::RngCore`]
+//! source.
+//!
+//! RSA key generation and the security primitives (random challenges, session
+//! identifiers) need uniformly random big integers of a given bit length or
+//! below a given bound.  These helpers work with any `RngCore`, so the crypto
+//! layer can plug in either the OS entropy source or its own deterministic
+//! DRBG for reproducible tests.
+
+use crate::BigUint;
+use rand::RngCore;
+
+/// Returns a uniformly random value with exactly `bits` significant bits
+/// (i.e. the top bit is always set).  Returns zero when `bits == 0`.
+pub fn random_bits<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let bytes = bits.div_ceil(8);
+    let mut buf = vec![0u8; bytes];
+    rng.fill_bytes(&mut buf);
+    // Clear any excess high bits in the most-significant byte, then force the
+    // top bit so the bit length is exact.
+    let excess = bytes * 8 - bits;
+    buf[0] &= 0xffu8 >> excess;
+    let mut v = BigUint::from_bytes_be(&buf);
+    v.set_bit(bits - 1, true);
+    v
+}
+
+/// Returns a uniformly random value of *at most* `bits` bits (top bit not
+/// forced).
+pub fn random_at_most_bits<R: RngCore + ?Sized>(rng: &mut R, bits: usize) -> BigUint {
+    if bits == 0 {
+        return BigUint::zero();
+    }
+    let bytes = bits.div_ceil(8);
+    let mut buf = vec![0u8; bytes];
+    rng.fill_bytes(&mut buf);
+    let excess = bytes * 8 - bits;
+    buf[0] &= 0xffu8 >> excess;
+    BigUint::from_bytes_be(&buf)
+}
+
+/// Returns a uniformly random value in the half-open range `[0, bound)` using
+/// rejection sampling.
+///
+/// # Panics
+///
+/// Panics if `bound` is zero.
+pub fn random_below<R: RngCore + ?Sized>(rng: &mut R, bound: &BigUint) -> BigUint {
+    assert!(!bound.is_zero(), "bound must be non-zero");
+    let bits = bound.bits();
+    loop {
+        let candidate = random_at_most_bits(rng, bits);
+        if &candidate < bound {
+            return candidate;
+        }
+    }
+}
+
+/// Returns a uniformly random value in the inclusive range `[low, high]`.
+///
+/// # Panics
+///
+/// Panics if `low > high`.
+pub fn random_range<R: RngCore + ?Sized>(rng: &mut R, low: &BigUint, high: &BigUint) -> BigUint {
+    assert!(low <= high, "empty range");
+    let span = high - low + BigUint::one();
+    low + random_below(rng, &span)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(0x5eed_cafe)
+    }
+
+    #[test]
+    fn random_bits_has_exact_length() {
+        let mut r = rng();
+        for bits in [1usize, 2, 7, 8, 9, 63, 64, 65, 127, 512, 1024] {
+            let v = random_bits(&mut r, bits);
+            assert_eq!(v.bits(), bits, "requested {bits} bits");
+        }
+    }
+
+    #[test]
+    fn random_bits_zero_is_zero() {
+        let mut r = rng();
+        assert!(random_bits(&mut r, 0).is_zero());
+        assert!(random_at_most_bits(&mut r, 0).is_zero());
+    }
+
+    #[test]
+    fn random_at_most_bits_never_exceeds() {
+        let mut r = rng();
+        for _ in 0..200 {
+            let v = random_at_most_bits(&mut r, 10);
+            assert!(v.bits() <= 10);
+        }
+    }
+
+    #[test]
+    fn random_below_respects_bound() {
+        let mut r = rng();
+        let bound = BigUint::from(1000u64);
+        for _ in 0..500 {
+            assert!(random_below(&mut r, &bound) < bound);
+        }
+    }
+
+    #[test]
+    fn random_below_covers_small_range() {
+        let mut r = rng();
+        let bound = BigUint::from(4u64);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            let v = random_below(&mut r, &bound).to_u64().unwrap() as usize;
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear: {seen:?}");
+    }
+
+    #[test]
+    fn random_range_inclusive() {
+        let mut r = rng();
+        let low = BigUint::from(10u64);
+        let high = BigUint::from(12u64);
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let v = random_range(&mut r, &low, &high);
+            assert!(v >= low && v <= high);
+            seen[(v.to_u64().unwrap() - 10) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    #[should_panic(expected = "bound must be non-zero")]
+    fn random_below_zero_bound_panics() {
+        let mut r = rng();
+        let _ = random_below(&mut r, &BigUint::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn random_range_empty_panics() {
+        let mut r = rng();
+        let _ = random_range(&mut r, &BigUint::from(5u64), &BigUint::from(4u64));
+    }
+}

@@ -1,0 +1,167 @@
+//! The JXTA-Overlay administrator (trust anchor).
+//!
+//! System setup (paper §4.1): the administrator `Adm` generates a key pair
+//! and a self-signed credential `Cred^Adm_Adm`, "thus acting as trusted party
+//! by all peers.  This is a sensible stance, since the system administrator
+//! is the entity that grants access to the JXTA-Overlay network by creating
+//! legitimate usernames and passwords into the database."
+//!
+//! The administrator provisions each broker `Br_i` with a credential
+//! `Cred^Adm_{Br_i}` over the broker's public key, and registers end users in
+//! the central [`jxta_overlay::UserDatabase`].
+
+use crate::credential::{Credential, CredentialRole};
+use crate::identity::PeerIdentity;
+use jxta_crypto::rsa::RsaPublicKey;
+use jxta_crypto::CryptoError;
+use jxta_overlay::{GroupId, PeerId, UserDatabase};
+use rand::RngCore;
+
+/// Default credential lifetime handed out by the administrator and brokers
+/// (in seconds relative to the deployment epoch).
+pub const DEFAULT_CREDENTIAL_LIFETIME: u64 = 30 * 24 * 3600;
+
+/// The administrator of a JXTA-Overlay deployment.
+pub struct Administrator {
+    identity: PeerIdentity,
+    credential: Credential,
+    name: String,
+}
+
+impl Administrator {
+    /// Creates the administrator: generates its key pair and self-signed
+    /// credential.
+    pub fn new<R: RngCore + ?Sized>(
+        rng: &mut R,
+        name: &str,
+        key_bits: usize,
+    ) -> Result<Self, CryptoError> {
+        let identity = PeerIdentity::generate(rng, key_bits)?;
+        let credential = Credential::self_signed(
+            CredentialRole::Administrator,
+            name,
+            identity.peer_id(),
+            identity.public_key().clone(),
+            identity.private_key(),
+            u64::MAX,
+        )?;
+        Ok(Administrator {
+            identity,
+            credential,
+            name: name.to_string(),
+        })
+    }
+
+    /// The administrator's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The administrator's identity.
+    pub fn identity(&self) -> &PeerIdentity {
+        &self.identity
+    }
+
+    /// The administrator's public key (`PK_Adm`).
+    pub fn public_key(&self) -> &RsaPublicKey {
+        self.identity.public_key()
+    }
+
+    /// The self-signed trust-anchor credential (`Cred^Adm_Adm`), which is
+    /// copied to every client peer at deployment time.
+    pub fn credential(&self) -> &Credential {
+        &self.credential
+    }
+
+    /// Provisions a broker: issues `Cred^Adm_Br` over the broker's public
+    /// key.
+    pub fn issue_broker_credential(
+        &self,
+        broker_name: &str,
+        broker_id: PeerId,
+        broker_key: &RsaPublicKey,
+        expires_at: u64,
+    ) -> Result<Credential, CryptoError> {
+        Credential::issue(
+            CredentialRole::Broker,
+            broker_name,
+            broker_id,
+            broker_key.clone(),
+            &self.name,
+            expires_at,
+            self.identity.private_key(),
+        )
+    }
+
+    /// Registers an end user in the central database (the administrative task
+    /// the paper assumes: "some administrator takes care of properly
+    /// configuring the database, registering new end-users").
+    pub fn register_user<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        database: &UserDatabase,
+        username: &str,
+        password: &str,
+        groups: &[GroupId],
+    ) -> bool {
+        database.register_user(rng, username, password, groups)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxta_crypto::drbg::HmacDrbg;
+
+    #[test]
+    fn administrator_credential_is_self_signed() {
+        let mut rng = HmacDrbg::from_seed_u64(0xAD);
+        let admin = Administrator::new(&mut rng, "net-admin", 512).unwrap();
+        admin.credential().verify_self_signed().unwrap();
+        assert_eq!(admin.credential().role, CredentialRole::Administrator);
+        assert_eq!(admin.credential().subject_name, "net-admin");
+        assert_eq!(admin.name(), "net-admin");
+        assert!(admin.credential().binds_key_to_subject());
+    }
+
+    #[test]
+    fn broker_credential_chain() {
+        let mut rng = HmacDrbg::from_seed_u64(0xAE);
+        let admin = Administrator::new(&mut rng, "admin", 512).unwrap();
+        let broker_identity = PeerIdentity::generate(&mut rng, 512).unwrap();
+        let broker_cred = admin
+            .issue_broker_credential(
+                "fit-broker",
+                broker_identity.peer_id(),
+                broker_identity.public_key(),
+                1_000,
+            )
+            .unwrap();
+        // The broker credential verifies against the admin public key
+        // (contained in the admin's credential) — exactly what a client does
+        // in secureConnection step 6.
+        broker_cred.verify(&admin.credential().public_key).unwrap();
+        assert_eq!(broker_cred.role, CredentialRole::Broker);
+        assert!(broker_cred.binds_key_to_subject());
+        // A credential issued by someone else does not verify.
+        let impostor = Administrator::new(&mut rng, "impostor", 512).unwrap();
+        assert!(broker_cred.verify(impostor.public_key()).is_err());
+    }
+
+    #[test]
+    fn register_user_delegates_to_database() {
+        let mut rng = HmacDrbg::from_seed_u64(0xAF);
+        let admin = Administrator::new(&mut rng, "admin", 512).unwrap();
+        let db = UserDatabase::new();
+        assert!(admin.register_user(&mut rng, &db, "alice", "pw", &[GroupId::new("g")]));
+        assert!(!admin.register_user(&mut rng, &db, "alice", "pw2", &[]));
+        assert!(db.verify("alice", "pw"));
+    }
+
+    #[test]
+    fn identity_accessors() {
+        let mut rng = HmacDrbg::from_seed_u64(0xB0);
+        let admin = Administrator::new(&mut rng, "admin", 512).unwrap();
+        assert_eq!(admin.identity().public_key(), admin.public_key());
+    }
+}

@@ -1,0 +1,540 @@
+//! The broker-side half of the secure primitives.
+//!
+//! [`SecureBrokerExtension`] plugs into a plain [`jxta_overlay::Broker`]
+//! through the [`BrokerExtension`] hook and implements the broker's part of
+//! the `secureConnection` (paper §4.2.1) and `secureLogin` (§4.2.2)
+//! protocols:
+//!
+//! * **secureConnection** — on receiving a client challenge the broker
+//!   generates a sufficiently long random session identifier `sid`, stores
+//!   it, and answers with `sid`, the challenge signed with `SK_Br` and its
+//!   admin-issued credential `Cred^Adm_Br`.
+//! * **secureLogin** — the broker decrypts the wrapped login request with its
+//!   private key, consumes the `sid` (each identifier is single-use, which is
+//!   what defeats replayed login attempts), checks the username/password
+//!   against the central database, checks that the enclosed public key really
+//!   belongs to the claiming peer (CBID binding), and finally issues the
+//!   client credential `Cred^Br_Cl`.
+
+use crate::credential::{Credential, CredentialRole};
+use crate::identity::PeerIdentity;
+use jxta_crypto::cbid::Cbid;
+use jxta_crypto::envelope::{open_envelope, Envelope};
+use jxta_crypto::drbg::HmacDrbg;
+use jxta_crypto::rsa::RsaPublicKey;
+use jxta_overlay::broker::{Broker, BrokerExtension};
+use jxta_overlay::{Message, MessageKind, PeerId};
+use parking_lot::Mutex;
+use std::collections::HashSet;
+
+/// Length of the random session identifier in bytes ("sufficiently long", per
+/// the paper; 32 bytes makes guessing or collision attacks irrelevant).
+pub const SESSION_ID_LEN: usize = 32;
+
+/// Computes the byte string signed by the client inside a secure login
+/// request: `S_SKCl(username, password, PK_Cl)`.
+pub fn login_signed_content(username: &str, password: &str, public_key: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + username.len() + password.len() + public_key.len());
+    out.extend_from_slice(b"JXTA-OVERLAY-SECURE-LOGIN-V1");
+    out.extend_from_slice(&(username.len() as u32).to_be_bytes());
+    out.extend_from_slice(username.as_bytes());
+    out.extend_from_slice(&(password.len() as u32).to_be_bytes());
+    out.extend_from_slice(password.as_bytes());
+    out.extend_from_slice(&(public_key.len() as u32).to_be_bytes());
+    out.extend_from_slice(public_key);
+    out
+}
+
+/// Computes the byte string signed by the sender of a `secureMsgPeer`
+/// message: `S_SKCl1(m)` with the group identifier bound in.
+pub fn message_signed_content(group: &str, text: &str) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + group.len() + text.len());
+    out.extend_from_slice(b"JXTA-OVERLAY-SECURE-MSG-V1");
+    out.extend_from_slice(&(group.len() as u32).to_be_bytes());
+    out.extend_from_slice(group.as_bytes());
+    out.extend_from_slice(&(text.len() as u32).to_be_bytes());
+    out.extend_from_slice(text.as_bytes());
+    out
+}
+
+/// Counters describing the secure broker's activity (used by tests and the
+/// experiment harness).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SecureBrokerStats {
+    /// Challenges answered (secureConnection attempts served).
+    pub challenges_answered: u64,
+    /// Credentials issued after successful secure logins.
+    pub credentials_issued: u64,
+    /// Login attempts rejected because of a missing or reused session id
+    /// (replay attempts).
+    pub replays_rejected: u64,
+    /// Login attempts rejected for bad credentials or key binding.
+    pub logins_rejected: u64,
+}
+
+/// The broker-side secure extension.
+pub struct SecureBrokerExtension {
+    identity: PeerIdentity,
+    credential: Credential,
+    credential_lifetime: u64,
+    sessions: Mutex<HashSet<Vec<u8>>>,
+    rng: Mutex<HmacDrbg>,
+    stats: Mutex<SecureBrokerStats>,
+}
+
+impl SecureBrokerExtension {
+    /// Creates the extension from the broker's identity and its admin-issued
+    /// credential.
+    ///
+    /// `rng_seed` seeds the extension's internal DRBG (session identifiers);
+    /// `credential_lifetime` is the expiry offset of issued client
+    /// credentials, in seconds since the deployment epoch.
+    pub fn new(
+        identity: PeerIdentity,
+        credential: Credential,
+        credential_lifetime: u64,
+        rng_seed: u64,
+    ) -> Self {
+        debug_assert_eq!(credential.role, CredentialRole::Broker);
+        SecureBrokerExtension {
+            identity,
+            credential,
+            credential_lifetime,
+            sessions: Mutex::new(HashSet::new()),
+            rng: Mutex::new(HmacDrbg::from_seed_u64(rng_seed)),
+            stats: Mutex::new(SecureBrokerStats::default()),
+        }
+    }
+
+    /// The broker's admin-issued credential (`Cred^Adm_Br`).
+    pub fn credential(&self) -> &Credential {
+        &self.credential
+    }
+
+    /// The broker's identity.
+    pub fn identity(&self) -> &PeerIdentity {
+        &self.identity
+    }
+
+    /// Number of session identifiers currently outstanding (issued but not
+    /// yet consumed by a login).
+    pub fn outstanding_sessions(&self) -> usize {
+        self.sessions.lock().len()
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> SecureBrokerStats {
+        *self.stats.lock()
+    }
+
+    fn error_response(&self, broker: &Broker, message: &Message, kind: MessageKind, reason: &str) -> Message {
+        Message::new(kind, broker.id(), message.request_id)
+            .with_str("status", "error")
+            .with_str("reason", reason)
+    }
+
+    /// secureConnection, broker side (paper §4.2.1 steps 4-5).
+    fn handle_secure_connect(&self, broker: &Broker, message: &Message) -> Message {
+        let Ok(challenge) = message.require("challenge") else {
+            return self.error_response(broker, message, MessageKind::SecureConnectResponse, "missing challenge");
+        };
+        // Generate and remember a fresh session identifier.
+        let sid = self.rng.lock().generate_vec(SESSION_ID_LEN);
+        self.sessions.lock().insert(sid.clone());
+
+        let Ok(signature) = self.identity.sign(challenge) else {
+            return self.error_response(broker, message, MessageKind::SecureConnectResponse, "signing failure");
+        };
+        broker.mark_connected(message.sender);
+        self.stats.lock().challenges_answered += 1;
+
+        Message::new(MessageKind::SecureConnectResponse, broker.id(), message.request_id)
+            .with_str("status", "ok")
+            .with_element("sid", sid)
+            .with_element("challenge-signature", signature)
+            .with_element("broker-credential", self.credential.to_bytes())
+    }
+
+    /// secureLogin, broker side (paper §4.2.2 steps 4-9).
+    fn handle_secure_login(&self, broker: &Broker, message: &Message) -> Message {
+        let reply_err = |reason: &str| {
+            self.error_response(broker, message, MessageKind::SecureLoginResponse, reason)
+        };
+
+        // Step 4: decrypt the wrapped request with SK_Br.
+        let Ok(envelope_bytes) = message.require("envelope") else {
+            return reply_err("missing envelope");
+        };
+        let Ok(envelope) = Envelope::from_bytes(envelope_bytes) else {
+            return reply_err("malformed envelope");
+        };
+        let Ok(plaintext) = open_envelope(self.identity.private_key(), &envelope) else {
+            return reply_err("envelope does not decrypt");
+        };
+        let Ok(inner) = Message::from_bytes(&plaintext) else {
+            return reply_err("malformed login request");
+        };
+        let (Some(username), Some(password), Some(public_key_bytes), Some(signature), Some(sid)) = (
+            inner.element_str("username"),
+            inner.element_str("password"),
+            inner.element("public-key"),
+            inner.element("signature"),
+            inner.element("sid"),
+        ) else {
+            return reply_err("incomplete login request");
+        };
+
+        // Step 5: the session identifier must be outstanding; consume it so a
+        // replayed request can never succeed.
+        if !self.sessions.lock().remove(&sid.to_vec()) {
+            self.stats.lock().replays_rejected += 1;
+            return reply_err("unknown or already-used session identifier");
+        }
+
+        // The request must be signed by the enclosed key.
+        let Ok(public_key) = RsaPublicKey::from_bytes(public_key_bytes) else {
+            self.stats.lock().logins_rejected += 1;
+            return reply_err("malformed public key");
+        };
+        let signed = login_signed_content(&username, &password, public_key_bytes);
+        if public_key.verify(&signed, signature).is_err() {
+            self.stats.lock().logins_rejected += 1;
+            return reply_err("login request signature does not verify");
+        }
+
+        // Step 6: username/password against the central database.
+        if !broker.database().verify(&username, &password) {
+            self.stats.lock().logins_rejected += 1;
+            return reply_err("authentication failed");
+        }
+
+        // Step 7: key authenticity against the claimed client peer identifier
+        // (CBID binding).  Both the transport-level sender and the inner
+        // request must match the key.
+        let expected_id = PeerId::from_cbid(&Cbid::from_public_key(&public_key));
+        if message.sender != expected_id || inner.sender != expected_id {
+            self.stats.lock().logins_rejected += 1;
+            return reply_err("public key does not belong to the claimed peer identifier");
+        }
+
+        // Step 8: issue Cred^Br_Cl.
+        let credential = match Credential::issue(
+            CredentialRole::Client,
+            &username,
+            message.sender,
+            public_key,
+            &self.credential.subject_name,
+            self.credential_lifetime,
+            self.identity.private_key(),
+        ) {
+            Ok(c) => c,
+            Err(_) => return reply_err("credential issuance failed"),
+        };
+
+        // Book-keeping shared with the plain broker: session + groups.
+        let session = broker.establish_session(message.sender, &username);
+        let groups = session
+            .groups
+            .iter()
+            .map(|g| g.as_str().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+
+        self.stats.lock().credentials_issued += 1;
+        Message::new(MessageKind::SecureLoginResponse, broker.id(), message.request_id)
+            .with_str("status", "ok")
+            .with_element("credential", credential.to_bytes())
+            .with_str("groups", &groups)
+    }
+}
+
+impl BrokerExtension for SecureBrokerExtension {
+    fn handle(&self, broker: &Broker, message: &Message) -> Option<Message> {
+        match message.kind {
+            MessageKind::SecureConnectChallenge => Some(self.handle_secure_connect(broker, message)),
+            MessageKind::SecureLoginRequest => Some(self.handle_secure_login(broker, message)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::admin::Administrator;
+    use jxta_crypto::envelope::seal_envelope;
+    use jxta_overlay::broker::BrokerConfig;
+    use jxta_overlay::net::LinkModel;
+    use jxta_overlay::{GroupId, SimNetwork, UserDatabase};
+    use std::sync::Arc;
+
+    struct World {
+        broker: Arc<Broker>,
+        extension: Arc<SecureBrokerExtension>,
+        admin: Administrator,
+        rng: HmacDrbg,
+    }
+
+    fn world() -> World {
+        let mut rng = HmacDrbg::from_seed_u64(0xB0EE);
+        let admin = Administrator::new(&mut rng, "admin", 512).unwrap();
+        let database = Arc::new(UserDatabase::new());
+        database.register_user(&mut rng, "alice", "pw-a", &[GroupId::new("math")]);
+        let broker_identity = PeerIdentity::generate(&mut rng, 1024).unwrap();
+        let broker_credential = admin
+            .issue_broker_credential(
+                "broker-1",
+                broker_identity.peer_id(),
+                broker_identity.public_key(),
+                u64::MAX,
+            )
+            .unwrap();
+        let network = SimNetwork::new(LinkModel::ideal());
+        let broker = Broker::new(
+            broker_identity.peer_id(),
+            BrokerConfig { name: "broker-1".into() },
+            network,
+            database,
+        );
+        let extension = Arc::new(SecureBrokerExtension::new(
+            broker_identity,
+            broker_credential,
+            3600,
+            0x5EED,
+        ));
+        broker.set_extension(extension.clone() as Arc<dyn BrokerExtension>);
+        World {
+            broker,
+            extension,
+            admin,
+            rng,
+        }
+    }
+
+    fn client_identity(rng: &mut HmacDrbg) -> PeerIdentity {
+        PeerIdentity::generate(rng, 1024).unwrap()
+    }
+
+    fn do_secure_connect(w: &World, client: &PeerIdentity, challenge: &[u8]) -> Message {
+        let msg = Message::new(MessageKind::SecureConnectChallenge, client.peer_id(), 1)
+            .with_element("challenge", challenge.to_vec());
+        w.broker.handle_message(&msg).unwrap()
+    }
+
+    fn build_login_request(
+        w: &mut World,
+        client: &PeerIdentity,
+        username: &str,
+        password: &str,
+        sid: &[u8],
+    ) -> Message {
+        let pk_bytes = client.public_key().to_bytes();
+        let signature = client
+            .sign(&login_signed_content(username, password, &pk_bytes))
+            .unwrap();
+        let inner = Message::new(MessageKind::SecureLoginRequest, client.peer_id(), 0)
+            .with_str("username", username)
+            .with_str("password", password)
+            .with_element("public-key", pk_bytes)
+            .with_element("signature", signature)
+            .with_element("sid", sid.to_vec());
+        let envelope = seal_envelope(
+            &mut w.rng,
+            w.extension.identity().public_key(),
+            &inner.to_bytes(),
+        )
+        .unwrap();
+        Message::new(MessageKind::SecureLoginRequest, client.peer_id(), 2)
+            .with_element("envelope", envelope.to_bytes())
+    }
+
+    #[test]
+    fn secure_connect_issues_sid_and_signs_challenge() {
+        let mut w = world();
+        let client = client_identity(&mut w.rng);
+        let challenge = w.rng.generate_vec(32);
+        let resp = do_secure_connect(&w, &client, &challenge);
+        assert_eq!(resp.element_str("status").unwrap(), "ok");
+        assert_eq!(resp.element("sid").unwrap().len(), SESSION_ID_LEN);
+        assert_eq!(w.extension.outstanding_sessions(), 1);
+
+        // The credential chains to the admin and the signature covers our
+        // challenge — exactly the client-side checks of §4.2.1 steps 6-7.
+        let credential = Credential::from_bytes(resp.element("broker-credential").unwrap()).unwrap();
+        credential.verify(w.admin.public_key()).unwrap();
+        credential
+            .public_key
+            .verify(&challenge, resp.element("challenge-signature").unwrap())
+            .unwrap();
+        assert!(w.broker.is_connected(&client.peer_id()));
+        assert_eq!(w.extension.stats().challenges_answered, 1);
+    }
+
+    #[test]
+    fn secure_connect_without_challenge_fails() {
+        let mut w = world();
+        let client = client_identity(&mut w.rng);
+        let msg = Message::new(MessageKind::SecureConnectChallenge, client.peer_id(), 1);
+        let resp = w.broker.handle_message(&msg).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+    }
+
+    #[test]
+    fn secure_login_happy_path_issues_credential() {
+        let mut w = world();
+        let client = client_identity(&mut w.rng);
+        let challenge = w.rng.generate_vec(32);
+        let connect_resp = do_secure_connect(&w, &client, &challenge);
+        let sid = connect_resp.element("sid").unwrap().to_vec();
+
+        let login = build_login_request(&mut w, &client, "alice", "pw-a", &sid);
+        let resp = w.broker.handle_message(&login).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "ok", "{:?}", resp.element_str("reason"));
+
+        let credential = Credential::from_bytes(resp.element("credential").unwrap()).unwrap();
+        credential.verify(w.extension.identity().public_key()).unwrap();
+        assert_eq!(credential.subject_name, "alice");
+        assert_eq!(credential.subject_id, client.peer_id());
+        assert!(credential.binds_key_to_subject());
+        assert!(resp.element_str("groups").unwrap().contains("math"));
+        assert_eq!(w.broker.session_count(), 1);
+        assert_eq!(w.extension.outstanding_sessions(), 0, "sid consumed");
+        assert_eq!(w.extension.stats().credentials_issued, 1);
+    }
+
+    #[test]
+    fn secure_login_rejects_replayed_request() {
+        let mut w = world();
+        let client = client_identity(&mut w.rng);
+        let challenge = w.rng.generate_vec(32);
+        let sid = do_secure_connect(&w, &client, &challenge)
+            .element("sid")
+            .unwrap()
+            .to_vec();
+        let login = build_login_request(&mut w, &client, "alice", "pw-a", &sid);
+        // First attempt succeeds.
+        assert_eq!(
+            w.broker.handle_message(&login).unwrap().element_str("status").unwrap(),
+            "ok"
+        );
+        // Replaying the exact same captured request fails: the sid was
+        // consumed.
+        let resp = w.broker.handle_message(&login).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert!(resp.element_str("reason").unwrap().contains("session identifier"));
+        assert_eq!(w.extension.stats().replays_rejected, 1);
+    }
+
+    #[test]
+    fn secure_login_rejects_unknown_sid() {
+        let mut w = world();
+        let client = client_identity(&mut w.rng);
+        let login = build_login_request(&mut w, &client, "alice", "pw-a", &[9u8; SESSION_ID_LEN]);
+        let resp = w.broker.handle_message(&login).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert_eq!(w.extension.stats().replays_rejected, 1);
+    }
+
+    #[test]
+    fn secure_login_rejects_wrong_password() {
+        let mut w = world();
+        let client = client_identity(&mut w.rng);
+        let challenge = w.rng.generate_vec(32);
+        let sid = do_secure_connect(&w, &client, &challenge).element("sid").unwrap().to_vec();
+        let login = build_login_request(&mut w, &client, "alice", "wrong", &sid);
+        let resp = w.broker.handle_message(&login).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert!(resp.element_str("reason").unwrap().contains("authentication"));
+        assert_eq!(w.extension.stats().logins_rejected, 1);
+        assert_eq!(w.broker.session_count(), 0);
+    }
+
+    #[test]
+    fn secure_login_rejects_stolen_key_identity() {
+        // An attacker sends a login request from their own peer id but with
+        // the victim's username/password guess and their own key — if the
+        // sender id does not match the key's CBID the broker refuses.
+        let mut w = world();
+        let client = client_identity(&mut w.rng);
+        let attacker_transport_id = PeerId::random(&mut w.rng);
+        let challenge = w.rng.generate_vec(32);
+        let sid = do_secure_connect(&w, &client, &challenge).element("sid").unwrap().to_vec();
+
+        let mut login = build_login_request(&mut w, &client, "alice", "pw-a", &sid);
+        login.sender = attacker_transport_id; // transport-level mismatch
+        let resp = w.broker.handle_message(&login).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert!(resp.element_str("reason").unwrap().contains("claimed peer identifier"));
+    }
+
+    #[test]
+    fn secure_login_rejects_tampered_signature() {
+        let mut w = world();
+        let client = client_identity(&mut w.rng);
+        let challenge = w.rng.generate_vec(32);
+        let sid = do_secure_connect(&w, &client, &challenge).element("sid").unwrap().to_vec();
+
+        // Build a request where the signature covers a different password.
+        let pk_bytes = client.public_key().to_bytes();
+        let signature = client
+            .sign(&login_signed_content("alice", "other-password", &pk_bytes))
+            .unwrap();
+        let inner = Message::new(MessageKind::SecureLoginRequest, client.peer_id(), 0)
+            .with_str("username", "alice")
+            .with_str("password", "pw-a")
+            .with_element("public-key", pk_bytes)
+            .with_element("signature", signature)
+            .with_element("sid", sid);
+        let envelope = seal_envelope(
+            &mut w.rng,
+            w.extension.identity().public_key(),
+            &inner.to_bytes(),
+        )
+        .unwrap();
+        let login = Message::new(MessageKind::SecureLoginRequest, client.peer_id(), 2)
+            .with_element("envelope", envelope.to_bytes());
+        let resp = w.broker.handle_message(&login).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert!(resp.element_str("reason").unwrap().contains("signature"));
+    }
+
+    #[test]
+    fn secure_login_rejects_garbage_envelope() {
+        let mut w = world();
+        let client = client_identity(&mut w.rng);
+        let login = Message::new(MessageKind::SecureLoginRequest, client.peer_id(), 2)
+            .with_element("envelope", b"not an envelope".to_vec());
+        let resp = w.broker.handle_message(&login).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        // Missing the element entirely is also handled.
+        let login = Message::new(MessageKind::SecureLoginRequest, client.peer_id(), 2);
+        let resp = w.broker.handle_message(&login).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+    }
+
+    #[test]
+    fn extension_ignores_unrelated_kinds() {
+        let mut w = world();
+        let client = client_identity(&mut w.rng);
+        let msg = Message::new(MessageKind::PeerText, client.peer_id(), 1);
+        assert!(w.extension.handle(&w.broker, &msg).is_none());
+    }
+
+    #[test]
+    fn signed_content_helpers_are_injective_enough() {
+        // Field boundaries are length-prefixed, so shifting bytes between
+        // fields changes the encoding.
+        assert_ne!(
+            login_signed_content("ab", "c", b"k"),
+            login_signed_content("a", "bc", b"k")
+        );
+        assert_ne!(
+            message_signed_content("g1", "hello"),
+            message_signed_content("g", "1hello")
+        );
+        assert_eq!(
+            message_signed_content("g", "t"),
+            message_signed_content("g", "t")
+        );
+    }
+}

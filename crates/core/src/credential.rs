@@ -1,0 +1,416 @@
+//! Credentials: the `Cred^issuer_subject` objects of the paper.
+//!
+//! A credential binds a subject (its role, name, peer identifier and public
+//! key) to an issuer through an RSA signature.  Three kinds exist in a
+//! JXTA-Overlay deployment:
+//!
+//! * `Cred^Adm_Adm` — the administrator's **self-signed** credential, copied
+//!   to every client peer at deployment time; it is the trust anchor.
+//! * `Cred^Adm_Br`  — a broker credential issued by the administrator; only a
+//!   legitimate broker can prove ownership of one (paper §4.1/§4.2.1).
+//! * `Cred^Br_Cl`   — a client credential issued by a broker after a
+//!   successful `secureLogin`; it contains the client's public key and the
+//!   end user's username and serves as proof of identity until it expires
+//!   (§4.2.2 step 8-10).
+
+use jxta_crypto::cbid::Cbid;
+use jxta_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use jxta_crypto::CryptoError;
+use jxta_overlay::PeerId;
+
+/// The role a credential asserts for its subject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum CredentialRole {
+    /// The JXTA-Overlay administrator (trust anchor).
+    Administrator = 1,
+    /// A broker peer.
+    Broker = 2,
+    /// A client peer / end user.
+    Client = 3,
+}
+
+impl CredentialRole {
+    fn from_u8(v: u8) -> Option<Self> {
+        match v {
+            1 => Some(CredentialRole::Administrator),
+            2 => Some(CredentialRole::Broker),
+            3 => Some(CredentialRole::Client),
+            _ => None,
+        }
+    }
+}
+
+/// A signed credential.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Credential {
+    /// Role of the subject.
+    pub role: CredentialRole,
+    /// Human-readable subject name (username for clients, broker/admin name
+    /// otherwise).
+    pub subject_name: String,
+    /// The subject's peer identifier (CBID-derived).
+    pub subject_id: PeerId,
+    /// The subject's public key.
+    pub public_key: RsaPublicKey,
+    /// Name of the issuer.
+    pub issuer_name: String,
+    /// Expiry, as seconds since the deployment epoch (`u64::MAX` = never).
+    pub expires_at: u64,
+    /// Issuer's signature over the fields above.
+    signature: Vec<u8>,
+}
+
+impl Credential {
+    /// Issues a credential: signs the subject data with the issuer's private
+    /// key.
+    pub fn issue(
+        role: CredentialRole,
+        subject_name: &str,
+        subject_id: PeerId,
+        public_key: RsaPublicKey,
+        issuer_name: &str,
+        expires_at: u64,
+        issuer_key: &RsaPrivateKey,
+    ) -> Result<Self, CryptoError> {
+        let mut credential = Credential {
+            role,
+            subject_name: subject_name.to_string(),
+            subject_id,
+            public_key,
+            issuer_name: issuer_name.to_string(),
+            expires_at,
+            signature: Vec::new(),
+        };
+        credential.signature = issuer_key.sign(&credential.signed_content())?;
+        Ok(credential)
+    }
+
+    /// Issues a self-signed credential (used by the administrator).
+    pub fn self_signed(
+        role: CredentialRole,
+        subject_name: &str,
+        subject_id: PeerId,
+        keypair_public: RsaPublicKey,
+        keypair_private: &RsaPrivateKey,
+        expires_at: u64,
+    ) -> Result<Self, CryptoError> {
+        Self::issue(
+            role,
+            subject_name,
+            subject_id,
+            keypair_public,
+            subject_name,
+            expires_at,
+            keypair_private,
+        )
+    }
+
+    /// The byte string covered by the issuer's signature.
+    fn signed_content(&self) -> Vec<u8> {
+        let pk = self.public_key.to_bytes();
+        let mut out = Vec::with_capacity(64 + pk.len());
+        out.extend_from_slice(b"JXTA-OVERLAY-CREDENTIAL-V1");
+        out.push(self.role as u8);
+        out.extend_from_slice(&(self.subject_name.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.subject_name.as_bytes());
+        out.extend_from_slice(self.subject_id.as_bytes());
+        out.extend_from_slice(&(pk.len() as u32).to_be_bytes());
+        out.extend_from_slice(&pk);
+        out.extend_from_slice(&(self.issuer_name.len() as u32).to_be_bytes());
+        out.extend_from_slice(self.issuer_name.as_bytes());
+        out.extend_from_slice(&self.expires_at.to_be_bytes());
+        out
+    }
+
+    /// Verifies the issuer's signature with the given issuer public key.
+    pub fn verify(&self, issuer_key: &RsaPublicKey) -> Result<(), CryptoError> {
+        issuer_key.verify(&self.signed_content(), &self.signature)
+    }
+
+    /// Verifies a self-signed credential (issuer key = embedded subject key).
+    pub fn verify_self_signed(&self) -> Result<(), CryptoError> {
+        self.verify(&self.public_key)
+    }
+
+    /// Returns `true` if the credential is expired at time `now` (seconds
+    /// since the deployment epoch).
+    pub fn is_expired(&self, now: u64) -> bool {
+        now > self.expires_at
+    }
+
+    /// Returns `true` if the embedded public key matches the subject's
+    /// CBID-derived peer identifier — the key-authenticity check of
+    /// `secureLogin` step 7 and of signed-advertisement validation.
+    pub fn binds_key_to_subject(&self) -> bool {
+        self.subject_id
+            .matches_cbid(&Cbid::from_public_key(&self.public_key))
+    }
+
+    /// The CBID of the embedded public key.
+    pub fn cbid(&self) -> Cbid {
+        Cbid::from_public_key(&self.public_key)
+    }
+
+    /// Serialises the credential (including the signature).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let content = self.signed_content();
+        let mut out = Vec::with_capacity(8 + content.len() + self.signature.len());
+        out.extend_from_slice(b"JXCD");
+        out.extend_from_slice(&(content.len() as u32).to_be_bytes());
+        out.extend_from_slice(&content);
+        out.extend_from_slice(&(self.signature.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses a credential serialised with [`Credential::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let err = |what: &str| CryptoError::Malformed(format!("credential: {what}"));
+        if bytes.len() < 8 || &bytes[..4] != b"JXCD" {
+            return Err(err("missing JXCD header"));
+        }
+        let content_len = u32::from_be_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        if bytes.len() < 8 + content_len + 4 {
+            return Err(err("truncated content"));
+        }
+        let content = &bytes[8..8 + content_len];
+        let sig_offset = 8 + content_len;
+        let sig_len =
+            u32::from_be_bytes(bytes[sig_offset..sig_offset + 4].try_into().unwrap()) as usize;
+        if bytes.len() != sig_offset + 4 + sig_len {
+            return Err(err("truncated or oversized signature"));
+        }
+        let signature = bytes[sig_offset + 4..].to_vec();
+
+        // Parse the signed content.
+        let magic = b"JXTA-OVERLAY-CREDENTIAL-V1";
+        if content.len() < magic.len() + 1 || &content[..magic.len()] != magic {
+            return Err(err("bad content magic"));
+        }
+        let mut offset = magic.len();
+        let role = CredentialRole::from_u8(content[offset]).ok_or_else(|| err("unknown role"))?;
+        offset += 1;
+
+        let read_len = |offset: &mut usize| -> Result<usize, CryptoError> {
+            if content.len() < *offset + 4 {
+                return Err(err("truncated length"));
+            }
+            let len = u32::from_be_bytes(content[*offset..*offset + 4].try_into().unwrap()) as usize;
+            *offset += 4;
+            if content.len() < *offset + len {
+                return Err(err("truncated field"));
+            }
+            Ok(len)
+        };
+
+        let name_len = read_len(&mut offset)?;
+        let subject_name = String::from_utf8_lossy(&content[offset..offset + name_len]).into_owned();
+        offset += name_len;
+
+        if content.len() < offset + jxta_overlay::id::PEER_ID_LEN {
+            return Err(err("truncated subject id"));
+        }
+        let mut id_bytes = [0u8; jxta_overlay::id::PEER_ID_LEN];
+        id_bytes.copy_from_slice(&content[offset..offset + jxta_overlay::id::PEER_ID_LEN]);
+        let subject_id = PeerId::from_bytes(id_bytes);
+        offset += jxta_overlay::id::PEER_ID_LEN;
+
+        let pk_len = read_len(&mut offset)?;
+        let public_key = RsaPublicKey::from_bytes(&content[offset..offset + pk_len])?;
+        offset += pk_len;
+
+        let issuer_len = read_len(&mut offset)?;
+        let issuer_name = String::from_utf8_lossy(&content[offset..offset + issuer_len]).into_owned();
+        offset += issuer_len;
+
+        if content.len() != offset + 8 {
+            return Err(err("bad expiry field"));
+        }
+        let expires_at = u64::from_be_bytes(content[offset..offset + 8].try_into().unwrap());
+
+        Ok(Credential {
+            role,
+            subject_name,
+            subject_id,
+            public_key,
+            issuer_name,
+            expires_at,
+            signature,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::identity::PeerIdentity;
+    use jxta_crypto::drbg::HmacDrbg;
+    use std::sync::OnceLock;
+
+    fn identities() -> &'static (PeerIdentity, PeerIdentity) {
+        static IDS: OnceLock<(PeerIdentity, PeerIdentity)> = OnceLock::new();
+        IDS.get_or_init(|| {
+            let mut rng = HmacDrbg::from_seed_u64(0xC4ED);
+            (
+                PeerIdentity::generate(&mut rng, 512).unwrap(),
+                PeerIdentity::generate(&mut rng, 512).unwrap(),
+            )
+        })
+    }
+
+    #[test]
+    fn issue_and_verify() {
+        let (issuer, subject) = identities();
+        let credential = Credential::issue(
+            CredentialRole::Client,
+            "alice",
+            subject.peer_id(),
+            subject.public_key().clone(),
+            "admin",
+            1_000,
+            issuer.private_key(),
+        )
+        .unwrap();
+        credential.verify(issuer.public_key()).unwrap();
+        assert!(credential.binds_key_to_subject());
+        assert!(!credential.is_expired(999));
+        assert!(!credential.is_expired(1_000));
+        assert!(credential.is_expired(1_001));
+    }
+
+    #[test]
+    fn verify_fails_with_wrong_issuer_key() {
+        let (issuer, subject) = identities();
+        let credential = Credential::issue(
+            CredentialRole::Broker,
+            "broker-1",
+            subject.peer_id(),
+            subject.public_key().clone(),
+            "admin",
+            u64::MAX,
+            issuer.private_key(),
+        )
+        .unwrap();
+        assert!(credential.verify(subject.public_key()).is_err());
+    }
+
+    #[test]
+    fn self_signed_credential_verifies_with_itself() {
+        let (admin, _) = identities();
+        let credential = Credential::self_signed(
+            CredentialRole::Administrator,
+            "admin",
+            admin.peer_id(),
+            admin.public_key().clone(),
+            admin.private_key(),
+            u64::MAX,
+        )
+        .unwrap();
+        credential.verify_self_signed().unwrap();
+        assert_eq!(credential.issuer_name, credential.subject_name);
+    }
+
+    #[test]
+    fn tampered_fields_break_verification() {
+        let (issuer, subject) = identities();
+        let credential = Credential::issue(
+            CredentialRole::Client,
+            "alice",
+            subject.peer_id(),
+            subject.public_key().clone(),
+            "admin",
+            1_000,
+            issuer.private_key(),
+        )
+        .unwrap();
+
+        let mut forged = credential.clone();
+        forged.subject_name = "mallory".to_string();
+        assert!(forged.verify(issuer.public_key()).is_err());
+
+        let mut forged = credential.clone();
+        forged.expires_at = u64::MAX;
+        assert!(forged.verify(issuer.public_key()).is_err());
+
+        let mut forged = credential;
+        forged.public_key = issuer.public_key().clone();
+        assert!(forged.verify(issuer.public_key()).is_err());
+        assert!(!forged.binds_key_to_subject());
+    }
+
+    #[test]
+    fn serialisation_roundtrip() {
+        let (issuer, subject) = identities();
+        let credential = Credential::issue(
+            CredentialRole::Client,
+            "alice",
+            subject.peer_id(),
+            subject.public_key().clone(),
+            "admin",
+            42,
+            issuer.private_key(),
+        )
+        .unwrap();
+        let bytes = credential.to_bytes();
+        let parsed = Credential::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, credential);
+        parsed.verify(issuer.public_key()).unwrap();
+    }
+
+    #[test]
+    fn deserialisation_rejects_garbage() {
+        assert!(Credential::from_bytes(b"").is_err());
+        assert!(Credential::from_bytes(b"JXCD").is_err());
+        assert!(Credential::from_bytes(b"NOPE\x00\x00\x00\x01x").is_err());
+        let (issuer, subject) = identities();
+        let credential = Credential::issue(
+            CredentialRole::Client,
+            "alice",
+            subject.peer_id(),
+            subject.public_key().clone(),
+            "admin",
+            42,
+            issuer.private_key(),
+        )
+        .unwrap();
+        let bytes = credential.to_bytes();
+        assert!(Credential::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+        let mut extended = bytes.clone();
+        extended.push(0);
+        assert!(Credential::from_bytes(&extended).is_err());
+        // Corrupting the signed content is detected at verification time.
+        let mut corrupted = bytes;
+        corrupted[40] ^= 0xff;
+        match Credential::from_bytes(&corrupted) {
+            Ok(c) => assert!(c.verify(issuer.public_key()).is_err()),
+            Err(_) => {}
+        }
+    }
+
+    #[test]
+    fn binds_key_detects_mismatched_subject_id() {
+        let (issuer, subject) = identities();
+        // Credential claiming the *issuer's* peer id but carrying the
+        // subject's key: the CBID binding check must fail.
+        let credential = Credential::issue(
+            CredentialRole::Client,
+            "mallory",
+            issuer.peer_id(),
+            subject.public_key().clone(),
+            "admin",
+            u64::MAX,
+            issuer.private_key(),
+        )
+        .unwrap();
+        assert!(!credential.binds_key_to_subject());
+    }
+
+    #[test]
+    fn role_from_u8() {
+        assert_eq!(CredentialRole::from_u8(1), Some(CredentialRole::Administrator));
+        assert_eq!(CredentialRole::from_u8(2), Some(CredentialRole::Broker));
+        assert_eq!(CredentialRole::from_u8(3), Some(CredentialRole::Client));
+        assert_eq!(CredentialRole::from_u8(99), None);
+    }
+}

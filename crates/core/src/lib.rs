@@ -1,0 +1,86 @@
+//! Security-aware JXTA-Overlay primitives.
+//!
+//! This crate is the reproduction of the paper's contribution ("A
+//! Security-aware Approach to JXTA-Overlay Primitives", Arnedo-Moreno,
+//! Matsuo, Barolli, Xhafa — ICPP Workshops 2009): a security extension to the
+//! JXTA-Overlay primitives that adds broker authentication, protected end-user
+//! login, credential distribution through signed advertisements and
+//! private/authenticated peer messaging, while staying transparent to
+//! applications built on the plain primitives.
+//!
+//! # Architecture
+//!
+//! * [`credential`] — broker-issued credentials (`Cred^j_i` in the paper's
+//!   notation): a subject identity plus its public key, signed by an issuer.
+//!   The administrator holds a self-signed credential and acts as trust
+//!   anchor; brokers hold admin-issued credentials; client peers obtain
+//!   theirs from a broker at `secureLogin` time.
+//! * [`identity`] — a peer's cryptographic identity: an RSA key pair, its
+//!   CBID and the CBID-derived peer identifier.
+//! * [`admin`] — the JXTA-Overlay administrator: generates the trust anchor
+//!   and provisions brokers (system setup, §4.1 of the paper).
+//! * [`signed_adv`] — XMLdsig-signed advertisements carrying the owner's
+//!   credential, the "transparent method for authentic key transport".
+//! * [`secure_client`] — the client-side secure primitives:
+//!   `secureConnection`, `secureLogin`, `secureMsgPeer`,
+//!   `secureMsgPeerGroup` (sequential and parallel fan-out).
+//! * [`broker_ext`] — the broker-side counterpart, installed into a plain
+//!   [`jxta_overlay::Broker`] as a [`jxta_overlay::broker::BrokerExtension`].
+//! * [`attacks`] — the adversaries the paper's Section 2.3 worries about
+//!   (eavesdroppers, fake brokers, replay attackers, advertisement forgers),
+//!   implemented against the simulated network so the security claims are
+//!   testable, not just argued.
+//! * [`setup`] — convenience builders assembling a complete secured network
+//!   (used by the examples, the integration tests and the benchmark harness).
+//!
+//! # Example
+//!
+//! ```
+//! use jxta_overlay_secure::setup::SecureNetworkBuilder;
+//!
+//! // One broker, two registered users, deterministic randomness.
+//! let mut setup = SecureNetworkBuilder::new(0xC0FFEE)
+//!     .with_user("alice", "alice-pw", &["demo"])
+//!     .with_user("bob", "bob-pw", &["demo"])
+//!     .build();
+//!
+//! let mut alice = setup.secure_client("alice-laptop");
+//! let mut bob = setup.secure_client("bob-laptop");
+//!
+//! // Secure join: authenticate the broker, then log in over an encrypted,
+//! // replay-protected channel and receive a credential.
+//! alice.secure_connection(setup.broker_id()).unwrap();
+//! alice.secure_login("alice", "alice-pw").unwrap();
+//! bob.secure_connection(setup.broker_id()).unwrap();
+//! bob.secure_login("bob", "bob-pw").unwrap();
+//!
+//! // Publish signed pipe advertisements and exchange a protected message.
+//! let group = jxta_overlay::GroupId::new("demo");
+//! alice.publish_secure_pipe(&group).unwrap();
+//! bob.publish_secure_pipe(&group).unwrap();
+//! alice.secure_msg_peer(&group, bob.id(), "hello, privately").unwrap();
+//! let received = bob.receive_secure_messages().unwrap();
+//! assert_eq!(received[0].text, "hello, privately");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod admin;
+pub mod attacks;
+pub mod broker_ext;
+pub mod credential;
+pub mod identity;
+pub mod secure_client;
+pub mod setup;
+pub mod signed_adv;
+
+pub use admin::Administrator;
+pub use broker_ext::SecureBrokerExtension;
+pub use credential::{Credential, CredentialRole};
+pub use identity::PeerIdentity;
+pub use secure_client::{ReceivedSecureMessage, SecureClient};
+pub use signed_adv::TrustAnchors;
+
+/// Errors are shared with the overlay substrate.
+pub use jxta_overlay::OverlayError;

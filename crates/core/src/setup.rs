@@ -1,0 +1,300 @@
+//! System setup helpers.
+//!
+//! Assembling a secured JXTA-Overlay deployment involves several steps that
+//! the paper's §4.1 describes: the administrator generates its key pair and
+//! self-signed credential, each broker generates a key pair and receives an
+//! admin-issued credential, end users are registered in the central database,
+//! and every client peer is provisioned with a copy of the administrator
+//! credential.  [`SecureNetworkBuilder`] performs all of that and hands out
+//! ready-to-use [`SecureClient`]s and plain [`ClientPeer`]s, which is what
+//! the examples, integration tests and the benchmark harness build on.
+
+use crate::admin::Administrator;
+use crate::broker_ext::SecureBrokerExtension;
+use crate::identity::PeerIdentity;
+use crate::secure_client::SecureClient;
+use jxta_crypto::drbg::HmacDrbg;
+use jxta_overlay::broker::{Broker, BrokerConfig, BrokerHandle};
+use jxta_overlay::client::{ClientConfig, ClientPeer};
+use jxta_overlay::net::LinkModel;
+use jxta_overlay::{GroupId, PeerId, SimNetwork, UserDatabase};
+use rand::RngCore;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Builder for a complete secured JXTA-Overlay deployment.
+pub struct SecureNetworkBuilder {
+    seed: u64,
+    key_bits: usize,
+    link: LinkModel,
+    users: Vec<(String, String, Vec<GroupId>)>,
+    broker_name: String,
+    request_timeout: Duration,
+}
+
+impl SecureNetworkBuilder {
+    /// Starts a builder.  `seed` makes the whole deployment (keys, session
+    /// identifiers, peer identifiers) deterministic.
+    pub fn new(seed: u64) -> Self {
+        SecureNetworkBuilder {
+            seed,
+            key_bits: crate::identity::DEFAULT_KEY_BITS,
+            link: LinkModel::ideal(),
+            users: Vec::new(),
+            broker_name: "broker-1".to_string(),
+            request_timeout: Duration::from_secs(5),
+        }
+    }
+
+    /// Sets the RSA modulus size used by every identity (default 1024 bits).
+    pub fn with_key_bits(mut self, bits: usize) -> Self {
+        self.key_bits = bits;
+        self
+    }
+
+    /// Sets the link model of the simulated network (default: ideal link).
+    pub fn with_link(mut self, link: LinkModel) -> Self {
+        self.link = link;
+        self
+    }
+
+    /// Registers an end user with the given group memberships.
+    pub fn with_user(mut self, username: &str, password: &str, groups: &[&str]) -> Self {
+        self.users.push((
+            username.to_string(),
+            password.to_string(),
+            groups.iter().map(|g| GroupId::new(*g)).collect(),
+        ));
+        self
+    }
+
+    /// Sets the broker's well-known name.
+    pub fn with_broker_name(mut self, name: &str) -> Self {
+        self.broker_name = name.to_string();
+        self
+    }
+
+    /// Sets the request timeout used by the clients this setup creates.
+    pub fn with_request_timeout(mut self, timeout: Duration) -> Self {
+        self.request_timeout = timeout;
+        self
+    }
+
+    /// Performs the system setup and spawns the broker.
+    pub fn build(self) -> SecureNetwork {
+        let mut rng = HmacDrbg::from_seed_u64(self.seed);
+        let network = SimNetwork::new(self.link);
+        let database = Arc::new(UserDatabase::new());
+
+        // Administrator: key pair + self-signed credential + user registry.
+        let admin = Administrator::new(&mut rng, "jxta-overlay-admin", self.key_bits)
+            .expect("administrator key generation");
+        for (username, password, groups) in &self.users {
+            admin.register_user(&mut rng, &database, username, password, groups);
+        }
+
+        // Broker: key pair + admin-issued credential + secure extension.
+        let broker_identity =
+            PeerIdentity::generate(&mut rng, self.key_bits).expect("broker key generation");
+        let broker_credential = admin
+            .issue_broker_credential(
+                &self.broker_name,
+                broker_identity.peer_id(),
+                broker_identity.public_key(),
+                crate::admin::DEFAULT_CREDENTIAL_LIFETIME,
+            )
+            .expect("broker credential issuance");
+        let broker = Broker::new(
+            broker_identity.peer_id(),
+            BrokerConfig {
+                name: self.broker_name.clone(),
+            },
+            Arc::clone(&network),
+            Arc::clone(&database),
+        );
+        let extension = Arc::new(SecureBrokerExtension::new(
+            broker_identity,
+            broker_credential.clone(),
+            crate::admin::DEFAULT_CREDENTIAL_LIFETIME,
+            rng.next_u64(),
+        ));
+        broker.set_extension(extension.clone());
+        let broker_handle = broker.spawn();
+
+        SecureNetwork {
+            network,
+            database,
+            admin,
+            broker_handle,
+            extension,
+            rng,
+            key_bits: self.key_bits,
+            request_timeout: self.request_timeout,
+        }
+    }
+}
+
+/// A running secured deployment: network, central database, administrator and
+/// one broker with the secure extension installed.
+pub struct SecureNetwork {
+    network: Arc<SimNetwork>,
+    database: Arc<UserDatabase>,
+    admin: Administrator,
+    broker_handle: BrokerHandle,
+    extension: Arc<SecureBrokerExtension>,
+    rng: HmacDrbg,
+    key_bits: usize,
+    request_timeout: Duration,
+}
+
+impl SecureNetwork {
+    /// The simulated network.
+    pub fn network(&self) -> &Arc<SimNetwork> {
+        &self.network
+    }
+
+    /// The central user database.
+    pub fn database(&self) -> &Arc<UserDatabase> {
+        &self.database
+    }
+
+    /// The administrator (trust anchor).
+    pub fn admin(&self) -> &Administrator {
+        &self.admin
+    }
+
+    /// The broker's peer identifier (its well-known address).
+    pub fn broker_id(&self) -> PeerId {
+        self.broker_handle.id()
+    }
+
+    /// The running broker.
+    pub fn broker(&self) -> &Arc<Broker> {
+        self.broker_handle.broker()
+    }
+
+    /// The broker-side secure extension (exposes its statistics).
+    pub fn broker_extension(&self) -> &Arc<SecureBrokerExtension> {
+        &self.extension
+    }
+
+    /// The RSA key size used by this deployment's identities.
+    pub fn key_bits(&self) -> usize {
+        self.key_bits
+    }
+
+    fn client_config(&self, nickname: &str) -> ClientConfig {
+        ClientConfig {
+            nickname: nickname.to_string(),
+            request_timeout: self.request_timeout,
+        }
+    }
+
+    /// Creates a plain (insecure) client peer — the baseline of every
+    /// experiment.
+    pub fn plain_client(&mut self, nickname: &str) -> ClientPeer {
+        ClientPeer::with_random_id(
+            Arc::clone(&self.network),
+            self.client_config(nickname),
+            &mut self.rng,
+        )
+    }
+
+    /// Creates a secure client peer: generates its boot-time key pair and
+    /// provisions it with the administrator credential.
+    pub fn secure_client(&mut self, nickname: &str) -> SecureClient {
+        let identity = PeerIdentity::generate(&mut self.rng, self.key_bits)
+            .expect("client key generation");
+        self.secure_client_with_identity(nickname, identity)
+    }
+
+    /// Creates a secure client from an existing identity (used when the same
+    /// key material must be reused across runs).
+    pub fn secure_client_with_identity(
+        &mut self,
+        nickname: &str,
+        identity: PeerIdentity,
+    ) -> SecureClient {
+        SecureClient::new(
+            Arc::clone(&self.network),
+            self.client_config(nickname),
+            identity,
+            self.admin.credential().clone(),
+            self.rng.next_u64(),
+        )
+        .expect("secure client construction")
+    }
+
+    /// Registers an additional end user after construction.
+    pub fn register_user(&mut self, username: &str, password: &str, groups: &[&str]) -> bool {
+        let groups: Vec<GroupId> = groups.iter().map(|g| GroupId::new(*g)).collect();
+        self.admin
+            .register_user(&mut self.rng, &self.database, username, password, &groups)
+    }
+
+    /// Shuts the broker down (otherwise done on drop).
+    pub fn shutdown(self) {
+        self.broker_handle.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assembles_a_working_deployment() {
+        let mut setup = SecureNetworkBuilder::new(1)
+            .with_key_bits(512)
+            .with_user("alice", "pw", &["g1", "g2"])
+            .with_broker_name("fit-broker")
+            .build();
+        assert_eq!(setup.key_bits(), 512);
+        assert!(setup.database().verify("alice", "pw"));
+        assert!(setup.network().is_registered(&setup.broker_id()));
+        assert_eq!(setup.broker().config().name, "fit-broker");
+
+        // The broker credential chains to the admin.
+        setup
+            .broker_extension()
+            .credential()
+            .verify(setup.admin().public_key())
+            .unwrap();
+
+        // Secure and plain clients can be created and used.
+        let mut secure = setup.secure_client("laptop");
+        secure.secure_join(setup.broker_id(), "alice", "pw").unwrap();
+        let mut plain = setup.plain_client("old-laptop");
+        plain.connect(setup.broker_id()).unwrap();
+        plain.login("alice", "pw").unwrap();
+        setup.shutdown();
+    }
+
+    #[test]
+    fn register_user_after_build() {
+        let mut setup = SecureNetworkBuilder::new(2).with_key_bits(512).build();
+        assert!(setup.register_user("late", "pw", &["g"]));
+        assert!(!setup.register_user("late", "pw", &["g"]));
+        let mut client = setup.secure_client("late-laptop");
+        client.secure_join(setup.broker_id(), "late", "pw").unwrap();
+        assert_eq!(client.inner().groups(), vec![GroupId::new("g")]);
+    }
+
+    #[test]
+    fn deployments_with_same_seed_have_same_broker_identity() {
+        let a = SecureNetworkBuilder::new(42).with_key_bits(512).build();
+        let b = SecureNetworkBuilder::new(42).with_key_bits(512).build();
+        assert_eq!(a.broker_id(), b.broker_id());
+        let c = SecureNetworkBuilder::new(43).with_key_bits(512).build();
+        assert_ne!(a.broker_id(), c.broker_id());
+    }
+
+    #[test]
+    fn link_model_is_applied() {
+        let setup = SecureNetworkBuilder::new(3)
+            .with_key_bits(512)
+            .with_link(LinkModel::lan())
+            .build();
+        assert_eq!(setup.network().link(), LinkModel::lan());
+    }
+}

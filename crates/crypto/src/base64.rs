@@ -1,0 +1,175 @@
+//! Base64 encoding and decoding (RFC 3548 / RFC 4648, standard alphabet with
+//! padding).
+//!
+//! JXTA's own "signed advertisements" wrap the original advertisement as a
+//! Base64 blob; our XMLdsig-style signatures also carry signature values and
+//! credentials as Base64 text nodes inside XML documents.
+
+/// Error returned when decoding malformed Base64 input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Base64Error {
+    /// The input length is not a multiple of four.
+    InvalidLength(usize),
+    /// A character outside the Base64 alphabet was found.
+    InvalidCharacter(char),
+    /// Padding characters appear in an illegal position.
+    InvalidPadding,
+}
+
+impl std::fmt::Display for Base64Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Base64Error::InvalidLength(n) => {
+                write!(f, "base64 input length {n} is not a multiple of 4")
+            }
+            Base64Error::InvalidCharacter(c) => write!(f, "invalid base64 character {c:?}"),
+            Base64Error::InvalidPadding => write!(f, "invalid base64 padding"),
+        }
+    }
+}
+
+impl std::error::Error for Base64Error {}
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes `data` as standard Base64 with padding.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b0 = chunk[0] as u32;
+        let b1 = chunk.get(1).copied().unwrap_or(0) as u32;
+        let b2 = chunk.get(2).copied().unwrap_or(0) as u32;
+        let triple = (b0 << 16) | (b1 << 8) | b2;
+        out.push(ALPHABET[(triple >> 18) as usize & 0x3f] as char);
+        out.push(ALPHABET[(triple >> 12) as usize & 0x3f] as char);
+        if chunk.len() > 1 {
+            out.push(ALPHABET[(triple >> 6) as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+        if chunk.len() > 2 {
+            out.push(ALPHABET[triple as usize & 0x3f] as char);
+        } else {
+            out.push('=');
+        }
+    }
+    out
+}
+
+fn decode_char(c: u8) -> Option<u8> {
+    match c {
+        b'A'..=b'Z' => Some(c - b'A'),
+        b'a'..=b'z' => Some(c - b'a' + 26),
+        b'0'..=b'9' => Some(c - b'0' + 52),
+        b'+' => Some(62),
+        b'/' => Some(63),
+        _ => None,
+    }
+}
+
+/// Decodes standard Base64 (padding required, ASCII whitespace ignored).
+pub fn decode(input: &str) -> Result<Vec<u8>, Base64Error> {
+    let filtered: Vec<u8> = input
+        .bytes()
+        .filter(|b| !b.is_ascii_whitespace())
+        .collect();
+    if filtered.len() % 4 != 0 {
+        return Err(Base64Error::InvalidLength(filtered.len()));
+    }
+    let mut out = Vec::with_capacity(filtered.len() / 4 * 3);
+    for (chunk_idx, chunk) in filtered.chunks(4).enumerate() {
+        let is_last = (chunk_idx + 1) * 4 == filtered.len();
+        let pad = chunk.iter().filter(|&&c| c == b'=').count();
+        if pad > 2 || (pad > 0 && !is_last) {
+            return Err(Base64Error::InvalidPadding);
+        }
+        // Padding may only appear at the tail of the chunk.
+        if (chunk[0] == b'=' || chunk[1] == b'=') || (chunk[2] == b'=' && chunk[3] != b'=') {
+            return Err(Base64Error::InvalidPadding);
+        }
+        let mut vals = [0u8; 4];
+        for (i, &c) in chunk.iter().enumerate() {
+            if c == b'=' {
+                vals[i] = 0;
+            } else {
+                vals[i] =
+                    decode_char(c).ok_or(Base64Error::InvalidCharacter(c as char))?;
+            }
+        }
+        let triple = ((vals[0] as u32) << 18)
+            | ((vals[1] as u32) << 12)
+            | ((vals[2] as u32) << 6)
+            | vals[3] as u32;
+        out.push((triple >> 16) as u8);
+        if pad < 2 {
+            out.push((triple >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(triple as u8);
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // RFC 4648 §10 test vectors.
+    #[test]
+    fn rfc4648_vectors() {
+        let cases: [(&[u8], &str); 7] = [
+            (b"", ""),
+            (b"f", "Zg=="),
+            (b"fo", "Zm8="),
+            (b"foo", "Zm9v"),
+            (b"foob", "Zm9vYg=="),
+            (b"fooba", "Zm9vYmE="),
+            (b"foobar", "Zm9vYmFy"),
+        ];
+        for (raw, encoded) in cases {
+            assert_eq!(encode(raw), encoded);
+            assert_eq!(decode(encoded).unwrap(), raw);
+        }
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+
+    #[test]
+    fn whitespace_is_ignored() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("  Zm9v YmFy \t").unwrap(), b"foobar");
+    }
+
+    #[test]
+    fn invalid_length_rejected() {
+        assert_eq!(decode("Zm9vY"), Err(Base64Error::InvalidLength(5)));
+    }
+
+    #[test]
+    fn invalid_character_rejected() {
+        assert_eq!(decode("Zm9*"), Err(Base64Error::InvalidCharacter('*')));
+    }
+
+    #[test]
+    fn invalid_padding_rejected() {
+        // Padding in the middle of the input.
+        assert_eq!(decode("Zg==Zm9v"), Err(Base64Error::InvalidPadding));
+        // Triple padding.
+        assert_eq!(decode("Z==="), Err(Base64Error::InvalidPadding));
+        // Padding before a non-padding character.
+        assert_eq!(decode("Zm=v"), Err(Base64Error::InvalidPadding));
+    }
+
+    #[test]
+    fn long_input_roundtrip() {
+        let data: Vec<u8> = (0..10_000).map(|i| (i * 37 % 256) as u8).collect();
+        let enc = encode(&data);
+        assert_eq!(enc.len(), data.len().div_ceil(3) * 4);
+        assert_eq!(decode(&enc).unwrap(), data);
+    }
+}

@@ -1,0 +1,146 @@
+//! Crypto-Based IDentifiers (CBIDs).
+//!
+//! A CBID is a peer identifier derived from the hash of the peer's public
+//! key (Montenegro & Castelluccia, reference \[20\] of the paper).  Because
+//! the identifier commits to the key, any peer can check that a public key
+//! found inside a signed advertisement or credential really belongs to the
+//! peer identifier that claims it — no extra key-distribution protocol is
+//! needed.  This property is what the paper's `secureLogin` step 7 ("checks
+//! key authenticity against the claimed client peer identifier") relies on.
+
+use crate::rsa::RsaPublicKey;
+use crate::sha2::{hex_encode, sha256};
+
+/// Length of a CBID in bytes (SHA-256 output).
+pub const CBID_LEN: usize = 32;
+
+/// A crypto-based identifier: the SHA-256 digest of a public key encoding.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Cbid([u8; CBID_LEN]);
+
+impl Cbid {
+    /// Derives the CBID of an RSA public key.
+    pub fn from_public_key(key: &RsaPublicKey) -> Self {
+        Cbid(sha256(&key.to_bytes()))
+    }
+
+    /// Builds a CBID from raw bytes (e.g. parsed from an advertisement).
+    pub fn from_bytes(bytes: [u8; CBID_LEN]) -> Self {
+        Cbid(bytes)
+    }
+
+    /// Parses the `urn:jxta:cbid:<hex>` form produced by [`Cbid::to_urn`].
+    pub fn from_urn(urn: &str) -> Option<Self> {
+        let hex = urn.strip_prefix("urn:jxta:cbid:")?;
+        if hex.len() != CBID_LEN * 2 {
+            return None;
+        }
+        let mut bytes = [0u8; CBID_LEN];
+        for (i, chunk) in hex.as_bytes().chunks_exact(2).enumerate() {
+            let s = std::str::from_utf8(chunk).ok()?;
+            bytes[i] = u8::from_str_radix(s, 16).ok()?;
+        }
+        Some(Cbid(bytes))
+    }
+
+    /// The raw identifier bytes.
+    pub fn as_bytes(&self) -> &[u8; CBID_LEN] {
+        &self.0
+    }
+
+    /// Formats the identifier as a JXTA-style URN.
+    pub fn to_urn(&self) -> String {
+        format!("urn:jxta:cbid:{}", hex_encode(&self.0))
+    }
+
+    /// Checks that `key` is the public key this identifier was derived from.
+    ///
+    /// This is the key-authenticity check of the paper's `secureLogin`
+    /// (step 7) and of signed-advertisement validation.
+    pub fn matches_key(&self, key: &RsaPublicKey) -> bool {
+        Cbid::from_public_key(key) == *self
+    }
+
+    /// A short human-readable prefix used in logs and peer names.
+    pub fn short(&self) -> String {
+        hex_encode(&self.0[..4])
+    }
+}
+
+impl std::fmt::Debug for Cbid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Cbid({}…)", self.short())
+    }
+}
+
+impl std::fmt::Display for Cbid {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.to_urn())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::HmacDrbg;
+    use crate::rsa::RsaKeyPair;
+
+    fn keypair(seed: u64) -> RsaKeyPair {
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        RsaKeyPair::generate(&mut rng, 512).unwrap()
+    }
+
+    #[test]
+    fn cbid_is_deterministic_for_a_key() {
+        let kp = keypair(1);
+        assert_eq!(Cbid::from_public_key(&kp.public), Cbid::from_public_key(&kp.public));
+    }
+
+    #[test]
+    fn different_keys_have_different_cbids() {
+        let a = keypair(1);
+        let b = keypair(2);
+        assert_ne!(Cbid::from_public_key(&a.public), Cbid::from_public_key(&b.public));
+    }
+
+    #[test]
+    fn matches_key_detects_substitution() {
+        let a = keypair(1);
+        let b = keypair(2);
+        let id = Cbid::from_public_key(&a.public);
+        assert!(id.matches_key(&a.public));
+        assert!(!id.matches_key(&b.public));
+    }
+
+    #[test]
+    fn urn_roundtrip() {
+        let kp = keypair(3);
+        let id = Cbid::from_public_key(&kp.public);
+        let urn = id.to_urn();
+        assert!(urn.starts_with("urn:jxta:cbid:"));
+        assert_eq!(Cbid::from_urn(&urn), Some(id));
+    }
+
+    #[test]
+    fn urn_parsing_rejects_malformed_input() {
+        assert_eq!(Cbid::from_urn("urn:jxta:cbid:zz"), None);
+        assert_eq!(Cbid::from_urn("urn:other:cbid:00"), None);
+        assert_eq!(Cbid::from_urn(""), None);
+        let bad_hex = format!("urn:jxta:cbid:{}", "zz".repeat(CBID_LEN));
+        assert_eq!(Cbid::from_urn(&bad_hex), None);
+    }
+
+    #[test]
+    fn display_and_debug_are_compact() {
+        let id = Cbid::from_bytes([0xab; CBID_LEN]);
+        assert!(format!("{id}").contains("abab"));
+        assert!(format!("{id:?}").starts_with("Cbid("));
+        assert_eq!(id.short().len(), 8);
+    }
+
+    #[test]
+    fn raw_byte_roundtrip() {
+        let bytes = [7u8; CBID_LEN];
+        assert_eq!(Cbid::from_bytes(bytes).as_bytes(), &bytes);
+    }
+}

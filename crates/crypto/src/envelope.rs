@@ -1,0 +1,301 @@
+//! Hybrid wrapped-key encryption — the `E_PK(x)` operation of the paper.
+//!
+//! The paper encrypts login requests and secure messages "using the public
+//! key of peer *i* by means of a wrapped key encryption scheme (such as the
+//! one defined in PKCS#1)".  This module implements exactly that hybrid
+//! scheme:
+//!
+//! 1. A fresh 32-byte content-encryption secret is generated.
+//! 2. The payload is encrypted with AES-256-CTR under a key derived from the
+//!    secret.
+//! 3. An HMAC-SHA-256 tag over the ciphertext (under a second derived key)
+//!    provides integrity, so corrupted or truncated envelopes are rejected
+//!    before any higher-level processing.
+//! 4. The secret itself is wrapped under the recipient's RSA public key
+//!    with RSAES-PKCS1-v1_5 — the "wrapped key encryption scheme (such as
+//!    the one defined in PKCS#1)" the paper cites.
+//!
+//! The resulting [`Envelope`] serialises to a compact length-prefixed binary
+//! layout, which is what travels inside JXTA-Overlay messages.
+
+use crate::aes::{ctr_process, Aes, BLOCK_LEN};
+use crate::error::CryptoError;
+use crate::hmac::{constant_time_eq, hmac_sha256};
+use crate::rsa::{RsaPrivateKey, RsaPublicKey};
+use crate::sha2::Sha256;
+use rand::RngCore;
+
+/// Size of the content-encryption secret wrapped by RSA.
+pub const SECRET_LEN: usize = 32;
+
+/// A sealed wrapped-key envelope.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope {
+    /// RSA (PKCS#1 v1.5) wrapping of the content-encryption secret.
+    wrapped_key: Vec<u8>,
+    /// CTR nonce used for the payload.
+    nonce: [u8; BLOCK_LEN],
+    /// AES-256-CTR encrypted payload.
+    ciphertext: Vec<u8>,
+    /// HMAC-SHA-256 over nonce and ciphertext.
+    mac: [u8; 32],
+}
+
+/// Derives the AES key and the MAC key from the wrapped secret.
+fn derive_keys(secret: &[u8]) -> ([u8; 32], [u8; 32]) {
+    let mut enc = Sha256::new();
+    enc.update(b"jxta-overlay-envelope-enc");
+    enc.update(secret);
+    let mut mac = Sha256::new();
+    mac.update(b"jxta-overlay-envelope-mac");
+    mac.update(secret);
+    (enc.finalize(), mac.finalize())
+}
+
+/// Seals `plaintext` for the holder of `recipient`'s private key.
+///
+/// Works with any RSA key of at least 512 bits (PKCS#1 v1.5 wrapping needs
+/// `modulus_len >= 11 + 32` bytes for the 32-byte secret).
+pub fn seal_envelope<R: RngCore + ?Sized>(
+    rng: &mut R,
+    recipient: &RsaPublicKey,
+    plaintext: &[u8],
+) -> Result<Envelope, CryptoError> {
+    let mut secret = [0u8; SECRET_LEN];
+    rng.fill_bytes(&mut secret);
+    let mut nonce = [0u8; BLOCK_LEN];
+    rng.fill_bytes(&mut nonce);
+
+    let (enc_key, mac_key) = derive_keys(&secret);
+    let aes = Aes::new(&enc_key)?;
+    let mut ciphertext = plaintext.to_vec();
+    ctr_process(&aes, &nonce, &mut ciphertext);
+
+    let mut mac_input = Vec::with_capacity(BLOCK_LEN + ciphertext.len());
+    mac_input.extend_from_slice(&nonce);
+    mac_input.extend_from_slice(&ciphertext);
+    let mac = hmac_sha256(&mac_key, &mac_input);
+
+    let wrapped_key = recipient.encrypt_pkcs1_v15(rng, &secret)?;
+
+    Ok(Envelope {
+        wrapped_key,
+        nonce,
+        ciphertext,
+        mac,
+    })
+}
+
+/// Opens an envelope with the recipient's private key, verifying integrity.
+pub fn open_envelope(recipient: &RsaPrivateKey, envelope: &Envelope) -> Result<Vec<u8>, CryptoError> {
+    let secret = recipient.decrypt_pkcs1_v15(&envelope.wrapped_key)?;
+    if secret.len() != SECRET_LEN {
+        return Err(CryptoError::Malformed("envelope secret length".into()));
+    }
+    let (enc_key, mac_key) = derive_keys(&secret);
+
+    let mut mac_input = Vec::with_capacity(BLOCK_LEN + envelope.ciphertext.len());
+    mac_input.extend_from_slice(&envelope.nonce);
+    mac_input.extend_from_slice(&envelope.ciphertext);
+    let expected_mac = hmac_sha256(&mac_key, &mac_input);
+    if !constant_time_eq(&expected_mac, &envelope.mac) {
+        return Err(CryptoError::MacMismatch);
+    }
+
+    let aes = Aes::new(&enc_key)?;
+    let mut plaintext = envelope.ciphertext.clone();
+    ctr_process(&aes, &envelope.nonce, &mut plaintext);
+    Ok(plaintext)
+}
+
+impl Envelope {
+    /// Length in bytes of the serialised envelope.
+    pub fn serialized_len(&self) -> usize {
+        4 + 4 + self.wrapped_key.len() + BLOCK_LEN + 4 + self.ciphertext.len() + 32
+    }
+
+    /// Length of the encrypted payload.
+    pub fn ciphertext_len(&self) -> usize {
+        self.ciphertext.len()
+    }
+
+    /// Serialises the envelope: magic `"JXEV"`, wrapped-key length + bytes,
+    /// nonce, ciphertext length + bytes, MAC.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.serialized_len());
+        out.extend_from_slice(b"JXEV");
+        out.extend_from_slice(&(self.wrapped_key.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.wrapped_key);
+        out.extend_from_slice(&self.nonce);
+        out.extend_from_slice(&(self.ciphertext.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.ciphertext);
+        out.extend_from_slice(&self.mac);
+        out
+    }
+
+    /// Parses an envelope serialised with [`Envelope::to_bytes`].
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let err = |what: &str| CryptoError::Malformed(format!("envelope: {what}"));
+        if bytes.len() < 8 || &bytes[..4] != b"JXEV" {
+            return Err(err("missing JXEV header"));
+        }
+        let mut offset = 4usize;
+
+        let need = |offset: usize, n: usize| -> Result<(), CryptoError> {
+            if bytes.len() < offset + n {
+                Err(err("truncated"))
+            } else {
+                Ok(())
+            }
+        };
+
+        need(offset, 4)?;
+        let wk_len = u32::from_be_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        offset += 4;
+        need(offset, wk_len)?;
+        let wrapped_key = bytes[offset..offset + wk_len].to_vec();
+        offset += wk_len;
+
+        need(offset, BLOCK_LEN)?;
+        let mut nonce = [0u8; BLOCK_LEN];
+        nonce.copy_from_slice(&bytes[offset..offset + BLOCK_LEN]);
+        offset += BLOCK_LEN;
+
+        need(offset, 4)?;
+        let ct_len = u32::from_be_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        offset += 4;
+        need(offset, ct_len)?;
+        let ciphertext = bytes[offset..offset + ct_len].to_vec();
+        offset += ct_len;
+
+        need(offset, 32)?;
+        let mut mac = [0u8; 32];
+        mac.copy_from_slice(&bytes[offset..offset + 32]);
+        offset += 32;
+
+        if offset != bytes.len() {
+            return Err(err("trailing bytes"));
+        }
+        Ok(Envelope {
+            wrapped_key,
+            nonce,
+            ciphertext,
+            mac,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::HmacDrbg;
+    use crate::rsa::RsaKeyPair;
+
+    fn keypair(seed: u64) -> RsaKeyPair {
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        RsaKeyPair::generate(&mut rng, 1024).unwrap()
+    }
+
+    #[test]
+    fn seal_open_roundtrip() {
+        let kp = keypair(1);
+        let mut rng = HmacDrbg::from_seed_u64(42);
+        for len in [0usize, 1, 100, 4096] {
+            let msg: Vec<u8> = (0..len).map(|i| (i % 251) as u8).collect();
+            let env = seal_envelope(&mut rng, &kp.public, &msg).unwrap();
+            assert_eq!(open_envelope(&kp.private, &env).unwrap(), msg, "len {len}");
+        }
+    }
+
+    #[test]
+    fn ciphertext_is_not_plaintext() {
+        let kp = keypair(1);
+        let mut rng = HmacDrbg::from_seed_u64(42);
+        let msg = vec![0x55u8; 256];
+        let env = seal_envelope(&mut rng, &kp.public, &msg).unwrap();
+        assert_ne!(env.ciphertext, msg);
+        assert_eq!(env.ciphertext_len(), msg.len());
+    }
+
+    #[test]
+    fn wrong_recipient_cannot_open() {
+        let kp1 = keypair(1);
+        let kp2 = keypair(2);
+        let mut rng = HmacDrbg::from_seed_u64(42);
+        let env = seal_envelope(&mut rng, &kp1.public, b"for peer one only").unwrap();
+        assert!(open_envelope(&kp2.private, &env).is_err());
+    }
+
+    #[test]
+    fn tampered_ciphertext_is_detected() {
+        let kp = keypair(1);
+        let mut rng = HmacDrbg::from_seed_u64(42);
+        let mut env = seal_envelope(&mut rng, &kp.public, b"integrity matters").unwrap();
+        env.ciphertext[3] ^= 0x80;
+        assert_eq!(open_envelope(&kp.private, &env), Err(CryptoError::MacMismatch));
+    }
+
+    #[test]
+    fn tampered_nonce_is_detected() {
+        let kp = keypair(1);
+        let mut rng = HmacDrbg::from_seed_u64(42);
+        let mut env = seal_envelope(&mut rng, &kp.public, b"integrity matters").unwrap();
+        env.nonce[0] ^= 1;
+        assert_eq!(open_envelope(&kp.private, &env), Err(CryptoError::MacMismatch));
+    }
+
+    #[test]
+    fn tampered_wrapped_key_is_detected() {
+        let kp = keypair(1);
+        let mut rng = HmacDrbg::from_seed_u64(42);
+        let mut env = seal_envelope(&mut rng, &kp.public, b"integrity matters").unwrap();
+        env.wrapped_key[10] ^= 0xff;
+        assert!(open_envelope(&kp.private, &env).is_err());
+    }
+
+    #[test]
+    fn sealing_is_randomised() {
+        let kp = keypair(1);
+        let mut rng = HmacDrbg::from_seed_u64(42);
+        let a = seal_envelope(&mut rng, &kp.public, b"same message").unwrap();
+        let b = seal_envelope(&mut rng, &kp.public, b"same message").unwrap();
+        assert_ne!(a.ciphertext, b.ciphertext);
+        assert_ne!(a.wrapped_key, b.wrapped_key);
+    }
+
+    #[test]
+    fn serialisation_roundtrip() {
+        let kp = keypair(1);
+        let mut rng = HmacDrbg::from_seed_u64(42);
+        let env = seal_envelope(&mut rng, &kp.public, b"serialise me").unwrap();
+        let bytes = env.to_bytes();
+        assert_eq!(bytes.len(), env.serialized_len());
+        let parsed = Envelope::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, env);
+        assert_eq!(open_envelope(&kp.private, &parsed).unwrap(), b"serialise me");
+    }
+
+    #[test]
+    fn deserialisation_rejects_garbage() {
+        assert!(Envelope::from_bytes(b"").is_err());
+        assert!(Envelope::from_bytes(b"JXEV").is_err());
+        assert!(Envelope::from_bytes(b"NOPE\x00\x00\x00\x01").is_err());
+        let kp = keypair(1);
+        let mut rng = HmacDrbg::from_seed_u64(42);
+        let env = seal_envelope(&mut rng, &kp.public, b"x").unwrap();
+        let mut bytes = env.to_bytes();
+        bytes.truncate(bytes.len() - 5);
+        assert!(Envelope::from_bytes(&bytes).is_err());
+        let mut bytes = env.to_bytes();
+        bytes.push(0);
+        assert!(Envelope::from_bytes(&bytes).is_err());
+    }
+
+    #[test]
+    fn key_derivation_separates_enc_and_mac_keys() {
+        let (enc, mac) = derive_keys(&[1u8; 32]);
+        assert_ne!(enc, mac);
+        let (enc2, _) = derive_keys(&[2u8; 32]);
+        assert_ne!(enc, enc2);
+    }
+}

@@ -1,0 +1,120 @@
+//! Error type shared by the higher-level cryptographic operations.
+
+use crate::aes::AesError;
+use crate::base64::Base64Error;
+
+/// Errors produced by RSA, envelope and credential-level operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// The message is too long for the chosen RSA padding mode and key size.
+    MessageTooLong {
+        /// Length of the message that was supplied.
+        message_len: usize,
+        /// Maximum length supported by the key/padding combination.
+        max_len: usize,
+    },
+    /// An RSA ciphertext or signature does not match the key's modulus size.
+    InvalidCiphertextLength {
+        /// Length that was supplied.
+        found: usize,
+        /// Length required by the key.
+        expected: usize,
+    },
+    /// Decryption succeeded arithmetically but the padding is malformed
+    /// (wrong key, corrupted ciphertext or forged message).
+    InvalidPadding,
+    /// A signature failed to verify.
+    SignatureMismatch,
+    /// A serialised key, envelope or credential could not be parsed.
+    Malformed(String),
+    /// The symmetric layer of an envelope failed (AES/CBC errors).
+    Symmetric(AesError),
+    /// The integrity tag of an envelope did not verify.
+    MacMismatch,
+    /// Base64 decoding failed while parsing an encoded structure.
+    Base64(Base64Error),
+    /// A key is too small for the requested operation.
+    KeyTooSmall {
+        /// Modulus size in bits.
+        bits: usize,
+        /// Minimum modulus size in bits required by the operation.
+        required_bits: usize,
+    },
+}
+
+impl std::fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CryptoError::MessageTooLong { message_len, max_len } => write!(
+                f,
+                "message of {message_len} bytes exceeds the maximum of {max_len} bytes for this key"
+            ),
+            CryptoError::InvalidCiphertextLength { found, expected } => write!(
+                f,
+                "ciphertext/signature length {found} does not match the key's modulus length {expected}"
+            ),
+            CryptoError::InvalidPadding => write!(f, "invalid padding after RSA decryption"),
+            CryptoError::SignatureMismatch => write!(f, "signature verification failed"),
+            CryptoError::Malformed(what) => write!(f, "malformed structure: {what}"),
+            CryptoError::Symmetric(e) => write!(f, "symmetric cipher error: {e}"),
+            CryptoError::MacMismatch => write!(f, "envelope MAC verification failed"),
+            CryptoError::Base64(e) => write!(f, "base64 error: {e}"),
+            CryptoError::KeyTooSmall { bits, required_bits } => write!(
+                f,
+                "RSA key of {bits} bits is too small; at least {required_bits} bits are required"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+impl From<AesError> for CryptoError {
+    fn from(e: AesError) -> Self {
+        CryptoError::Symmetric(e)
+    }
+}
+
+impl From<Base64Error> for CryptoError {
+    fn from(e: Base64Error) -> Self {
+        CryptoError::Base64(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let cases: Vec<(CryptoError, &str)> = vec![
+            (
+                CryptoError::MessageTooLong { message_len: 100, max_len: 53 },
+                "exceeds",
+            ),
+            (
+                CryptoError::InvalidCiphertextLength { found: 10, expected: 128 },
+                "modulus length",
+            ),
+            (CryptoError::InvalidPadding, "padding"),
+            (CryptoError::SignatureMismatch, "verification failed"),
+            (CryptoError::Malformed("credential".into()), "credential"),
+            (CryptoError::MacMismatch, "MAC"),
+            (
+                CryptoError::KeyTooSmall { bits: 256, required_bits: 512 },
+                "too small",
+            ),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn conversions_from_sublayer_errors() {
+        let e: CryptoError = AesError::InvalidPadding.into();
+        assert!(matches!(e, CryptoError::Symmetric(_)));
+        let e: CryptoError = Base64Error::InvalidLength(3).into();
+        assert!(matches!(e, CryptoError::Base64(_)));
+    }
+}

@@ -1,0 +1,152 @@
+//! HMAC keyed message authentication codes (RFC 2104 / FIPS 198-1).
+//!
+//! The JXTA TLS transport the paper references uses a keyed MAC for message
+//! integrity; here HMAC-SHA-256 authenticates the symmetric part of the
+//! wrapped-key [`envelope`](crate::envelope) so that tampering with a secure
+//! message is detected before signature verification is even attempted.
+
+use crate::sha2::{Sha256, Sha512, SHA256_BLOCK_LEN, SHA256_OUTPUT_LEN, SHA512_BLOCK_LEN, SHA512_OUTPUT_LEN};
+
+/// Computes `HMAC-SHA256(key, message)`.
+pub fn hmac_sha256(key: &[u8], message: &[u8]) -> [u8; SHA256_OUTPUT_LEN] {
+    // Keys longer than the block size are hashed first.
+    let mut key_block = [0u8; SHA256_BLOCK_LEN];
+    if key.len() > SHA256_BLOCK_LEN {
+        let digest = crate::sha2::sha256(key);
+        key_block[..digest.len()].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; SHA256_BLOCK_LEN];
+    let mut opad = [0x5cu8; SHA256_BLOCK_LEN];
+    for i in 0..SHA256_BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha256::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha256::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Computes `HMAC-SHA512(key, message)`.
+pub fn hmac_sha512(key: &[u8], message: &[u8]) -> [u8; SHA512_OUTPUT_LEN] {
+    let mut key_block = [0u8; SHA512_BLOCK_LEN];
+    if key.len() > SHA512_BLOCK_LEN {
+        let digest = crate::sha2::sha512(key);
+        key_block[..digest.len()].copy_from_slice(&digest);
+    } else {
+        key_block[..key.len()].copy_from_slice(key);
+    }
+
+    let mut ipad = [0x36u8; SHA512_BLOCK_LEN];
+    let mut opad = [0x5cu8; SHA512_BLOCK_LEN];
+    for i in 0..SHA512_BLOCK_LEN {
+        ipad[i] ^= key_block[i];
+        opad[i] ^= key_block[i];
+    }
+
+    let mut inner = Sha512::new();
+    inner.update(&ipad);
+    inner.update(message);
+    let inner_digest = inner.finalize();
+
+    let mut outer = Sha512::new();
+    outer.update(&opad);
+    outer.update(&inner_digest);
+    outer.finalize()
+}
+
+/// Constant-time equality comparison for MACs and other secret-dependent
+/// byte strings.  Returns `false` for mismatched lengths.
+pub fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut diff = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        diff |= x ^ y;
+    }
+    diff == 0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sha2::hex_encode;
+
+    // RFC 4231 test vectors.
+
+    #[test]
+    fn rfc4231_case_1() {
+        let key = [0x0bu8; 20];
+        let data = b"Hi There";
+        assert_eq!(
+            hex_encode(&hmac_sha256(&key, data)),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7"
+        );
+        assert_eq!(
+            hex_encode(&hmac_sha512(&key, data)),
+            "87aa7cdea5ef619d4ff0b4241a1d6cb02379f4e2ce4ec2787ad0b30545e17cde\
+             daa833b7d6b8a702038b274eaea3f4e4be9d914eeb61f1702e696c203a126854"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_2_short_key() {
+        let key = b"Jefe";
+        let data = b"what do ya want for nothing?";
+        assert_eq!(
+            hex_encode(&hmac_sha256(key, data)),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_3_repeated_bytes() {
+        let key = [0xaau8; 20];
+        let data = [0xddu8; 50];
+        assert_eq!(
+            hex_encode(&hmac_sha256(&key, &data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe"
+        );
+    }
+
+    #[test]
+    fn rfc4231_case_6_long_key() {
+        // Key longer than the block size must be hashed first.
+        let key = [0xaau8; 131];
+        let data = b"Test Using Larger Than Block-Size Key - Hash Key First";
+        assert_eq!(
+            hex_encode(&hmac_sha256(&key, data)),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54"
+        );
+    }
+
+    #[test]
+    fn different_keys_give_different_macs() {
+        let m = b"message";
+        assert_ne!(hmac_sha256(b"key-1", m), hmac_sha256(b"key-2", m));
+    }
+
+    #[test]
+    fn different_messages_give_different_macs() {
+        let k = b"key";
+        assert_ne!(hmac_sha256(k, b"message-1"), hmac_sha256(k, b"message-2"));
+    }
+
+    #[test]
+    fn constant_time_eq_behaviour() {
+        assert!(constant_time_eq(b"abc", b"abc"));
+        assert!(!constant_time_eq(b"abc", b"abd"));
+        assert!(!constant_time_eq(b"abc", b"abcd"));
+        assert!(constant_time_eq(b"", b""));
+    }
+}

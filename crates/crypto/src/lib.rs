@@ -1,0 +1,53 @@
+//! From-scratch cryptographic primitives for the JXTA-Overlay security stack.
+//!
+//! The paper's security extension ("A Security-aware Approach to JXTA-Overlay
+//! Primitives", ICPP Workshops 2009) relies on the Java Cryptographic
+//! Extension for its building blocks.  This crate provides the equivalent
+//! primitives implemented from scratch on top of [`jxta_bigint`]:
+//!
+//! * [`sha2`] — SHA-256 and SHA-512 message digests.
+//! * [`hmac`] — HMAC keyed message authentication (RFC 2104), used for
+//!   integrity of symmetric envelopes.
+//! * [`aes`] — the AES-128/256 block cipher with CTR and CBC/PKCS#7 modes,
+//!   used as the data-encapsulation half of wrapped-key encryption.
+//! * [`base64`] — RFC 3548/4648 Base64, used when embedding binary values in
+//!   XML advertisements.
+//! * [`drbg`] — a deterministic HMAC-DRBG (NIST SP 800-90A style) random bit
+//!   generator; every randomised operation takes an explicit RNG so tests and
+//!   experiments are reproducible.
+//! * [`rsa`] — RSA key generation, PKCS#1 v1.5 signatures, and both
+//!   PKCS#1 v1.5 and OAEP encryption.
+//! * [`envelope`] — the hybrid *wrapped-key* encryption scheme
+//!   (`E_PK(x)` in the paper's notation): an ephemeral AES-256 key encrypts
+//!   the payload, the AES key is wrapped under the recipient's RSA public
+//!   key, and an HMAC binds the pieces together.
+//! * [`cbid`] — Crypto-Based IDentifiers: peer identifiers derived from the
+//!   hash of a public key, which is what makes advertisement-based credential
+//!   distribution self-certifying.
+//!
+//! All implementations are pure safe Rust, avoid allocation in their inner
+//! loops, and are covered by unit tests with published test vectors plus
+//! property-based round-trip tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod base64;
+pub mod cbid;
+pub mod drbg;
+pub mod envelope;
+pub mod error;
+pub mod hmac;
+pub mod rsa;
+pub mod sha2;
+
+pub use cbid::Cbid;
+pub use drbg::HmacDrbg;
+pub use envelope::{open_envelope, seal_envelope, Envelope};
+pub use error::CryptoError;
+pub use rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
+pub use sha2::{sha256, sha512, Sha256, Sha512};
+
+#[cfg(test)]
+mod proptests;

@@ -1,0 +1,521 @@
+//! JXTA-Overlay advertisements.
+//!
+//! "Peer information is propagated across group members by brokers … such
+//! information is formatted as JXTA advertisements, metadata documents
+//! codified using XML" (paper, §2.2).  Each client peer periodically
+//! broadcasts a set of advertisements for every group it belongs to: its
+//! input-pipe location, the files it shares, statistics and presence.
+//!
+//! Every advertisement type converts to and from a [`jxta_xmldoc::Element`];
+//! the conversion deliberately ignores unknown children, so an enveloped
+//! `<Signature>` element added by the security extension does not interfere
+//! with ordinary processing — that is precisely the paper's argument for
+//! XMLdsig-style signed advertisements over JXTA's Base64-wrapping ones.
+
+use crate::error::OverlayError;
+use crate::group::GroupId;
+use crate::id::PeerId;
+use jxta_xmldoc::Element;
+
+/// Common behaviour of every advertisement type.
+pub trait Advertisement: Sized {
+    /// The XML root element name of this advertisement type.
+    const DOC_TYPE: &'static str;
+
+    /// Converts the advertisement to its XML element form.
+    fn to_element(&self) -> Element;
+
+    /// Parses an advertisement from its XML element form.
+    ///
+    /// Implementations must ignore unknown children (forward compatibility
+    /// and enveloped signatures).
+    fn from_element(element: &Element) -> Result<Self, OverlayError>;
+
+    /// Serialises to an XML string.
+    fn to_xml(&self) -> String {
+        self.to_element().to_xml()
+    }
+
+    /// Parses from an XML string.
+    fn from_xml(xml: &str) -> Result<Self, OverlayError> {
+        let element = jxta_xmldoc::parse(xml)?;
+        Self::from_element(&element)
+    }
+}
+
+fn check_doc_type(element: &Element, expected: &str) -> Result<(), OverlayError> {
+    if element.name() == expected {
+        Ok(())
+    } else {
+        Err(OverlayError::AdvertisementParse(format!(
+            "expected <{expected}>, found <{}>",
+            element.name()
+        )))
+    }
+}
+
+fn require_child_text(element: &Element, name: &str) -> Result<String, OverlayError> {
+    element.child_text(name).ok_or_else(|| {
+        OverlayError::AdvertisementParse(format!("missing <{name}> in <{}>", element.name()))
+    })
+}
+
+fn parse_peer_id(text: &str, context: &str) -> Result<PeerId, OverlayError> {
+    PeerId::from_urn(text).ok_or_else(|| {
+        OverlayError::AdvertisementParse(format!("invalid peer id {text:?} in {context}"))
+    })
+}
+
+fn parse_u64(text: &str, context: &str) -> Result<u64, OverlayError> {
+    text.parse::<u64>().map_err(|_| {
+        OverlayError::AdvertisementParse(format!("invalid number {text:?} in {context}"))
+    })
+}
+
+// ----------------------------------------------------------------------
+// Pipe advertisement
+// ----------------------------------------------------------------------
+
+/// Advertises the location of a peer's input pipe for one group.
+///
+/// Other group members resolve this advertisement before they can send any
+/// direct message to the peer; the secure extension signs it and embeds the
+/// owner's credential, which is how public keys are distributed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PipeAdvertisement {
+    /// The peer that owns the input pipe.
+    pub owner: PeerId,
+    /// The group this pipe serves.
+    pub group: GroupId,
+    /// Human-readable pipe name.
+    pub name: String,
+}
+
+impl Advertisement for PipeAdvertisement {
+    const DOC_TYPE: &'static str = "jxta:PipeAdvertisement";
+
+    fn to_element(&self) -> Element {
+        Element::new(Self::DOC_TYPE)
+            .with_child(Element::new("Owner").with_text(self.owner.to_urn()))
+            .with_child(Element::new("Group").with_text(self.group.as_str()))
+            .with_child(Element::new("Name").with_text(&self.name))
+            .with_child(Element::new("Type").with_text("JxtaUnicast"))
+    }
+
+    fn from_element(element: &Element) -> Result<Self, OverlayError> {
+        check_doc_type(element, Self::DOC_TYPE)?;
+        let owner = parse_peer_id(&require_child_text(element, "Owner")?, Self::DOC_TYPE)?;
+        let group = GroupId::new(require_child_text(element, "Group")?);
+        let name = require_child_text(element, "Name")?;
+        Ok(PipeAdvertisement { owner, group, name })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Peer advertisement
+// ----------------------------------------------------------------------
+
+/// Describes a peer: its identifier, nickname and group memberships.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PeerAdvertisement {
+    /// The advertised peer.
+    pub peer: PeerId,
+    /// End-user visible nickname.
+    pub nickname: String,
+    /// Groups the peer belongs to.
+    pub groups: Vec<GroupId>,
+}
+
+impl Advertisement for PeerAdvertisement {
+    const DOC_TYPE: &'static str = "jxta:PeerAdvertisement";
+
+    fn to_element(&self) -> Element {
+        let mut e = Element::new(Self::DOC_TYPE)
+            .with_child(Element::new("Peer").with_text(self.peer.to_urn()))
+            .with_child(Element::new("Nickname").with_text(&self.nickname));
+        let mut groups = Element::new("Groups");
+        for g in &self.groups {
+            groups.push_child(Element::new("Group").with_text(g.as_str()));
+        }
+        e.push_child(groups);
+        e
+    }
+
+    fn from_element(element: &Element) -> Result<Self, OverlayError> {
+        check_doc_type(element, Self::DOC_TYPE)?;
+        let peer = parse_peer_id(&require_child_text(element, "Peer")?, Self::DOC_TYPE)?;
+        let nickname = require_child_text(element, "Nickname")?;
+        let groups = element
+            .child("Groups")
+            .map(|gs| {
+                gs.child_elements()
+                    .filter(|c| c.name() == "Group")
+                    .map(|c| GroupId::new(c.text()))
+                    .collect()
+            })
+            .unwrap_or_default();
+        Ok(PeerAdvertisement {
+            peer,
+            nickname,
+            groups,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// File advertisement
+// ----------------------------------------------------------------------
+
+/// One shared file in a [`FileAdvertisement`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileEntry {
+    /// File name.
+    pub name: String,
+    /// Size in bytes.
+    pub size: u64,
+    /// Hex-encoded SHA-256 of the content.
+    pub digest: String,
+}
+
+/// Advertises the files a peer shares within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FileAdvertisement {
+    /// The sharing peer.
+    pub owner: PeerId,
+    /// The group the files are shared with.
+    pub group: GroupId,
+    /// Shared files.
+    pub entries: Vec<FileEntry>,
+}
+
+impl Advertisement for FileAdvertisement {
+    const DOC_TYPE: &'static str = "jxta:FileAdvertisement";
+
+    fn to_element(&self) -> Element {
+        let mut e = Element::new(Self::DOC_TYPE)
+            .with_child(Element::new("Owner").with_text(self.owner.to_urn()))
+            .with_child(Element::new("Group").with_text(self.group.as_str()));
+        for entry in &self.entries {
+            e.push_child(
+                Element::new("File")
+                    .with_attribute("name", &entry.name)
+                    .with_attribute("size", entry.size.to_string())
+                    .with_attribute("sha256", &entry.digest),
+            );
+        }
+        e
+    }
+
+    fn from_element(element: &Element) -> Result<Self, OverlayError> {
+        check_doc_type(element, Self::DOC_TYPE)?;
+        let owner = parse_peer_id(&require_child_text(element, "Owner")?, Self::DOC_TYPE)?;
+        let group = GroupId::new(require_child_text(element, "Group")?);
+        let mut entries = Vec::new();
+        for file in element.child_elements().filter(|c| c.name() == "File") {
+            let name = file
+                .attribute("name")
+                .ok_or_else(|| OverlayError::AdvertisementParse("File without name".into()))?
+                .to_string();
+            let size = parse_u64(
+                file.attribute("size").unwrap_or("0"),
+                "FileAdvertisement size",
+            )?;
+            let digest = file.attribute("sha256").unwrap_or_default().to_string();
+            entries.push(FileEntry { name, size, digest });
+        }
+        Ok(FileAdvertisement {
+            owner,
+            group,
+            entries,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Presence advertisement
+// ----------------------------------------------------------------------
+
+/// Online status carried by a [`PresenceAdvertisement`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PresenceStatus {
+    /// The peer is online and reachable.
+    Online,
+    /// The peer is connected but idle.
+    Away,
+    /// The peer announced a clean disconnect.
+    Offline,
+}
+
+impl PresenceStatus {
+    fn as_str(&self) -> &'static str {
+        match self {
+            PresenceStatus::Online => "online",
+            PresenceStatus::Away => "away",
+            PresenceStatus::Offline => "offline",
+        }
+    }
+
+    fn parse(s: &str) -> Result<Self, OverlayError> {
+        match s {
+            "online" => Ok(PresenceStatus::Online),
+            "away" => Ok(PresenceStatus::Away),
+            "offline" => Ok(PresenceStatus::Offline),
+            other => Err(OverlayError::AdvertisementParse(format!(
+                "unknown presence status {other:?}"
+            ))),
+        }
+    }
+}
+
+/// Periodic presence notification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PresenceAdvertisement {
+    /// The peer announcing its presence.
+    pub peer: PeerId,
+    /// Current status.
+    pub status: PresenceStatus,
+    /// Monotonically increasing sequence number (replaces wall-clock
+    /// timestamps so the simulation stays deterministic).
+    pub sequence: u64,
+}
+
+impl Advertisement for PresenceAdvertisement {
+    const DOC_TYPE: &'static str = "jxta:PresenceAdvertisement";
+
+    fn to_element(&self) -> Element {
+        Element::new(Self::DOC_TYPE)
+            .with_child(Element::new("Peer").with_text(self.peer.to_urn()))
+            .with_child(Element::new("Status").with_text(self.status.as_str()))
+            .with_child(Element::new("Sequence").with_text(self.sequence.to_string()))
+    }
+
+    fn from_element(element: &Element) -> Result<Self, OverlayError> {
+        check_doc_type(element, Self::DOC_TYPE)?;
+        let peer = parse_peer_id(&require_child_text(element, "Peer")?, Self::DOC_TYPE)?;
+        let status = PresenceStatus::parse(&require_child_text(element, "Status")?)?;
+        let sequence = parse_u64(&require_child_text(element, "Sequence")?, Self::DOC_TYPE)?;
+        Ok(PresenceAdvertisement {
+            peer,
+            status,
+            sequence,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Statistics advertisement
+// ----------------------------------------------------------------------
+
+/// Periodic statistics broadcast (JXTA-Overlay uses these for its
+/// fuzzy-logic peer selection; here they are carried for completeness and as
+/// additional signed-advertisement payload in the experiments).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StatisticsAdvertisement {
+    /// The reporting peer.
+    pub peer: PeerId,
+    /// Messages sent since the peer joined.
+    pub messages_sent: u64,
+    /// Bytes sent since the peer joined.
+    pub bytes_sent: u64,
+    /// Seconds the peer has been online.
+    pub uptime_secs: u64,
+}
+
+impl Advertisement for StatisticsAdvertisement {
+    const DOC_TYPE: &'static str = "jxta:StatisticsAdvertisement";
+
+    fn to_element(&self) -> Element {
+        Element::new(Self::DOC_TYPE)
+            .with_child(Element::new("Peer").with_text(self.peer.to_urn()))
+            .with_child(Element::new("MessagesSent").with_text(self.messages_sent.to_string()))
+            .with_child(Element::new("BytesSent").with_text(self.bytes_sent.to_string()))
+            .with_child(Element::new("UptimeSecs").with_text(self.uptime_secs.to_string()))
+    }
+
+    fn from_element(element: &Element) -> Result<Self, OverlayError> {
+        check_doc_type(element, Self::DOC_TYPE)?;
+        let peer = parse_peer_id(&require_child_text(element, "Peer")?, Self::DOC_TYPE)?;
+        Ok(StatisticsAdvertisement {
+            peer,
+            messages_sent: parse_u64(&require_child_text(element, "MessagesSent")?, Self::DOC_TYPE)?,
+            bytes_sent: parse_u64(&require_child_text(element, "BytesSent")?, Self::DOC_TYPE)?,
+            uptime_secs: parse_u64(&require_child_text(element, "UptimeSecs")?, Self::DOC_TYPE)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxta_crypto::drbg::HmacDrbg;
+
+    fn peer(seed: u64) -> PeerId {
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        PeerId::random(&mut rng)
+    }
+
+    #[test]
+    fn pipe_advertisement_roundtrip() {
+        let adv = PipeAdvertisement {
+            owner: peer(1),
+            group: GroupId::new("math-101"),
+            name: "alice-inbox".into(),
+        };
+        let xml = adv.to_xml();
+        assert!(xml.contains("jxta:PipeAdvertisement"));
+        assert_eq!(PipeAdvertisement::from_xml(&xml).unwrap(), adv);
+    }
+
+    #[test]
+    fn pipe_advertisement_rejects_wrong_type() {
+        let adv = PresenceAdvertisement {
+            peer: peer(1),
+            status: PresenceStatus::Online,
+            sequence: 1,
+        };
+        assert!(matches!(
+            PipeAdvertisement::from_element(&adv.to_element()),
+            Err(OverlayError::AdvertisementParse(_))
+        ));
+    }
+
+    #[test]
+    fn pipe_advertisement_missing_fields() {
+        let e = Element::new("jxta:PipeAdvertisement");
+        assert!(PipeAdvertisement::from_element(&e).is_err());
+        let e = Element::new("jxta:PipeAdvertisement")
+            .with_child(Element::new("Owner").with_text("urn:jxta:peer:zz"));
+        assert!(PipeAdvertisement::from_element(&e).is_err());
+    }
+
+    #[test]
+    fn peer_advertisement_roundtrip() {
+        let adv = PeerAdvertisement {
+            peer: peer(2),
+            nickname: "alice".into(),
+            groups: vec![GroupId::new("a"), GroupId::new("b")],
+        };
+        assert_eq!(PeerAdvertisement::from_xml(&adv.to_xml()).unwrap(), adv);
+    }
+
+    #[test]
+    fn peer_advertisement_without_groups() {
+        let adv = PeerAdvertisement {
+            peer: peer(2),
+            nickname: "loner".into(),
+            groups: vec![],
+        };
+        let parsed = PeerAdvertisement::from_xml(&adv.to_xml()).unwrap();
+        assert!(parsed.groups.is_empty());
+    }
+
+    #[test]
+    fn file_advertisement_roundtrip() {
+        let adv = FileAdvertisement {
+            owner: peer(3),
+            group: GroupId::new("downloads"),
+            entries: vec![
+                FileEntry {
+                    name: "lecture-1.pdf".into(),
+                    size: 1_234_567,
+                    digest: "ab".repeat(32),
+                },
+                FileEntry {
+                    name: "notes & exercises.txt".into(),
+                    size: 0,
+                    digest: String::new(),
+                },
+            ],
+        };
+        assert_eq!(FileAdvertisement::from_xml(&adv.to_xml()).unwrap(), adv);
+    }
+
+    #[test]
+    fn file_advertisement_empty_is_fine() {
+        let adv = FileAdvertisement {
+            owner: peer(3),
+            group: GroupId::new("g"),
+            entries: vec![],
+        };
+        assert_eq!(FileAdvertisement::from_xml(&adv.to_xml()).unwrap(), adv);
+    }
+
+    #[test]
+    fn file_advertisement_bad_size_rejected() {
+        let e = Element::new("jxta:FileAdvertisement")
+            .with_child(Element::new("Owner").with_text(peer(1).to_urn()))
+            .with_child(Element::new("Group").with_text("g"))
+            .with_child(
+                Element::new("File")
+                    .with_attribute("name", "x")
+                    .with_attribute("size", "not-a-number"),
+            );
+        assert!(FileAdvertisement::from_element(&e).is_err());
+    }
+
+    #[test]
+    fn presence_advertisement_roundtrip_all_statuses() {
+        for status in [PresenceStatus::Online, PresenceStatus::Away, PresenceStatus::Offline] {
+            let adv = PresenceAdvertisement {
+                peer: peer(4),
+                status,
+                sequence: 42,
+            };
+            assert_eq!(PresenceAdvertisement::from_xml(&adv.to_xml()).unwrap(), adv);
+        }
+    }
+
+    #[test]
+    fn presence_advertisement_unknown_status_rejected() {
+        let e = Element::new("jxta:PresenceAdvertisement")
+            .with_child(Element::new("Peer").with_text(peer(4).to_urn()))
+            .with_child(Element::new("Status").with_text("lurking"))
+            .with_child(Element::new("Sequence").with_text("1"));
+        assert!(PresenceAdvertisement::from_element(&e).is_err());
+    }
+
+    #[test]
+    fn statistics_advertisement_roundtrip() {
+        let adv = StatisticsAdvertisement {
+            peer: peer(5),
+            messages_sent: 10,
+            bytes_sent: 1 << 30,
+            uptime_secs: 3600,
+        };
+        assert_eq!(StatisticsAdvertisement::from_xml(&adv.to_xml()).unwrap(), adv);
+    }
+
+    #[test]
+    fn unknown_children_are_ignored() {
+        // Forward compatibility and the enveloped <Signature> element.
+        let adv = PipeAdvertisement {
+            owner: peer(6),
+            group: GroupId::new("g"),
+            name: "pipe".into(),
+        };
+        let mut element = adv.to_element();
+        element.push_child(Element::new("Signature").with_text("fake"));
+        element.push_child(Element::new("FutureExtension"));
+        assert_eq!(PipeAdvertisement::from_element(&element).unwrap(), adv);
+    }
+
+    #[test]
+    fn invalid_peer_urn_rejected() {
+        let e = Element::new("jxta:PresenceAdvertisement")
+            .with_child(Element::new("Peer").with_text("urn:jxta:peer:nothex"))
+            .with_child(Element::new("Status").with_text("online"))
+            .with_child(Element::new("Sequence").with_text("1"));
+        assert!(matches!(
+            PresenceAdvertisement::from_element(&e),
+            Err(OverlayError::AdvertisementParse(_))
+        ));
+    }
+
+    #[test]
+    fn from_xml_propagates_parse_errors() {
+        assert!(matches!(
+            PipeAdvertisement::from_xml("<unclosed"),
+            Err(OverlayError::AdvertisementParse(_))
+        ));
+    }
+}

@@ -1,0 +1,694 @@
+//! The Broker Module.
+//!
+//! Brokers are the special peers that control access to the JXTA-Overlay
+//! network: they authenticate end users against the central database, keep a
+//! global index of resources (advertisements) and propagate peer information
+//! across group members, acting as beacons for newly arrived client peers
+//! (paper, §2.1).
+//!
+//! A [`Broker`] owns its state; [`Broker::spawn`] starts the broker event
+//! loop on its own thread so that client primitives interact with it purely
+//! through the simulated network, exactly like a remote broker process.
+//! Broker *functions* are "always executed as a result of messages sent via
+//! Client Module primitives" (§2.2), which maps to the message handlers in
+//! [`Broker::handle_message`].
+//!
+//! The plain broker understands only the insecure message kinds.  The secure
+//! extension registers a [`BrokerExtension`] that handles the
+//! `SecureConnect*`/`SecureLogin*` kinds; this keeps the Broker Module open
+//! for extension without the security crate having to reimplement indexing
+//! and group management.
+
+use crate::database::UserDatabase;
+use crate::group::{GroupId, GroupRegistry};
+use crate::id::PeerId;
+use crate::message::{Message, MessageKind};
+use crate::net::{NetMessage, SimNetwork};
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Configuration of a broker peer.
+#[derive(Debug, Clone)]
+pub struct BrokerConfig {
+    /// Human-readable broker name (the paper's brokers have well-known
+    /// identifiers such as DNS names).
+    pub name: String,
+}
+
+impl Default for BrokerConfig {
+    fn default() -> Self {
+        BrokerConfig {
+            name: "broker".to_string(),
+        }
+    }
+}
+
+/// Hook that lets the security extension handle additional message kinds.
+pub trait BrokerExtension: Send + Sync {
+    /// Handles `message` if it belongs to the extension.
+    ///
+    /// Returns `Some(response)` to send a reply back to the sender, or `None`
+    /// if the message kind is not handled by this extension (the broker then
+    /// replies with a generic rejection).
+    fn handle(&self, broker: &Broker, message: &Message) -> Option<Message>;
+}
+
+/// An authenticated client session as seen by the broker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BrokerSession {
+    /// The authenticated end-user name.
+    pub username: String,
+    /// Groups the user belongs to.
+    pub groups: Vec<GroupId>,
+}
+
+/// The broker peer.
+pub struct Broker {
+    id: PeerId,
+    config: BrokerConfig,
+    network: Arc<SimNetwork>,
+    database: Arc<UserDatabase>,
+    groups: GroupRegistry,
+    /// Global advertisement index: group → (owner, doc type) → XML.
+    advertisements: RwLock<HashMap<GroupId, HashMap<(PeerId, String), String>>>,
+    /// Connected (but not necessarily logged-in) peers.
+    connected: RwLock<HashMap<PeerId, ()>>,
+    /// Logged-in sessions.
+    sessions: RwLock<HashMap<PeerId, BrokerSession>>,
+    extension: RwLock<Option<Arc<dyn BrokerExtension>>>,
+}
+
+impl Broker {
+    /// Creates a broker with the given identifier.
+    pub fn new(
+        id: PeerId,
+        config: BrokerConfig,
+        network: Arc<SimNetwork>,
+        database: Arc<UserDatabase>,
+    ) -> Arc<Self> {
+        Arc::new(Broker {
+            id,
+            config,
+            network,
+            database,
+            groups: GroupRegistry::new(),
+            advertisements: RwLock::new(HashMap::new()),
+            connected: RwLock::new(HashMap::new()),
+            sessions: RwLock::new(HashMap::new()),
+            extension: RwLock::new(None),
+        })
+    }
+
+    /// The broker's peer identifier (its "well-known" address).
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// The broker's configuration.
+    pub fn config(&self) -> &BrokerConfig {
+        &self.config
+    }
+
+    /// The network this broker is attached to.
+    pub fn network(&self) -> &Arc<SimNetwork> {
+        &self.network
+    }
+
+    /// The central user database (brokers are the only entities allowed to
+    /// touch it).
+    pub fn database(&self) -> &Arc<UserDatabase> {
+        &self.database
+    }
+
+    /// The broker's group registry.
+    pub fn groups(&self) -> &GroupRegistry {
+        &self.groups
+    }
+
+    /// Installs the security extension.
+    pub fn set_extension(&self, extension: Arc<dyn BrokerExtension>) {
+        *self.extension.write() = Some(extension);
+    }
+
+    /// Returns `true` if `peer` completed the connect step.
+    pub fn is_connected(&self, peer: &PeerId) -> bool {
+        self.connected.read().contains_key(peer)
+    }
+
+    /// Returns the session of a logged-in peer.
+    pub fn session(&self, peer: &PeerId) -> Option<BrokerSession> {
+        self.sessions.read().get(peer).cloned()
+    }
+
+    /// Number of logged-in peers.
+    pub fn session_count(&self) -> usize {
+        self.sessions.read().len()
+    }
+
+    /// Marks a peer as connected (used by both the plain handler and the
+    /// secure extension).
+    pub fn mark_connected(&self, peer: PeerId) {
+        self.connected.write().insert(peer, ());
+    }
+
+    /// Records a successful login and joins the user's groups.  Returns the
+    /// created session.
+    pub fn establish_session(&self, peer: PeerId, username: &str) -> BrokerSession {
+        let groups = self.database.groups_of(username);
+        for g in &groups {
+            self.groups.join(g.clone(), peer);
+        }
+        let session = BrokerSession {
+            username: username.to_string(),
+            groups,
+        };
+        self.sessions.write().insert(peer, session.clone());
+        session
+    }
+
+    /// Removes a peer's session and group memberships (logout / departure).
+    pub fn drop_session(&self, peer: &PeerId) {
+        self.sessions.write().remove(peer);
+        self.connected.write().remove(peer);
+        self.groups.leave_all(peer);
+    }
+
+    /// Stores an advertisement in the global index and pushes it to the other
+    /// members of the group.  Returns the number of peers it was pushed to.
+    pub fn index_and_distribute(
+        &self,
+        from: PeerId,
+        group: &GroupId,
+        doc_type: &str,
+        xml: &str,
+    ) -> usize {
+        self.advertisements
+            .write()
+            .entry(group.clone())
+            .or_default()
+            .insert((from, doc_type.to_string()), xml.to_string());
+
+        let mut pushed = 0;
+        for member in self.groups.members(group) {
+            if member == from {
+                continue;
+            }
+            let push = Message::new(MessageKind::AdvertisementPush, self.id, 0)
+                .with_str("group", group.as_str())
+                .with_str("doc-type", doc_type)
+                .with_str("xml", xml);
+            if self.network.send(self.id, member, push.to_bytes()).is_ok() {
+                pushed += 1;
+            }
+        }
+        pushed
+    }
+
+    /// Looks up advertisements of a given type within a group, optionally
+    /// restricted to one owner.
+    pub fn lookup(
+        &self,
+        group: &GroupId,
+        doc_type: &str,
+        owner: Option<PeerId>,
+    ) -> Vec<String> {
+        let advertisements = self.advertisements.read();
+        let Some(index) = advertisements.get(group) else {
+            return Vec::new();
+        };
+        let mut results: Vec<(&(PeerId, String), &String)> = index
+            .iter()
+            .filter(|((adv_owner, adv_type), _)| {
+                adv_type == doc_type && owner.map_or(true, |o| *adv_owner == o)
+            })
+            .collect();
+        // Deterministic order keeps experiments and tests reproducible.
+        results.sort_by_key(|((owner, _), _)| *owner);
+        results.into_iter().map(|(_, xml)| xml.clone()).collect()
+    }
+
+    /// Starts the broker's event loop on a dedicated thread.
+    pub fn spawn(self: &Arc<Self>) -> BrokerHandle {
+        let receiver = self.network.register(self.id);
+        let broker = Arc::clone(self);
+        let (shutdown_tx, shutdown_rx) = crossbeam::channel::bounded::<()>(1);
+        let thread = std::thread::Builder::new()
+            .name(format!("broker-{}", self.config.name))
+            .spawn(move || loop {
+                crossbeam::channel::select! {
+                    recv(receiver) -> msg => match msg {
+                        Ok(net_message) => broker.process(net_message),
+                        Err(_) => break,
+                    },
+                    recv(shutdown_rx) -> _ => break,
+                }
+            })
+            .expect("failed to spawn broker thread");
+        BrokerHandle {
+            broker: Arc::clone(self),
+            shutdown: shutdown_tx,
+            thread: Some(thread),
+        }
+    }
+
+    /// Processes one raw network message (parse, dispatch, reply).
+    fn process(&self, net_message: NetMessage) {
+        let message = match Message::from_bytes(&net_message.payload) {
+            Ok(m) => m,
+            Err(_) => return, // undecodable traffic is dropped silently
+        };
+        if let Some(response) = self.handle_message(&message) {
+            let _ = self
+                .network
+                .send(self.id, net_message.from, response.to_bytes());
+        }
+    }
+
+    /// Dispatches a decoded message to the appropriate broker function.
+    ///
+    /// Public so tests (and the in-line, thread-free mode used by some
+    /// benchmarks) can drive a broker without spawning its thread.
+    pub fn handle_message(&self, message: &Message) -> Option<Message> {
+        match message.kind {
+            MessageKind::ConnectRequest => Some(self.handle_connect(message)),
+            MessageKind::LoginRequest => Some(self.handle_login(message)),
+            MessageKind::PublishAdvertisement => Some(self.handle_publish(message)),
+            MessageKind::LookupRequest => Some(self.handle_lookup(message)),
+            MessageKind::SecureConnectChallenge
+            | MessageKind::SecureLoginRequest => {
+                let extension = self.extension.read().clone();
+                match extension {
+                    Some(ext) => ext.handle(self, message).or_else(|| {
+                        Some(self.reject(message, "secure primitive not handled by extension"))
+                    }),
+                    None => Some(self.reject(message, "secure primitives not enabled on this broker")),
+                }
+            }
+            // Anything else is not a broker function.
+            _ => Some(self.reject(message, "unsupported message kind")),
+        }
+    }
+
+    fn reject(&self, message: &Message, reason: &str) -> Message {
+        Message::new(MessageKind::Ack, self.id, message.request_id)
+            .with_str("status", "error")
+            .with_str("reason", reason)
+    }
+
+    /// `connect` handling: accept the connection and identify ourselves.
+    fn handle_connect(&self, message: &Message) -> Message {
+        self.mark_connected(message.sender);
+        Message::new(MessageKind::ConnectResponse, self.id, message.request_id)
+            .with_str("status", "ok")
+            .with_str("broker-name", &self.config.name)
+    }
+
+    /// `login` handling: check the (clear-text!) username and password
+    /// against the central database.
+    fn handle_login(&self, message: &Message) -> Message {
+        if !self.is_connected(&message.sender) {
+            return Message::new(MessageKind::LoginResponse, self.id, message.request_id)
+                .with_str("status", "error")
+                .with_str("reason", "connect before login");
+        }
+        let (Some(username), Some(password)) = (
+            message.element_str("username"),
+            message.element_str("password"),
+        ) else {
+            return Message::new(MessageKind::LoginResponse, self.id, message.request_id)
+                .with_str("status", "error")
+                .with_str("reason", "missing credentials");
+        };
+        if !self.database.verify(&username, &password) {
+            return Message::new(MessageKind::LoginResponse, self.id, message.request_id)
+                .with_str("status", "error")
+                .with_str("reason", "authentication failed");
+        }
+        let session = self.establish_session(message.sender, &username);
+        let groups = session
+            .groups
+            .iter()
+            .map(|g| g.as_str().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        Message::new(MessageKind::LoginResponse, self.id, message.request_id)
+            .with_str("status", "ok")
+            .with_str("username", &username)
+            .with_str("groups", &groups)
+    }
+
+    /// `publishAdvertisement` handling: index and distribute to group members.
+    fn handle_publish(&self, message: &Message) -> Message {
+        let Some(session) = self.session(&message.sender) else {
+            return self.reject(message, "login required");
+        };
+        let (Some(group), Some(doc_type), Some(xml)) = (
+            message.element_str("group"),
+            message.element_str("doc-type"),
+            message.element_str("xml"),
+        ) else {
+            return self.reject(message, "missing publish fields");
+        };
+        let group = GroupId::new(group);
+        if !session.groups.contains(&group) {
+            return self.reject(message, "not a member of the target group");
+        }
+        let pushed = self.index_and_distribute(message.sender, &group, &doc_type, &xml);
+        Message::new(MessageKind::Ack, self.id, message.request_id)
+            .with_str("status", "ok")
+            .with_str("pushed-to", &pushed.to_string())
+    }
+
+    /// `lookup` handling: return matching advertisements from the index.
+    fn handle_lookup(&self, message: &Message) -> Message {
+        let Some(session) = self.session(&message.sender) else {
+            return self.reject(message, "login required");
+        };
+        let (Some(group), Some(doc_type)) = (
+            message.element_str("group"),
+            message.element_str("doc-type"),
+        ) else {
+            return self.reject(message, "missing lookup fields");
+        };
+        let group = GroupId::new(group);
+        if !session.groups.contains(&group) {
+            return self.reject(message, "not a member of the target group");
+        }
+        let owner = message
+            .element_str("owner")
+            .and_then(|urn| PeerId::from_urn(&urn));
+        let results = self.lookup(&group, &doc_type, owner);
+        let mut response = Message::new(MessageKind::LookupResponse, self.id, message.request_id)
+            .with_str("status", "ok")
+            .with_str("count", &results.len().to_string());
+        for (i, xml) in results.into_iter().enumerate() {
+            response.push_element(format!("adv-{i}"), xml.into_bytes());
+        }
+        response
+    }
+}
+
+/// Handle of a running broker thread.
+pub struct BrokerHandle {
+    broker: Arc<Broker>,
+    shutdown: crossbeam::channel::Sender<()>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl BrokerHandle {
+    /// The broker this handle controls.
+    pub fn broker(&self) -> &Arc<Broker> {
+        &self.broker
+    }
+
+    /// The broker's peer identifier.
+    pub fn id(&self) -> PeerId {
+        self.broker.id()
+    }
+
+    /// Stops the broker's event loop and waits for the thread to finish.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        let _ = self.shutdown.send(());
+        // Unregistering closes the channel, which also wakes the loop.
+        self.broker.network.unregister(&self.broker.id);
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+impl Drop for BrokerHandle {
+    fn drop(&mut self) {
+        if self.thread.is_some() {
+            self.shutdown_inner();
+        }
+    }
+}
+
+/// Default timeout used by client primitives waiting for a broker response.
+pub const DEFAULT_REQUEST_TIMEOUT: Duration = Duration::from_secs(5);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::net::LinkModel;
+    use jxta_crypto::drbg::HmacDrbg;
+
+    fn setup() -> (Arc<SimNetwork>, Arc<UserDatabase>, Arc<Broker>, HmacDrbg) {
+        let mut rng = HmacDrbg::from_seed_u64(0xB20C);
+        let network = SimNetwork::new(LinkModel::ideal());
+        let database = Arc::new(UserDatabase::new());
+        database.register_user(&mut rng, "alice", "pw-a", &[GroupId::new("math"), GroupId::new("chem")]);
+        database.register_user(&mut rng, "bob", "pw-b", &[GroupId::new("math")]);
+        let broker = Broker::new(
+            PeerId::random(&mut rng),
+            BrokerConfig::default(),
+            Arc::clone(&network),
+            Arc::clone(&database),
+        );
+        (network, database, broker, rng)
+    }
+
+    fn connect_and_login(broker: &Broker, peer: PeerId, username: &str, password: &str) -> Message {
+        let connect = Message::new(MessageKind::ConnectRequest, peer, 1);
+        let resp = broker.handle_message(&connect).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "ok");
+        let login = Message::new(MessageKind::LoginRequest, peer, 2)
+            .with_str("username", username)
+            .with_str("password", password);
+        broker.handle_message(&login).unwrap()
+    }
+
+    #[test]
+    fn connect_then_login_success() {
+        let (_net, _db, broker, mut rng) = setup();
+        let peer = PeerId::random(&mut rng);
+        let resp = connect_and_login(&broker, peer, "alice", "pw-a");
+        assert_eq!(resp.kind, MessageKind::LoginResponse);
+        assert_eq!(resp.element_str("status").unwrap(), "ok");
+        assert!(resp.element_str("groups").unwrap().contains("math"));
+        assert_eq!(broker.session_count(), 1);
+        assert!(broker.groups().is_member(&GroupId::new("math"), &peer));
+        assert!(broker.groups().is_member(&GroupId::new("chem"), &peer));
+    }
+
+    #[test]
+    fn login_requires_prior_connect() {
+        let (_net, _db, broker, mut rng) = setup();
+        let peer = PeerId::random(&mut rng);
+        let login = Message::new(MessageKind::LoginRequest, peer, 1)
+            .with_str("username", "alice")
+            .with_str("password", "pw-a");
+        let resp = broker.handle_message(&login).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert!(resp.element_str("reason").unwrap().contains("connect"));
+    }
+
+    #[test]
+    fn login_with_wrong_password_fails() {
+        let (_net, _db, broker, mut rng) = setup();
+        let peer = PeerId::random(&mut rng);
+        let resp = connect_and_login(&broker, peer, "alice", "wrong");
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert_eq!(broker.session_count(), 0);
+    }
+
+    #[test]
+    fn login_with_missing_fields_fails() {
+        let (_net, _db, broker, mut rng) = setup();
+        let peer = PeerId::random(&mut rng);
+        broker.handle_message(&Message::new(MessageKind::ConnectRequest, peer, 1));
+        let login = Message::new(MessageKind::LoginRequest, peer, 2).with_str("username", "alice");
+        let resp = broker.handle_message(&login).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+    }
+
+    #[test]
+    fn publish_requires_login_and_membership() {
+        let (_net, _db, broker, mut rng) = setup();
+        let peer = PeerId::random(&mut rng);
+
+        // Without login.
+        let publish = Message::new(MessageKind::PublishAdvertisement, peer, 3)
+            .with_str("group", "math")
+            .with_str("doc-type", "jxta:PipeAdvertisement")
+            .with_str("xml", "<x/>");
+        let resp = broker.handle_message(&publish).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+
+        // Logged in but publishing into a group the user is not a member of.
+        connect_and_login(&broker, peer, "bob", "pw-b");
+        let publish = Message::new(MessageKind::PublishAdvertisement, peer, 4)
+            .with_str("group", "chem")
+            .with_str("doc-type", "jxta:PipeAdvertisement")
+            .with_str("xml", "<x/>");
+        let resp = broker.handle_message(&publish).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+
+        // Correct group succeeds.
+        let publish = Message::new(MessageKind::PublishAdvertisement, peer, 5)
+            .with_str("group", "math")
+            .with_str("doc-type", "jxta:PipeAdvertisement")
+            .with_str("xml", "<x/>");
+        let resp = broker.handle_message(&publish).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "ok");
+    }
+
+    #[test]
+    fn publish_pushes_to_other_group_members() {
+        let (net, _db, broker, mut rng) = setup();
+        let alice = PeerId::random(&mut rng);
+        let bob = PeerId::random(&mut rng);
+        // Bob needs a registered endpoint to receive the push.
+        let bob_rx = net.register(bob);
+        connect_and_login(&broker, alice, "alice", "pw-a");
+        connect_and_login(&broker, bob, "bob", "pw-b");
+
+        let publish = Message::new(MessageKind::PublishAdvertisement, alice, 9)
+            .with_str("group", "math")
+            .with_str("doc-type", "jxta:PipeAdvertisement")
+            .with_str("xml", "<adv>alice</adv>");
+        let resp = broker.handle_message(&publish).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "ok");
+        assert_eq!(resp.element_str("pushed-to").unwrap(), "1");
+
+        let pushed = bob_rx.try_recv().unwrap();
+        let pushed_msg = Message::from_bytes(&pushed.payload).unwrap();
+        assert_eq!(pushed_msg.kind, MessageKind::AdvertisementPush);
+        assert_eq!(pushed_msg.element_str("xml").unwrap(), "<adv>alice</adv>");
+    }
+
+    #[test]
+    fn lookup_filters_by_type_owner_and_membership() {
+        let (_net, _db, broker, mut rng) = setup();
+        let alice = PeerId::random(&mut rng);
+        let bob = PeerId::random(&mut rng);
+        connect_and_login(&broker, alice, "alice", "pw-a");
+        connect_and_login(&broker, bob, "bob", "pw-b");
+
+        broker.index_and_distribute(alice, &GroupId::new("math"), "jxta:PipeAdvertisement", "<a/>");
+        broker.index_and_distribute(bob, &GroupId::new("math"), "jxta:PipeAdvertisement", "<b/>");
+        broker.index_and_distribute(alice, &GroupId::new("math"), "jxta:FileAdvertisement", "<f/>");
+        broker.index_and_distribute(alice, &GroupId::new("chem"), "jxta:PipeAdvertisement", "<c/>");
+
+        // All pipe advertisements in math.
+        let lookup = Message::new(MessageKind::LookupRequest, bob, 10)
+            .with_str("group", "math")
+            .with_str("doc-type", "jxta:PipeAdvertisement");
+        let resp = broker.handle_message(&lookup).unwrap();
+        assert_eq!(resp.element_str("count").unwrap(), "2");
+
+        // Restricted to one owner.
+        let lookup = Message::new(MessageKind::LookupRequest, bob, 11)
+            .with_str("group", "math")
+            .with_str("doc-type", "jxta:PipeAdvertisement")
+            .with_str("owner", &alice.to_urn());
+        let resp = broker.handle_message(&lookup).unwrap();
+        assert_eq!(resp.element_str("count").unwrap(), "1");
+        assert_eq!(resp.element_str("adv-0").unwrap(), "<a/>");
+
+        // Bob is not in chem, so lookups there are rejected.
+        let lookup = Message::new(MessageKind::LookupRequest, bob, 12)
+            .with_str("group", "chem")
+            .with_str("doc-type", "jxta:PipeAdvertisement");
+        let resp = broker.handle_message(&lookup).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+    }
+
+    #[test]
+    fn lookup_unknown_group_returns_empty() {
+        let (_net, _db, broker, _rng) = setup();
+        assert!(broker.lookup(&GroupId::new("ghost"), "jxta:PipeAdvertisement", None).is_empty());
+    }
+
+    #[test]
+    fn secure_kinds_rejected_without_extension() {
+        let (_net, _db, broker, mut rng) = setup();
+        let peer = PeerId::random(&mut rng);
+        let msg = Message::new(MessageKind::SecureConnectChallenge, peer, 1);
+        let resp = broker.handle_message(&msg).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert!(resp.element_str("reason").unwrap().contains("not enabled"));
+    }
+
+    struct EchoExtension;
+    impl BrokerExtension for EchoExtension {
+        fn handle(&self, broker: &Broker, message: &Message) -> Option<Message> {
+            Some(
+                Message::new(MessageKind::SecureConnectResponse, broker.id(), message.request_id)
+                    .with_str("status", "ok"),
+            )
+        }
+    }
+
+    #[test]
+    fn extension_receives_secure_kinds() {
+        let (_net, _db, broker, mut rng) = setup();
+        broker.set_extension(Arc::new(EchoExtension));
+        let peer = PeerId::random(&mut rng);
+        let msg = Message::new(MessageKind::SecureConnectChallenge, peer, 1);
+        let resp = broker.handle_message(&msg).unwrap();
+        assert_eq!(resp.kind, MessageKind::SecureConnectResponse);
+        assert_eq!(resp.element_str("status").unwrap(), "ok");
+    }
+
+    #[test]
+    fn unsupported_kind_is_rejected() {
+        let (_net, _db, broker, mut rng) = setup();
+        let peer = PeerId::random(&mut rng);
+        let msg = Message::new(MessageKind::PeerText, peer, 1).with_str("text", "hi broker");
+        let resp = broker.handle_message(&msg).unwrap();
+        assert_eq!(resp.kind, MessageKind::Ack);
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+    }
+
+    #[test]
+    fn drop_session_removes_memberships() {
+        let (_net, _db, broker, mut rng) = setup();
+        let peer = PeerId::random(&mut rng);
+        connect_and_login(&broker, peer, "alice", "pw-a");
+        assert!(broker.session(&peer).is_some());
+        broker.drop_session(&peer);
+        assert!(broker.session(&peer).is_none());
+        assert!(!broker.is_connected(&peer));
+        assert!(!broker.groups().is_member(&GroupId::new("math"), &peer));
+    }
+
+    #[test]
+    fn spawned_broker_answers_over_the_network() {
+        let (net, _db, broker, mut rng) = setup();
+        let handle = broker.spawn();
+        let peer = PeerId::random(&mut rng);
+        let rx = net.register(peer);
+
+        let connect = Message::new(MessageKind::ConnectRequest, peer, 77);
+        net.send(peer, handle.id(), connect.to_bytes()).unwrap();
+        let reply = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        let reply_msg = Message::from_bytes(&reply.payload).unwrap();
+        assert_eq!(reply_msg.kind, MessageKind::ConnectResponse);
+        assert_eq!(reply_msg.request_id, 77);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn undecodable_traffic_is_ignored_by_running_broker() {
+        let (net, _db, broker, mut rng) = setup();
+        let handle = broker.spawn();
+        let peer = PeerId::random(&mut rng);
+        let rx = net.register(peer);
+        net.send(peer, handle.id(), b"garbage".to_vec()).unwrap();
+        // A valid message afterwards still gets served.
+        let connect = Message::new(MessageKind::ConnectRequest, peer, 1);
+        net.send(peer, handle.id(), connect.to_bytes()).unwrap();
+        let reply = rx.recv_timeout(Duration::from_secs(2)).unwrap();
+        assert_eq!(Message::from_bytes(&reply.payload).unwrap().kind, MessageKind::ConnectResponse);
+        handle.shutdown();
+    }
+}

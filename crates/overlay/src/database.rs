@@ -1,0 +1,232 @@
+//! The central user database.
+//!
+//! "All the information related to user configuration (username, password and
+//! group membership) is stored in a special single entity within the
+//! JXTA-Overlay network: a central database.  Only brokers may access the
+//! database contents" (paper, §2.1).  The simulator keeps it in memory;
+//! passwords are stored as salted SHA-256 verifiers so that even the baseline
+//! system never holds clear-text passwords at rest (the on-the-wire exposure
+//! is the vulnerability the paper addresses, not storage).
+
+use crate::group::GroupId;
+use jxta_crypto::sha2::Sha256;
+use parking_lot::RwLock;
+use rand::RngCore;
+use std::collections::HashMap;
+
+/// A registered end user.
+#[derive(Debug, Clone)]
+struct UserRecord {
+    salt: [u8; 16],
+    verifier: [u8; 32],
+    groups: Vec<GroupId>,
+}
+
+/// The central database of end users, accessed only by brokers.
+#[derive(Debug, Default)]
+pub struct UserDatabase {
+    users: RwLock<HashMap<String, UserRecord>>,
+}
+
+fn hash_password(salt: &[u8; 16], password: &str) -> [u8; 32] {
+    let mut h = Sha256::new();
+    h.update(salt);
+    h.update(password.as_bytes());
+    h.finalize()
+}
+
+impl UserDatabase {
+    /// Creates an empty database.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a new end user (performed by the administrator).
+    ///
+    /// Returns `false` (and leaves the existing record untouched) if the
+    /// username is already taken.
+    pub fn register_user<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        username: &str,
+        password: &str,
+        groups: &[GroupId],
+    ) -> bool {
+        let mut users = self.users.write();
+        if users.contains_key(username) {
+            return false;
+        }
+        let mut salt = [0u8; 16];
+        rng.fill_bytes(&mut salt);
+        let verifier = hash_password(&salt, password);
+        users.insert(
+            username.to_string(),
+            UserRecord {
+                salt,
+                verifier,
+                groups: groups.to_vec(),
+            },
+        );
+        true
+    }
+
+    /// Verifies a username/password pair.
+    pub fn verify(&self, username: &str, password: &str) -> bool {
+        let users = self.users.read();
+        match users.get(username) {
+            Some(record) => {
+                let candidate = hash_password(&record.salt, password);
+                jxta_crypto::hmac::constant_time_eq(&candidate, &record.verifier)
+            }
+            None => false,
+        }
+    }
+
+    /// Groups the administrator assigned to this user.
+    pub fn groups_of(&self, username: &str) -> Vec<GroupId> {
+        self.users
+            .read()
+            .get(username)
+            .map(|r| r.groups.clone())
+            .unwrap_or_default()
+    }
+
+    /// Adds a user to an additional group.  Returns `false` for unknown users.
+    pub fn add_to_group(&self, username: &str, group: GroupId) -> bool {
+        let mut users = self.users.write();
+        match users.get_mut(username) {
+            Some(record) => {
+                if !record.groups.contains(&group) {
+                    record.groups.push(group);
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Changes a user's password.  Returns `false` for unknown users.
+    pub fn change_password<R: RngCore + ?Sized>(
+        &self,
+        rng: &mut R,
+        username: &str,
+        new_password: &str,
+    ) -> bool {
+        let mut users = self.users.write();
+        match users.get_mut(username) {
+            Some(record) => {
+                rng.fill_bytes(&mut record.salt);
+                record.verifier = hash_password(&record.salt, new_password);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Removes a user.  Returns `true` if the user existed.
+    pub fn remove_user(&self, username: &str) -> bool {
+        self.users.write().remove(username).is_some()
+    }
+
+    /// Returns `true` if the username exists.
+    pub fn user_exists(&self, username: &str) -> bool {
+        self.users.read().contains_key(username)
+    }
+
+    /// Number of registered users.
+    pub fn user_count(&self) -> usize {
+        self.users.read().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxta_crypto::drbg::HmacDrbg;
+
+    fn rng() -> HmacDrbg {
+        HmacDrbg::from_seed_u64(0xDB)
+    }
+
+    #[test]
+    fn register_and_verify() {
+        let db = UserDatabase::new();
+        let mut rng = rng();
+        assert!(db.register_user(&mut rng, "alice", "wonderland", &[GroupId::new("g1")]));
+        assert!(db.verify("alice", "wonderland"));
+        assert!(!db.verify("alice", "wrong"));
+        assert!(!db.verify("bob", "wonderland"));
+        assert_eq!(db.user_count(), 1);
+        assert!(db.user_exists("alice"));
+        assert!(!db.user_exists("bob"));
+    }
+
+    #[test]
+    fn duplicate_registration_rejected() {
+        let db = UserDatabase::new();
+        let mut rng = rng();
+        assert!(db.register_user(&mut rng, "alice", "first", &[]));
+        assert!(!db.register_user(&mut rng, "alice", "second", &[]));
+        // Original password still works.
+        assert!(db.verify("alice", "first"));
+        assert!(!db.verify("alice", "second"));
+    }
+
+    #[test]
+    fn group_assignment_and_extension() {
+        let db = UserDatabase::new();
+        let mut rng = rng();
+        db.register_user(&mut rng, "alice", "pw", &[GroupId::new("math"), GroupId::new("physics")]);
+        assert_eq!(db.groups_of("alice").len(), 2);
+        assert!(db.add_to_group("alice", GroupId::new("chemistry")));
+        assert_eq!(db.groups_of("alice").len(), 3);
+        // Adding the same group twice does not duplicate it.
+        assert!(db.add_to_group("alice", GroupId::new("chemistry")));
+        assert_eq!(db.groups_of("alice").len(), 3);
+        assert!(!db.add_to_group("nobody", GroupId::new("x")));
+        assert!(db.groups_of("nobody").is_empty());
+    }
+
+    #[test]
+    fn change_password() {
+        let db = UserDatabase::new();
+        let mut rng = rng();
+        db.register_user(&mut rng, "alice", "old", &[]);
+        assert!(db.change_password(&mut rng, "alice", "new"));
+        assert!(!db.verify("alice", "old"));
+        assert!(db.verify("alice", "new"));
+        assert!(!db.change_password(&mut rng, "nobody", "x"));
+    }
+
+    #[test]
+    fn remove_user() {
+        let db = UserDatabase::new();
+        let mut rng = rng();
+        db.register_user(&mut rng, "alice", "pw", &[]);
+        assert!(db.remove_user("alice"));
+        assert!(!db.remove_user("alice"));
+        assert!(!db.verify("alice", "pw"));
+        assert_eq!(db.user_count(), 0);
+    }
+
+    #[test]
+    fn same_password_different_users_have_different_verifiers() {
+        // Salting: the stored verifier must differ even for equal passwords.
+        let db = UserDatabase::new();
+        let mut rng = rng();
+        db.register_user(&mut rng, "alice", "shared", &[]);
+        db.register_user(&mut rng, "bob", "shared", &[]);
+        let users = db.users.read();
+        assert_ne!(users["alice"].verifier, users["bob"].verifier);
+        assert_ne!(users["alice"].salt, users["bob"].salt);
+    }
+
+    #[test]
+    fn empty_password_is_still_verified_consistently() {
+        let db = UserDatabase::new();
+        let mut rng = rng();
+        db.register_user(&mut rng, "kiosk", "", &[]);
+        assert!(db.verify("kiosk", ""));
+        assert!(!db.verify("kiosk", " "));
+    }
+}

@@ -1,0 +1,129 @@
+//! Error type for overlay operations.
+
+use crate::id::PeerId;
+use jxta_crypto::CryptoError;
+use jxta_xmldoc::{DsigError, ParseError};
+
+/// Errors produced by JXTA-Overlay primitives and functions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OverlayError {
+    /// The destination peer is not registered with the network (offline or
+    /// unknown identifier).
+    PeerUnreachable(PeerId),
+    /// No broker is available to serve the request.
+    NoBrokerAvailable,
+    /// The client is not connected to a broker (primitive called before
+    /// `connect`).
+    NotConnected,
+    /// The client has not logged in yet (primitive called before `login`).
+    NotLoggedIn,
+    /// Authentication failed: unknown user or wrong password.
+    AuthenticationFailed,
+    /// The peer is not a member of the named group.
+    NotAGroupMember(String),
+    /// A request timed out waiting for a response.
+    Timeout {
+        /// What was being waited for.
+        operation: String,
+    },
+    /// A received message could not be decoded.
+    MalformedMessage(String),
+    /// A required advertisement could not be found in the local cache or the
+    /// broker index.
+    AdvertisementNotFound(String),
+    /// An advertisement document failed to parse.
+    AdvertisementParse(String),
+    /// The broker rejected a request.
+    Rejected(String),
+    /// An underlying cryptographic operation failed (secure primitives only).
+    Crypto(CryptoError),
+    /// An XML signature error (secure primitives only).
+    Signature(DsigError),
+    /// Security policy violation detected by the secure extension (e.g. an
+    /// unauthentic broker credential or a replayed session identifier).
+    SecurityViolation(String),
+}
+
+impl std::fmt::Display for OverlayError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            OverlayError::PeerUnreachable(id) => write!(f, "peer {id} is unreachable"),
+            OverlayError::NoBrokerAvailable => write!(f, "no broker available"),
+            OverlayError::NotConnected => write!(f, "not connected to a broker"),
+            OverlayError::NotLoggedIn => write!(f, "not logged in"),
+            OverlayError::AuthenticationFailed => write!(f, "authentication failed"),
+            OverlayError::NotAGroupMember(g) => write!(f, "not a member of group {g:?}"),
+            OverlayError::Timeout { operation } => write!(f, "timed out waiting for {operation}"),
+            OverlayError::MalformedMessage(what) => write!(f, "malformed message: {what}"),
+            OverlayError::AdvertisementNotFound(what) => {
+                write!(f, "advertisement not found: {what}")
+            }
+            OverlayError::AdvertisementParse(what) => {
+                write!(f, "advertisement parse error: {what}")
+            }
+            OverlayError::Rejected(why) => write!(f, "request rejected by broker: {why}"),
+            OverlayError::Crypto(e) => write!(f, "crypto error: {e}"),
+            OverlayError::Signature(e) => write!(f, "signature error: {e}"),
+            OverlayError::SecurityViolation(what) => write!(f, "security violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OverlayError {}
+
+impl From<CryptoError> for OverlayError {
+    fn from(e: CryptoError) -> Self {
+        OverlayError::Crypto(e)
+    }
+}
+
+impl From<DsigError> for OverlayError {
+    fn from(e: DsigError) -> Self {
+        OverlayError::Signature(e)
+    }
+}
+
+impl From<ParseError> for OverlayError {
+    fn from(e: ParseError) -> Self {
+        OverlayError::AdvertisementParse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxta_crypto::drbg::HmacDrbg;
+
+    #[test]
+    fn display_messages() {
+        let mut rng = HmacDrbg::from_seed_u64(1);
+        let id = PeerId::random(&mut rng);
+        let cases: Vec<(OverlayError, &str)> = vec![
+            (OverlayError::PeerUnreachable(id), "unreachable"),
+            (OverlayError::NoBrokerAvailable, "no broker"),
+            (OverlayError::NotConnected, "not connected"),
+            (OverlayError::NotLoggedIn, "not logged in"),
+            (OverlayError::AuthenticationFailed, "authentication"),
+            (OverlayError::NotAGroupMember("g".into()), "group"),
+            (OverlayError::Timeout { operation: "login".into() }, "login"),
+            (OverlayError::MalformedMessage("kind".into()), "malformed"),
+            (OverlayError::AdvertisementNotFound("pipe".into()), "not found"),
+            (OverlayError::Rejected("nope".into()), "rejected"),
+            (OverlayError::SecurityViolation("replay".into()), "violation"),
+        ];
+        for (err, needle) in cases {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn conversions() {
+        let e: OverlayError = CryptoError::SignatureMismatch.into();
+        assert!(matches!(e, OverlayError::Crypto(_)));
+        let e: OverlayError = DsigError::MissingSignature.into();
+        assert!(matches!(e, OverlayError::Signature(_)));
+        let parse_err = jxta_xmldoc::parse("<broken").unwrap_err();
+        let e: OverlayError = parse_err.into();
+        assert!(matches!(e, OverlayError::AdvertisementParse(_)));
+    }
+}

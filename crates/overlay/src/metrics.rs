@@ -1,0 +1,209 @@
+//! CPU/wire time accounting for experiments.
+//!
+//! The paper's evaluation reports the *overhead* of the secure primitives
+//! relative to the plain ones: +81.76 % for joining the network, and a
+//! payload-size-dependent percentage for `secureMsgPeer` (Figure 2).  To
+//! reproduce those numbers the harness needs to measure two components
+//! separately:
+//!
+//! * **CPU time** — real wall-clock time spent computing (the cryptography
+//!   plus ordinary message handling), measured with [`Stopwatch`].
+//! * **Wire time** — the virtual network time charged by the
+//!   [`crate::net::LinkModel`] for every message leg, accumulated by the
+//!   client/broker modules in a [`WireTimeAccumulator`].
+//!
+//! An [`OperationTiming`] combines both, and [`overhead_percent`] computes the
+//! relative overhead between a secure and a plain run of the same operation.
+
+use parking_lot::Mutex;
+use std::time::{Duration, Instant};
+
+/// The cost of one primitive invocation, split into compute and network time.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OperationTiming {
+    /// Real compute time.
+    pub cpu: Duration,
+    /// Virtual wire time charged by the link model.
+    pub wire: Duration,
+}
+
+impl OperationTiming {
+    /// Creates a timing from its parts.
+    pub fn new(cpu: Duration, wire: Duration) -> Self {
+        OperationTiming { cpu, wire }
+    }
+
+    /// Total cost (compute plus network).
+    pub fn total(&self) -> Duration {
+        self.cpu + self.wire
+    }
+
+    /// Component-wise sum.
+    pub fn add(&self, other: &OperationTiming) -> OperationTiming {
+        OperationTiming {
+            cpu: self.cpu + other.cpu,
+            wire: self.wire + other.wire,
+        }
+    }
+}
+
+impl std::ops::Add for OperationTiming {
+    type Output = OperationTiming;
+    fn add(self, rhs: OperationTiming) -> OperationTiming {
+        OperationTiming::add(&self, &rhs)
+    }
+}
+
+impl std::iter::Sum for OperationTiming {
+    fn sum<I: Iterator<Item = OperationTiming>>(iter: I) -> Self {
+        iter.fold(OperationTiming::default(), |acc, t| acc + t)
+    }
+}
+
+/// Relative overhead, in percent, of `secure` compared to `plain`
+/// (e.g. 81.76 means the secure operation takes 81.76 % longer).
+///
+/// Returns `f64::INFINITY` when the plain cost is zero and the secure cost is
+/// not.
+pub fn overhead_percent(plain: Duration, secure: Duration) -> f64 {
+    let plain_s = plain.as_secs_f64();
+    let secure_s = secure.as_secs_f64();
+    if plain_s == 0.0 {
+        if secure_s == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (secure_s - plain_s) / plain_s * 100.0
+    }
+}
+
+/// A simple wall-clock stopwatch.
+#[derive(Debug)]
+pub struct Stopwatch {
+    start: Instant,
+}
+
+impl Stopwatch {
+    /// Starts a new stopwatch.
+    pub fn start() -> Self {
+        Stopwatch {
+            start: Instant::now(),
+        }
+    }
+
+    /// Elapsed time since start.
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Restarts the stopwatch and returns the time elapsed up to now.
+    pub fn lap(&mut self) -> Duration {
+        let elapsed = self.start.elapsed();
+        self.start = Instant::now();
+        elapsed
+    }
+}
+
+impl Default for Stopwatch {
+    fn default() -> Self {
+        Self::start()
+    }
+}
+
+/// Thread-safe accumulator for virtual wire time.
+#[derive(Debug, Default)]
+pub struct WireTimeAccumulator {
+    total: Mutex<Duration>,
+}
+
+impl WireTimeAccumulator {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a wire-time contribution.
+    pub fn add(&self, wire: Duration) {
+        *self.total.lock() += wire;
+    }
+
+    /// Current accumulated total.
+    pub fn total(&self) -> Duration {
+        *self.total.lock()
+    }
+
+    /// Returns the accumulated total and resets it to zero.
+    pub fn take(&self) -> Duration {
+        std::mem::take(&mut *self.total.lock())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operation_timing_arithmetic() {
+        let a = OperationTiming::new(Duration::from_millis(10), Duration::from_millis(5));
+        let b = OperationTiming::new(Duration::from_millis(1), Duration::from_millis(2));
+        assert_eq!(a.total(), Duration::from_millis(15));
+        let sum = a + b;
+        assert_eq!(sum.cpu, Duration::from_millis(11));
+        assert_eq!(sum.wire, Duration::from_millis(7));
+        let total: OperationTiming = [a, b].into_iter().sum();
+        assert_eq!(total, sum);
+        assert_eq!(OperationTiming::default().total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn overhead_percent_basic() {
+        assert!((overhead_percent(Duration::from_millis(100), Duration::from_millis(182)) - 82.0).abs() < 1e-9);
+        assert_eq!(overhead_percent(Duration::from_millis(100), Duration::from_millis(100)), 0.0);
+        assert!(overhead_percent(Duration::from_millis(100), Duration::from_millis(50)) < 0.0);
+    }
+
+    #[test]
+    fn overhead_percent_zero_baseline() {
+        assert_eq!(overhead_percent(Duration::ZERO, Duration::ZERO), 0.0);
+        assert_eq!(overhead_percent(Duration::ZERO, Duration::from_millis(1)), f64::INFINITY);
+    }
+
+    #[test]
+    fn stopwatch_measures_time() {
+        let mut sw = Stopwatch::start();
+        std::thread::sleep(Duration::from_millis(5));
+        let first = sw.lap();
+        assert!(first >= Duration::from_millis(4));
+        let second = sw.elapsed();
+        assert!(second < first, "lap restarts the stopwatch");
+    }
+
+    #[test]
+    fn wire_accumulator_add_and_take() {
+        let acc = WireTimeAccumulator::new();
+        acc.add(Duration::from_millis(2));
+        acc.add(Duration::from_millis(3));
+        assert_eq!(acc.total(), Duration::from_millis(5));
+        assert_eq!(acc.take(), Duration::from_millis(5));
+        assert_eq!(acc.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn wire_accumulator_is_thread_safe() {
+        let acc = std::sync::Arc::new(WireTimeAccumulator::new());
+        crossbeam::thread::scope(|s| {
+            for _ in 0..8 {
+                let acc = std::sync::Arc::clone(&acc);
+                s.spawn(move |_| {
+                    for _ in 0..100 {
+                        acc.add(Duration::from_micros(10));
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(acc.total(), Duration::from_micros(8 * 100 * 10));
+    }
+}

@@ -1,0 +1,510 @@
+//! The simulated network substrate.
+//!
+//! Real JXTA-Overlay deployments exchange messages over TCP/HTTP transports
+//! between machines; the paper's measurements therefore mix CPU cost (the
+//! cryptography) with wire cost (latency and serialisation of the payload).
+//! The simulator reproduces that split explicitly:
+//!
+//! * Delivery happens in-process over crossbeam channels, so the *real* time
+//!   spent is the compute cost of whatever the peers do with the messages.
+//! * Every delivered message is charged a *virtual wire time* computed by the
+//!   [`LinkModel`] (`latency + bytes / bandwidth`), which the client and
+//!   broker modules accumulate in their [`crate::metrics`] so experiments can
+//!   report `total = cpu + wire` exactly as a testbed measurement would.
+//!
+//! The network also supports pluggable [`Adversary`] implementations used by
+//! the security evaluation: an adversary can observe (eavesdrop), drop,
+//! rewrite or redirect messages, and inject new ones (replay).
+
+use crate::error::OverlayError;
+use crate::id::PeerId;
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Latency/bandwidth model of the links between peers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkModel {
+    /// One-way latency charged per message.
+    pub latency: Duration,
+    /// Link bandwidth in bytes per second (0 means infinite bandwidth).
+    pub bandwidth_bytes_per_sec: u64,
+}
+
+impl LinkModel {
+    /// An ideal link: no latency, infinite bandwidth.  Useful for isolating
+    /// pure CPU cost in ablation benchmarks.
+    pub fn ideal() -> Self {
+        LinkModel {
+            latency: Duration::ZERO,
+            bandwidth_bytes_per_sec: 0,
+        }
+    }
+
+    /// A local-area network similar to the paper's testbed: 2 ms one-way
+    /// latency, 100 Mbit/s (12.5 MB/s).
+    pub fn lan() -> Self {
+        LinkModel {
+            latency: Duration::from_millis(2),
+            bandwidth_bytes_per_sec: 12_500_000,
+        }
+    }
+
+    /// A wide-area link: 40 ms latency, 10 Mbit/s.
+    pub fn wan() -> Self {
+        LinkModel {
+            latency: Duration::from_millis(40),
+            bandwidth_bytes_per_sec: 1_250_000,
+        }
+    }
+
+    /// Creates a custom link model.
+    pub fn new(latency: Duration, bandwidth_bytes_per_sec: u64) -> Self {
+        LinkModel {
+            latency,
+            bandwidth_bytes_per_sec,
+        }
+    }
+
+    /// Virtual time needed to move `bytes` across this link.
+    pub fn transfer_time(&self, bytes: usize) -> Duration {
+        if self.bandwidth_bytes_per_sec == 0 {
+            return self.latency;
+        }
+        let nanos = (bytes as u128 * 1_000_000_000u128) / self.bandwidth_bytes_per_sec as u128;
+        self.latency + Duration::from_nanos(nanos as u64)
+    }
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        LinkModel::lan()
+    }
+}
+
+/// A message in flight on the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NetMessage {
+    /// Sending peer.
+    pub from: PeerId,
+    /// Destination peer.
+    pub to: PeerId,
+    /// Serialised [`crate::message::Message`] bytes.
+    pub payload: Vec<u8>,
+    /// Virtual wire time charged to this delivery.
+    pub wire_time: Duration,
+}
+
+/// What an adversary decides to do with an intercepted message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// Deliver the message unchanged.
+    Deliver,
+    /// Silently drop the message.
+    Drop,
+    /// Deliver the message to a different peer instead of the original
+    /// destination (traffic redirection, e.g. DNS spoofing towards a fake
+    /// broker).
+    Redirect(PeerId),
+    /// Replace the payload before delivery (man-in-the-middle tampering).
+    Tamper(Vec<u8>),
+}
+
+/// A network-level adversary.
+///
+/// The default implementations make an adversary that does nothing; concrete
+/// attacks (eavesdropper, fake broker, replay attacker, advertisement forger)
+/// live in the `jxta-overlay-secure` crate's `attacks` module.
+pub trait Adversary: Send + Sync {
+    /// Called for every message with read-only access (eavesdropping).
+    fn observe(&self, _message: &NetMessage) {}
+
+    /// Decides the fate of the message.
+    fn intercept(&self, _message: &NetMessage) -> Verdict {
+        Verdict::Deliver
+    }
+
+    /// Messages to inject into the network after this delivery (replay or
+    /// forgery).  Each is delivered verbatim to its `to` peer.
+    fn inject(&self, _message: &NetMessage) -> Vec<NetMessage> {
+        Vec::new()
+    }
+}
+
+/// Aggregate traffic statistics.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NetStats {
+    /// Number of messages accepted for delivery.
+    pub messages_sent: u64,
+    /// Number of messages dropped by the adversary.
+    pub messages_dropped: u64,
+    /// Total payload bytes accepted for delivery.
+    pub bytes_sent: u64,
+    /// Accumulated virtual wire time of all deliveries.
+    pub total_wire_time: Duration,
+}
+
+/// The in-process message-passing network connecting all peers.
+pub struct SimNetwork {
+    endpoints: RwLock<HashMap<PeerId, Sender<NetMessage>>>,
+    link: LinkModel,
+    adversary: RwLock<Option<Arc<dyn Adversary>>>,
+    stats: Mutex<NetStats>,
+}
+
+impl SimNetwork {
+    /// Creates a network with the given link model.
+    pub fn new(link: LinkModel) -> Arc<Self> {
+        Arc::new(SimNetwork {
+            endpoints: RwLock::new(HashMap::new()),
+            link,
+            adversary: RwLock::new(None),
+            stats: Mutex::new(NetStats::default()),
+        })
+    }
+
+    /// Creates a network with the default LAN link model.
+    pub fn new_lan() -> Arc<Self> {
+        Self::new(LinkModel::lan())
+    }
+
+    /// The link model used for wire-time accounting.
+    pub fn link(&self) -> LinkModel {
+        self.link
+    }
+
+    /// Registers a peer and returns the receiving end of its inbox.
+    ///
+    /// Registering an already-registered peer replaces its endpoint (the old
+    /// receiver stops getting messages), mirroring a peer that reconnects.
+    pub fn register(&self, peer: PeerId) -> Receiver<NetMessage> {
+        let (tx, rx) = unbounded();
+        self.endpoints.write().insert(peer, tx);
+        rx
+    }
+
+    /// Removes a peer from the network (it becomes unreachable).
+    pub fn unregister(&self, peer: &PeerId) {
+        self.endpoints.write().remove(peer);
+    }
+
+    /// Returns `true` if the peer currently has a registered endpoint.
+    pub fn is_registered(&self, peer: &PeerId) -> bool {
+        self.endpoints.read().contains_key(peer)
+    }
+
+    /// Number of registered peers.
+    pub fn peer_count(&self) -> usize {
+        self.endpoints.read().len()
+    }
+
+    /// Installs (or replaces) the network adversary.
+    pub fn set_adversary(&self, adversary: Arc<dyn Adversary>) {
+        *self.adversary.write() = Some(adversary);
+    }
+
+    /// Removes the adversary.
+    pub fn clear_adversary(&self) {
+        *self.adversary.write() = None;
+    }
+
+    /// Snapshot of the aggregate traffic statistics.
+    pub fn stats(&self) -> NetStats {
+        *self.stats.lock()
+    }
+
+    /// Sends `payload` from `from` to `to`.
+    ///
+    /// Returns the virtual wire time charged for the delivery.  Fails with
+    /// [`OverlayError::PeerUnreachable`] if the destination (after possible
+    /// adversarial redirection) has no registered endpoint.
+    pub fn send(&self, from: PeerId, to: PeerId, payload: Vec<u8>) -> Result<Duration, OverlayError> {
+        let wire_time = self.link.transfer_time(payload.len());
+        let mut message = NetMessage {
+            from,
+            to,
+            payload,
+            wire_time,
+        };
+
+        let adversary = self.adversary.read().clone();
+        if let Some(adv) = &adversary {
+            adv.observe(&message);
+            match adv.intercept(&message) {
+                Verdict::Deliver => {}
+                Verdict::Drop => {
+                    self.stats.lock().messages_dropped += 1;
+                    // The sender still paid the wire time; the message just
+                    // never arrives.
+                    return Ok(wire_time);
+                }
+                Verdict::Redirect(new_to) => message.to = new_to,
+                Verdict::Tamper(new_payload) => message.payload = new_payload,
+            }
+        }
+
+        self.deliver(&message)?;
+        {
+            let mut stats = self.stats.lock();
+            stats.messages_sent += 1;
+            stats.bytes_sent += message.payload.len() as u64;
+            stats.total_wire_time += wire_time;
+        }
+
+        if let Some(adv) = &adversary {
+            for injected in adv.inject(&message) {
+                // Injected traffic is delivered on a best-effort basis and
+                // counted as ordinary traffic.
+                if self.deliver(&injected).is_ok() {
+                    let mut stats = self.stats.lock();
+                    stats.messages_sent += 1;
+                    stats.bytes_sent += injected.payload.len() as u64;
+                    stats.total_wire_time += injected.wire_time;
+                }
+            }
+        }
+
+        Ok(wire_time)
+    }
+
+    fn deliver(&self, message: &NetMessage) -> Result<(), OverlayError> {
+        let endpoints = self.endpoints.read();
+        let tx = endpoints
+            .get(&message.to)
+            .ok_or(OverlayError::PeerUnreachable(message.to))?;
+        tx.send(message.clone())
+            .map_err(|_| OverlayError::PeerUnreachable(message.to))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxta_crypto::drbg::HmacDrbg;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn peers(n: usize) -> Vec<PeerId> {
+        let mut rng = HmacDrbg::from_seed_u64(0x1234);
+        (0..n).map(|_| PeerId::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn link_model_transfer_time() {
+        let ideal = LinkModel::ideal();
+        assert_eq!(ideal.transfer_time(1_000_000), Duration::ZERO);
+
+        let link = LinkModel::new(Duration::from_millis(2), 1_000_000);
+        assert_eq!(link.transfer_time(0), Duration::from_millis(2));
+        assert_eq!(link.transfer_time(1_000_000), Duration::from_millis(1002));
+        // Larger payloads cost proportionally more.
+        assert!(link.transfer_time(10_000) > link.transfer_time(1_000));
+        assert_eq!(LinkModel::default(), LinkModel::lan());
+        assert!(LinkModel::wan().latency > LinkModel::lan().latency);
+    }
+
+    #[test]
+    fn register_send_receive() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(2);
+        let _rx_a = net.register(ids[0]);
+        let rx_b = net.register(ids[1]);
+        assert!(net.is_registered(&ids[0]));
+        assert_eq!(net.peer_count(), 2);
+
+        net.send(ids[0], ids[1], b"hello".to_vec()).unwrap();
+        let msg = rx_b.try_recv().unwrap();
+        assert_eq!(msg.from, ids[0]);
+        assert_eq!(msg.to, ids[1]);
+        assert_eq!(msg.payload, b"hello");
+    }
+
+    #[test]
+    fn send_to_unknown_peer_fails() {
+        let net = SimNetwork::new_lan();
+        let ids = peers(2);
+        let _rx = net.register(ids[0]);
+        assert!(matches!(
+            net.send(ids[0], ids[1], b"x".to_vec()),
+            Err(OverlayError::PeerUnreachable(_))
+        ));
+    }
+
+    #[test]
+    fn unregister_makes_peer_unreachable() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(2);
+        let _rx_a = net.register(ids[0]);
+        let _rx_b = net.register(ids[1]);
+        net.unregister(&ids[1]);
+        assert!(!net.is_registered(&ids[1]));
+        assert!(net.send(ids[0], ids[1], vec![1]).is_err());
+    }
+
+    #[test]
+    fn wire_time_matches_link_model() {
+        let link = LinkModel::new(Duration::from_millis(5), 1000);
+        let net = SimNetwork::new(link);
+        let ids = peers(2);
+        let _rx_a = net.register(ids[0]);
+        let rx_b = net.register(ids[1]);
+        let wire = net.send(ids[0], ids[1], vec![0u8; 500]).unwrap();
+        assert_eq!(wire, link.transfer_time(500));
+        assert_eq!(rx_b.try_recv().unwrap().wire_time, wire);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(2);
+        let _rx_a = net.register(ids[0]);
+        let _rx_b = net.register(ids[1]);
+        net.send(ids[0], ids[1], vec![0u8; 10]).unwrap();
+        net.send(ids[1], ids[0], vec![0u8; 20]).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.messages_sent, 2);
+        assert_eq!(stats.bytes_sent, 30);
+        assert_eq!(stats.messages_dropped, 0);
+    }
+
+    struct DropAll;
+    impl Adversary for DropAll {
+        fn intercept(&self, _m: &NetMessage) -> Verdict {
+            Verdict::Drop
+        }
+    }
+
+    #[test]
+    fn adversary_can_drop_messages() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(2);
+        let _rx_a = net.register(ids[0]);
+        let rx_b = net.register(ids[1]);
+        net.set_adversary(Arc::new(DropAll));
+        net.send(ids[0], ids[1], vec![1, 2, 3]).unwrap();
+        assert!(rx_b.try_recv().is_err());
+        assert_eq!(net.stats().messages_dropped, 1);
+        net.clear_adversary();
+        net.send(ids[0], ids[1], vec![1]).unwrap();
+        assert!(rx_b.try_recv().is_ok());
+    }
+
+    struct RedirectTo(PeerId);
+    impl Adversary for RedirectTo {
+        fn intercept(&self, _m: &NetMessage) -> Verdict {
+            Verdict::Redirect(self.0)
+        }
+    }
+
+    #[test]
+    fn adversary_can_redirect_messages() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(3);
+        let _rx_a = net.register(ids[0]);
+        let rx_b = net.register(ids[1]);
+        let rx_c = net.register(ids[2]);
+        net.set_adversary(Arc::new(RedirectTo(ids[2])));
+        net.send(ids[0], ids[1], b"for b".to_vec()).unwrap();
+        assert!(rx_b.try_recv().is_err(), "original destination starves");
+        let got = rx_c.try_recv().unwrap();
+        assert_eq!(got.payload, b"for b");
+    }
+
+    struct CountingObserver(AtomicUsize);
+    impl Adversary for CountingObserver {
+        fn observe(&self, _m: &NetMessage) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    #[test]
+    fn adversary_observes_every_message() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(2);
+        let _rx_a = net.register(ids[0]);
+        let _rx_b = net.register(ids[1]);
+        let observer = Arc::new(CountingObserver(AtomicUsize::new(0)));
+        net.set_adversary(observer.clone());
+        for _ in 0..5 {
+            net.send(ids[0], ids[1], vec![0u8; 8]).unwrap();
+        }
+        assert_eq!(observer.0.load(Ordering::SeqCst), 5);
+    }
+
+    struct Replayer;
+    impl Adversary for Replayer {
+        fn inject(&self, message: &NetMessage) -> Vec<NetMessage> {
+            vec![message.clone()]
+        }
+    }
+
+    #[test]
+    fn adversary_can_inject_replays() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(2);
+        let _rx_a = net.register(ids[0]);
+        let rx_b = net.register(ids[1]);
+        net.set_adversary(Arc::new(Replayer));
+        net.send(ids[0], ids[1], b"once".to_vec()).unwrap();
+        // The original plus one replay.
+        assert_eq!(rx_b.try_iter().count(), 2);
+        assert_eq!(net.stats().messages_sent, 2);
+    }
+
+    struct Tamperer;
+    impl Adversary for Tamperer {
+        fn intercept(&self, _m: &NetMessage) -> Verdict {
+            Verdict::Tamper(b"forged".to_vec())
+        }
+    }
+
+    #[test]
+    fn adversary_can_tamper_payloads() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(2);
+        let _rx_a = net.register(ids[0]);
+        let rx_b = net.register(ids[1]);
+        net.set_adversary(Arc::new(Tamperer));
+        net.send(ids[0], ids[1], b"original".to_vec()).unwrap();
+        assert_eq!(rx_b.try_recv().unwrap().payload, b"forged");
+    }
+
+    #[test]
+    fn reregistering_replaces_endpoint() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(2);
+        let _rx_a = net.register(ids[0]);
+        let rx_old = net.register(ids[1]);
+        let rx_new = net.register(ids[1]);
+        assert_eq!(net.peer_count(), 2);
+        net.send(ids[0], ids[1], vec![7]).unwrap();
+        assert!(rx_old.try_recv().is_err());
+        assert!(rx_new.try_recv().is_ok());
+    }
+
+    #[test]
+    fn concurrent_sends_from_many_threads() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(5);
+        let receivers: Vec<_> = ids.iter().map(|id| net.register(*id)).collect();
+        let net2 = Arc::clone(&net);
+        crossbeam::thread::scope(|s| {
+            for (i, &from) in ids.iter().enumerate() {
+                let net = Arc::clone(&net2);
+                let targets = ids.clone();
+                s.spawn(move |_| {
+                    for (j, &to) in targets.iter().enumerate() {
+                        if i != j {
+                            net.send(from, to, vec![i as u8, j as u8]).unwrap();
+                        }
+                    }
+                });
+            }
+        })
+        .unwrap();
+        let total: usize = receivers.iter().map(|r| r.try_iter().count()).sum();
+        assert_eq!(total, 5 * 4);
+        assert_eq!(net.stats().messages_sent, 20);
+    }
+}

@@ -1,0 +1,419 @@
+//! XMLdsig-style enveloped signatures over [`Element`] trees.
+//!
+//! The construction follows the shape of W3C XML-Signature (reference \[16\]
+//! of the paper) restricted to what JXTA-Overlay advertisements need:
+//!
+//! ```text
+//! <AnyAdvertisementType ...>            <- original element type preserved
+//!   ... original content ...
+//!   <Signature>
+//!     <SignedInfo>
+//!       <CanonicalizationMethod Algorithm="jxta-c14n"/>
+//!       <SignatureMethod Algorithm="rsa-pkcs1-sha256"/>
+//!       <Reference URI="">
+//!         <Transform Algorithm="enveloped-signature"/>
+//!         <DigestMethod Algorithm="sha256"/>
+//!         <DigestValue>Base64(SHA-256(c14n(element without Signature)))</DigestValue>
+//!       </Reference>
+//!     </SignedInfo>
+//!     <SignatureValue>Base64(RSA-PKCS1-SHA256(c14n(SignedInfo)))</SignatureValue>
+//!     <KeyInfo>Base64(application-defined key material)</KeyInfo>
+//!   </Signature>
+//! </AnyAdvertisementType>
+//! ```
+//!
+//! In the paper's use the `KeyInfo` payload is the peer's broker-issued
+//! credential, so validating a pipe advertisement simultaneously distributes
+//! an authentic copy of the sender's public key — that is the "transparent
+//! method for authentic key transport" of Section 4.
+//!
+//! The signature is *enveloped*: the digest is computed over the canonical
+//! form of the element with every `<Signature>` child removed, so adding the
+//! signature does not invalidate it and, crucially, the advertisement keeps
+//! its original root element name (unlike JXTA's Base64-wrapping approach).
+
+use crate::element::Element;
+use jxta_crypto::base64;
+use jxta_crypto::rsa::{RsaPrivateKey, RsaPublicKey};
+use jxta_crypto::sha2::sha256;
+use jxta_crypto::CryptoError;
+
+/// Name of the enveloped signature element.
+pub const SIGNATURE_ELEMENT: &str = "Signature";
+
+/// Identifier of the canonicalisation used for digesting.
+pub const C14N_ALGORITHM: &str = "jxta-c14n";
+/// Identifier of the signature algorithm.
+pub const SIGNATURE_ALGORITHM: &str = "rsa-pkcs1-sha256";
+/// Identifier of the digest algorithm.
+pub const DIGEST_ALGORITHM: &str = "sha256";
+
+/// Errors produced when creating or verifying enveloped signatures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DsigError {
+    /// The element carries no `<Signature>` child.
+    MissingSignature,
+    /// The signature structure is missing a required child or attribute.
+    MalformedSignature(String),
+    /// The digest over the element content does not match `DigestValue`
+    /// (the advertisement body was modified after signing).
+    DigestMismatch,
+    /// The cryptographic signature over `SignedInfo` does not verify
+    /// (wrong key or tampered signature block).
+    SignatureInvalid,
+    /// An algorithm identifier in the signature is not supported.
+    UnsupportedAlgorithm(String),
+    /// An underlying crypto operation failed.
+    Crypto(CryptoError),
+}
+
+impl std::fmt::Display for DsigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DsigError::MissingSignature => write!(f, "element has no Signature child"),
+            DsigError::MalformedSignature(what) => write!(f, "malformed signature: {what}"),
+            DsigError::DigestMismatch => write!(f, "digest mismatch: element content was modified"),
+            DsigError::SignatureInvalid => write!(f, "signature verification failed"),
+            DsigError::UnsupportedAlgorithm(a) => write!(f, "unsupported algorithm: {a}"),
+            DsigError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DsigError {}
+
+impl From<CryptoError> for DsigError {
+    fn from(e: CryptoError) -> Self {
+        DsigError::Crypto(e)
+    }
+}
+
+/// Computes the digest input: the canonical form of `element` with all
+/// `<Signature>` children removed.
+fn digest_target(element: &Element) -> Vec<u8> {
+    let mut stripped = element.clone();
+    stripped.remove_children(SIGNATURE_ELEMENT);
+    stripped.to_canonical_xml().into_bytes()
+}
+
+/// Builds the `SignedInfo` element for a given digest value.
+fn build_signed_info(digest: &[u8]) -> Element {
+    Element::new("SignedInfo")
+        .with_child(Element::new("CanonicalizationMethod").with_attribute("Algorithm", C14N_ALGORITHM))
+        .with_child(Element::new("SignatureMethod").with_attribute("Algorithm", SIGNATURE_ALGORITHM))
+        .with_child(
+            Element::new("Reference")
+                .with_attribute("URI", "")
+                .with_child(Element::new("Transform").with_attribute("Algorithm", "enveloped-signature"))
+                .with_child(Element::new("DigestMethod").with_attribute("Algorithm", DIGEST_ALGORITHM))
+                .with_child(Element::new("DigestValue").with_text(base64::encode(digest))),
+        )
+}
+
+/// Signs `element` in place, appending an enveloped `<Signature>` child.
+///
+/// `key_info` is carried verbatim (Base64-encoded) inside `<KeyInfo>`; the
+/// security layer stores the signer's credential there.  Any existing
+/// signature children are replaced.
+pub fn sign_element(
+    element: &mut Element,
+    signer: &RsaPrivateKey,
+    key_info: &[u8],
+) -> Result<(), DsigError> {
+    element.remove_children(SIGNATURE_ELEMENT);
+
+    let digest = sha256(&digest_target(element));
+    let signed_info = build_signed_info(&digest);
+    let signature_value = signer.sign(signed_info.to_canonical_xml().as_bytes())?;
+
+    let signature = Element::new(SIGNATURE_ELEMENT)
+        .with_child(signed_info)
+        .with_child(Element::new("SignatureValue").with_text(base64::encode(&signature_value)))
+        .with_child(Element::new("KeyInfo").with_text(base64::encode(key_info)));
+    element.push_child(signature);
+    Ok(())
+}
+
+/// Returns the raw `KeyInfo` payload of the first signature child, if any.
+pub fn key_info(element: &Element) -> Result<Vec<u8>, DsigError> {
+    let signature = element
+        .child(SIGNATURE_ELEMENT)
+        .ok_or(DsigError::MissingSignature)?;
+    let ki = signature
+        .child("KeyInfo")
+        .ok_or_else(|| DsigError::MalformedSignature("missing KeyInfo".into()))?;
+    base64::decode(&ki.text())
+        .map_err(|e| DsigError::MalformedSignature(format!("KeyInfo base64: {e}")))
+}
+
+/// Verifies the enveloped signature of `element` against `signer_key`.
+///
+/// Checks, in order: structural well-formedness, supported algorithm
+/// identifiers, the content digest (integrity of the advertisement body) and
+/// the RSA signature over `SignedInfo` (authenticity of the signer).
+pub fn verify_element(element: &Element, signer_key: &RsaPublicKey) -> Result<(), DsigError> {
+    let signature = element
+        .child(SIGNATURE_ELEMENT)
+        .ok_or(DsigError::MissingSignature)?;
+
+    let signed_info = signature
+        .child("SignedInfo")
+        .ok_or_else(|| DsigError::MalformedSignature("missing SignedInfo".into()))?;
+
+    // Algorithm identifiers must match what we produce.
+    let sig_method = signed_info
+        .child("SignatureMethod")
+        .and_then(|e| e.attribute("Algorithm"))
+        .ok_or_else(|| DsigError::MalformedSignature("missing SignatureMethod".into()))?;
+    if sig_method != SIGNATURE_ALGORITHM {
+        return Err(DsigError::UnsupportedAlgorithm(sig_method.to_string()));
+    }
+    let c14n = signed_info
+        .child("CanonicalizationMethod")
+        .and_then(|e| e.attribute("Algorithm"))
+        .ok_or_else(|| DsigError::MalformedSignature("missing CanonicalizationMethod".into()))?;
+    if c14n != C14N_ALGORITHM {
+        return Err(DsigError::UnsupportedAlgorithm(c14n.to_string()));
+    }
+
+    let reference = signed_info
+        .child("Reference")
+        .ok_or_else(|| DsigError::MalformedSignature("missing Reference".into()))?;
+    let digest_method = reference
+        .child("DigestMethod")
+        .and_then(|e| e.attribute("Algorithm"))
+        .ok_or_else(|| DsigError::MalformedSignature("missing DigestMethod".into()))?;
+    if digest_method != DIGEST_ALGORITHM {
+        return Err(DsigError::UnsupportedAlgorithm(digest_method.to_string()));
+    }
+    let digest_value = reference
+        .child("DigestValue")
+        .ok_or_else(|| DsigError::MalformedSignature("missing DigestValue".into()))?
+        .text();
+    let claimed_digest = base64::decode(&digest_value)
+        .map_err(|e| DsigError::MalformedSignature(format!("DigestValue base64: {e}")))?;
+
+    // 1. Content integrity.
+    let actual_digest = sha256(&digest_target(element));
+    if claimed_digest != actual_digest {
+        return Err(DsigError::DigestMismatch);
+    }
+
+    // 2. Signature over SignedInfo.
+    let signature_value = signature
+        .child("SignatureValue")
+        .ok_or_else(|| DsigError::MalformedSignature("missing SignatureValue".into()))?
+        .text();
+    let signature_bytes = base64::decode(&signature_value)
+        .map_err(|e| DsigError::MalformedSignature(format!("SignatureValue base64: {e}")))?;
+
+    signer_key
+        .verify(signed_info.to_canonical_xml().as_bytes(), &signature_bytes)
+        .map_err(|_| DsigError::SignatureInvalid)
+}
+
+/// Returns `true` if the element carries a `<Signature>` child.
+pub fn is_signed(element: &Element) -> bool {
+    element.child(SIGNATURE_ELEMENT).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parser::parse;
+    use jxta_crypto::drbg::HmacDrbg;
+    use jxta_crypto::rsa::RsaKeyPair;
+    use std::sync::OnceLock;
+
+    fn keypair() -> &'static RsaKeyPair {
+        static KP: OnceLock<RsaKeyPair> = OnceLock::new();
+        KP.get_or_init(|| {
+            let mut rng = HmacDrbg::from_seed_u64(0xD516);
+            RsaKeyPair::generate(&mut rng, 512).unwrap()
+        })
+    }
+
+    fn other_keypair() -> &'static RsaKeyPair {
+        static KP: OnceLock<RsaKeyPair> = OnceLock::new();
+        KP.get_or_init(|| {
+            let mut rng = HmacDrbg::from_seed_u64(0xBAD);
+            RsaKeyPair::generate(&mut rng, 512).unwrap()
+        })
+    }
+
+    fn sample_advertisement() -> Element {
+        Element::new("PipeAdvertisement")
+            .with_attribute("xmlns", "jxta:overlay")
+            .with_child(Element::new("Id").with_text("urn:jxta:pipe:77"))
+            .with_child(Element::new("Type").with_text("JxtaUnicast"))
+            .with_child(Element::new("Name").with_text("peer-inbox"))
+    }
+
+    #[test]
+    fn sign_and_verify_roundtrip() {
+        let kp = keypair();
+        let mut adv = sample_advertisement();
+        sign_element(&mut adv, &kp.private, b"credential-bytes").unwrap();
+        assert!(is_signed(&adv));
+        verify_element(&adv, &kp.public).unwrap();
+        assert_eq!(key_info(&adv).unwrap(), b"credential-bytes");
+    }
+
+    #[test]
+    fn original_element_type_is_preserved() {
+        // The paper's key argument versus JXTA's Base64-wrapped signed
+        // advertisements: the signed document keeps its root element name.
+        let kp = keypair();
+        let mut adv = sample_advertisement();
+        sign_element(&mut adv, &kp.private, b"cred").unwrap();
+        assert_eq!(adv.name(), "PipeAdvertisement");
+        assert_eq!(adv.child_text("Id"), Some("urn:jxta:pipe:77".to_string()));
+    }
+
+    #[test]
+    fn signature_survives_xml_roundtrip() {
+        let kp = keypair();
+        let mut adv = sample_advertisement();
+        sign_element(&mut adv, &kp.private, b"cred").unwrap();
+        let xml = adv.to_xml();
+        let parsed = parse(&xml).unwrap();
+        verify_element(&parsed, &kp.public).unwrap();
+        // And through the canonical form as well.
+        let parsed_canon = parse(&adv.to_canonical_xml()).unwrap();
+        verify_element(&parsed_canon, &kp.public).unwrap();
+    }
+
+    #[test]
+    fn tampered_content_is_detected() {
+        let kp = keypair();
+        let mut adv = sample_advertisement();
+        sign_element(&mut adv, &kp.private, b"cred").unwrap();
+        adv.child_mut("Name").unwrap().push_text("-evil");
+        assert_eq!(verify_element(&adv, &kp.public), Err(DsigError::DigestMismatch));
+    }
+
+    #[test]
+    fn tampered_attribute_is_detected() {
+        let kp = keypair();
+        let mut adv = sample_advertisement();
+        sign_element(&mut adv, &kp.private, b"cred").unwrap();
+        adv.set_attribute("xmlns", "jxta:forged");
+        assert_eq!(verify_element(&adv, &kp.public), Err(DsigError::DigestMismatch));
+    }
+
+    #[test]
+    fn wrong_key_is_rejected() {
+        let kp = keypair();
+        let mut adv = sample_advertisement();
+        sign_element(&mut adv, &kp.private, b"cred").unwrap();
+        assert_eq!(
+            verify_element(&adv, &other_keypair().public),
+            Err(DsigError::SignatureInvalid)
+        );
+    }
+
+    #[test]
+    fn swapped_signature_block_is_rejected() {
+        // Take a valid signature from one advertisement and graft it onto a
+        // different advertisement: the digest no longer matches.
+        let kp = keypair();
+        let mut adv1 = sample_advertisement();
+        sign_element(&mut adv1, &kp.private, b"cred").unwrap();
+        let sig_block = adv1.child(SIGNATURE_ELEMENT).unwrap().clone();
+
+        let mut adv2 = sample_advertisement();
+        adv2.child_mut("Name").unwrap().push_text("-other");
+        adv2.push_child(sig_block);
+        assert_eq!(verify_element(&adv2, &kp.public), Err(DsigError::DigestMismatch));
+    }
+
+    #[test]
+    fn forged_digest_without_key_is_rejected() {
+        // An attacker who fixes up DigestValue still cannot forge
+        // SignatureValue without the private key.
+        let kp = keypair();
+        let mut adv = sample_advertisement();
+        sign_element(&mut adv, &kp.private, b"cred").unwrap();
+        adv.child_mut("Name").unwrap().push_text("-evil");
+        // Recompute the digest like an attacker would.
+        let new_digest = sha256(&digest_target(&adv));
+        let sig = adv.child_mut(SIGNATURE_ELEMENT).unwrap();
+        let reference = sig.child_mut("SignedInfo").unwrap().child_mut("Reference").unwrap();
+        let dv = reference.child_mut("DigestValue").unwrap();
+        *dv = Element::new("DigestValue").with_text(base64::encode(&new_digest));
+        assert_eq!(verify_element(&adv, &kp.public), Err(DsigError::SignatureInvalid));
+    }
+
+    #[test]
+    fn missing_signature_reported() {
+        let adv = sample_advertisement();
+        assert_eq!(verify_element(&adv, &keypair().public), Err(DsigError::MissingSignature));
+        assert!(!is_signed(&adv));
+        assert_eq!(key_info(&adv), Err(DsigError::MissingSignature));
+    }
+
+    #[test]
+    fn malformed_signature_structures_reported() {
+        let kp = keypair();
+        let mut adv = sample_advertisement();
+        sign_element(&mut adv, &kp.private, b"cred").unwrap();
+
+        // Remove SignedInfo.
+        let mut broken = adv.clone();
+        broken.child_mut(SIGNATURE_ELEMENT).unwrap().remove_children("SignedInfo");
+        assert!(matches!(
+            verify_element(&broken, &kp.public),
+            Err(DsigError::MalformedSignature(_))
+        ));
+
+        // Remove SignatureValue.
+        let mut broken = adv.clone();
+        broken.child_mut(SIGNATURE_ELEMENT).unwrap().remove_children("SignatureValue");
+        assert!(matches!(
+            verify_element(&broken, &kp.public),
+            Err(DsigError::MalformedSignature(_))
+        ));
+
+        // Corrupt the Base64 of KeyInfo.
+        let mut broken = adv.clone();
+        let sig = broken.child_mut(SIGNATURE_ELEMENT).unwrap();
+        sig.remove_children("KeyInfo");
+        sig.push_child(Element::new("KeyInfo").with_text("!!!not-base64!!!"));
+        assert!(matches!(key_info(&broken), Err(DsigError::MalformedSignature(_))));
+    }
+
+    #[test]
+    fn unsupported_algorithm_reported() {
+        let kp = keypair();
+        let mut adv = sample_advertisement();
+        sign_element(&mut adv, &kp.private, b"cred").unwrap();
+        let sig = adv.child_mut(SIGNATURE_ELEMENT).unwrap();
+        let si = sig.child_mut("SignedInfo").unwrap();
+        si.child_mut("SignatureMethod")
+            .unwrap()
+            .set_attribute("Algorithm", "rsa-md5");
+        assert_eq!(
+            verify_element(&adv, &kp.public),
+            Err(DsigError::UnsupportedAlgorithm("rsa-md5".to_string()))
+        );
+    }
+
+    #[test]
+    fn resigning_replaces_old_signature() {
+        let kp = keypair();
+        let mut adv = sample_advertisement();
+        sign_element(&mut adv, &kp.private, b"cred-1").unwrap();
+        sign_element(&mut adv, &kp.private, b"cred-2").unwrap();
+        let sig_count = adv.child_elements().filter(|e| e.name() == SIGNATURE_ELEMENT).count();
+        assert_eq!(sig_count, 1);
+        verify_element(&adv, &kp.public).unwrap();
+        assert_eq!(key_info(&adv).unwrap(), b"cred-2");
+    }
+
+    #[test]
+    fn error_display_messages() {
+        assert!(DsigError::MissingSignature.to_string().contains("no Signature"));
+        assert!(DsigError::DigestMismatch.to_string().contains("modified"));
+        assert!(DsigError::UnsupportedAlgorithm("x".into()).to_string().contains('x'));
+    }
+}

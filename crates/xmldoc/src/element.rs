@@ -1,0 +1,368 @@
+//! The XML tree model: [`Element`] and [`Node`].
+
+use std::fmt;
+
+/// A node in an XML document: either a child element or a text run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A nested element.
+    Element(Element),
+    /// A text node (already unescaped).
+    Text(String),
+}
+
+/// An XML element with attributes and child nodes.
+///
+/// Attributes preserve insertion order for plain serialisation but are
+/// sorted by name in the canonical form, so signing is independent of the
+/// order in which a peer happened to add them.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    name: String,
+    attributes: Vec<(String, String)>,
+    children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
+    }
+
+    /// The element's tag name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Renames the element (used by tests to simulate advertisement forgery).
+    pub fn set_name(&mut self, name: impl Into<String>) {
+        self.name = name.into();
+    }
+
+    /// Adds or replaces an attribute and returns `self` for chaining.
+    pub fn with_attribute(mut self, name: impl Into<String>, value: impl Into<String>) -> Self {
+        self.set_attribute(name, value);
+        self
+    }
+
+    /// Adds a child element and returns `self` for chaining.
+    pub fn with_child(mut self, child: Element) -> Self {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Adds a text child and returns `self` for chaining.
+    pub fn with_text(mut self, text: impl Into<String>) -> Self {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Sets (or replaces) an attribute.
+    pub fn set_attribute(&mut self, name: impl Into<String>, value: impl Into<String>) {
+        let name = name.into();
+        let value = value.into();
+        if let Some(attr) = self.attributes.iter_mut().find(|(n, _)| *n == name) {
+            attr.1 = value;
+        } else {
+            self.attributes.push((name, value));
+        }
+    }
+
+    /// Returns an attribute value by name.
+    pub fn attribute(&self, name: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// All attributes in insertion order.
+    pub fn attributes(&self) -> &[(String, String)] {
+        &self.attributes
+    }
+
+    /// Appends a child element.
+    pub fn push_child(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Appends a text node.
+    pub fn push_text(&mut self, text: impl Into<String>) {
+        self.children.push(Node::Text(text.into()));
+    }
+
+    /// All child nodes.
+    pub fn children(&self) -> &[Node] {
+        &self.children
+    }
+
+    /// Iterates over child elements only.
+    pub fn child_elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// Finds the first child element with the given tag name.
+    pub fn child(&self, name: &str) -> Option<&Element> {
+        self.child_elements().find(|e| e.name == name)
+    }
+
+    /// Finds the first child element with the given tag name, mutably.
+    pub fn child_mut(&mut self, name: &str) -> Option<&mut Element> {
+        self.children.iter_mut().find_map(|n| match n {
+            Node::Element(e) if e.name == name => Some(e),
+            _ => None,
+        })
+    }
+
+    /// Removes every child element with the given name, returning how many
+    /// were removed.
+    pub fn remove_children(&mut self, name: &str) -> usize {
+        let before = self.children.len();
+        self.children.retain(|n| match n {
+            Node::Element(e) => e.name != name,
+            Node::Text(_) => true,
+        });
+        before - self.children.len()
+    }
+
+    /// Concatenated text content of this element's direct text children.
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        for node in &self.children {
+            if let Node::Text(t) = node {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Convenience: the text of a named child element, if present.
+    pub fn child_text(&self, name: &str) -> Option<String> {
+        self.child(name).map(|c| c.text())
+    }
+
+    /// Serialises the element as XML with an `<?xml ... ?>` declaration.
+    pub fn to_document(&self) -> String {
+        let mut out = String::from("<?xml version=\"1.0\" encoding=\"UTF-8\"?>\n");
+        self.write(&mut out, false);
+        out
+    }
+
+    /// Serialises the element as XML (no declaration, attributes in
+    /// insertion order).
+    pub fn to_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, false);
+        out
+    }
+
+    /// Serialises the element in canonical form: attributes sorted by name,
+    /// no insignificant whitespace, empty elements written as start/end tag
+    /// pairs.  This is the byte string that gets hashed and signed.
+    pub fn to_canonical_xml(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, true);
+        out
+    }
+
+    fn write(&self, out: &mut String, canonical: bool) {
+        out.push('<');
+        out.push_str(&self.name);
+        if canonical {
+            let mut attrs: Vec<&(String, String)> = self.attributes.iter().collect();
+            attrs.sort_by(|a, b| a.0.cmp(&b.0));
+            for (name, value) in attrs {
+                out.push(' ');
+                out.push_str(name);
+                out.push_str("=\"");
+                out.push_str(&escape_attribute(value));
+                out.push('"');
+            }
+        } else {
+            for (name, value) in &self.attributes {
+                out.push(' ');
+                out.push_str(name);
+                out.push_str("=\"");
+                out.push_str(&escape_attribute(value));
+                out.push('"');
+            }
+        }
+        if self.children.is_empty() && !canonical {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for child in &self.children {
+            match child {
+                Node::Element(e) => e.write(out, canonical),
+                Node::Text(t) => out.push_str(&escape_text(t)),
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_xml())
+    }
+}
+
+/// Escapes text content (`&`, `<`, `>`).
+pub fn escape_text(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values (`&`, `<`, `>`, `"`, `'`).
+pub fn escape_attribute(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Element {
+        Element::new("PipeAdvertisement")
+            .with_attribute("xmlns", "jxta:overlay")
+            .with_attribute("type", "JxtaUnicast")
+            .with_child(
+                Element::new("Id").with_text("urn:jxta:pipe:1234"),
+            )
+            .with_child(Element::new("Name").with_text("group-chat"))
+    }
+
+    #[test]
+    fn builder_and_accessors() {
+        let e = sample();
+        assert_eq!(e.name(), "PipeAdvertisement");
+        assert_eq!(e.attribute("type"), Some("JxtaUnicast"));
+        assert_eq!(e.attribute("missing"), None);
+        assert_eq!(e.child("Id").unwrap().text(), "urn:jxta:pipe:1234");
+        assert_eq!(e.child_text("Name"), Some("group-chat".to_string()));
+        assert_eq!(e.child_text("Missing"), None);
+        assert_eq!(e.child_elements().count(), 2);
+    }
+
+    #[test]
+    fn set_attribute_replaces_existing() {
+        let mut e = Element::new("x").with_attribute("a", "1");
+        e.set_attribute("a", "2");
+        e.set_attribute("b", "3");
+        assert_eq!(e.attribute("a"), Some("2"));
+        assert_eq!(e.attributes().len(), 2);
+    }
+
+    #[test]
+    fn remove_children_by_name() {
+        let mut e = sample();
+        e.push_child(Element::new("Name").with_text("duplicate"));
+        assert_eq!(e.remove_children("Name"), 2);
+        assert!(e.child("Name").is_none());
+        assert_eq!(e.remove_children("Name"), 0);
+        // Text nodes survive removal.
+        let mut t = Element::new("x").with_text("keep me");
+        t.push_child(Element::new("gone"));
+        t.remove_children("gone");
+        assert_eq!(t.text(), "keep me");
+    }
+
+    #[test]
+    fn serialisation_basic() {
+        let e = Element::new("Msg")
+            .with_attribute("to", "peer-1")
+            .with_text("hello");
+        assert_eq!(e.to_xml(), "<Msg to=\"peer-1\">hello</Msg>");
+        assert!(e.to_document().starts_with("<?xml"));
+    }
+
+    #[test]
+    fn empty_element_short_form_vs_canonical() {
+        let e = Element::new("Presence").with_attribute("status", "online");
+        assert_eq!(e.to_xml(), "<Presence status=\"online\"/>");
+        assert_eq!(e.to_canonical_xml(), "<Presence status=\"online\"></Presence>");
+    }
+
+    #[test]
+    fn canonical_form_sorts_attributes() {
+        let a = Element::new("x")
+            .with_attribute("zeta", "1")
+            .with_attribute("alpha", "2");
+        let b = Element::new("x")
+            .with_attribute("alpha", "2")
+            .with_attribute("zeta", "1");
+        assert_ne!(a.to_xml(), b.to_xml());
+        assert_eq!(a.to_canonical_xml(), b.to_canonical_xml());
+        assert_eq!(a.to_canonical_xml(), "<x alpha=\"2\" zeta=\"1\"></x>");
+    }
+
+    #[test]
+    fn escaping_in_text_and_attributes() {
+        let e = Element::new("m")
+            .with_attribute("a", "x < \"y\" & 'z'")
+            .with_text("1 < 2 & 3 > 2");
+        let xml = e.to_xml();
+        assert!(xml.contains("a=\"x &lt; &quot;y&quot; &amp; &apos;z&apos;\""));
+        assert!(xml.contains(">1 &lt; 2 &amp; 3 &gt; 2<"));
+    }
+
+    #[test]
+    fn text_concatenates_only_direct_text() {
+        let e = Element::new("outer")
+            .with_text("a")
+            .with_child(Element::new("inner").with_text("X"))
+            .with_text("b");
+        assert_eq!(e.text(), "ab");
+    }
+
+    #[test]
+    fn display_matches_to_xml() {
+        let e = sample();
+        assert_eq!(format!("{e}"), e.to_xml());
+    }
+
+    #[test]
+    fn child_mut_allows_in_place_edit() {
+        let mut e = sample();
+        e.child_mut("Name").unwrap().push_text("-v2");
+        assert_eq!(e.child_text("Name"), Some("group-chat-v2".to_string()));
+        assert!(e.child_mut("Nope").is_none());
+    }
+
+    #[test]
+    fn set_name_changes_tag() {
+        let mut e = Element::new("Original");
+        e.set_name("Forged");
+        assert_eq!(e.name(), "Forged");
+        assert!(e.to_xml().starts_with("<Forged"));
+    }
+}

@@ -1,0 +1,445 @@
+//! A small recursive-descent XML parser.
+//!
+//! The parser supports the subset of XML that JXTA-style advertisements use:
+//! elements, attributes (single or double quoted), text content with the
+//! five predefined entities plus decimal/hex character references, CDATA
+//! sections, comments, processing instructions and an optional XML
+//! declaration.  It does not implement DTDs, namespaces-aware validation or
+//! external entities (the latter being a deliberate security choice: entity
+//! expansion attacks simply cannot happen).
+
+use crate::element::Element;
+
+/// Error produced when parsing malformed XML.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset in the input at which the error was detected.
+    pub offset: usize,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "XML parse error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses an XML document (or fragment with a single root element) into an
+/// [`Element`] tree.
+pub fn parse(input: &str) -> Result<Element, ParseError> {
+    let mut parser = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    parser.skip_prolog()?;
+    let root = parser.parse_element()?;
+    parser.skip_misc();
+    if parser.pos != parser.bytes.len() {
+        return Err(parser.error("trailing content after root element"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos..].starts_with(s.as_bytes())
+    }
+
+    fn advance(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn skip_whitespace(&mut self) {
+        while let Some(b) = self.peek() {
+            if b.is_ascii_whitespace() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Skips the XML declaration, comments, PIs and whitespace before the root.
+    fn skip_prolog(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<!DOCTYPE") {
+                // Consume a simple (bracket-free) DOCTYPE declaration.
+                self.skip_until(">")?;
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skips comments/PIs/whitespace after the root element.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_whitespace();
+            if self.starts_with("<!--") {
+                if self.skip_until("-->").is_err() {
+                    return;
+                }
+            } else if self.starts_with("<?") {
+                if self.skip_until("?>").is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_until(&mut self, marker: &str) -> Result<(), ParseError> {
+        let remaining = &self.bytes[self.pos..];
+        match find_subsequence(remaining, marker.as_bytes()) {
+            Some(idx) => {
+                self.pos += idx + marker.len();
+                Ok(())
+            }
+            None => Err(self.error(&format!("unterminated construct (expected {marker:?})"))),
+        }
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.error("expected a name"));
+        }
+        Ok(String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseError> {
+        if self.peek() != Some(b'<') {
+            return Err(self.error("expected '<'"));
+        }
+        self.advance(1);
+        let name = self.parse_name()?;
+        let mut element = Element::new(name);
+
+        // Attributes.
+        loop {
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b'>') => {
+                    self.advance(1);
+                    break;
+                }
+                Some(b'/') => {
+                    if self.starts_with("/>") {
+                        self.advance(2);
+                        return Ok(element);
+                    }
+                    return Err(self.error("unexpected '/'"));
+                }
+                Some(_) => {
+                    let attr_name = self.parse_name()?;
+                    self.skip_whitespace();
+                    if self.peek() != Some(b'=') {
+                        return Err(self.error("expected '=' after attribute name"));
+                    }
+                    self.advance(1);
+                    self.skip_whitespace();
+                    let quote = match self.peek() {
+                        Some(q @ (b'"' | b'\'')) => q,
+                        _ => return Err(self.error("expected quoted attribute value")),
+                    };
+                    self.advance(1);
+                    let start = self.pos;
+                    while let Some(b) = self.peek() {
+                        if b == quote {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                    if self.peek() != Some(quote) {
+                        return Err(self.error("unterminated attribute value"));
+                    }
+                    let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                    self.advance(1);
+                    element.set_attribute(attr_name, unescape(&raw, self.pos)?);
+                }
+                None => return Err(self.error("unexpected end of input in start tag")),
+            }
+        }
+
+        // Children until the matching end tag.
+        loop {
+            if self.starts_with("</") {
+                self.advance(2);
+                let end_name = self.parse_name()?;
+                if end_name != element.name() {
+                    return Err(self.error(&format!(
+                        "mismatched end tag: expected </{}>, found </{}>",
+                        element.name(),
+                        end_name
+                    )));
+                }
+                self.skip_whitespace();
+                if self.peek() != Some(b'>') {
+                    return Err(self.error("expected '>' to close end tag"));
+                }
+                self.advance(1);
+                return Ok(element);
+            } else if self.starts_with("<!--") {
+                self.skip_until("-->")?;
+            } else if self.starts_with("<![CDATA[") {
+                self.advance("<![CDATA[".len());
+                let remaining = &self.bytes[self.pos..];
+                let end = find_subsequence(remaining, b"]]>")
+                    .ok_or_else(|| self.error("unterminated CDATA section"))?;
+                let text = String::from_utf8_lossy(&remaining[..end]).into_owned();
+                element.push_text(text);
+                self.pos += end + 3;
+            } else if self.starts_with("<?") {
+                self.skip_until("?>")?;
+            } else if self.peek() == Some(b'<') {
+                let child = self.parse_element()?;
+                element.push_child(child);
+            } else if self.peek().is_some() {
+                // Text content up to the next '<'.
+                let start = self.pos;
+                while let Some(b) = self.peek() {
+                    if b == b'<' {
+                        break;
+                    }
+                    self.pos += 1;
+                }
+                let raw = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+                let text = unescape(&raw, start)?;
+                // Skip pure-whitespace runs between elements; they are
+                // formatting, not data.
+                if !text.trim().is_empty() {
+                    element.push_text(text);
+                }
+            } else {
+                return Err(self.error("unexpected end of input inside element"));
+            }
+        }
+    }
+}
+
+fn find_subsequence(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    if needle.is_empty() || haystack.len() < needle.len() {
+        return None;
+    }
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Expands the predefined entities and numeric character references.
+fn unescape(raw: &str, offset: usize) -> Result<String, ParseError> {
+    if !raw.contains('&') {
+        return Ok(raw.to_string());
+    }
+    let mut out = String::with_capacity(raw.len());
+    let mut chars = raw.char_indices();
+    while let Some((_, c)) = chars.next() {
+        if c != '&' {
+            out.push(c);
+            continue;
+        }
+        let mut entity = String::new();
+        let mut terminated = false;
+        for (_, ec) in chars.by_ref() {
+            if ec == ';' {
+                terminated = true;
+                break;
+            }
+            entity.push(ec);
+            if entity.len() > 10 {
+                break;
+            }
+        }
+        if !terminated {
+            return Err(ParseError {
+                offset,
+                message: format!("unterminated entity reference '&{entity}'"),
+            });
+        }
+        match entity.as_str() {
+            "amp" => out.push('&'),
+            "lt" => out.push('<'),
+            "gt" => out.push('>'),
+            "quot" => out.push('"'),
+            "apos" => out.push('\''),
+            other => {
+                let code = if let Some(hex) = other.strip_prefix("#x") {
+                    u32::from_str_radix(hex, 16).ok()
+                } else if let Some(dec) = other.strip_prefix('#') {
+                    dec.parse::<u32>().ok()
+                } else {
+                    None
+                };
+                match code.and_then(char::from_u32) {
+                    Some(ch) => out.push(ch),
+                    None => {
+                        return Err(ParseError {
+                            offset,
+                            message: format!("unknown entity '&{other};'"),
+                        })
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_element() {
+        let e = parse("<Msg>hello</Msg>").unwrap();
+        assert_eq!(e.name(), "Msg");
+        assert_eq!(e.text(), "hello");
+    }
+
+    #[test]
+    fn parse_self_closing_with_attributes() {
+        let e = parse(r#"<Presence status="online" peer='p1'/>"#).unwrap();
+        assert_eq!(e.attribute("status"), Some("online"));
+        assert_eq!(e.attribute("peer"), Some("p1"));
+        assert!(e.children().is_empty());
+    }
+
+    #[test]
+    fn parse_nested_structure() {
+        let xml = r#"
+            <PipeAdvertisement xmlns="jxta:overlay">
+              <Id>urn:jxta:pipe:42</Id>
+              <Type>JxtaUnicast</Type>
+              <Name>chat</Name>
+            </PipeAdvertisement>"#;
+        let e = parse(xml).unwrap();
+        assert_eq!(e.name(), "PipeAdvertisement");
+        assert_eq!(e.child_elements().count(), 3);
+        assert_eq!(e.child_text("Id"), Some("urn:jxta:pipe:42".to_string()));
+    }
+
+    #[test]
+    fn parse_with_declaration_comment_and_doctype() {
+        let xml = "<?xml version=\"1.0\"?>\n<!DOCTYPE jxta>\n<!-- an advert -->\n<A><B/></A>\n<!-- done -->";
+        let e = parse(xml).unwrap();
+        assert_eq!(e.name(), "A");
+        assert!(e.child("B").is_some());
+    }
+
+    #[test]
+    fn parse_entities_and_char_refs() {
+        let e = parse("<t a=\"1 &lt; 2\">&amp;&gt;&quot;&apos;&#65;&#x42;</t>").unwrap();
+        assert_eq!(e.attribute("a"), Some("1 < 2"));
+        assert_eq!(e.text(), "&>\"'AB");
+    }
+
+    #[test]
+    fn parse_cdata() {
+        let e = parse("<t><![CDATA[<not> & parsed]]></t>").unwrap();
+        assert_eq!(e.text(), "<not> & parsed");
+    }
+
+    #[test]
+    fn roundtrip_through_serialisation() {
+        let original = Element::new("FileIndex")
+            .with_attribute("owner", "peer <1>")
+            .with_child(Element::new("Entry").with_attribute("name", "a&b.txt").with_text("123"))
+            .with_child(Element::new("Entry").with_attribute("name", "c.txt").with_text("456"));
+        let xml = original.to_xml();
+        let parsed = parse(&xml).unwrap();
+        assert_eq!(parsed, original);
+        // Canonical form also survives a reparse.
+        let parsed_canon = parse(&original.to_canonical_xml()).unwrap();
+        assert_eq!(parsed_canon.to_canonical_xml(), original.to_canonical_xml());
+    }
+
+    #[test]
+    fn whitespace_between_elements_is_dropped() {
+        let e = parse("<a>\n  <b>x</b>\n  <c>y</c>\n</a>").unwrap();
+        assert_eq!(e.children().len(), 2);
+    }
+
+    #[test]
+    fn mixed_content_text_is_kept() {
+        let e = parse("<a>hello <b>world</b></a>").unwrap();
+        assert_eq!(e.text(), "hello ");
+        assert_eq!(e.child_text("b"), Some("world".to_string()));
+    }
+
+    #[test]
+    fn error_on_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"));
+    }
+
+    #[test]
+    fn error_on_unterminated_element() {
+        assert!(parse("<a><b>").is_err());
+        assert!(parse("<a").is_err());
+    }
+
+    #[test]
+    fn error_on_trailing_content() {
+        let err = parse("<a/><b/>").unwrap_err();
+        assert!(err.message.contains("trailing"));
+    }
+
+    #[test]
+    fn error_on_bad_attribute_syntax() {
+        assert!(parse("<a x=1/>").is_err());
+        assert!(parse("<a x=\"1/>").is_err());
+        assert!(parse("<a x>").is_err());
+    }
+
+    #[test]
+    fn error_on_unknown_entity() {
+        let err = parse("<a>&bogus;</a>").unwrap_err();
+        assert!(err.message.contains("unknown entity"));
+        assert!(parse("<a>&unterminated</a>").is_err());
+    }
+
+    #[test]
+    fn error_display_contains_offset() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("byte"));
+    }
+
+    #[test]
+    fn empty_input_is_an_error() {
+        assert!(parse("").is_err());
+        assert!(parse("   ").is_err());
+    }
+}

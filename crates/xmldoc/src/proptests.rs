@@ -1,0 +1,134 @@
+//! Property-based tests for the XML model, parser and signature layer.
+
+use crate::dsig::{sign_element, verify_element, DsigError};
+use crate::element::Element;
+use crate::parser::parse;
+use jxta_crypto::drbg::HmacDrbg;
+use jxta_crypto::rsa::RsaKeyPair;
+use proptest::prelude::*;
+use std::sync::OnceLock;
+
+fn keypair() -> &'static RsaKeyPair {
+    static KP: OnceLock<RsaKeyPair> = OnceLock::new();
+    KP.get_or_init(|| {
+        let mut rng = HmacDrbg::from_seed_u64(0x11223344);
+        RsaKeyPair::generate(&mut rng, 512).unwrap()
+    })
+}
+
+/// Tag/attribute names: ASCII identifiers.
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_.-]{0,12}"
+}
+
+/// Text content including characters that need escaping.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            Just('a'),
+            Just('Z'),
+            Just('0'),
+            Just(' '),
+            Just('&'),
+            Just('<'),
+            Just('>'),
+            Just('"'),
+            Just('\''),
+            Just('é'),
+            Just('本'),
+        ],
+        1..40,
+    )
+    .prop_map(|chars| chars.into_iter().collect())
+    .prop_filter("non-blank so the parser keeps the text node", |s: &String| {
+        !s.trim().is_empty()
+    })
+}
+
+/// A small random element tree (depth <= 3).
+fn arb_element() -> impl Strategy<Value = Element> {
+    let leaf = (arb_name(), proptest::option::of(arb_text()), proptest::collection::vec((arb_name(), arb_text()), 0..3))
+        .prop_map(|(name, text, attrs)| {
+            let mut e = Element::new(name);
+            for (an, av) in attrs {
+                e.set_attribute(an, av);
+            }
+            if let Some(t) = text {
+                e.push_text(t);
+            }
+            e
+        });
+    leaf.prop_recursive(2, 16, 4, move |inner| {
+        (arb_name(), proptest::collection::vec(inner, 0..4), proptest::collection::vec((arb_name(), arb_text()), 0..3))
+            .prop_map(|(name, children, attrs)| {
+                let mut e = Element::new(name);
+                for (an, av) in attrs {
+                    e.set_attribute(an, av);
+                }
+                for c in children {
+                    e.push_child(c);
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn serialise_parse_roundtrip(e in arb_element()) {
+        let parsed = parse(&e.to_xml()).unwrap();
+        prop_assert_eq!(parsed, e);
+    }
+
+    #[test]
+    fn canonical_form_is_stable_under_reparse(e in arb_element()) {
+        let c1 = e.to_canonical_xml();
+        let reparsed = parse(&c1).unwrap();
+        prop_assert_eq!(reparsed.to_canonical_xml(), c1);
+    }
+
+    #[test]
+    fn canonical_form_ignores_attribute_insertion_order(
+        name in arb_name(),
+        attrs in proptest::collection::vec((arb_name(), arb_text()), 2..6),
+    ) {
+        let mut forward = Element::new(name.clone());
+        for (n, v) in &attrs {
+            forward.set_attribute(n.clone(), v.clone());
+        }
+        let mut reverse = Element::new(name);
+        for (n, v) in attrs.iter().rev() {
+            reverse.set_attribute(n.clone(), v.clone());
+        }
+        prop_assert_eq!(forward.to_canonical_xml(), reverse.to_canonical_xml());
+    }
+
+    #[test]
+    fn signed_elements_always_verify_and_detect_tampering(
+        e in arb_element(),
+        key_info in proptest::collection::vec(any::<u8>(), 0..64),
+        extra_text in arb_text(),
+    ) {
+        let kp = keypair();
+        let mut signed = e.clone();
+        sign_element(&mut signed, &kp.private, &key_info).unwrap();
+        prop_assert_eq!(verify_element(&signed, &kp.public), Ok(()));
+        prop_assert_eq!(crate::dsig::key_info(&signed).unwrap(), key_info);
+
+        // Any added text child invalidates the digest.
+        let mut tampered = signed.clone();
+        tampered.push_text(extra_text);
+        prop_assert_eq!(verify_element(&tampered, &kp.public), Err(DsigError::DigestMismatch));
+    }
+
+    #[test]
+    fn signatures_survive_serialisation(e in arb_element()) {
+        let kp = keypair();
+        let mut signed = e;
+        sign_element(&mut signed, &kp.private, b"ki").unwrap();
+        let reparsed = parse(&signed.to_xml()).unwrap();
+        prop_assert_eq!(verify_element(&reparsed, &kp.public), Ok(()));
+    }
+}

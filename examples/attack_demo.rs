@@ -1,0 +1,101 @@
+//! Demonstrates the attacks of paper §2.3 against the plain primitives and
+//! shows how the secure primitives defeat them.
+//!
+//! Run with: `cargo run --example attack_demo`
+
+use jxta_overlay::GroupId;
+use jxta_overlay_secure::attacks::{Eavesdropper, FakeBroker, RedirectToFakeBroker};
+use jxta_overlay_secure::setup::SecureNetworkBuilder;
+
+fn main() {
+    let mut setup = SecureNetworkBuilder::new(0xA77)
+        .with_user("alice", "correct-horse-battery", &["ops"])
+        .with_user("bob", "bob-pw", &["ops"])
+        .build();
+    let broker = setup.broker_id();
+    let group = GroupId::new("ops");
+
+    // ------------------------------------------------------------------
+    // Threat 1: eavesdropping.
+    // ------------------------------------------------------------------
+    println!("== eavesdropping ==");
+    let spy = Eavesdropper::new();
+    setup.network().set_adversary(spy.clone());
+
+    let mut naive = setup.plain_client("naive-client");
+    naive.connect(broker).unwrap();
+    naive.login("alice", "correct-horse-battery").unwrap();
+    println!(
+        "plain login: password visible on the wire? {}",
+        spy.saw_text("correct-horse-battery")
+    );
+
+    let spy2 = Eavesdropper::new();
+    setup.network().set_adversary(spy2.clone());
+    let mut careful = setup.secure_client("careful-client");
+    careful.secure_join(broker, "alice", "correct-horse-battery").unwrap();
+    println!(
+        "secure login: password visible on the wire? {}",
+        spy2.saw_text("correct-horse-battery")
+    );
+    setup.network().clear_adversary();
+
+    // ------------------------------------------------------------------
+    // Threat 2: a fake broker reached via traffic redirection (DNS spoofing).
+    // ------------------------------------------------------------------
+    println!("\n== fake broker ==");
+    let fake = FakeBroker::spawn(setup.network(), 0xBAD, 1024);
+    setup
+        .network()
+        .set_adversary(RedirectToFakeBroker::new(broker, fake.id()));
+
+    let mut victim = setup.plain_client("victim");
+    victim.connect(broker).unwrap();
+    victim.login("bob", "bob-pw").unwrap();
+    println!(
+        "plain client believes it is logged in: {}; rogue broker harvested {:?}",
+        victim.is_logged_in(),
+        fake.harvested_credentials()
+    );
+
+    let mut defender = setup.secure_client("defender");
+    match defender.secure_connection(broker) {
+        Ok(_) => println!("secure client accepted the rogue broker (unexpected!)"),
+        Err(err) => println!("secure client rejected the rogue broker: {err}"),
+    }
+    setup.network().clear_adversary();
+
+    // ------------------------------------------------------------------
+    // Threat 3: advertisement forgery by a legitimate user.
+    // ------------------------------------------------------------------
+    println!("\n== advertisement forgery ==");
+    let mut bob = setup.secure_client("bob-client");
+    bob.secure_join(broker, "bob", "bob-pw").unwrap();
+    bob.publish_secure_pipe(&group).unwrap();
+    careful.publish_secure_pipe(&group).unwrap();
+
+    // Bob (legitimately credentialed) publishes a pipe advertisement that
+    // claims to be Alice's. The plain overlay would index it happily; the
+    // secure resolution rejects it when Alice's peers validate it.
+    use jxta_overlay::advertisement::{Advertisement, PipeAdvertisement};
+    let forged = PipeAdvertisement {
+        owner: careful.id(),
+        group: group.clone(),
+        name: "fake-alice-inbox".into(),
+    };
+    let mut element = forged.to_element();
+    jxta_overlay_secure::signed_adv::sign_advertisement(
+        &mut element,
+        bob.identity(),
+        bob.credential().unwrap(),
+    )
+    .unwrap();
+    let verdict = jxta_overlay_secure::signed_adv::validate_signed_pipe_advertisement(
+        &element.to_xml(),
+        careful.id(),
+        bob.trust(),
+    );
+    println!("forged advertisement accepted? {}", verdict.is_ok());
+    assert!(verdict.is_err());
+    println!("done.");
+}

@@ -1,0 +1,85 @@
+//! An e-learning scenario (the application domain that motivated
+//! JXTA-Overlay): a teacher and students organised into overlapping course
+//! groups, secure group announcements and private questions.
+//!
+//! Run with: `cargo run --example elearning_groups`
+
+use jxta_overlay::GroupId;
+use jxta_overlay_secure::setup::SecureNetworkBuilder;
+
+fn main() {
+    // The administrator registers the teacher and the students; group
+    // membership is part of the user configuration held in the central
+    // database (only brokers read it).
+    let mut setup = SecureNetworkBuilder::new(0xED0)
+        .with_user("prof-barolli", "teacher-pw", &["math-101", "networks-202"])
+        .with_user("keita", "student-pw-1", &["math-101", "networks-202"])
+        .with_user("joan", "student-pw-2", &["math-101"])
+        .with_user("fatos", "student-pw-3", &["networks-202"])
+        .build();
+    let broker = setup.broker_id();
+
+    let mut teacher = setup.secure_client("teacher-workstation");
+    let mut keita = setup.secure_client("keita-laptop");
+    let mut joan = setup.secure_client("joan-laptop");
+    let mut fatos = setup.secure_client("fatos-laptop");
+
+    teacher.secure_join(broker, "prof-barolli", "teacher-pw").unwrap();
+    keita.secure_join(broker, "keita", "student-pw-1").unwrap();
+    joan.secure_join(broker, "joan", "student-pw-2").unwrap();
+    fatos.secure_join(broker, "fatos", "student-pw-3").unwrap();
+    println!("teacher groups: {:?}", teacher.inner().groups());
+
+    let math = GroupId::new("math-101");
+    let networks = GroupId::new("networks-202");
+    for (client, groups) in [
+        (&mut teacher, vec![&math, &networks]),
+        (&mut keita, vec![&math, &networks]),
+        (&mut joan, vec![&math]),
+        (&mut fatos, vec![&networks]),
+    ] {
+        for group in groups {
+            client.publish_secure_pipe(group).unwrap();
+        }
+    }
+
+    // Group announcement: reaches only the members of math-101.
+    let (sent, timing) = teacher
+        .secure_msg_peer_group(&math, "math-101: the midterm moves to tuesday")
+        .unwrap();
+    println!(
+        "teacher announced to {sent} math-101 members in {:.2} ms",
+        timing.total().as_secs_f64() * 1e3
+    );
+
+    for (name, student) in [("keita", &mut keita), ("joan", &mut joan), ("fatos", &mut fatos)] {
+        let received = student.receive_secure_messages().unwrap();
+        println!("{name} received {} announcement(s)", received.len());
+        if name == "fatos" {
+            assert!(received.is_empty(), "fatos is not in math-101");
+        } else {
+            assert_eq!(received.len(), 1);
+            assert_eq!(received[0].sender_username, "prof-barolli");
+        }
+    }
+
+    // Private question from a student to the teacher — encrypted end-to-end.
+    keita
+        .secure_msg_peer(&networks, teacher.id(), "could you re-explain JXTA pipes?")
+        .unwrap();
+    let questions = teacher.receive_secure_messages().unwrap();
+    println!(
+        "teacher received a private question from {}: {:?}",
+        questions[0].sender_username, questions[0].text
+    );
+
+    // A parallel announcement to the larger networks-202 group.
+    let (sent, timing) = teacher
+        .secure_msg_peer_group_parallel(&networks, "networks-202: lab session uploaded")
+        .unwrap();
+    println!(
+        "parallel fan-out to {sent} networks-202 members took {:.2} ms",
+        timing.total().as_secs_f64() * 1e3
+    );
+    println!("done.");
+}

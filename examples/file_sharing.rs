@@ -1,0 +1,93 @@
+//! File sharing with signed advertisements: peers publish the files they
+//! share; the advertisements are signed and carry the owner's credential, so
+//! group members can tell genuine file indexes from forged ones.
+//!
+//! Run with: `cargo run --example file_sharing`
+
+use jxta_crypto::sha2::{hex_encode, sha256};
+use jxta_overlay::advertisement::{Advertisement, FileAdvertisement, FileEntry};
+use jxta_overlay::GroupId;
+use jxta_overlay_secure::signed_adv::{sign_advertisement, validate_signed_advertisement};
+use jxta_overlay_secure::setup::SecureNetworkBuilder;
+
+fn main() {
+    let mut setup = SecureNetworkBuilder::new(0xF11E)
+        .with_user("alice", "pw-a", &["downloads"])
+        .with_user("bob", "pw-b", &["downloads"])
+        .build();
+    let broker = setup.broker_id();
+    let group = GroupId::new("downloads");
+
+    let mut alice = setup.secure_client("alice-desktop");
+    let mut bob = setup.secure_client("bob-desktop");
+    alice.secure_join(broker, "alice", "pw-a").unwrap();
+    bob.secure_join(broker, "bob", "pw-b").unwrap();
+    alice.publish_secure_pipe(&group).unwrap();
+    bob.publish_secure_pipe(&group).unwrap();
+
+    // Alice shares two "files" (simulated contents) and signs the file
+    // advertisement with her broker-issued credential.
+    let files: Vec<(&str, Vec<u8>)> = vec![
+        ("lecture-notes.pdf", vec![0x25; 48 * 1024]),
+        ("assignment-1.tar.gz", vec![0x1f; 300 * 1024]),
+    ];
+    let entries: Vec<FileEntry> = files
+        .iter()
+        .map(|(name, contents)| FileEntry {
+            name: name.to_string(),
+            size: contents.len() as u64,
+            digest: hex_encode(&sha256(contents)),
+        })
+        .collect();
+    let advertisement = FileAdvertisement {
+        owner: alice.id(),
+        group: group.clone(),
+        entries,
+    };
+    let mut element = advertisement.to_element();
+    sign_advertisement(
+        &mut element,
+        alice.identity(),
+        alice.credential().unwrap(),
+    )
+    .unwrap();
+    let signed_xml = element.to_xml();
+    alice
+        .inner_mut()
+        .publish_advertisement(&group, FileAdvertisement::DOC_TYPE, &signed_xml)
+        .unwrap();
+    println!("alice published a signed index of {} files", advertisement.entries.len());
+
+    // Bob looks the index up through the broker and validates it before
+    // trusting any of the listed digests.
+    let results = bob
+        .inner_mut()
+        .lookup_advertisements(&group, FileAdvertisement::DOC_TYPE, Some(alice.id()))
+        .unwrap();
+    let validated = validate_signed_advertisement::<FileAdvertisement, _>(
+        &results[0],
+        alice.id(),
+        bob.trust(),
+        |adv| adv.owner,
+    )
+    .expect("the signed file index validates");
+    println!(
+        "bob validated the index published by {:?}:",
+        validated.credential.subject_name
+    );
+    for entry in &validated.advertisement.entries {
+        println!("  {:>24}  {:>8} bytes  sha256:{}…", entry.name, entry.size, &entry.digest[..16]);
+    }
+
+    // A tampered copy (say, a poisoned digest) is rejected.
+    let tampered = results[0].replace(&hex_encode(&sha256(&files[0].1)), &"00".repeat(32));
+    let verdict = validate_signed_advertisement::<FileAdvertisement, _>(
+        &tampered,
+        alice.id(),
+        bob.trust(),
+        |adv| adv.owner,
+    );
+    println!("tampered index rejected: {}", verdict.is_err());
+    assert!(verdict.is_err());
+    println!("done.");
+}

@@ -1,0 +1,131 @@
+//! Integration tests pitting the adversaries of paper §2.3 against both the
+//! plain and the secure primitives.
+
+use jxta_overlay::{GroupId, MessageKind};
+use jxta_overlay_secure::attacks::{
+    Eavesdropper, FakeBroker, LoginReplayAttacker, RedirectToFakeBroker,
+};
+use jxta_overlay_secure::setup::SecureNetworkBuilder;
+
+fn setup(seed: u64) -> jxta_overlay_secure::setup::SecureNetwork {
+    SecureNetworkBuilder::new(seed)
+        .with_key_bits(512)
+        .with_user("alice", "s3cret-password", &["ops"])
+        .with_user("bob", "bob-pw", &["ops"])
+        .build()
+}
+
+#[test]
+fn passwords_and_messages_are_invisible_to_eavesdroppers() {
+    let mut world = setup(20);
+    let broker = world.broker_id();
+    let group = GroupId::new("ops");
+    let spy = Eavesdropper::new();
+    world.network().set_adversary(spy.clone());
+
+    let mut alice = world.secure_client("alice");
+    let mut bob = world.secure_client("bob");
+    alice.secure_join(broker, "alice", "s3cret-password").unwrap();
+    bob.secure_join(broker, "bob", "bob-pw").unwrap();
+    alice.publish_secure_pipe(&group).unwrap();
+    bob.publish_secure_pipe(&group).unwrap();
+    alice.secure_msg_peer(&group, bob.id(), "launch code 0000").unwrap();
+    assert_eq!(bob.receive_secure_messages().unwrap()[0].text, "launch code 0000");
+
+    assert!(spy.observed_count() > 0, "the spy did see traffic");
+    assert!(!spy.saw_text("s3cret-password"));
+    assert!(!spy.saw_text("launch code 0000"));
+}
+
+#[test]
+fn secure_login_replay_is_rejected_by_the_broker() {
+    let mut world = setup(21);
+    let broker = world.broker_id();
+    let replayer = LoginReplayAttacker::new(MessageKind::SecureLoginRequest);
+    world.network().set_adversary(replayer.clone());
+
+    let mut victim = world.secure_client("victim");
+    victim.secure_join(broker, "alice", "s3cret-password").unwrap();
+    assert!(replayer.has_capture());
+    world.network().clear_adversary();
+
+    let rejected_before = world.broker_extension().stats().replays_rejected;
+    assert!(replayer.replay(world.network(), None));
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    while world.broker_extension().stats().replays_rejected == rejected_before
+        && std::time::Instant::now() < deadline
+    {
+        std::thread::sleep(std::time::Duration::from_millis(5));
+    }
+    assert_eq!(
+        world.broker_extension().stats().replays_rejected,
+        rejected_before + 1
+    );
+    // No extra credential was ever issued for the replay.
+    assert_eq!(world.broker_extension().stats().credentials_issued, 1);
+}
+
+#[test]
+fn fake_broker_is_detected_before_credentials_are_sent() {
+    let mut world = setup(22);
+    let broker = world.broker_id();
+    let fake = FakeBroker::spawn(world.network(), 0xFA, 512);
+    world
+        .network()
+        .set_adversary(RedirectToFakeBroker::new(broker, fake.id()));
+
+    let mut client = world.secure_client("client");
+    assert!(client.secure_connection(broker).is_err());
+    // secureLogin cannot even be attempted, so nothing is harvested.
+    assert!(client.secure_login("alice", "s3cret-password").is_err());
+    assert!(fake.harvested_credentials().is_empty());
+    world.network().clear_adversary();
+
+    // Once the redirection stops, the same client joins normally.
+    client.secure_connection(broker).unwrap();
+    client.secure_login("alice", "s3cret-password").unwrap();
+    assert!(client.credential().is_some());
+}
+
+#[test]
+fn forged_advertisements_cannot_hijack_secure_messages() {
+    // Bob (a legitimate user) forges a pipe advertisement claiming Alice's
+    // identifier, trying to receive messages meant for her.
+    use jxta_overlay::advertisement::{Advertisement, PipeAdvertisement};
+    let mut world = setup(23);
+    let broker = world.broker_id();
+    let group = GroupId::new("ops");
+
+    let mut alice = world.secure_client("alice");
+    let mut bob = world.secure_client("bob");
+    let mut carol_like = world.secure_client("sender");
+    alice.secure_join(broker, "alice", "s3cret-password").unwrap();
+    bob.secure_join(broker, "bob", "bob-pw").unwrap();
+    // The "sender" logs in as bob too (two devices, same account).
+    carol_like.secure_join(broker, "bob", "bob-pw").unwrap();
+
+    // Bob publishes a forged advertisement that claims to be Alice's pipe,
+    // signed with his own legitimate credential.
+    let forged = PipeAdvertisement {
+        owner: alice.id(),
+        group: group.clone(),
+        name: "definitely-alice".into(),
+    };
+    let mut element = forged.to_element();
+    jxta_overlay_secure::signed_adv::sign_advertisement(
+        &mut element,
+        bob.identity(),
+        bob.credential().unwrap(),
+    )
+    .unwrap();
+    bob.inner_mut()
+        .publish_advertisement(&group, PipeAdvertisement::DOC_TYPE, &element.to_xml())
+        .unwrap();
+
+    // The sender tries to message Alice: the only advertisement available for
+    // her identifier is the forged one, which fails validation, so no message
+    // is ever sent with a key controlled by Bob.
+    let result = carol_like.secure_msg_peer(&group, alice.id(), "for alice only");
+    assert!(result.is_err());
+    assert!(bob.receive_secure_messages().unwrap().is_empty());
+}

@@ -1,0 +1,96 @@
+//! End-to-end scenario test: a small e-learning deployment exercising every
+//! secure primitive together, plus the experiment harness's invariants.
+
+use jxta_bench::{
+    experiment_join_overhead, experiment_msg_overhead, ExperimentConfig,
+};
+use jxta_overlay::net::LinkModel;
+use jxta_overlay::GroupId;
+use jxta_overlay_secure::setup::SecureNetworkBuilder;
+
+#[test]
+fn full_classroom_scenario() {
+    let mut setup = SecureNetworkBuilder::new(30)
+        .with_key_bits(512)
+        .with_link(LinkModel::lan())
+        .with_user("teacher", "pw-t", &["class"])
+        .with_user("s1", "pw-1", &["class"])
+        .with_user("s2", "pw-2", &["class"])
+        .with_user("s3", "pw-3", &["class"])
+        .build();
+    let broker = setup.broker_id();
+    let class = GroupId::new("class");
+
+    let mut teacher = setup.secure_client("teacher");
+    teacher.secure_join(broker, "teacher", "pw-t").unwrap();
+    teacher.publish_secure_pipe(&class).unwrap();
+
+    let mut students: Vec<_> = (1..=3)
+        .map(|i| {
+            let mut student = setup.secure_client(&format!("student-{i}"));
+            student
+                .secure_join(broker, &format!("s{i}"), &format!("pw-{i}"))
+                .unwrap();
+            student.publish_secure_pipe(&class).unwrap();
+            student
+        })
+        .collect();
+
+    // Group announcement (sequential) and a follow-up (parallel).
+    let (sent, _) = teacher.secure_msg_peer_group(&class, "welcome to the course").unwrap();
+    assert_eq!(sent, 3);
+    let (sent, _) = teacher
+        .secure_msg_peer_group_parallel(&class, "first assignment is out")
+        .unwrap();
+    assert_eq!(sent, 3);
+
+    // Every student receives both, authenticated as coming from the teacher,
+    // and answers privately.
+    for (i, student) in students.iter_mut().enumerate() {
+        let received = student.receive_secure_messages().unwrap();
+        let texts: Vec<_> = received.iter().map(|m| m.text.clone()).collect();
+        assert!(texts.contains(&"welcome to the course".to_string()));
+        assert!(texts.contains(&"first assignment is out".to_string()));
+        assert!(received.iter().all(|m| m.sender_username == "teacher"));
+        student
+            .secure_msg_peer(&class, teacher.id(), &format!("question from student {i}"))
+            .unwrap();
+    }
+    let questions = teacher.receive_secure_messages().unwrap();
+    assert_eq!(questions.len(), 3);
+
+    // The broker saw exactly four secure logins and issued four credentials.
+    assert_eq!(setup.broker_extension().stats().credentials_issued, 4);
+    assert_eq!(setup.broker().session_count(), 4);
+}
+
+#[test]
+fn experiment_e1_shape_holds() {
+    // The reproduction claim for E1: the secure join is more expensive than
+    // the plain join by a substantial factor (the paper reports +81.76%).
+    let result = experiment_join_overhead(&ExperimentConfig::quick());
+    assert!(
+        result.overhead_percent > 20.0,
+        "secure join should be substantially more expensive, got {:.2}%",
+        result.overhead_percent
+    );
+}
+
+#[test]
+fn experiment_e2_shape_holds() {
+    // The reproduction claim for Figure 2: relative overhead decreases
+    // monotonically-ish as the payload grows (latency/bandwidth dominate).
+    let config = ExperimentConfig {
+        iterations: 3,
+        ..ExperimentConfig::quick()
+    };
+    let rows = experiment_msg_overhead(&config, &[512, 64 << 10, 1 << 20]);
+    assert_eq!(rows.len(), 3);
+    assert!(
+        rows.first().unwrap().overhead_percent > rows.last().unwrap().overhead_percent,
+        "overhead must decay from smallest to largest payload: {rows:?}"
+    );
+    for row in &rows {
+        assert!(row.secure.mean_ms >= row.plain.mean_ms * 0.5, "sanity: {row:?}");
+    }
+}

@@ -1,0 +1,126 @@
+//! Integration tests for the secure network-join flow (secureConnection +
+//! secureLogin) spanning the overlay, crypto and security crates.
+
+use jxta_overlay::OverlayError;
+use jxta_overlay_secure::setup::SecureNetworkBuilder;
+
+fn quick_setup(seed: u64) -> jxta_overlay_secure::setup::SecureNetwork {
+    SecureNetworkBuilder::new(seed)
+        .with_key_bits(512)
+        .with_user("alice", "alice-pw", &["team-a", "team-b"])
+        .with_user("bob", "bob-pw", &["team-a"])
+        .build()
+}
+
+#[test]
+fn secure_join_matches_plain_join_outcome() {
+    // The secure primitives must be transparent: after a secure join the
+    // client is in exactly the same functional state (logged in, same
+    // groups) as after a plain join.
+    let mut setup = quick_setup(1);
+    let broker = setup.broker_id();
+
+    let mut plain = setup.plain_client("plain");
+    plain.connect(broker).unwrap();
+    plain.login("alice", "alice-pw").unwrap();
+
+    let mut secure = setup.secure_client("secure");
+    secure.secure_join(broker, "alice", "alice-pw").unwrap();
+
+    assert_eq!(plain.groups(), secure.inner().groups());
+    assert!(secure.inner().is_logged_in());
+    assert_eq!(secure.inner().session().unwrap().username, "alice");
+}
+
+#[test]
+fn secure_join_issues_verifiable_credential_chain() {
+    let mut setup = quick_setup(2);
+    let broker = setup.broker_id();
+    let mut client = setup.secure_client("laptop");
+    client.secure_join(broker, "bob", "bob-pw").unwrap();
+
+    // Client credential chains: Cred^Br_Cl verifies under the broker key,
+    // and the broker credential verifies under the administrator key.
+    let client_cred = client.credential().unwrap();
+    let broker_cred = client.broker_credential().unwrap();
+    client_cred.verify(&broker_cred.public_key).unwrap();
+    broker_cred.verify(setup.admin().public_key()).unwrap();
+    assert!(client_cred.binds_key_to_subject());
+    assert_eq!(client_cred.subject_id, client.id());
+}
+
+#[test]
+fn broker_state_reflects_secure_logins() {
+    let mut setup = quick_setup(3);
+    let broker_id = setup.broker_id();
+    let mut alice = setup.secure_client("a");
+    let mut bob = setup.secure_client("b");
+    alice.secure_join(broker_id, "alice", "alice-pw").unwrap();
+    bob.secure_join(broker_id, "bob", "bob-pw").unwrap();
+
+    assert_eq!(setup.broker().session_count(), 2);
+    assert!(setup
+        .broker()
+        .groups()
+        .is_member(&jxta_overlay::GroupId::new("team-a"), &alice.id()));
+    assert!(setup
+        .broker()
+        .groups()
+        .is_member(&jxta_overlay::GroupId::new("team-a"), &bob.id()));
+    assert!(!setup
+        .broker()
+        .groups()
+        .is_member(&jxta_overlay::GroupId::new("team-b"), &bob.id()));
+    let stats = setup.broker_extension().stats();
+    assert_eq!(stats.credentials_issued, 2);
+    assert_eq!(stats.challenges_answered, 2);
+    assert_eq!(stats.replays_rejected, 0);
+}
+
+#[test]
+fn failed_logins_do_not_leave_sessions_behind() {
+    let mut setup = quick_setup(4);
+    let broker = setup.broker_id();
+    let mut client = setup.secure_client("laptop");
+    client.secure_connection(broker).unwrap();
+    assert!(matches!(
+        client.secure_login("alice", "wrong-password"),
+        Err(OverlayError::AuthenticationFailed)
+    ));
+    assert_eq!(setup.broker().session_count(), 0);
+    assert!(client.credential().is_none());
+    // Unknown users are also rejected.
+    client.secure_connection(broker).unwrap();
+    assert!(client.secure_login("who", "ever").is_err());
+}
+
+#[test]
+fn many_clients_can_join_concurrently() {
+    // The broker runs on its own thread; several clients joining at the same
+    // time must all succeed (thread-safety of the broker-side state).
+    let mut setup = SecureNetworkBuilder::new(5)
+        .with_key_bits(512)
+        .with_user("u0", "p0", &["g"])
+        .with_user("u1", "p1", &["g"])
+        .with_user("u2", "p2", &["g"])
+        .with_user("u3", "p3", &["g"])
+        .build();
+    let broker = setup.broker_id();
+    let clients: Vec<_> = (0..4).map(|i| setup.secure_client(&format!("c{i}"))).collect();
+
+    let handles: Vec<_> = clients
+        .into_iter()
+        .enumerate()
+        .map(|(i, mut client)| {
+            std::thread::spawn(move || {
+                client
+                    .secure_join(broker, &format!("u{i}"), &format!("p{i}"))
+                    .unwrap();
+                client.credential().unwrap().subject_name.clone()
+            })
+        })
+        .collect();
+    let names: Vec<String> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    assert_eq!(names.len(), 4);
+    assert_eq!(setup.broker().session_count(), 4);
+}

@@ -1,0 +1,143 @@
+//! Integration tests for secureMsgPeer / secureMsgPeerGroup across the full
+//! stack (broker-distributed signed advertisements, envelopes, signatures).
+
+use jxta_overlay::net::LinkModel;
+use jxta_overlay::GroupId;
+use jxta_overlay_secure::setup::SecureNetworkBuilder;
+
+#[test]
+fn secure_messages_flow_in_both_directions() {
+    let mut setup = SecureNetworkBuilder::new(10)
+        .with_key_bits(512)
+        .with_user("alice", "pw-a", &["chat"])
+        .with_user("bob", "pw-b", &["chat"])
+        .build();
+    let broker = setup.broker_id();
+    let group = GroupId::new("chat");
+    let mut alice = setup.secure_client("alice");
+    let mut bob = setup.secure_client("bob");
+    alice.secure_join(broker, "alice", "pw-a").unwrap();
+    bob.secure_join(broker, "bob", "pw-b").unwrap();
+    alice.publish_secure_pipe(&group).unwrap();
+    bob.publish_secure_pipe(&group).unwrap();
+
+    alice.secure_msg_peer(&group, bob.id(), "ping").unwrap();
+    let at_bob = bob.receive_secure_messages().unwrap();
+    assert_eq!(at_bob.len(), 1);
+    assert_eq!(at_bob[0].text, "ping");
+    assert_eq!(at_bob[0].sender_username, "alice");
+
+    bob.secure_msg_peer(&group, alice.id(), "pong").unwrap();
+    let at_alice = alice.receive_secure_messages().unwrap();
+    assert_eq!(at_alice.len(), 1);
+    assert_eq!(at_alice[0].text, "pong");
+    assert_eq!(at_alice[0].sender_username, "bob");
+}
+
+#[test]
+fn large_payloads_survive_the_secure_path() {
+    let mut setup = SecureNetworkBuilder::new(11)
+        .with_key_bits(512)
+        .with_link(LinkModel::lan())
+        .with_user("alice", "pw-a", &["bulk"])
+        .with_user("bob", "pw-b", &["bulk"])
+        .build();
+    let broker = setup.broker_id();
+    let group = GroupId::new("bulk");
+    let mut alice = setup.secure_client("alice");
+    let mut bob = setup.secure_client("bob");
+    alice.secure_join(broker, "alice", "pw-a").unwrap();
+    bob.secure_join(broker, "bob", "pw-b").unwrap();
+    alice.publish_secure_pipe(&group).unwrap();
+    bob.publish_secure_pipe(&group).unwrap();
+
+    let payload: String = std::iter::repeat("0123456789abcdef").take(64 * 1024 / 16).collect();
+    assert_eq!(payload.len(), 64 * 1024);
+    let timing = alice.secure_msg_peer(&group, bob.id(), &payload).unwrap();
+    assert!(timing.wire > std::time::Duration::ZERO, "LAN link charges wire time");
+    let received = bob.receive_secure_messages().unwrap();
+    assert_eq!(received[0].text.len(), payload.len());
+    assert_eq!(received[0].text, payload);
+}
+
+#[test]
+fn group_broadcast_respects_membership_boundaries() {
+    let mut setup = SecureNetworkBuilder::new(12)
+        .with_key_bits(512)
+        .with_user("teacher", "pw-t", &["course", "staff"])
+        .with_user("student", "pw-s", &["course"])
+        .with_user("dean", "pw-d", &["staff"])
+        .build();
+    let broker = setup.broker_id();
+    let course = GroupId::new("course");
+    let staff = GroupId::new("staff");
+
+    let mut teacher = setup.secure_client("teacher");
+    let mut student = setup.secure_client("student");
+    let mut dean = setup.secure_client("dean");
+    teacher.secure_join(broker, "teacher", "pw-t").unwrap();
+    student.secure_join(broker, "student", "pw-s").unwrap();
+    dean.secure_join(broker, "dean", "pw-d").unwrap();
+    teacher.publish_secure_pipe(&course).unwrap();
+    teacher.publish_secure_pipe(&staff).unwrap();
+    student.publish_secure_pipe(&course).unwrap();
+    dean.publish_secure_pipe(&staff).unwrap();
+
+    let (sent, _) = teacher.secure_msg_peer_group(&staff, "salary data").unwrap();
+    assert_eq!(sent, 1, "only the dean is in staff");
+    assert!(student.receive_secure_messages().unwrap().is_empty());
+    let at_dean = dean.receive_secure_messages().unwrap();
+    assert_eq!(at_dean.len(), 1);
+    assert_eq!(at_dean[0].text, "salary data");
+
+    // The student cannot broadcast into a group they do not belong to.
+    assert!(student.secure_msg_peer_group(&staff, "curious").is_err());
+}
+
+#[test]
+fn plain_and_secure_traffic_coexist() {
+    // The extension is additive: plain peers keep working on the same
+    // network and broker while secure peers exchange protected traffic.
+    let mut setup = SecureNetworkBuilder::new(13)
+        .with_key_bits(512)
+        .with_user("alice", "pw-a", &["mixed"])
+        .with_user("bob", "pw-b", &["mixed"])
+        .with_user("carol", "pw-c", &["mixed"])
+        .build();
+    let broker = setup.broker_id();
+    let group = GroupId::new("mixed");
+
+    let mut plain_alice = setup.plain_client("plain-alice");
+    plain_alice.connect(broker).unwrap();
+    plain_alice.login("alice", "pw-a").unwrap();
+    plain_alice.publish_pipe(&group).unwrap();
+
+    let mut plain_bob = setup.plain_client("plain-bob");
+    plain_bob.connect(broker).unwrap();
+    plain_bob.login("bob", "pw-b").unwrap();
+    plain_bob.publish_pipe(&group).unwrap();
+
+    let mut secure_carol = setup.secure_client("secure-carol");
+    secure_carol.secure_join(broker, "carol", "pw-c").unwrap();
+    secure_carol.publish_secure_pipe(&group).unwrap();
+
+    // Plain-to-plain text still works.
+    plain_alice.send_msg_peer(&group, plain_bob.id(), "old-style hello").unwrap();
+    let events = plain_bob.poll_events();
+    assert!(events.iter().any(|e| matches!(
+        e,
+        jxta_overlay::ClientEvent::Text { text, .. } if text == "old-style hello"
+    )));
+
+    // A secure peer's signed advertisement is still a perfectly valid pipe
+    // advertisement for a plain peer (original type preserved), so plain
+    // peers can message secure peers in the clear if they choose to.
+    plain_alice.send_msg_peer(&group, secure_carol.id(), "clear text to carol").unwrap();
+    let carol_plain = secure_carol.receive_secure_messages().unwrap();
+    assert!(carol_plain.is_empty(), "clear text is not a secure message");
+    let others = secure_carol.drain_other_events();
+    assert!(others.iter().any(|e| matches!(
+        e,
+        jxta_overlay::ClientEvent::Text { text, .. } if text == "clear text to carol"
+    )));
+}
