@@ -87,7 +87,7 @@ impl BigUint {
     /// Returns `true` if the value is even (zero counts as even).
     #[inline]
     pub fn is_even(&self) -> bool {
-        self.limbs.first().map_or(true, |l| l & 1 == 0)
+        self.limbs.first().is_none_or(|l| l & 1 == 0)
     }
 
     /// Returns `true` if the value is odd.
@@ -117,7 +117,7 @@ impl BigUint {
     pub fn bit(&self, i: usize) -> bool {
         let limb = i / LIMB_BITS;
         let off = i % LIMB_BITS;
-        self.limbs.get(limb).map_or(false, |l| (l >> off) & 1 == 1)
+        self.limbs.get(limb).is_some_and(|l| (l >> off) & 1 == 1)
     }
 
     /// Sets bit `i` to `value`, growing the representation if necessary.
@@ -311,8 +311,7 @@ impl BigUint {
         };
         let mut out = Vec::with_capacity(longer.len() + 1);
         let mut carry = 0u64;
-        for i in 0..longer.len() {
-            let a = longer[i];
+        for (i, &a) in longer.iter().enumerate() {
             let b = shorter.get(i).copied().unwrap_or(0);
             let (sum1, c1) = a.overflowing_add(b);
             let (sum2, c2) = sum1.overflowing_add(carry);

@@ -307,7 +307,7 @@ pub fn cbc_encrypt(aes: &Aes, iv: &[u8; BLOCK_LEN], plaintext: &[u8]) -> Vec<u8>
     let pad_len = BLOCK_LEN - (plaintext.len() % BLOCK_LEN);
     let mut padded = Vec::with_capacity(plaintext.len() + pad_len);
     padded.extend_from_slice(plaintext);
-    padded.extend(std::iter::repeat(pad_len as u8).take(pad_len));
+    padded.extend(std::iter::repeat_n(pad_len as u8, pad_len));
 
     let mut prev = *iv;
     for block in padded.chunks_exact_mut(BLOCK_LEN) {
@@ -325,7 +325,7 @@ pub fn cbc_encrypt(aes: &Aes, iv: &[u8; BLOCK_LEN], plaintext: &[u8]) -> Vec<u8>
 
 /// Decrypts AES-CBC ciphertext and strips PKCS#7 padding.
 pub fn cbc_decrypt(aes: &Aes, iv: &[u8; BLOCK_LEN], ciphertext: &[u8]) -> Result<Vec<u8>, AesError> {
-    if ciphertext.is_empty() || ciphertext.len() % BLOCK_LEN != 0 {
+    if ciphertext.is_empty() || !ciphertext.len().is_multiple_of(BLOCK_LEN) {
         return Err(AesError::InvalidCiphertextLength(ciphertext.len()));
     }
     let mut out = Vec::with_capacity(ciphertext.len());
@@ -477,9 +477,9 @@ mod tests {
         let aes2 = Aes::new(&[2u8; 16]).unwrap();
         let iv = [0u8; 16];
         let ct = cbc_encrypt(&aes1, &iv, b"some secret message!");
-        match cbc_decrypt(&aes2, &iv, &ct) {
-            Ok(pt) => assert_ne!(pt, b"some secret message!"),
-            Err(_) => {} // padding failure is also acceptable
+        // A padding failure is also an acceptable outcome here.
+        if let Ok(pt) = cbc_decrypt(&aes2, &iv, &ct) {
+            assert_ne!(pt, b"some secret message!");
         }
     }
 

@@ -73,7 +73,7 @@ pub fn decode(input: &str) -> Result<Vec<u8>, Base64Error> {
         .bytes()
         .filter(|b| !b.is_ascii_whitespace())
         .collect();
-    if filtered.len() % 4 != 0 {
+    if !filtered.len().is_multiple_of(4) {
         return Err(Base64Error::InvalidLength(filtered.len()));
     }
     let mut out = Vec::with_capacity(filtered.len() / 4 * 3);

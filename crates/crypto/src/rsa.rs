@@ -275,7 +275,7 @@ impl RsaPublicKey {
         let l_hash = sha256(b"");
         let mut db = Vec::with_capacity(k - h_len - 1);
         db.extend_from_slice(&l_hash);
-        db.extend(std::iter::repeat(0u8).take(k - message.len() - 2 * h_len - 2));
+        db.extend(std::iter::repeat_n(0u8, k - message.len() - 2 * h_len - 2));
         db.push(0x01);
         db.extend_from_slice(message);
 
@@ -422,7 +422,7 @@ fn emsa_pkcs1_v15_encode(message: &[u8], k: usize) -> Result<Vec<u8>, CryptoErro
     let mut em = Vec::with_capacity(k);
     em.push(0x00);
     em.push(0x01);
-    em.extend(std::iter::repeat(0xffu8).take(k - t_len - 3));
+    em.extend(std::iter::repeat_n(0xffu8, k - t_len - 3));
     em.push(0x00);
     em.extend_from_slice(&SHA256_DIGEST_INFO_PREFIX);
     em.extend_from_slice(&digest);
@@ -642,7 +642,7 @@ mod tests {
         assert_eq!(em.len(), 64);
         assert_eq!(em[0], 0x00);
         assert_eq!(em[1], 0x01);
-        assert!(em[2..].iter().any(|&b| b == 0x00));
+        assert!(em[2..].contains(&0x00));
         // Too-small target length is rejected.
         assert!(emsa_pkcs1_v15_encode(b"hello", 32).is_err());
     }

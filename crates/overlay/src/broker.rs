@@ -65,6 +65,9 @@ pub struct BrokerSession {
     pub groups: Vec<GroupId>,
 }
 
+/// Advertisement index for one group: (owner, doc type) → XML document.
+type GroupAdvertisements = HashMap<(PeerId, String), String>;
+
 /// The broker peer.
 pub struct Broker {
     id: PeerId,
@@ -73,7 +76,7 @@ pub struct Broker {
     database: Arc<UserDatabase>,
     groups: GroupRegistry,
     /// Global advertisement index: group → (owner, doc type) → XML.
-    advertisements: RwLock<HashMap<GroupId, HashMap<(PeerId, String), String>>>,
+    advertisements: RwLock<HashMap<GroupId, GroupAdvertisements>>,
     /// Connected (but not necessarily logged-in) peers.
     connected: RwLock<HashMap<PeerId, ()>>,
     /// Logged-in sessions.
@@ -222,7 +225,7 @@ impl Broker {
         let mut results: Vec<(&(PeerId, String), &String)> = index
             .iter()
             .filter(|((adv_owner, adv_type), _)| {
-                adv_type == doc_type && owner.map_or(true, |o| *adv_owner == o)
+                adv_type == doc_type && owner.is_none_or(|o| *adv_owner == o)
             })
             .collect();
         // Deterministic order keeps experiments and tests reproducible.

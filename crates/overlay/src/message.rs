@@ -318,7 +318,7 @@ mod tests {
     fn parse_rejects_garbage() {
         assert!(Message::from_bytes(b"").is_err());
         assert!(Message::from_bytes(b"JXMS").is_err());
-        assert!(Message::from_bytes(&vec![0u8; 64]).is_err());
+        assert!(Message::from_bytes(&[0u8; 64]).is_err());
         let msg = Message::new(MessageKind::Ack, peer(), 0).with_str("a", "b");
         let mut bytes = msg.to_bytes();
         bytes.truncate(bytes.len() - 1);

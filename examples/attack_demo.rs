@@ -7,7 +7,7 @@ use jxta_overlay::GroupId;
 use jxta_overlay_secure::attacks::{Eavesdropper, FakeBroker, RedirectToFakeBroker};
 use jxta_overlay_secure::setup::SecureNetworkBuilder;
 
-fn main() {
+pub fn main() {
     let mut setup = SecureNetworkBuilder::new(0xA77)
         .with_user("alice", "correct-horse-battery", &["ops"])
         .with_user("bob", "bob-pw", &["ops"])

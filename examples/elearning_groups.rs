@@ -7,7 +7,7 @@
 use jxta_overlay::GroupId;
 use jxta_overlay_secure::setup::SecureNetworkBuilder;
 
-fn main() {
+pub fn main() {
     // The administrator registers the teacher and the students; group
     // membership is part of the user configuration held in the central
     // database (only brokers read it).

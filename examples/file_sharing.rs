@@ -10,7 +10,7 @@ use jxta_overlay::GroupId;
 use jxta_overlay_secure::signed_adv::{sign_advertisement, validate_signed_advertisement};
 use jxta_overlay_secure::setup::SecureNetworkBuilder;
 
-fn main() {
+pub fn main() {
     let mut setup = SecureNetworkBuilder::new(0xF11E)
         .with_user("alice", "pw-a", &["downloads"])
         .with_user("bob", "pw-b", &["downloads"])

@@ -6,7 +6,7 @@
 use jxta_overlay::GroupId;
 use jxta_overlay_secure::setup::SecureNetworkBuilder;
 
-fn main() {
+pub fn main() {
     // 1. System setup (paper §4.1): administrator, broker with an
     //    admin-issued credential, user database — all behind one builder.
     let mut setup = SecureNetworkBuilder::new(0xC0FFEE)

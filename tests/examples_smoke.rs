@@ -1,0 +1,38 @@
+//! Smoke tests compiling and running every example end to end, so the
+//! examples cannot silently rot.
+//!
+//! Each example is included as a module via `#[path]` and its `main` is
+//! invoked in-process — the same code `cargo run --example <name>` executes,
+//! without re-entering cargo from inside the test run.
+
+#[path = "../examples/quickstart.rs"]
+mod quickstart_example;
+
+#[path = "../examples/attack_demo.rs"]
+mod attack_demo_example;
+
+#[path = "../examples/file_sharing.rs"]
+mod file_sharing_example;
+
+#[path = "../examples/elearning_groups.rs"]
+mod elearning_groups_example;
+
+#[test]
+fn quickstart_example_runs() {
+    quickstart_example::main();
+}
+
+#[test]
+fn attack_demo_example_runs() {
+    attack_demo_example::main();
+}
+
+#[test]
+fn file_sharing_example_runs() {
+    file_sharing_example::main();
+}
+
+#[test]
+fn elearning_groups_example_runs() {
+    elearning_groups_example::main();
+}

@@ -51,7 +51,7 @@ fn large_payloads_survive_the_secure_path() {
     alice.publish_secure_pipe(&group).unwrap();
     bob.publish_secure_pipe(&group).unwrap();
 
-    let payload: String = std::iter::repeat("0123456789abcdef").take(64 * 1024 / 16).collect();
+    let payload: String = std::iter::repeat_n("0123456789abcdef", 64 * 1024 / 16).collect();
     assert_eq!(payload.len(), 64 * 1024);
     let timing = alice.secure_msg_peer(&group, bob.id(), &payload).unwrap();
     assert!(timing.wire > std::time::Duration::ZERO, "LAN link charges wire time");

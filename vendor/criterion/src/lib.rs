@@ -1,0 +1,380 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the benchmarking surface this workspace uses — benchmark groups,
+//! `bench_function` / `bench_with_input`, `Bencher::iter` / `iter_batched`,
+//! `Throughput`, and the `criterion_group!` / `criterion_main!` macros — with
+//! a straightforward warm-up + fixed-duration measurement loop instead of
+//! criterion's statistical machinery.  Results are printed as a mean time per
+//! iteration (plus throughput when configured).
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of the standard black box to defeat constant folding.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Units of work per iteration, used to report rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration (binary prefixes in reports).
+    Bytes(u64),
+    /// Bytes processed per iteration (decimal prefixes upstream; reported
+    /// identically to [`Throughput::Bytes`] here).
+    BytesDecimal(u64),
+    /// Elements processed per iteration.
+    Elements(u64),
+}
+
+/// The benchmark driver.
+pub struct Criterion {
+    default_measurement: Duration,
+    default_warm_up: Duration,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_measurement: Duration::from_secs(1),
+            default_warm_up: Duration::from_millis(200),
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (measurement, warm_up, sample_size) = (
+            self.default_measurement,
+            self.default_warm_up,
+            self.default_sample_size,
+        );
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            measurement,
+            warm_up,
+            sample_size,
+            throughput: None,
+        }
+    }
+
+    /// Benchmarks a single function outside a group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut group = self.benchmark_group(String::new());
+        group.bench_function(id, f);
+        group.finish();
+        self
+    }
+
+    /// Accepted for API compatibility; the vendored runner has no CLI.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A set of related benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    measurement: Duration,
+    warm_up: Duration,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the target measurement time per benchmark.
+    pub fn measurement_time(&mut self, time: Duration) -> &mut Self {
+        self.measurement = time;
+        self
+    }
+
+    /// Sets the warm-up time per benchmark.
+    pub fn warm_up_time(&mut self, time: Duration) -> &mut Self {
+        self.warm_up = time;
+        self
+    }
+
+    /// Sets the minimum number of measured iterations.
+    pub fn sample_size(&mut self, size: usize) -> &mut Self {
+        self.sample_size = size;
+        self
+    }
+
+    /// Associates a throughput with subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+            total: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        self.report(&id.into(), &bencher);
+        self
+    }
+
+    /// Runs one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+
+    fn report(&self, id: &BenchmarkId, bencher: &Bencher) {
+        let label = match (&self.name.is_empty(), &id.to_string()) {
+            (true, id_str) => id_str.clone(),
+            (false, id_str) if id_str.is_empty() => self.name.clone(),
+            (false, id_str) => format!("{}/{}", self.name, id_str),
+        };
+        if bencher.iterations == 0 {
+            println!("{label:<50} no iterations recorded");
+            return;
+        }
+        let mean = bencher.total / bencher.iterations as u32;
+        let mut line = format!(
+            "{label:<50} mean {:>12} ({} iterations)",
+            format_duration(mean),
+            bencher.iterations
+        );
+        if let Some(throughput) = &self.throughput {
+            let per_second = match throughput {
+                Throughput::Bytes(n) | Throughput::BytesDecimal(n) => {
+                    let mib = *n as f64 / (1024.0 * 1024.0);
+                    format!("{:.1} MiB/s", mib / mean.as_secs_f64())
+                }
+                Throughput::Elements(n) => {
+                    format!("{:.0} elem/s", *n as f64 / mean.as_secs_f64())
+                }
+            };
+            line.push_str(&format!("  [{per_second}]"));
+        }
+        println!("{line}");
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1e6)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1e9)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    total: Duration,
+    iterations: u64,
+}
+
+impl Bencher {
+    /// Measures `routine` repeatedly.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up.
+        let warm_up_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_up_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        // Measure: run until the measurement budget is spent and at least
+        // `sample_size` iterations were recorded.
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        while total < self.measurement || iterations < self.sample_size as u64 {
+            let start = Instant::now();
+            black_box(routine());
+            total += start.elapsed();
+            iterations += 1;
+            if iterations >= 10_000_000 {
+                break;
+            }
+        }
+        self.total = total;
+        self.iterations = iterations;
+    }
+
+    /// Measures `routine` with a fresh `setup` product per call; setup time
+    /// is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_up_start = Instant::now();
+        loop {
+            let input = setup();
+            black_box(routine(input));
+            if warm_up_start.elapsed() >= self.warm_up {
+                break;
+            }
+        }
+        let mut total = Duration::ZERO;
+        let mut iterations = 0u64;
+        while total < self.measurement || iterations < self.sample_size as u64 {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+            iterations += 1;
+            if iterations >= 10_000_000 {
+                break;
+            }
+        }
+        self.total = total;
+        self.iterations = iterations;
+    }
+}
+
+/// How `iter_batched` amortises setup (accepted for API compatibility; the
+/// vendored runner always sets up per iteration).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// One setup per measured iteration.
+    PerIteration,
+    /// Small batches.
+    SmallInput,
+    /// Large batches.
+    LargeInput,
+}
+
+/// Identifier of a single benchmark within a group.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: Option<String>,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter value.
+    pub fn new(name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: Some(name.into()),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// An id with only a parameter value.
+    pub fn from_parameter(parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: None,
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name, &self.parameter) {
+            (Some(name), Some(parameter)) => write!(f, "{name}/{parameter}"),
+            (Some(name), None) => write!(f, "{name}"),
+            (None, Some(parameter)) => write!(f, "{parameter}"),
+            (None, None) => Ok(()),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: Some(name.to_string()),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId {
+            name: Some(name),
+            parameter: None,
+        }
+    }
+}
+
+/// Defines a benchmark group function running each target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running each benchmark group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_loop_records_iterations() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.measurement_time(Duration::from_millis(5));
+        group.warm_up_time(Duration::from_millis(1));
+        group.sample_size(3);
+        let mut count = 0u64;
+        group.bench_function("count", |b| b.iter(|| count += 1));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u64, |b, &n| {
+            b.iter_batched(|| n, |n| n * 2, BatchSize::PerIteration)
+        });
+        group.finish();
+        assert!(count > 0);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("sha", 64).to_string(), "sha/64");
+        assert_eq!(BenchmarkId::from_parameter(512).to_string(), "512");
+        assert_eq!(BenchmarkId::from("plain").to_string(), "plain");
+    }
+}

@@ -1,0 +1,500 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the subset this workspace uses:
+//!
+//! * [`channel`] — multi-producer multi-consumer channels
+//!   (`unbounded`/`bounded`, `Sender`, `Receiver`) plus a polling
+//!   [`select!`] implementation for the two-arm `recv(..) -> .. => ..` form.
+//! * [`thread`] — `thread::scope` built on `std::thread::scope`, with the
+//!   crossbeam-style `Result` return and `spawn(|_| ..)` closure shape.
+
+#![forbid(unsafe_code)]
+
+pub mod channel {
+    //! MPMC channels with an API modelled on `crossbeam-channel`.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+    use std::time::{Duration, Instant};
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        available: Condvar,
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Debug for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("SendError(..)")
+        }
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl<T> std::error::Error for SendError<T> {}
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// disconnected.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl std::error::Error for RecvError {}
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// The channel is currently empty.
+        Empty,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for TryRecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TryRecvError::Empty => f.write_str("receiving on an empty channel"),
+                TryRecvError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for TryRecvError {}
+
+    /// Error returned by [`Receiver::recv_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum RecvTimeoutError {
+        /// The timeout elapsed with the channel still empty.
+        Timeout,
+        /// All senders are gone and the queue is drained.
+        Disconnected,
+    }
+
+    impl fmt::Display for RecvTimeoutError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                RecvTimeoutError::Timeout => f.write_str("timed out waiting on channel"),
+                RecvTimeoutError::Disconnected => {
+                    f.write_str("receiving on an empty and disconnected channel")
+                }
+            }
+        }
+    }
+
+    impl std::error::Error for RecvTimeoutError {}
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            available: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Creates a bounded channel.
+    ///
+    /// The capacity is accepted for API compatibility but not enforced; the
+    /// workspace only uses tiny bounded channels as shutdown signals, where
+    /// unbounded buffering is indistinguishable.
+    pub fn bounded<T>(_capacity: usize) -> (Sender<T>, Receiver<T>) {
+        unbounded()
+    }
+
+    impl<T> Sender<T> {
+        /// Sends `value`, failing only if every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel state poisoned");
+            if state.receivers == 0 {
+                return Err(SendError(value));
+            }
+            state.queue.push_back(value);
+            drop(state);
+            self.shared.available.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel state poisoned")
+                .senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.state.lock().expect("channel state poisoned");
+            state.senders -= 1;
+            let disconnected = state.senders == 0;
+            drop(state);
+            if disconnected {
+                self.shared.available.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender { .. }")
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receives a message, blocking until one is available or every
+        /// sender is gone.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.state.lock().expect("channel state poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self
+                    .shared
+                    .available
+                    .wait(state)
+                    .expect("channel state poisoned");
+            }
+        }
+
+        /// Receives a message, giving up after `timeout`.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel state poisoned");
+            loop {
+                if let Some(value) = state.queue.pop_front() {
+                    return Ok(value);
+                }
+                if state.senders == 0 {
+                    return Err(RecvTimeoutError::Disconnected);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(RecvTimeoutError::Timeout);
+                }
+                let (guard, _timeout_result) = self
+                    .shared
+                    .available
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel state poisoned");
+                state = guard;
+            }
+        }
+
+        /// Receives a message if one is immediately available.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut state = self.shared.state.lock().expect("channel state poisoned");
+            if let Some(value) = state.queue.pop_front() {
+                return Ok(value);
+            }
+            if state.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+
+        /// Returns an iterator draining the messages currently queued,
+        /// without blocking.
+        pub fn try_iter(&self) -> TryIter<'_, T> {
+            TryIter { receiver: self }
+        }
+
+        /// Returns a blocking iterator that ends when the channel
+        /// disconnects.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+
+        /// Number of messages currently queued.
+        pub fn len(&self) -> usize {
+            self.shared
+                .state
+                .lock()
+                .expect("channel state poisoned")
+                .queue
+                .len()
+        }
+
+        /// Whether the queue is currently empty.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared
+                .state
+                .lock()
+                .expect("channel state poisoned")
+                .receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared
+                .state
+                .lock()
+                .expect("channel state poisoned")
+                .receivers -= 1;
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver { .. }")
+        }
+    }
+
+    /// Iterator returned by [`Receiver::try_iter`].
+    pub struct TryIter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for TryIter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.try_recv().ok()
+        }
+    }
+
+    /// Iterator returned by [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+
+    /// Waits on two `recv` arms, running the body of whichever becomes ready
+    /// first (polling implementation of the crossbeam-channel macro for the
+    /// two-arm form this workspace uses).
+    ///
+    /// When every involved channel is disconnected the first arm observing
+    /// disconnection receives `Err(RecvError)`, matching crossbeam's
+    /// behaviour of completing a `recv` operation with an error.
+    #[macro_export]
+    macro_rules! select {
+        (
+            recv($rx1:expr) -> $pat1:pat => $body1:expr,
+            recv($rx2:expr) -> $pat2:pat => $body2:expr $(,)?
+        ) => {{
+            let __sel_rx1 = &$rx1;
+            let __sel_rx2 = &$rx2;
+            let mut __sel_v1 = ::core::option::Option::None;
+            let mut __sel_v2 = ::core::option::Option::None;
+            loop {
+                match __sel_rx1.try_recv() {
+                    ::core::result::Result::Ok(value) => {
+                        __sel_v1 = ::core::option::Option::Some(::core::result::Result::Ok(value));
+                        break;
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        __sel_v1 = ::core::option::Option::Some(::core::result::Result::Err(
+                            $crate::channel::RecvError,
+                        ));
+                        break;
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                }
+                match __sel_rx2.try_recv() {
+                    ::core::result::Result::Ok(value) => {
+                        __sel_v2 = ::core::option::Option::Some(::core::result::Result::Ok(value));
+                        break;
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Disconnected) => {
+                        __sel_v2 = ::core::option::Option::Some(::core::result::Result::Err(
+                            $crate::channel::RecvError,
+                        ));
+                        break;
+                    }
+                    ::core::result::Result::Err($crate::channel::TryRecvError::Empty) => {}
+                }
+                ::std::thread::sleep(::std::time::Duration::from_micros(50));
+            }
+            if let ::core::option::Option::Some(__sel_res) = __sel_v1 {
+                let $pat1 = __sel_res;
+                $body1
+            } else if let ::core::option::Option::Some(__sel_res) = __sel_v2 {
+                let $pat2 = __sel_res;
+                $body2
+            } else {
+                ::core::unreachable!()
+            }
+        }};
+    }
+
+    // Re-export so `crossbeam::channel::select!` resolves like upstream.
+    pub use crate::select;
+}
+
+pub mod thread {
+    //! Scoped threads with the crossbeam API shape.
+
+    use std::fmt;
+
+    /// Handle passed to scoped-thread closures.
+    ///
+    /// The workspace only ever spawns from the outer scope (`|_|` closures),
+    /// so this handle intentionally does not allow nested spawning.
+    #[derive(Debug, Clone, Copy)]
+    pub struct NestedScope(());
+
+    /// A scope in which threads borrowing local data can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread.  The closure receives a placeholder scope
+        /// handle, mirroring crossbeam's `|scope| ..` signature.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&NestedScope) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&NestedScope(()))),
+            }
+        }
+    }
+
+    impl fmt::Debug for Scope<'_, '_> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Scope { .. }")
+        }
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<T> ScopedJoinHandle<'_, T> {
+        /// Waits for the thread to finish, returning its result or the panic
+        /// payload.
+        pub fn join(self) -> Result<T, Box<dyn std::any::Any + Send + 'static>> {
+            self.inner.join()
+        }
+    }
+
+    /// Creates a scope for spawning threads that borrow from the enclosing
+    /// environment.  Returns `Ok` with the closure's result; a panic in a
+    /// spawned thread propagates when the scope joins, as with upstream
+    /// crossbeam when handles are not individually joined.
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn channel_roundtrip_and_disconnect() {
+        let (tx, rx) = channel::unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![1, 2]);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Empty));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(channel::TryRecvError::Disconnected));
+    }
+
+    #[test]
+    fn select_picks_ready_arm() {
+        let (tx1, rx1) = channel::unbounded::<u32>();
+        let (_tx2, rx2) = channel::unbounded::<u32>();
+        tx1.send(7).unwrap();
+        let got = crate::select! {
+            recv(rx1) -> msg => msg.unwrap(),
+            recv(rx2) -> _ => unreachable!(),
+        };
+        assert_eq!(got, 7);
+    }
+
+    #[test]
+    fn select_reports_disconnect() {
+        let (tx1, rx1) = channel::unbounded::<u32>();
+        let (tx2, rx2) = channel::unbounded::<u32>();
+        drop(tx1);
+        drop(tx2);
+        let disconnected = crate::select! {
+            recv(rx1) -> msg => msg.is_err(),
+            recv(rx2) -> _ => false,
+        };
+        assert!(disconnected);
+    }
+
+    #[test]
+    fn scoped_threads_return_values() {
+        let data = [1u32, 2, 3];
+        let sum = crate::thread::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<u32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+}

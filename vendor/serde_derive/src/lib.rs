@@ -1,0 +1,127 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` for plain (non-generic) structs with
+//! named fields — the only shape this workspace derives — by hand-parsing the
+//! item token stream (no `syn`/`quote`, which are unavailable offline).  The
+//! generated impl converts the struct into a `serde::Value::Object` with one
+//! entry per field, in declaration order.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` for a plain struct with named fields.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    // Skip attributes (`#[...]`) and visibility, find `struct <Name>`.
+    let mut i = 0;
+    let mut name: Option<String> = None;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // Attribute: `#` followed by a bracketed group.
+                i += 2;
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => {
+                if let Some(TokenTree::Ident(n)) = tokens.get(i + 1) {
+                    name = Some(n.to_string());
+                }
+                i += 2;
+                break;
+            }
+            _ => i += 1,
+        }
+    }
+    let name = match name {
+        Some(n) => n,
+        None => {
+            return compile_error("#[derive(Serialize)] (vendored) supports only structs");
+        }
+    };
+
+    // Reject generics: the vendored macro intentionally supports only the
+    // shapes this workspace uses.
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return compile_error("#[derive(Serialize)] (vendored) does not support generic structs");
+    }
+
+    // Find the brace-delimited field body.
+    let body = tokens[i..].iter().find_map(|t| match t {
+        TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => Some(g.stream()),
+        _ => None,
+    });
+    let body = match body {
+        Some(b) => b,
+        None => {
+            return compile_error(
+                "#[derive(Serialize)] (vendored) supports only structs with named fields",
+            );
+        }
+    };
+
+    // Collect field names: within the brace group, a field is the identifier
+    // immediately before a top-level `:`.  Attributes are skipped and commas
+    // inside angle brackets (generic types) do not split fields.
+    let mut fields: Vec<String> = Vec::new();
+    let body_tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut j = 0;
+    let mut angle_depth: i32 = 0;
+    let mut expecting_field = true;
+    while j < body_tokens.len() {
+        match &body_tokens[j] {
+            TokenTree::Punct(p) if p.as_char() == '#' && expecting_field => {
+                j += 2; // attribute: `#` + group
+                continue;
+            }
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                expecting_field = true;
+                j += 1;
+                continue;
+            }
+            TokenTree::Ident(ident) if expecting_field && angle_depth == 0 => {
+                let word = ident.to_string();
+                if word != "pub" {
+                    // Named field iff the next token is a `:`.
+                    if matches!(
+                        body_tokens.get(j + 1),
+                        Some(TokenTree::Punct(p)) if p.as_char() == ':'
+                    ) {
+                        fields.push(word);
+                        expecting_field = false;
+                    } else {
+                        return compile_error(
+                            "#[derive(Serialize)] (vendored) supports only named fields",
+                        );
+                    }
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value(&self.{f})),"
+            )
+        })
+        .collect();
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    output.parse().expect("generated impl must tokenise")
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("::core::compile_error!({msg:?});")
+        .parse()
+        .expect("compile_error must tokenise")
+}
