@@ -1,0 +1,33 @@
+//! A4 — federation ablation: cost of a cross-broker secure message as the
+//! backbone grows, sweeping broker count × client count.
+//!
+//! Broker count 1 is the single-broker baseline (the relay resolves
+//! locally); larger backbones add the inter-broker hop and the gossip-kept
+//! replicated index.  The measured primitive is `secureMsgPeerRelayed` from
+//! a client homed at the first broker to one homed at the last.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jxta_bench::{build_federated_world, make_payload, measure_cross_broker_message, ExperimentConfig};
+
+fn bench_broker_fanout(c: &mut Criterion) {
+    let payload = make_payload(1024);
+    let mut group = c.benchmark_group("broker_fanout");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    for broker_count in [1usize, 2, 4] {
+        for n_clients in [4usize, 8] {
+            let config = ExperimentConfig::default();
+            let mut world = build_federated_world(&config, broker_count, n_clients);
+            group.bench_with_input(
+                BenchmarkId::new(format!("brokers-{broker_count}"), n_clients),
+                &payload,
+                |b, payload| b.iter(|| measure_cross_broker_message(&mut world, payload)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broker_fanout);
+criterion_main!(benches);

@@ -460,6 +460,94 @@ pub fn experiment_group_fanout(config: &ExperimentConfig, group_sizes: &[usize])
 }
 
 // ----------------------------------------------------------------------
+// A4 — broker federation fan-out
+// ----------------------------------------------------------------------
+
+/// A federated deployment under measurement: `clients[i]` is homed at broker
+/// `i % broker_count`, every client published a signed pipe and the
+/// replicated indexes have converged.
+pub struct FederatedWorld {
+    /// The running multi-broker deployment.
+    pub setup: SecureNetwork,
+    /// Joined clients, round-robin across the brokers.
+    pub clients: Vec<SecureClient>,
+    /// The experiment group.
+    pub group: GroupId,
+}
+
+/// Builds a federation of `broker_count` brokers serving `n_clients` secure
+/// clients (requires `config`-independent users `user-0` … registered by
+/// [`build_world`]'s naming convention).
+pub fn build_federated_world(
+    config: &ExperimentConfig,
+    broker_count: usize,
+    n_clients: usize,
+) -> FederatedWorld {
+    let mut builder = SecureNetworkBuilder::new(config.seed)
+        .with_key_bits(config.key_bits)
+        .with_link(config.link)
+        .with_broker_count(broker_count);
+    for i in 0..n_clients {
+        builder =
+            builder.with_user(&format!("user-{i}"), &format!("password-{i}"), &[EXPERIMENT_GROUP]);
+    }
+    let mut setup = builder.build();
+    let group = GroupId::new(EXPERIMENT_GROUP);
+    let clients: Vec<SecureClient> = (0..n_clients)
+        .map(|i| {
+            let broker = setup.broker_id_at(i % broker_count);
+            let mut client = setup.secure_client(&format!("fed-client-{i}"));
+            client
+                .secure_join(broker, &format!("user-{i}"), &format!("password-{i}"))
+                .expect("secure join");
+            client.publish_secure_pipe(&group).expect("publish");
+            client
+        })
+        .collect();
+    assert!(
+        setup
+            .federation()
+            .await_convergence(std::time::Duration::from_secs(5)),
+        "federation must converge before measuring"
+    );
+    FederatedWorld {
+        setup,
+        clients,
+        group,
+    }
+}
+
+/// One cross-broker secure message: client 0 (homed at broker 0) relays to
+/// the last client (homed at the last broker), which drains its inbox until
+/// the message arrives.  Returns the sender-side timing.
+pub fn measure_cross_broker_message(
+    world: &mut FederatedWorld,
+    payload: &str,
+) -> OperationTiming {
+    let to = world.clients.last().expect("at least one client").id();
+    let (sender, rest) = world.clients.split_first_mut().expect("at least one client");
+    let receiver = rest.last_mut();
+    let timing = sender
+        .secure_msg_peer_relayed(&world.group, to, payload)
+        .expect("relayed send");
+    if let Some(receiver) = receiver {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            let received = receiver.receive_secure_messages().expect("receive");
+            if !received.is_empty() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "relayed message never arrived"
+            );
+            std::thread::yield_now();
+        }
+    }
+    timing
+}
+
+// ----------------------------------------------------------------------
 // Report formatting
 // ----------------------------------------------------------------------
 
@@ -561,6 +649,20 @@ mod tests {
         assert!(rows[0].overhead_percent > rows[1].overhead_percent,
             "relative overhead must fall as the payload (and thus wire time) grows: {rows:?}");
         assert!(format_msg_report(&rows).contains("payload"));
+    }
+
+    #[test]
+    fn quick_federated_world_relays_across_brokers() {
+        let config = ExperimentConfig::quick();
+        let mut world = build_federated_world(&config, 2, 2);
+        assert_eq!(world.setup.broker_count(), 2);
+        assert_eq!(world.clients.len(), 2);
+        let timing = measure_cross_broker_message(&mut world, "benchmark ping");
+        assert!(timing.total() > Duration::ZERO);
+        assert_eq!(
+            world.setup.broker_at(0).federation_stats().relays_forwarded,
+            1
+        );
     }
 
     #[test]

@@ -17,6 +17,19 @@
 //! * [`FakeBroker`] — the rogue peer itself: it happily answers `connect`
 //!   and `secureConnection` requests with a self-made credential, which a
 //!   plain client accepts and a secure client rejects.
+//!
+//! With a broker *federation*, the attack surface grows by the inter-broker
+//! links, which group-security work on structured overlays shows must be
+//! re-validated separately: a message that was safe client→broker may become
+//! attackable while transiting the backbone.  The edge-targeting adversaries
+//! model that:
+//!
+//! * [`InterBrokerReplayAttacker`] — captures gossip/relay traffic on a
+//!   specific broker–broker edge and re-injects it later (the per-origin
+//!   sequence numbers of the federation protocol defeat it).
+//! * [`EdgeAdversary`] — redirects, tampers with or drops traffic on one
+//!   directed edge only, leaving everything else untouched (a compromised
+//!   backbone router between two brokers).
 
 use crate::credential::{Credential, CredentialRole};
 use crate::identity::PeerIdentity;
@@ -130,6 +143,148 @@ impl Adversary for LoginReplayAttacker {
             if parsed.kind == self.kind {
                 *slot = Some(message.clone());
             }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Inter-broker (backbone) adversaries
+// ----------------------------------------------------------------------
+
+/// Captures inter-broker traffic of one [`MessageKind`] crossing the
+/// directed `from → to` edge and can re-inject the first captured message
+/// later, optionally spoofing the transport-level sender.
+///
+/// Used to show that replays on the *broker–broker* links are detected: the
+/// federation protocol's per-origin sequence numbers make the receiving
+/// broker reject the duplicate (`rejected_replayed` in its
+/// [`jxta_overlay::metrics::FederationStats`]).
+pub struct InterBrokerReplayAttacker {
+    edge: (PeerId, PeerId),
+    kind: MessageKind,
+    captured: Mutex<Option<NetMessage>>,
+}
+
+impl InterBrokerReplayAttacker {
+    /// Creates an attacker sitting on the `from → to` backbone edge,
+    /// interested in messages of `kind` (typically
+    /// [`MessageKind::BrokerSync`] or [`MessageKind::BrokerRelay`]).
+    pub fn new(from: PeerId, to: PeerId, kind: MessageKind) -> Arc<Self> {
+        Arc::new(InterBrokerReplayAttacker {
+            edge: (from, to),
+            kind,
+            captured: Mutex::new(None),
+        })
+    }
+
+    /// Returns `true` once a matching message has been captured.
+    pub fn has_capture(&self) -> bool {
+        self.captured.lock().is_some()
+    }
+
+    /// The captured message, if any.
+    pub fn capture(&self) -> Option<NetMessage> {
+        self.captured.lock().clone()
+    }
+
+    /// Re-injects the captured message, optionally impersonating a different
+    /// transport-level sender.  Returns `false` when nothing was captured.
+    pub fn replay(&self, network: &SimNetwork, impersonate_as: Option<PeerId>) -> bool {
+        let Some(captured) = self.capture() else {
+            return false;
+        };
+        let from = impersonate_as.unwrap_or(captured.from);
+        network.send(from, captured.to, captured.payload).is_ok()
+    }
+}
+
+impl Adversary for InterBrokerReplayAttacker {
+    fn observe(&self, message: &NetMessage) {
+        if (message.from, message.to) != self.edge {
+            return;
+        }
+        let mut slot = self.captured.lock();
+        if slot.is_some() {
+            return;
+        }
+        if let Ok(parsed) = Message::from_bytes(&message.payload) {
+            if parsed.kind == self.kind {
+                *slot = Some(message.clone());
+            }
+        }
+    }
+}
+
+/// What an [`EdgeAdversary`] does with the traffic on its edge.
+enum EdgeBehavior {
+    /// Deliver to a rogue peer instead of the real destination.
+    Redirect(PeerId),
+    /// Flip a byte in the middle of every payload.
+    Tamper,
+    /// Silently drop.
+    Drop,
+}
+
+/// An adversary controlling exactly one directed edge of the network —
+/// a compromised router between two brokers.  All other traffic flows
+/// untouched.
+pub struct EdgeAdversary {
+    edge: (PeerId, PeerId),
+    behavior: EdgeBehavior,
+    intercepted: Mutex<u64>,
+}
+
+impl EdgeAdversary {
+    /// Redirects everything on `from → to` towards `rogue`.
+    pub fn redirect(from: PeerId, to: PeerId, rogue: PeerId) -> Arc<Self> {
+        Arc::new(EdgeAdversary {
+            edge: (from, to),
+            behavior: EdgeBehavior::Redirect(rogue),
+            intercepted: Mutex::new(0),
+        })
+    }
+
+    /// Corrupts every payload on `from → to`.
+    pub fn tamper(from: PeerId, to: PeerId) -> Arc<Self> {
+        Arc::new(EdgeAdversary {
+            edge: (from, to),
+            behavior: EdgeBehavior::Tamper,
+            intercepted: Mutex::new(0),
+        })
+    }
+
+    /// Drops every message on `from → to`.
+    pub fn drop_all(from: PeerId, to: PeerId) -> Arc<Self> {
+        Arc::new(EdgeAdversary {
+            edge: (from, to),
+            behavior: EdgeBehavior::Drop,
+            intercepted: Mutex::new(0),
+        })
+    }
+
+    /// Number of messages this adversary acted upon.
+    pub fn intercepted_count(&self) -> u64 {
+        *self.intercepted.lock()
+    }
+}
+
+impl Adversary for EdgeAdversary {
+    fn intercept(&self, message: &NetMessage) -> Verdict {
+        if (message.from, message.to) != self.edge {
+            return Verdict::Deliver;
+        }
+        *self.intercepted.lock() += 1;
+        match &self.behavior {
+            EdgeBehavior::Redirect(rogue) => Verdict::Redirect(*rogue),
+            EdgeBehavior::Tamper => {
+                let mut forged = message.payload.clone();
+                let idx = forged.len() / 2;
+                if let Some(byte) = forged.get_mut(idx) {
+                    *byte ^= 0xff;
+                }
+                Verdict::Tamper(forged)
+            }
+            EdgeBehavior::Drop => Verdict::Drop,
         }
     }
 }

@@ -8,7 +8,12 @@
 //! * **secureConnection** — on receiving a client challenge the broker
 //!   generates a sufficiently long random session identifier `sid`, stores
 //!   it, and answers with `sid`, the challenge signed with `SK_Br` and its
-//!   admin-issued credential `Cred^Adm_Br`.
+//!   admin-issued credential `Cred^Adm_Br`.  In a broker federation the
+//!   response additionally carries the admin-issued credentials of the
+//!   *peer brokers*, so a client joined at broker A can later validate
+//!   signed advertisements whose credentials were issued by broker B — the
+//!   client still verifies every one of them against the administrator
+//!   trust anchor before accepting it.
 //! * **secureLogin** — the broker decrypts the wrapped login request with its
 //!   private key, consumes the `sid` (each identifier is single-use, which is
 //!   what defeats replayed login attempts), checks the username/password
@@ -43,6 +48,50 @@ pub fn login_signed_content(username: &str, password: &str, public_key: &[u8]) -
     out.extend_from_slice(&(public_key.len() as u32).to_be_bytes());
     out.extend_from_slice(public_key);
     out
+}
+
+/// Serialises a list of credentials into one message element (2-byte count,
+/// then per credential a 4-byte length and its bytes, big-endian).
+pub fn encode_credential_list(credentials: &[Credential]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(credentials.len() as u16).to_be_bytes());
+    for credential in credentials {
+        let bytes = credential.to_bytes();
+        out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+/// Parses a credential list encoded by [`encode_credential_list`].
+pub fn decode_credential_list(
+    bytes: &[u8],
+) -> Result<Vec<Credential>, jxta_overlay::OverlayError> {
+    let err = |what: &str| jxta_overlay::OverlayError::MalformedMessage(what.to_string());
+    if bytes.len() < 2 {
+        return Err(err("truncated credential list"));
+    }
+    let count = u16::from_be_bytes(bytes[..2].try_into().unwrap()) as usize;
+    let mut offset = 2usize;
+    let mut credentials = Vec::with_capacity(count);
+    for _ in 0..count {
+        if bytes.len() < offset + 4 {
+            return Err(err("truncated credential length"));
+        }
+        let len = u32::from_be_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        offset += 4;
+        if bytes.len() < offset + len {
+            return Err(err("truncated credential"));
+        }
+        let credential = Credential::from_bytes(&bytes[offset..offset + len])
+            .map_err(|e| err(&format!("malformed credential: {e}")))?;
+        credentials.push(credential);
+        offset += len;
+    }
+    if offset != bytes.len() {
+        return Err(err("trailing bytes after credential list"));
+    }
+    Ok(credentials)
 }
 
 /// Computes the byte string signed by the sender of a `secureMsgPeer`
@@ -80,6 +129,9 @@ pub struct SecureBrokerExtension {
     sessions: Mutex<HashSet<Vec<u8>>>,
     rng: Mutex<HmacDrbg>,
     stats: Mutex<SecureBrokerStats>,
+    /// Admin-issued credentials of the other brokers in the federation,
+    /// beaconed to clients during `secureConnection`.
+    peer_credentials: Mutex<Vec<Credential>>,
 }
 
 impl SecureBrokerExtension {
@@ -103,7 +155,23 @@ impl SecureBrokerExtension {
             sessions: Mutex::new(HashSet::new()),
             rng: Mutex::new(HmacDrbg::from_seed_u64(rng_seed)),
             stats: Mutex::new(SecureBrokerStats::default()),
+            peer_credentials: Mutex::new(Vec::new()),
         }
+    }
+
+    /// Registers the admin-issued credential of a peer broker so this broker
+    /// can beacon it to connecting clients.
+    pub fn add_peer_broker_credential(&self, credential: Credential) {
+        debug_assert_eq!(credential.role, CredentialRole::Broker);
+        let mut peers = self.peer_credentials.lock();
+        if !peers.iter().any(|c| c == &credential) {
+            peers.push(credential);
+        }
+    }
+
+    /// The peer broker credentials this broker beacons.
+    pub fn peer_broker_credentials(&self) -> Vec<Credential> {
+        self.peer_credentials.lock().clone()
     }
 
     /// The broker's admin-issued credential (`Cred^Adm_Br`).
@@ -148,11 +216,19 @@ impl SecureBrokerExtension {
         broker.mark_connected(message.sender);
         self.stats.lock().challenges_answered += 1;
 
-        Message::new(MessageKind::SecureConnectResponse, broker.id(), message.request_id)
-            .with_str("status", "ok")
-            .with_element("sid", sid)
-            .with_element("challenge-signature", signature)
-            .with_element("broker-credential", self.credential.to_bytes())
+        let mut response =
+            Message::new(MessageKind::SecureConnectResponse, broker.id(), message.request_id)
+                .with_str("status", "ok")
+                .with_element("sid", sid)
+                .with_element("challenge-signature", signature)
+                .with_element("broker-credential", self.credential.to_bytes());
+        // Beacon the rest of the federation; absent for a single broker, so
+        // the single-broker wire format stays unchanged.
+        let peers = self.peer_credentials.lock();
+        if !peers.is_empty() {
+            response.push_element("federation-credentials", encode_credential_list(&peers));
+        }
+        response
     }
 
     /// secureLogin, broker side (paper §4.2.2 steps 4-9).
@@ -368,6 +444,64 @@ mod tests {
             .unwrap();
         assert!(w.broker.is_connected(&client.peer_id()));
         assert_eq!(w.extension.stats().challenges_answered, 1);
+    }
+
+    #[test]
+    fn credential_list_roundtrip_and_rejection_of_garbage() {
+        let mut w = world();
+        let other_broker = PeerIdentity::generate(&mut w.rng, 512).unwrap();
+        let other_credential = w
+            .admin
+            .issue_broker_credential(
+                "broker-2",
+                other_broker.peer_id(),
+                other_broker.public_key(),
+                u64::MAX,
+            )
+            .unwrap();
+        let list = vec![w.extension.credential().clone(), other_credential];
+        let bytes = encode_credential_list(&list);
+        assert_eq!(decode_credential_list(&bytes).unwrap(), list);
+        assert_eq!(decode_credential_list(&encode_credential_list(&[])).unwrap(), vec![]);
+
+        assert!(decode_credential_list(b"").is_err());
+        assert!(decode_credential_list(&[0, 3]).is_err());
+        let mut truncated = bytes.clone();
+        truncated.truncate(truncated.len() - 1);
+        assert!(decode_credential_list(&truncated).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(decode_credential_list(&trailing).is_err());
+    }
+
+    #[test]
+    fn secure_connect_beacons_federation_credentials() {
+        let mut w = world();
+        let client = client_identity(&mut w.rng);
+        // Without peers, the response omits the federation element.
+        let challenge = w.rng.generate_vec(32);
+        let resp = do_secure_connect(&w, &client, &challenge);
+        assert!(resp.element("federation-credentials").is_none());
+
+        let other_broker = PeerIdentity::generate(&mut w.rng, 512).unwrap();
+        let other_credential = w
+            .admin
+            .issue_broker_credential(
+                "broker-2",
+                other_broker.peer_id(),
+                other_broker.public_key(),
+                u64::MAX,
+            )
+            .unwrap();
+        w.extension.add_peer_broker_credential(other_credential.clone());
+        w.extension.add_peer_broker_credential(other_credential.clone());
+        assert_eq!(w.extension.peer_broker_credentials().len(), 1, "no duplicates");
+
+        let challenge = w.rng.generate_vec(32);
+        let resp = do_secure_connect(&w, &client, &challenge);
+        let beaconed =
+            decode_credential_list(resp.element("federation-credentials").unwrap()).unwrap();
+        assert_eq!(beaconed, vec![other_credential]);
     }
 
     #[test]

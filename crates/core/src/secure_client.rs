@@ -9,7 +9,7 @@
 //! |------------------------|--------|
 //! | `secureConnection`     | [`SecureClient::secure_connection`] |
 //! | `secureLogin`          | [`SecureClient::secure_login`] |
-//! | `secureMsgPeer`        | [`SecureClient::secure_msg_peer`] |
+//! | `secureMsgPeer`        | [`SecureClient::secure_msg_peer`] / [`SecureClient::secure_msg_peer_relayed`] |
 //! | `secureMsgPeerGroup`   | [`SecureClient::secure_msg_peer_group`] / [`SecureClient::secure_msg_peer_group_parallel`] |
 //!
 //! plus the signed-advertisement publication that distributes credentials
@@ -196,6 +196,21 @@ impl SecureClient {
                     "broker does not possess the credential's private key (impersonator)".into(),
                 )
             })?;
+
+        // Federation extension: the broker beacons the credentials of its
+        // peer brokers.  Each one is verified against the administrator
+        // anchor before it is trusted — a rogue broker cannot smuggle an
+        // unauthentic credential past this step.
+        if let Some(bytes) = response.element("federation-credentials") {
+            let peers = crate::broker_ext::decode_credential_list(bytes)?;
+            for peer in peers {
+                self.trust.add_broker(peer).map_err(|_| {
+                    OverlayError::SecurityViolation(
+                        "beaconed federation credential does not chain to the administrator".into(),
+                    )
+                })?;
+            }
+        }
 
         // Step 8-9: broker is legitimate; store sid and the credential.
         self.session_id = Some(sid);
@@ -420,6 +435,45 @@ impl SecureClient {
         let message = Message::new(MessageKind::SecurePeerText, self.id(), request_id)
             .with_element("envelope", envelope.to_bytes());
         self.client.send_message(to, &message)?;
+
+        let wire = self.client.take_wire_time();
+        Ok(OperationTiming::new(stopwatch.elapsed(), wire))
+    }
+
+    /// The broker-relayed variant of `secureMsgPeer`: the sealed envelope is
+    /// handed to this peer's home broker, which routes it across the broker
+    /// federation to the destination's home broker.
+    ///
+    /// The brokers only see (and forward) the opaque envelope bytes — the
+    /// encryption and the signature are produced and verified end-to-end by
+    /// the two clients, so confidentiality and authenticity survive the
+    /// extra hops unmodified.
+    pub fn secure_msg_peer_relayed(
+        &mut self,
+        group: &GroupId,
+        to: PeerId,
+        text: &str,
+    ) -> Result<OperationTiming, OverlayError> {
+        self.check_can_message(group)?;
+        let stopwatch = Stopwatch::start();
+        let _ = self.client.take_wire_time();
+
+        // Identical sealing path to secure_msg_peer: validate the signed
+        // advertisement, then encrypt the message plus its signature.
+        let validated = self.resolve_secure_pipe(group, to)?;
+        let envelope = Self::seal_text_for(
+            &mut self.rng,
+            &self.identity,
+            self.client.id(),
+            &validated.credential.public_key,
+            group,
+            text,
+        )?;
+        let request_id = self.client.next_request_id();
+        let message = Message::new(MessageKind::SecurePeerText, self.id(), request_id)
+            .with_element("envelope", envelope.to_bytes());
+        // Only the delivery differs: via the federation instead of directly.
+        self.client.relay_payload(to, message.to_bytes())?;
 
         let wire = self.client.take_wire_time();
         Ok(OperationTiming::new(stopwatch.elapsed(), wire))

@@ -8,14 +8,22 @@
 //! credential.  [`SecureNetworkBuilder`] performs all of that and hands out
 //! ready-to-use [`SecureClient`]s and plain [`ClientPeer`]s, which is what
 //! the examples, integration tests and the benchmark harness build on.
+//!
+//! A deployment may span a whole **broker federation**
+//! ([`SecureNetworkBuilder::with_broker_count`]): every broker gets its own
+//! identity and admin-issued credential, so a secure client can run
+//! `secureConnection`/`secureLogin` against whichever broker it lands on and
+//! verify that broker's credential against the same administrator trust
+//! anchor.
 
 use crate::admin::Administrator;
 use crate::broker_ext::SecureBrokerExtension;
 use crate::identity::PeerIdentity;
 use crate::secure_client::SecureClient;
 use jxta_crypto::drbg::HmacDrbg;
-use jxta_overlay::broker::{Broker, BrokerConfig, BrokerHandle};
+use jxta_overlay::broker::{Broker, BrokerConfig};
 use jxta_overlay::client::{ClientConfig, ClientPeer};
+use jxta_overlay::federation::BrokerNetwork;
 use jxta_overlay::net::LinkModel;
 use jxta_overlay::{GroupId, PeerId, SimNetwork, UserDatabase};
 use rand::RngCore;
@@ -28,7 +36,7 @@ pub struct SecureNetworkBuilder {
     key_bits: usize,
     link: LinkModel,
     users: Vec<(String, String, Vec<GroupId>)>,
-    broker_name: String,
+    broker_names: Vec<String>,
     request_timeout: Duration,
 }
 
@@ -41,7 +49,7 @@ impl SecureNetworkBuilder {
             key_bits: crate::identity::DEFAULT_KEY_BITS,
             link: LinkModel::ideal(),
             users: Vec::new(),
-            broker_name: "broker-1".to_string(),
+            broker_names: vec!["broker-1".to_string()],
             request_timeout: Duration::from_secs(5),
         }
     }
@@ -68,9 +76,38 @@ impl SecureNetworkBuilder {
         self
     }
 
-    /// Sets the broker's well-known name.
+    /// Sets the first broker's well-known name.
     pub fn with_broker_name(mut self, name: &str) -> Self {
-        self.broker_name = name.to_string();
+        self.broker_names[0] = name.to_string();
+        self
+    }
+
+    /// Deploys a federation of `count` brokers, interconnected into a
+    /// full-mesh backbone (default: 1).  Names already set (e.g. via
+    /// [`SecureNetworkBuilder::with_broker_name`], in either call order) are
+    /// preserved; additional brokers get default `broker-N` names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count` is zero.
+    pub fn with_broker_count(mut self, count: usize) -> Self {
+        assert!(count > 0, "a deployment needs at least one broker");
+        self.broker_names.truncate(count);
+        for i in self.broker_names.len()..count {
+            self.broker_names.push(format!("broker-{}", i + 1));
+        }
+        self
+    }
+
+    /// Deploys one broker per name, interconnected into a full-mesh
+    /// backbone.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `names` is empty.
+    pub fn with_brokers(mut self, names: &[&str]) -> Self {
+        assert!(!names.is_empty(), "a deployment needs at least one broker");
+        self.broker_names = names.iter().map(|n| n.to_string()).collect();
         self
     }
 
@@ -93,40 +130,53 @@ impl SecureNetworkBuilder {
             admin.register_user(&mut rng, &database, username, password, groups);
         }
 
-        // Broker: key pair + admin-issued credential + secure extension.
-        let broker_identity =
-            PeerIdentity::generate(&mut rng, self.key_bits).expect("broker key generation");
-        let broker_credential = admin
-            .issue_broker_credential(
-                &self.broker_name,
+        // Brokers: one key pair + admin-issued credential + secure extension
+        // each; the federation module interconnects them into a full mesh.
+        let mut brokers = Vec::with_capacity(self.broker_names.len());
+        let mut extensions = Vec::with_capacity(self.broker_names.len());
+        for name in &self.broker_names {
+            let broker_identity =
+                PeerIdentity::generate(&mut rng, self.key_bits).expect("broker key generation");
+            let broker_credential = admin
+                .issue_broker_credential(
+                    name,
+                    broker_identity.peer_id(),
+                    broker_identity.public_key(),
+                    crate::admin::DEFAULT_CREDENTIAL_LIFETIME,
+                )
+                .expect("broker credential issuance");
+            let broker = Broker::new(
                 broker_identity.peer_id(),
-                broker_identity.public_key(),
+                BrokerConfig { name: name.clone() },
+                Arc::clone(&network),
+                Arc::clone(&database),
+            );
+            let extension = Arc::new(SecureBrokerExtension::new(
+                broker_identity,
+                broker_credential,
                 crate::admin::DEFAULT_CREDENTIAL_LIFETIME,
-            )
-            .expect("broker credential issuance");
-        let broker = Broker::new(
-            broker_identity.peer_id(),
-            BrokerConfig {
-                name: self.broker_name.clone(),
-            },
-            Arc::clone(&network),
-            Arc::clone(&database),
-        );
-        let extension = Arc::new(SecureBrokerExtension::new(
-            broker_identity,
-            broker_credential.clone(),
-            crate::admin::DEFAULT_CREDENTIAL_LIFETIME,
-            rng.next_u64(),
-        ));
-        broker.set_extension(extension.clone());
-        let broker_handle = broker.spawn();
+                rng.next_u64(),
+            ));
+            broker.set_extension(extension.clone());
+            brokers.push(broker);
+            extensions.push(extension);
+        }
+        // Every broker beacons its peers' credentials to connecting clients.
+        for (i, extension) in extensions.iter().enumerate() {
+            for (j, other) in extensions.iter().enumerate() {
+                if i != j {
+                    extension.add_peer_broker_credential(other.credential().clone());
+                }
+            }
+        }
+        let federation = BrokerNetwork::spawn(brokers);
 
         SecureNetwork {
             network,
             database,
             admin,
-            broker_handle,
-            extension,
+            federation,
+            extensions,
             rng,
             key_bits: self.key_bits,
             request_timeout: self.request_timeout,
@@ -135,13 +185,13 @@ impl SecureNetworkBuilder {
 }
 
 /// A running secured deployment: network, central database, administrator and
-/// one broker with the secure extension installed.
+/// a federation of one or more brokers with the secure extension installed.
 pub struct SecureNetwork {
     network: Arc<SimNetwork>,
     database: Arc<UserDatabase>,
     admin: Administrator,
-    broker_handle: BrokerHandle,
-    extension: Arc<SecureBrokerExtension>,
+    federation: BrokerNetwork,
+    extensions: Vec<Arc<SecureBrokerExtension>>,
     rng: HmacDrbg,
     key_bits: usize,
     request_timeout: Duration,
@@ -163,19 +213,44 @@ impl SecureNetwork {
         &self.admin
     }
 
-    /// The broker's peer identifier (its well-known address).
+    /// The first broker's peer identifier (its well-known address).
     pub fn broker_id(&self) -> PeerId {
-        self.broker_handle.id()
+        self.federation.id(0)
     }
 
-    /// The running broker.
+    /// The first running broker.
     pub fn broker(&self) -> &Arc<Broker> {
-        self.broker_handle.broker()
+        self.federation.broker(0)
     }
 
-    /// The broker-side secure extension (exposes its statistics).
+    /// The first broker's secure extension (exposes its statistics).
     pub fn broker_extension(&self) -> &Arc<SecureBrokerExtension> {
-        &self.extension
+        &self.extensions[0]
+    }
+
+    /// Number of brokers in the deployment's federation.
+    pub fn broker_count(&self) -> usize {
+        self.federation.len()
+    }
+
+    /// The `index`-th broker's peer identifier.
+    pub fn broker_id_at(&self, index: usize) -> PeerId {
+        self.federation.id(index)
+    }
+
+    /// The `index`-th running broker.
+    pub fn broker_at(&self, index: usize) -> &Arc<Broker> {
+        self.federation.broker(index)
+    }
+
+    /// The `index`-th broker's secure extension.
+    pub fn broker_extension_at(&self, index: usize) -> &Arc<SecureBrokerExtension> {
+        &self.extensions[index]
+    }
+
+    /// The broker federation backbone.
+    pub fn federation(&self) -> &BrokerNetwork {
+        &self.federation
     }
 
     /// The RSA key size used by this deployment's identities.
@@ -232,9 +307,9 @@ impl SecureNetwork {
             .register_user(&mut self.rng, &self.database, username, password, &groups)
     }
 
-    /// Shuts the broker down (otherwise done on drop).
+    /// Shuts every broker down (otherwise done on drop).
     pub fn shutdown(self) {
-        self.broker_handle.shutdown();
+        self.federation.shutdown();
     }
 }
 
@@ -287,6 +362,69 @@ mod tests {
         assert_eq!(a.broker_id(), b.broker_id());
         let c = SecureNetworkBuilder::new(43).with_key_bits(512).build();
         assert_ne!(a.broker_id(), c.broker_id());
+    }
+
+    #[test]
+    fn multi_broker_deployment_federates_and_authenticates_everywhere() {
+        let mut setup = SecureNetworkBuilder::new(7)
+            .with_key_bits(512)
+            .with_broker_count(3)
+            .with_user("alice", "pw", &["g"])
+            .build();
+        assert_eq!(setup.broker_count(), 3);
+        let ids: Vec<PeerId> = (0..3).map(|i| setup.broker_id_at(i)).collect();
+        assert_eq!(setup.broker_id(), ids[0]);
+        assert!(ids.windows(2).all(|w| w[0] != w[1]), "distinct identities");
+        for i in 0..3 {
+            assert_eq!(setup.broker_at(i).config().name, format!("broker-{}", i + 1));
+            assert_eq!(setup.broker_at(i).peer_brokers().len(), 2, "full mesh");
+            // Every broker's credential chains to the same administrator.
+            setup
+                .broker_extension_at(i)
+                .credential()
+                .verify(setup.admin().public_key())
+                .unwrap();
+        }
+
+        // A secure client can join at any broker of the federation.
+        let broker_b = setup.broker_id_at(1);
+        let mut client = setup.secure_client("roaming");
+        client.secure_join(broker_b, "alice", "pw").unwrap();
+        assert_eq!(client.credential().unwrap().issuer_name, "broker-2");
+        assert_eq!(setup.broker_at(1).session_count(), 1);
+        assert_eq!(setup.broker_at(0).session_count(), 0);
+        setup.shutdown();
+    }
+
+    #[test]
+    fn named_brokers_are_deployed_in_order() {
+        let setup = SecureNetworkBuilder::new(8)
+            .with_key_bits(512)
+            .with_brokers(&["tokyo", "osaka"])
+            .build();
+        assert_eq!(setup.broker_count(), 2);
+        assert_eq!(setup.broker_at(0).config().name, "tokyo");
+        assert_eq!(setup.broker_at(1).config().name, "osaka");
+        assert_eq!(setup.federation().ids().len(), 2);
+    }
+
+    #[test]
+    fn broker_name_and_count_compose_in_either_order() {
+        let named_first = SecureNetworkBuilder::new(9)
+            .with_key_bits(512)
+            .with_broker_name("tokyo")
+            .with_broker_count(2)
+            .build();
+        assert_eq!(named_first.broker_at(0).config().name, "tokyo");
+        assert_eq!(named_first.broker_at(1).config().name, "broker-2");
+
+        let count_first = SecureNetworkBuilder::new(9)
+            .with_key_bits(512)
+            .with_broker_count(2)
+            .with_broker_name("tokyo")
+            .build();
+        assert_eq!(count_first.broker_at(0).config().name, "tokyo");
+        assert_eq!(count_first.broker_at(1).config().name, "broker-2");
     }
 
     #[test]

@@ -18,14 +18,33 @@
 //! `SecureConnect*`/`SecureLogin*` kinds; this keeps the Broker Module open
 //! for extension without the security crate having to reimplement indexing
 //! and group management.
+//!
+//! # Federation
+//!
+//! The paper's architecture has a *backbone* of brokers, not a single one.
+//! A broker therefore also speaks two inter-broker message kinds:
+//!
+//! * [`MessageKind::BrokerSync`] — gossip that replicates the advertisement
+//!   index, group membership and peer→broker routing to every peer broker.
+//!   Sync messages carry a per-origin sequence number; stale or duplicate
+//!   sequence numbers (replays) and messages from peers that are not part of
+//!   the federation are rejected and counted.
+//! * [`MessageKind::BrokerRelay`] — an opaque client payload crossing the
+//!   backbone towards the broker that homes the destination peer.  Clients
+//!   trigger it with [`MessageKind::RelayViaBroker`]; each hop of the relay
+//!   is charged its own link cost (see [`SimNetwork::forward`]).
+//!
+//! [`crate::federation::BrokerNetwork`] wires brokers into a full mesh.
 
 use crate::database::UserDatabase;
 use crate::group::{GroupId, GroupRegistry};
 use crate::id::PeerId;
 use crate::message::{Message, MessageKind};
+use crate::metrics::{FederationMetrics, FederationStats};
 use crate::net::{NetMessage, SimNetwork};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
@@ -65,8 +84,32 @@ pub struct BrokerSession {
     pub groups: Vec<GroupId>,
 }
 
-/// Advertisement index for one group: (owner, doc type) → XML document.
-type GroupAdvertisements = HashMap<(PeerId, String), String>;
+/// One indexed advertisement: the XML document plus its last-writer-wins
+/// version.  The version is `(sequence number at the origin broker, origin
+/// broker id)`: every broker keeps the entry with the greatest version, so
+/// concurrent publishes of the same `(owner, doc type)` key at different
+/// brokers converge to the same winner on every replica regardless of the
+/// order the gossip arrives in.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct IndexedAdvertisement {
+    xml: String,
+    version: (u64, PeerId),
+}
+
+/// Advertisement index for one group: (owner, doc type) → versioned XML.
+type GroupAdvertisements = HashMap<(PeerId, String), IndexedAdvertisement>;
+
+/// Version of a peer's replicated presence state: `(origin sequence, kind
+/// rank, origin broker)`.  Joins rank above leaves at the same sequence so a
+/// leave/re-join pair racing across the backbone resolves to the join on
+/// every broker.  Like the advertisement versions, any total order makes the
+/// replicas converge; the ranking only picks the intuitive winner.
+type PresenceVersion = (u64, u8, PeerId);
+
+/// Rank of a leave in a [`PresenceVersion`].
+const PRESENCE_LEAVE: u8 = 0;
+/// Rank of a join in a [`PresenceVersion`].
+const PRESENCE_JOIN: u8 = 1;
 
 /// The broker peer.
 pub struct Broker {
@@ -81,7 +124,24 @@ pub struct Broker {
     connected: RwLock<HashMap<PeerId, ()>>,
     /// Logged-in sessions.
     sessions: RwLock<HashMap<PeerId, BrokerSession>>,
+    /// Live local sessions shadowed by a remote join this broker yielded to.
+    /// The connection is still open here; if the displacing origin later
+    /// gossips the peer's departure, the shadowed session is resurrected
+    /// (the join/leave pair proves the displacing join was a stale echo).
+    displaced: RwLock<HashMap<PeerId, BrokerSession>>,
     extension: RwLock<Option<Arc<dyn BrokerExtension>>>,
+    /// The other brokers of the federation backbone.
+    peer_brokers: RwLock<Vec<PeerId>>,
+    /// Which broker each remote peer is homed at (replicated via gossip).
+    peer_homes: RwLock<HashMap<PeerId, PeerId>>,
+    /// Last-writer-wins version of each peer's presence (join/leave) state.
+    peer_versions: RwLock<HashMap<PeerId, PresenceVersion>>,
+    /// Sequence number stamped on outgoing inter-broker messages.
+    sync_seq: AtomicU64,
+    /// Highest sequence number seen per origin broker (replay detection).
+    seen_seq: RwLock<HashMap<PeerId, u64>>,
+    /// Federation activity counters.
+    federation: FederationMetrics,
 }
 
 impl Broker {
@@ -101,7 +161,14 @@ impl Broker {
             advertisements: RwLock::new(HashMap::new()),
             connected: RwLock::new(HashMap::new()),
             sessions: RwLock::new(HashMap::new()),
+            displaced: RwLock::new(HashMap::new()),
             extension: RwLock::new(None),
+            peer_brokers: RwLock::new(Vec::new()),
+            peer_homes: RwLock::new(HashMap::new()),
+            peer_versions: RwLock::new(HashMap::new()),
+            sync_seq: AtomicU64::new(0),
+            seen_seq: RwLock::new(HashMap::new()),
+            federation: FederationMetrics::new(),
         })
     }
 
@@ -136,6 +203,74 @@ impl Broker {
         *self.extension.write() = Some(extension);
     }
 
+    // ------------------------------------------------------------------
+    // Federation membership and routing
+    // ------------------------------------------------------------------
+
+    /// Registers another broker as a peer of the federation backbone.
+    /// Gossip is sent to — and accepted from — peer brokers only.
+    pub fn add_peer_broker(&self, broker: PeerId) {
+        if broker == self.id {
+            return;
+        }
+        let mut peers = self.peer_brokers.write();
+        if !peers.contains(&broker) {
+            peers.push(broker);
+        }
+    }
+
+    /// The other brokers of the federation this broker gossips with.
+    pub fn peer_brokers(&self) -> Vec<PeerId> {
+        self.peer_brokers.read().clone()
+    }
+
+    /// Returns `true` if `peer` is a known peer broker of the federation.
+    pub fn is_peer_broker(&self, peer: &PeerId) -> bool {
+        self.peer_brokers.read().contains(peer)
+    }
+
+    /// Federation activity counters (gossip, relays, rejected traffic).
+    pub fn federation_stats(&self) -> FederationStats {
+        self.federation.snapshot()
+    }
+
+    /// The broker a peer is homed at: this broker for local sessions, the
+    /// gossip-replicated home broker for peers joined elsewhere.
+    pub fn home_of(&self, peer: &PeerId) -> Option<PeerId> {
+        if self.sessions.read().contains_key(peer) {
+            return Some(self.id);
+        }
+        self.peer_homes.read().get(peer).copied()
+    }
+
+    /// Deterministic snapshot of the advertisement index, used by the
+    /// federation's replication-convergence checks.
+    pub fn advertisement_snapshot(&self) -> Vec<(GroupId, PeerId, String, String)> {
+        let advertisements = self.advertisements.read();
+        let mut out = Vec::new();
+        for (group, index) in advertisements.iter() {
+            for ((owner, doc_type), adv) in index.iter() {
+                out.push((group.clone(), *owner, doc_type.clone(), adv.xml.clone()));
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Deterministic snapshot of the peer→home-broker routing table (local
+    /// sessions map to this broker itself).
+    pub fn routing_snapshot(&self) -> Vec<(PeerId, PeerId)> {
+        let mut out: Vec<(PeerId, PeerId)> = self
+            .sessions
+            .read()
+            .keys()
+            .map(|peer| (*peer, self.id))
+            .collect();
+        out.extend(self.peer_homes.read().iter().map(|(p, h)| (*p, *h)));
+        out.sort();
+        out
+    }
+
     /// Returns `true` if `peer` completed the connect step.
     pub fn is_connected(&self, peer: &PeerId) -> bool {
         self.connected.read().contains_key(peer)
@@ -158,7 +293,8 @@ impl Broker {
     }
 
     /// Records a successful login and joins the user's groups.  Returns the
-    /// created session.
+    /// created session and replicates it to the federation (the peer is now
+    /// homed here).
     pub fn establish_session(&self, peer: PeerId, username: &str) -> BrokerSession {
         let groups = self.database.groups_of(username);
         for g in &groups {
@@ -166,21 +302,75 @@ impl Broker {
         }
         let session = BrokerSession {
             username: username.to_string(),
-            groups,
+            groups: groups.clone(),
         };
         self.sessions.write().insert(peer, session.clone());
+        // If the peer previously logged in at another broker, this broker is
+        // its home now; a fresh login also supersedes any shadowed session.
+        self.peer_homes.write().remove(&peer);
+        self.displaced.write().remove(&peer);
+        let seq = self.version_local_presence(peer, PRESENCE_JOIN);
+        self.gossip_join(seq, peer, &groups);
         session
     }
 
-    /// Removes a peer's session and group memberships (logout / departure).
+    /// Removes a peer's session and group memberships (logout / departure)
+    /// and replicates the departure to the federation.
     pub fn drop_session(&self, peer: &PeerId) {
-        self.sessions.write().remove(peer);
+        let had_session = self.sessions.write().remove(peer).is_some();
         self.connected.write().remove(peer);
+        self.displaced.write().remove(peer);
         self.groups.leave_all(peer);
+        if had_session {
+            let peer = *peer;
+            let seq = self.version_local_presence(peer, PRESENCE_LEAVE);
+            self.gossip_sync_with_seq(seq, |m| {
+                m.with_str("op", "leave").with_str("peer", &peer.to_urn())
+            });
+        }
     }
 
-    /// Stores an advertisement in the global index and pushes it to the other
-    /// members of the group.  Returns the number of peers it was pushed to.
+    /// Records a local join/leave in the presence register and returns the
+    /// sequence number it was versioned (and must be gossiped) under.  The
+    /// sequence is floored above the stored version so the local write — the
+    /// authoritative one, the client is talking to *this* broker — wins.
+    fn version_local_presence(&self, peer: PeerId, rank: u8) -> u64 {
+        let floor = self
+            .peer_versions
+            .read()
+            .get(&peer)
+            .map(|version| version.0 + 1)
+            .unwrap_or(1);
+        self.sync_seq.fetch_max(floor - 1, Ordering::Relaxed);
+        let seq = self.next_sync_seq();
+        self.peer_versions.write().insert(peer, (seq, rank, self.id));
+        seq
+    }
+
+    /// Applies `version` to the presence register if it is newer than the
+    /// stored one.  Returns `false` when the incoming write is stale.
+    fn try_version_presence(&self, peer: PeerId, version: PresenceVersion) -> bool {
+        let mut versions = self.peer_versions.write();
+        match versions.entry(peer) {
+            std::collections::hash_map::Entry::Occupied(mut stored) => {
+                if version <= *stored.get() {
+                    return false;
+                }
+                stored.insert(version);
+                true
+            }
+            std::collections::hash_map::Entry::Vacant(slot) => {
+                slot.insert(version);
+                true
+            }
+        }
+    }
+
+    /// Stores an advertisement in the global index, pushes it to the other
+    /// *locally homed* members of the group and replicates it to the peer
+    /// brokers (each of which pushes to its own local members, so every
+    /// member receives exactly one push).  Returns the number of local peers
+    /// it was pushed to.
     pub fn index_and_distribute(
         &self,
         from: PeerId,
@@ -188,17 +378,71 @@ impl Broker {
         doc_type: &str,
         xml: &str,
     ) -> usize {
-        self.advertisements
-            .write()
-            .entry(group.clone())
-            .or_default()
-            .insert((from, doc_type.to_string()), xml.to_string());
+        // The gossip's transport sequence number doubles as the entry's
+        // last-writer-wins version, so the local write and its replicas
+        // carry the identical version on every broker.
+        let seq = self.next_sync_seq();
+        let pushed = self.apply_publish(from, group, doc_type, xml, (seq, self.id));
+        self.gossip_sync_with_seq(seq, |m| {
+            m.with_str("op", "publish")
+                .with_str("group", group.as_str())
+                .with_str("doc-type", doc_type)
+                .with_str("owner", &from.to_urn())
+                .with_str("xml", xml)
+        });
+        pushed
+    }
 
-        let mut pushed = 0;
-        for member in self.groups.members(group) {
-            if member == from {
-                continue;
+    /// Indexes an advertisement and pushes it to locally homed group members
+    /// without gossiping (shared by the local publish path and the gossip
+    /// application path).  The entry is only replaced when `version` is
+    /// greater than the stored one (last-writer-wins convergence).
+    fn apply_publish(
+        &self,
+        from: PeerId,
+        group: &GroupId,
+        doc_type: &str,
+        xml: &str,
+        version: (u64, PeerId),
+    ) -> usize {
+        {
+            let mut advertisements = self.advertisements.write();
+            let entry = advertisements
+                .entry(group.clone())
+                .or_default()
+                .entry((from, doc_type.to_string()));
+            use std::collections::hash_map::Entry;
+            match entry {
+                Entry::Occupied(mut stored) => {
+                    if version <= stored.get().version {
+                        // A concurrent write with a greater version already
+                        // won; dropping this one keeps all replicas equal.
+                        return 0;
+                    }
+                    stored.insert(IndexedAdvertisement {
+                        xml: xml.to_string(),
+                        version,
+                    });
+                }
+                Entry::Vacant(slot) => {
+                    slot.insert(IndexedAdvertisement {
+                        xml: xml.to_string(),
+                        version,
+                    });
+                }
             }
+        }
+
+        let local: Vec<PeerId> = {
+            let sessions = self.sessions.read();
+            self.groups
+                .members(group)
+                .into_iter()
+                .filter(|member| *member != from && sessions.contains_key(member))
+                .collect()
+        };
+        let mut pushed = 0;
+        for member in local {
             let push = Message::new(MessageKind::AdvertisementPush, self.id, 0)
                 .with_str("group", group.as_str())
                 .with_str("doc-type", doc_type)
@@ -208,6 +452,300 @@ impl Broker {
             }
         }
         pushed
+    }
+
+    // ------------------------------------------------------------------
+    // Federation gossip
+    // ------------------------------------------------------------------
+
+    /// Allocates the next outgoing inter-broker sequence number.
+    fn next_sync_seq(&self) -> u64 {
+        self.sync_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Sends one gossip event (built by `build`) to every peer broker under
+    /// a pre-allocated per-origin sequence number — the same number that
+    /// versions the replicated write, so the local write and its replicas
+    /// carry identical versions.
+    fn gossip_sync_with_seq(&self, seq: u64, build: impl Fn(Message) -> Message) {
+        let peers = self.peer_brokers.read().clone();
+        if peers.is_empty() {
+            return;
+        }
+        // One build + one serialisation, shared by every peer broker.
+        let bytes = build(Message::new(MessageKind::BrokerSync, self.id, 0))
+            .with_str("seq", &seq.to_string())
+            .to_bytes();
+        for peer in peers {
+            if self.network.send(self.id, peer, bytes.clone()).is_ok() {
+                self.federation.count_sync_sent();
+            }
+        }
+    }
+
+    /// Admission control for inter-broker traffic: the origin must be a
+    /// known peer broker, it must match the transport-level sender (when the
+    /// message arrived over the network rather than being handed in
+    /// directly), and the sequence number must be fresh.  Rejections are
+    /// counted (they are what the cross-broker attack tests assert on).
+    ///
+    /// This models the connection-oriented trust of a real backbone (a
+    /// broker knows which TLS/TCP link a message arrived on); an adversary
+    /// spoofing *both* identities is only stopped by the end-to-end
+    /// cryptography of the secure extension, never by the overlay.
+    fn accept_from_peer_broker(
+        &self,
+        origin: PeerId,
+        transport_from: Option<PeerId>,
+        seq: Option<String>,
+    ) -> Option<u64> {
+        if transport_from.is_some_and(|from| from != origin) || !self.is_peer_broker(&origin) {
+            self.federation.count_rejected_unknown_origin();
+            return None;
+        }
+        let Some(seq) = seq.and_then(|s| s.parse::<u64>().ok()) else {
+            self.federation.count_rejected_replayed();
+            return None;
+        };
+        // Lamport merge: pull the local sequence counter past every observed
+        // remote sequence number, so subsequent *local* writes always
+        // version-dominate the remote writes this broker has already seen —
+        // without it, a fresh local publish on a quiet broker would lose the
+        // LWW comparison against a replica from a busier broker.
+        self.sync_seq.fetch_max(seq, Ordering::Relaxed);
+        let mut seen = self.seen_seq.write();
+        let last = seen.entry(origin).or_insert(0);
+        if seq <= *last {
+            self.federation.count_rejected_replayed();
+            return None;
+        }
+        *last = seq;
+        Some(seq)
+    }
+
+    /// Applies one incoming gossip message to local state.
+    fn handle_sync(&self, message: &Message, transport_from: Option<PeerId>) {
+        let Some(seq) =
+            self.accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+        else {
+            return;
+        };
+        let origin = message.sender;
+        match message.element_str("op").as_deref() {
+            Some("publish") => {
+                let (Some(group), Some(doc_type), Some(owner), Some(xml)) = (
+                    message.element_str("group"),
+                    message.element_str("doc-type"),
+                    message.element_str("owner"),
+                    message.element_str("xml"),
+                ) else {
+                    return;
+                };
+                let Some(owner) = PeerId::from_urn(&owner) else {
+                    return;
+                };
+                self.apply_publish(owner, &GroupId::new(group), &doc_type, &xml, (seq, origin));
+                self.federation.count_sync_applied();
+            }
+            Some("join") => {
+                let Some(peer) = message
+                    .element_str("peer")
+                    .and_then(|urn| PeerId::from_urn(&urn))
+                else {
+                    return;
+                };
+                if !self.try_version_presence(peer, (seq, PRESENCE_JOIN, origin)) {
+                    return; // a newer local or replicated write already won
+                }
+                if let Some(session) = self.session(&peer) {
+                    // The peer is demonstrably logged in *here* right now —
+                    // local ground truth the remote join cannot know about.
+                    // The lower broker id re-asserts (so a stale join
+                    // arriving late cannot ghost a live client); the higher
+                    // one yields but *shadows* the still-open session
+                    // instead of forgetting it.  Exactly one side backs
+                    // down, so the exchange always terminates.
+                    if self.id < origin {
+                        self.reassert_session(peer, &session);
+                        return;
+                    }
+                    self.displaced.write().insert(peer, session);
+                }
+                // The peer is homed at `origin` now; any local session for it
+                // is stale (the peer re-homed to another broker).
+                self.sessions.write().remove(&peer);
+                self.connected.write().remove(&peer);
+                self.groups.leave_all(&peer);
+                self.peer_homes.write().insert(peer, origin);
+                for group in message
+                    .element_str("groups")
+                    .unwrap_or_default()
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                {
+                    self.groups.join(GroupId::new(group), peer);
+                }
+                self.federation.count_sync_applied();
+            }
+            Some("leave") => {
+                let Some(peer) = message
+                    .element_str("peer")
+                    .and_then(|urn| PeerId::from_urn(&urn))
+                else {
+                    return;
+                };
+                if !self.try_version_presence(peer, (seq, PRESENCE_LEAVE, origin)) {
+                    return; // the peer meanwhile re-homed; this leave is stale
+                }
+                if let Some(session) = self.session(&peer) {
+                    // A leave echoing an older home must not log out a peer
+                    // that is live here; re-assert unconditionally (the
+                    // leaver holds no session, so it never counter-asserts).
+                    self.reassert_session(peer, &session);
+                    return;
+                }
+                if let Some(session) = self.displaced.write().remove(&peer) {
+                    // The peer's global state just became "gone", yet its
+                    // connection here is still open: the join we yielded to
+                    // was a stale echo of a completed login/logout episode.
+                    // Resurrect the shadowed session as the peer's home.
+                    self.sessions.write().insert(peer, session.clone());
+                    self.reassert_session(peer, &session);
+                    return;
+                }
+                self.connected.write().remove(&peer);
+                self.groups.leave_all(&peer);
+                self.peer_homes.write().remove(&peer);
+                self.federation.count_sync_applied();
+            }
+            _ => {}
+        }
+    }
+
+    /// Re-announces a live local session whose presence register was just
+    /// overwritten by stale remote gossip: this broker *is* the peer's home
+    /// (the connection is local ground truth), so it restores the peer's
+    /// membership, re-versions the join above the remote write and gossips
+    /// it back out.
+    fn reassert_session(&self, peer: PeerId, session: &BrokerSession) {
+        self.peer_homes.write().remove(&peer);
+        for group in &session.groups {
+            self.groups.join(group.clone(), peer);
+        }
+        let seq = self.version_local_presence(peer, PRESENCE_JOIN);
+        self.gossip_join(seq, peer, &session.groups);
+    }
+
+    /// Gossips a join event for `peer` under `seq`.
+    fn gossip_join(&self, seq: u64, peer: PeerId, groups: &[GroupId]) {
+        let joined = groups
+            .iter()
+            .map(|g| g.as_str().to_string())
+            .collect::<Vec<_>>()
+            .join(",");
+        self.gossip_sync_with_seq(seq, |m| {
+            m.with_str("op", "join")
+                .with_str("peer", &peer.to_urn())
+                .with_str("groups", &joined)
+        });
+    }
+
+    // ------------------------------------------------------------------
+    // Relaying
+    // ------------------------------------------------------------------
+
+    /// Handles a client's `RelayViaBroker` request: deliver locally if the
+    /// destination is homed here, otherwise forward it across the backbone
+    /// to the destination's home broker.  `carried_wire` is the wire time of
+    /// the client→broker hop, so the final delivery charges every hop.
+    fn handle_relay_request(&self, message: &Message, carried_wire: Duration) -> Option<Message> {
+        if self.session(&message.sender).is_none() {
+            return Some(self.reject(message, "login required"));
+        }
+        let (Some(to_urn), Some(payload)) = (message.element_str("to"), message.element("payload"))
+        else {
+            return Some(self.reject(message, "missing relay fields"));
+        };
+        let Some(dest) = PeerId::from_urn(&to_urn) else {
+            return Some(self.reject(message, "malformed destination identifier"));
+        };
+
+        if self.sessions.read().contains_key(&dest) {
+            return match self.network.forward(self.id, dest, payload.to_vec(), carried_wire) {
+                Ok(_) => {
+                    self.federation.count_relay_delivered();
+                    Some(
+                        Message::new(MessageKind::Ack, self.id, message.request_id)
+                            .with_str("status", "ok")
+                            .with_str("route", "local"),
+                    )
+                }
+                Err(_) => {
+                    self.federation.count_relay_failed();
+                    Some(self.reject(message, "destination unreachable"))
+                }
+            };
+        }
+
+        let Some(home) = self.peer_homes.read().get(&dest).copied() else {
+            self.federation.count_relay_failed();
+            return Some(self.reject(message, "unknown destination peer"));
+        };
+        let relay = Message::new(MessageKind::BrokerRelay, self.id, message.request_id)
+            .with_str("seq", &self.next_sync_seq().to_string())
+            .with_str("to", &to_urn)
+            .with_element("payload", payload.to_vec());
+        match self
+            .network
+            .forward(self.id, home, relay.to_bytes(), carried_wire)
+        {
+            Ok(_) => {
+                self.federation.count_relay_forwarded();
+                Some(
+                    Message::new(MessageKind::Ack, self.id, message.request_id)
+                        .with_str("status", "ok")
+                        .with_str("route", "federation"),
+                )
+            }
+            Err(_) => {
+                self.federation.count_relay_failed();
+                Some(self.reject(message, "home broker unreachable"))
+            }
+        }
+    }
+
+    /// Handles a `BrokerRelay` arriving over the backbone: after admission
+    /// control, the opaque payload is delivered to the locally homed
+    /// destination peer with the accumulated wire time carried forward.
+    fn handle_broker_relay(
+        &self,
+        message: &Message,
+        transport_from: Option<PeerId>,
+        carried_wire: Duration,
+    ) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        let (Some(to_urn), Some(payload)) = (message.element_str("to"), message.element("payload"))
+        else {
+            self.federation.count_relay_failed();
+            return;
+        };
+        let Some(dest) = PeerId::from_urn(&to_urn) else {
+            self.federation.count_relay_failed();
+            return;
+        };
+        if !self.sessions.read().contains_key(&dest) {
+            self.federation.count_relay_failed();
+            return;
+        }
+        match self.network.forward(self.id, dest, payload.to_vec(), carried_wire) {
+            Ok(_) => self.federation.count_relay_delivered(),
+            Err(_) => self.federation.count_relay_failed(),
+        }
     }
 
     /// Looks up advertisements of a given type within a group, optionally
@@ -222,7 +760,7 @@ impl Broker {
         let Some(index) = advertisements.get(group) else {
             return Vec::new();
         };
-        let mut results: Vec<(&(PeerId, String), &String)> = index
+        let mut results: Vec<(&(PeerId, String), &IndexedAdvertisement)> = index
             .iter()
             .filter(|((adv_owner, adv_type), _)| {
                 adv_type == doc_type && owner.is_none_or(|o| *adv_owner == o)
@@ -230,7 +768,7 @@ impl Broker {
             .collect();
         // Deterministic order keeps experiments and tests reproducible.
         results.sort_by_key(|((owner, _), _)| *owner);
-        results.into_iter().map(|(_, xml)| xml.clone()).collect()
+        results.into_iter().map(|(_, adv)| adv.xml.clone()).collect()
     }
 
     /// Starts the broker's event loop on a dedicated thread.
@@ -243,7 +781,7 @@ impl Broker {
             .spawn(move || loop {
                 crossbeam::channel::select! {
                     recv(receiver) -> msg => match msg {
-                        Ok(net_message) => broker.process(net_message),
+                        Ok(net_message) => broker.process_net(net_message),
                         Err(_) => break,
                     },
                     recv(shutdown_rx) -> _ => break,
@@ -258,12 +796,32 @@ impl Broker {
     }
 
     /// Processes one raw network message (parse, dispatch, reply).
-    fn process(&self, net_message: NetMessage) {
+    ///
+    /// Public so the thread-free federation mode (deterministic pumping used
+    /// by the replication proptests) can drive a broker without spawning its
+    /// event-loop thread.  Relay kinds are dispatched here rather than in
+    /// [`Broker::handle_message`] because they need the delivery's
+    /// accumulated wire time for per-hop accounting.
+    pub fn process_net(&self, net_message: NetMessage) {
         let message = match Message::from_bytes(&net_message.payload) {
             Ok(m) => m,
             Err(_) => return, // undecodable traffic is dropped silently
         };
-        if let Some(response) = self.handle_message(&message) {
+        let response = match message.kind {
+            MessageKind::RelayViaBroker => {
+                self.handle_relay_request(&message, net_message.wire_time)
+            }
+            MessageKind::BrokerRelay => {
+                self.handle_broker_relay(&message, Some(net_message.from), net_message.wire_time);
+                None
+            }
+            MessageKind::BrokerSync => {
+                self.handle_sync(&message, Some(net_message.from));
+                None
+            }
+            _ => self.handle_message(&message),
+        };
+        if let Some(response) = response {
             let _ = self
                 .network
                 .send(self.id, net_message.from, response.to_bytes());
@@ -280,6 +838,15 @@ impl Broker {
             MessageKind::LoginRequest => Some(self.handle_login(message)),
             MessageKind::PublishAdvertisement => Some(self.handle_publish(message)),
             MessageKind::LookupRequest => Some(self.handle_lookup(message)),
+            MessageKind::BrokerSync => {
+                self.handle_sync(message, None);
+                None
+            }
+            MessageKind::RelayViaBroker => self.handle_relay_request(message, Duration::ZERO),
+            MessageKind::BrokerRelay => {
+                self.handle_broker_relay(message, None, Duration::ZERO);
+                None
+            }
             MessageKind::SecureConnectChallenge
             | MessageKind::SecureLoginRequest => {
                 let extension = self.extension.read().clone();
@@ -662,6 +1229,141 @@ mod tests {
         assert!(broker.session(&peer).is_none());
         assert!(!broker.is_connected(&peer));
         assert!(!broker.groups().is_member(&GroupId::new("math"), &peer));
+    }
+
+    #[test]
+    fn peer_broker_registration_is_idempotent_and_excludes_self() {
+        let (_net, _db, broker, mut rng) = setup();
+        let other = PeerId::random(&mut rng);
+        broker.add_peer_broker(other);
+        broker.add_peer_broker(other);
+        broker.add_peer_broker(broker.id());
+        assert_eq!(broker.peer_brokers(), vec![other]);
+        assert!(broker.is_peer_broker(&other));
+        assert!(!broker.is_peer_broker(&broker.id()));
+    }
+
+    #[test]
+    fn sync_from_unknown_origin_is_rejected() {
+        let (_net, _db, broker, mut rng) = setup();
+        let rogue = PeerId::random(&mut rng);
+        let peer = PeerId::random(&mut rng);
+        let sync = Message::new(MessageKind::BrokerSync, rogue, 0)
+            .with_str("op", "join")
+            .with_str("peer", &peer.to_urn())
+            .with_str("groups", "math")
+            .with_str("seq", "1");
+        assert!(broker.handle_message(&sync).is_none(), "gossip is never acked");
+        assert_eq!(broker.federation_stats().rejected_unknown_origin, 1);
+        assert!(broker.home_of(&peer).is_none(), "nothing was applied");
+    }
+
+    #[test]
+    fn replayed_sync_is_rejected_and_not_reapplied() {
+        let (_net, _db, broker, mut rng) = setup();
+        let origin = PeerId::random(&mut rng);
+        let peer = PeerId::random(&mut rng);
+        broker.add_peer_broker(origin);
+        let sync = Message::new(MessageKind::BrokerSync, origin, 0)
+            .with_str("op", "join")
+            .with_str("peer", &peer.to_urn())
+            .with_str("groups", "math,chem")
+            .with_str("seq", "1");
+        broker.handle_message(&sync);
+        assert_eq!(broker.federation_stats().syncs_applied, 1);
+        assert_eq!(broker.home_of(&peer), Some(origin));
+        assert!(broker.groups().is_member(&GroupId::new("math"), &peer));
+
+        // Replaying the captured gossip verbatim changes nothing.
+        let routing_before = broker.routing_snapshot();
+        broker.handle_message(&sync);
+        assert_eq!(broker.federation_stats().rejected_replayed, 1);
+        assert_eq!(broker.federation_stats().syncs_applied, 1);
+        assert_eq!(broker.routing_snapshot(), routing_before);
+    }
+
+    #[test]
+    fn replicated_publish_fills_index_and_leave_clears_membership() {
+        let (_net, _db, broker, mut rng) = setup();
+        let origin = PeerId::random(&mut rng);
+        let owner = PeerId::random(&mut rng);
+        broker.add_peer_broker(origin);
+        let publish = Message::new(MessageKind::BrokerSync, origin, 0)
+            .with_str("op", "publish")
+            .with_str("group", "math")
+            .with_str("doc-type", "jxta:PipeAdvertisement")
+            .with_str("owner", &owner.to_urn())
+            .with_str("xml", "<remote/>")
+            .with_str("seq", "1");
+        broker.handle_message(&publish);
+        assert_eq!(
+            broker.lookup(&GroupId::new("math"), "jxta:PipeAdvertisement", Some(owner)),
+            vec!["<remote/>".to_string()]
+        );
+
+        let join = Message::new(MessageKind::BrokerSync, origin, 0)
+            .with_str("op", "join")
+            .with_str("peer", &owner.to_urn())
+            .with_str("groups", "math")
+            .with_str("seq", "2");
+        broker.handle_message(&join);
+        assert!(broker.groups().is_member(&GroupId::new("math"), &owner));
+        let leave = Message::new(MessageKind::BrokerSync, origin, 0)
+            .with_str("op", "leave")
+            .with_str("peer", &owner.to_urn())
+            .with_str("seq", "3");
+        broker.handle_message(&leave);
+        assert!(!broker.groups().is_member(&GroupId::new("math"), &owner));
+        assert!(broker.home_of(&owner).is_none());
+        assert_eq!(broker.federation_stats().syncs_applied, 3);
+    }
+
+    #[test]
+    fn relay_to_locally_homed_peer_delivers_payload() {
+        let (net, _db, broker, mut rng) = setup();
+        let alice = PeerId::random(&mut rng);
+        let bob = PeerId::random(&mut rng);
+        let bob_rx = net.register(bob);
+        connect_and_login(&broker, alice, "alice", "pw-a");
+        connect_and_login(&broker, bob, "bob", "pw-b");
+
+        let inner = Message::new(MessageKind::PeerText, alice, 7)
+            .with_str("group", "math")
+            .with_str("text", "via broker");
+        let relay = Message::new(MessageKind::RelayViaBroker, alice, 8)
+            .with_str("to", &bob.to_urn())
+            .with_element("payload", inner.to_bytes());
+        let resp = broker.handle_message(&relay).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "ok");
+        assert_eq!(resp.element_str("route").unwrap(), "local");
+
+        let delivered = bob_rx.try_recv().unwrap();
+        let delivered = Message::from_bytes(&delivered.payload).unwrap();
+        assert_eq!(delivered, inner, "the relayed payload arrives unmodified");
+        assert_eq!(broker.federation_stats().relays_delivered, 1);
+    }
+
+    #[test]
+    fn relay_requires_login_and_known_destination() {
+        let (_net, _db, broker, mut rng) = setup();
+        let alice = PeerId::random(&mut rng);
+        let stranger = PeerId::random(&mut rng);
+
+        let relay = Message::new(MessageKind::RelayViaBroker, alice, 1)
+            .with_str("to", &stranger.to_urn())
+            .with_element("payload", b"x".to_vec());
+        let resp = broker.handle_message(&relay).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert!(resp.element_str("reason").unwrap().contains("login"));
+
+        connect_and_login(&broker, alice, "alice", "pw-a");
+        let relay = Message::new(MessageKind::RelayViaBroker, alice, 2)
+            .with_str("to", &stranger.to_urn())
+            .with_element("payload", b"x".to_vec());
+        let resp = broker.handle_message(&relay).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert!(resp.element_str("reason").unwrap().contains("unknown destination"));
+        assert_eq!(broker.federation_stats().relays_failed, 1);
     }
 
     #[test]

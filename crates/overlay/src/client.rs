@@ -591,6 +591,63 @@ impl ClientPeer {
         Ok(OperationTiming::new(stopwatch.elapsed(), wire))
     }
 
+    /// Asks this peer's home broker to relay an opaque `payload` to `to`,
+    /// wherever in the federation that peer is homed.  Returns the broker's
+    /// acknowledgement (whose `route` element says whether the destination
+    /// was local or reached over the backbone).
+    ///
+    /// The payload travels unmodified: the destination receives exactly
+    /// these bytes, so the secure extension can relay sealed envelopes
+    /// without the brokers being able to read or alter them.
+    pub fn relay_payload(&mut self, to: PeerId, payload: Vec<u8>) -> Result<Message, OverlayError> {
+        let broker = self.broker.ok_or(OverlayError::NotConnected)?;
+        if !self.is_logged_in() {
+            return Err(OverlayError::NotLoggedIn);
+        }
+        let request_id = self.next_request_id();
+        let message = Message::new(MessageKind::RelayViaBroker, self.id, request_id)
+            .with_str("to", &to.to_urn())
+            .with_element("payload", payload);
+        let response = self.request(broker, &message, MessageKind::Ack)?;
+        if response.element_str("status").as_deref() == Some("ok") {
+            Ok(response)
+        } else {
+            Err(OverlayError::Rejected(
+                response
+                    .element_str("reason")
+                    .unwrap_or_else(|| "relay rejected".to_string()),
+            ))
+        }
+    }
+
+    /// The broker-relayed variant of `sendMsgPeer`: the text is handed to
+    /// this peer's home broker, which routes it through the federation to
+    /// the destination's home broker.  Used when the destination is homed at
+    /// another broker of the backbone.
+    pub fn relay_msg_peer(
+        &mut self,
+        group: &GroupId,
+        to: PeerId,
+        text: &str,
+    ) -> Result<OperationTiming, OverlayError> {
+        if !self.is_logged_in() {
+            return Err(OverlayError::NotLoggedIn);
+        }
+        if !self.groups().contains(group) {
+            return Err(OverlayError::NotAGroupMember(group.as_str().to_string()));
+        }
+        let stopwatch = Stopwatch::start();
+        let wire_before = self.wire.take();
+        let request_id = self.next_request_id();
+        let message = Message::new(MessageKind::PeerText, self.id, request_id)
+            .with_str("group", group.as_str())
+            .with_str("text", text);
+        self.relay_payload(to, message.to_bytes())?;
+        let wire = self.wire.take();
+        self.wire.add(wire_before);
+        Ok(OperationTiming::new(stopwatch.elapsed(), wire))
+    }
+
     /// The `sendMsgPeerGroup` primitive: sends the same message to every
     /// member of the group by iteratively calling [`ClientPeer::send_msg_peer`]
     /// (exactly how the original JXTA-Overlay resolves it).
@@ -830,6 +887,54 @@ mod tests {
                 "every member receives the text"
             );
         }
+    }
+
+    #[test]
+    fn relay_msg_peer_delivers_via_the_broker() {
+        let mut fx = fixture();
+        let group = GroupId::new("math");
+        let mut alice = logged_in_client(&mut fx, "alice-pc", "alice", "pw-a");
+        let mut bob = logged_in_client(&mut fx, "bob-pc", "bob", "pw-b");
+
+        let timing = alice.relay_msg_peer(&group, bob.id(), "routed hi").unwrap();
+        assert!(timing.cpu >= Duration::ZERO);
+        let event = bob.wait_for_event(Duration::from_secs(2)).unwrap();
+        assert!(matches!(
+            event,
+            ClientEvent::Text { from, text, group: g }
+                if from == alice.id() && text == "routed hi" && g.as_str() == "math"
+        ));
+        assert_eq!(fx.broker.broker().federation_stats().relays_delivered, 1);
+    }
+
+    #[test]
+    fn relay_msg_peer_requires_login_membership_and_known_destination() {
+        let mut fx = fixture();
+        let mut fresh = ClientPeer::with_random_id(
+            Arc::clone(&fx.network),
+            ClientConfig::default(),
+            &mut fx.rng,
+        );
+        let target = PeerId::random(&mut fx.rng);
+        assert!(matches!(
+            fresh.relay_msg_peer(&GroupId::new("math"), target, "x"),
+            Err(OverlayError::NotLoggedIn)
+        ));
+        assert!(matches!(
+            fresh.relay_payload(target, b"x".to_vec()),
+            Err(OverlayError::NotConnected)
+        ));
+
+        let mut alice = logged_in_client(&mut fx, "alice-pc", "alice", "pw-a");
+        assert!(matches!(
+            alice.relay_msg_peer(&GroupId::new("chem"), target, "x"),
+            Err(OverlayError::NotAGroupMember(_))
+        ));
+        // Logged in, member, but the destination is unknown to the broker.
+        assert!(matches!(
+            alice.relay_msg_peer(&GroupId::new("math"), target, "x"),
+            Err(OverlayError::Rejected(reason)) if reason.contains("unknown destination")
+        ));
     }
 
     #[test]

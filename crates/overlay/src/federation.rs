@@ -1,0 +1,595 @@
+//! The broker federation backbone.
+//!
+//! The paper's architecture (§2.1) describes a *backbone of brokers*: several
+//! super-peers that jointly index resources, propagate peer information and
+//! act as beacons for client peers.  This module turns a set of independent
+//! [`Broker`]s into that backbone:
+//!
+//! * [`BrokerNetwork`] interconnects brokers into a full mesh (every broker
+//!   registers every other as a peer broker), spawns their event loops and
+//!   offers convergence checks over their replicated state.  State
+//!   replication itself — advertisement index, group membership and
+//!   peer→broker routing — travels as [`crate::message::MessageKind::BrokerSync`]
+//!   gossip implemented by the broker module.
+//! * [`InlineFederation`] is the thread-free variant: brokers are registered
+//!   on the network but not spawned, and [`InlineFederation::pump`] delivers
+//!   queued messages in a deterministic round-robin until quiescence.  The
+//!   replication-convergence property tests are built on it, because a
+//!   deterministic delivery order makes shrinking and reproduction exact.
+//!
+//! A client joined at broker A can therefore discover (via the replicated
+//! index) and message (via the [`crate::message::MessageKind::RelayViaBroker`]
+//! relay path) a peer joined at broker B.
+
+use crate::broker::{Broker, BrokerHandle};
+use crate::id::PeerId;
+use crate::net::NetMessage;
+use crossbeam::channel::Receiver;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Interconnects `brokers` into a full mesh: every broker learns every other
+/// broker's identifier as a federation peer.
+pub fn interconnect(brokers: &[Arc<Broker>]) {
+    for a in brokers {
+        for b in brokers {
+            if a.id() != b.id() {
+                a.add_peer_broker(b.id());
+            }
+        }
+    }
+}
+
+/// Returns `true` when every broker in `brokers` has converged to the same
+/// replicated state: identical advertisement indexes, group membership and
+/// peer→broker routing.
+pub fn converged(brokers: &[Arc<Broker>]) -> bool {
+    let Some((first, rest)) = brokers.split_first() else {
+        return true;
+    };
+    let advertisements = first.advertisement_snapshot();
+    let groups = first.groups().snapshot();
+    let routing = first.routing_snapshot();
+    rest.iter().all(|broker| {
+        broker.advertisement_snapshot() == advertisements
+            && broker.groups().snapshot() == groups
+            && broker.routing_snapshot() == routing
+    })
+}
+
+/// A running federation: a full mesh of spawned brokers.
+pub struct BrokerNetwork {
+    handles: Vec<BrokerHandle>,
+}
+
+impl BrokerNetwork {
+    /// Interconnects the brokers into a full mesh and spawns their event
+    /// loops.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `brokers` is empty — a deployment has at least one broker.
+    pub fn spawn(brokers: Vec<Arc<Broker>>) -> Self {
+        assert!(!brokers.is_empty(), "a federation needs at least one broker");
+        interconnect(&brokers);
+        let handles = brokers.iter().map(|broker| broker.spawn()).collect();
+        BrokerNetwork { handles }
+    }
+
+    /// Number of brokers in the federation.
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Returns `true` if the federation has no brokers (never the case for a
+    /// spawned federation; present for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// The `index`-th broker.
+    pub fn broker(&self, index: usize) -> &Arc<Broker> {
+        self.handles[index].broker()
+    }
+
+    /// The `index`-th broker's peer identifier.
+    pub fn id(&self, index: usize) -> PeerId {
+        self.handles[index].id()
+    }
+
+    /// All broker identifiers, in deployment order.
+    pub fn ids(&self) -> Vec<PeerId> {
+        self.handles.iter().map(|h| h.id()).collect()
+    }
+
+    /// Returns `true` when all brokers hold identical replicated state.
+    pub fn converged(&self) -> bool {
+        let brokers: Vec<Arc<Broker>> =
+            self.handles.iter().map(|h| Arc::clone(h.broker())).collect();
+        converged(&brokers)
+    }
+
+    /// Polls until the brokers converge or the timeout expires.  Returns
+    /// `true` on convergence.
+    pub fn await_convergence(&self, timeout: Duration) -> bool {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if self.converged() {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+    }
+
+    /// Shuts every broker down and waits for their threads.
+    pub fn shutdown(self) {
+        for handle in self.handles {
+            handle.shutdown();
+        }
+    }
+}
+
+/// A thread-free federation for deterministic tests: brokers are registered
+/// on the network but their event loops are driven explicitly by
+/// [`InlineFederation::pump`].
+pub struct InlineFederation {
+    brokers: Vec<Arc<Broker>>,
+    inboxes: Vec<Receiver<NetMessage>>,
+}
+
+impl InlineFederation {
+    /// Interconnects the brokers and registers their endpoints without
+    /// spawning threads.
+    pub fn new(brokers: Vec<Arc<Broker>>) -> Self {
+        interconnect(&brokers);
+        let inboxes = brokers
+            .iter()
+            .map(|broker| broker.network().register(broker.id()))
+            .collect();
+        InlineFederation { brokers, inboxes }
+    }
+
+    /// Number of brokers.
+    pub fn len(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// Returns `true` if the federation holds no brokers.
+    pub fn is_empty(&self) -> bool {
+        self.brokers.is_empty()
+    }
+
+    /// The `index`-th broker.
+    pub fn broker(&self, index: usize) -> &Arc<Broker> {
+        &self.brokers[index]
+    }
+
+    /// Delivers queued inter-broker messages round-robin until every inbox is
+    /// empty (processing a message may enqueue new ones, e.g. a relay hop).
+    /// Returns the number of messages processed.  Delivery order is fully
+    /// deterministic, which the replication proptests rely on.
+    pub fn pump(&self) -> usize {
+        let mut processed = 0;
+        loop {
+            let mut progressed = false;
+            for (broker, inbox) in self.brokers.iter().zip(&self.inboxes) {
+                while let Ok(net_message) = inbox.try_recv() {
+                    broker.process_net(net_message);
+                    processed += 1;
+                    progressed = true;
+                }
+            }
+            if !progressed {
+                return processed;
+            }
+        }
+    }
+
+    /// Returns `true` when all brokers hold identical replicated state.
+    pub fn converged(&self) -> bool {
+        converged(&self.brokers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use crate::database::UserDatabase;
+    use crate::group::GroupId;
+    use crate::net::{LinkModel, SimNetwork};
+    use jxta_crypto::drbg::HmacDrbg;
+
+    fn make_brokers(n: usize, seed: u64) -> (Arc<SimNetwork>, Arc<UserDatabase>, Vec<Arc<Broker>>) {
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        let network = SimNetwork::new(LinkModel::ideal());
+        let database = Arc::new(UserDatabase::new());
+        database.register_user(&mut rng, "alice", "pw-a", &[GroupId::new("math")]);
+        database.register_user(&mut rng, "bob", "pw-b", &[GroupId::new("math")]);
+        let brokers = (0..n)
+            .map(|i| {
+                Broker::new(
+                    PeerId::random(&mut rng),
+                    BrokerConfig {
+                        name: format!("broker-{}", i + 1),
+                    },
+                    Arc::clone(&network),
+                    Arc::clone(&database),
+                )
+            })
+            .collect();
+        (network, database, brokers)
+    }
+
+    #[test]
+    fn interconnect_builds_a_full_mesh() {
+        let (_net, _db, brokers) = make_brokers(3, 0xFED0);
+        interconnect(&brokers);
+        for (i, broker) in brokers.iter().enumerate() {
+            let peers = broker.peer_brokers();
+            assert_eq!(peers.len(), 2);
+            for (j, other) in brokers.iter().enumerate() {
+                assert_eq!(broker.is_peer_broker(&other.id()), i != j);
+            }
+        }
+    }
+
+    #[test]
+    fn inline_pump_replicates_session_and_index() {
+        let (_net, _db, brokers) = make_brokers(3, 0xFED1);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xFED2);
+        let alice = PeerId::random(&mut rng);
+
+        federation.broker(0).establish_session(alice, "alice");
+        federation
+            .broker(0)
+            .index_and_distribute(alice, &GroupId::new("math"), "jxta:PipeAdvertisement", "<a/>");
+        assert!(!federation.converged(), "gossip is still queued");
+        assert!(federation.pump() > 0);
+        assert!(federation.converged());
+
+        // Broker 2 never saw the client, yet resolves the advertisement and
+        // knows where the peer is homed.
+        assert_eq!(
+            federation
+                .broker(2)
+                .lookup(&GroupId::new("math"), "jxta:PipeAdvertisement", Some(alice)),
+            vec!["<a/>".to_string()]
+        );
+        assert_eq!(federation.broker(2).home_of(&alice), Some(federation.broker(0).id()));
+        assert_eq!(federation.pump(), 0, "pump is idempotent once quiescent");
+    }
+
+    #[test]
+    fn rehoming_a_peer_moves_its_route() {
+        let (_net, _db, brokers) = make_brokers(2, 0xFED3);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xFED4);
+        let alice = PeerId::random(&mut rng);
+
+        federation.broker(0).establish_session(alice, "alice");
+        federation.pump();
+        assert_eq!(federation.broker(1).home_of(&alice), Some(federation.broker(0).id()));
+
+        // The same peer drops off broker 0 and logs in at broker 1.
+        federation.broker(0).drop_session(&alice);
+        federation.broker(1).establish_session(alice, "alice");
+        federation.pump();
+        assert!(federation.converged());
+        for i in 0..2 {
+            assert_eq!(
+                federation.broker(i).home_of(&alice),
+                Some(federation.broker(1).id())
+            );
+        }
+    }
+
+    #[test]
+    fn republish_from_a_quiet_broker_beats_the_busy_brokers_replica() {
+        // Regression: LWW versions are (per-origin seq, origin id).  Without
+        // a Lamport merge of observed sequence numbers, a fresh publish on a
+        // quiet broker (low counter) would lose against the replica of an
+        // older publish from a busy broker (high counter) — the update would
+        // be silently discarded federation-wide.
+        let (_net, _db, brokers) = make_brokers(2, 0xFED8);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xFED9);
+        let alice = PeerId::random(&mut rng);
+        let group = GroupId::new("math");
+
+        // Busy broker 0: the target entry plus unrelated traffic that
+        // inflates its sequence counter well past broker 1's.
+        federation
+            .broker(0)
+            .index_and_distribute(alice, &group, "jxta:PipeAdvertisement", "<old/>");
+        for i in 0..5 {
+            federation.broker(0).index_and_distribute(
+                alice,
+                &group,
+                &format!("jxta:OtherAdvertisement-{i}"),
+                "<noise/>",
+            );
+        }
+        federation.pump();
+
+        // Quiet broker 1 republishes the same (owner, doc type) key.
+        federation
+            .broker(1)
+            .index_and_distribute(alice, &group, "jxta:PipeAdvertisement", "<new/>");
+        federation.pump();
+
+        assert!(federation.converged());
+        for i in 0..2 {
+            assert_eq!(
+                federation
+                    .broker(i)
+                    .lookup(&group, "jxta:PipeAdvertisement", Some(alice)),
+                vec!["<new/>".to_string()],
+                "broker {i} must serve the republished advertisement"
+            );
+        }
+    }
+
+    #[test]
+    fn stale_gossip_cannot_ghost_a_live_session() {
+        // Regression: join at A, leave at A, join at B — all before any
+        // gossip is delivered.  A's leave is sequenced above B's join, so a
+        // naive LWW would log the peer out of B (its *live* home) once the
+        // gossip lands.  The live-session re-assertion (lower-id broker) or
+        // the shadow-and-resurrect path (higher-id broker) must win instead,
+        // whatever the broker id order is and even when the stale home's
+        // sequence counter is inflated far past the live home's (the case
+        // where the stale join outranks the live one outright).
+        for (home, other) in [(0usize, 1usize), (1, 0)] {
+            for inflate in [false, true] {
+                let (_net, _db, brokers) = make_brokers(2, 0xFEDA);
+                let federation = InlineFederation::new(brokers);
+                let mut rng = HmacDrbg::from_seed_u64(0xFEDB);
+                let alice = PeerId::random(&mut rng);
+                let label = format!("home={home} inflate={inflate}");
+
+                if inflate {
+                    let noise = PeerId::random(&mut rng);
+                    for i in 0..5 {
+                        federation.broker(other).index_and_distribute(
+                            noise,
+                            &GroupId::new("noise"),
+                            &format!("jxta:Noise-{i}"),
+                            "<n/>",
+                        );
+                    }
+                }
+                federation.broker(other).establish_session(alice, "alice");
+                federation.broker(other).drop_session(&alice);
+                federation.broker(home).establish_session(alice, "alice");
+                federation.pump();
+
+                assert!(federation.converged(), "{label}");
+                let home_id = federation.broker(home).id();
+                for i in 0..2 {
+                    assert_eq!(
+                        federation.broker(i).home_of(&alice),
+                        Some(home_id),
+                        "broker {i} must route to the live home ({label})"
+                    );
+                }
+                assert!(
+                    federation.broker(home).session(&alice).is_some(),
+                    "the live session survives the stale leave ({label})"
+                );
+                assert!(
+                    federation
+                        .broker(home)
+                        .groups()
+                        .is_member(&GroupId::new("math"), &alice),
+                    "membership survives too ({label})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spawned_federation_serves_clients_at_different_brokers() {
+        use crate::client::{ClientConfig, ClientEvent, ClientPeer};
+        let (network, _db, brokers) = make_brokers(2, 0xFED5);
+        let federation = BrokerNetwork::spawn(brokers);
+        assert_eq!(federation.len(), 2);
+        assert!(!federation.is_empty());
+        let mut rng = HmacDrbg::from_seed_u64(0xFED6);
+
+        let mut alice =
+            ClientPeer::with_random_id(Arc::clone(&network), ClientConfig::named("alice-pc"), &mut rng);
+        let mut bob =
+            ClientPeer::with_random_id(Arc::clone(&network), ClientConfig::named("bob-pc"), &mut rng);
+        alice.connect(federation.id(0)).unwrap();
+        alice.login("alice", "pw-a").unwrap();
+        bob.connect(federation.id(1)).unwrap();
+        bob.login("bob", "pw-b").unwrap();
+
+        let group = GroupId::new("math");
+        bob.publish_pipe(&group).unwrap();
+        assert!(federation.await_convergence(Duration::from_secs(2)));
+
+        // Alice resolves Bob's advertisement through *her* broker.
+        let resolved = alice.resolve_pipe(&group, bob.id()).unwrap();
+        assert_eq!(resolved.owner, bob.id());
+
+        // And relays a message to him across the backbone.
+        alice.relay_msg_peer(&group, bob.id(), "hello across brokers").unwrap();
+        let event = bob.wait_for_event(Duration::from_secs(2)).unwrap();
+        assert!(matches!(
+            event,
+            ClientEvent::Text { from, text, .. }
+                if from == alice.id() && text == "hello across brokers"
+        ));
+        // The delivery to bob and the destination broker's counter update
+        // are not ordered with respect to each other; poll briefly.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while federation.broker(1).federation_stats().relays_delivered == 0
+            && Instant::now() < deadline
+        {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        assert_eq!(federation.broker(0).federation_stats().relays_forwarded, 1);
+        assert_eq!(federation.broker(1).federation_stats().relays_delivered, 1);
+        federation.shutdown();
+    }
+
+    #[test]
+    fn single_broker_federation_behaves_like_a_plain_broker() {
+        let (_net, _db, brokers) = make_brokers(1, 0xFED7);
+        let federation = BrokerNetwork::spawn(brokers);
+        assert_eq!(federation.len(), 1);
+        assert!(federation.converged());
+        assert_eq!(federation.broker(0).peer_brokers(), Vec::new());
+        federation.shutdown();
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    //! Replication-convergence property tests: random sequences of joins,
+    //! leaves and publishes, applied at random brokers, must end with every
+    //! broker holding the identical advertisement index, group membership and
+    //! routing table once the gossip queues drain.  Like the other proptests
+    //! in this workspace, the cases are deterministic (name-seeded runner,
+    //! fixed DRBG seeds), so failures reproduce exactly.
+
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use crate::database::UserDatabase;
+    use crate::group::GroupId;
+    use crate::net::{LinkModel, SimNetwork};
+    use jxta_crypto::drbg::HmacDrbg;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    const USERS: usize = 5;
+    const GROUP_NAMES: [&str; 3] = ["math", "chem", "bio"];
+
+    fn build_federation(broker_count: usize) -> (InlineFederation, Vec<PeerId>) {
+        let mut rng = HmacDrbg::from_seed_u64(0xC04E);
+        let network = SimNetwork::new(LinkModel::ideal());
+        let database = Arc::new(UserDatabase::new());
+        for u in 0..USERS {
+            // Each user belongs to a deterministic subset of the groups.
+            let groups: Vec<GroupId> = GROUP_NAMES
+                .iter()
+                .enumerate()
+                .filter(|(g, _)| (u + g) % 2 == 0)
+                .map(|(_, name)| GroupId::new(*name))
+                .collect();
+            database.register_user(&mut rng, &format!("user-{u}"), "pw", &groups);
+        }
+        let brokers: Vec<Arc<Broker>> = (0..broker_count)
+            .map(|i| {
+                Broker::new(
+                    PeerId::random(&mut rng),
+                    BrokerConfig {
+                        name: format!("broker-{}", i + 1),
+                    },
+                    Arc::clone(&network),
+                    Arc::clone(&database),
+                )
+            })
+            .collect();
+        let peers = (0..USERS).map(|_| PeerId::random(&mut rng)).collect();
+        (InlineFederation::new(brokers), peers)
+    }
+
+    /// One scripted operation: `(selector, user index, broker index)`.
+    /// `selector % 3` picks join / leave / publish.
+    type Op = (u8, usize, usize);
+
+    fn run_ops(federation: &InlineFederation, peers: &[PeerId], ops: &[Op]) {
+        // Tracks where each user is currently homed so the script never
+        // issues the ambiguous "joined at two brokers at once" sequence a
+        // real client cannot produce either.
+        let mut homes: HashMap<usize, usize> = HashMap::new();
+        for &(selector, user, broker) in ops {
+            let user = user % USERS;
+            let broker = broker % federation.len();
+            match selector % 3 {
+                0 => {
+                    if let std::collections::hash_map::Entry::Vacant(e) = homes.entry(user) {
+                        federation
+                            .broker(broker)
+                            .establish_session(peers[user], &format!("user-{user}"));
+                        e.insert(broker);
+                    }
+                }
+                1 => {
+                    if let Some(home) = homes.remove(&user) {
+                        federation.broker(home).drop_session(&peers[user]);
+                    }
+                }
+                _ => {
+                    let group = GROUP_NAMES[(user + broker) % GROUP_NAMES.len()];
+                    federation.broker(broker).index_and_distribute(
+                        peers[user],
+                        &GroupId::new(group),
+                        "jxta:PipeAdvertisement",
+                        &format!("<adv owner=\"{user}\" at=\"{broker}\"/>"),
+                    );
+                }
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn replicated_state_converges_on_every_broker(
+            broker_count in 2usize..5,
+            ops in proptest::collection::vec((any::<u8>(), 0usize..USERS, 0usize..4), 0..40),
+        ) {
+            let (federation, peers) = build_federation(broker_count);
+            run_ops(&federation, &peers, &ops);
+            federation.pump();
+            prop_assert!(federation.converged(), "brokers diverged after {} ops", ops.len());
+            prop_assert_eq!(federation.pump(), 0, "pump must be idempotent once quiescent");
+        }
+
+        #[test]
+        fn advertisement_indexes_are_identical_regardless_of_publish_origin(
+            publishes in proptest::collection::vec((0usize..USERS, 0usize..3), 1..30),
+        ) {
+            let (federation, peers) = build_federation(3);
+            for &(user, broker) in &publishes {
+                federation.broker(broker).index_and_distribute(
+                    peers[user],
+                    &GroupId::new(GROUP_NAMES[user % GROUP_NAMES.len()]),
+                    "jxta:FileAdvertisement",
+                    &format!("<file owner=\"{user}\" from=\"{broker}\"/>"),
+                );
+            }
+            federation.pump();
+            let reference = federation.broker(0).advertisement_snapshot();
+            prop_assert!(!reference.is_empty());
+            for i in 1..federation.len() {
+                prop_assert_eq!(&federation.broker(i).advertisement_snapshot(), &reference);
+            }
+        }
+
+        #[test]
+        fn membership_and_routing_converge_under_joins_and_leaves(
+            ops in proptest::collection::vec((0u8..2, 0usize..USERS, 0usize..3), 0..30),
+        ) {
+            let (federation, peers) = build_federation(3);
+            run_ops(&federation, &peers, &ops);
+            federation.pump();
+            let groups = federation.broker(0).groups().snapshot();
+            let routing = federation.broker(0).routing_snapshot();
+            for i in 1..federation.len() {
+                prop_assert_eq!(&federation.broker(i).groups().snapshot(), &groups);
+                prop_assert_eq!(&federation.broker(i).routing_snapshot(), &routing);
+            }
+        }
+    }
+}
+

@@ -129,6 +129,27 @@ impl GroupRegistry {
     pub fn group_count(&self) -> usize {
         self.groups.read().len()
     }
+
+    /// Deterministic snapshot of the whole registry: every group with its
+    /// sorted member list, sorted by group name.  Empty groups (all members
+    /// left) are omitted so that two registries that saw the same joins and
+    /// leaves in different orders still compare equal — the comparison the
+    /// federation's replication-convergence checks rely on.
+    pub fn snapshot(&self) -> Vec<(GroupId, Vec<PeerId>)> {
+        let mut snapshot: Vec<(GroupId, Vec<PeerId>)> = self
+            .groups
+            .read()
+            .iter()
+            .filter(|(_, members)| !members.is_empty())
+            .map(|(group, members)| {
+                let mut members: Vec<PeerId> = members.iter().copied().collect();
+                members.sort();
+                (group.clone(), members)
+            })
+            .collect();
+        snapshot.sort_by(|(a, _), (b, _)| a.cmp(b));
+        snapshot
+    }
 }
 
 #[cfg(test)]
@@ -196,6 +217,27 @@ mod tests {
         assert!(reg.publish_group(GroupId::new("fresh")));
         reg.join(GroupId::new("fresh"), peers(1)[0]);
         assert!(!reg.publish_group(GroupId::new("fresh")));
+    }
+
+    #[test]
+    fn snapshot_is_order_insensitive_and_skips_empty_groups() {
+        let ids = peers(3);
+        let a = GroupRegistry::new();
+        a.join(GroupId::new("g1"), ids[0]);
+        a.join(GroupId::new("g1"), ids[1]);
+        a.join(GroupId::new("g2"), ids[2]);
+        let b = GroupRegistry::new();
+        b.join(GroupId::new("g2"), ids[2]);
+        b.join(GroupId::new("g1"), ids[1]);
+        b.join(GroupId::new("g1"), ids[0]);
+        assert_eq!(a.snapshot(), b.snapshot());
+
+        // A group whose members all left disappears from the snapshot even
+        // though the other registry never created it.
+        a.join(GroupId::new("ghost"), ids[0]);
+        a.leave(&GroupId::new("ghost"), &ids[0]);
+        assert_eq!(a.snapshot(), b.snapshot());
+        assert_eq!(a.snapshot().len(), 2);
     }
 
     #[test]

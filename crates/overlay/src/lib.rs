@@ -28,7 +28,11 @@
 //!   (`connect`, `login`, `sendMsgPeer`, `sendMsgPeerGroup`, file publication,
 //!   presence) and the event stream produced by incoming messages.
 //! * [`group`] — overlapping peer groups and membership bookkeeping.
-//! * [`metrics`] — CPU/wire time accounting used by the benchmark harness.
+//! * [`federation`] — the broker backbone: full-mesh interconnection,
+//!   gossip-based replication of the index/membership/routing state, and
+//!   cross-broker relaying of client payloads.
+//! * [`metrics`] — CPU/wire time accounting used by the benchmark harness,
+//!   plus the federation activity counters.
 //!
 //! The plain primitives implemented here intentionally have **no security**:
 //! passwords travel in the clear, advertisements are unsigned, and the broker
@@ -43,6 +47,7 @@ pub mod broker;
 pub mod client;
 pub mod database;
 pub mod error;
+pub mod federation;
 pub mod group;
 pub mod id;
 pub mod message;
@@ -50,6 +55,7 @@ pub mod metrics;
 pub mod net;
 
 pub use broker::{Broker, BrokerConfig, BrokerHandle};
+pub use federation::BrokerNetwork;
 pub use client::{ClientConfig, ClientEvent, ClientPeer};
 pub use database::UserDatabase;
 pub use error::OverlayError;

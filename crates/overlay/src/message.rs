@@ -34,6 +34,9 @@ pub enum MessageKind {
     LookupRequest = 8,
     /// Broker → client: lookup results.
     LookupResponse = 9,
+    /// Client → broker: ask the home broker to relay an opaque payload to a
+    /// peer that may be homed at another broker of the federation.
+    RelayViaBroker = 10,
     /// Secure extension: challenge sent by the client (`secureConnection`).
     SecureConnectChallenge = 20,
     /// Secure extension: broker's signed response to the challenge.
@@ -46,6 +49,11 @@ pub enum MessageKind {
     SecurePeerText = 24,
     /// Generic acknowledgement / error report.
     Ack = 30,
+    /// Broker ↔ broker: federation gossip replicating the advertisement
+    /// index, group membership and peer→broker routing.
+    BrokerSync = 40,
+    /// Broker ↔ broker: a relayed client payload crossing the backbone.
+    BrokerRelay = 41,
 }
 
 impl MessageKind {
@@ -62,12 +70,15 @@ impl MessageKind {
             7 => AdvertisementPush,
             8 => LookupRequest,
             9 => LookupResponse,
+            10 => RelayViaBroker,
             20 => SecureConnectChallenge,
             21 => SecureConnectResponse,
             22 => SecureLoginRequest,
             23 => SecureLoginResponse,
             24 => SecurePeerText,
             30 => Ack,
+            40 => BrokerSync,
+            41 => BrokerRelay,
             _ => return None,
         })
     }
@@ -259,12 +270,15 @@ mod tests {
             MessageKind::AdvertisementPush,
             MessageKind::LookupRequest,
             MessageKind::LookupResponse,
+            MessageKind::RelayViaBroker,
             MessageKind::SecureConnectChallenge,
             MessageKind::SecureConnectResponse,
             MessageKind::SecureLoginRequest,
             MessageKind::SecureLoginResponse,
             MessageKind::SecurePeerText,
             MessageKind::Ack,
+            MessageKind::BrokerSync,
+            MessageKind::BrokerRelay,
         ] {
             assert_eq!(MessageKind::from_u8(kind as u8), Some(kind));
         }

@@ -16,6 +16,7 @@
 //! relative overhead between a secure and a plain run of the same operation.
 
 use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// The cost of one primitive invocation, split into compute and network time.
@@ -140,6 +141,96 @@ impl WireTimeAccumulator {
     }
 }
 
+/// Snapshot of a broker's federation activity (see [`FederationMetrics`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FederationStats {
+    /// Gossip messages sent to peer brokers.
+    pub syncs_sent: u64,
+    /// Gossip messages received and applied to local state.
+    pub syncs_applied: u64,
+    /// Relayed client payloads forwarded to another broker.
+    pub relays_forwarded: u64,
+    /// Relayed client payloads delivered to a locally homed peer.
+    pub relays_delivered: u64,
+    /// Relays that could not be routed (unknown destination, dead peer).
+    pub relays_failed: u64,
+    /// Inter-broker messages rejected because the sender is not a known
+    /// peer broker of the federation.
+    pub rejected_unknown_origin: u64,
+    /// Inter-broker messages rejected because their per-origin sequence
+    /// number was stale (replay or out-of-order re-injection).
+    pub rejected_replayed: u64,
+}
+
+/// Thread-safe counters describing a broker's participation in the
+/// federation backbone: gossip replication, client-payload relaying and the
+/// rejection of unauthentic or replayed inter-broker traffic.
+#[derive(Debug, Default)]
+pub struct FederationMetrics {
+    syncs_sent: AtomicU64,
+    syncs_applied: AtomicU64,
+    relays_forwarded: AtomicU64,
+    relays_delivered: AtomicU64,
+    relays_failed: AtomicU64,
+    rejected_unknown_origin: AtomicU64,
+    rejected_replayed: AtomicU64,
+}
+
+impl FederationMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a gossip message sent to a peer broker.
+    pub fn count_sync_sent(&self) {
+        self.syncs_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a gossip message applied to local state.
+    pub fn count_sync_applied(&self) {
+        self.syncs_applied.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a relay forwarded across the backbone.
+    pub fn count_relay_forwarded(&self) {
+        self.relays_forwarded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a relay delivered to a locally homed peer.
+    pub fn count_relay_delivered(&self) {
+        self.relays_delivered.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a relay that could not be routed.
+    pub fn count_relay_failed(&self) {
+        self.relays_failed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an inter-broker message from an unknown origin.
+    pub fn count_rejected_unknown_origin(&self) {
+        self.rejected_unknown_origin.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a replayed (stale-sequence) inter-broker message.
+    pub fn count_rejected_replayed(&self) {
+        self.rejected_replayed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent snapshot of the counters.
+    pub fn snapshot(&self) -> FederationStats {
+        FederationStats {
+            syncs_sent: self.syncs_sent.load(Ordering::Relaxed),
+            syncs_applied: self.syncs_applied.load(Ordering::Relaxed),
+            relays_forwarded: self.relays_forwarded.load(Ordering::Relaxed),
+            relays_delivered: self.relays_delivered.load(Ordering::Relaxed),
+            relays_failed: self.relays_failed.load(Ordering::Relaxed),
+            rejected_unknown_origin: self.rejected_unknown_origin.load(Ordering::Relaxed),
+            rejected_replayed: self.rejected_replayed.load(Ordering::Relaxed),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -188,6 +279,28 @@ mod tests {
         assert_eq!(acc.total(), Duration::from_millis(5));
         assert_eq!(acc.take(), Duration::from_millis(5));
         assert_eq!(acc.total(), Duration::ZERO);
+    }
+
+    #[test]
+    fn federation_metrics_count_and_snapshot() {
+        let metrics = FederationMetrics::new();
+        assert_eq!(metrics.snapshot(), FederationStats::default());
+        metrics.count_sync_sent();
+        metrics.count_sync_sent();
+        metrics.count_sync_applied();
+        metrics.count_relay_forwarded();
+        metrics.count_relay_delivered();
+        metrics.count_relay_failed();
+        metrics.count_rejected_unknown_origin();
+        metrics.count_rejected_replayed();
+        let stats = metrics.snapshot();
+        assert_eq!(stats.syncs_sent, 2);
+        assert_eq!(stats.syncs_applied, 1);
+        assert_eq!(stats.relays_forwarded, 1);
+        assert_eq!(stats.relays_delivered, 1);
+        assert_eq!(stats.relays_failed, 1);
+        assert_eq!(stats.rejected_unknown_origin, 1);
+        assert_eq!(stats.rejected_replayed, 1);
     }
 
     #[test]

@@ -150,6 +150,10 @@ pub struct NetStats {
 pub struct SimNetwork {
     endpoints: RwLock<HashMap<PeerId, Sender<NetMessage>>>,
     link: LinkModel,
+    /// Per-edge link overrides (e.g. WAN links between brokers while clients
+    /// stay on the default LAN).  Keyed by the directed `(from, to)` pair;
+    /// [`SimNetwork::set_link_between`] installs both directions.
+    link_overrides: RwLock<HashMap<(PeerId, PeerId), LinkModel>>,
     adversary: RwLock<Option<Arc<dyn Adversary>>>,
     stats: Mutex<NetStats>,
 }
@@ -160,6 +164,7 @@ impl SimNetwork {
         Arc::new(SimNetwork {
             endpoints: RwLock::new(HashMap::new()),
             link,
+            link_overrides: RwLock::new(HashMap::new()),
             adversary: RwLock::new(None),
             stats: Mutex::new(NetStats::default()),
         })
@@ -173,6 +178,23 @@ impl SimNetwork {
     /// The link model used for wire-time accounting.
     pub fn link(&self) -> LinkModel {
         self.link
+    }
+
+    /// Installs a dedicated link model for the edge between `a` and `b`
+    /// (both directions).  Other pairs keep using the default link.
+    pub fn set_link_between(&self, a: PeerId, b: PeerId, link: LinkModel) {
+        let mut overrides = self.link_overrides.write();
+        overrides.insert((a, b), link);
+        overrides.insert((b, a), link);
+    }
+
+    /// The link model in effect between `from` and `to`.
+    pub fn link_between(&self, from: PeerId, to: PeerId) -> LinkModel {
+        self.link_overrides
+            .read()
+            .get(&(from, to))
+            .copied()
+            .unwrap_or(self.link)
     }
 
     /// Registers a peer and returns the receiving end of its inbox.
@@ -221,7 +243,28 @@ impl SimNetwork {
     /// [`OverlayError::PeerUnreachable`] if the destination (after possible
     /// adversarial redirection) has no registered endpoint.
     pub fn send(&self, from: PeerId, to: PeerId, payload: Vec<u8>) -> Result<Duration, OverlayError> {
-        let wire_time = self.link.transfer_time(payload.len());
+        self.forward(from, to, payload, Duration::ZERO)
+    }
+
+    /// Sends `payload` as the next hop of a relayed delivery.
+    ///
+    /// `carried_wire` is the wire time the message already accumulated on
+    /// previous hops; this hop's cost is computed from its own
+    /// [`LinkModel`] (see [`SimNetwork::link_between`]) and *added* to it, so
+    /// a multi-hop delivery charges every hop separately instead of only the
+    /// first one.  The delivered [`NetMessage::wire_time`] and the returned
+    /// duration are the cumulative end-to-end wire time; the network's
+    /// aggregate [`NetStats`] are charged only this hop (previous hops were
+    /// charged when they were sent).
+    pub fn forward(
+        &self,
+        from: PeerId,
+        to: PeerId,
+        payload: Vec<u8>,
+        carried_wire: Duration,
+    ) -> Result<Duration, OverlayError> {
+        let hop_time = self.link_between(from, to).transfer_time(payload.len());
+        let wire_time = carried_wire + hop_time;
         let mut message = NetMessage {
             from,
             to,
@@ -250,7 +293,9 @@ impl SimNetwork {
             let mut stats = self.stats.lock();
             stats.messages_sent += 1;
             stats.bytes_sent += message.payload.len() as u64;
-            stats.total_wire_time += wire_time;
+            // Aggregate accounting is per hop: previous hops of a relayed
+            // delivery were already charged when they were sent.
+            stats.total_wire_time += hop_time;
         }
 
         if let Some(adv) = &adversary {
@@ -352,6 +397,55 @@ mod tests {
         let wire = net.send(ids[0], ids[1], vec![0u8; 500]).unwrap();
         assert_eq!(wire, link.transfer_time(500));
         assert_eq!(rx_b.try_recv().unwrap().wire_time, wire);
+    }
+
+    #[test]
+    fn per_edge_link_overrides_apply_in_both_directions() {
+        let lan = LinkModel::new(Duration::from_millis(2), 0);
+        let wan = LinkModel::new(Duration::from_millis(40), 0);
+        let net = SimNetwork::new(lan);
+        let ids = peers(3);
+        let _rxs: Vec<_> = ids.iter().map(|id| net.register(*id)).collect();
+        net.set_link_between(ids[0], ids[1], wan);
+
+        assert_eq!(net.link_between(ids[0], ids[1]), wan);
+        assert_eq!(net.link_between(ids[1], ids[0]), wan);
+        assert_eq!(net.link_between(ids[0], ids[2]), lan);
+
+        let wire = net.send(ids[0], ids[1], vec![0u8; 8]).unwrap();
+        assert_eq!(wire, Duration::from_millis(40));
+        let wire = net.send(ids[0], ids[2], vec![0u8; 8]).unwrap();
+        assert_eq!(wire, Duration::from_millis(2));
+    }
+
+    #[test]
+    fn relayed_forward_charges_every_hop() {
+        // A 2-hop relay must charge each hop's LinkModel separately: the
+        // delivered wire time is the sum of both links, not just the first.
+        let first = LinkModel::new(Duration::from_millis(5), 1000);
+        let second = LinkModel::new(Duration::from_millis(7), 500);
+        let net = SimNetwork::new(first);
+        let ids = peers(3);
+        let _rx_a = net.register(ids[0]);
+        let rx_b = net.register(ids[1]);
+        let rx_c = net.register(ids[2]);
+        net.set_link_between(ids[1], ids[2], second);
+
+        let payload = vec![0u8; 100];
+        let first_hop = net.send(ids[0], ids[1], payload.clone()).unwrap();
+        assert_eq!(first_hop, first.transfer_time(100));
+        let relayed = rx_b.try_recv().unwrap();
+        let total = net
+            .forward(ids[1], ids[2], relayed.payload.clone(), relayed.wire_time)
+            .unwrap();
+        assert_eq!(
+            total,
+            first.transfer_time(100) + second.transfer_time(100),
+            "2-hop wire time must be the sum of both links"
+        );
+        assert_eq!(rx_c.try_recv().unwrap().wire_time, total);
+        // The aggregate stats are charged per hop, with no double counting.
+        assert_eq!(net.stats().total_wire_time, total);
     }
 
     #[test]
