@@ -1,29 +1,67 @@
 //! A4 — federation ablation: cost of a cross-broker secure message as the
-//! backbone grows, sweeping broker count × client count.
+//! backbone grows, sweeping broker count × client count × replication mode.
 //!
 //! Broker count 1 is the single-broker baseline (the relay resolves
-//! locally); larger backbones add the inter-broker hop and the gossip-kept
-//! replicated index.  The measured primitive is `secureMsgPeerRelayed` from
-//! a client homed at the first broker to one homed at the last.
+//! locally); larger backbones add the inter-broker hop and the replicated
+//! index — fully replicated (`full`) or partitioned across the consistent-
+//! hash shard ring with K=2 replicas per entry (`k2`), in which case a
+//! lookup may take an extra `ShardQuery` hop to an owning replica.  The
+//! measured primitive is `secureMsgPeerRelayed` from a client homed at the
+//! first broker to one homed at the last.
+//!
+//! Before the timing sweep the bench prints the sharding scale table: the
+//! per-broker index size and the backbone gossip message count for the same
+//! publish workload under full replication (O(N) in the broker count) and
+//! under K=2 sharding (O(K)).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use jxta_bench::{build_federated_world, make_payload, measure_cross_broker_message, ExperimentConfig};
+use jxta_bench::{
+    build_federated_world_with_replication, make_payload, measure_cross_broker_message,
+    measure_shard_scaling, ExperimentConfig,
+};
+
+fn print_scaling_table() {
+    eprintln!("sharding scale (64 publishes): brokers | mode | max entries/broker | backbone msgs");
+    for broker_count in [2usize, 4, 8] {
+        for replication in [None, Some(2)] {
+            let row = measure_shard_scaling(broker_count, replication, 64);
+            eprintln!(
+                "{:>7} | {:<4} | {:>18} | {:>13}",
+                row.broker_count, row.mode, row.max_entries_per_broker, row.backbone_messages
+            );
+        }
+    }
+}
 
 fn bench_broker_fanout(c: &mut Criterion) {
+    print_scaling_table();
     let payload = make_payload(1024);
     let mut group = c.benchmark_group("broker_fanout");
     group.sample_size(10);
     group.measurement_time(std::time::Duration::from_secs(2));
     group.warm_up_time(std::time::Duration::from_millis(300));
     for broker_count in [1usize, 2, 4] {
-        for n_clients in [4usize, 8] {
-            let config = ExperimentConfig::default();
-            let mut world = build_federated_world(&config, broker_count, n_clients);
-            group.bench_with_input(
-                BenchmarkId::new(format!("brokers-{broker_count}"), n_clients),
-                &payload,
-                |b, payload| b.iter(|| measure_cross_broker_message(&mut world, payload)),
-            );
+        // Replication mode only matters once there is more than one broker.
+        let modes: &[(Option<usize>, &str)] = if broker_count == 1 {
+            &[(None, "full")]
+        } else {
+            &[(None, "full"), (Some(2), "k2")]
+        };
+        for &(replication, label) in modes {
+            for n_clients in [4usize, 8] {
+                let config = ExperimentConfig::default();
+                let mut world = build_federated_world_with_replication(
+                    &config,
+                    broker_count,
+                    n_clients,
+                    replication,
+                );
+                group.bench_with_input(
+                    BenchmarkId::new(format!("brokers-{broker_count}-{label}"), n_clients),
+                    &payload,
+                    |b, payload| b.iter(|| measure_cross_broker_message(&mut world, payload)),
+                );
+            }
         }
     }
     group.finish();

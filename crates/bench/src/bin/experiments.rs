@@ -4,6 +4,7 @@
 //! cargo run --release -p jxta-bench --bin experiments -- all
 //! cargo run --release -p jxta-bench --bin experiments -- e1        # join overhead
 //! cargo run --release -p jxta-bench --bin experiments -- e2        # Figure 2
+//! cargo run --release -p jxta-bench --bin experiments -- e3        # federation/sharding relay overhead
 //! cargo run --release -p jxta-bench --bin experiments -- fanout    # ablation A3
 //! cargo run --release -p jxta-bench --bin experiments -- all --quick --json
 //! ```
@@ -12,9 +13,9 @@
 //! runs); `--json` additionally prints machine-readable results.
 
 use jxta_bench::{
-    experiment_group_fanout, experiment_join_overhead, experiment_msg_overhead,
-    format_fanout_report, format_join_report, format_msg_report, ExperimentConfig,
-    FIGURE2_PAYLOAD_SIZES,
+    experiment_federation, experiment_group_fanout, experiment_join_overhead,
+    experiment_msg_overhead, format_fanout_report, format_federation_report, format_join_report,
+    format_msg_report, ExperimentConfig, FIGURE2_PAYLOAD_SIZES,
 };
 
 fn main() {
@@ -59,6 +60,14 @@ fn main() {
         }
     }
 
+    if which == "e3" || which == "federation" || which == "all" {
+        let result = experiment_federation(&config);
+        println!("{}", format_federation_report(&result));
+        if json {
+            println!("{}\n", serde_json::to_string_pretty(&result).unwrap());
+        }
+    }
+
     if which == "fanout" || which == "all" {
         let sizes: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 8, 16] };
         let rows = experiment_group_fanout(&config, &sizes);
@@ -68,8 +77,8 @@ fn main() {
         }
     }
 
-    if !["e1", "e2", "fanout", "all"].contains(&which.as_str()) {
-        eprintln!("unknown experiment {which:?}; expected e1, e2, fanout or all");
+    if !["e1", "e2", "e3", "federation", "fanout", "all"].contains(&which.as_str()) {
+        eprintln!("unknown experiment {which:?}; expected e1, e2, e3, fanout or all");
         std::process::exit(1);
     }
 }

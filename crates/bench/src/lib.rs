@@ -483,10 +483,25 @@ pub fn build_federated_world(
     broker_count: usize,
     n_clients: usize,
 ) -> FederatedWorld {
+    build_federated_world_with_replication(config, broker_count, n_clients, None)
+}
+
+/// [`build_federated_world`] with an explicit sharding mode: `None` fully
+/// replicates the index (PR 2 behaviour), `Some(k)` partitions it across the
+/// consistent-hash ring with `k` replicas per entry.
+pub fn build_federated_world_with_replication(
+    config: &ExperimentConfig,
+    broker_count: usize,
+    n_clients: usize,
+    replication: Option<usize>,
+) -> FederatedWorld {
     let mut builder = SecureNetworkBuilder::new(config.seed)
         .with_key_bits(config.key_bits)
         .with_link(config.link)
         .with_broker_count(broker_count);
+    if let Some(k) = replication {
+        builder = builder.with_replication_factor(k);
+    }
     for i in 0..n_clients {
         builder =
             builder.with_user(&format!("user-{i}"), &format!("password-{i}"), &[EXPERIMENT_GROUP]);
@@ -547,6 +562,194 @@ pub fn measure_cross_broker_message(
     timing
 }
 
+/// One direct (same-broker) secure message between the first and last
+/// client: the baseline a relayed cross-broker message is compared against.
+pub fn measure_direct_message(world: &mut FederatedWorld, payload: &str) -> OperationTiming {
+    let to = world.clients.last().expect("at least one client").id();
+    let (sender, rest) = world.clients.split_first_mut().expect("at least one client");
+    let receiver = rest.last_mut();
+    let timing = sender
+        .secure_msg_peer(&world.group, to, payload)
+        .expect("direct send");
+    if let Some(receiver) = receiver {
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        loop {
+            if !receiver.receive_secure_messages().expect("receive").is_empty() {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "direct message never arrived"
+            );
+            std::thread::yield_now();
+        }
+    }
+    timing
+}
+
+// ----------------------------------------------------------------------
+// E3 — federation relay overhead and sharding scale
+// ----------------------------------------------------------------------
+
+/// One row of the relay-overhead sweep: cost of a cross-broker secure
+/// message for a backbone configuration.
+#[derive(Debug, Clone, Serialize)]
+pub struct FederationRelayRow {
+    /// Brokers in the backbone.
+    pub broker_count: usize,
+    /// `"full"` or `"k=<K>"` — the replication mode of the index.
+    pub mode: String,
+    /// End-to-end sender-side cost of `secureMsgPeerRelayed`.
+    pub relayed: Stats,
+    /// Relative overhead versus the direct same-broker baseline.
+    pub overhead_percent: f64,
+}
+
+/// One row of the sharding scale table, measured on a plain (overlay-level)
+/// federation so the numbers isolate replication behaviour from crypto cost.
+#[derive(Debug, Clone, Serialize)]
+pub struct ShardScalingRow {
+    /// Brokers in the backbone.
+    pub broker_count: usize,
+    /// `"full"` or `"k=<K>"`.
+    pub mode: String,
+    /// Advertisements published (each with a distinct owner).
+    pub publishes: usize,
+    /// Index entries held per broker after convergence.
+    pub per_broker_entries: Vec<usize>,
+    /// The largest per-broker index.
+    pub max_entries_per_broker: usize,
+    /// Backbone gossip messages spent replicating the publishes.
+    pub backbone_messages: u64,
+}
+
+/// Result of experiment E3.
+#[derive(Debug, Clone, Serialize)]
+pub struct FederationExperimentResult {
+    /// Direct same-broker baseline.
+    pub direct: Stats,
+    /// Cross-broker relay cost per backbone configuration.
+    pub relay_rows: Vec<FederationRelayRow>,
+    /// Per-broker state and backbone message count, full vs sharded.
+    pub scaling_rows: Vec<ShardScalingRow>,
+}
+
+fn mode_label(replication: Option<usize>) -> String {
+    match replication {
+        None => "full".to_string(),
+        Some(k) => format!("k={k}"),
+    }
+}
+
+/// Replicates `publishes` advertisements over an overlay-level federation of
+/// `broker_count` brokers and reports where the entries ended up and how
+/// many backbone messages it took — the O(N) vs O(K) comparison the ROADMAP
+/// asks for.
+pub fn measure_shard_scaling(
+    broker_count: usize,
+    replication: Option<usize>,
+    publishes: usize,
+) -> ShardScalingRow {
+    use jxta_overlay::broker::{Broker, BrokerConfig};
+    use jxta_overlay::federation::InlineFederation;
+    use jxta_overlay::net::SimNetwork;
+    use jxta_overlay::{GroupId, PeerId, UserDatabase};
+
+    let mut rng = jxta_crypto::drbg::HmacDrbg::from_seed_u64(0xE3_5CAE);
+    let network = SimNetwork::new(LinkModel::ideal());
+    let database = std::sync::Arc::new(UserDatabase::new());
+    let brokers: Vec<std::sync::Arc<Broker>> = (0..broker_count)
+        .map(|i| {
+            Broker::new(
+                PeerId::random(&mut rng),
+                BrokerConfig {
+                    name: format!("broker-{}", i + 1),
+                    replication_factor: replication,
+                },
+                std::sync::Arc::clone(&network),
+                std::sync::Arc::clone(&database),
+            )
+        })
+        .collect();
+    let federation = InlineFederation::new(brokers);
+    let group = GroupId::new(EXPERIMENT_GROUP);
+    for i in 0..publishes {
+        let owner = PeerId::random(&mut rng);
+        federation.broker(i % broker_count).index_and_distribute(
+            owner,
+            &group,
+            "jxta:PipeAdvertisement",
+            &format!("<adv n=\"{i}\"/>"),
+        );
+    }
+    federation.pump();
+    assert!(federation.converged(), "scaling run must converge");
+    let per_broker_entries: Vec<usize> = (0..broker_count)
+        .map(|i| federation.broker(i).advertisement_entry_count())
+        .collect();
+    let backbone_messages = (0..broker_count)
+        .map(|i| federation.broker(i).federation_stats().syncs_sent)
+        .sum();
+    ShardScalingRow {
+        broker_count,
+        mode: mode_label(replication),
+        publishes,
+        max_entries_per_broker: per_broker_entries.iter().copied().max().unwrap_or(0),
+        per_broker_entries,
+        backbone_messages,
+    }
+}
+
+/// Runs experiment E3: the cost a secure message pays for crossing the
+/// broker backbone (federation relay overhead versus direct messaging), for
+/// fully replicated and sharded (K=2) backbones, plus the per-broker state /
+/// backbone traffic scale table.
+pub fn experiment_federation(config: &ExperimentConfig) -> FederationExperimentResult {
+    let payload = make_payload(1024);
+
+    let mut world = build_federated_world(config, 1, 2);
+    let direct: Vec<Duration> = (0..config.iterations)
+        .map(|_| measure_direct_message(&mut world, &payload).total())
+        .collect();
+    let direct = Stats::from_samples(&direct);
+
+    let relay_rows = [(2usize, None), (2, Some(2)), (4, None), (4, Some(2))]
+        .into_iter()
+        .map(|(broker_count, replication)| {
+            let mut world =
+                build_federated_world_with_replication(config, broker_count, 2, replication);
+            let samples: Vec<Duration> = (0..config.iterations)
+                .map(|_| measure_cross_broker_message(&mut world, &payload).total())
+                .collect();
+            let relayed = Stats::from_samples(&samples);
+            FederationRelayRow {
+                broker_count,
+                mode: mode_label(replication),
+                overhead_percent: overhead_percent(
+                    Duration::from_secs_f64(direct.mean_ms / 1e3),
+                    Duration::from_secs_f64(relayed.mean_ms / 1e3),
+                ),
+                relayed,
+            }
+        })
+        .collect();
+
+    let scaling_rows = [2usize, 4, 8]
+        .into_iter()
+        .flat_map(|broker_count| {
+            [None, Some(2)].into_iter().map(move |replication| {
+                measure_shard_scaling(broker_count, replication, 64)
+            })
+        })
+        .collect();
+
+    FederationExperimentResult {
+        direct,
+        relay_rows,
+        scaling_rows,
+    }
+}
+
 // ----------------------------------------------------------------------
 // Report formatting
 // ----------------------------------------------------------------------
@@ -582,6 +785,34 @@ pub fn format_msg_report(rows: &[MsgOverheadRow]) -> String {
         out.push_str(&format!(
             "{:>15} | {:>15.3} | {:>16.3} | {:>11.2}\n",
             row.payload_bytes, row.plain.mean_ms, row.secure.mean_ms, row.overhead_percent
+        ));
+    }
+    out
+}
+
+/// Formats E3 (relay overhead + sharding scale) as text tables.
+pub fn format_federation_report(result: &FederationExperimentResult) -> String {
+    let mut out = format!(
+        "E3 — federation relay overhead vs direct messaging\n\
+         ---------------------------------------------------\n\
+         direct (same broker) mean: {:.3} ms\n\
+         brokers | mode  | relayed mean (ms) | overhead (%)\n",
+        result.direct.mean_ms
+    );
+    for row in &result.relay_rows {
+        out.push_str(&format!(
+            "{:>7} | {:<5} | {:>17.3} | {:>11.2}\n",
+            row.broker_count, row.mode, row.relayed.mean_ms, row.overhead_percent
+        ));
+    }
+    out.push_str(
+        "\nSharding scale (64 publishes; index entries per broker, gossip messages)\n\
+         brokers | mode  | max entries/broker | backbone msgs\n",
+    );
+    for row in &result.scaling_rows {
+        out.push_str(&format!(
+            "{:>7} | {:<5} | {:>18} | {:>13}\n",
+            row.broker_count, row.mode, row.max_entries_per_broker, row.backbone_messages
         ));
     }
     out
@@ -663,6 +894,31 @@ mod tests {
             world.setup.broker_at(0).federation_stats().relays_forwarded,
             1
         );
+    }
+
+    #[test]
+    fn quick_sharded_federated_world_relays_across_brokers() {
+        let config = ExperimentConfig::quick();
+        let mut world = build_federated_world_with_replication(&config, 4, 2, Some(2));
+        assert_eq!(world.setup.broker_count(), 4);
+        let timing = measure_cross_broker_message(&mut world, "sharded ping");
+        assert!(timing.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn shard_scaling_shows_k_not_n_growth() {
+        let full = measure_shard_scaling(4, None, 64);
+        let sharded = measure_shard_scaling(4, Some(2), 64);
+        assert_eq!(full.max_entries_per_broker, 64, "full replication: every entry everywhere");
+        assert!(sharded.max_entries_per_broker < 64, "sharded: a shard per broker");
+        assert_eq!(sharded.per_broker_entries.iter().sum::<usize>(), 64 * 2);
+        assert!(sharded.backbone_messages < full.backbone_messages);
+        assert!(format_federation_report(&FederationExperimentResult {
+            direct: Stats::from_samples(&[Duration::from_millis(1)]),
+            relay_rows: vec![],
+            scaling_rows: vec![full, sharded],
+        })
+        .contains("backbone msgs"));
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! `Cred^Adm_{Br_i}` over the broker's public key, and registers end users in
 //! the central [`jxta_overlay::UserDatabase`].
 
-use crate::credential::{Credential, CredentialRole};
+use crate::credential::{Credential, CredentialRole, RevocationList};
 use crate::identity::PeerIdentity;
 use jxta_crypto::rsa::RsaPublicKey;
 use jxta_crypto::CryptoError;
@@ -89,6 +89,24 @@ impl Administrator {
             broker_key.clone(),
             &self.name,
             expires_at,
+            self.identity.private_key(),
+        )
+    }
+
+    /// Issues a signed revocation list naming subjects whose credentials
+    /// brokers must stop honouring.  The administrator pushes the list to
+    /// every broker (see `SecureBrokerExtension::install_revocation_list`);
+    /// brokers merge successive lists.
+    pub fn issue_revocation_list(
+        &self,
+        revoked_ids: &[PeerId],
+        revoked_names: &[&str],
+        issued_at: u64,
+    ) -> Result<RevocationList, CryptoError> {
+        RevocationList::issue(
+            revoked_ids,
+            revoked_names,
+            issued_at,
             self.identity.private_key(),
         )
     }

@@ -21,16 +21,17 @@
 //!   belongs to the claiming peer (CBID binding), and finally issues the
 //!   client credential `Cred^Br_Cl`.
 
-use crate::credential::{Credential, CredentialRole};
+use crate::credential::{Credential, CredentialRole, RevocationList};
 use crate::identity::PeerIdentity;
 use jxta_crypto::cbid::Cbid;
 use jxta_crypto::envelope::{open_envelope, Envelope};
 use jxta_crypto::drbg::HmacDrbg;
 use jxta_crypto::rsa::RsaPublicKey;
 use jxta_overlay::broker::{Broker, BrokerExtension};
-use jxta_overlay::{Message, MessageKind, PeerId};
+use jxta_overlay::{GroupId, Message, MessageKind, OverlayError, PeerId};
 use parking_lot::Mutex;
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Length of the random session identifier in bytes ("sufficiently long", per
 /// the paper; 32 bytes makes guessing or collision attacks irrelevant).
@@ -119,6 +120,12 @@ pub struct SecureBrokerStats {
     pub replays_rejected: u64,
     /// Login attempts rejected for bad credentials or key binding.
     pub logins_rejected: u64,
+    /// Requests refused because a credential involved was expired at the
+    /// broker's deployment clock.
+    pub expired_rejected: u64,
+    /// Requests refused because the subject appears on an installed
+    /// revocation list.
+    pub revoked_rejected: u64,
 }
 
 /// The broker-side secure extension.
@@ -132,6 +139,16 @@ pub struct SecureBrokerExtension {
     /// Admin-issued credentials of the other brokers in the federation,
     /// beaconed to clients during `secureConnection`.
     peer_credentials: Mutex<Vec<Credential>>,
+    /// The broker's deployment clock: seconds since the deployment epoch
+    /// (virtual — the simulation has no wall clock), used to evaluate
+    /// credential expiry.
+    now: AtomicU64,
+    /// Administrator public key, required to verify pushed revocation lists.
+    admin_key: Mutex<Option<RsaPublicKey>>,
+    /// Revoked peer identifiers (merged from installed revocation lists).
+    revoked_ids: Mutex<HashSet<PeerId>>,
+    /// Revoked usernames (merged from installed revocation lists).
+    revoked_names: Mutex<HashSet<String>>,
 }
 
 impl SecureBrokerExtension {
@@ -156,7 +173,62 @@ impl SecureBrokerExtension {
             rng: Mutex::new(HmacDrbg::from_seed_u64(rng_seed)),
             stats: Mutex::new(SecureBrokerStats::default()),
             peer_credentials: Mutex::new(Vec::new()),
+            now: AtomicU64::new(0),
+            admin_key: Mutex::new(None),
+            revoked_ids: Mutex::new(HashSet::new()),
+            revoked_names: Mutex::new(HashSet::new()),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Deployment clock, expiry and revocation
+    // ------------------------------------------------------------------
+
+    /// The broker's current deployment time (seconds since the epoch the
+    /// credential lifetimes are expressed in).
+    pub fn now(&self) -> u64 {
+        self.now.load(Ordering::Relaxed)
+    }
+
+    /// Sets the deployment clock (monotone by convention; the simulation
+    /// advances it explicitly instead of reading a wall clock).
+    pub fn set_now(&self, now: u64) {
+        self.now.store(now, Ordering::Relaxed);
+    }
+
+    /// Provisions the administrator's public key, the trust anchor against
+    /// which pushed revocation lists are verified.
+    pub fn set_admin_public_key(&self, key: RsaPublicKey) {
+        *self.admin_key.lock() = Some(key);
+    }
+
+    /// Installs a revocation list pushed by the administrator.  The list's
+    /// signature must verify against the provisioned admin key; verified
+    /// entries are merged into the broker's revocation state (revocation is
+    /// monotone — there is no un-revoke short of a new credential for a new
+    /// identity).
+    pub fn install_revocation_list(&self, list: &RevocationList) -> Result<(), OverlayError> {
+        let admin_key = self.admin_key.lock().clone().ok_or_else(|| {
+            OverlayError::SecurityViolation(
+                "no administrator key provisioned; cannot verify revocation list".into(),
+            )
+        })?;
+        list.verify(&admin_key).map_err(|_| {
+            OverlayError::SecurityViolation(
+                "revocation list not signed by the administrator".into(),
+            )
+        })?;
+        self.revoked_ids.lock().extend(list.revoked_ids.iter().copied());
+        self.revoked_names
+            .lock()
+            .extend(list.revoked_names.iter().cloned());
+        Ok(())
+    }
+
+    /// Returns `true` if the peer identifier or username is revoked.
+    pub fn is_revoked(&self, id: &PeerId, name: Option<&str>) -> bool {
+        self.revoked_ids.lock().contains(id)
+            || name.is_some_and(|n| self.revoked_names.lock().contains(n))
     }
 
     /// Registers the admin-issued credential of a peer broker so this broker
@@ -203,6 +275,27 @@ impl SecureBrokerExtension {
 
     /// secureConnection, broker side (paper §4.2.1 steps 4-5).
     fn handle_secure_connect(&self, broker: &Broker, message: &Message) -> Message {
+        // A broker whose own admin-issued credential lapsed can no longer
+        // prove its legitimacy; serving secure connections with it would
+        // teach clients to accept expired credentials.
+        if self.credential.is_expired(self.now()) {
+            self.stats.lock().expired_rejected += 1;
+            return self.error_response(
+                broker,
+                message,
+                MessageKind::SecureConnectResponse,
+                "broker credential expired",
+            );
+        }
+        if self.is_revoked(&message.sender, None) {
+            self.stats.lock().revoked_rejected += 1;
+            return self.error_response(
+                broker,
+                message,
+                MessageKind::SecureConnectResponse,
+                "peer credential revoked",
+            );
+        }
         let Ok(challenge) = message.require("challenge") else {
             return self.error_response(broker, message, MessageKind::SecureConnectResponse, "missing challenge");
         };
@@ -293,14 +386,22 @@ impl SecureBrokerExtension {
             return reply_err("public key does not belong to the claimed peer identifier");
         }
 
-        // Step 8: issue Cred^Br_Cl.
+        // Revocation: a revoked identity or username is refused a (new)
+        // credential even with valid database credentials.
+        if self.is_revoked(&expected_id, Some(&username)) {
+            self.stats.lock().revoked_rejected += 1;
+            return reply_err("credential revoked by the administrator");
+        }
+
+        // Step 8: issue Cred^Br_Cl, expiring `credential_lifetime` seconds
+        // from *now* on the deployment clock.
         let credential = match Credential::issue(
             CredentialRole::Client,
             &username,
             message.sender,
             public_key,
             &self.credential.subject_name,
-            self.credential_lifetime,
+            self.now().saturating_add(self.credential_lifetime),
             self.identity.private_key(),
         ) {
             Ok(c) => c,
@@ -331,6 +432,43 @@ impl BrokerExtension for SecureBrokerExtension {
             MessageKind::SecureLoginRequest => Some(self.handle_secure_login(broker, message)),
             _ => None,
         }
+    }
+
+    /// Publish policy: a *signed* advertisement whose embedded credential is
+    /// expired or revoked is refused at the broker instead of entering the
+    /// index.  Full chain validation stays with the clients (they hold the
+    /// trust anchors and re-check on every use); the broker's job here is to
+    /// stop serving credentials it knows to be dead — the expired-credential
+    /// hole this check closes.  Unsigned advertisements (the plain overlay's
+    /// publishes) pass through untouched.
+    fn vet_publish(
+        &self,
+        _broker: &Broker,
+        from: PeerId,
+        _group: &GroupId,
+        _doc_type: &str,
+        xml: &str,
+    ) -> Result<(), String> {
+        let Ok(element) = jxta_xmldoc::parse(xml) else {
+            return Ok(()); // not policy material; the index stores raw XML
+        };
+        let Ok(credential_bytes) = jxta_xmldoc::dsig::key_info(&element) else {
+            return Ok(()); // unsigned advertisement: no credential to vet
+        };
+        let Ok(credential) = Credential::from_bytes(&credential_bytes) else {
+            return Err("malformed credential embedded in signed advertisement".to_string());
+        };
+        if credential.is_expired(self.now()) {
+            self.stats.lock().expired_rejected += 1;
+            return Err("credential expired".to_string());
+        }
+        if self.is_revoked(&credential.subject_id, Some(&credential.subject_name))
+            || self.is_revoked(&from, None)
+        {
+            self.stats.lock().revoked_rejected += 1;
+            return Err("credential revoked".to_string());
+        }
+        Ok(())
     }
 }
 
@@ -368,7 +506,7 @@ mod tests {
         let network = SimNetwork::new(LinkModel::ideal());
         let broker = Broker::new(
             broker_identity.peer_id(),
-            BrokerConfig { name: "broker-1".into() },
+            BrokerConfig::named("broker-1"),
             network,
             database,
         );
@@ -644,6 +782,179 @@ mod tests {
         let login = Message::new(MessageKind::SecureLoginRequest, client.peer_id(), 2);
         let resp = w.broker.handle_message(&login).unwrap();
         assert_eq!(resp.element_str("status").unwrap(), "error");
+    }
+
+    #[test]
+    fn expired_broker_credential_refuses_secure_connect() {
+        let mut w = world();
+        // The broker credential in `world()` never expires; build one that
+        // lapsed at t=100 and advance the clock past it.
+        let identity = PeerIdentity::generate(&mut w.rng, 512).unwrap();
+        let credential = w
+            .admin
+            .issue_broker_credential("short-lived", identity.peer_id(), identity.public_key(), 100)
+            .unwrap();
+        let extension = Arc::new(SecureBrokerExtension::new(identity, credential, 3600, 1));
+        w.broker.set_extension(extension.clone() as Arc<dyn BrokerExtension>);
+
+        extension.set_now(99);
+        let client = client_identity(&mut w.rng);
+        let challenge = w.rng.generate_vec(32);
+        let resp = do_secure_connect(&w, &client, &challenge);
+        assert_eq!(resp.element_str("status").unwrap(), "ok", "still valid at t=99");
+
+        extension.set_now(101);
+        let resp = do_secure_connect(&w, &client, &challenge);
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert!(resp.element_str("reason").unwrap().contains("expired"));
+        assert_eq!(extension.stats().expired_rejected, 1);
+    }
+
+    #[test]
+    fn issued_credentials_expire_relative_to_the_deployment_clock() {
+        let mut w = world();
+        w.extension.set_now(500);
+        let client = client_identity(&mut w.rng);
+        let challenge = w.rng.generate_vec(32);
+        let sid = do_secure_connect(&w, &client, &challenge).element("sid").unwrap().to_vec();
+        let login = build_login_request(&mut w, &client, "alice", "pw-a", &sid);
+        let resp = w.broker.handle_message(&login).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "ok");
+        let credential = Credential::from_bytes(resp.element("credential").unwrap()).unwrap();
+        assert_eq!(credential.expires_at, 500 + 3600, "now + lifetime");
+        assert!(!credential.is_expired(500 + 3600));
+        assert!(credential.is_expired(500 + 3601));
+    }
+
+    #[test]
+    fn revocation_list_requires_admin_signature_and_key() {
+        let mut w = world();
+        let victim = client_identity(&mut w.rng);
+        let list = w
+            .admin
+            .issue_revocation_list(&[victim.peer_id()], &["alice"], 7)
+            .unwrap();
+
+        // Without a provisioned admin key the broker cannot verify anything.
+        let bare = SecureBrokerExtension::new(
+            PeerIdentity::generate(&mut w.rng, 512).unwrap(),
+            w.extension.credential().clone(),
+            3600,
+            2,
+        );
+        assert!(bare.install_revocation_list(&list).is_err());
+
+        // A list signed by someone other than the admin is rejected.
+        let impostor = crate::admin::Administrator::new(&mut w.rng, "impostor", 512).unwrap();
+        let forged = impostor
+            .issue_revocation_list(&[victim.peer_id()], &[], 7)
+            .unwrap();
+        w.extension.set_admin_public_key(w.admin.public_key().clone());
+        assert!(w.extension.install_revocation_list(&forged).is_err());
+        assert!(!w.extension.is_revoked(&victim.peer_id(), Some("alice")));
+
+        // The genuine list installs and revokes both the id and the name.
+        w.extension.install_revocation_list(&list).unwrap();
+        assert!(w.extension.is_revoked(&victim.peer_id(), None));
+        assert!(w.extension.is_revoked(&PeerId::random(&mut w.rng), Some("alice")));
+        assert!(!w.extension.is_revoked(&PeerId::random(&mut w.rng), Some("bob")));
+    }
+
+    #[test]
+    fn revoked_peer_is_refused_login_and_connect() {
+        let mut w = world();
+        w.extension.set_admin_public_key(w.admin.public_key().clone());
+        let client = client_identity(&mut w.rng);
+
+        // Revoked by username: the login (with a fresh sid and valid
+        // password) is refused.
+        let list = w.admin.issue_revocation_list(&[], &["alice"], 0).unwrap();
+        w.extension.install_revocation_list(&list).unwrap();
+        let challenge = w.rng.generate_vec(32);
+        let sid = do_secure_connect(&w, &client, &challenge).element("sid").unwrap().to_vec();
+        let login = build_login_request(&mut w, &client, "alice", "pw-a", &sid);
+        let resp = w.broker.handle_message(&login).unwrap();
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert!(resp.element_str("reason").unwrap().contains("revoked"));
+        assert_eq!(w.extension.stats().revoked_rejected, 1);
+        assert_eq!(w.broker.session_count(), 0);
+
+        // Revoked by peer identifier: even the secureConnection is refused.
+        let list = w
+            .admin
+            .issue_revocation_list(&[client.peer_id()], &[], 0)
+            .unwrap();
+        w.extension.install_revocation_list(&list).unwrap();
+        let challenge = w.rng.generate_vec(32);
+        let resp = do_secure_connect(&w, &client, &challenge);
+        assert_eq!(resp.element_str("status").unwrap(), "error");
+        assert!(resp.element_str("reason").unwrap().contains("revoked"));
+    }
+
+    #[test]
+    fn vet_publish_rejects_expired_and_revoked_credentials_only() {
+        use crate::signed_adv::signed_pipe_advertisement;
+        use jxta_overlay::advertisement::PipeAdvertisement;
+        let mut w = world();
+        w.extension.set_admin_public_key(w.admin.public_key().clone());
+        let client = client_identity(&mut w.rng);
+        let group = jxta_overlay::GroupId::new("math");
+        let credential = Credential::issue(
+            CredentialRole::Client,
+            "alice",
+            client.peer_id(),
+            client.public_key().clone(),
+            "broker-1",
+            1_000,
+            w.extension.identity().private_key(),
+        )
+        .unwrap();
+        let advertisement = PipeAdvertisement {
+            owner: client.peer_id(),
+            group: group.clone(),
+            name: "alice-inbox".into(),
+        };
+        let xml = signed_pipe_advertisement(&advertisement, &client, &credential).unwrap();
+
+        // Fresh credential: accepted.
+        assert!(w
+            .extension
+            .vet_publish(&w.broker, client.peer_id(), &group, "jxta:PipeAdvertisement", &xml)
+            .is_ok());
+        // Unsigned advertisements are never vetted.
+        assert!(w
+            .extension
+            .vet_publish(
+                &w.broker,
+                client.peer_id(),
+                &group,
+                "jxta:PipeAdvertisement",
+                "<jxta:PipeAdvertisement/>"
+            )
+            .is_ok());
+
+        // Expired credential: refused.
+        w.extension.set_now(1_001);
+        let err = w
+            .extension
+            .vet_publish(&w.broker, client.peer_id(), &group, "jxta:PipeAdvertisement", &xml)
+            .unwrap_err();
+        assert!(err.contains("expired"));
+        assert_eq!(w.extension.stats().expired_rejected, 1);
+
+        // Revoked credential: refused even while unexpired.
+        w.extension.set_now(0);
+        let list = w
+            .admin
+            .issue_revocation_list(&[client.peer_id()], &[], 0)
+            .unwrap();
+        w.extension.install_revocation_list(&list).unwrap();
+        let err = w
+            .extension
+            .vet_publish(&w.broker, client.peer_id(), &group, "jxta:PipeAdvertisement", &xml)
+            .unwrap_err();
+        assert!(err.contains("revoked"));
+        assert_eq!(w.extension.stats().revoked_rejected, 1);
     }
 
     #[test]

@@ -241,6 +241,70 @@ impl Credential {
     }
 }
 
+/// A signed credential revocation list.
+///
+/// The administrator is the entity that grants access to the network, so it
+/// is also the one that takes it away: a revocation list names subjects
+/// (by peer identifier and/or username) whose credentials must no longer be
+/// honoured, and carries the administrator's signature so brokers can verify
+/// it was really the admin who pushed it.  Brokers merge installed lists and
+/// refuse secure logins, connections and signed-advertisement publishes from
+/// revoked subjects (`core/src/broker_ext.rs`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RevocationList {
+    /// Revoked peer identifiers.
+    pub revoked_ids: Vec<PeerId>,
+    /// Revoked usernames.
+    pub revoked_names: Vec<String>,
+    /// When the list was issued (seconds since the deployment epoch), so
+    /// operators can tell lists apart; brokers merge rather than replace.
+    pub issued_at: u64,
+    /// Issuer's signature over the fields above.
+    signature: Vec<u8>,
+}
+
+impl RevocationList {
+    /// Issues a revocation list signed with the issuer's (administrator's)
+    /// private key.
+    pub fn issue(
+        revoked_ids: &[PeerId],
+        revoked_names: &[&str],
+        issued_at: u64,
+        issuer_key: &RsaPrivateKey,
+    ) -> Result<Self, CryptoError> {
+        let mut list = RevocationList {
+            revoked_ids: revoked_ids.to_vec(),
+            revoked_names: revoked_names.iter().map(|n| n.to_string()).collect(),
+            issued_at,
+            signature: Vec::new(),
+        };
+        list.signature = issuer_key.sign(&list.signed_content())?;
+        Ok(list)
+    }
+
+    /// The byte string covered by the issuer's signature.
+    fn signed_content(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(b"JXTA-OVERLAY-REVOCATION-V1");
+        out.extend_from_slice(&(self.revoked_ids.len() as u32).to_be_bytes());
+        for id in &self.revoked_ids {
+            out.extend_from_slice(id.as_bytes());
+        }
+        out.extend_from_slice(&(self.revoked_names.len() as u32).to_be_bytes());
+        for name in &self.revoked_names {
+            out.extend_from_slice(&(name.len() as u32).to_be_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        out.extend_from_slice(&self.issued_at.to_be_bytes());
+        out
+    }
+
+    /// Verifies the signature with the issuer's public key.
+    pub fn verify(&self, issuer_key: &RsaPublicKey) -> Result<(), CryptoError> {
+        issuer_key.verify(&self.signed_content(), &self.signature)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,6 +467,30 @@ mod tests {
         )
         .unwrap();
         assert!(!credential.binds_key_to_subject());
+    }
+
+    #[test]
+    fn revocation_list_signs_and_verifies() {
+        let (admin, subject) = identities();
+        let list = RevocationList::issue(
+            &[subject.peer_id()],
+            &["mallory"],
+            42,
+            admin.private_key(),
+        )
+        .unwrap();
+        list.verify(admin.public_key()).unwrap();
+        assert_eq!(list.revoked_ids, vec![subject.peer_id()]);
+        assert_eq!(list.revoked_names, vec!["mallory".to_string()]);
+        assert_eq!(list.issued_at, 42);
+        // A forged list (wrong issuer, or any tampered field) fails.
+        assert!(list.verify(subject.public_key()).is_err());
+        let mut tampered = list.clone();
+        tampered.revoked_names.push("alice".to_string());
+        assert!(tampered.verify(admin.public_key()).is_err());
+        let mut tampered = list;
+        tampered.issued_at = 43;
+        assert!(tampered.verify(admin.public_key()).is_err());
     }
 
     #[test]

@@ -376,6 +376,17 @@ impl SecureClient {
         Ok(validated)
     }
 
+    /// Asks the home broker whether `peer` is currently a member of `group`.
+    /// In a sharded federation the broker transparently routes the question
+    /// to the shard replica owning the `(group, peer)` entry.
+    pub fn query_membership(
+        &mut self,
+        group: &GroupId,
+        peer: PeerId,
+    ) -> Result<bool, OverlayError> {
+        self.client.query_membership(group, peer)
+    }
+
     // ------------------------------------------------------------------
     // secureMsgPeer / secureMsgPeerGroup (paper §4.3)
     // ------------------------------------------------------------------

@@ -37,6 +37,7 @@ pub struct SecureNetworkBuilder {
     link: LinkModel,
     users: Vec<(String, String, Vec<GroupId>)>,
     broker_names: Vec<String>,
+    replication_factor: Option<usize>,
     request_timeout: Duration,
 }
 
@@ -50,8 +51,23 @@ impl SecureNetworkBuilder {
             link: LinkModel::ideal(),
             users: Vec::new(),
             broker_names: vec!["broker-1".to_string()],
+            replication_factor: None,
             request_timeout: Duration::from_secs(5),
         }
+    }
+
+    /// Shards the federation's advertisement index and group membership
+    /// across the consistent-hash ring with `k` replicas per entry, instead
+    /// of fully replicating them to every broker (the default).  The
+    /// peer→home routing table stays fully replicated either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is zero — an entry needs at least one replica.
+    pub fn with_replication_factor(mut self, k: usize) -> Self {
+        assert!(k > 0, "an entry needs at least one replica");
+        self.replication_factor = Some(k);
+        self
     }
 
     /// Sets the RSA modulus size used by every identity (default 1024 bits).
@@ -147,7 +163,10 @@ impl SecureNetworkBuilder {
                 .expect("broker credential issuance");
             let broker = Broker::new(
                 broker_identity.peer_id(),
-                BrokerConfig { name: name.clone() },
+                BrokerConfig {
+                    name: name.clone(),
+                    replication_factor: self.replication_factor,
+                },
                 Arc::clone(&network),
                 Arc::clone(&database),
             );
@@ -157,6 +176,8 @@ impl SecureNetworkBuilder {
                 crate::admin::DEFAULT_CREDENTIAL_LIFETIME,
                 rng.next_u64(),
             ));
+            // Brokers verify admin-pushed revocation lists against this key.
+            extension.set_admin_public_key(admin.public_key().clone());
             broker.set_extension(extension.clone());
             brokers.push(broker);
             extensions.push(extension);
@@ -298,6 +319,35 @@ impl SecureNetwork {
             self.rng.next_u64(),
         )
         .expect("secure client construction")
+    }
+
+    /// Sets the deployment clock on every broker (seconds since the epoch
+    /// credential lifetimes are expressed in).  The simulation advances time
+    /// explicitly; brokers evaluate credential expiry against this clock.
+    pub fn set_time(&self, now: u64) {
+        for extension in &self.extensions {
+            extension.set_now(now);
+        }
+    }
+
+    /// Revokes credentials: the administrator issues a signed revocation
+    /// list over the given peer identifiers and usernames and pushes it to
+    /// every broker of the federation.
+    pub fn revoke(&self, revoked_ids: &[PeerId], revoked_names: &[&str]) {
+        let issued_at = self
+            .extensions
+            .first()
+            .map(|e| e.now())
+            .unwrap_or_default();
+        let list = self
+            .admin
+            .issue_revocation_list(revoked_ids, revoked_names, issued_at)
+            .expect("revocation list issuance");
+        for extension in &self.extensions {
+            extension
+                .install_revocation_list(&list)
+                .expect("revocation list installation");
+        }
     }
 
     /// Registers an additional end user after construction.

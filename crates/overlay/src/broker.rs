@@ -42,8 +42,9 @@ use crate::id::PeerId;
 use crate::message::{Message, MessageKind};
 use crate::metrics::{FederationMetrics, FederationStats};
 use crate::net::{NetMessage, SimNetwork};
-use parking_lot::RwLock;
-use std::collections::HashMap;
+use crate::shard::ShardRing;
+use parking_lot::{Mutex, RwLock};
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -55,12 +56,44 @@ pub struct BrokerConfig {
     /// Human-readable broker name (the paper's brokers have well-known
     /// identifiers such as DNS names).
     pub name: String,
+    /// Sharding mode of the federation state this broker keeps.
+    ///
+    /// `None` (the default) fully replicates the advertisement index and
+    /// group membership to every broker, exactly as PR 2's federation did.
+    /// `Some(k)` partitions both across the consistent-hash ring
+    /// ([`crate::shard::ShardRing`]): each `(group, owner)` entry lives on
+    /// `k` replica brokers, gossip for it goes only to those replicas, and
+    /// non-local lookups are routed to an owning replica with
+    /// [`MessageKind::ShardQuery`].  The peer→home-broker routing table is
+    /// fully replicated in both modes — it is small and on the relay hot
+    /// path.  All brokers of one federation must use the same setting.
+    pub replication_factor: Option<usize>,
 }
 
 impl Default for BrokerConfig {
     fn default() -> Self {
         BrokerConfig {
             name: "broker".to_string(),
+            replication_factor: None,
+        }
+    }
+}
+
+impl BrokerConfig {
+    /// Convenience constructor setting only the name.
+    pub fn named(name: impl Into<String>) -> Self {
+        BrokerConfig {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+
+    /// Convenience constructor for a sharded broker: `name` plus the shard
+    /// replication factor K.
+    pub fn sharded(name: impl Into<String>, replication_factor: usize) -> Self {
+        BrokerConfig {
+            name: name.into(),
+            replication_factor: Some(replication_factor),
         }
     }
 }
@@ -73,6 +106,22 @@ pub trait BrokerExtension: Send + Sync {
     /// if the message kind is not handled by this extension (the broker then
     /// replies with a generic rejection).
     fn handle(&self, broker: &Broker, message: &Message) -> Option<Message>;
+
+    /// Policy hook invoked before an advertisement publish is indexed: the
+    /// secure extension uses it to refuse signed advertisements whose
+    /// embedded credential is expired or revoked.  Returning `Err(reason)`
+    /// rejects the publish with that reason; the default accepts everything
+    /// (the plain broker has no publish policy).
+    fn vet_publish(
+        &self,
+        _broker: &Broker,
+        _from: PeerId,
+        _group: &GroupId,
+        _doc_type: &str,
+        _xml: &str,
+    ) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 /// An authenticated client session as seen by the broker.
@@ -99,6 +148,10 @@ struct IndexedAdvertisement {
 /// Advertisement index for one group: (owner, doc type) → versioned XML.
 type GroupAdvertisements = HashMap<(PeerId, String), IndexedAdvertisement>;
 
+/// A flattened index entry: `(group, owner, doc type, xml, version)` — the
+/// shape migration re-routes across the ring.
+type FlatEntry = (GroupId, PeerId, String, String, (u64, PeerId));
+
 /// Version of a peer's replicated presence state: `(origin sequence, kind
 /// rank, origin broker)`.  Joins rank above leaves at the same sequence so a
 /// leave/re-join pair racing across the backbone resolves to the join on
@@ -110,6 +163,40 @@ type PresenceVersion = (u64, u8, PeerId);
 const PRESENCE_LEAVE: u8 = 0;
 /// Rank of a join in a [`PresenceVersion`].
 const PRESENCE_JOIN: u8 = 1;
+
+/// One gossip event queued for a peer broker: the flattened element list of
+/// a single replicated write (`op`, its version `seq`, and the op-specific
+/// fields).  Events are coalesced per destination into one `BrokerSync`
+/// digest per flush instead of one message per event.
+#[derive(Debug, Clone)]
+struct GossipEvent {
+    fields: Vec<(&'static str, String)>,
+}
+
+impl GossipEvent {
+    fn new(fields: Vec<(&'static str, String)>) -> Self {
+        GossipEvent { fields }
+    }
+}
+
+/// A lookup this broker routed to remote shard replicas and has not answered
+/// yet: the requesting client, its request identifier, and the merge state.
+#[derive(Debug)]
+struct PendingLookup {
+    client: PeerId,
+    client_request: u64,
+    /// Replica answers still outstanding.
+    remaining: usize,
+    /// Advertisement results merged so far: owner → (version, xml); scatter
+    /// responses from several replicas deduplicate by keeping the greatest
+    /// last-writer-wins version per owner.
+    adv_results: BTreeMap<PeerId, ((u64, PeerId), String)>,
+    /// Membership answer (true as soon as any replica confirms membership).
+    is_member: bool,
+    /// Whether this pending lookup is a membership query (versus an
+    /// advertisement search).
+    membership: bool,
+}
 
 /// The broker peer.
 pub struct Broker {
@@ -142,6 +229,21 @@ pub struct Broker {
     seen_seq: RwLock<HashMap<PeerId, u64>>,
     /// Federation activity counters.
     federation: FederationMetrics,
+    /// The consistent-hash ring over this broker and its federation peers
+    /// (only consulted when `config.replication_factor` is set).
+    ring: RwLock<ShardRing>,
+    /// Gossip events queued per destination, coalesced into one `BrokerSync`
+    /// digest per destination at the next [`Broker::flush_gossip`].  A
+    /// `BTreeMap` keeps the flush order deterministic, which the inline
+    /// federation's reproducible pumping relies on.
+    outbox: Mutex<BTreeMap<PeerId, Vec<GossipEvent>>>,
+    /// Lookups routed to remote shard replicas, keyed by query identifier.
+    pending_lookups: Mutex<HashMap<u64, PendingLookup>>,
+    /// Next shard-query identifier.
+    next_query: AtomicU64,
+    /// Network messages fully processed by this broker (monotone; compared
+    /// against [`SimNetwork::delivered_to`] for quiescence detection).
+    processed: AtomicU64,
 }
 
 impl Broker {
@@ -152,6 +254,8 @@ impl Broker {
         network: Arc<SimNetwork>,
         database: Arc<UserDatabase>,
     ) -> Arc<Self> {
+        let mut ring = ShardRing::new(config.replication_factor.unwrap_or(usize::MAX));
+        ring.insert(id);
         Arc::new(Broker {
             id,
             config,
@@ -169,6 +273,11 @@ impl Broker {
             sync_seq: AtomicU64::new(0),
             seen_seq: RwLock::new(HashMap::new()),
             federation: FederationMetrics::new(),
+            ring: RwLock::new(ring),
+            outbox: Mutex::new(BTreeMap::new()),
+            pending_lookups: Mutex::new(HashMap::new()),
+            next_query: AtomicU64::new(1),
+            processed: AtomicU64::new(0),
         })
     }
 
@@ -208,7 +317,10 @@ impl Broker {
     // ------------------------------------------------------------------
 
     /// Registers another broker as a peer of the federation backbone.
-    /// Gossip is sent to — and accepted from — peer brokers only.
+    /// Gossip is sent to — and accepted from — peer brokers only.  The peer
+    /// also joins this broker's shard ring; callers changing the membership
+    /// of a running sharded federation should follow up with
+    /// [`Broker::reshard`] to migrate entries onto their new replicas.
     pub fn add_peer_broker(&self, broker: PeerId) {
         if broker == self.id {
             return;
@@ -216,7 +328,77 @@ impl Broker {
         let mut peers = self.peer_brokers.write();
         if !peers.contains(&broker) {
             peers.push(broker);
+            self.ring.write().insert(broker);
         }
+    }
+
+    /// Removes a broker from the federation backbone and the shard ring.
+    /// The departed broker's clients are gone with it, so their routes *and*
+    /// their replicated group memberships are dropped (a crashed broker
+    /// never gossips their leaves — without this cleanup they would stay
+    /// ghost members forever).  Entry migration is the caller's job via
+    /// [`Broker::reshard`].  Lookups awaiting a shard answer are resolved
+    /// with whatever merged so far: the awaited replica may be the one that
+    /// just left, and an unanswered client would otherwise only see its own
+    /// timeout (and the pending entry would leak).
+    pub fn remove_peer_broker(&self, broker: &PeerId) {
+        self.peer_brokers.write().retain(|b| b != broker);
+        self.ring.write().remove(broker);
+        self.seen_seq.write().remove(broker);
+        self.outbox.lock().remove(broker);
+        // Every survivor performs the identical cleanup, so the replicated
+        // state stays consistent without any gossip from the dead broker.
+        let orphans: Vec<PeerId> = {
+            let homes = self.peer_homes.read();
+            homes
+                .iter()
+                .filter(|(_, home)| *home == broker)
+                .map(|(peer, _)| *peer)
+                .collect()
+        };
+        for peer in orphans {
+            self.groups.leave_all(&peer);
+            self.connected.write().remove(&peer);
+            self.displaced.write().remove(&peer);
+        }
+        self.peer_homes.write().retain(|_, home| home != broker);
+        let stranded: Vec<PendingLookup> = {
+            let mut pending = self.pending_lookups.lock();
+            std::mem::take(&mut *pending).into_values().collect()
+        };
+        for state in stranded {
+            self.finish_pending_lookup(state);
+        }
+    }
+
+    /// The configured shard replication factor (`None` = full replication).
+    pub fn replication_factor(&self) -> Option<usize> {
+        self.config.replication_factor
+    }
+
+    /// Returns `true` when this broker partitions the index/membership state
+    /// across the shard ring instead of fully replicating it.
+    fn is_sharded(&self) -> bool {
+        self.config.replication_factor.is_some()
+    }
+
+    /// The replica set of `(group, owner)` on this broker's shard ring (in
+    /// full-replication mode: this broker plus every peer).
+    pub fn shard_replicas(&self, group: &GroupId, owner: &PeerId) -> Vec<PeerId> {
+        self.ring.read().replicas(group, owner)
+    }
+
+    /// Returns `true` if this broker must store the `(group, owner)` entry:
+    /// always in full-replication mode, only as a ring replica when sharded.
+    fn is_local_replica(&self, group: &GroupId, owner: &PeerId) -> bool {
+        !self.is_sharded() || self.ring.read().is_replica(group, owner, &self.id)
+    }
+
+    /// Number of advertisements currently held in the local index (the
+    /// quantity the sharding experiments show dropping from O(total) to
+    /// O(total·K/N) per broker).
+    pub fn advertisement_entry_count(&self) -> usize {
+        self.advertisements.read().values().map(HashMap::len).sum()
     }
 
     /// The other brokers of the federation this broker gossips with.
@@ -311,6 +493,7 @@ impl Broker {
         self.displaced.write().remove(&peer);
         let seq = self.version_local_presence(peer, PRESENCE_JOIN);
         self.gossip_join(seq, peer, &groups);
+        self.flush_gossip();
         session
     }
 
@@ -324,9 +507,12 @@ impl Broker {
         if had_session {
             let peer = *peer;
             let seq = self.version_local_presence(peer, PRESENCE_LEAVE);
-            self.gossip_sync_with_seq(seq, |m| {
-                m.with_str("op", "leave").with_str("peer", &peer.to_urn())
-            });
+            self.gossip_to_all(GossipEvent::new(vec![
+                ("op", "leave".to_string()),
+                ("seq", seq.to_string()),
+                ("peer", peer.to_urn()),
+            ]));
+            self.flush_gossip();
         }
     }
 
@@ -366,11 +552,22 @@ impl Broker {
         }
     }
 
-    /// Stores an advertisement in the global index, pushes it to the other
-    /// *locally homed* members of the group and replicates it to the peer
-    /// brokers (each of which pushes to its own local members, so every
-    /// member receives exactly one push).  Returns the number of local peers
-    /// it was pushed to.
+    /// Stores an advertisement in the shard (or, in full-replication mode,
+    /// the global index), pushes it to the other *locally homed* members of
+    /// the group and replicates it to the entry's replica brokers — all peer
+    /// brokers when fully replicated, only the K ring replicas when sharded.
+    /// Returns the number of local peers it was pushed to.
+    ///
+    /// Push semantics differ between the modes, deliberately: with full
+    /// replication every broker applies the gossip and pushes to its local
+    /// members, so every member receives exactly one push.  Sharded, the
+    /// push fan-out is **best-effort** — members homed at the origin broker
+    /// and at the entry's replicas are notified, members homed elsewhere
+    /// discover the advertisement through lookups (`resolve_pipe` and
+    /// friends route to a replica transparently).  Pushing to every member's
+    /// home would put the gossip back at O(brokers) per publish, which is
+    /// exactly what sharding removes; group-aware push routing is a ROADMAP
+    /// item.
     pub fn index_and_distribute(
         &self,
         from: PeerId,
@@ -378,25 +575,40 @@ impl Broker {
         doc_type: &str,
         xml: &str,
     ) -> usize {
-        // The gossip's transport sequence number doubles as the entry's
-        // last-writer-wins version, so the local write and its replicas
-        // carry the identical version on every broker.
+        // The gossip's sequence number doubles as the entry's last-writer-
+        // wins version, so the local write and its replicas carry the
+        // identical version on every broker.
         let seq = self.next_sync_seq();
-        let pushed = self.apply_publish(from, group, doc_type, xml, (seq, self.id));
-        self.gossip_sync_with_seq(seq, |m| {
-            m.with_str("op", "publish")
-                .with_str("group", group.as_str())
-                .with_str("doc-type", doc_type)
-                .with_str("owner", &from.to_urn())
-                .with_str("xml", xml)
-        });
+        let store = self.is_local_replica(group, &from);
+        let pushed = self.apply_publish(from, group, doc_type, xml, (seq, self.id), store);
+        let event = GossipEvent::new(vec![
+            ("op", "publish".to_string()),
+            ("seq", seq.to_string()),
+            ("group", group.as_str().to_string()),
+            ("doc-type", doc_type.to_string()),
+            ("owner", from.to_urn()),
+            ("xml", xml.to_string()),
+        ]);
+        if self.is_sharded() {
+            let targets: Vec<PeerId> = self
+                .shard_replicas(group, &from)
+                .into_iter()
+                .filter(|replica| *replica != self.id)
+                .collect();
+            self.gossip_to(&targets, event);
+        } else {
+            self.gossip_to_all(event);
+        }
+        self.flush_gossip();
         pushed
     }
 
-    /// Indexes an advertisement and pushes it to locally homed group members
-    /// without gossiping (shared by the local publish path and the gossip
-    /// application path).  The entry is only replaced when `version` is
-    /// greater than the stored one (last-writer-wins convergence).
+    /// Indexes an advertisement (when `store` — the origin of a sharded
+    /// publish may not be one of the entry's replicas) and pushes it to
+    /// locally homed group members, without gossiping; shared by the local
+    /// publish path and the gossip application path.  A stored entry is only
+    /// replaced when `version` is greater than the stored one (last-writer-
+    /// wins convergence).
     fn apply_publish(
         &self,
         from: PeerId,
@@ -404,8 +616,9 @@ impl Broker {
         doc_type: &str,
         xml: &str,
         version: (u64, PeerId),
+        store: bool,
     ) -> usize {
-        {
+        if store {
             let mut advertisements = self.advertisements.write();
             let entry = advertisements
                 .entry(group.clone())
@@ -463,21 +676,55 @@ impl Broker {
         self.sync_seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    /// Sends one gossip event (built by `build`) to every peer broker under
-    /// a pre-allocated per-origin sequence number — the same number that
-    /// versions the replicated write, so the local write and its replicas
-    /// carry identical versions.
-    fn gossip_sync_with_seq(&self, seq: u64, build: impl Fn(Message) -> Message) {
+    /// Queues a gossip event for every peer broker of the federation.
+    fn gossip_to_all(&self, event: GossipEvent) {
         let peers = self.peer_brokers.read().clone();
-        if peers.is_empty() {
+        self.gossip_to(&peers, event);
+    }
+
+    /// Queues a gossip event for each broker in `targets`.  Nothing is sent
+    /// yet: events are coalesced per destination and shipped as one digest
+    /// per destination by [`Broker::flush_gossip`].
+    fn gossip_to(&self, targets: &[PeerId], event: GossipEvent) {
+        if targets.is_empty() {
             return;
         }
-        // One build + one serialisation, shared by every peer broker.
-        let bytes = build(Message::new(MessageKind::BrokerSync, self.id, 0))
-            .with_str("seq", &seq.to_string())
-            .to_bytes();
-        for peer in peers {
-            if self.network.send(self.id, peer, bytes.clone()).is_ok() {
+        let mut outbox = self.outbox.lock();
+        for target in targets {
+            if *target == self.id {
+                continue;
+            }
+            outbox.entry(*target).or_default().push(event.clone());
+        }
+    }
+
+    /// Ships every queued gossip event: one `BrokerSync` digest per
+    /// destination, however many events accumulated for it.  Every public
+    /// operation that gossips flushes before returning (so a single publish
+    /// still costs a single message, exactly as before), but an operation
+    /// that produces many events — a shard migration, a batched sync
+    /// application — pays one backbone message per destination instead of
+    /// one per event.
+    pub fn flush_gossip(&self) {
+        let batches: Vec<(PeerId, Vec<GossipEvent>)> = {
+            let mut outbox = self.outbox.lock();
+            std::mem::take(&mut *outbox).into_iter().collect()
+        };
+        for (destination, events) in batches {
+            let seq = self.next_sync_seq();
+            let mut digest = Message::new(MessageKind::BrokerSync, self.id, 0)
+                .with_str("seq", &seq.to_string())
+                .with_str("count", &events.len().to_string());
+            for (i, event) in events.iter().enumerate() {
+                for (field, value) in &event.fields {
+                    digest.push_element(format!("e{i}-{field}"), value.as_bytes().to_vec());
+                }
+            }
+            if self
+                .network
+                .send(self.id, destination, digest.to_bytes())
+                .is_ok()
+            {
                 self.federation.count_sync_sent();
             }
         }
@@ -523,35 +770,73 @@ impl Broker {
         Some(seq)
     }
 
-    /// Applies one incoming gossip message to local state.
+    /// Applies one incoming gossip message to local state.  Two wire shapes
+    /// are understood: the coalesced digest (`count` element, events in
+    /// `e{i}-*` fields, each carrying its own version `seq`) that this
+    /// implementation sends, and the PR 2 single-event layout (`op` at the
+    /// top level, the transport `seq` doubling as the version) for
+    /// compatibility with captured traffic and hand-built test messages.
     fn handle_sync(&self, message: &Message, transport_from: Option<PeerId>) {
-        let Some(seq) =
-            self.accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
-        else {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        let origin = message.sender;
+        if let Some(count) = message
+            .element_str("count")
+            .and_then(|c| c.parse::<usize>().ok())
+        {
+            for i in 0..count {
+                self.apply_sync_event(origin, &|field: &str| {
+                    message.element_str(&format!("e{i}-{field}"))
+                });
+            }
+        } else {
+            self.apply_sync_event(origin, &|field: &str| message.element_str(field));
+        }
+        // Applying events may have re-asserted live local sessions; ship the
+        // resulting gossip in one digest per destination.
+        self.flush_gossip();
+    }
+
+    /// Applies a single replicated write.  `get` resolves the event's fields
+    /// (either top-level elements or the `e{i}-` slice of a digest).
+    fn apply_sync_event(&self, origin: PeerId, get: &dyn Fn(&str) -> Option<String>) {
+        let Some(seq) = get("seq").and_then(|s| s.parse::<u64>().ok()) else {
             return;
         };
-        let origin = message.sender;
-        match message.element_str("op").as_deref() {
+        match get("op").as_deref() {
             Some("publish") => {
                 let (Some(group), Some(doc_type), Some(owner), Some(xml)) = (
-                    message.element_str("group"),
-                    message.element_str("doc-type"),
-                    message.element_str("owner"),
-                    message.element_str("xml"),
+                    get("group"),
+                    get("doc-type"),
+                    get("owner"),
+                    get("xml"),
                 ) else {
                     return;
                 };
                 let Some(owner) = PeerId::from_urn(&owner) else {
                     return;
                 };
-                self.apply_publish(owner, &GroupId::new(group), &doc_type, &xml, (seq, origin));
+                // Migrated entries keep their original version: the version
+                // origin travels with the event and may differ from the
+                // broker that re-routed it here.
+                let version_origin = get("vorigin")
+                    .and_then(|urn| PeerId::from_urn(&urn))
+                    .unwrap_or(origin);
+                let group = GroupId::new(group);
+                if !self.is_local_replica(&group, &owner) {
+                    // Not ours to store (a ring-membership race); the sender's
+                    // next reshard re-routes it to the right replicas.
+                    return;
+                }
+                self.apply_publish(owner, &group, &doc_type, &xml, (seq, version_origin), true);
                 self.federation.count_sync_applied();
             }
             Some("join") => {
-                let Some(peer) = message
-                    .element_str("peer")
-                    .and_then(|urn| PeerId::from_urn(&urn))
-                else {
+                let Some(peer) = get("peer").and_then(|urn| PeerId::from_urn(&urn)) else {
                     return;
                 };
                 if !self.try_version_presence(peer, (seq, PRESENCE_JOIN, origin)) {
@@ -577,21 +862,23 @@ impl Broker {
                 self.connected.write().remove(&peer);
                 self.groups.leave_all(&peer);
                 self.peer_homes.write().insert(peer, origin);
-                for group in message
-                    .element_str("groups")
+                for group in get("groups")
                     .unwrap_or_default()
                     .split(',')
                     .filter(|s| !s.is_empty())
                 {
-                    self.groups.join(GroupId::new(group), peer);
+                    let group = GroupId::new(group);
+                    // Sharded mode: membership entries live on their ring
+                    // replicas only; the routing update above is applied by
+                    // every broker either way.
+                    if self.is_local_replica(&group, &peer) {
+                        self.groups.join(group, peer);
+                    }
                 }
                 self.federation.count_sync_applied();
             }
             Some("leave") => {
-                let Some(peer) = message
-                    .element_str("peer")
-                    .and_then(|urn| PeerId::from_urn(&urn))
-                else {
+                let Some(peer) = get("peer").and_then(|urn| PeerId::from_urn(&urn)) else {
                     return;
                 };
                 if !self.try_version_presence(peer, (seq, PRESENCE_LEAVE, origin)) {
@@ -618,15 +905,171 @@ impl Broker {
                 self.peer_homes.write().remove(&peer);
                 self.federation.count_sync_applied();
             }
+            Some("membership") => {
+                // A migrated membership entry: (group, peer) re-routed onto
+                // this broker after a ring change.  It carries the presence
+                // version it was observed under; anything older than what we
+                // already know is stale and dropped.
+                let (Some(peer), Some(group), Some(rank), Some(vorigin)) = (
+                    get("peer").and_then(|urn| PeerId::from_urn(&urn)),
+                    get("group"),
+                    get("vrank").and_then(|r| r.parse::<u8>().ok()),
+                    get("vorigin").and_then(|urn| PeerId::from_urn(&urn)),
+                ) else {
+                    return;
+                };
+                let carried: PresenceVersion = (seq, rank, vorigin);
+                {
+                    let mut versions = self.peer_versions.write();
+                    match versions.entry(peer) {
+                        std::collections::hash_map::Entry::Occupied(mut stored) => {
+                            if carried < *stored.get() {
+                                return; // a newer join/leave superseded this
+                            }
+                            if carried > *stored.get() {
+                                stored.insert(carried);
+                            }
+                        }
+                        std::collections::hash_map::Entry::Vacant(slot) => {
+                            slot.insert(carried);
+                        }
+                    }
+                }
+                if rank == PRESENCE_JOIN {
+                    let group = GroupId::new(group);
+                    if self.is_local_replica(&group, &peer) {
+                        self.groups.join(group, peer);
+                    }
+                }
+                self.federation.count_sync_applied();
+            }
             _ => {}
         }
+    }
+
+    /// Re-routes this broker's shard of the index and membership after a
+    /// ring-membership change: every entry is re-gossiped to its (possibly
+    /// new) replica set, and entries this broker no longer owns are dropped.
+    /// The PR 2 last-writer-wins versioning makes entries location-
+    /// independent, so migration is exactly a re-route plus re-gossip — the
+    /// data model is untouched.  Returns the number of entries that left
+    /// this broker.
+    ///
+    /// No-op in full-replication mode.
+    pub fn reshard(&self) -> u64 {
+        if !self.is_sharded() {
+            return 0;
+        }
+        let mut migrated = 0u64;
+
+        // Local sessions re-assert their join first: the peer→home routing
+        // table is fully replicated, so a freshly admitted broker must learn
+        // every existing route (and the membership entries it now owns ride
+        // along in the join's group list).
+        let sessions: Vec<(PeerId, BrokerSession)> = self
+            .sessions
+            .read()
+            .iter()
+            .map(|(peer, session)| (*peer, session.clone()))
+            .collect();
+        for (peer, session) in sessions {
+            let seq = self.version_local_presence(peer, PRESENCE_JOIN);
+            self.gossip_join(seq, peer, &session.groups);
+        }
+
+        // Advertisements: re-gossip each entry (with its original version)
+        // to its replica set, then drop the ones that moved away.
+        let entries: Vec<FlatEntry> = {
+            let advertisements = self.advertisements.read();
+            advertisements
+                .iter()
+                .flat_map(|(group, index)| {
+                    index.iter().map(|((owner, doc_type), adv)| {
+                        (group.clone(), *owner, doc_type.clone(), adv.xml.clone(), adv.version)
+                    })
+                })
+                .collect()
+        };
+        for (group, owner, doc_type, xml, version) in entries {
+            let replicas = self.shard_replicas(&group, &owner);
+            let targets: Vec<PeerId> = replicas
+                .iter()
+                .filter(|replica| **replica != self.id)
+                .copied()
+                .collect();
+            self.gossip_to(
+                &targets,
+                GossipEvent::new(vec![
+                    ("op", "publish".to_string()),
+                    ("seq", version.0.to_string()),
+                    ("vorigin", version.1.to_urn()),
+                    ("group", group.as_str().to_string()),
+                    ("doc-type", doc_type.clone()),
+                    ("owner", owner.to_urn()),
+                    ("xml", xml),
+                ]),
+            );
+            if !replicas.contains(&self.id) {
+                let mut advertisements = self.advertisements.write();
+                if let Some(index) = advertisements.get_mut(&group) {
+                    index.remove(&(owner, doc_type));
+                    if index.is_empty() {
+                        advertisements.remove(&group);
+                    }
+                }
+                migrated += 1;
+            }
+        }
+
+        // Membership: same treatment per (group, peer) entry, except that a
+        // locally homed session's membership is local ground truth and never
+        // dropped (its home broker keeps it in addition to the replicas).
+        for (group, members) in self.groups.snapshot() {
+            for peer in members {
+                let replicas = self.shard_replicas(&group, &peer);
+                let version = self
+                    .peer_versions
+                    .read()
+                    .get(&peer)
+                    .copied()
+                    .unwrap_or((0, PRESENCE_JOIN, peer));
+                let targets: Vec<PeerId> = replicas
+                    .iter()
+                    .filter(|replica| **replica != self.id)
+                    .copied()
+                    .collect();
+                self.gossip_to(
+                    &targets,
+                    GossipEvent::new(vec![
+                        ("op", "membership".to_string()),
+                        ("seq", version.0.to_string()),
+                        ("vrank", PRESENCE_JOIN.to_string()),
+                        ("vorigin", version.2.to_urn()),
+                        ("peer", peer.to_urn()),
+                        ("group", group.as_str().to_string()),
+                    ]),
+                );
+                let homed_here = self.sessions.read().contains_key(&peer);
+                if !replicas.contains(&self.id) && !homed_here {
+                    self.groups.leave(&group, &peer);
+                    migrated += 1;
+                }
+            }
+        }
+
+        self.federation.count_entries_migrated(migrated);
+        // The whole migration ships as one digest per destination — the
+        // coalescing is what keeps re-sharding O(brokers) messages instead
+        // of O(entries).
+        self.flush_gossip();
+        migrated
     }
 
     /// Re-announces a live local session whose presence register was just
     /// overwritten by stale remote gossip: this broker *is* the peer's home
     /// (the connection is local ground truth), so it restores the peer's
     /// membership, re-versions the join above the remote write and gossips
-    /// it back out.
+    /// it back out (the caller flushes).
     fn reassert_session(&self, peer: PeerId, session: &BrokerSession) {
         self.peer_homes.write().remove(&peer);
         for group in &session.groups {
@@ -636,18 +1079,21 @@ impl Broker {
         self.gossip_join(seq, peer, &session.groups);
     }
 
-    /// Gossips a join event for `peer` under `seq`.
+    /// Queues a join event for `peer` under `seq` towards every peer broker:
+    /// the peer→home routing update is fully replicated in both modes
+    /// (receivers apply the membership part only for entries they own).
     fn gossip_join(&self, seq: u64, peer: PeerId, groups: &[GroupId]) {
         let joined = groups
             .iter()
             .map(|g| g.as_str().to_string())
             .collect::<Vec<_>>()
             .join(",");
-        self.gossip_sync_with_seq(seq, |m| {
-            m.with_str("op", "join")
-                .with_str("peer", &peer.to_urn())
-                .with_str("groups", &joined)
-        });
+        self.gossip_to_all(GossipEvent::new(vec![
+            ("op", "join".to_string()),
+            ("seq", seq.to_string()),
+            ("peer", peer.to_urn()),
+            ("groups", joined),
+        ]));
     }
 
     // ------------------------------------------------------------------
@@ -749,26 +1195,42 @@ impl Broker {
     }
 
     /// Looks up advertisements of a given type within a group, optionally
-    /// restricted to one owner.
+    /// restricted to one owner — local shard only.
     pub fn lookup(
         &self,
         group: &GroupId,
         doc_type: &str,
         owner: Option<PeerId>,
     ) -> Vec<String> {
+        self.lookup_versioned(group, doc_type, owner)
+            .into_iter()
+            .map(|(_, _, xml)| xml)
+            .collect()
+    }
+
+    /// Like [`Broker::lookup`] but returning each entry's owner and
+    /// last-writer-wins version — what shard replicas exchange so that
+    /// scatter-gather responses deduplicate to the same winner everywhere.
+    fn lookup_versioned(
+        &self,
+        group: &GroupId,
+        doc_type: &str,
+        owner: Option<PeerId>,
+    ) -> Vec<(PeerId, (u64, PeerId), String)> {
         let advertisements = self.advertisements.read();
         let Some(index) = advertisements.get(group) else {
             return Vec::new();
         };
-        let mut results: Vec<(&(PeerId, String), &IndexedAdvertisement)> = index
+        let mut results: Vec<(PeerId, (u64, PeerId), String)> = index
             .iter()
             .filter(|((adv_owner, adv_type), _)| {
                 adv_type == doc_type && owner.is_none_or(|o| *adv_owner == o)
             })
+            .map(|((adv_owner, _), adv)| (*adv_owner, adv.version, adv.xml.clone()))
             .collect();
         // Deterministic order keeps experiments and tests reproducible.
-        results.sort_by_key(|((owner, _), _)| *owner);
-        results.into_iter().map(|(_, adv)| adv.xml.clone()).collect()
+        results.sort_by_key(|(owner, _, _)| *owner);
+        results
     }
 
     /// Starts the broker's event loop on a dedicated thread.
@@ -805,7 +1267,13 @@ impl Broker {
     pub fn process_net(&self, net_message: NetMessage) {
         let message = match Message::from_bytes(&net_message.payload) {
             Ok(m) => m,
-            Err(_) => return, // undecodable traffic is dropped silently
+            Err(_) => {
+                // Undecodable traffic is dropped silently — but it still
+                // counts as processed, or quiescence would never be reached
+                // after garbage arrives.
+                self.processed.fetch_add(1, Ordering::Release);
+                return;
+            }
         };
         let response = match message.kind {
             MessageKind::RelayViaBroker => {
@@ -819,13 +1287,33 @@ impl Broker {
                 self.handle_sync(&message, Some(net_message.from));
                 None
             }
+            MessageKind::ShardQuery => {
+                self.handle_shard_query(&message, Some(net_message.from));
+                None
+            }
+            MessageKind::ShardResponse => {
+                self.handle_shard_response(&message, Some(net_message.from));
+                None
+            }
             _ => self.handle_message(&message),
         };
+        // Belt and braces: any handler that queued gossip has flushed it
+        // already, but an extension hooked in via `handle_message` may have
+        // produced events of its own.
+        self.flush_gossip();
         if let Some(response) = response {
             let _ = self
                 .network
                 .send(self.id, net_message.from, response.to_bytes());
         }
+        // Only now — with every side effect applied and sent — does this
+        // message count as processed (quiescence detection).
+        self.processed.fetch_add(1, Ordering::Release);
+    }
+
+    /// Number of network messages this broker has fully processed.
+    pub fn processed_count(&self) -> u64 {
+        self.processed.load(Ordering::Acquire)
     }
 
     /// Dispatches a decoded message to the appropriate broker function.
@@ -837,7 +1325,7 @@ impl Broker {
             MessageKind::ConnectRequest => Some(self.handle_connect(message)),
             MessageKind::LoginRequest => Some(self.handle_login(message)),
             MessageKind::PublishAdvertisement => Some(self.handle_publish(message)),
-            MessageKind::LookupRequest => Some(self.handle_lookup(message)),
+            MessageKind::LookupRequest => self.handle_lookup(message),
             MessageKind::BrokerSync => {
                 self.handle_sync(message, None);
                 None
@@ -845,6 +1333,14 @@ impl Broker {
             MessageKind::RelayViaBroker => self.handle_relay_request(message, Duration::ZERO),
             MessageKind::BrokerRelay => {
                 self.handle_broker_relay(message, None, Duration::ZERO);
+                None
+            }
+            MessageKind::ShardQuery => {
+                self.handle_shard_query(message, None);
+                None
+            }
+            MessageKind::ShardResponse => {
+                self.handle_shard_response(message, None);
                 None
             }
             MessageKind::SecureConnectChallenge
@@ -926,38 +1422,354 @@ impl Broker {
         if !session.groups.contains(&group) {
             return self.reject(message, "not a member of the target group");
         }
+        // Give the security extension a veto: a signed advertisement whose
+        // embedded credential is expired or revoked must not enter the index.
+        let extension = self.extension.read().clone();
+        if let Some(extension) = extension {
+            if let Err(reason) =
+                extension.vet_publish(self, message.sender, &group, &doc_type, &xml)
+            {
+                return self.reject(message, &reason);
+            }
+        }
         let pushed = self.index_and_distribute(message.sender, &group, &doc_type, &xml);
         Message::new(MessageKind::Ack, self.id, message.request_id)
             .with_str("status", "ok")
             .with_str("pushed-to", &pushed.to_string())
     }
 
-    /// `lookup` handling: return matching advertisements from the index.
-    fn handle_lookup(&self, message: &Message) -> Message {
+    /// `lookup` handling: search the advertisement index, or — when the
+    /// request carries a `member` element — answer a group-membership query.
+    ///
+    /// In full-replication mode every broker answers from its own copy.  In
+    /// sharded mode the broker answers locally only when it is a ring
+    /// replica of the queried key; otherwise it routes the query across the
+    /// backbone with [`MessageKind::ShardQuery`] (one owning replica for
+    /// keyed queries, scatter-gather over the backbone for group-wide
+    /// searches whose owners are unknown) and replies to the client when the
+    /// replica answers arrive — in which case this returns `None`.
+    fn handle_lookup(&self, message: &Message) -> Option<Message> {
         let Some(session) = self.session(&message.sender) else {
-            return self.reject(message, "login required");
+            return Some(self.reject(message, "login required"));
         };
-        let (Some(group), Some(doc_type)) = (
-            message.element_str("group"),
-            message.element_str("doc-type"),
-        ) else {
-            return self.reject(message, "missing lookup fields");
+        let Some(group) = message.element_str("group") else {
+            return Some(self.reject(message, "missing lookup fields"));
         };
         let group = GroupId::new(group);
         if !session.groups.contains(&group) {
-            return self.reject(message, "not a member of the target group");
+            return Some(self.reject(message, "not a member of the target group"));
         }
+
+        // Membership query: is `member` currently part of `group`?
+        if let Some(member) = message.element_str("member") {
+            let Some(member) = PeerId::from_urn(&member) else {
+                return Some(self.reject(message, "malformed member identifier"));
+            };
+            // Local ground truth (the member's session is here) or local
+            // replica: answer directly.
+            if self.sessions.read().contains_key(&member) || self.is_local_replica(&group, &member)
+            {
+                if self.is_sharded() {
+                    self.federation.count_shard_hit();
+                }
+                return Some(self.membership_response(
+                    message.request_id,
+                    self.groups.is_member(&group, &member),
+                ));
+            }
+            self.federation.count_shard_miss();
+            return self.route_shard_query(message, &group, None, Some(member));
+        }
+
+        let Some(doc_type) = message.element_str("doc-type") else {
+            return Some(self.reject(message, "missing lookup fields"));
+        };
         let owner = message
             .element_str("owner")
             .and_then(|urn| PeerId::from_urn(&urn));
-        let results = self.lookup(&group, &doc_type, owner);
-        let mut response = Message::new(MessageKind::LookupResponse, self.id, message.request_id)
+
+        match owner {
+            // Keyed search: one shard owns (group, owner).
+            Some(owner) if !self.is_local_replica(&group, &owner) => {
+                self.federation.count_shard_miss();
+                self.route_shard_query(message, &group, Some(&doc_type), Some(owner))
+            }
+            // Group-wide search in sharded mode: the owners (and hence the
+            // owning shards) are unknown — scatter over the backbone and
+            // merge.
+            None if self.is_sharded() && !self.peer_brokers.read().is_empty() => {
+                self.federation.count_shard_miss();
+                self.route_shard_scatter(message, &group, &doc_type)
+            }
+            _ => {
+                if self.is_sharded() {
+                    self.federation.count_shard_hit();
+                }
+                let results = self.lookup(&group, &doc_type, owner);
+                Some(self.lookup_response(message.request_id, results))
+            }
+        }
+    }
+
+    /// Builds the client-facing response of an advertisement search.
+    fn lookup_response(&self, request_id: u64, results: Vec<String>) -> Message {
+        let mut response = Message::new(MessageKind::LookupResponse, self.id, request_id)
             .with_str("status", "ok")
             .with_str("count", &results.len().to_string());
         for (i, xml) in results.into_iter().enumerate() {
             response.push_element(format!("adv-{i}"), xml.into_bytes());
         }
         response
+    }
+
+    /// Builds the client-facing response of a membership query.
+    fn membership_response(&self, request_id: u64, is_member: bool) -> Message {
+        Message::new(MessageKind::LookupResponse, self.id, request_id)
+            .with_str("status", "ok")
+            .with_str("member", if is_member { "true" } else { "false" })
+    }
+
+    /// Routes a keyed query (advertisement search with a known owner, or a
+    /// membership probe) to the first ring replica of its `(group, key)`.
+    fn route_shard_query(
+        &self,
+        message: &Message,
+        group: &GroupId,
+        doc_type: Option<&str>,
+        key_peer: Option<PeerId>,
+    ) -> Option<Message> {
+        let Some(key) = key_peer else {
+            return Some(self.reject(message, "malformed shard query"));
+        };
+        let Some(target) = self
+            .shard_replicas(group, &key)
+            .into_iter()
+            .find(|replica| *replica != self.id)
+        else {
+            // No remote replica (degenerate ring) — answer from what we have.
+            return Some(match doc_type {
+                Some(doc_type) => self.lookup_response(
+                    message.request_id,
+                    self.lookup(group, doc_type, Some(key)),
+                ),
+                None => self
+                    .membership_response(message.request_id, self.groups.is_member(group, &key)),
+            });
+        };
+        let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
+        let membership = doc_type.is_none();
+        let mut query = Message::new(MessageKind::ShardQuery, self.id, 0)
+            .with_str("seq", &self.next_sync_seq().to_string())
+            .with_str("query", &query_id.to_string())
+            .with_str("group", group.as_str());
+        match doc_type {
+            Some(doc_type) => {
+                query = query
+                    .with_str("doc-type", doc_type)
+                    .with_str("owner", &key.to_urn());
+            }
+            None => query = query.with_str("member", &key.to_urn()),
+        }
+        if self.network.send(self.id, target, query.to_bytes()).is_err() {
+            // The replica is gone; fail the query towards the client rather
+            // than leaving it waiting for a response that cannot come.
+            return Some(self.reject(message, "shard replica unreachable"));
+        }
+        self.pending_lookups.lock().insert(
+            query_id,
+            PendingLookup {
+                client: message.sender,
+                client_request: message.request_id,
+                remaining: 1,
+                adv_results: BTreeMap::new(),
+                is_member: false,
+                membership,
+            },
+        );
+        None
+    }
+
+    /// Scatters a group-wide advertisement search to every peer broker and
+    /// seeds the merge state with this broker's own shard.
+    fn route_shard_scatter(
+        &self,
+        message: &Message,
+        group: &GroupId,
+        doc_type: &str,
+    ) -> Option<Message> {
+        let peers = self.peer_brokers.read().clone();
+        let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
+        let mut adv_results = BTreeMap::new();
+        for (owner, version, xml) in self.lookup_versioned(group, doc_type, None) {
+            adv_results.insert(owner, (version, xml));
+        }
+        let mut remaining = 0usize;
+        for target in peers {
+            let query = Message::new(MessageKind::ShardQuery, self.id, 0)
+                .with_str("seq", &self.next_sync_seq().to_string())
+                .with_str("query", &query_id.to_string())
+                .with_str("group", group.as_str())
+                .with_str("doc-type", doc_type);
+            if self.network.send(self.id, target, query.to_bytes()).is_ok() {
+                remaining += 1;
+            }
+        }
+        if remaining == 0 {
+            // Every peer unreachable: answer from the local shard alone.
+            let results = adv_results.into_values().map(|(_, xml)| xml).collect();
+            return Some(self.lookup_response(message.request_id, results));
+        }
+        self.pending_lookups.lock().insert(
+            query_id,
+            PendingLookup {
+                client: message.sender,
+                client_request: message.request_id,
+                remaining,
+                adv_results,
+                is_member: false,
+                membership: false,
+            },
+        );
+        None
+    }
+
+    /// Serves a `ShardQuery` arriving over the backbone: after the same
+    /// admission control as gossip, answer from the local shard with a
+    /// `ShardResponse`.  Signed advertisements are returned verbatim — the
+    /// XMLdsig envelope travels the extra hop unmodified, so client-side
+    /// validation is unaffected by where the entry happened to live.
+    fn handle_shard_query(&self, message: &Message, transport_from: Option<PeerId>) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        let (Some(query), Some(group)) = (
+            message.element_str("query"),
+            message.element_str("group"),
+        ) else {
+            return;
+        };
+        let group = GroupId::new(group);
+        let mut response = Message::new(MessageKind::ShardResponse, self.id, 0)
+            .with_str("seq", &self.next_sync_seq().to_string())
+            .with_str("query", &query);
+        if let Some(member) = message
+            .element_str("member")
+            .and_then(|urn| PeerId::from_urn(&urn))
+        {
+            response = response.with_str(
+                "member",
+                if self.groups.is_member(&group, &member) {
+                    "true"
+                } else {
+                    "false"
+                },
+            );
+        } else {
+            let Some(doc_type) = message.element_str("doc-type") else {
+                return;
+            };
+            let owner = message
+                .element_str("owner")
+                .and_then(|urn| PeerId::from_urn(&urn));
+            let results = self.lookup_versioned(&group, &doc_type, owner);
+            response = response.with_str("count", &results.len().to_string());
+            for (i, (owner, version, xml)) in results.into_iter().enumerate() {
+                response.push_element(format!("r{i}-owner"), owner.to_urn().into_bytes());
+                response.push_element(format!("r{i}-vseq"), version.0.to_string().into_bytes());
+                response.push_element(format!("r{i}-vorigin"), version.1.to_urn().into_bytes());
+                response.push_element(format!("r{i}-xml"), xml.into_bytes());
+            }
+        }
+        let _ = self
+            .network
+            .send(self.id, message.sender, response.to_bytes());
+    }
+
+    /// Merges a replica's `ShardResponse` into the pending lookup it answers
+    /// and, once every replica reported, replies to the waiting client.
+    fn handle_shard_response(&self, message: &Message, transport_from: Option<PeerId>) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        let Some(query) = message
+            .element_str("query")
+            .and_then(|q| q.parse::<u64>().ok())
+        else {
+            return;
+        };
+        let finished = {
+            let mut pending = self.pending_lookups.lock();
+            let Some(state) = pending.get_mut(&query) else {
+                return; // unknown or already-answered query
+            };
+            if let Some(member) = message.element_str("member") {
+                state.is_member |= member == "true";
+            }
+            let count = message
+                .element_str("count")
+                .and_then(|c| c.parse::<usize>().ok())
+                .unwrap_or(0);
+            for i in 0..count {
+                let (Some(owner), Some(vseq), Some(vorigin), Some(xml)) = (
+                    message
+                        .element_str(&format!("r{i}-owner"))
+                        .and_then(|urn| PeerId::from_urn(&urn)),
+                    message
+                        .element_str(&format!("r{i}-vseq"))
+                        .and_then(|s| s.parse::<u64>().ok()),
+                    message
+                        .element_str(&format!("r{i}-vorigin"))
+                        .and_then(|urn| PeerId::from_urn(&urn)),
+                    message.element_str(&format!("r{i}-xml")),
+                ) else {
+                    continue;
+                };
+                let version = (vseq, vorigin);
+                match state.adv_results.entry(owner) {
+                    std::collections::btree_map::Entry::Occupied(mut stored) => {
+                        // Replicas may race a re-publish: last writer wins,
+                        // exactly as it does in the index itself.
+                        if version > stored.get().0 {
+                            stored.insert((version, xml));
+                        }
+                    }
+                    std::collections::btree_map::Entry::Vacant(slot) => {
+                        slot.insert((version, xml));
+                    }
+                }
+            }
+            state.remaining -= 1;
+            if state.remaining == 0 {
+                pending.remove(&query)
+            } else {
+                None
+            }
+        };
+        if let Some(state) = finished {
+            self.finish_pending_lookup(state);
+        }
+    }
+
+    /// Answers the client of a (fully or best-effort) completed routed
+    /// lookup with the results merged so far.
+    fn finish_pending_lookup(&self, state: PendingLookup) {
+        let response = if state.membership {
+            self.membership_response(state.client_request, state.is_member)
+        } else {
+            let results = state
+                .adv_results
+                .into_values()
+                .map(|(_, xml)| xml)
+                .collect();
+            self.lookup_response(state.client_request, results)
+        };
+        let _ = self.network.send(self.id, state.client, response.to_bytes());
     }
 }
 

@@ -506,6 +506,29 @@ impl ClientPeer {
         Ok(results)
     }
 
+    /// Asks the broker whether `peer` is currently a member of `group`.
+    ///
+    /// The requester must be logged in and a member of `group` itself.  In a
+    /// sharded federation the broker answers from its own shard when it owns
+    /// the `(group, peer)` entry and routes the query to an owning replica
+    /// otherwise — transparently to the client.
+    pub fn query_membership(
+        &mut self,
+        group: &GroupId,
+        peer: PeerId,
+    ) -> Result<bool, OverlayError> {
+        let broker = self.broker.ok_or(OverlayError::NotConnected)?;
+        if !self.is_logged_in() {
+            return Err(OverlayError::NotLoggedIn);
+        }
+        let request_id = self.next_request_id();
+        let message = Message::new(MessageKind::LookupRequest, self.id, request_id)
+            .with_str("group", group.as_str())
+            .with_str("member", &peer.to_urn());
+        let response = self.request(broker, &message, MessageKind::LookupResponse)?;
+        Ok(response.element_str("member").as_deref() == Some("true"))
+    }
+
     /// Resolves the pipe advertisement of `owner` within `group`, consulting
     /// the local cache first (paper §4.3: locating the advertisement is
     /// always necessary, secure or not).
@@ -701,7 +724,7 @@ mod tests {
         database.register_user(&mut rng, "carol", "pw-c", &[GroupId::new("math"), GroupId::new("chem")]);
         let broker = Broker::new(
             PeerId::random(&mut rng),
-            BrokerConfig { name: "fit-broker".into() },
+            BrokerConfig::named("fit-broker"),
             Arc::clone(&network),
             database,
         )

@@ -22,11 +22,39 @@
 //! relay path) a peer joined at broker B.
 
 use crate::broker::{Broker, BrokerHandle};
+use crate::group::GroupId;
 use crate::id::PeerId;
 use crate::net::NetMessage;
 use crossbeam::channel::Receiver;
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+
+/// Default message budget of [`InlineFederation::pump`]: far beyond anything
+/// a converging federation produces, so hitting it means the backbone is
+/// feeding itself (a livelock), not that the workload was large.
+pub const DEFAULT_PUMP_BUDGET: usize = 100_000;
+
+/// Error returned by [`InlineFederation::try_pump`] when the message budget
+/// is exhausted without the queues draining: the backbone is producing
+/// traffic at least as fast as it consumes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PumpStalled {
+    /// Messages processed before giving up.
+    pub processed: usize,
+}
+
+impl std::fmt::Display for PumpStalled {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "federation pump did not quiesce after {} messages (livelock?)",
+            self.processed
+        )
+    }
+}
+
+impl std::error::Error for PumpStalled {}
 
 /// Interconnects `brokers` into a full mesh: every broker learns every other
 /// broker's identifier as a federation peer.
@@ -40,13 +68,24 @@ pub fn interconnect(brokers: &[Arc<Broker>]) {
     }
 }
 
-/// Returns `true` when every broker in `brokers` has converged to the same
-/// replicated state: identical advertisement indexes, group membership and
-/// peer→broker routing.
+/// Returns `true` when every broker in `brokers` holds the replicated state
+/// it is responsible for and all copies agree.
+///
+/// * Fully replicated federation (no replication factor): identical
+///   advertisement indexes, group membership and peer→broker routing on
+///   every broker — PR 2's definition, unchanged.
+/// * Sharded federation: the peer→broker routing still matches everywhere
+///   (it stays fully replicated), while every index/membership entry must
+///   live on **exactly** its ring replica set with identical content — plus,
+///   for membership, the member's home broker, which keeps its local
+///   sessions' memberships as ground truth.
 pub fn converged(brokers: &[Arc<Broker>]) -> bool {
     let Some((first, rest)) = brokers.split_first() else {
         return true;
     };
+    if first.replication_factor().is_some() {
+        return sharded_converged(brokers);
+    }
     let advertisements = first.advertisement_snapshot();
     let groups = first.groups().snapshot();
     let routing = first.routing_snapshot();
@@ -55,6 +94,64 @@ pub fn converged(brokers: &[Arc<Broker>]) -> bool {
             && broker.groups().snapshot() == groups
             && broker.routing_snapshot() == routing
     })
+}
+
+/// Sharded convergence check (see [`converged`]).
+pub fn sharded_converged(brokers: &[Arc<Broker>]) -> bool {
+    let Some(first) = brokers.first() else {
+        return true;
+    };
+    // Routing is fully replicated in both modes.
+    let routing = first.routing_snapshot();
+    if !brokers.iter().all(|b| b.routing_snapshot() == routing) {
+        return false;
+    }
+
+    // Where is every peer homed (for the membership ground-truth exception)?
+    let homes: BTreeMap<PeerId, PeerId> = routing.iter().copied().collect();
+
+    // Advertisement entries: group every copy by key and compare the holder
+    // set against the ring's replica set.
+    type Holders = (BTreeSet<PeerId>, BTreeSet<String>);
+    let mut entries: BTreeMap<(GroupId, PeerId, String), Holders> = BTreeMap::new();
+    for broker in brokers {
+        for (group, owner, doc_type, xml) in broker.advertisement_snapshot() {
+            let slot = entries.entry((group, owner, doc_type)).or_default();
+            slot.0.insert(broker.id());
+            slot.1.insert(xml);
+        }
+    }
+    for ((group, owner, _doc_type), (holders, xmls)) in &entries {
+        let expected: BTreeSet<PeerId> =
+            first.shard_replicas(group, owner).into_iter().collect();
+        if xmls.len() != 1 || *holders != expected {
+            return false;
+        }
+    }
+
+    // Membership entries: replica set plus (possibly) the member's home.
+    let mut membership: BTreeMap<(GroupId, PeerId), BTreeSet<PeerId>> = BTreeMap::new();
+    for broker in brokers {
+        for (group, members) in broker.groups().snapshot() {
+            for member in members {
+                membership
+                    .entry((group.clone(), member))
+                    .or_default()
+                    .insert(broker.id());
+            }
+        }
+    }
+    for ((group, member), holders) in &membership {
+        let mut expected: BTreeSet<PeerId> =
+            first.shard_replicas(group, member).into_iter().collect();
+        if let Some(home) = homes.get(member) {
+            expected.insert(*home);
+        }
+        if *holders != expected {
+            return false;
+        }
+    }
+    true
 }
 
 /// A running federation: a full mesh of spawned brokers.
@@ -102,11 +199,40 @@ impl BrokerNetwork {
         self.handles.iter().map(|h| h.id()).collect()
     }
 
-    /// Returns `true` when all brokers hold identical replicated state.
+    /// Returns `true` when all brokers hold the replicated state they are
+    /// responsible for **and** the backbone is quiescent (every broker has
+    /// processed everything delivered to it, and nothing new arrived while
+    /// we looked).
+    ///
+    /// The quiescence guard matters for sharded federations: a publish whose
+    /// origin broker is not one of the entry's replicas exists *nowhere*
+    /// while its gossip is in flight, so a pure state comparison could
+    /// declare convergence a moment before the entry appears.  Comparing the
+    /// monotone delivered/processed counters before and after the state
+    /// check closes that window.
     pub fn converged(&self) -> bool {
         let brokers: Vec<Arc<Broker>> =
             self.handles.iter().map(|h| Arc::clone(h.broker())).collect();
-        converged(&brokers)
+        let delivered_before: Vec<u64> = brokers
+            .iter()
+            .map(|b| b.network().delivered_to(&b.id()))
+            .collect();
+        if brokers
+            .iter()
+            .zip(&delivered_before)
+            .any(|(b, delivered)| b.processed_count() != *delivered)
+        {
+            return false; // messages still queued or being applied
+        }
+        if !converged(&brokers) {
+            return false;
+        }
+        // No new deliveries during the state check: what we compared is the
+        // settled state, not a snapshot straddling in-flight gossip.
+        brokers
+            .iter()
+            .zip(&delivered_before)
+            .all(|(b, delivered)| b.network().delivered_to(&b.id()) == *delivered)
     }
 
     /// Polls until the brokers converge or the timeout expires.  Returns
@@ -171,7 +297,27 @@ impl InlineFederation {
     /// empty (processing a message may enqueue new ones, e.g. a relay hop).
     /// Returns the number of messages processed.  Delivery order is fully
     /// deterministic, which the replication proptests rely on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`DEFAULT_PUMP_BUDGET`] messages do not drain the queues —
+    /// the backbone is livelocked (see [`InlineFederation::try_pump`] for
+    /// the non-panicking form).  A healthy federation converges within a
+    /// small multiple of the events applied, so the budget is never reached
+    /// in legitimate workloads.
     pub fn pump(&self) -> usize {
+        match self.try_pump(DEFAULT_PUMP_BUDGET) {
+            Ok(processed) => processed,
+            Err(stalled) => panic!("{stalled}"),
+        }
+    }
+
+    /// Like [`InlineFederation::pump`], but gives up with [`PumpStalled`]
+    /// once `budget` messages have been processed without the queues
+    /// draining, instead of spinning forever when the backbone produces
+    /// traffic at least as fast as it consumes it (e.g. an adversary that
+    /// re-injects a message for every delivery).
+    pub fn try_pump(&self, budget: usize) -> Result<usize, PumpStalled> {
         let mut processed = 0;
         loop {
             let mut progressed = false;
@@ -180,12 +326,70 @@ impl InlineFederation {
                     broker.process_net(net_message);
                     processed += 1;
                     progressed = true;
+                    if processed >= budget {
+                        // Spending the whole budget is a stall only if work
+                        // remains: a workload of exactly `budget` messages
+                        // that drains the queues is a success, not a
+                        // livelock.
+                        return if self.inboxes.iter().all(|i| i.is_empty()) {
+                            Ok(processed)
+                        } else {
+                            Err(PumpStalled { processed })
+                        };
+                    }
                 }
             }
             if !progressed {
-                return processed;
+                return Ok(processed);
             }
         }
+    }
+
+    /// Admits a new broker into the running federation: full-mesh
+    /// interconnection, ring membership on every broker, and a re-shard so
+    /// the entries the newcomer now owns migrate onto it.  The migration is
+    /// pumped to quiescence before returning.
+    pub fn add_broker(&mut self, broker: Arc<Broker>) {
+        let inbox = broker.network().register(broker.id());
+        for existing in &self.brokers {
+            existing.add_peer_broker(broker.id());
+            broker.add_peer_broker(existing.id());
+        }
+        self.brokers.push(broker);
+        self.inboxes.push(inbox);
+        for broker in &self.brokers {
+            broker.reshard();
+        }
+        self.pump();
+    }
+
+    /// Removes the `index`-th broker from the federation: its local sessions
+    /// are dropped (their clients lose their home, exactly as a broker crash
+    /// would), every survivor forgets it and re-shards, and the migration is
+    /// pumped to quiescence.  Returns the removed broker.
+    pub fn remove_broker(&mut self, index: usize) -> Arc<Broker> {
+        let removed = self.brokers.remove(index);
+        self.inboxes.remove(index);
+        let local_peers: Vec<PeerId> = removed
+            .routing_snapshot()
+            .into_iter()
+            .filter(|(_, home)| *home == removed.id())
+            .map(|(peer, _)| peer)
+            .collect();
+        for peer in &local_peers {
+            removed.drop_session(peer);
+        }
+        // Let the departure gossip drain while the leaver is still a peer.
+        self.pump();
+        removed.network().unregister(&removed.id());
+        for survivor in &self.brokers {
+            survivor.remove_peer_broker(&removed.id());
+        }
+        for survivor in &self.brokers {
+            survivor.reshard();
+        }
+        self.pump();
+        removed
     }
 
     /// Returns `true` when all brokers hold identical replicated state.
@@ -213,15 +417,57 @@ mod tests {
             .map(|i| {
                 Broker::new(
                     PeerId::random(&mut rng),
-                    BrokerConfig {
-                        name: format!("broker-{}", i + 1),
-                    },
+                    BrokerConfig::named(format!("broker-{}", i + 1)),
                     Arc::clone(&network),
                     Arc::clone(&database),
                 )
             })
             .collect();
         (network, database, brokers)
+    }
+
+    fn make_sharded_brokers(
+        n: usize,
+        k: usize,
+        seed: u64,
+    ) -> (Arc<SimNetwork>, Arc<UserDatabase>, Vec<Arc<Broker>>) {
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        let network = SimNetwork::new(LinkModel::ideal());
+        let database = Arc::new(UserDatabase::new());
+        database.register_user(&mut rng, "alice", "pw-a", &[GroupId::new("math")]);
+        database.register_user(&mut rng, "bob", "pw-b", &[GroupId::new("math")]);
+        let brokers = (0..n)
+            .map(|i| {
+                Broker::new(
+                    PeerId::random(&mut rng),
+                    BrokerConfig::sharded(format!("broker-{}", i + 1), k),
+                    Arc::clone(&network),
+                    Arc::clone(&database),
+                )
+            })
+            .collect();
+        (network, database, brokers)
+    }
+
+    /// Publishes `count` advertisements with distinct owners from `broker`.
+    fn publish_batch(
+        federation: &InlineFederation,
+        broker: usize,
+        count: usize,
+        rng: &mut HmacDrbg,
+    ) -> Vec<PeerId> {
+        (0..count)
+            .map(|i| {
+                let owner = PeerId::random(rng);
+                federation.broker(broker).index_and_distribute(
+                    owner,
+                    &GroupId::new("math"),
+                    "jxta:PipeAdvertisement",
+                    &format!("<adv n=\"{i}\"/>"),
+                );
+                owner
+            })
+            .collect()
     }
 
     #[test]
@@ -448,6 +694,420 @@ mod tests {
         assert_eq!(federation.broker(0).peer_brokers(), Vec::new());
         federation.shutdown();
     }
+
+    #[test]
+    fn sharded_state_and_gossip_scale_with_k_not_n() {
+        // The acceptance criterion of the sharding work: with K=2 replicas
+        // and N=4 brokers, per-broker index size and per-publish backbone
+        // message count are O(K), not O(N).
+        const N: usize = 4;
+        const K: usize = 2;
+        const PUBLISHES: usize = 40;
+
+        // Fully replicated baseline.
+        let (_n0, _d0, full) = make_brokers(N, 0xA0);
+        let full_federation = InlineFederation::new(full);
+        let mut rng = HmacDrbg::from_seed_u64(0xA1);
+        publish_batch(&full_federation, 0, PUBLISHES, &mut rng);
+        full_federation.pump();
+        assert!(full_federation.converged());
+        let full_syncs = full_federation.broker(0).federation_stats().syncs_sent;
+        for i in 0..N {
+            assert_eq!(
+                full_federation.broker(i).advertisement_entry_count(),
+                PUBLISHES,
+                "full replication stores every entry everywhere"
+            );
+        }
+        assert_eq!(full_syncs, (PUBLISHES * (N - 1)) as u64);
+
+        // Sharded federation, same workload (same owner sequence).
+        let (_n1, _d1, sharded) = make_sharded_brokers(N, K, 0xA0);
+        let sharded_federation = InlineFederation::new(sharded);
+        let mut rng = HmacDrbg::from_seed_u64(0xA1);
+        publish_batch(&sharded_federation, 0, PUBLISHES, &mut rng);
+        sharded_federation.pump();
+        assert!(sharded_federation.converged(), "sharded convergence");
+
+        let total: usize = (0..N)
+            .map(|i| sharded_federation.broker(i).advertisement_entry_count())
+            .sum();
+        assert_eq!(total, PUBLISHES * K, "each entry lives on exactly K replicas");
+        for i in 0..N {
+            let held = sharded_federation.broker(i).advertisement_entry_count();
+            assert!(
+                held < PUBLISHES,
+                "broker {i} must hold a shard, not the whole index ({held}/{PUBLISHES})"
+            );
+        }
+        let sharded_syncs = sharded_federation.broker(0).federation_stats().syncs_sent;
+        assert!(
+            sharded_syncs <= (PUBLISHES * K) as u64,
+            "per-publish gossip is O(K): {sharded_syncs} > {}",
+            PUBLISHES * K
+        );
+        assert!(sharded_syncs < full_syncs, "sharding cuts backbone traffic");
+    }
+
+    /// Sends `message` from a registered client endpoint into `broker` and
+    /// pumps until the client's inbox yields a `LookupResponse`.
+    fn query_via_network(
+        federation: &InlineFederation,
+        rx: &Receiver<NetMessage>,
+        client: PeerId,
+        broker: usize,
+        message: crate::message::Message,
+    ) -> crate::message::Message {
+        federation
+            .broker(broker)
+            .network()
+            .send(client, federation.broker(broker).id(), message.to_bytes())
+            .unwrap();
+        federation.pump();
+        while let Ok(delivered) = rx.try_recv() {
+            if let Ok(parsed) = crate::message::Message::from_bytes(&delivered.payload) {
+                if parsed.kind == crate::message::MessageKind::LookupResponse {
+                    return parsed;
+                }
+            }
+        }
+        panic!("no LookupResponse arrived at the client");
+    }
+
+    #[test]
+    fn sharded_lookup_routes_to_an_owning_replica() {
+        use crate::message::{Message, MessageKind};
+        let (net, _db, brokers) = make_sharded_brokers(4, 2, 0xB0);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xB1);
+        let group = GroupId::new("math");
+
+        // A client logged in at broker 0 (so lookups are authorised there).
+        let client = PeerId::random(&mut rng);
+        let rx = net.register(client);
+        federation.broker(0).establish_session(client, "alice");
+        federation.pump();
+
+        // An owner whose shard does NOT include broker 0 and one whose does.
+        let b0 = federation.broker(0).id();
+        let remote_owner = loop {
+            let owner = PeerId::random(&mut rng);
+            if !federation.broker(0).shard_replicas(&group, &owner).contains(&b0) {
+                break owner;
+            }
+        };
+        let local_owner = loop {
+            let owner = PeerId::random(&mut rng);
+            if federation.broker(0).shard_replicas(&group, &owner).contains(&b0) {
+                break owner;
+            }
+        };
+        federation.broker(1).index_and_distribute(
+            remote_owner,
+            &group,
+            "jxta:PipeAdvertisement",
+            "<remote/>",
+        );
+        federation.broker(1).index_and_distribute(
+            local_owner,
+            &group,
+            "jxta:PipeAdvertisement",
+            "<local/>",
+        );
+        federation.pump();
+        assert!(federation.converged());
+        assert!(
+            federation
+                .broker(0)
+                .lookup(&group, "jxta:PipeAdvertisement", Some(remote_owner))
+                .is_empty(),
+            "broker 0 must not hold the remote owner's entry"
+        );
+
+        // Remote key: broker 0 routes the query to an owning replica and
+        // still answers the client correctly.
+        let lookup = Message::new(MessageKind::LookupRequest, client, 71)
+            .with_str("group", "math")
+            .with_str("doc-type", "jxta:PipeAdvertisement")
+            .with_str("owner", &remote_owner.to_urn());
+        let response = query_via_network(&federation, &rx, client, 0, lookup);
+        assert_eq!(response.request_id, 71);
+        assert_eq!(response.element_str("count").unwrap(), "1");
+        assert_eq!(response.element_str("adv-0").unwrap(), "<remote/>");
+        assert_eq!(federation.broker(0).federation_stats().shard_misses, 1);
+
+        // Local key: answered from broker 0's own shard.
+        let lookup = Message::new(MessageKind::LookupRequest, client, 72)
+            .with_str("group", "math")
+            .with_str("doc-type", "jxta:PipeAdvertisement")
+            .with_str("owner", &local_owner.to_urn());
+        let response = query_via_network(&federation, &rx, client, 0, lookup);
+        assert_eq!(response.element_str("adv-0").unwrap(), "<local/>");
+        assert_eq!(federation.broker(0).federation_stats().shard_hits, 1);
+
+        // Group-wide search: scatter-gather merges both shards.
+        let lookup = Message::new(MessageKind::LookupRequest, client, 73)
+            .with_str("group", "math")
+            .with_str("doc-type", "jxta:PipeAdvertisement");
+        let response = query_via_network(&federation, &rx, client, 0, lookup);
+        assert_eq!(response.element_str("count").unwrap(), "2");
+    }
+
+    #[test]
+    fn sharded_membership_query_routes_across_shards() {
+        use crate::message::{Message, MessageKind};
+        let (net, _db, brokers) = make_sharded_brokers(4, 2, 0xB4);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xB5);
+
+        let client = PeerId::random(&mut rng);
+        let rx = net.register(client);
+        federation.broker(0).establish_session(client, "alice");
+        // Bob logs in at broker 3; his membership is sharded.
+        let bob = PeerId::random(&mut rng);
+        federation.broker(3).establish_session(bob, "bob");
+        federation.pump();
+        assert!(federation.converged());
+
+        let query = Message::new(MessageKind::LookupRequest, client, 80)
+            .with_str("group", "math")
+            .with_str("member", &bob.to_urn());
+        let response = query_via_network(&federation, &rx, client, 0, query);
+        assert_eq!(response.element_str("member").unwrap(), "true");
+
+        // A stranger is not a member anywhere.
+        let stranger = PeerId::random(&mut rng);
+        let query = Message::new(MessageKind::LookupRequest, client, 81)
+            .with_str("group", "math")
+            .with_str("member", &stranger.to_urn());
+        let response = query_via_network(&federation, &rx, client, 0, query);
+        assert_eq!(response.element_str("member").unwrap(), "false");
+    }
+
+    #[test]
+    fn shard_query_from_unknown_origin_is_rejected() {
+        use crate::message::{Message, MessageKind};
+        let (net, _db, brokers) = make_sharded_brokers(2, 2, 0xB8);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xB9);
+        let rogue = PeerId::random(&mut rng);
+        let rogue_rx = net.register(rogue);
+
+        let query = Message::new(MessageKind::ShardQuery, rogue, 0)
+            .with_str("seq", "1")
+            .with_str("query", "1")
+            .with_str("group", "math")
+            .with_str("doc-type", "jxta:PipeAdvertisement");
+        net.send(rogue, federation.broker(0).id(), query.to_bytes())
+            .unwrap();
+        federation.pump();
+        assert_eq!(
+            federation.broker(0).federation_stats().rejected_unknown_origin,
+            1
+        );
+        assert!(
+            rogue_rx.try_recv().is_err(),
+            "no shard data flows to an unadmitted origin"
+        );
+    }
+
+    #[test]
+    fn broker_join_and_leave_migrate_entries_on_the_ring() {
+        let (net, db, brokers) = make_sharded_brokers(3, 2, 0xC0);
+        let mut federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xC1);
+        let alice = PeerId::random(&mut rng);
+        federation.broker(0).establish_session(alice, "alice");
+        let owners = publish_batch(&federation, 0, 30, &mut rng);
+        federation.pump();
+        assert!(federation.converged());
+
+        // A fourth broker joins the backbone: the ring re-routes a share of
+        // the entries onto it, and nothing is lost.
+        let newcomer = Broker::new(
+            PeerId::random(&mut rng),
+            BrokerConfig::sharded("broker-4", 2),
+            Arc::clone(&net),
+            Arc::clone(&db),
+        );
+        federation.add_broker(Arc::clone(&newcomer));
+        assert!(federation.converged(), "converged after broker join");
+        assert!(
+            newcomer.advertisement_entry_count() > 0,
+            "the newcomer received its shard"
+        );
+        let migrated: u64 = (0..federation.len())
+            .map(|i| federation.broker(i).federation_stats().entries_migrated)
+            .sum();
+        assert!(migrated > 0, "entries moved off their old replicas");
+        let total: usize = (0..federation.len())
+            .map(|i| federation.broker(i).advertisement_entry_count())
+            .sum();
+        assert_eq!(total, owners.len() * 2, "still exactly K copies of each entry");
+
+        // A broker leaves: survivors re-replicate its shard among themselves.
+        federation.remove_broker(1);
+        assert!(federation.converged(), "converged after broker leave");
+        let total: usize = (0..federation.len())
+            .map(|i| federation.broker(i).advertisement_entry_count())
+            .sum();
+        assert_eq!(total, owners.len() * 2, "no entry lost on departure");
+        // Alice's session (homed at broker 0) survived the churn.
+        assert!(federation.broker(0).session(&alice).is_some());
+    }
+
+    #[test]
+    fn migration_gossip_is_coalesced_into_digests() {
+        // Re-sharding moves many entries, but ships them as one BrokerSync
+        // digest per destination — the backbone message count is O(brokers),
+        // not O(entries).  This is the satellite fix for the one-message-per-
+        // event gossip of PR 2.
+        let (net, db, brokers) = make_sharded_brokers(3, 2, 0xC4);
+        let mut federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xC5);
+        publish_batch(&federation, 0, 40, &mut rng);
+        federation.pump();
+
+        let syncs_before: u64 = (0..3)
+            .map(|i| federation.broker(i).federation_stats().syncs_sent)
+            .sum();
+        let newcomer = Broker::new(
+            PeerId::random(&mut rng),
+            BrokerConfig::sharded("broker-4", 2),
+            Arc::clone(&net),
+            Arc::clone(&db),
+        );
+        federation.add_broker(newcomer);
+        assert!(federation.converged());
+
+        let migrated: u64 = (0..federation.len())
+            .map(|i| federation.broker(i).federation_stats().entries_migrated)
+            .sum();
+        let syncs_after: u64 = (0..federation.len())
+            .map(|i| federation.broker(i).federation_stats().syncs_sent)
+            .sum();
+        let messages = syncs_after - syncs_before;
+        assert!(migrated > 3, "enough churn to make batching observable");
+        assert!(
+            messages <= (federation.len() * federation.len()) as u64,
+            "migration must coalesce: {messages} messages for {migrated} migrated entries"
+        );
+        assert!(
+            messages < migrated,
+            "fewer backbone messages than migrated entries ({messages} vs {migrated})"
+        );
+    }
+
+    #[test]
+    fn try_pump_budget_spent_on_a_draining_workload_is_not_a_stall() {
+        // A workload of exactly `budget` messages that leaves the queues
+        // empty is a success, not a livelock.
+        let (_net, _db, brokers) = make_brokers(2, 0xCB);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xCC);
+        let alice = PeerId::random(&mut rng);
+        federation.broker(0).establish_session(alice, "alice");
+        // The join gossips exactly one digest to broker 1.
+        assert_eq!(federation.try_pump(1), Ok(1));
+        assert!(federation.converged());
+    }
+
+    #[test]
+    fn crashed_broker_removal_clears_its_clients_membership() {
+        // A broker that crashes never gossips its clients' leaves; removing
+        // it from the backbone must still clear their replicated group
+        // membership on the survivors, or they stay ghost members forever.
+        let (_net, _db, brokers) = make_sharded_brokers(3, 2, 0xCD);
+        let mut federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xCE);
+        let alice = PeerId::random(&mut rng);
+        federation.broker(2).establish_session(alice, "alice");
+        federation.pump();
+
+        // Simulate a crash: survivors drop the broker without it having
+        // gossiped anything (bypassing remove_broker's graceful
+        // drop_session path).
+        let dead = federation.broker(2).id();
+        federation.broker(2).network().unregister(&dead);
+        for i in 0..2 {
+            federation.broker(i).remove_peer_broker(&dead);
+        }
+        for i in 0..2 {
+            assert!(
+                federation.broker(i).home_of(&alice).is_none(),
+                "broker {i} must drop the crashed broker's routes"
+            );
+            assert!(
+                !federation.broker(i).groups().is_member(&GroupId::new("math"), &alice),
+                "broker {i} must not keep ghost membership"
+            );
+        }
+        // Re-sharding afterwards does not resurrect the ghost.
+        for i in 0..2 {
+            federation.broker(i).reshard();
+        }
+        let remaining: Vec<Arc<Broker>> =
+            (0..2).map(|i| Arc::clone(federation.broker(i))).collect();
+        federation.brokers.truncate(2);
+        federation.inboxes.truncate(2);
+        federation.pump();
+        for broker in &remaining {
+            assert!(!broker.groups().is_member(&GroupId::new("math"), &alice));
+        }
+    }
+
+    #[test]
+    fn try_pump_detects_a_livelocked_backbone() {
+        use crate::net::{Adversary, NetMessage as RawNetMessage};
+        // An adversary that answers every message broker 0 *sends* (its
+        // replies) by injecting a fresh request back into broker 0: each
+        // processed message begets another, so without a budget pump() would
+        // spin forever.
+        struct Feedback {
+            target: PeerId,
+            source: PeerId,
+        }
+        impl Adversary for Feedback {
+            fn inject(&self, message: &RawNetMessage) -> Vec<RawNetMessage> {
+                if message.from != self.target {
+                    return Vec::new();
+                }
+                let ping = crate::message::Message::new(
+                    crate::message::MessageKind::ConnectRequest,
+                    self.source,
+                    0,
+                );
+                vec![RawNetMessage {
+                    from: self.source,
+                    to: self.target,
+                    payload: ping.to_bytes(),
+                    wire_time: Duration::ZERO,
+                }]
+            }
+        }
+
+        let (net, _db, brokers) = make_brokers(2, 0xC8);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xC9);
+        let source = PeerId::random(&mut rng);
+        let _source_rx = net.register(source);
+        net.set_adversary(Arc::new(Feedback {
+            target: federation.broker(0).id(),
+            source,
+        }));
+
+        // Seed the feedback loop with one message.
+        let ping =
+            crate::message::Message::new(crate::message::MessageKind::ConnectRequest, source, 0);
+        net.send(source, federation.broker(0).id(), ping.to_bytes())
+            .unwrap();
+
+        let result = federation.try_pump(500);
+        assert_eq!(result, Err(PumpStalled { processed: 500 }));
+        net.clear_adversary();
+        // With the adversary gone the backbone drains normally again.
+        assert!(federation.try_pump(DEFAULT_PUMP_BUDGET).is_ok());
+    }
 }
 
 #[cfg(test)]
@@ -489,9 +1149,7 @@ mod proptests {
             .map(|i| {
                 Broker::new(
                     PeerId::random(&mut rng),
-                    BrokerConfig {
-                        name: format!("broker-{}", i + 1),
-                    },
+                    BrokerConfig::named(format!("broker-{}", i + 1)),
                     Arc::clone(&network),
                     Arc::clone(&database),
                 )
@@ -593,3 +1251,243 @@ mod proptests {
     }
 }
 
+
+#[cfg(test)]
+mod shard_proptests {
+    //! The sharded federation must be *observationally equivalent* to a
+    //! fully replicated one: over random join/leave/publish/re-shard
+    //! sequences, every advertisement search, pipe resolution and membership
+    //! query routed through an arbitrary broker answers exactly what a
+    //! fully-replicated oracle (here: a plain map applying the same ops)
+    //! would answer.  Queries travel the real client→broker→shard-replica
+    //! message path, so the `ShardQuery`/`ShardResponse` routing itself is
+    //! under test, not just the storage partitioning.
+
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use crate::database::UserDatabase;
+    use crate::message::{Message, MessageKind};
+    use crate::net::{LinkModel, SimNetwork};
+    use jxta_crypto::drbg::HmacDrbg;
+    use proptest::prelude::*;
+    use std::collections::HashMap;
+
+    const USERS: usize = 5;
+    const GROUP_NAMES: [&str; 3] = ["math", "chem", "bio"];
+    const BASE_BROKERS: usize = 4;
+    const K: usize = 2;
+    const DOC_TYPE: &str = "jxta:PipeAdvertisement";
+
+    /// Deterministic group subset of each user (same shape as the PR 2
+    /// replication proptests).
+    fn user_groups(user: usize) -> Vec<GroupId> {
+        GROUP_NAMES
+            .iter()
+            .enumerate()
+            .filter(|(g, _)| (user + g).is_multiple_of(2))
+            .map(|(_, name)| GroupId::new(*name))
+            .collect()
+    }
+
+    struct World {
+        federation: InlineFederation,
+        peers: Vec<PeerId>,
+        querier: PeerId,
+        querier_rx: Receiver<NetMessage>,
+        /// Fresh brokers waiting to be admitted by a re-shard op (a removed
+        /// broker is never re-admitted: its state is gone, like a real
+        /// machine that was decommissioned).
+        standby: Vec<Arc<Broker>>,
+        standby_active: bool,
+    }
+
+    fn build_world() -> World {
+        let mut rng = HmacDrbg::from_seed_u64(0x5AD0);
+        let network = SimNetwork::new(LinkModel::ideal());
+        let database = Arc::new(UserDatabase::new());
+        for user in 0..USERS {
+            database.register_user(&mut rng, &format!("user-{user}"), "pw", &user_groups(user));
+        }
+        let all_groups: Vec<GroupId> = GROUP_NAMES.iter().map(|g| GroupId::new(*g)).collect();
+        database.register_user(&mut rng, "querier", "pw", &all_groups);
+
+        let brokers: Vec<Arc<Broker>> = (0..BASE_BROKERS)
+            .map(|i| {
+                Broker::new(
+                    PeerId::random(&mut rng),
+                    BrokerConfig::sharded(format!("broker-{}", i + 1), K),
+                    Arc::clone(&network),
+                    Arc::clone(&database),
+                )
+            })
+            .collect();
+        let standby = (0..8)
+            .map(|i| {
+                Broker::new(
+                    PeerId::random(&mut rng),
+                    BrokerConfig::sharded(format!("standby-{i}"), K),
+                    Arc::clone(&network),
+                    Arc::clone(&database),
+                )
+            })
+            .collect();
+        let federation = InlineFederation::new(brokers);
+
+        let peers = (0..USERS).map(|_| PeerId::random(&mut rng)).collect();
+        let querier = PeerId::random(&mut rng);
+        let querier_rx = network.register(querier);
+        federation.broker(0).establish_session(querier, "querier");
+        federation.pump();
+
+        World {
+            federation,
+            peers,
+            querier,
+            querier_rx,
+            standby,
+            standby_active: false,
+        }
+    }
+
+    /// Routes `message` through broker 0 and returns the matching response.
+    fn query(world: &World, message: Message) -> Message {
+        let request_id = message.request_id;
+        world
+            .federation
+            .broker(0)
+            .network()
+            .send(world.querier, world.federation.broker(0).id(), message.to_bytes())
+            .unwrap();
+        world.federation.pump();
+        while let Ok(delivered) = world.querier_rx.try_recv() {
+            if let Ok(parsed) = Message::from_bytes(&delivered.payload) {
+                if parsed.kind == MessageKind::LookupResponse && parsed.request_id == request_id {
+                    return parsed;
+                }
+            }
+        }
+        panic!("no LookupResponse for request {request_id}");
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        #[test]
+        fn sharded_queries_match_a_fully_replicated_oracle(
+            ops in proptest::collection::vec(
+                (any::<u8>(), 0usize..USERS, 0usize..8, 0usize..GROUP_NAMES.len()),
+                0..30,
+            ),
+        ) {
+            let mut world = build_world();
+            // The oracle: what a fully replicated index would hold.
+            let mut oracle_ads: HashMap<(usize, usize), String> = HashMap::new();
+            let mut oracle_joined: HashMap<usize, PeerId> = HashMap::new();
+
+            for (n, &(selector, user, broker_sel, group_sel)) in ops.iter().enumerate() {
+                match selector % 4 {
+                    0 => {
+                        if let std::collections::hash_map::Entry::Vacant(slot) =
+                            oracle_joined.entry(user)
+                        {
+                            let b = broker_sel % world.federation.len();
+                            world
+                                .federation
+                                .broker(b)
+                                .establish_session(world.peers[user], &format!("user-{user}"));
+                            slot.insert(world.federation.broker(b).id());
+                            world.federation.pump();
+                        }
+                    }
+                    1 => {
+                        if let Some(home) = oracle_joined.remove(&user) {
+                            let idx = (0..world.federation.len())
+                                .find(|i| world.federation.broker(*i).id() == home)
+                                .expect("home broker still deployed");
+                            world.federation.broker(idx).drop_session(&world.peers[user]);
+                            world.federation.pump();
+                        }
+                    }
+                    2 => {
+                        let g = group_sel % GROUP_NAMES.len();
+                        let b = broker_sel % world.federation.len();
+                        let xml = format!("<adv user=\"{user}\" g=\"{g}\" n=\"{n}\"/>");
+                        world.federation.broker(b).index_and_distribute(
+                            world.peers[user],
+                            &GroupId::new(GROUP_NAMES[g]),
+                            DOC_TYPE,
+                            &xml,
+                        );
+                        oracle_ads.insert((g, user), xml);
+                        world.federation.pump();
+                    }
+                    _ => {
+                        // Re-shard: backbone membership change.
+                        if world.standby_active {
+                            let removed =
+                                world.federation.remove_broker(world.federation.len() - 1);
+                            oracle_joined.retain(|_, home| *home != removed.id());
+                            world.standby_active = false;
+                        } else if let Some(fresh) = world.standby.pop() {
+                            world.federation.add_broker(fresh);
+                            world.standby_active = true;
+                        }
+                    }
+                }
+            }
+            world.federation.pump();
+            prop_assert!(world.federation.converged(), "sharded convergence after ops");
+
+            // Every query the oracle can answer, asked through broker 0 over
+            // the real routing path.
+            let mut request_id = 10_000u64;
+            for (g, group_name) in GROUP_NAMES.iter().enumerate() {
+                let group = GroupId::new(*group_name);
+                for user in 0..USERS {
+                    // search / resolve_pipe (owner-keyed lookup).
+                    request_id += 1;
+                    let lookup = Message::new(MessageKind::LookupRequest, world.querier, request_id)
+                        .with_str("group", group.as_str())
+                        .with_str("doc-type", DOC_TYPE)
+                        .with_str("owner", &world.peers[user].to_urn());
+                    let response = query(&world, lookup);
+                    let count = response.element_str("count");
+                    let first_adv = response.element_str("adv-0");
+                    match oracle_ads.get(&(g, user)) {
+                        Some(xml) => {
+                            prop_assert_eq!(count.as_deref(), Some("1"));
+                            prop_assert_eq!(first_adv.as_deref(), Some(xml.as_str()));
+                        }
+                        None => {
+                            prop_assert_eq!(count.as_deref(), Some("0"));
+                        }
+                    }
+                    // membership query.
+                    request_id += 1;
+                    let probe = Message::new(MessageKind::LookupRequest, world.querier, request_id)
+                        .with_str("group", group.as_str())
+                        .with_str("member", &world.peers[user].to_urn());
+                    let response = query(&world, probe);
+                    let expected = oracle_joined.contains_key(&user)
+                        && user_groups(user).contains(&group);
+                    let member = response.element_str("member");
+                    prop_assert_eq!(
+                        member.as_deref(),
+                        Some(if expected { "true" } else { "false" }),
+                        "membership of user {} in {}", user, group
+                    );
+                }
+                // Group-wide search (scatter-gather) matches the oracle too.
+                request_id += 1;
+                let sweep = Message::new(MessageKind::LookupRequest, world.querier, request_id)
+                    .with_str("group", group.as_str())
+                    .with_str("doc-type", DOC_TYPE);
+                let response = query(&world, sweep);
+                let expected: usize = (0..USERS).filter(|u| oracle_ads.contains_key(&(g, *u))).count();
+                let count = response.element_str("count");
+                let expected = expected.to_string();
+                prop_assert_eq!(count.as_deref(), Some(expected.as_str()));
+            }
+        }
+    }
+}

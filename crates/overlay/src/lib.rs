@@ -31,6 +31,10 @@
 //! * [`federation`] — the broker backbone: full-mesh interconnection,
 //!   gossip-based replication of the index/membership/routing state, and
 //!   cross-broker relaying of client payloads.
+//! * [`shard`] — the consistent-hash ring that partitions the advertisement
+//!   index and group membership across K replica brokers instead of fully
+//!   replicating them (the peer→home-broker routing table stays fully
+//!   replicated: it is small and hot).
 //! * [`metrics`] — CPU/wire time accounting used by the benchmark harness,
 //!   plus the federation activity counters.
 //!
@@ -53,6 +57,7 @@ pub mod id;
 pub mod message;
 pub mod metrics;
 pub mod net;
+pub mod shard;
 
 pub use broker::{Broker, BrokerConfig, BrokerHandle};
 pub use federation::BrokerNetwork;

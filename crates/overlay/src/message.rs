@@ -54,6 +54,11 @@ pub enum MessageKind {
     BrokerSync = 40,
     /// Broker ↔ broker: a relayed client payload crossing the backbone.
     BrokerRelay = 41,
+    /// Broker ↔ broker: a lookup (advertisement search / pipe resolution /
+    /// group-membership query) routed to a shard replica of the queried key.
+    ShardQuery = 42,
+    /// Broker ↔ broker: a shard replica's answer to a [`MessageKind::ShardQuery`].
+    ShardResponse = 43,
 }
 
 impl MessageKind {
@@ -79,6 +84,8 @@ impl MessageKind {
             30 => Ack,
             40 => BrokerSync,
             41 => BrokerRelay,
+            42 => ShardQuery,
+            43 => ShardResponse,
             _ => return None,
         })
     }
@@ -279,6 +286,8 @@ mod tests {
             MessageKind::Ack,
             MessageKind::BrokerSync,
             MessageKind::BrokerRelay,
+            MessageKind::ShardQuery,
+            MessageKind::ShardResponse,
         ] {
             assert_eq!(MessageKind::from_u8(kind as u8), Some(kind));
         }

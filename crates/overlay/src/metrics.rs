@@ -160,6 +160,14 @@ pub struct FederationStats {
     /// Inter-broker messages rejected because their per-origin sequence
     /// number was stale (replay or out-of-order re-injection).
     pub rejected_replayed: u64,
+    /// Lookups answered from this broker's own shard of the index.
+    pub shard_hits: u64,
+    /// Lookups routed to a remote shard replica (one per routed query,
+    /// scatter-gather counts once).
+    pub shard_misses: u64,
+    /// Index/membership entries migrated off this broker when the shard ring
+    /// membership changed.
+    pub entries_migrated: u64,
 }
 
 /// Thread-safe counters describing a broker's participation in the
@@ -174,6 +182,9 @@ pub struct FederationMetrics {
     relays_failed: AtomicU64,
     rejected_unknown_origin: AtomicU64,
     rejected_replayed: AtomicU64,
+    shard_hits: AtomicU64,
+    shard_misses: AtomicU64,
+    entries_migrated: AtomicU64,
 }
 
 impl FederationMetrics {
@@ -217,6 +228,21 @@ impl FederationMetrics {
         self.rejected_replayed.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records a lookup answered from the local shard.
+    pub fn count_shard_hit(&self) {
+        self.shard_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a lookup routed to a remote shard replica.
+    pub fn count_shard_miss(&self) {
+        self.shard_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` entries migrated off this broker during re-sharding.
+    pub fn count_entries_migrated(&self, n: u64) {
+        self.entries_migrated.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Consistent snapshot of the counters.
     pub fn snapshot(&self) -> FederationStats {
         FederationStats {
@@ -227,6 +253,9 @@ impl FederationMetrics {
             relays_failed: self.relays_failed.load(Ordering::Relaxed),
             rejected_unknown_origin: self.rejected_unknown_origin.load(Ordering::Relaxed),
             rejected_replayed: self.rejected_replayed.load(Ordering::Relaxed),
+            shard_hits: self.shard_hits.load(Ordering::Relaxed),
+            shard_misses: self.shard_misses.load(Ordering::Relaxed),
+            entries_migrated: self.entries_migrated.load(Ordering::Relaxed),
         }
     }
 }
@@ -293,6 +322,10 @@ mod tests {
         metrics.count_relay_failed();
         metrics.count_rejected_unknown_origin();
         metrics.count_rejected_replayed();
+        metrics.count_shard_hit();
+        metrics.count_shard_miss();
+        metrics.count_shard_miss();
+        metrics.count_entries_migrated(3);
         let stats = metrics.snapshot();
         assert_eq!(stats.syncs_sent, 2);
         assert_eq!(stats.syncs_applied, 1);
@@ -301,6 +334,9 @@ mod tests {
         assert_eq!(stats.relays_failed, 1);
         assert_eq!(stats.rejected_unknown_origin, 1);
         assert_eq!(stats.rejected_replayed, 1);
+        assert_eq!(stats.shard_hits, 1);
+        assert_eq!(stats.shard_misses, 2);
+        assert_eq!(stats.entries_migrated, 3);
     }
 
     #[test]

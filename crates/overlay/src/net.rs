@@ -156,6 +156,11 @@ pub struct SimNetwork {
     link_overrides: RwLock<HashMap<(PeerId, PeerId), LinkModel>>,
     adversary: RwLock<Option<Arc<dyn Adversary>>>,
     stats: Mutex<NetStats>,
+    /// Messages successfully enqueued per destination, ever.  Paired with a
+    /// receiver-side processed counter this gives a race-free quiescence
+    /// check (see `BrokerNetwork::converged`): a destination is idle exactly
+    /// when it has processed as many messages as were delivered to it.
+    delivered: Mutex<HashMap<PeerId, u64>>,
 }
 
 impl SimNetwork {
@@ -167,6 +172,7 @@ impl SimNetwork {
             link_overrides: RwLock::new(HashMap::new()),
             adversary: RwLock::new(None),
             stats: Mutex::new(NetStats::default()),
+            delivered: Mutex::new(HashMap::new()),
         })
     }
 
@@ -320,7 +326,14 @@ impl SimNetwork {
             .get(&message.to)
             .ok_or(OverlayError::PeerUnreachable(message.to))?;
         tx.send(message.clone())
-            .map_err(|_| OverlayError::PeerUnreachable(message.to))
+            .map_err(|_| OverlayError::PeerUnreachable(message.to))?;
+        *self.delivered.lock().entry(message.to).or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Total messages ever enqueued for `peer` (monotone).
+    pub fn delivered_to(&self, peer: &PeerId) -> u64 {
+        self.delivered.lock().get(peer).copied().unwrap_or(0)
     }
 }
 

@@ -1,0 +1,324 @@
+//! Consistent-hash shard ring for the broker federation.
+//!
+//! PR 2's federation fully replicates the advertisement index and group
+//! membership to every broker: O(brokers²) gossip fan-out and O(total ads)
+//! state per broker.  Structured overlays scale past that by *partitioning*
+//! state: every entry is owned by a small, deterministic replica set instead
+//! of the whole backbone, and lookups are routed to an owning replica.
+//!
+//! [`ShardRing`] implements the classic consistent-hash ring over broker
+//! identifiers: each broker contributes [`VIRTUAL_NODES`] points on a 64-bit
+//! ring (hashes of its identifier, so the ring is deterministic and seedless
+//! — every broker that knows the same membership computes the same ring),
+//! and an entry keyed by `(group, owner)` is replicated on the first K
+//! distinct brokers encountered walking clockwise from the key's hash.
+//! Virtual nodes keep the load spread even when the backbone is small, and
+//! consistent hashing keeps migration minimal: adding or removing one broker
+//! re-routes only the entries whose replica walk crosses the changed points.
+//!
+//! The hash is FNV-1a (64-bit).  It is not cryptographic and does not need
+//! to be: shard placement is a *routing* decision, and every inter-broker
+//! message that acts on it still passes the federation's admission control.
+
+use crate::group::GroupId;
+use crate::id::PeerId;
+
+/// Ring points contributed by each broker.  16 points keep the per-broker
+/// load within a few percent of even for the backbone sizes the federation
+/// targets, while keeping ring maintenance trivially cheap.
+pub const VIRTUAL_NODES: usize = 16;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// 64-bit FNV-1a over `bytes`, continuing from `state`.
+fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+    for byte in bytes {
+        state ^= u64::from(*byte);
+        state = state.wrapping_mul(FNV_PRIME);
+    }
+    state
+}
+
+/// SplitMix64 finalizer: FNV-1a alone has weak avalanche on short inputs
+/// (consecutive virtual-node indexes land on correlated ring positions,
+/// skewing the load); this scrambles the state into a uniform ring point.
+fn mix(mut state: u64) -> u64 {
+    state = (state ^ (state >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    state = (state ^ (state >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    state ^ (state >> 31)
+}
+
+/// The shard key of an index or membership entry: the ring position of
+/// `(group, owner)`.
+pub fn shard_key(group: &GroupId, owner: &PeerId) -> u64 {
+    let state = fnv1a(FNV_OFFSET, group.as_str().as_bytes());
+    // A separator byte keeps ("ab", x) and ("a", b·x) from colliding.
+    let state = fnv1a(state, &[0xff]);
+    mix(fnv1a(state, owner.as_bytes()))
+}
+
+/// A deterministic consistent-hash ring over the brokers of a federation.
+#[derive(Debug, Clone)]
+pub struct ShardRing {
+    /// Number of replicas per entry (K).
+    replication: usize,
+    /// Sorted ring points: (position, broker).
+    points: Vec<(u64, PeerId)>,
+    /// Sorted distinct members.
+    brokers: Vec<PeerId>,
+}
+
+impl ShardRing {
+    /// Creates an empty ring with replication factor `replication` (K).
+    ///
+    /// A replication factor of zero is clamped to one: an entry always has
+    /// at least one home.
+    pub fn new(replication: usize) -> Self {
+        ShardRing {
+            replication: replication.max(1),
+            points: Vec::new(),
+            brokers: Vec::new(),
+        }
+    }
+
+    /// The replication factor K.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Current ring members, sorted.
+    pub fn brokers(&self) -> &[PeerId] {
+        &self.brokers
+    }
+
+    /// Number of member brokers.
+    pub fn len(&self) -> usize {
+        self.brokers.len()
+    }
+
+    /// Returns `true` when no broker is on the ring.
+    pub fn is_empty(&self) -> bool {
+        self.brokers.is_empty()
+    }
+
+    /// Adds a broker's virtual nodes to the ring (idempotent).
+    pub fn insert(&mut self, broker: PeerId) {
+        if self.brokers.contains(&broker) {
+            return;
+        }
+        self.brokers.push(broker);
+        self.brokers.sort();
+        for vnode in 0..VIRTUAL_NODES {
+            let state = fnv1a(FNV_OFFSET, broker.as_bytes());
+            let position = mix(fnv1a(state, &(vnode as u32).to_be_bytes()));
+            self.points.push((position, broker));
+        }
+        self.points.sort();
+    }
+
+    /// Removes a broker and its virtual nodes (idempotent).
+    pub fn remove(&mut self, broker: &PeerId) {
+        self.brokers.retain(|b| b != broker);
+        self.points.retain(|(_, b)| b != broker);
+    }
+
+    /// The replica set of `(group, owner)`: the first `min(K, members)`
+    /// distinct brokers walking clockwise from the key's ring position.
+    /// Deterministic — every broker with the same membership computes the
+    /// identical, identically-ordered set.
+    pub fn replicas(&self, group: &GroupId, owner: &PeerId) -> Vec<PeerId> {
+        self.replicas_for_key(shard_key(group, owner))
+    }
+
+    /// Replica set for a raw ring position (see [`ShardRing::replicas`]).
+    pub fn replicas_for_key(&self, key: u64) -> Vec<PeerId> {
+        let want = self.replication.min(self.brokers.len());
+        let mut replicas = Vec::with_capacity(want);
+        if want == 0 {
+            return replicas;
+        }
+        let start = self.points.partition_point(|(position, _)| *position < key);
+        for i in 0..self.points.len() {
+            let (_, broker) = self.points[(start + i) % self.points.len()];
+            if !replicas.contains(&broker) {
+                replicas.push(broker);
+                if replicas.len() == want {
+                    break;
+                }
+            }
+        }
+        replicas
+    }
+
+    /// Returns `true` if `broker` is one of the replicas of `(group, owner)`.
+    pub fn is_replica(&self, group: &GroupId, owner: &PeerId, broker: &PeerId) -> bool {
+        self.replicas(group, owner).contains(broker)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxta_crypto::drbg::HmacDrbg;
+
+    fn brokers(n: usize) -> Vec<PeerId> {
+        let mut rng = HmacDrbg::from_seed_u64(0x51A2);
+        (0..n).map(|_| PeerId::random(&mut rng)).collect()
+    }
+
+    fn ring_of(members: &[PeerId], k: usize) -> ShardRing {
+        let mut ring = ShardRing::new(k);
+        for b in members {
+            ring.insert(*b);
+        }
+        ring
+    }
+
+    #[test]
+    fn empty_ring_has_no_replicas() {
+        let ring = ShardRing::new(2);
+        assert!(ring.is_empty());
+        assert!(ring
+            .replicas(&GroupId::new("g"), &brokers(1)[0])
+            .is_empty());
+    }
+
+    #[test]
+    fn replication_factor_is_clamped_to_one() {
+        assert_eq!(ShardRing::new(0).replication(), 1);
+    }
+
+    #[test]
+    fn replica_sets_have_k_distinct_members() {
+        let members = brokers(5);
+        let ring = ring_of(&members, 2);
+        assert_eq!(ring.len(), 5);
+        let mut rng = HmacDrbg::from_seed_u64(7);
+        for i in 0..50 {
+            let owner = PeerId::random(&mut rng);
+            let replicas = ring.replicas(&GroupId::new(format!("g{}", i % 3)), &owner);
+            assert_eq!(replicas.len(), 2);
+            assert_ne!(replicas[0], replicas[1]);
+            assert!(replicas.iter().all(|r| members.contains(r)));
+        }
+    }
+
+    #[test]
+    fn small_backbones_replicate_everywhere() {
+        // With fewer brokers than K every broker is a replica, so a sharded
+        // two-broker federation behaves exactly like a fully replicated one.
+        let members = brokers(2);
+        let ring = ring_of(&members, 3);
+        let owner = brokers(3)[2];
+        let mut replicas = ring.replicas(&GroupId::new("g"), &owner);
+        replicas.sort();
+        let mut expected = members.clone();
+        expected.sort();
+        assert_eq!(replicas, expected);
+    }
+
+    #[test]
+    fn placement_is_insert_order_insensitive() {
+        let members = brokers(4);
+        let forward = ring_of(&members, 2);
+        let mut reversed_members = members.clone();
+        reversed_members.reverse();
+        let reversed = ring_of(&reversed_members, 2);
+        let mut rng = HmacDrbg::from_seed_u64(9);
+        for _ in 0..20 {
+            let owner = PeerId::random(&mut rng);
+            let group = GroupId::new("class");
+            assert_eq!(forward.replicas(&group, &owner), reversed.replicas(&group, &owner));
+        }
+    }
+
+    #[test]
+    fn insert_and_remove_are_idempotent() {
+        let members = brokers(3);
+        let mut ring = ring_of(&members, 2);
+        ring.insert(members[0]);
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.points.len(), 3 * VIRTUAL_NODES);
+        ring.remove(&members[1]);
+        ring.remove(&members[1]);
+        assert_eq!(ring.len(), 2);
+        assert!(!ring.brokers().contains(&members[1]));
+        assert!(ring
+            .replicas(&GroupId::new("g"), &members[1])
+            .iter()
+            .all(|r| *r != members[1]));
+    }
+
+    #[test]
+    fn membership_change_migrates_a_minority_of_keys() {
+        // Consistent hashing: removing one of five brokers must not reshuffle
+        // the placement of keys that never touched it.
+        let members = brokers(5);
+        let before = ring_of(&members, 2);
+        let mut after = before.clone();
+        after.remove(&members[4]);
+
+        let mut rng = HmacDrbg::from_seed_u64(11);
+        let mut moved = 0usize;
+        let total = 200usize;
+        for _ in 0..total {
+            let owner = PeerId::random(&mut rng);
+            let group = GroupId::new("g");
+            let old = before.replicas(&group, &owner);
+            let new = after.replicas(&group, &owner);
+            if old.contains(&members[4]) {
+                // Keys hosted by the removed broker get exactly one new home.
+                assert_eq!(
+                    new.iter().filter(|r| !old.contains(r)).count(),
+                    1,
+                    "one replacement replica"
+                );
+            } else {
+                // Everything else stays exactly where it was.
+                assert_eq!(old, new);
+            }
+            if old != new {
+                moved += 1;
+            }
+        }
+        assert!(
+            moved < total / 2,
+            "only the removed broker's share may move ({moved}/{total})"
+        );
+    }
+
+    #[test]
+    fn load_is_reasonably_balanced() {
+        let members = brokers(4);
+        let ring = ring_of(&members, 2);
+        let mut counts = std::collections::HashMap::new();
+        let mut rng = HmacDrbg::from_seed_u64(13);
+        let total = 400usize;
+        for _ in 0..total {
+            let owner = PeerId::random(&mut rng);
+            for replica in ring.replicas(&GroupId::new("g"), &owner) {
+                *counts.entry(replica).or_insert(0usize) += 1;
+            }
+        }
+        // Perfect balance would be total*K/N = 200 per broker; accept a wide
+        // band — the assertion guards against degenerate placement, not
+        // statistical noise.
+        for member in &members {
+            let share = counts.get(member).copied().unwrap_or(0);
+            assert!(
+                (60..=340).contains(&share),
+                "broker share out of band: {share}"
+            );
+        }
+    }
+
+    #[test]
+    fn shard_key_separates_group_and_owner_bytes() {
+        let owner = brokers(1)[0];
+        assert_ne!(
+            shard_key(&GroupId::new("ab"), &owner),
+            shard_key(&GroupId::new("a"), &owner)
+        );
+    }
+}

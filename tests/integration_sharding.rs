@@ -1,0 +1,313 @@
+//! Integration tests for the sharded broker federation: a 4-broker backbone
+//! with K=2 replicas per `(group, owner)` entry serving secure clients.
+//!
+//! The scenarios mirror `integration_federation.rs`, but with the index and
+//! group membership *partitioned* across the consistent-hash ring instead of
+//! fully replicated: signed-advertisement searches may take an extra
+//! `ShardQuery` hop to an owning replica, and the tests assert that the
+//! end-to-end security properties (XMLdsig validation of replicated
+//! advertisements, sealed relays, backbone admission control) survive that
+//! hop unmodified, while per-broker state stays O(K).
+
+use jxta_overlay::shard::ShardRing;
+use jxta_overlay::{GroupId, Message, MessageKind, PeerId};
+use jxta_overlay_secure::secure_client::{ReceivedSecureMessage, SecureClient};
+use jxta_overlay_secure::setup::{SecureNetwork, SecureNetworkBuilder};
+use std::time::{Duration, Instant};
+
+const K: usize = 2;
+const BROKERS: usize = 4;
+
+fn sharded_setup(seed: u64) -> SecureNetwork {
+    SecureNetworkBuilder::new(seed)
+        .with_key_bits(512)
+        .with_broker_count(BROKERS)
+        .with_replication_factor(K)
+        .with_user("alice", "pw-a", &["ops"])
+        .with_user("bob", "pw-b", &["ops"])
+        .with_user("carol", "pw-c", &["ops"])
+        .build()
+}
+
+/// Drains the client's secure inbox, polling until at least one message
+/// arrives or the timeout expires.
+fn receive_relayed(client: &mut SecureClient) -> Vec<ReceivedSecureMessage> {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        let received = client.receive_secure_messages().unwrap();
+        if !received.is_empty() || Instant::now() >= deadline {
+            return received;
+        }
+        std::thread::sleep(Duration::from_millis(2));
+    }
+}
+
+/// Polls `condition` until it holds or two seconds elapse.
+fn eventually(mut condition: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        if condition() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn sharded_federation_keeps_per_broker_state_o_of_k() {
+    let mut world = sharded_setup(60);
+    let group = GroupId::new("ops");
+    let mut clients = Vec::new();
+    for (i, (user, pw)) in [("alice", "pw-a"), ("bob", "pw-b"), ("carol", "pw-c")]
+        .iter()
+        .enumerate()
+    {
+        let mut client = world.secure_client(user);
+        client.secure_join(world.broker_id_at(i), user, pw).unwrap();
+        client.publish_secure_pipe(&group).unwrap();
+        clients.push(client);
+    }
+    assert!(
+        world.federation().await_convergence(Duration::from_secs(2)),
+        "sharded convergence: every entry on exactly its replica set"
+    );
+
+    // Three signed pipes × K replicas — not three × N brokers.
+    let total: usize = (0..BROKERS)
+        .map(|i| world.broker_at(i).advertisement_entry_count())
+        .sum();
+    assert_eq!(total, 3 * K, "each advertisement lives on exactly K brokers");
+    for i in 0..BROKERS {
+        assert!(
+            world.broker_at(i).advertisement_entry_count() <= 3,
+            "no broker holds more than the full set"
+        );
+    }
+    // The routing table, in contrast, is fully replicated: every broker can
+    // route to every client.
+    for i in 0..BROKERS {
+        for client in &clients {
+            assert!(
+                world.broker_at(i).home_of(&client.id()).is_some(),
+                "broker {i} must know every peer's home"
+            );
+        }
+    }
+    world.shutdown();
+}
+
+#[test]
+fn signed_advertisement_validation_survives_the_shard_query_hop() {
+    let mut world = sharded_setup(61);
+    let group = GroupId::new("ops");
+
+    let mut alice = world.secure_client("alice");
+    let mut bob = world.secure_client("bob");
+    alice.secure_join(world.broker_id_at(0), "alice", "pw-a").unwrap();
+    bob.secure_join(world.broker_id_at(3), "bob", "pw-b").unwrap();
+    bob.publish_secure_pipe(&group).unwrap();
+    assert!(world.federation().await_convergence(Duration::from_secs(2)));
+
+    // Alice resolves Bob's signed advertisement through *her* broker.  With
+    // K=2 of 4 brokers holding it, the lookup either hits broker 0's shard
+    // or crosses the backbone as a ShardQuery — in both cases the XMLdsig
+    // envelope and embedded credential arrive verbatim and validate against
+    // the same trust anchors.
+    let validated = alice.resolve_secure_pipe(&group, bob.id()).unwrap();
+    assert_eq!(validated.advertisement.owner, bob.id());
+    assert_eq!(validated.credential.subject_name, "bob");
+    validated
+        .credential
+        .verify(world.broker_extension_at(3).identity().public_key())
+        .unwrap();
+
+    // The shard metrics prove the routing happened (hit or miss, the query
+    // was served by the sharded index).
+    let hits: u64 = (0..BROKERS)
+        .map(|i| world.broker_at(i).federation_stats().shard_hits)
+        .sum();
+    let misses: u64 = (0..BROKERS)
+        .map(|i| world.broker_at(i).federation_stats().shard_misses)
+        .sum();
+    assert!(hits + misses >= 1, "the lookup went through the shard layer");
+    world.shutdown();
+}
+
+#[test]
+fn encrypted_relay_and_membership_queries_work_across_shards() {
+    let mut world = sharded_setup(62);
+    let group = GroupId::new("ops");
+
+    let mut alice = world.secure_client("alice");
+    let mut bob = world.secure_client("bob");
+    alice.secure_join(world.broker_id_at(0), "alice", "pw-a").unwrap();
+    bob.secure_join(world.broker_id_at(2), "bob", "pw-b").unwrap();
+    alice.publish_secure_pipe(&group).unwrap();
+    bob.publish_secure_pipe(&group).unwrap();
+    assert!(world.federation().await_convergence(Duration::from_secs(2)));
+
+    // Membership queries route to an owning replica transparently.
+    assert!(alice.query_membership(&group, bob.id()).unwrap());
+    let stranger_id = {
+        let mut rng = jxta_crypto::drbg::HmacDrbg::from_seed_u64(0x62);
+        PeerId::random(&mut rng)
+    };
+    assert!(!alice.query_membership(&group, stranger_id).unwrap());
+
+    // Sealed envelope across the backbone: alice → broker 0 → broker 2 → bob.
+    alice
+        .secure_msg_peer_relayed(&group, bob.id(), "sharded rendezvous")
+        .unwrap();
+    let received = receive_relayed(&mut bob);
+    assert_eq!(received.len(), 1);
+    assert_eq!(received[0].text, "sharded rendezvous");
+    assert_eq!(received[0].sender_username, "alice");
+    assert!(eventually(|| {
+        world.broker_at(2).federation_stats().relays_delivered == 1
+    }));
+    world.shutdown();
+}
+
+#[test]
+fn shard_queries_from_unknown_origins_are_rejected() {
+    let mut world = sharded_setup(63);
+    let group = GroupId::new("ops");
+    let mut alice = world.secure_client("alice");
+    alice.secure_join(world.broker_id_at(0), "alice", "pw-a").unwrap();
+    alice.publish_secure_pipe(&group).unwrap();
+    assert!(world.federation().await_convergence(Duration::from_secs(2)));
+
+    // A rogue peer (never admitted to the backbone) asks a broker for its
+    // shard directly — the same admission control that guards gossip and
+    // relays refuses it, and no data flows back.
+    let mut rogue = world.plain_client("rogue");
+    let forged = Message::new(MessageKind::ShardQuery, rogue.id(), 0)
+        .with_str("seq", "1")
+        .with_str("query", "1")
+        .with_str("group", "ops")
+        .with_str("doc-type", "jxta:PipeAdvertisement");
+    world
+        .network()
+        .send(rogue.id(), world.broker_id_at(0), forged.to_bytes())
+        .unwrap();
+    assert!(eventually(|| {
+        world.broker_at(0).federation_stats().rejected_unknown_origin >= 1
+    }));
+    assert!(
+        rogue.poll_events().is_empty(),
+        "no shard response for an unadmitted origin"
+    );
+
+    // Same for a forged ShardResponse trying to poison a pending lookup.
+    let forged = Message::new(MessageKind::ShardResponse, rogue.id(), 0)
+        .with_str("seq", "2")
+        .with_str("query", "1")
+        .with_str("count", "0");
+    world
+        .network()
+        .send(rogue.id(), world.broker_id_at(0), forged.to_bytes())
+        .unwrap();
+    assert!(eventually(|| {
+        world.broker_at(0).federation_stats().rejected_unknown_origin >= 2
+    }));
+    world.shutdown();
+}
+
+#[test]
+fn expired_credential_is_refused_by_brokers() {
+    let mut world = sharded_setup(64);
+    let group = GroupId::new("ops");
+    let mut alice = world.secure_client("alice");
+    alice.secure_join(world.broker_id_at(0), "alice", "pw-a").unwrap();
+    alice.publish_secure_pipe(&group).unwrap();
+    let lifetime = jxta_overlay_secure::admin::DEFAULT_CREDENTIAL_LIFETIME;
+    assert!(
+        !alice.credential().unwrap().is_expired(lifetime),
+        "credential valid through its lifetime"
+    );
+
+    // Time passes beyond every credential's lifetime.
+    world.set_time(lifetime + 1);
+
+    // The broker refuses to index a signed advertisement carrying the now-
+    // expired credential (this is the hole: before this PR, nothing on the
+    // broker side ever called `Credential::is_expired`).
+    let err = alice.publish_secure_pipe(&group).unwrap_err();
+    assert!(err.to_string().contains("expired"), "{err}");
+    assert!(world.broker_extension_at(0).stats().expired_rejected >= 1);
+
+    // And a broker whose own credential lapsed refuses secureConnection
+    // (it could no longer prove its legitimacy anyway).
+    let mut late = world.secure_client("late");
+    let err = late.secure_connection(world.broker_id_at(1)).unwrap_err();
+    assert!(err.to_string().contains("expired"), "{err}");
+    world.shutdown();
+}
+
+#[test]
+fn revoked_credential_is_refused_by_brokers() {
+    let mut world = sharded_setup(65);
+    let group = GroupId::new("ops");
+    let mut alice = world.secure_client("alice");
+    let mut mallory = world.secure_client("mallory-laptop");
+    alice.secure_join(world.broker_id_at(0), "alice", "pw-a").unwrap();
+    mallory.secure_join(world.broker_id_at(1), "bob", "pw-b").unwrap();
+    mallory.publish_secure_pipe(&group).unwrap();
+    assert!(world.federation().await_convergence(Duration::from_secs(2)));
+
+    // The administrator revokes bob's account and mallory's peer identity
+    // and pushes the signed list to every broker of the federation.
+    world.revoke(&[mallory.id()], &["bob"]);
+
+    // The still-open session cannot publish signed advertisements any more…
+    let err = mallory.publish_secure_pipe(&group).unwrap_err();
+    assert!(err.to_string().contains("revoked"), "{err}");
+    // …and re-joining anywhere in the federation is refused too.
+    let mut fresh = world.secure_client("mallory-desktop");
+    let result = fresh.secure_join(world.broker_id_at(2), "bob", "pw-b");
+    assert!(result.is_err(), "revoked user must not obtain a credential");
+    let revoked_rejections: u64 = (0..BROKERS)
+        .map(|i| world.broker_extension_at(i).stats().revoked_rejected)
+        .sum();
+    assert!(revoked_rejections >= 2);
+
+    // Alice is untouched.
+    alice.publish_secure_pipe(&group).unwrap();
+    world.shutdown();
+}
+
+#[test]
+fn ring_placement_is_identical_on_every_broker() {
+    // The ring is deterministic and seedless: every broker, given the same
+    // membership, must compute the same replica set for any key — otherwise
+    // routing would disagree with placement.
+    let world = sharded_setup(66);
+    let group = GroupId::new("ops");
+    let mut rng = jxta_crypto::drbg::HmacDrbg::from_seed_u64(0x66);
+    for _ in 0..20 {
+        let owner = PeerId::random(&mut rng);
+        let reference = world.broker_at(0).shard_replicas(&group, &owner);
+        assert_eq!(reference.len(), K);
+        for i in 1..BROKERS {
+            assert_eq!(
+                world.broker_at(i).shard_replicas(&group, &owner),
+                reference,
+                "broker {i} disagrees on placement"
+            );
+        }
+    }
+    // And an independently built ring over the same ids agrees as well.
+    let mut ring = ShardRing::new(K);
+    for i in 0..BROKERS {
+        ring.insert(world.broker_id_at(i));
+    }
+    let owner = PeerId::random(&mut rng);
+    assert_eq!(
+        ring.replicas(&group, &owner),
+        world.broker_at(0).shard_replicas(&group, &owner)
+    );
+    world.shutdown();
+}
