@@ -5,6 +5,7 @@
 //! cargo run --release -p jxta-bench --bin experiments -- e1        # join overhead
 //! cargo run --release -p jxta-bench --bin experiments -- e2        # Figure 2
 //! cargo run --release -p jxta-bench --bin experiments -- e3        # federation/sharding relay overhead
+//! cargo run --release -p jxta-bench --bin experiments -- e4        # anti-entropy repair vs drop rate
 //! cargo run --release -p jxta-bench --bin experiments -- fanout    # ablation A3
 //! cargo run --release -p jxta-bench --bin experiments -- all --quick --json
 //! ```
@@ -14,8 +15,9 @@
 
 use jxta_bench::{
     experiment_federation, experiment_group_fanout, experiment_join_overhead,
-    experiment_msg_overhead, format_fanout_report, format_federation_report, format_join_report,
-    format_msg_report, ExperimentConfig, FIGURE2_PAYLOAD_SIZES,
+    experiment_msg_overhead, experiment_repair, format_fanout_report, format_federation_report,
+    format_join_report, format_msg_report, format_repair_report, ExperimentConfig,
+    FIGURE2_PAYLOAD_SIZES,
 };
 
 fn main() {
@@ -68,6 +70,14 @@ fn main() {
         }
     }
 
+    if which == "e4" || which == "repair" || which == "all" {
+        let rows = experiment_repair(&config);
+        println!("{}", format_repair_report(&rows));
+        if json {
+            println!("{}\n", serde_json::to_string_pretty(&rows).unwrap());
+        }
+    }
+
     if which == "fanout" || which == "all" {
         let sizes: Vec<usize> = if quick { vec![2, 4] } else { vec![2, 4, 8, 16] };
         let rows = experiment_group_fanout(&config, &sizes);
@@ -77,8 +87,9 @@ fn main() {
         }
     }
 
-    if !["e1", "e2", "e3", "federation", "fanout", "all"].contains(&which.as_str()) {
-        eprintln!("unknown experiment {which:?}; expected e1, e2, e3, fanout or all");
+    if !["e1", "e2", "e3", "federation", "e4", "repair", "fanout", "all"].contains(&which.as_str())
+    {
+        eprintln!("unknown experiment {which:?}; expected e1, e2, e3, e4, fanout or all");
         std::process::exit(1);
     }
 }

@@ -641,27 +641,27 @@ fn mode_label(replication: Option<usize>) -> String {
     }
 }
 
-/// Replicates `publishes` advertisements over an overlay-level federation of
-/// `broker_count` brokers and reports where the entries ended up and how
-/// many backbone messages it took — the O(N) vs O(K) comparison the ROADMAP
-/// asks for.
-pub fn measure_shard_scaling(
+/// Builds an overlay-level federation (brokers only, no crypto) driven
+/// inline — the shared fixture of the E3 scaling and E4 repair measurements.
+fn build_overlay_federation(
     broker_count: usize,
     replication: Option<usize>,
-    publishes: usize,
-) -> ShardScalingRow {
+    rng: &mut jxta_crypto::drbg::HmacDrbg,
+) -> (
+    std::sync::Arc<jxta_overlay::SimNetwork>,
+    jxta_overlay::federation::InlineFederation,
+) {
     use jxta_overlay::broker::{Broker, BrokerConfig};
     use jxta_overlay::federation::InlineFederation;
     use jxta_overlay::net::SimNetwork;
-    use jxta_overlay::{GroupId, PeerId, UserDatabase};
+    use jxta_overlay::{PeerId, UserDatabase};
 
-    let mut rng = jxta_crypto::drbg::HmacDrbg::from_seed_u64(0xE3_5CAE);
     let network = SimNetwork::new(LinkModel::ideal());
     let database = std::sync::Arc::new(UserDatabase::new());
     let brokers: Vec<std::sync::Arc<Broker>> = (0..broker_count)
         .map(|i| {
             Broker::new(
-                PeerId::random(&mut rng),
+                PeerId::random(rng),
                 BrokerConfig {
                     name: format!("broker-{}", i + 1),
                     replication_factor: replication,
@@ -671,17 +671,45 @@ pub fn measure_shard_scaling(
             )
         })
         .collect();
-    let federation = InlineFederation::new(brokers);
-    let group = GroupId::new(EXPERIMENT_GROUP);
-    for i in 0..publishes {
-        let owner = PeerId::random(&mut rng);
-        federation.broker(i % broker_count).index_and_distribute(
+    (network, InlineFederation::new(brokers))
+}
+
+/// Publishes `count` advertisements (distinct owners) round-robin over the
+/// federation's brokers, pumping after each when `pump_each` (so that an
+/// installed adversary interleaves with the gossip, as E4 needs).
+fn publish_round_robin(
+    federation: &jxta_overlay::federation::InlineFederation,
+    count: usize,
+    rng: &mut jxta_crypto::drbg::HmacDrbg,
+    pump_each: bool,
+) {
+    let group = jxta_overlay::GroupId::new(EXPERIMENT_GROUP);
+    for i in 0..count {
+        let owner = jxta_overlay::PeerId::random(rng);
+        federation.broker(i % federation.len()).index_and_distribute(
             owner,
             &group,
             "jxta:PipeAdvertisement",
             &format!("<adv n=\"{i}\"/>"),
         );
+        if pump_each {
+            federation.pump();
+        }
     }
+}
+
+/// Replicates `publishes` advertisements over an overlay-level federation of
+/// `broker_count` brokers and reports where the entries ended up and how
+/// many backbone messages it took — the O(N) vs O(K) comparison the ROADMAP
+/// asks for.
+pub fn measure_shard_scaling(
+    broker_count: usize,
+    replication: Option<usize>,
+    publishes: usize,
+) -> ShardScalingRow {
+    let mut rng = jxta_crypto::drbg::HmacDrbg::from_seed_u64(0xE3_5CAE);
+    let (_network, federation) = build_overlay_federation(broker_count, replication, &mut rng);
+    publish_round_robin(&federation, publishes, &mut rng, false);
     federation.pump();
     assert!(federation.converged(), "scaling run must converge");
     let per_broker_entries: Vec<usize> = (0..broker_count)
@@ -748,6 +776,113 @@ pub fn experiment_federation(config: &ExperimentConfig) -> FederationExperimentR
         relay_rows,
         scaling_rows,
     }
+}
+
+// ----------------------------------------------------------------------
+// E4 — anti-entropy repair: divergence-to-reconvergence vs drop rate
+// ----------------------------------------------------------------------
+
+/// One row of the repair experiment: a workload replicated over a lossy
+/// backbone at a given drop rate, then anti-entropy rounds until the
+/// federation reconverges.
+#[derive(Debug, Clone, Serialize)]
+pub struct RepairRow {
+    /// Probability (percent) that a backbone message was dropped.
+    pub drop_percent: u32,
+    /// `"full"` or `"k=<K>"` — the replication mode of the index.
+    pub mode: String,
+    /// Advertisements published during the lossy phase.
+    pub ops: usize,
+    /// Backbone messages the adversary actually dropped.
+    pub messages_dropped: u64,
+    /// Whether the loss left the replicas divergent once the adversary
+    /// cleared (the state PR 3 could only detect).
+    pub diverged: bool,
+    /// Anti-entropy rounds needed to reconverge (`None` = bound of 16
+    /// exhausted, which would be a repair bug).
+    pub repair_rounds: Option<usize>,
+    /// Entries healed by the repair rounds, summed over the federation.
+    pub entries_repaired: u64,
+}
+
+/// Publishes `ops` advertisements over an overlay-level federation whose
+/// backbone drops each inter-broker message with probability
+/// `drop_percent`/100, then lifts the adversary and runs anti-entropy until
+/// reconvergence — the divergence-to-reconvergence measurement of E4.
+pub fn measure_repair(
+    broker_count: usize,
+    replication: Option<usize>,
+    drop_percent: u32,
+    ops: usize,
+    seed: u64,
+) -> RepairRow {
+    use jxta_overlay::net::RandomDrop;
+    use jxta_overlay::PeerId;
+
+    let mut rng = jxta_crypto::drbg::HmacDrbg::from_seed_u64(seed);
+    let (network, federation) = build_overlay_federation(broker_count, replication, &mut rng);
+    let backbone: Vec<PeerId> = (0..broker_count)
+        .map(|i| federation.broker(i).id())
+        .collect();
+    let dropper = RandomDrop::between(seed ^ 0xD40F, drop_percent, backbone);
+    network.set_adversary(dropper.clone());
+    publish_round_robin(&federation, ops, &mut rng, true);
+    network.clear_adversary();
+    federation.pump();
+
+    let diverged = !federation.converged();
+    let repair_rounds = federation.repair_until_converged(16);
+    let entries_repaired = (0..broker_count)
+        .map(|i| federation.broker(i).federation_stats().entries_repaired)
+        .sum();
+    RepairRow {
+        drop_percent,
+        mode: mode_label(replication),
+        ops,
+        messages_dropped: dropper.dropped_count(),
+        diverged,
+        repair_rounds,
+        entries_repaired,
+    }
+}
+
+/// Runs experiment E4: divergence-to-reconvergence across a sweep of
+/// backbone drop rates, for fully replicated and sharded (K=2) backbones of
+/// four brokers.
+pub fn experiment_repair(config: &ExperimentConfig) -> Vec<RepairRow> {
+    let ops = (config.iterations * 8).max(24);
+    [0u32, 10, 25, 50, 75]
+        .into_iter()
+        .flat_map(|rate| {
+            [None, Some(2)].into_iter().map(move |replication| {
+                measure_repair(4, replication, rate, ops, 0xE4_5EED ^ u64::from(rate))
+            })
+        })
+        .collect()
+}
+
+/// Formats E4 as a text table.
+pub fn format_repair_report(rows: &[RepairRow]) -> String {
+    let mut out = String::from(
+        "E4 — anti-entropy: divergence-to-reconvergence vs backbone drop rate\n\
+         ---------------------------------------------------------------------\n\
+         drop % | mode  | ops | dropped | diverged | repair rounds | entries repaired\n",
+    );
+    for row in rows {
+        out.push_str(&format!(
+            "{:>6} | {:<5} | {:>3} | {:>7} | {:>8} | {:>13} | {:>16}\n",
+            row.drop_percent,
+            row.mode,
+            row.ops,
+            row.messages_dropped,
+            if row.diverged { "yes" } else { "no" },
+            row.repair_rounds
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "UNHEALED".to_string()),
+            row.entries_repaired,
+        ));
+    }
+    out
 }
 
 // ----------------------------------------------------------------------
@@ -919,6 +1054,24 @@ mod tests {
             scaling_rows: vec![full, sharded],
         })
         .contains("backbone msgs"));
+    }
+
+    #[test]
+    fn repair_experiment_heals_lossy_backbones() {
+        // No loss: nothing diverges and repair has nothing to do.
+        let clean = measure_repair(4, Some(2), 0, 24, 7);
+        assert!(!clean.diverged);
+        assert_eq!(clean.repair_rounds, Some(0));
+        assert_eq!(clean.messages_dropped, 0);
+
+        // Half the backbone messages lost: the replicas diverge, and a
+        // bounded number of repair rounds reconverges them.
+        let lossy = measure_repair(4, Some(2), 50, 24, 7);
+        assert!(lossy.messages_dropped > 0);
+        assert!(lossy.diverged, "50% loss must diverge the replicas");
+        assert!(lossy.repair_rounds.is_some(), "repair must reconverge");
+        assert!(lossy.entries_repaired > 0);
+        assert!(format_repair_report(&[clean, lossy]).contains("repair rounds"));
     }
 
     #[test]

@@ -149,6 +149,54 @@ pub struct SecureBrokerExtension {
     revoked_ids: Mutex<HashSet<PeerId>>,
     /// Revoked usernames (merged from installed revocation lists).
     revoked_names: Mutex<HashSet<String>>,
+    /// The verified revocation lists themselves, kept so they can be
+    /// re-gossiped over the backbone and carried in anti-entropy snapshots —
+    /// each list is admin-signed, so transit needs no extra trust and a
+    /// late-joining broker can verify them from scratch.
+    revocation_lists: Mutex<Vec<RevocationList>>,
+}
+
+/// Serialises a set of revocation lists into one opaque blob (2-byte count,
+/// then per list a 4-byte length and its [`RevocationList::to_bytes`]
+/// encoding) — the extension-state payload brokers exchange.
+pub fn encode_revocation_lists(lists: &[RevocationList]) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&(lists.len() as u16).to_be_bytes());
+    for list in lists {
+        let bytes = list.to_bytes();
+        out.extend_from_slice(&(bytes.len() as u32).to_be_bytes());
+        out.extend_from_slice(&bytes);
+    }
+    out
+}
+
+/// Parses a blob produced by [`encode_revocation_lists`].
+pub fn decode_revocation_lists(bytes: &[u8]) -> Result<Vec<RevocationList>, OverlayError> {
+    let err = |what: &str| OverlayError::MalformedMessage(what.to_string());
+    if bytes.len() < 2 {
+        return Err(err("truncated revocation-list blob"));
+    }
+    let count = u16::from_be_bytes(bytes[..2].try_into().unwrap()) as usize;
+    let mut offset = 2usize;
+    let mut lists = Vec::with_capacity(count);
+    for _ in 0..count {
+        if bytes.len() < offset + 4 {
+            return Err(err("truncated revocation-list length"));
+        }
+        let len = u32::from_be_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        offset += 4;
+        if bytes.len() < offset + len {
+            return Err(err("truncated revocation list"));
+        }
+        let list = RevocationList::from_bytes(&bytes[offset..offset + len])
+            .map_err(|e| err(&format!("malformed revocation list: {e}")))?;
+        lists.push(list);
+        offset += len;
+    }
+    if offset != bytes.len() {
+        return Err(err("trailing bytes after revocation lists"));
+    }
+    Ok(lists)
 }
 
 impl SecureBrokerExtension {
@@ -177,6 +225,7 @@ impl SecureBrokerExtension {
             admin_key: Mutex::new(None),
             revoked_ids: Mutex::new(HashSet::new()),
             revoked_names: Mutex::new(HashSet::new()),
+            revocation_lists: Mutex::new(Vec::new()),
         }
     }
 
@@ -208,6 +257,13 @@ impl SecureBrokerExtension {
     /// monotone — there is no un-revoke short of a new credential for a new
     /// identity).
     pub fn install_revocation_list(&self, list: &RevocationList) -> Result<(), OverlayError> {
+        self.merge_revocation_list(list).map(|_| ())
+    }
+
+    /// Like [`SecureBrokerExtension::install_revocation_list`], but reports
+    /// how many previously unknown subjects the list added (what the repair
+    /// metrics count).
+    fn merge_revocation_list(&self, list: &RevocationList) -> Result<u64, OverlayError> {
         let admin_key = self.admin_key.lock().clone().ok_or_else(|| {
             OverlayError::SecurityViolation(
                 "no administrator key provisioned; cannot verify revocation list".into(),
@@ -218,11 +274,33 @@ impl SecureBrokerExtension {
                 "revocation list not signed by the administrator".into(),
             )
         })?;
-        self.revoked_ids.lock().extend(list.revoked_ids.iter().copied());
-        self.revoked_names
-            .lock()
-            .extend(list.revoked_names.iter().cloned());
-        Ok(())
+        let mut added = 0u64;
+        {
+            let mut ids = self.revoked_ids.lock();
+            for id in &list.revoked_ids {
+                if ids.insert(*id) {
+                    added += 1;
+                }
+            }
+        }
+        {
+            let mut names = self.revoked_names.lock();
+            for name in &list.revoked_names {
+                if names.insert(name.clone()) {
+                    added += 1;
+                }
+            }
+        }
+        let mut lists = self.revocation_lists.lock();
+        if !lists.iter().any(|stored| stored == list) {
+            lists.push(list.clone());
+        }
+        Ok(added)
+    }
+
+    /// The verified revocation lists installed on this broker.
+    pub fn revocation_lists(&self) -> Vec<RevocationList> {
+        self.revocation_lists.lock().clone()
     }
 
     /// Returns `true` if the peer identifier or username is revoked.
@@ -469,6 +547,49 @@ impl BrokerExtension for SecureBrokerExtension {
             return Err("credential revoked".to_string());
         }
         Ok(())
+    }
+
+    /// Canonical summary of the merged revocation state: the sorted revoked
+    /// identifiers and usernames.  Two brokers with the same *effective*
+    /// revocations hash equal even if they received them via different
+    /// lists, so healthy backbones exchange nothing.
+    fn repair_digest(&self) -> Option<Vec<u8>> {
+        let mut out = Vec::new();
+        let mut ids: Vec<PeerId> = self.revoked_ids.lock().iter().copied().collect();
+        ids.sort();
+        for id in ids {
+            out.extend_from_slice(id.as_bytes());
+        }
+        let mut names: Vec<String> = self.revoked_names.lock().iter().cloned().collect();
+        names.sort();
+        for name in names {
+            out.extend_from_slice(&(name.len() as u32).to_be_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        Some(out)
+    }
+
+    /// The installed admin-signed lists, encoded for transit.  Signed
+    /// content needs no transport trust — a receiving broker re-verifies
+    /// every list against its own administrator key.
+    fn repair_snapshot(&self) -> Option<Vec<u8>> {
+        Some(encode_revocation_lists(&self.revocation_lists.lock()))
+    }
+
+    /// Verifies and merges a peer broker's revocation lists.  Unverifiable
+    /// lists (wrong signature, garbage bytes) are dropped without touching
+    /// local state; the return value counts newly revoked subjects.
+    fn apply_repair_snapshot(&self, _broker: &Broker, blob: &[u8]) -> u64 {
+        let Ok(lists) = decode_revocation_lists(blob) else {
+            return 0;
+        };
+        let mut added = 0u64;
+        for list in lists {
+            if let Ok(n) = self.merge_revocation_list(&list) {
+                added += n;
+            }
+        }
+        added
     }
 }
 

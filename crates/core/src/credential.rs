@@ -303,6 +303,73 @@ impl RevocationList {
     pub fn verify(&self, issuer_key: &RsaPublicKey) -> Result<(), CryptoError> {
         issuer_key.verify(&self.signed_content(), &self.signature)
     }
+
+    /// Serialises the list (including its signature) to a wire blob, so it
+    /// can be gossiped over the broker backbone and carried in anti-entropy
+    /// snapshots.  Layout: `"JXRL"`, 4-byte id count, the 16-byte ids,
+    /// 4-byte name count, per name a 4-byte length and its bytes, the
+    /// 8-byte issue time, a 4-byte signature length and the signature (all
+    /// integers big-endian).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        out.extend_from_slice(b"JXRL");
+        out.extend_from_slice(&(self.revoked_ids.len() as u32).to_be_bytes());
+        for id in &self.revoked_ids {
+            out.extend_from_slice(id.as_bytes());
+        }
+        out.extend_from_slice(&(self.revoked_names.len() as u32).to_be_bytes());
+        for name in &self.revoked_names {
+            out.extend_from_slice(&(name.len() as u32).to_be_bytes());
+            out.extend_from_slice(name.as_bytes());
+        }
+        out.extend_from_slice(&self.issued_at.to_be_bytes());
+        out.extend_from_slice(&(self.signature.len() as u32).to_be_bytes());
+        out.extend_from_slice(&self.signature);
+        out
+    }
+
+    /// Parses a list serialised with [`RevocationList::to_bytes`].  The
+    /// signature is carried verbatim — callers must still
+    /// [`RevocationList::verify`] against the administrator key before
+    /// honouring the content.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, CryptoError> {
+        let err = || CryptoError::Malformed("malformed revocation list".to_string());
+        let take = |offset: &mut usize, len: usize| -> Result<&[u8], CryptoError> {
+            let slice = bytes.get(*offset..*offset + len).ok_or_else(err)?;
+            *offset += len;
+            Ok(slice)
+        };
+        let mut offset = 0usize;
+        if take(&mut offset, 4)? != b"JXRL" {
+            return Err(err());
+        }
+        let id_count = u32::from_be_bytes(take(&mut offset, 4)?.try_into().unwrap()) as usize;
+        let mut revoked_ids = Vec::with_capacity(id_count.min(1024));
+        for _ in 0..id_count {
+            let mut id = [0u8; 16];
+            id.copy_from_slice(take(&mut offset, 16)?);
+            revoked_ids.push(PeerId::from_bytes(id));
+        }
+        let name_count = u32::from_be_bytes(take(&mut offset, 4)?.try_into().unwrap()) as usize;
+        let mut revoked_names = Vec::with_capacity(name_count.min(1024));
+        for _ in 0..name_count {
+            let len = u32::from_be_bytes(take(&mut offset, 4)?.try_into().unwrap()) as usize;
+            let name = String::from_utf8_lossy(take(&mut offset, len)?).into_owned();
+            revoked_names.push(name);
+        }
+        let issued_at = u64::from_be_bytes(take(&mut offset, 8)?.try_into().unwrap());
+        let sig_len = u32::from_be_bytes(take(&mut offset, 4)?.try_into().unwrap()) as usize;
+        let signature = take(&mut offset, sig_len)?.to_vec();
+        if offset != bytes.len() {
+            return Err(err());
+        }
+        Ok(RevocationList {
+            revoked_ids,
+            revoked_names,
+            issued_at,
+            signature,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -321,6 +388,32 @@ mod tests {
                 PeerIdentity::generate(&mut rng, 512).unwrap(),
             )
         })
+    }
+
+    #[test]
+    fn revocation_list_wire_roundtrip() {
+        let (issuer, subject) = identities();
+        let list = RevocationList::issue(
+            &[subject.peer_id(), issuer.peer_id()],
+            &["alice", "bob"],
+            42,
+            issuer.private_key(),
+        )
+        .unwrap();
+        let bytes = list.to_bytes();
+        let parsed = RevocationList::from_bytes(&bytes).unwrap();
+        assert_eq!(parsed, list);
+        // The signature survives the roundtrip and still verifies.
+        parsed.verify(issuer.public_key()).unwrap();
+
+        assert!(RevocationList::from_bytes(b"").is_err());
+        assert!(RevocationList::from_bytes(b"NOPE").is_err());
+        let mut truncated = bytes.clone();
+        truncated.truncate(truncated.len() - 1);
+        assert!(RevocationList::from_bytes(&truncated).is_err());
+        let mut trailing = bytes;
+        trailing.push(0);
+        assert!(RevocationList::from_bytes(&trailing).is_err());
     }
 
     #[test]

@@ -38,6 +38,7 @@ pub struct SecureNetworkBuilder {
     users: Vec<(String, String, Vec<GroupId>)>,
     broker_names: Vec<String>,
     replication_factor: Option<usize>,
+    repair_interval: Option<Duration>,
     request_timeout: Duration,
 }
 
@@ -52,8 +53,19 @@ impl SecureNetworkBuilder {
             users: Vec::new(),
             broker_names: vec!["broker-1".to_string()],
             replication_factor: None,
+            repair_interval: None,
             request_timeout: Duration::from_secs(5),
         }
+    }
+
+    /// Runs an anti-entropy repair round on every broker each `interval`:
+    /// replica divergence caused by lost backbone gossip (an adversarial
+    /// drop) then heals within a bounded number of intervals instead of
+    /// persisting forever.  Off by default — tests that assert on
+    /// *detection* of divergence rely on the state staying divergent.
+    pub fn with_repair_interval(mut self, interval: Duration) -> Self {
+        self.repair_interval = Some(interval);
+        self
     }
 
     /// Shards the federation's advertisement index and group membership
@@ -190,7 +202,7 @@ impl SecureNetworkBuilder {
                 }
             }
         }
-        let federation = BrokerNetwork::spawn(brokers);
+        let federation = BrokerNetwork::spawn_with_repair(brokers, self.repair_interval);
 
         SecureNetwork {
             network,
@@ -331,8 +343,13 @@ impl SecureNetwork {
     }
 
     /// Revokes credentials: the administrator issues a signed revocation
-    /// list over the given peer identifiers and usernames and pushes it to
-    /// every broker of the federation.
+    /// list over the given peer identifiers and usernames, installs it on
+    /// every *current* broker (in-process — an active network adversary
+    /// cannot drop a revocation) and additionally gossips it over the
+    /// backbone.  The list is admin-signed, so gossip transit needs no extra
+    /// trust, and brokers that join *later* catch up through the
+    /// anti-entropy extension section instead of depending on a push made
+    /// before they existed.
     pub fn revoke(&self, revoked_ids: &[PeerId], revoked_names: &[&str]) {
         let issued_at = self
             .extensions
@@ -348,6 +365,62 @@ impl SecureNetwork {
                 .install_revocation_list(&list)
                 .expect("revocation list installation");
         }
+        self.federation.broker(0).gossip_extension_state();
+    }
+
+    /// Admits a new broker into the running deployment: generates its
+    /// identity, issues its admin credential, installs a secure extension
+    /// (deployment clock, admin key and peer-credential beacons included),
+    /// spawns it into the federation full mesh and migrates its shard onto
+    /// it.  Prior revocations reach it via the backbone (anti-entropy, or
+    /// the next gossiped list) rather than any in-process push.  Returns the
+    /// new broker's index.
+    pub fn add_broker(&mut self, name: &str) -> usize {
+        let identity = PeerIdentity::generate(&mut self.rng, self.key_bits)
+            .expect("broker key generation");
+        let credential = self
+            .admin
+            .issue_broker_credential(
+                name,
+                identity.peer_id(),
+                identity.public_key(),
+                crate::admin::DEFAULT_CREDENTIAL_LIFETIME,
+            )
+            .expect("broker credential issuance");
+        let broker = Broker::new(
+            identity.peer_id(),
+            BrokerConfig {
+                name: name.to_string(),
+                replication_factor: self.federation.broker(0).replication_factor(),
+            },
+            Arc::clone(&self.network),
+            Arc::clone(&self.database),
+        );
+        let extension = Arc::new(SecureBrokerExtension::new(
+            identity,
+            credential,
+            crate::admin::DEFAULT_CREDENTIAL_LIFETIME,
+            self.rng.next_u64(),
+        ));
+        extension.set_admin_public_key(self.admin.public_key().clone());
+        if let Some(first) = self.extensions.first() {
+            extension.set_now(first.now());
+        }
+        for existing in &self.extensions {
+            existing.add_peer_broker_credential(extension.credential().clone());
+            extension.add_peer_broker_credential(existing.credential().clone());
+        }
+        broker.set_extension(extension.clone());
+        self.extensions.push(extension);
+        self.federation.add_broker(broker);
+        self.federation.len() - 1
+    }
+
+    /// Removes the `index`-th broker from the running deployment (see
+    /// [`BrokerNetwork::remove_broker`]); its extension is dropped with it.
+    pub fn remove_broker(&mut self, index: usize) -> Arc<Broker> {
+        self.extensions.remove(index);
+        self.federation.remove_broker(index)
     }
 
     /// Registers an additional end user after construction.

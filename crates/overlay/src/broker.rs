@@ -122,6 +122,29 @@ pub trait BrokerExtension: Send + Sync {
     ) -> Result<(), String> {
         Ok(())
     }
+
+    /// Canonical bytes summarising the extension's replicated state (e.g.
+    /// the merged revocation sets), hashed into anti-entropy digests so
+    /// peer brokers notice when their extension state diverged.  `None`
+    /// (the default) means the extension replicates nothing.
+    fn repair_digest(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Opaque snapshot of the extension's replicated state, shipped to peer
+    /// brokers on digest mismatch (and by [`Broker::gossip_extension_state`]).
+    /// The blob must be self-authenticating — the overlay provides transport
+    /// and gossip admission only.
+    fn repair_snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
+
+    /// Merges a peer broker's extension snapshot into local state after
+    /// verifying it.  Returns the number of entries actually added (counted
+    /// as repaired in the federation metrics).
+    fn apply_repair_snapshot(&self, _broker: &Broker, _blob: &[u8]) -> u64 {
+        0
+    }
 }
 
 /// An authenticated client session as seen by the broker.
@@ -223,8 +246,21 @@ pub struct Broker {
     peer_homes: RwLock<HashMap<PeerId, PeerId>>,
     /// Last-writer-wins version of each peer's presence (join/leave) state.
     peer_versions: RwLock<HashMap<PeerId, PresenceVersion>>,
+    /// Provenance version of each stored membership entry: the presence
+    /// version the `(group, member)` entry was asserted under.  Anti-entropy
+    /// deletion decisions compare a peer's *current* version against this —
+    /// a peer strictly newer than the entry's provenance that does not list
+    /// the membership proves the entry stale, while an equal version proves
+    /// it current (the same join event implies the same group list).
+    membership_versions: RwLock<HashMap<(GroupId, PeerId), PresenceVersion>>,
     /// Sequence number stamped on outgoing inter-broker messages.
     sync_seq: AtomicU64,
+    /// Serialises sequence allocation with the wire send (see
+    /// [`Broker::send_sequenced`]): several threads send on a broker's
+    /// behalf (its event loop, the federation repair loop, in-process
+    /// callers), and the receiver's replay protection requires their
+    /// sequence numbers to arrive in allocation order.
+    send_lock: Mutex<()>,
     /// Highest sequence number seen per origin broker (replay detection).
     seen_seq: RwLock<HashMap<PeerId, u64>>,
     /// Federation activity counters.
@@ -270,7 +306,9 @@ impl Broker {
             peer_brokers: RwLock::new(Vec::new()),
             peer_homes: RwLock::new(HashMap::new()),
             peer_versions: RwLock::new(HashMap::new()),
+            membership_versions: RwLock::new(HashMap::new()),
             sync_seq: AtomicU64::new(0),
+            send_lock: Mutex::new(()),
             seen_seq: RwLock::new(HashMap::new()),
             federation: FederationMetrics::new(),
             ring: RwLock::new(ring),
@@ -358,6 +396,7 @@ impl Broker {
         };
         for peer in orphans {
             self.groups.leave_all(&peer);
+            self.forget_membership_stamps(&peer);
             self.connected.write().remove(&peer);
             self.displaced.write().remove(&peer);
         }
@@ -439,6 +478,21 @@ impl Broker {
         out
     }
 
+    /// Like [`Broker::advertisement_snapshot`] but reporting each entry's
+    /// last-writer-wins version instead of its XML — what the repair tests
+    /// use to prove anti-entropy never regresses a newer write.
+    pub fn advertisement_versions(&self) -> Vec<(GroupId, PeerId, String, (u64, PeerId))> {
+        let advertisements = self.advertisements.read();
+        let mut out = Vec::new();
+        for (group, index) in advertisements.iter() {
+            for ((owner, doc_type), adv) in index.iter() {
+                out.push((group.clone(), *owner, doc_type.clone(), adv.version));
+            }
+        }
+        out.sort();
+        out
+    }
+
     /// Deterministic snapshot of the peer→home-broker routing table (local
     /// sessions map to this broker itself).
     pub fn routing_snapshot(&self) -> Vec<(PeerId, PeerId)> {
@@ -492,6 +546,9 @@ impl Broker {
         self.peer_homes.write().remove(&peer);
         self.displaced.write().remove(&peer);
         let seq = self.version_local_presence(peer, PRESENCE_JOIN);
+        for g in &groups {
+            self.stamp_membership(g, peer, (seq, PRESENCE_JOIN, self.id));
+        }
         self.gossip_join(seq, peer, &groups);
         self.flush_gossip();
         session
@@ -504,6 +561,7 @@ impl Broker {
         self.connected.write().remove(peer);
         self.displaced.write().remove(peer);
         self.groups.leave_all(peer);
+        self.forget_membership_stamps(peer);
         if had_session {
             let peer = *peer;
             let seq = self.version_local_presence(peer, PRESENCE_LEAVE);
@@ -531,6 +589,85 @@ impl Broker {
         let seq = self.next_sync_seq();
         self.peer_versions.write().insert(peer, (seq, rank, self.id));
         seq
+    }
+
+    /// Records the provenance version of a stored membership entry.
+    fn stamp_membership(&self, group: &GroupId, member: PeerId, version: PresenceVersion) {
+        self.membership_versions
+            .write()
+            .insert((group.clone(), member), version);
+    }
+
+    /// Drops every membership provenance stamp of `peer` (paired with the
+    /// `leave_all` that cleared its memberships).
+    fn forget_membership_stamps(&self, peer: &PeerId) {
+        self.membership_versions
+            .write()
+            .retain(|(_, member), _| member != peer);
+    }
+
+    /// The provenance version of a stored membership entry (falling back to
+    /// the peer's presence version, then to a floor that loses every
+    /// comparison).
+    fn membership_stamp(&self, group: &GroupId, member: &PeerId) -> PresenceVersion {
+        if let Some(stamp) = self
+            .membership_versions
+            .read()
+            .get(&(group.clone(), *member))
+        {
+            return *stamp;
+        }
+        self.peer_versions
+            .read()
+            .get(member)
+            .copied()
+            .unwrap_or((0, PRESENCE_LEAVE, *member))
+    }
+
+    /// Applies the local side effects of a remote JOIN (the peer is homed
+    /// elsewhere now), shared by gossip application and anti-entropy repair:
+    /// live-session arbitration plus session/connection cleanup.  When the
+    /// peer is demonstrably logged in *here* — local ground truth the remote
+    /// join cannot know about — the lower broker id re-asserts (so a stale
+    /// join arriving late cannot ghost a live client) and the higher one
+    /// yields but *shadows* the still-open session instead of forgetting it;
+    /// exactly one side backs down, so the exchange always terminates.
+    /// Returns `true` when the event was absorbed by a re-assert and the
+    /// caller must stop applying it.
+    fn yield_to_remote_join(&self, peer: PeerId, origin: PeerId) -> bool {
+        if let Some(session) = self.session(&peer) {
+            if self.id < origin {
+                self.reassert_session(peer, &session);
+                return true;
+            }
+            self.displaced.write().insert(peer, session);
+        }
+        self.sessions.write().remove(&peer);
+        self.connected.write().remove(&peer);
+        false
+    }
+
+    /// Applies the local side effects of a remote LEAVE, shared by gossip
+    /// application and anti-entropy repair.  A leave echoing an older home
+    /// must not log out a peer that is live here, so a live session is
+    /// re-asserted unconditionally (the leaver holds no session and never
+    /// counter-asserts).  A *shadowed* session is resurrected instead: the
+    /// peer's global state just became "gone", yet its connection here is
+    /// still open, which proves the join we yielded to was a stale echo of a
+    /// completed login/logout episode.  Returns `true` when the event was
+    /// absorbed and the caller must stop applying it.
+    fn absorb_remote_leave(&self, peer: PeerId) -> bool {
+        if let Some(session) = self.session(&peer) {
+            self.reassert_session(peer, &session);
+            return true;
+        }
+        if let Some(session) = self.displaced.write().remove(&peer) {
+            self.sessions.write().insert(peer, session.clone());
+            self.reassert_session(peer, &session);
+            return true;
+        }
+        self.connected.write().remove(&peer);
+        false
     }
 
     /// Applies `version` to the presence register if it is newer than the
@@ -618,34 +755,61 @@ impl Broker {
         version: (u64, PeerId),
         store: bool,
     ) -> usize {
-        if store {
-            let mut advertisements = self.advertisements.write();
-            let entry = advertisements
-                .entry(group.clone())
-                .or_default()
-                .entry((from, doc_type.to_string()));
-            use std::collections::hash_map::Entry;
-            match entry {
-                Entry::Occupied(mut stored) => {
-                    if version <= stored.get().version {
-                        // A concurrent write with a greater version already
-                        // won; dropping this one keeps all replicas equal.
-                        return 0;
-                    }
-                    stored.insert(IndexedAdvertisement {
-                        xml: xml.to_string(),
-                        version,
-                    });
+        if store && !self.store_advertisement(from, group, doc_type, xml, version) {
+            // A concurrent write with a greater version already won; dropping
+            // this one keeps all replicas equal.
+            return 0;
+        }
+        self.push_to_local_members(from, group, doc_type, xml)
+    }
+
+    /// Inserts (or LWW-replaces) an advertisement in the local index.
+    /// Returns `false` when a write with a greater-or-equal version is
+    /// already stored — the shared no-regression rule of gossip application
+    /// and anti-entropy repair.
+    fn store_advertisement(
+        &self,
+        from: PeerId,
+        group: &GroupId,
+        doc_type: &str,
+        xml: &str,
+        version: (u64, PeerId),
+    ) -> bool {
+        let mut advertisements = self.advertisements.write();
+        let entry = advertisements
+            .entry(group.clone())
+            .or_default()
+            .entry((from, doc_type.to_string()));
+        use std::collections::hash_map::Entry;
+        match entry {
+            Entry::Occupied(mut stored) => {
+                if version <= stored.get().version {
+                    return false;
                 }
-                Entry::Vacant(slot) => {
-                    slot.insert(IndexedAdvertisement {
-                        xml: xml.to_string(),
-                        version,
-                    });
-                }
+                stored.insert(IndexedAdvertisement {
+                    xml: xml.to_string(),
+                    version,
+                });
+            }
+            Entry::Vacant(slot) => {
+                slot.insert(IndexedAdvertisement {
+                    xml: xml.to_string(),
+                    version,
+                });
             }
         }
+        true
+    }
 
+    /// Pushes an advertisement to the locally homed members of its group
+    /// (everyone but the owner).  Returns the number of peers pushed to.
+    fn push_to_local_members(
+        &self,
+        from: PeerId,
+        group: &GroupId,
+        doc_type: &str,
+        xml: &str,
+    ) -> usize {
         let local: Vec<PeerId> = {
             let sessions = self.sessions.read();
             self.groups
@@ -674,6 +838,20 @@ impl Broker {
     /// Allocates the next outgoing inter-broker sequence number.
     fn next_sync_seq(&self) -> u64 {
         self.sync_seq.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// Stamps `message` with the next inter-broker sequence number and sends
+    /// it, holding the send lock so allocation order and wire order agree.
+    /// Without the lock, two threads sending on this broker's behalf could
+    /// allocate seqs S and S+1 yet deliver S+1 first — the receiver's replay
+    /// protection would then reject the genuine message carrying S.
+    fn send_sequenced(&self, to: PeerId, mut message: Message, carried_wire: Duration) -> bool {
+        let _guard = self.send_lock.lock();
+        let seq = self.next_sync_seq();
+        message.push_element("seq", seq.to_string().into_bytes());
+        self.network
+            .forward(self.id, to, message.to_bytes(), carried_wire)
+            .is_ok()
     }
 
     /// Queues a gossip event for every peer broker of the federation.
@@ -711,20 +889,14 @@ impl Broker {
             std::mem::take(&mut *outbox).into_iter().collect()
         };
         for (destination, events) in batches {
-            let seq = self.next_sync_seq();
             let mut digest = Message::new(MessageKind::BrokerSync, self.id, 0)
-                .with_str("seq", &seq.to_string())
                 .with_str("count", &events.len().to_string());
             for (i, event) in events.iter().enumerate() {
                 for (field, value) in &event.fields {
                     digest.push_element(format!("e{i}-{field}"), value.as_bytes().to_vec());
                 }
             }
-            if self
-                .network
-                .send(self.id, destination, digest.to_bytes())
-                .is_ok()
-            {
+            if self.send_sequenced(destination, digest, Duration::ZERO) {
                 self.federation.count_sync_sent();
             }
         }
@@ -790,20 +962,24 @@ impl Broker {
         {
             for i in 0..count {
                 self.apply_sync_event(origin, &|field: &str| {
-                    message.element_str(&format!("e{i}-{field}"))
+                    message.element(&format!("e{i}-{field}")).map(<[u8]>::to_vec)
                 });
             }
         } else {
-            self.apply_sync_event(origin, &|field: &str| message.element_str(field));
+            self.apply_sync_event(origin, &|field: &str| {
+                message.element(field).map(<[u8]>::to_vec)
+            });
         }
         // Applying events may have re-asserted live local sessions; ship the
         // resulting gossip in one digest per destination.
         self.flush_gossip();
     }
 
-    /// Applies a single replicated write.  `get` resolves the event's fields
-    /// (either top-level elements or the `e{i}-` slice of a digest).
-    fn apply_sync_event(&self, origin: PeerId, get: &dyn Fn(&str) -> Option<String>) {
+    /// Applies a single replicated write.  `raw` resolves the event's fields
+    /// (either top-level elements or the `e{i}-` slice of a digest) as raw
+    /// bytes; textual fields are decoded through the local `get` helper.
+    fn apply_sync_event(&self, origin: PeerId, raw: &dyn Fn(&str) -> Option<Vec<u8>>) {
+        let get = |field: &str| raw(field).map(|b| String::from_utf8_lossy(&b).into_owned());
         let Some(seq) = get("seq").and_then(|s| s.parse::<u64>().ok()) else {
             return;
         };
@@ -842,25 +1018,13 @@ impl Broker {
                 if !self.try_version_presence(peer, (seq, PRESENCE_JOIN, origin)) {
                     return; // a newer local or replicated write already won
                 }
-                if let Some(session) = self.session(&peer) {
-                    // The peer is demonstrably logged in *here* right now —
-                    // local ground truth the remote join cannot know about.
-                    // The lower broker id re-asserts (so a stale join
-                    // arriving late cannot ghost a live client); the higher
-                    // one yields but *shadows* the still-open session
-                    // instead of forgetting it.  Exactly one side backs
-                    // down, so the exchange always terminates.
-                    if self.id < origin {
-                        self.reassert_session(peer, &session);
-                        return;
-                    }
-                    self.displaced.write().insert(peer, session);
+                if self.yield_to_remote_join(peer, origin) {
+                    return;
                 }
                 // The peer is homed at `origin` now; any local session for it
-                // is stale (the peer re-homed to another broker).
-                self.sessions.write().remove(&peer);
-                self.connected.write().remove(&peer);
+                // was stale (the peer re-homed to another broker).
                 self.groups.leave_all(&peer);
+                self.forget_membership_stamps(&peer);
                 self.peer_homes.write().insert(peer, origin);
                 for group in get("groups")
                     .unwrap_or_default()
@@ -872,6 +1036,7 @@ impl Broker {
                     // replicas only; the routing update above is applied by
                     // every broker either way.
                     if self.is_local_replica(&group, &peer) {
+                        self.stamp_membership(&group, peer, (seq, PRESENCE_JOIN, origin));
                         self.groups.join(group, peer);
                     }
                 }
@@ -884,24 +1049,11 @@ impl Broker {
                 if !self.try_version_presence(peer, (seq, PRESENCE_LEAVE, origin)) {
                     return; // the peer meanwhile re-homed; this leave is stale
                 }
-                if let Some(session) = self.session(&peer) {
-                    // A leave echoing an older home must not log out a peer
-                    // that is live here; re-assert unconditionally (the
-                    // leaver holds no session, so it never counter-asserts).
-                    self.reassert_session(peer, &session);
+                if self.absorb_remote_leave(peer) {
                     return;
                 }
-                if let Some(session) = self.displaced.write().remove(&peer) {
-                    // The peer's global state just became "gone", yet its
-                    // connection here is still open: the join we yielded to
-                    // was a stale echo of a completed login/logout episode.
-                    // Resurrect the shadowed session as the peer's home.
-                    self.sessions.write().insert(peer, session.clone());
-                    self.reassert_session(peer, &session);
-                    return;
-                }
-                self.connected.write().remove(&peer);
                 self.groups.leave_all(&peer);
+                self.forget_membership_stamps(&peer);
                 self.peer_homes.write().remove(&peer);
                 self.federation.count_sync_applied();
             }
@@ -938,12 +1090,58 @@ impl Broker {
                 if rank == PRESENCE_JOIN {
                     let group = GroupId::new(group);
                     if self.is_local_replica(&group, &peer) {
+                        self.stamp_membership(&group, peer, carried);
                         self.groups.join(group, peer);
                     }
                 }
                 self.federation.count_sync_applied();
             }
+            Some("ext") => {
+                // An opaque extension-state blob (e.g. an admin-signed
+                // revocation list) replicated over the backbone.  The
+                // extension authenticates the content itself — the overlay
+                // only provides transport and the usual gossip admission.
+                let Some(blob) = raw("blob") else {
+                    return;
+                };
+                let extension = self.extension.read().clone();
+                if let Some(extension) = extension {
+                    let repaired = extension.apply_repair_snapshot(self, &blob);
+                    if repaired > 0 {
+                        self.federation.count_entries_repaired(repaired);
+                    }
+                }
+                self.federation.count_sync_applied();
+            }
             _ => {}
+        }
+    }
+
+    /// Replicates the extension's opaque repair state (e.g. its installed
+    /// revocation lists) to every peer broker of the federation.  No-op when
+    /// no extension is installed or the extension has nothing to share.
+    ///
+    /// The update is sent directly (as a single-event `BrokerSync`) rather
+    /// than queued in the gossip outbox: the outbox is shared with the
+    /// broker's event-loop thread, which could pick the event up and ship it
+    /// *after* this call returns.  Sending on the caller's thread completes
+    /// before returning, so the per-inbox FIFO guarantees every current peer
+    /// applies the update before any request issued afterwards — the
+    /// ordering `SecureNetwork::revoke` documents.
+    pub fn gossip_extension_state(&self) {
+        let Some(extension) = self.extension.read().clone() else {
+            return;
+        };
+        let Some(blob) = extension.repair_snapshot() else {
+            return;
+        };
+        for peer in self.peer_brokers() {
+            let sync = Message::new(MessageKind::BrokerSync, self.id, 0)
+                .with_str("op", "ext")
+                .with_element("blob", blob.clone());
+            if self.send_sequenced(peer, sync, Duration::ZERO) {
+                self.federation.count_sync_sent();
+            }
         }
     }
 
@@ -1027,12 +1225,10 @@ impl Broker {
         for (group, members) in self.groups.snapshot() {
             for peer in members {
                 let replicas = self.shard_replicas(&group, &peer);
-                let version = self
-                    .peer_versions
-                    .read()
-                    .get(&peer)
-                    .copied()
-                    .unwrap_or((0, PRESENCE_JOIN, peer));
+                // Migrated entries carry their provenance stamp, so the
+                // receiving replica's copy stays comparable against future
+                // presence versions exactly as the original was.
+                let version = self.membership_stamp(&group, &peer);
                 let targets: Vec<PeerId> = replicas
                     .iter()
                     .filter(|replica| **replica != self.id)
@@ -1052,6 +1248,9 @@ impl Broker {
                 let homed_here = self.sessions.read().contains_key(&peer);
                 if !replicas.contains(&self.id) && !homed_here {
                     self.groups.leave(&group, &peer);
+                    self.membership_versions
+                        .write()
+                        .remove(&(group.clone(), peer));
                     migrated += 1;
                 }
             }
@@ -1072,10 +1271,11 @@ impl Broker {
     /// it back out (the caller flushes).
     fn reassert_session(&self, peer: PeerId, session: &BrokerSession) {
         self.peer_homes.write().remove(&peer);
+        let seq = self.version_local_presence(peer, PRESENCE_JOIN);
         for group in &session.groups {
+            self.stamp_membership(group, peer, (seq, PRESENCE_JOIN, self.id));
             self.groups.join(group.clone(), peer);
         }
-        let seq = self.version_local_presence(peer, PRESENCE_JOIN);
         self.gossip_join(seq, peer, &session.groups);
     }
 
@@ -1094,6 +1294,530 @@ impl Broker {
             ("peer", peer.to_urn()),
             ("groups", joined),
         ]));
+    }
+
+    // ------------------------------------------------------------------
+    // Anti-entropy repair
+    // ------------------------------------------------------------------
+    //
+    // Gossip is fire-and-forget, so a digest lost on a backbone edge (an
+    // adversarial drop — the in-process channels themselves are reliable)
+    // diverges the replicas permanently.  The anti-entropy protocol bounds
+    // that divergence: each broker periodically sends every peer a digest of
+    // the state the two are *jointly* responsible for (per-section hashes
+    // over the shared shard of the advertisement index, the shared group
+    // membership, the fully replicated presence/routing register, and the
+    // extension's replicated state).  A receiver whose own hashes disagree
+    // answers with a snapshot of the mismatched sections and asks for the
+    // sender's in return; snapshots merge under the same last-writer-wins
+    // versions as gossip, so repair can never regress a newer write.
+
+    /// Extends an FNV-1a state with a length-prefixed chunk (the prefix
+    /// keeps adjacent variable-length fields from aliasing).
+    fn hash_chunk(state: u64, bytes: &[u8]) -> u64 {
+        crate::shard::fnv1a(
+            crate::shard::fnv1a(state, &(bytes.len() as u64).to_be_bytes()),
+            bytes,
+        )
+    }
+
+    /// `true` when both this broker and `peer` are ring replicas of
+    /// `(group, owner)` — the shared-responsibility test that keeps the two
+    /// sides of an anti-entropy exchange hashing the same entry set.
+    /// Always `true` in full-replication mode.
+    fn is_shared_replica(&self, group: &GroupId, owner: &PeerId, peer: &PeerId) -> bool {
+        if !self.is_sharded() {
+            return true;
+        }
+        let ring = self.ring.read();
+        ring.is_replica(group, owner, &self.id) && ring.is_replica(group, owner, peer)
+    }
+
+    /// Sorted advertisement entries shared between this broker and `peer`.
+    fn repair_adv_entries(&self, peer: &PeerId) -> Vec<FlatEntry> {
+        let advertisements = self.advertisements.read();
+        let mut out: Vec<FlatEntry> = advertisements
+            .iter()
+            .flat_map(|(group, index)| {
+                index.iter().map(|((owner, doc_type), adv)| {
+                    (group.clone(), *owner, doc_type.clone(), adv.xml.clone(), adv.version)
+                })
+            })
+            .filter(|(group, owner, ..)| self.is_shared_replica(group, owner, peer))
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// `true` when both this broker and `peer` are responsible for the
+    /// membership entry `(group, member)`: a ring replica of it, or the
+    /// member's home broker (which keeps its local sessions' memberships as
+    /// ground truth, and is the only broker that can heal replicas when the
+    /// join gossip was lost to all of them).  Both sides evaluate the home
+    /// from the fully replicated routing table, so the sets agree whenever
+    /// routing does — and routing itself is healed by the presence section.
+    fn is_membership_shared(&self, group: &GroupId, member: &PeerId, peer: &PeerId) -> bool {
+        if !self.is_sharded() {
+            return true;
+        }
+        let home = self.home_of(member);
+        let ring = self.ring.read();
+        let responsible = |broker: &PeerId| {
+            ring.is_replica(group, member, broker) || home == Some(*broker)
+        };
+        responsible(&self.id) && responsible(peer)
+    }
+
+    /// Sorted membership entries shared with `peer` (see
+    /// [`Broker::is_membership_shared`]).
+    fn repair_membership_entries(&self, peer: &PeerId) -> Vec<(GroupId, PeerId)> {
+        let mut out = Vec::new();
+        for (group, members) in self.groups.snapshot() {
+            for member in members {
+                if self.is_membership_shared(&group, &member, peer) {
+                    out.push((group.clone(), member));
+                }
+            }
+        }
+        out.sort();
+        out
+    }
+
+    /// Sorted presence register: every peer's last-writer-wins
+    /// `(seq, rank, origin)` version plus its current home broker.  Fully
+    /// replicated, like the routing table it versions, so the whole register
+    /// is exchanged with every peer.
+    fn repair_presence_entries(&self) -> Vec<(PeerId, PresenceVersion, Option<PeerId>)> {
+        let versions = self.peer_versions.read();
+        let sessions = self.sessions.read();
+        let homes = self.peer_homes.read();
+        let mut out: Vec<(PeerId, PresenceVersion, Option<PeerId>)> = versions
+            .iter()
+            .map(|(peer, version)| {
+                let home = if sessions.contains_key(peer) {
+                    Some(self.id)
+                } else {
+                    homes.get(peer).copied()
+                };
+                (*peer, *version, home)
+            })
+            .collect();
+        out.sort();
+        out
+    }
+
+    /// The per-section anti-entropy hashes of the state shared with `peer`:
+    /// `(advertisements, membership, presence, extension)`.
+    fn repair_hashes(&self, peer: &PeerId) -> (u64, u64, u64, u64) {
+        let (a, m) = self.repair_shared_hashes(peer);
+        (a, m, self.repair_presence_hash(), self.repair_extension_hash())
+    }
+
+    /// The hashes of the two ring-filtered sections (advertisements and
+    /// membership) shared with `peer`.  In full-replication mode the filter
+    /// passes everything, so the result is the same for every peer.
+    fn repair_shared_hashes(&self, peer: &PeerId) -> (u64, u64) {
+        use crate::shard::{mix, FNV_OFFSET};
+        let mut a = FNV_OFFSET;
+        {
+            // Hash over sorted references: deep-cloning the shared index
+            // slice (XML bodies included) once per peer per round would make
+            // the idle cost of anti-entropy O(peers × index size) in
+            // allocations.  The `(group, owner, doc type)` key is unique, so
+            // sorting by it orders equal states identically on both sides.
+            let advertisements = self.advertisements.read();
+            let mut entries: Vec<(&GroupId, &PeerId, &str, &IndexedAdvertisement)> =
+                advertisements
+                    .iter()
+                    .flat_map(|(group, index)| {
+                        index
+                            .iter()
+                            .map(move |((owner, doc_type), adv)| {
+                                (group, owner, doc_type.as_str(), adv)
+                            })
+                    })
+                    .filter(|(group, owner, ..)| self.is_shared_replica(group, owner, peer))
+                    .collect();
+            entries.sort_by(|x, y| (x.0, x.1, x.2).cmp(&(y.0, y.1, y.2)));
+            for (group, owner, doc_type, adv) in entries {
+                a = Self::hash_chunk(a, group.as_str().as_bytes());
+                a = Self::hash_chunk(a, owner.as_bytes());
+                a = Self::hash_chunk(a, doc_type.as_bytes());
+                a = Self::hash_chunk(a, adv.xml.as_bytes());
+                a = Self::hash_chunk(a, &adv.version.0.to_be_bytes());
+                a = Self::hash_chunk(a, adv.version.1.as_bytes());
+            }
+        }
+        let mut m = FNV_OFFSET;
+        for (group, member) in self.repair_membership_entries(peer) {
+            m = Self::hash_chunk(m, group.as_str().as_bytes());
+            m = Self::hash_chunk(m, member.as_bytes());
+        }
+        (mix(a), mix(m))
+    }
+
+    /// The hash of the presence/routing register (fully replicated, so
+    /// identical towards every peer).
+    fn repair_presence_hash(&self) -> u64 {
+        use crate::shard::{mix, FNV_OFFSET};
+        let mut p = FNV_OFFSET;
+        for (peer_id, version, home) in self.repair_presence_entries() {
+            p = Self::hash_chunk(p, peer_id.as_bytes());
+            p = Self::hash_chunk(p, &version.0.to_be_bytes());
+            p = Self::hash_chunk(p, &[version.1]);
+            p = Self::hash_chunk(p, version.2.as_bytes());
+            p = match home {
+                Some(home) => Self::hash_chunk(p, home.as_bytes()),
+                None => Self::hash_chunk(p, &[]),
+            };
+        }
+        mix(p)
+    }
+
+    /// The hash of the extension's replicated state (peer-independent; zero
+    /// when no extension is installed or it replicates nothing).
+    fn repair_extension_hash(&self) -> u64 {
+        use crate::shard::{mix, FNV_OFFSET};
+        match self.extension.read().clone().and_then(|e| e.repair_digest()) {
+            Some(bytes) => mix(Self::hash_chunk(FNV_OFFSET, &bytes)),
+            None => 0,
+        }
+    }
+
+    /// Starts one anti-entropy round: sends every peer broker a digest of
+    /// the jointly held state.  Peers whose replicas disagree answer with a
+    /// snapshot exchange; a healthy backbone answers nothing, so the idle
+    /// cost of a round is one small digest per edge.
+    pub fn start_repair_round(&self) {
+        let peers = self.peer_brokers();
+        if peers.is_empty() {
+            return;
+        }
+        self.federation.count_repair_round();
+        // The presence and extension sections are identical towards every
+        // peer, and under full replication so are the advertisement and
+        // membership sections: hash each peer-invariant section once per
+        // round instead of once per edge.
+        let p = self.repair_presence_hash();
+        let x = self.repair_extension_hash();
+        let invariant = if self.is_sharded() {
+            None
+        } else {
+            Some(self.repair_shared_hashes(&self.id))
+        };
+        for peer in peers {
+            let (a, m) = invariant.unwrap_or_else(|| self.repair_shared_hashes(&peer));
+            let digest = Message::new(MessageKind::AntiEntropyDigest, self.id, 0)
+                .with_str("a-hash", &a.to_string())
+                .with_str("m-hash", &m.to_string())
+                .with_str("p-hash", &p.to_string())
+                .with_str("x-hash", &x.to_string());
+            self.send_sequenced(peer, digest, Duration::ZERO);
+        }
+    }
+
+    /// Membership repair needs the sender's presence versions to decide
+    /// deletions, so an `m` section always travels with `p`.
+    fn normalize_sections(sections: &str) -> String {
+        if sections.contains('m') && !sections.contains('p') {
+            format!("{sections}p")
+        } else {
+            sections.to_string()
+        }
+    }
+
+    /// Handles a peer's anti-entropy digest: compare section hashes and, on
+    /// any mismatch, answer with a snapshot of the mismatched sections while
+    /// asking the peer (`want`) to send its own back — one exchange heals
+    /// both replicas.
+    fn handle_anti_entropy_digest(&self, message: &Message, transport_from: Option<PeerId>) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        let origin = message.sender;
+        let (a, m, p, x) = self.repair_hashes(&origin);
+        let theirs = |name: &str| message.element_str(name).and_then(|h| h.parse::<u64>().ok());
+        let mut sections = String::new();
+        if theirs("a-hash") != Some(a) {
+            sections.push('a');
+        }
+        if theirs("m-hash") != Some(m) {
+            sections.push('m');
+        }
+        if theirs("p-hash") != Some(p) {
+            sections.push('p');
+        }
+        if theirs("x-hash") != Some(x) {
+            sections.push('x');
+        }
+        if sections.is_empty() {
+            return; // the replicas agree
+        }
+        self.federation.count_repair_mismatch();
+        let sections = Self::normalize_sections(&sections);
+        let snapshot = self.build_repair_snapshot(&origin, &sections, &sections);
+        self.send_sequenced(origin, snapshot, Duration::ZERO);
+    }
+
+    /// Builds an `AntiEntropySnapshot` of the given sections for `peer`.
+    /// `want` names the sections the receiver should send back (empty on
+    /// the final leg of an exchange, which is what terminates it).
+    fn build_repair_snapshot(&self, peer: &PeerId, sections: &str, want: &str) -> Message {
+        let mut snapshot =
+            Message::new(MessageKind::AntiEntropySnapshot, self.id, 0).with_str("want", want);
+        if sections.contains('a') {
+            let entries = self.repair_adv_entries(peer);
+            snapshot.push_element("a-count", entries.len().to_string().into_bytes());
+            for (i, (group, owner, doc_type, xml, version)) in entries.into_iter().enumerate() {
+                snapshot.push_element(format!("a{i}-group"), group.as_str().as_bytes().to_vec());
+                snapshot.push_element(format!("a{i}-owner"), owner.to_urn().into_bytes());
+                snapshot.push_element(format!("a{i}-type"), doc_type.into_bytes());
+                snapshot.push_element(format!("a{i}-xml"), xml.into_bytes());
+                snapshot.push_element(format!("a{i}-vseq"), version.0.to_string().into_bytes());
+                snapshot.push_element(format!("a{i}-vorigin"), version.1.to_urn().into_bytes());
+            }
+        }
+        if sections.contains('m') {
+            let entries = self.repair_membership_entries(peer);
+            snapshot.push_element("m-count", entries.len().to_string().into_bytes());
+            for (i, (group, member)) in entries.into_iter().enumerate() {
+                let version = self.membership_stamp(&group, &member);
+                snapshot.push_element(format!("m{i}-group"), group.as_str().as_bytes().to_vec());
+                snapshot.push_element(format!("m{i}-peer"), member.to_urn().into_bytes());
+                snapshot.push_element(format!("m{i}-vseq"), version.0.to_string().into_bytes());
+                snapshot.push_element(format!("m{i}-vrank"), version.1.to_string().into_bytes());
+                snapshot.push_element(format!("m{i}-vorigin"), version.2.to_urn().into_bytes());
+            }
+        }
+        if sections.contains('p') {
+            let entries = self.repair_presence_entries();
+            snapshot.push_element("p-count", entries.len().to_string().into_bytes());
+            for (i, (peer_id, version, home)) in entries.into_iter().enumerate() {
+                snapshot.push_element(format!("p{i}-peer"), peer_id.to_urn().into_bytes());
+                snapshot.push_element(format!("p{i}-vseq"), version.0.to_string().into_bytes());
+                snapshot.push_element(format!("p{i}-vrank"), version.1.to_string().into_bytes());
+                snapshot.push_element(format!("p{i}-vorigin"), version.2.to_urn().into_bytes());
+                if let Some(home) = home {
+                    snapshot.push_element(format!("p{i}-home"), home.to_urn().into_bytes());
+                }
+            }
+        }
+        if sections.contains('x') {
+            if let Some(blob) = self.extension.read().clone().and_then(|e| e.repair_snapshot()) {
+                snapshot.push_element("ext", blob);
+            }
+        }
+        snapshot
+    }
+
+    /// Handles a peer's anti-entropy snapshot: merge every section under the
+    /// last-writer-wins rules and, if the peer asked (`want`), send the
+    /// local snapshot of the same sections back so both replicas converge.
+    fn handle_anti_entropy_snapshot(&self, message: &Message, transport_from: Option<PeerId>) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        let origin = message.sender;
+        let repaired = self.merge_repair_snapshot(origin, message);
+        if repaired > 0 {
+            self.federation.count_entries_repaired(repaired);
+        }
+        let want = message.element_str("want").unwrap_or_default();
+        if !want.is_empty() {
+            let sections = Self::normalize_sections(&want);
+            let reply = self.build_repair_snapshot(&origin, &sections, "");
+            self.send_sequenced(origin, reply, Duration::ZERO);
+        }
+        // Merging may have re-asserted live local sessions; ship the gossip.
+        self.flush_gossip();
+    }
+
+    /// Merges one snapshot into local state.  Returns the number of entries
+    /// actually brought up to date (stale snapshot content merges to zero —
+    /// the no-regression property the repair proptests assert).
+    fn merge_repair_snapshot(&self, origin: PeerId, message: &Message) -> u64 {
+        let mut repaired = 0u64;
+        let text = |name: &str| message.element_str(name);
+        let count = |name: &str| text(name).and_then(|c| c.parse::<usize>().ok());
+
+        // The presence section is parsed up front: the membership deletion
+        // rule below compares against the *sender's* versions.
+        let presence: Option<Vec<(PeerId, PresenceVersion, Option<PeerId>)>> =
+            count("p-count").map(|n| {
+                (0..n)
+                    .filter_map(|i| {
+                        let peer =
+                            text(&format!("p{i}-peer")).and_then(|u| PeerId::from_urn(&u))?;
+                        let seq =
+                            text(&format!("p{i}-vseq")).and_then(|s| s.parse::<u64>().ok())?;
+                        let rank =
+                            text(&format!("p{i}-vrank")).and_then(|r| r.parse::<u8>().ok())?;
+                        let vorigin =
+                            text(&format!("p{i}-vorigin")).and_then(|u| PeerId::from_urn(&u))?;
+                        let home = text(&format!("p{i}-home")).and_then(|u| PeerId::from_urn(&u));
+                        Some((peer, (seq, rank, vorigin), home))
+                    })
+                    .collect()
+            });
+
+        // Presence/routing first: merge each entry if its version is newer,
+        // mirroring the join/leave gossip application (including the
+        // live-session arbitration and the shadow/resurrect dance).  It must
+        // run before the membership sections — those store the same versions,
+        // and a version that arrives via membership first would make the
+        // presence merge skip the entry as already-known, leaving the
+        // routing table unhealed.
+        if let Some(presence) = presence.as_ref() {
+            for &(peer, version, home) in presence {
+                if !self.try_version_presence(peer, version) {
+                    continue;
+                }
+                repaired += 1;
+                if version.1 == PRESENCE_JOIN {
+                    if self.yield_to_remote_join(peer, version.2) {
+                        continue;
+                    }
+                    // Unlike a gossiped join (which carries the full group
+                    // list), the snapshot's membership section reconciles
+                    // groups separately, so memberships are left untouched
+                    // here.
+                    match home {
+                        Some(home) if home != self.id => {
+                            self.peer_homes.write().insert(peer, home);
+                        }
+                        _ => {
+                            self.peer_homes.write().remove(&peer);
+                        }
+                    }
+                } else {
+                    if self.absorb_remote_leave(peer) {
+                        continue;
+                    }
+                    self.groups.leave_all(&peer);
+                    self.forget_membership_stamps(&peer);
+                    self.peer_homes.write().remove(&peer);
+                }
+            }
+        }
+
+        // Membership: deletions first — an entry we hold, shared with the
+        // sender, that the sender no longer has, *and* whose provenance
+        // stamp is strictly older than what the sender knows about the
+        // member, means we missed a leave or a re-join with a smaller group
+        // set.  An equal version proves the entry current instead (the same
+        // join event implies the same group list), which keeps a half-healed
+        // replica from talking a healed one out of a correct entry.  Then
+        // additions, carrying the sender's provenance stamps.
+        if let (Some(m_count), Some(presence)) = (count("m-count"), presence.as_ref()) {
+            let sender_versions: HashMap<PeerId, PresenceVersion> =
+                presence.iter().map(|(peer, version, _)| (*peer, *version)).collect();
+            let mut sender_members: std::collections::HashSet<(GroupId, PeerId)> =
+                std::collections::HashSet::with_capacity(m_count);
+            let mut additions = Vec::with_capacity(m_count);
+            for i in 0..m_count {
+                let (Some(group), Some(member), Some(seq), Some(rank), Some(vorigin)) = (
+                    text(&format!("m{i}-group")),
+                    text(&format!("m{i}-peer")).and_then(|u| PeerId::from_urn(&u)),
+                    text(&format!("m{i}-vseq")).and_then(|s| s.parse::<u64>().ok()),
+                    text(&format!("m{i}-vrank")).and_then(|r| r.parse::<u8>().ok()),
+                    text(&format!("m{i}-vorigin")).and_then(|u| PeerId::from_urn(&u)),
+                ) else {
+                    continue;
+                };
+                let group = GroupId::new(group);
+                sender_members.insert((group.clone(), member));
+                additions.push((group, member, (seq, rank, vorigin)));
+            }
+            for (group, member) in self.repair_membership_entries(&origin) {
+                if sender_members.contains(&(group.clone(), member)) {
+                    continue;
+                }
+                if self.sessions.read().contains_key(&member) {
+                    // Local ground truth: a live session's membership is
+                    // never deleted on a peer's say-so.
+                    continue;
+                }
+                let Some(sender_version) = sender_versions.get(&member) else {
+                    continue; // the sender knows nothing about this peer
+                };
+                if *sender_version > self.membership_stamp(&group, &member) {
+                    self.groups.leave(&group, &member);
+                    self.membership_versions
+                        .write()
+                        .remove(&(group.clone(), member));
+                    repaired += 1;
+                }
+            }
+            for (group, member, carried) in additions {
+                if carried.1 != PRESENCE_JOIN || !self.is_local_replica(&group, &member) {
+                    continue;
+                }
+                if self
+                    .peer_versions
+                    .read()
+                    .get(&member)
+                    .is_some_and(|stored| *stored > carried)
+                {
+                    // The member's presence moved past this entry's
+                    // provenance (a later leave or re-join); only a sender
+                    // with an equally current stamp may assert it.
+                    continue;
+                }
+                if self.groups.is_member(&group, &member) {
+                    if carried > self.membership_stamp(&group, &member) {
+                        self.stamp_membership(&group, member, carried);
+                    }
+                } else {
+                    self.stamp_membership(&group, member, carried);
+                    self.groups.join(group, member);
+                    repaired += 1;
+                }
+            }
+        }
+
+        // Advertisements: pure LWW merge — repair only ever *adds* missed
+        // writes (reshard handles ownership moves deterministically on every
+        // broker, so there are no deletions to reconcile).
+        if let Some(n) = count("a-count") {
+            for i in 0..n {
+                let (Some(group), Some(owner), Some(doc_type), Some(xml), Some(vseq), Some(vorigin)) = (
+                    text(&format!("a{i}-group")),
+                    text(&format!("a{i}-owner")).and_then(|u| PeerId::from_urn(&u)),
+                    text(&format!("a{i}-type")),
+                    text(&format!("a{i}-xml")),
+                    text(&format!("a{i}-vseq")).and_then(|s| s.parse::<u64>().ok()),
+                    text(&format!("a{i}-vorigin")).and_then(|u| PeerId::from_urn(&u)),
+                ) else {
+                    continue;
+                };
+                let group = GroupId::new(group);
+                if !self.is_local_replica(&group, &owner) {
+                    continue;
+                }
+                if self.store_advertisement(owner, &group, &doc_type, &xml, (vseq, vorigin)) {
+                    // The members homed here missed the original push along
+                    // with the gossip; deliver it now that the entry healed.
+                    self.push_to_local_members(owner, &group, &doc_type, &xml);
+                    repaired += 1;
+                }
+            }
+        }
+
+        // Extension state (e.g. signed revocation lists): the extension
+        // authenticates and merges the blob itself.
+        if let Some(blob) = message.element("ext") {
+            let extension = self.extension.read().clone();
+            if let Some(extension) = extension {
+                repaired += extension.apply_repair_snapshot(self, blob);
+            }
+        }
+        repaired
     }
 
     // ------------------------------------------------------------------
@@ -1138,25 +1862,18 @@ impl Broker {
             return Some(self.reject(message, "unknown destination peer"));
         };
         let relay = Message::new(MessageKind::BrokerRelay, self.id, message.request_id)
-            .with_str("seq", &self.next_sync_seq().to_string())
             .with_str("to", &to_urn)
             .with_element("payload", payload.to_vec());
-        match self
-            .network
-            .forward(self.id, home, relay.to_bytes(), carried_wire)
-        {
-            Ok(_) => {
-                self.federation.count_relay_forwarded();
-                Some(
-                    Message::new(MessageKind::Ack, self.id, message.request_id)
-                        .with_str("status", "ok")
-                        .with_str("route", "federation"),
-                )
-            }
-            Err(_) => {
-                self.federation.count_relay_failed();
-                Some(self.reject(message, "home broker unreachable"))
-            }
+        if self.send_sequenced(home, relay, carried_wire) {
+            self.federation.count_relay_forwarded();
+            Some(
+                Message::new(MessageKind::Ack, self.id, message.request_id)
+                    .with_str("status", "ok")
+                    .with_str("route", "federation"),
+            )
+        } else {
+            self.federation.count_relay_failed();
+            Some(self.reject(message, "home broker unreachable"))
         }
     }
 
@@ -1295,6 +2012,14 @@ impl Broker {
                 self.handle_shard_response(&message, Some(net_message.from));
                 None
             }
+            MessageKind::AntiEntropyDigest => {
+                self.handle_anti_entropy_digest(&message, Some(net_message.from));
+                None
+            }
+            MessageKind::AntiEntropySnapshot => {
+                self.handle_anti_entropy_snapshot(&message, Some(net_message.from));
+                None
+            }
             _ => self.handle_message(&message),
         };
         // Belt and braces: any handler that queued gossip has flushed it
@@ -1341,6 +2066,14 @@ impl Broker {
             }
             MessageKind::ShardResponse => {
                 self.handle_shard_response(message, None);
+                None
+            }
+            MessageKind::AntiEntropyDigest => {
+                self.handle_anti_entropy_digest(message, None);
+                None
+            }
+            MessageKind::AntiEntropySnapshot => {
+                self.handle_anti_entropy_snapshot(message, None);
                 None
             }
             MessageKind::SecureConnectChallenge
@@ -1530,7 +2263,10 @@ impl Broker {
     }
 
     /// Routes a keyed query (advertisement search with a known owner, or a
-    /// membership probe) to the first ring replica of its `(group, key)`.
+    /// membership probe) to one ring replica of its `(group, key)`,
+    /// rotating deterministically across the replica set so repeated lookups
+    /// of a hot key spread over all K replicas instead of hammering the
+    /// first one on the ring walk.
     fn route_shard_query(
         &self,
         message: &Message,
@@ -1541,11 +2277,12 @@ impl Broker {
         let Some(key) = key_peer else {
             return Some(self.reject(message, "malformed shard query"));
         };
-        let Some(target) = self
+        let candidates: Vec<PeerId> = self
             .shard_replicas(group, &key)
             .into_iter()
-            .find(|replica| *replica != self.id)
-        else {
+            .filter(|replica| *replica != self.id)
+            .collect();
+        if candidates.is_empty() {
             // No remote replica (degenerate ring) — answer from what we have.
             return Some(match doc_type {
                 Some(doc_type) => self.lookup_response(
@@ -1555,11 +2292,14 @@ impl Broker {
                 None => self
                     .membership_response(message.request_id, self.groups.is_member(group, &key)),
             });
-        };
+        }
         let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
+        // The monotone query identifier doubles as the rotation counter, so
+        // the choice is deterministic for reproducible tests yet spreads
+        // successive queries round-robin over the replica set.
+        let target = candidates[(query_id as usize) % candidates.len()];
         let membership = doc_type.is_none();
         let mut query = Message::new(MessageKind::ShardQuery, self.id, 0)
-            .with_str("seq", &self.next_sync_seq().to_string())
             .with_str("query", &query_id.to_string())
             .with_str("group", group.as_str());
         match doc_type {
@@ -1570,7 +2310,7 @@ impl Broker {
             }
             None => query = query.with_str("member", &key.to_urn()),
         }
-        if self.network.send(self.id, target, query.to_bytes()).is_err() {
+        if !self.send_sequenced(target, query, Duration::ZERO) {
             // The replica is gone; fail the query towards the client rather
             // than leaving it waiting for a response that cannot come.
             return Some(self.reject(message, "shard replica unreachable"));
@@ -1606,11 +2346,10 @@ impl Broker {
         let mut remaining = 0usize;
         for target in peers {
             let query = Message::new(MessageKind::ShardQuery, self.id, 0)
-                .with_str("seq", &self.next_sync_seq().to_string())
                 .with_str("query", &query_id.to_string())
                 .with_str("group", group.as_str())
                 .with_str("doc-type", doc_type);
-            if self.network.send(self.id, target, query.to_bytes()).is_ok() {
+            if self.send_sequenced(target, query, Duration::ZERO) {
                 remaining += 1;
             }
         }
@@ -1653,7 +2392,6 @@ impl Broker {
         };
         let group = GroupId::new(group);
         let mut response = Message::new(MessageKind::ShardResponse, self.id, 0)
-            .with_str("seq", &self.next_sync_seq().to_string())
             .with_str("query", &query);
         if let Some(member) = message
             .element_str("member")
@@ -1683,9 +2421,7 @@ impl Broker {
                 response.push_element(format!("r{i}-xml"), xml.into_bytes());
             }
         }
-        let _ = self
-            .network
-            .send(self.id, message.sender, response.to_bytes());
+        self.send_sequenced(message.sender, response, Duration::ZERO);
     }
 
     /// Merges a replica's `ShardResponse` into the pending lookup it answers
@@ -2128,6 +2864,37 @@ mod tests {
         assert!(!broker.groups().is_member(&GroupId::new("math"), &owner));
         assert!(broker.home_of(&owner).is_none());
         assert_eq!(broker.federation_stats().syncs_applied, 3);
+    }
+
+    #[test]
+    fn anti_entropy_traffic_from_unknown_origin_is_rejected() {
+        let (_net, _db, broker, mut rng) = setup();
+        let rogue = PeerId::random(&mut rng);
+        let digest = Message::new(MessageKind::AntiEntropyDigest, rogue, 0)
+            .with_str("seq", "1")
+            .with_str("a-hash", "1")
+            .with_str("m-hash", "2")
+            .with_str("p-hash", "3")
+            .with_str("x-hash", "4");
+        assert!(broker.handle_message(&digest).is_none(), "digests are never acked");
+        assert_eq!(broker.federation_stats().rejected_unknown_origin, 1);
+
+        // A forged snapshot from outside the federation applies nothing.
+        let owner = PeerId::random(&mut rng);
+        let snapshot = Message::new(MessageKind::AntiEntropySnapshot, rogue, 0)
+            .with_str("seq", "2")
+            .with_str("want", "")
+            .with_str("a-count", "1")
+            .with_str("a0-group", "math")
+            .with_str("a0-owner", &owner.to_urn())
+            .with_str("a0-type", "jxta:PipeAdvertisement")
+            .with_str("a0-xml", "<forged/>")
+            .with_str("a0-vseq", "9")
+            .with_str("a0-vorigin", &rogue.to_urn());
+        broker.handle_message(&snapshot);
+        assert_eq!(broker.federation_stats().rejected_unknown_origin, 2);
+        assert!(broker.advertisement_snapshot().is_empty());
+        assert_eq!(broker.federation_stats().entries_repaired, 0);
     }
 
     #[test]

@@ -154,23 +154,161 @@ pub fn sharded_converged(brokers: &[Arc<Broker>]) -> bool {
     true
 }
 
-/// A running federation: a full mesh of spawned brokers.
+/// A running federation: a full mesh of spawned brokers, optionally running
+/// periodic anti-entropy repair.
 pub struct BrokerNetwork {
     handles: Vec<BrokerHandle>,
+    /// Broker list shared with the repair thread (membership changes through
+    /// [`BrokerNetwork::add_broker`]/[`BrokerNetwork::remove_broker`] are
+    /// visible to it immediately).
+    brokers: Arc<parking_lot::RwLock<Vec<Arc<Broker>>>>,
+    repair: Option<RepairLoop>,
+}
+
+/// The periodic anti-entropy driver of a spawned federation.
+struct RepairLoop {
+    shutdown: crossbeam::channel::Sender<()>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Drop for RepairLoop {
+    fn drop(&mut self) {
+        let _ = self.shutdown.send(());
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
 }
 
 impl BrokerNetwork {
     /// Interconnects the brokers into a full mesh and spawns their event
-    /// loops.
+    /// loops.  No periodic repair; see [`BrokerNetwork::spawn_with_repair`].
     ///
     /// # Panics
     ///
     /// Panics if `brokers` is empty — a deployment has at least one broker.
     pub fn spawn(brokers: Vec<Arc<Broker>>) -> Self {
+        Self::spawn_with_repair(brokers, None)
+    }
+
+    /// Like [`BrokerNetwork::spawn`], but additionally runs an anti-entropy
+    /// repair round on every broker each `interval` (when `Some`), so
+    /// replica divergence caused by lost backbone gossip heals within a
+    /// bounded number of intervals instead of persisting forever.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `brokers` is empty.
+    pub fn spawn_with_repair(brokers: Vec<Arc<Broker>>, interval: Option<Duration>) -> Self {
         assert!(!brokers.is_empty(), "a federation needs at least one broker");
         interconnect(&brokers);
-        let handles = brokers.iter().map(|broker| broker.spawn()).collect();
-        BrokerNetwork { handles }
+        let handles: Vec<BrokerHandle> = brokers.iter().map(|broker| broker.spawn()).collect();
+        let brokers = Arc::new(parking_lot::RwLock::new(brokers));
+        let repair = interval.map(|interval| {
+            let (shutdown_tx, shutdown_rx) = crossbeam::channel::bounded::<()>(1);
+            let brokers = Arc::clone(&brokers);
+            let thread = std::thread::Builder::new()
+                .name("federation-repair".to_string())
+                .spawn(move || {
+                    while let Err(crossbeam::channel::RecvTimeoutError::Timeout) =
+                        shutdown_rx.recv_timeout(interval)
+                    {
+                        for broker in brokers.read().iter() {
+                            broker.start_repair_round();
+                        }
+                    }
+                })
+                .expect("failed to spawn federation repair thread");
+            RepairLoop {
+                shutdown: shutdown_tx,
+                thread: Some(thread),
+            }
+        });
+        BrokerNetwork {
+            handles,
+            brokers,
+            repair,
+        }
+    }
+
+    /// Triggers one anti-entropy round on every broker immediately (useful
+    /// when no periodic interval is configured, or to avoid waiting for the
+    /// next tick in tests).
+    pub fn trigger_repair(&self) {
+        for broker in self.brokers.read().iter() {
+            broker.start_repair_round();
+        }
+    }
+
+    /// Admits a new broker into the running federation: its event loop is
+    /// spawned, the full mesh is extended on both sides, and every broker
+    /// re-shards so the entries the newcomer now owns migrate onto it — the
+    /// spawned-path equivalent of [`InlineFederation::add_broker`].  Callers
+    /// should [`BrokerNetwork::await_convergence`] afterwards (migration
+    /// gossip drains asynchronously on the broker threads).
+    pub fn add_broker(&mut self, broker: Arc<Broker>) {
+        // Spawn first so the newcomer's endpoint exists before any migration
+        // gossip is addressed to it.
+        let handle = broker.spawn();
+        {
+            let mut brokers = self.brokers.write();
+            for existing in brokers.iter() {
+                existing.add_peer_broker(broker.id());
+                broker.add_peer_broker(existing.id());
+            }
+            brokers.push(Arc::clone(&broker));
+        }
+        self.handles.push(handle);
+        for broker in self.brokers.read().iter() {
+            broker.reshard();
+        }
+        // Re-sharding migrates entries onto the newcomer in sharded mode; in
+        // full-replication mode it is a no-op, so an anti-entropy round is
+        // what transfers the existing state (and the extensions' replicated
+        // state, e.g. prior revocations) to the new broker.
+        self.trigger_repair();
+    }
+
+    /// Removes the `index`-th broker from the running federation: its local
+    /// sessions are dropped (their clients lose their home, exactly as a
+    /// broker crash would), the departure gossip is given a moment to drain,
+    /// its event loop is shut down, and every survivor forgets it and
+    /// re-shards — the spawned-path equivalent of
+    /// [`InlineFederation::remove_broker`].  The crashed-broker client
+    /// cleanup in [`Broker::remove_peer_broker`] covers whatever the drain
+    /// missed.  Returns the removed broker.
+    pub fn remove_broker(&mut self, index: usize) -> Arc<Broker> {
+        let handle = self.handles.remove(index);
+        let removed = self.brokers.write().remove(index);
+        let local_peers: Vec<PeerId> = removed
+            .routing_snapshot()
+            .into_iter()
+            .filter(|(_, home)| *home == removed.id())
+            .map(|(peer, _)| peer)
+            .collect();
+        for peer in &local_peers {
+            removed.drop_session(peer);
+        }
+        // Let the departure gossip drain while the leaver is still a peer:
+        // poll until every survivor has processed everything delivered to it.
+        let deadline = Instant::now() + Duration::from_millis(500);
+        while Instant::now() < deadline {
+            let drained = self.brokers.read().iter().all(|broker| {
+                broker.processed_count() == broker.network().delivered_to(&broker.id())
+            });
+            if drained {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        handle.shutdown();
+        for survivor in self.brokers.read().iter() {
+            survivor.remove_peer_broker(&removed.id());
+        }
+        for survivor in self.brokers.read().iter() {
+            survivor.reshard();
+        }
+        removed
     }
 
     /// Number of brokers in the federation.
@@ -250,9 +388,14 @@ impl BrokerNetwork {
         }
     }
 
-    /// Shuts every broker down and waits for their threads.
+    /// Shuts every broker down and waits for their threads (the repair loop,
+    /// when one is running, stops first).
     pub fn shutdown(self) {
-        for handle in self.handles {
+        let BrokerNetwork {
+            handles, repair, ..
+        } = self;
+        drop(repair);
+        for handle in handles {
             handle.shutdown();
         }
     }
@@ -361,6 +504,10 @@ impl InlineFederation {
             broker.reshard();
         }
         self.pump();
+        // Re-sharding is a no-op under full replication — an anti-entropy
+        // round is what hands the newcomer the existing state there (and
+        // extension state, e.g. prior revocations, in either mode).
+        self.repair();
     }
 
     /// Removes the `index`-th broker from the federation: its local sessions
@@ -395,6 +542,45 @@ impl InlineFederation {
     /// Returns `true` when all brokers hold identical replicated state.
     pub fn converged(&self) -> bool {
         converged(&self.brokers)
+    }
+
+    /// Runs one deterministic anti-entropy round: every broker digests its
+    /// shared state to every peer, and the resulting snapshot exchanges are
+    /// pumped to quiescence.  Returns the number of entries repaired across
+    /// the federation in this round (zero on a healthy backbone).
+    pub fn repair(&self) -> u64 {
+        let before: u64 = self
+            .brokers
+            .iter()
+            .map(|broker| broker.federation_stats().entries_repaired)
+            .sum();
+        for broker in &self.brokers {
+            broker.start_repair_round();
+        }
+        self.pump();
+        let after: u64 = self
+            .brokers
+            .iter()
+            .map(|broker| broker.federation_stats().entries_repaired)
+            .sum();
+        after - before
+    }
+
+    /// Repairs until the federation converges, up to `max_rounds` rounds.
+    /// Returns `Some(rounds_used)` on convergence (zero when it was already
+    /// converged) and `None` when the bound was exhausted — divergence that
+    /// anti-entropy cannot heal is a bug, and tests assert on it.
+    pub fn repair_until_converged(&self, max_rounds: usize) -> Option<usize> {
+        for round in 0..=max_rounds {
+            if self.converged() {
+                return Some(round);
+            }
+            if round == max_rounds {
+                break;
+            }
+            self.repair();
+        }
+        None
     }
 }
 
@@ -999,6 +1185,292 @@ mod tests {
     }
 
     #[test]
+    fn repair_is_idle_on_a_healthy_federation() {
+        let (_net, _db, brokers) = make_brokers(3, 0xD0);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xD1);
+        let alice = PeerId::random(&mut rng);
+        federation.broker(0).establish_session(alice, "alice");
+        federation
+            .broker(0)
+            .index_and_distribute(alice, &GroupId::new("math"), "jxta:PipeAdvertisement", "<a/>");
+        federation.pump();
+        assert!(federation.converged());
+
+        assert_eq!(federation.repair(), 0, "nothing to repair when converged");
+        for i in 0..3 {
+            let stats = federation.broker(i).federation_stats();
+            assert_eq!(stats.repair_mismatches, 0, "broker {i} saw no mismatch");
+            assert!(stats.repair_rounds >= 1, "broker {i} initiated a round");
+        }
+        assert!(federation.converged(), "repair does not perturb healthy state");
+        assert_eq!(federation.repair_until_converged(2), Some(0));
+    }
+
+    #[test]
+    fn anti_entropy_repairs_a_dropped_publish_and_join() {
+        use crate::net::RandomDrop;
+        // All backbone traffic between broker 0 and broker 1 is lost while
+        // alice joins and publishes at broker 0: broker 1 diverges (the PR 3
+        // state of the world: detectable forever, repaired never).  One
+        // repair round must heal index, membership and routing.
+        let (net, _db, brokers) = make_brokers(3, 0xD2);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xD3);
+        let alice = PeerId::random(&mut rng);
+        let group = GroupId::new("math");
+        let edge = vec![federation.broker(0).id(), federation.broker(1).id()];
+        net.set_adversary(RandomDrop::between(1, 100, edge));
+
+        federation.broker(0).establish_session(alice, "alice");
+        federation
+            .broker(0)
+            .index_and_distribute(alice, &group, "jxta:PipeAdvertisement", "<a/>");
+        federation.pump();
+        net.clear_adversary();
+
+        assert!(!federation.converged(), "the drop diverged the replicas");
+        assert!(federation.broker(1).home_of(&alice).is_none());
+        assert!(federation
+            .broker(1)
+            .lookup(&group, "jxta:PipeAdvertisement", Some(alice))
+            .is_empty());
+        // Broker 2 saw everything (its edges were clean).
+        assert_eq!(federation.broker(2).home_of(&alice), Some(federation.broker(0).id()));
+
+        let repaired = federation.repair();
+        assert!(repaired > 0, "repair healed entries");
+        assert!(federation.converged(), "one round reconverges the federation");
+        assert_eq!(federation.broker(1).home_of(&alice), Some(federation.broker(0).id()));
+        assert_eq!(
+            federation.broker(1).lookup(&group, "jxta:PipeAdvertisement", Some(alice)),
+            vec!["<a/>".to_string()]
+        );
+        assert!(federation.broker(1).groups().is_member(&group, &alice));
+        let mismatches: u64 = (0..3)
+            .map(|i| federation.broker(i).federation_stats().repair_mismatches)
+            .sum();
+        assert!(mismatches > 0, "the divergence was detected via digests");
+    }
+
+    #[test]
+    fn anti_entropy_repairs_a_dropped_leave() {
+        use crate::net::RandomDrop;
+        // Broker 1 misses alice's departure: without repair it keeps her
+        // routing and membership as ghosts forever.
+        let (net, _db, brokers) = make_brokers(3, 0xD4);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xD5);
+        let alice = PeerId::random(&mut rng);
+        federation.broker(0).establish_session(alice, "alice");
+        federation.pump();
+        assert!(federation.converged());
+
+        let edge = vec![federation.broker(0).id(), federation.broker(1).id()];
+        net.set_adversary(RandomDrop::between(2, 100, edge));
+        federation.broker(0).drop_session(&alice);
+        federation.pump();
+        net.clear_adversary();
+
+        assert!(!federation.converged());
+        assert!(federation.broker(1).groups().is_member(&GroupId::new("math"), &alice));
+
+        assert!(federation.repair() > 0);
+        assert!(federation.converged());
+        assert!(federation.broker(1).home_of(&alice).is_none());
+        assert!(
+            !federation.broker(1).groups().is_member(&GroupId::new("math"), &alice),
+            "the ghost membership was repaired away"
+        );
+    }
+
+    #[test]
+    fn sharded_divergence_heals_with_lww_intact() {
+        use crate::net::RandomDrop;
+        // Sharded federation: a replica misses a *re-publish* (newer version
+        // of an existing key).  Repair must converge every replica to the
+        // newer write — and must never regress it back to the old one.
+        let (net, _db, brokers) = make_sharded_brokers(4, 2, 0xD6);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xD7);
+        let group = GroupId::new("math");
+        let owner = PeerId::random(&mut rng);
+        federation
+            .broker(0)
+            .index_and_distribute(owner, &group, "jxta:PipeAdvertisement", "<v1/>");
+        federation.pump();
+        assert!(federation.converged());
+
+        // Drop all backbone gossip while the re-publish happens, so at least
+        // one replica keeps serving <v1/>.
+        let backbone: Vec<PeerId> = (0..4).map(|i| federation.broker(i).id()).collect();
+        net.set_adversary(RandomDrop::between(3, 100, backbone));
+        federation
+            .broker(0)
+            .index_and_distribute(owner, &group, "jxta:PipeAdvertisement", "<v2/>");
+        federation.pump();
+        net.clear_adversary();
+
+        let rounds = federation.repair_until_converged(4).expect("repair reconverges");
+        // Which xml won depends on whether broker 0 is a replica of the key;
+        // either way every replica serves the same, *newest surviving* write.
+        let survivors: Vec<String> = (0..4)
+            .flat_map(|i| {
+                federation
+                    .broker(i)
+                    .lookup(&group, "jxta:PipeAdvertisement", Some(owner))
+            })
+            .collect();
+        assert!(!survivors.is_empty());
+        assert!(
+            survivors.iter().all(|xml| xml == &survivors[0]),
+            "all replicas agree after {rounds} rounds: {survivors:?}"
+        );
+        if federation
+            .broker(0)
+            .shard_replicas(&group, &owner)
+            .contains(&federation.broker(0).id())
+        {
+            assert_eq!(survivors[0], "<v2/>", "the origin stored v2, so v2 must win");
+        }
+    }
+
+    #[test]
+    fn keyed_shard_queries_rotate_across_the_replica_set() {
+        use crate::message::{Message, MessageKind};
+        let (net, _db, brokers) = make_sharded_brokers(5, 3, 0xD8);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xD9);
+        let group = GroupId::new("math");
+
+        let client = PeerId::random(&mut rng);
+        let rx = net.register(client);
+        federation.broker(0).establish_session(client, "alice");
+        federation.pump();
+
+        // An owner whose replica set excludes broker 0: all three replicas
+        // are remote, so every keyed lookup must be routed.
+        let b0 = federation.broker(0).id();
+        let owner = loop {
+            let candidate = PeerId::random(&mut rng);
+            if !federation.broker(0).shard_replicas(&group, &candidate).contains(&b0) {
+                break candidate;
+            }
+        };
+        federation
+            .broker(1)
+            .index_and_distribute(owner, &group, "jxta:PipeAdvertisement", "<hot/>");
+        federation.pump();
+        assert!(federation.converged());
+
+        let replicas = federation.broker(0).shard_replicas(&group, &owner);
+        assert_eq!(replicas.len(), 3);
+        let before: Vec<u64> = replicas.iter().map(|r| net.delivered_to(r)).collect();
+        for i in 0..6 {
+            let lookup = Message::new(MessageKind::LookupRequest, client, 90 + i)
+                .with_str("group", "math")
+                .with_str("doc-type", "jxta:PipeAdvertisement")
+                .with_str("owner", &owner.to_urn());
+            let response = query_via_network(&federation, &rx, client, 0, lookup);
+            assert_eq!(response.element_str("adv-0").unwrap(), "<hot/>");
+        }
+        let deltas: Vec<u64> = replicas
+            .iter()
+            .zip(&before)
+            .map(|(r, b)| net.delivered_to(r) - b)
+            .collect();
+        assert!(
+            deltas.iter().all(|d| *d >= 1),
+            "6 keyed lookups must spread over all 3 replicas, got {deltas:?}"
+        );
+    }
+
+    #[test]
+    fn spawned_federation_admits_and_removes_brokers() {
+        let (net, db, brokers) = make_sharded_brokers(3, 2, 0xDA);
+        let mut rng = HmacDrbg::from_seed_u64(0xDB);
+        let alice = PeerId::random(&mut rng);
+        let mut federation = BrokerNetwork::spawn(brokers);
+        federation.broker(0).establish_session(alice, "alice");
+        let owners: Vec<PeerId> = (0..24)
+            .map(|i| {
+                let owner = PeerId::random(&mut rng);
+                federation.broker(0).index_and_distribute(
+                    owner,
+                    &GroupId::new("math"),
+                    "jxta:PipeAdvertisement",
+                    &format!("<adv n=\"{i}\"/>"),
+                );
+                owner
+            })
+            .collect();
+        assert!(federation.await_convergence(Duration::from_secs(2)));
+
+        // A fourth broker joins the *running* backbone and receives a shard.
+        let newcomer = Broker::new(
+            PeerId::random(&mut rng),
+            BrokerConfig::sharded("broker-4", 2),
+            Arc::clone(&net),
+            Arc::clone(&db),
+        );
+        federation.add_broker(Arc::clone(&newcomer));
+        assert_eq!(federation.len(), 4);
+        assert!(federation.await_convergence(Duration::from_secs(2)));
+        assert!(newcomer.advertisement_entry_count() > 0, "the newcomer owns a shard");
+        let total: usize = (0..4)
+            .map(|i| federation.broker(i).advertisement_entry_count())
+            .sum();
+        assert_eq!(total, owners.len() * 2, "exactly K copies of each entry");
+
+        // A broker leaves; the survivors re-replicate its shard.
+        federation.remove_broker(1);
+        assert_eq!(federation.len(), 3);
+        assert!(federation.await_convergence(Duration::from_secs(2)));
+        let total: usize = (0..3)
+            .map(|i| federation.broker(i).advertisement_entry_count())
+            .sum();
+        assert_eq!(total, owners.len() * 2, "no entry lost on departure");
+        assert!(federation.broker(0).session(&alice).is_some());
+        federation.shutdown();
+    }
+
+    #[test]
+    fn spawned_federation_repairs_on_an_interval() {
+        use crate::net::RandomDrop;
+        // The periodic repair loop heals a divergence with no manual pump:
+        // the drop adversary severs one backbone edge during a publish, and
+        // once it lifts, the interval-driven anti-entropy reconverges the
+        // federation by itself.
+        let (net, _db, brokers) = make_brokers(2, 0xDC);
+        let mut rng = HmacDrbg::from_seed_u64(0xDD);
+        let alice = PeerId::random(&mut rng);
+        let federation =
+            BrokerNetwork::spawn_with_repair(brokers, Some(Duration::from_millis(10)));
+        let edge = vec![federation.broker(0).id(), federation.broker(1).id()];
+        net.set_adversary(RandomDrop::between(4, 100, edge));
+        federation.broker(0).establish_session(alice, "alice");
+        federation
+            .broker(0)
+            .index_and_distribute(alice, &GroupId::new("math"), "jxta:PipeAdvertisement", "<a/>");
+        std::thread::sleep(Duration::from_millis(30));
+        net.clear_adversary();
+
+        assert!(
+            federation.await_convergence(Duration::from_secs(2)),
+            "interval repair must reconverge the federation unattended"
+        );
+        assert_eq!(
+            federation.broker(1).home_of(&alice),
+            Some(federation.broker(0).id())
+        );
+        let repaired: u64 = (0..2)
+            .map(|i| federation.broker(i).federation_stats().entries_repaired)
+            .sum();
+        assert!(repaired > 0, "the healing went through the repair path");
+        federation.shutdown();
+    }
+
+    #[test]
     fn try_pump_budget_spent_on_a_draining_workload_is_not_a_stall() {
         // A workload of exactly `budget` messages that leaves the queues
         // empty is a success, not a livelock.
@@ -1251,6 +1723,150 @@ mod proptests {
     }
 }
 
+
+#[cfg(test)]
+mod repair_proptests {
+    //! Anti-entropy under adversarial loss: random backbone drops + random
+    //! join/leave/publish sequences + bounded repair rounds must always
+    //! reconverge, and the surviving advertisement versions must be exactly
+    //! the per-key maxima that existed before repair started — repair heals
+    //! missed writes but never regresses a newer one and never invents data.
+
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use crate::database::UserDatabase;
+    use crate::group::GroupId;
+    use crate::net::{LinkModel, RandomDrop, SimNetwork};
+    use jxta_crypto::drbg::HmacDrbg;
+    use proptest::prelude::*;
+    use std::collections::{BTreeMap, HashMap};
+
+    const USERS: usize = 4;
+    const GROUP_NAMES: [&str; 2] = ["math", "chem"];
+    const BROKERS: usize = 4;
+
+    fn build(replication: Option<usize>) -> (Arc<SimNetwork>, InlineFederation, Vec<PeerId>) {
+        let mut rng = HmacDrbg::from_seed_u64(0xAE0);
+        let network = SimNetwork::new(LinkModel::ideal());
+        let database = Arc::new(UserDatabase::new());
+        let groups: Vec<GroupId> = GROUP_NAMES.iter().map(|g| GroupId::new(*g)).collect();
+        for user in 0..USERS {
+            database.register_user(&mut rng, &format!("user-{user}"), "pw", &groups);
+        }
+        let brokers: Vec<Arc<Broker>> = (0..BROKERS)
+            .map(|i| {
+                Broker::new(
+                    PeerId::random(&mut rng),
+                    BrokerConfig {
+                        name: format!("broker-{}", i + 1),
+                        replication_factor: replication,
+                    },
+                    Arc::clone(&network),
+                    Arc::clone(&database),
+                )
+            })
+            .collect();
+        let peers = (0..USERS).map(|_| PeerId::random(&mut rng)).collect();
+        (network, InlineFederation::new(brokers), peers)
+    }
+
+    /// Per-key `(max version, holder count)` over every broker's index.
+    fn version_maxima(
+        federation: &InlineFederation,
+    ) -> BTreeMap<(GroupId, PeerId, String), (u64, PeerId)> {
+        let mut maxima = BTreeMap::new();
+        for i in 0..federation.len() {
+            for (group, owner, doc_type, version) in federation.broker(i).advertisement_versions() {
+                let slot = maxima.entry((group, owner, doc_type)).or_insert(version);
+                if version > *slot {
+                    *slot = version;
+                }
+            }
+        }
+        maxima
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn random_drops_plus_repair_always_reconverge(
+            sharded in any::<bool>(),
+            drop_percent in 0u32..80,
+            drop_seed in any::<u64>(),
+            ops in proptest::collection::vec(
+                (any::<u8>(), 0usize..USERS, 0usize..BROKERS, 0usize..GROUP_NAMES.len()),
+                1..30,
+            ),
+        ) {
+            let replication = if sharded { Some(2) } else { None };
+            let (network, federation, peers) = build(replication);
+            let backbone: Vec<PeerId> =
+                (0..BROKERS).map(|i| federation.broker(i).id()).collect();
+            network.set_adversary(RandomDrop::between(drop_seed, drop_percent, backbone));
+
+            let mut homes: HashMap<usize, usize> = HashMap::new();
+            for (n, &(selector, user, broker, group_sel)) in ops.iter().enumerate() {
+                match selector % 3 {
+                    0 => {
+                        if let std::collections::hash_map::Entry::Vacant(slot) = homes.entry(user)
+                        {
+                            federation
+                                .broker(broker)
+                                .establish_session(peers[user], &format!("user-{user}"));
+                            slot.insert(broker);
+                        }
+                    }
+                    1 => {
+                        if let Some(home) = homes.remove(&user) {
+                            federation.broker(home).drop_session(&peers[user]);
+                        }
+                    }
+                    _ => {
+                        let group = GroupId::new(GROUP_NAMES[group_sel % GROUP_NAMES.len()]);
+                        federation.broker(broker).index_and_distribute(
+                            peers[user],
+                            &group,
+                            "jxta:PipeAdvertisement",
+                            &format!("<adv user=\"{user}\" n=\"{n}\"/>"),
+                        );
+                    }
+                }
+                federation.pump();
+            }
+            network.clear_adversary();
+            federation.pump();
+
+            let before = version_maxima(&federation);
+
+            // Bounded-time self-healing: a handful of full-mesh rounds must
+            // reconverge whatever the drops did.
+            let rounds = federation.repair_until_converged(6);
+            prop_assert!(
+                rounds.is_some(),
+                "no reconvergence after 6 repair rounds: sharded={sharded} drop_percent={drop_percent} drop_seed={drop_seed} ops={ops:?}"
+            );
+
+            // Zero LWW regression and no invented data: the surviving
+            // version of every key is exactly the pre-repair maximum, and no
+            // key appeared from nowhere.
+            let after = version_maxima(&federation);
+            prop_assert_eq!(&after, &before, "repair changed the per-key version maxima");
+            for i in 0..federation.len() {
+                for (group, owner, doc_type, version) in
+                    federation.broker(i).advertisement_versions()
+                {
+                    prop_assert_eq!(
+                        version,
+                        before[&(group, owner, doc_type)],
+                        "broker {} serves a non-maximal version after repair",
+                        i
+                    );
+                }
+            }
+        }
+    }
+}
 
 #[cfg(test)]
 mod shard_proptests {

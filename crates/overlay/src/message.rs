@@ -59,6 +59,15 @@ pub enum MessageKind {
     ShardQuery = 42,
     /// Broker ↔ broker: a shard replica's answer to a [`MessageKind::ShardQuery`].
     ShardResponse = 43,
+    /// Broker ↔ broker: an anti-entropy digest — per-section hashes of the
+    /// state the sender and receiver are jointly responsible for.  A receiver
+    /// whose own hashes disagree answers with
+    /// [`MessageKind::AntiEntropySnapshot`].
+    AntiEntropyDigest = 44,
+    /// Broker ↔ broker: a full snapshot of the mismatched anti-entropy
+    /// sections, merged with last-writer-wins versions so repair can never
+    /// regress a newer write.
+    AntiEntropySnapshot = 45,
 }
 
 impl MessageKind {
@@ -86,6 +95,8 @@ impl MessageKind {
             41 => BrokerRelay,
             42 => ShardQuery,
             43 => ShardResponse,
+            44 => AntiEntropyDigest,
+            45 => AntiEntropySnapshot,
             _ => return None,
         })
     }
@@ -288,6 +299,8 @@ mod tests {
             MessageKind::BrokerRelay,
             MessageKind::ShardQuery,
             MessageKind::ShardResponse,
+            MessageKind::AntiEntropyDigest,
+            MessageKind::AntiEntropySnapshot,
         ] {
             assert_eq!(MessageKind::from_u8(kind as u8), Some(kind));
         }

@@ -168,6 +168,15 @@ pub struct FederationStats {
     /// Index/membership entries migrated off this broker when the shard ring
     /// membership changed.
     pub entries_migrated: u64,
+    /// Anti-entropy rounds this broker initiated (one digest per peer broker
+    /// per round).
+    pub repair_rounds: u64,
+    /// Anti-entropy digests received whose state hashes disagreed with the
+    /// local replica (each one triggers a snapshot exchange).
+    pub repair_mismatches: u64,
+    /// Index/membership/routing entries (and extension-state entries, e.g.
+    /// revocations) brought up to date by anti-entropy snapshot merges.
+    pub entries_repaired: u64,
 }
 
 /// Thread-safe counters describing a broker's participation in the
@@ -185,6 +194,9 @@ pub struct FederationMetrics {
     shard_hits: AtomicU64,
     shard_misses: AtomicU64,
     entries_migrated: AtomicU64,
+    repair_rounds: AtomicU64,
+    repair_mismatches: AtomicU64,
+    entries_repaired: AtomicU64,
 }
 
 impl FederationMetrics {
@@ -243,6 +255,21 @@ impl FederationMetrics {
         self.entries_migrated.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records an initiated anti-entropy round.
+    pub fn count_repair_round(&self) {
+        self.repair_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an anti-entropy digest that disagreed with the local state.
+    pub fn count_repair_mismatch(&self) {
+        self.repair_mismatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records `n` entries healed by an anti-entropy snapshot merge.
+    pub fn count_entries_repaired(&self, n: u64) {
+        self.entries_repaired.fetch_add(n, Ordering::Relaxed);
+    }
+
     /// Consistent snapshot of the counters.
     pub fn snapshot(&self) -> FederationStats {
         FederationStats {
@@ -256,6 +283,9 @@ impl FederationMetrics {
             shard_hits: self.shard_hits.load(Ordering::Relaxed),
             shard_misses: self.shard_misses.load(Ordering::Relaxed),
             entries_migrated: self.entries_migrated.load(Ordering::Relaxed),
+            repair_rounds: self.repair_rounds.load(Ordering::Relaxed),
+            repair_mismatches: self.repair_mismatches.load(Ordering::Relaxed),
+            entries_repaired: self.entries_repaired.load(Ordering::Relaxed),
         }
     }
 }
@@ -326,6 +356,10 @@ mod tests {
         metrics.count_shard_miss();
         metrics.count_shard_miss();
         metrics.count_entries_migrated(3);
+        metrics.count_repair_round();
+        metrics.count_repair_mismatch();
+        metrics.count_repair_mismatch();
+        metrics.count_entries_repaired(5);
         let stats = metrics.snapshot();
         assert_eq!(stats.syncs_sent, 2);
         assert_eq!(stats.syncs_applied, 1);
@@ -337,6 +371,9 @@ mod tests {
         assert_eq!(stats.shard_hits, 1);
         assert_eq!(stats.shard_misses, 2);
         assert_eq!(stats.entries_migrated, 3);
+        assert_eq!(stats.repair_rounds, 1);
+        assert_eq!(stats.repair_mismatches, 2);
+        assert_eq!(stats.entries_repaired, 5);
     }
 
     #[test]

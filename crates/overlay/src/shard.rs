@@ -28,11 +28,11 @@ use crate::id::PeerId;
 /// targets, while keeping ring maintenance trivially cheap.
 pub const VIRTUAL_NODES: usize = 16;
 
-const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+pub(crate) const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
 
 /// 64-bit FNV-1a over `bytes`, continuing from `state`.
-fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
+pub(crate) fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
     for byte in bytes {
         state ^= u64::from(*byte);
         state = state.wrapping_mul(FNV_PRIME);
@@ -43,7 +43,7 @@ fn fnv1a(mut state: u64, bytes: &[u8]) -> u64 {
 /// SplitMix64 finalizer: FNV-1a alone has weak avalanche on short inputs
 /// (consecutive virtual-node indexes land on correlated ring positions,
 /// skewing the load); this scrambles the state into a uniform ring point.
-fn mix(mut state: u64) -> u64 {
+pub(crate) fn mix(mut state: u64) -> u64 {
     state = (state ^ (state >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     state = (state ^ (state >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     state ^ (state >> 31)

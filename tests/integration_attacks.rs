@@ -273,10 +273,10 @@ fn redirected_backbone_edge_leaks_nothing_and_delivers_nothing() {
 fn dropped_backbone_gossip_is_detectable_as_non_convergence() {
     // Gossip is fire-and-forget over the (reliable, in-process) channel
     // substrate; an adversary dropping a backbone edge therefore creates a
-    // replica divergence that persists after the adversary leaves.  The
-    // federation must *detect* it — converged() stays false — which is the
-    // operator signal; automatic anti-entropy repair is future work
-    // (ROADMAP).
+    // replica divergence that persists after the adversary leaves.  Without
+    // a repair interval the federation *detects* it — converged() stays
+    // false — which is the operator signal; the companion test below shows
+    // the anti-entropy loop healing the same divergence.
     let mut world = federated_setup(45);
     let broker_a = world.broker_id_at(0);
     let broker_b = world.broker_id_at(1);
@@ -299,6 +299,73 @@ fn dropped_backbone_gossip_is_detectable_as_non_convergence() {
         .broker_at(1)
         .lookup(&GroupId::new("ops"), "jxta:PipeAdvertisement", Some(alice.id()))
         .is_empty());
+    world.shutdown();
+}
+
+#[test]
+fn dropped_backbone_gossip_heals_through_anti_entropy() {
+    // The same adversarial drop as above, but the deployment runs the
+    // periodic anti-entropy loop: once the adversary lifts, the divergence
+    // heals unattended within a bounded number of repair intervals, with
+    // the repaired state fully usable (routing, index and membership).
+    let mut world = SecureNetworkBuilder::new(46)
+        .with_key_bits(512)
+        .with_broker_count(2)
+        .with_repair_interval(Duration::from_millis(20))
+        .with_user("alice", "s3cret-password", &["ops"])
+        .with_user("bob", "bob-pw", &["ops"])
+        .build();
+    let broker_a = world.broker_id_at(0);
+    let broker_b = world.broker_id_at(1);
+    let group = GroupId::new("ops");
+
+    let dropper = EdgeAdversary::drop_all(broker_a, broker_b);
+    world.network().set_adversary(dropper.clone());
+    let mut alice = world.secure_client("alice");
+    alice.secure_join(broker_a, "alice", "s3cret-password").unwrap();
+    alice.publish_secure_pipe(&group).unwrap();
+    assert!(eventually(|| dropper.intercepted_count() >= 1));
+    // Broker B missed the join and publish gossip while the edge was cut.
+    assert!(world.broker_at(1).home_of(&alice.id()).is_none());
+    world.network().clear_adversary();
+
+    assert!(
+        world.federation().await_convergence(Duration::from_secs(2)),
+        "anti-entropy must reconverge the federation unattended"
+    );
+    assert_eq!(world.broker_at(1).home_of(&alice.id()), Some(broker_a));
+    assert!(!world
+        .broker_at(1)
+        .lookup(&group, "jxta:PipeAdvertisement", Some(alice.id()))
+        .is_empty());
+
+    // The repaired state is usable end to end: bob joins at the healed
+    // broker and messages alice across the backbone.
+    let mut bob = world.secure_client("bob");
+    bob.secure_join(broker_b, "bob", "bob-pw").unwrap();
+    bob.publish_secure_pipe(&group).unwrap();
+    assert!(world.federation().await_convergence(Duration::from_secs(2)));
+    bob.secure_msg_peer_relayed(&group, alice.id(), "healed and routed").unwrap();
+    assert!(eventually(|| {
+        alice
+            .receive_secure_messages()
+            .map(|m| m.iter().any(|m| m.text == "healed and routed"))
+            .unwrap_or(false)
+    }));
+
+    // The healing went through the repair path and was counted.
+    let repaired: u64 = (0..2)
+        .map(|i| world.broker_at(i).federation_stats().entries_repaired)
+        .sum();
+    let mismatches: u64 = (0..2)
+        .map(|i| world.broker_at(i).federation_stats().repair_mismatches)
+        .sum();
+    let rounds: u64 = (0..2)
+        .map(|i| world.broker_at(i).federation_stats().repair_rounds)
+        .sum();
+    assert!(repaired > 0, "entries were repaired");
+    assert!(mismatches > 0, "the divergence was detected via digests");
+    assert!(rounds > 0, "repair rounds ran on the interval");
     world.shutdown();
 }
 

@@ -220,6 +220,135 @@ fn relayed_wire_time_charges_every_hop_of_the_backbone() {
     world.shutdown();
 }
 
+/// Polls `condition` until it holds or two seconds elapse.
+fn eventually(mut condition: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(2);
+    loop {
+        if condition() {
+            return true;
+        }
+        if Instant::now() >= deadline {
+            return false;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+#[test]
+fn live_broker_admission_and_removal_on_the_spawned_path() {
+    // The threaded deployment grows and shrinks like the inline one: a new
+    // broker joins the running backbone (identity, credential, beacons,
+    // shard migration included), serves secure clients, and a departing
+    // broker's shard is re-replicated by the survivors.
+    let mut world = SecureNetworkBuilder::new(37)
+        .with_key_bits(512)
+        .with_broker_count(3)
+        .with_replication_factor(2)
+        .with_user("alice", "pw-a", &["ops"])
+        .with_user("bob", "pw-b", &["ops"])
+        .with_user("carol", "pw-c", &["ops"])
+        .build();
+    let group = GroupId::new("ops");
+    let mut alice = world.secure_client("alice");
+    alice.secure_join(world.broker_id_at(0), "alice", "pw-a").unwrap();
+    alice.publish_secure_pipe(&group).unwrap();
+    assert!(world.federation().await_convergence(Duration::from_secs(2)));
+
+    let index = world.add_broker("broker-4");
+    assert_eq!(index, 3);
+    assert_eq!(world.broker_count(), 4);
+    assert!(world.federation().await_convergence(Duration::from_secs(2)));
+    // The newcomer's credential chains to the same administrator, and a
+    // secure client can join the federation through it.
+    world
+        .broker_extension_at(3)
+        .credential()
+        .verify(world.admin().public_key())
+        .unwrap();
+    let broker_d = world.broker_id_at(3);
+    let mut bob = world.secure_client("bob");
+    bob.secure_join(broker_d, "bob", "pw-b").unwrap();
+    bob.publish_secure_pipe(&group).unwrap();
+    // Carol joins broker 1 *after* the admission, so her credential beacons
+    // include broker-4's credential and she can validate bob end to end
+    // (clients that joined earlier lack the newcomer's credential — the
+    // re-beaconing of live clients stays a ROADMAP item).
+    let mut carol = world.secure_client("carol");
+    carol.secure_join(world.broker_id_at(1), "carol", "pw-c").unwrap();
+    carol.publish_secure_pipe(&group).unwrap();
+    assert!(world.federation().await_convergence(Duration::from_secs(2)));
+
+    // Cross-broker messaging works through the late-joined broker, in both
+    // directions.
+    bob.secure_msg_peer_relayed(&group, carol.id(), "from the newcomer").unwrap();
+    assert!(eventually(|| {
+        carol
+            .receive_secure_messages()
+            .map(|m| m.iter().any(|m| m.text == "from the newcomer"))
+            .unwrap_or(false)
+    }));
+    carol.secure_msg_peer_relayed(&group, bob.id(), "to the newcomer").unwrap();
+    assert!(eventually(|| {
+        bob.receive_secure_messages()
+            .map(|m| m.iter().any(|m| m.text == "to the newcomer"))
+            .unwrap_or(false)
+    }));
+
+    // Removing a broker keeps every entry at its replication factor.
+    world.remove_broker(2);
+    assert_eq!(world.broker_count(), 3);
+    assert!(world.federation().await_convergence(Duration::from_secs(2)));
+    let total: usize = (0..3)
+        .map(|i| world.broker_at(i).advertisement_entry_count())
+        .sum();
+    assert_eq!(total, 3 * 2, "three signed pipes, two replicas each");
+    world.shutdown();
+}
+
+#[test]
+fn late_joining_broker_learns_prior_revocations() {
+    // PR 3's `revoke` pushed the list in-process to the brokers that existed
+    // at call time, so a broker joining afterwards never learned it.  Now
+    // the admin-signed list travels the backbone and rides in anti-entropy
+    // snapshots: the newcomer catches up automatically and refuses the
+    // revoked identity.
+    let mut world = SecureNetworkBuilder::new(38)
+        .with_key_bits(512)
+        .with_broker_count(2)
+        .with_user("alice", "pw-a", &["ops"])
+        .with_user("mallory", "pw-m", &["ops"])
+        .build();
+    let mut mallory = world.secure_client("mallory-pc");
+    mallory.secure_join(world.broker_id_at(0), "mallory", "pw-m").unwrap();
+
+    world.revoke(&[mallory.id()], &["mallory"]);
+    // The backbone gossip reaches the *current* brokers.
+    assert!(eventually(|| world
+        .broker_extension_at(1)
+        .is_revoked(&mallory.id(), Some("mallory"))));
+
+    // A broker deployed *after* the revocation starts empty; the admission
+    // anti-entropy round carries the signed lists across the backbone, so
+    // it catches up with no in-process push.
+    let index = world.add_broker("broker-3");
+    assert!(world.federation().await_convergence(Duration::from_secs(2)));
+    assert!(
+        eventually(|| world
+            .broker_extension_at(index)
+            .is_revoked(&mallory.id(), Some("mallory"))),
+        "anti-entropy must deliver prior revocations to the late joiner"
+    );
+
+    // The late joiner now enforces them: a fresh device logging in under
+    // the revoked account is refused a credential.
+    let broker_c = world.broker_id_at(index);
+    let mut mallory_again = world.secure_client("mallory-tablet");
+    let err = mallory_again.secure_join(broker_c, "mallory", "pw-m");
+    assert!(err.is_err(), "revoked account must be refused at the late joiner");
+    assert!(world.broker_extension_at(index).stats().revoked_rejected >= 1);
+    world.shutdown();
+}
+
 #[test]
 fn relay_to_a_peer_unknown_to_the_federation_is_rejected() {
     let mut world = three_broker_setup(36);
