@@ -28,6 +28,7 @@ use jxta_overlay_secure::identity::PeerIdentity;
 use jxta_overlay_secure::secure_client::SecureClient;
 use jxta_overlay_secure::setup::{SecureNetwork, SecureNetworkBuilder};
 use serde::Serialize;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Default RSA key size used by the experiments (the paper's era default).
@@ -665,6 +666,7 @@ fn build_overlay_federation(
                 BrokerConfig {
                     name: format!("broker-{}", i + 1),
                     replication_factor: replication,
+                    ..Default::default()
                 },
                 std::sync::Arc::clone(&network),
                 std::sync::Arc::clone(&database),
@@ -886,6 +888,342 @@ pub fn format_repair_report(rows: &[RepairRow]) -> String {
 }
 
 // ----------------------------------------------------------------------
+// E5 — broker ingest throughput: pipeline × verify cache ablation
+// ----------------------------------------------------------------------
+
+/// One configuration of the ingest-throughput sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestRow {
+    /// Secure clients hammering the first broker with signed publishes.
+    pub clients: usize,
+    /// Ingress verify workers (0 = the classic single event-loop thread).
+    pub verify_workers: usize,
+    /// Whether the verified-signature cache was enabled.
+    pub cache: bool,
+    /// Signed publishes ingested during the timed phase.
+    pub messages: usize,
+    /// Wall-clock time of the timed phase (all publishes acknowledged and
+    /// the 2-broker federation reconverged), in milliseconds.
+    pub elapsed_ms: f64,
+    /// `messages / elapsed` — the headline ingest throughput.
+    pub msgs_per_sec: f64,
+    /// Verified-signature-cache hits summed over both brokers.
+    pub verify_cache_hits: u64,
+    /// Verified-signature-cache misses summed over both brokers.
+    pub verify_cache_misses: u64,
+    /// Cache hit rate over the *gossip/repair* phase alone: a lossy episode
+    /// diverges the replicas, and the anti-entropy snapshots re-ship every
+    /// signed advertisement — bytes the receiving broker has already
+    /// verified, so this approaches 1.0 with the cache and 0.0 without.
+    pub repair_cache_hit_rate: f64,
+    /// Bounded-inbox overflow (backpressure) events observed.
+    pub inbox_overflows: u64,
+    /// Largest run of tickets the pipelined apply stage drained at once.
+    pub max_apply_batch: u64,
+}
+
+/// Result of the E5 sweep, with the acceptance ratios precomputed.
+#[derive(Debug, Clone, Serialize)]
+pub struct IngestThroughputResult {
+    /// The swept configurations.
+    pub rows: Vec<IngestRow>,
+    /// Best pipelined-and-cached throughput divided by the single-thread
+    /// uncached baseline (the pre-pipeline broker loop).
+    pub speedup_vs_single_thread: f64,
+    /// The gossip/repair-phase cache hit rate of the best cached row.
+    pub repair_cache_hit_rate: f64,
+}
+
+/// Measures one ingest-throughput configuration: `clients` secure clients
+/// joined at broker 0 of a 2-broker federation re-publish their signed pipe
+/// advertisement `republishes` times each from parallel threads.  The timed
+/// phase ends when every publish is acknowledged and the federation has
+/// reconverged (so the gossip application at broker 1 is part of the cost).
+/// A lossy-backbone episode plus one anti-entropy repair round afterwards
+/// measures the cache hit rate on re-shipped snapshot content.
+pub fn measure_ingest_throughput(
+    config: &ExperimentConfig,
+    clients: usize,
+    verify_workers: usize,
+    cache: bool,
+    republishes: usize,
+) -> IngestRow {
+    use jxta_overlay::net::RandomDrop;
+    use jxta_overlay::advertisement::{Advertisement, PipeAdvertisement};
+    use jxta_overlay::{Message, MessageKind};
+    use jxta_overlay_secure::signed_adv::signed_pipe_advertisement;
+
+    // One group per client: the bench measures the broker's *verification*
+    // path, so the member-push fan-out (a separate, already-benched cost) is
+    // kept off the wire.  The key size is floored at the deployment default
+    // (1024 bits) even in quick mode — the whole point of E5 is a
+    // verification-heavy workload, and 512-bit verifies are too cheap to be
+    // the bottleneck they are in production-sized deployments.
+    let mut builder = SecureNetworkBuilder::new(config.seed)
+        .with_key_bits(config.key_bits.max(DEFAULT_KEY_BITS))
+        .with_link(LinkModel::ideal())
+        .with_broker_count(2)
+        .with_verify_workers(verify_workers)
+        .with_inbox_capacity(256)
+        .with_verify_cache_capacity(if cache { 4096 } else { 0 });
+    for i in 0..clients {
+        let group = format!("{EXPERIMENT_GROUP}-{i}");
+        builder = builder.with_user(
+            &format!("user-{i}"),
+            &format!("password-{i}"),
+            &[group.as_str()],
+        );
+    }
+    let mut setup = builder.build();
+    let broker = setup.broker_id();
+
+    // Warm-up (unmeasured): join, sign the advertisement once, publish it.
+    let mut workers: Vec<(SecureClient, GroupId, String)> = (0..clients)
+        .map(|i| {
+            let group = GroupId::new(format!("{EXPERIMENT_GROUP}-{i}"));
+            let mut client = setup.secure_client(&format!("ingest-{i}"));
+            client
+                .secure_join(broker, &format!("user-{i}"), &format!("password-{i}"))
+                .expect("secure join");
+            let advertisement = PipeAdvertisement {
+                owner: client.id(),
+                group: group.clone(),
+                name: format!("ingest-{i}-inbox"),
+            };
+            let xml = signed_pipe_advertisement(
+                &advertisement,
+                client.identity(),
+                client.credential().expect("credential after join"),
+            )
+            .expect("signing");
+            client
+                .inner_mut()
+                .publish_advertisement(&group, PipeAdvertisement::DOC_TYPE, &xml)
+                .expect("warm-up publish");
+            (client, group, xml)
+        })
+        .collect();
+    assert!(
+        setup.federation().await_convergence(Duration::from_secs(10)),
+        "warm-up must converge"
+    );
+
+    // Timed phase: every client's signed advertisement refresh — identical
+    // bytes, identical signature, the JXTA advertisement-refresh pattern —
+    // is fired into the broker without waiting for the acks, and the clock
+    // stops when both brokers have fully drained (publishes verified,
+    // indexed and gossip applied).  This measures broker ingest capacity,
+    // not client round-trip scheduling.
+    let network = Arc::clone(setup.network());
+    let prepared: Vec<(jxta_overlay::PeerId, Vec<u8>)> = workers
+        .iter()
+        .map(|(client, group, xml)| {
+            let message = Message::new(MessageKind::PublishAdvertisement, client.id(), 0)
+                .with_str("group", group.as_str())
+                .with_str("doc-type", PipeAdvertisement::DOC_TYPE)
+                .with_str("xml", xml);
+            (client.id(), message.to_bytes())
+        })
+        .collect();
+    let broker_ids = [setup.broker_id_at(0), setup.broker_id_at(1)];
+    let brokers = [
+        Arc::clone(setup.broker_at(0)),
+        Arc::clone(setup.broker_at(1)),
+    ];
+    let started = std::time::Instant::now();
+    for _ in 0..republishes {
+        for (from, bytes) in &prepared {
+            network
+                .send(*from, broker_ids[0], bytes.clone())
+                .expect("timed publish send");
+        }
+    }
+    let deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        let drained = brokers
+            .iter()
+            .zip(&broker_ids)
+            .all(|(broker, id)| broker.processed_count() == network.delivered_to(id));
+        if drained {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "brokers must drain the publish storm"
+        );
+        // Sleep-poll rather than spin: on small machines a spinning waiter
+        // competes with the broker threads for the same cores.
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    let elapsed = started.elapsed();
+    let messages = clients * republishes;
+    // Clear the acknowledgement backlog out of the client inboxes.
+    for (client, _, _) in workers.iter_mut() {
+        let _ = client.inner_mut().poll_events();
+    }
+
+    // Gossip/repair phase: drop all backbone gossip while each client
+    // refreshes once more, then lift the drops and run anti-entropy — the
+    // snapshots re-ship every signed advertisement to the diverged replica.
+    let backbone = vec![setup.broker_id_at(0), setup.broker_id_at(1)];
+    setup
+        .network()
+        .set_adversary(RandomDrop::between(config.seed ^ 0xE5, 100, backbone));
+    for (client, group, xml) in workers.iter_mut() {
+        client
+            .inner_mut()
+            .publish_advertisement(group, PipeAdvertisement::DOC_TYPE, xml)
+            .expect("lossy-phase publish");
+    }
+    setup.network().clear_adversary();
+    let before_repair: Vec<_> = (0..2)
+        .map(|i| setup.broker_extension_at(i).verify_cache_stats())
+        .collect();
+    setup.federation().trigger_repair();
+    assert!(
+        setup.federation().await_convergence(Duration::from_secs(30)),
+        "repair must reconverge the federation"
+    );
+    let after_repair: Vec<_> = (0..2)
+        .map(|i| setup.broker_extension_at(i).verify_cache_stats())
+        .collect();
+    let repair_hits: u64 = after_repair
+        .iter()
+        .zip(&before_repair)
+        .map(|(a, b)| a.hits - b.hits)
+        .sum();
+    let repair_misses: u64 = after_repair
+        .iter()
+        .zip(&before_repair)
+        .map(|(a, b)| a.misses - b.misses)
+        .sum();
+    let repair_total = repair_hits + repair_misses;
+
+    let cache_stats: Vec<_> = (0..2)
+        .map(|i| setup.broker_extension_at(i).verify_cache_stats())
+        .collect();
+    let pipeline = setup.broker_at(0).pipeline_stats();
+    let net_stats = setup.network().stats();
+    let elapsed_ms = elapsed.as_secs_f64() * 1e3;
+    IngestRow {
+        clients,
+        verify_workers,
+        cache,
+        messages,
+        elapsed_ms,
+        msgs_per_sec: messages as f64 / elapsed.as_secs_f64(),
+        verify_cache_hits: cache_stats.iter().map(|s| s.hits).sum(),
+        verify_cache_misses: cache_stats.iter().map(|s| s.misses).sum(),
+        repair_cache_hit_rate: if repair_total == 0 {
+            0.0
+        } else {
+            repair_hits as f64 / repair_total as f64
+        },
+        inbox_overflows: net_stats.inbox_overflows,
+        max_apply_batch: pipeline.max_apply_batch,
+    }
+}
+
+/// Runs experiment E5: the ingest-throughput ablation over verify workers ×
+/// cache, on a verification-heavy signed-publish workload.
+pub fn experiment_ingest_throughput(config: &ExperimentConfig) -> IngestThroughputResult {
+    let clients = 8;
+    let republishes = (config.iterations * 4).max(12);
+    let workers = [0usize, 4];
+    let mut rows = Vec::new();
+    for &verify_workers in &workers {
+        for cache in [false, true] {
+            rows.push(measure_ingest_throughput(
+                config,
+                clients,
+                verify_workers,
+                cache,
+                republishes,
+            ));
+        }
+    }
+    summarize_ingest(rows)
+}
+
+/// Computes the acceptance ratios of an E5 sweep.  Speed-up compares rows of
+/// the **same client count only** (same offered load): the best cached row
+/// against the single-thread uncached baseline, maximised over the client
+/// counts for which both exist.
+pub fn summarize_ingest(rows: Vec<IngestRow>) -> IngestThroughputResult {
+    let mut speedup = f64::NAN;
+    let mut repair_hit_rate = 0.0;
+    let mut client_counts: Vec<usize> = rows.iter().map(|row| row.clients).collect();
+    client_counts.sort_unstable();
+    client_counts.dedup();
+    for clients in client_counts {
+        let Some(baseline) = rows
+            .iter()
+            .find(|row| row.clients == clients && row.verify_workers == 0 && !row.cache)
+        else {
+            continue;
+        };
+        let Some(best_cached) = rows
+            .iter()
+            .filter(|row| row.clients == clients && row.cache)
+            .max_by(|a, b| a.msgs_per_sec.total_cmp(&b.msgs_per_sec))
+        else {
+            continue;
+        };
+        let ratio = best_cached.msgs_per_sec / baseline.msgs_per_sec;
+        if speedup.is_nan() || ratio > speedup {
+            speedup = ratio;
+            repair_hit_rate = best_cached.repair_cache_hit_rate;
+        }
+    }
+    IngestThroughputResult {
+        speedup_vs_single_thread: speedup,
+        repair_cache_hit_rate: repair_hit_rate,
+        rows,
+    }
+}
+
+/// Formats E5 as a text table.
+pub fn format_ingest_report(result: &IngestThroughputResult) -> String {
+    let mut out = String::from(
+        "E5 — broker ingest throughput (signed publishes; pipeline × verify cache)\n\
+         --------------------------------------------------------------------------\n\
+         clients | workers | cache | msgs | elapsed (ms) | msgs/sec | cache hits/misses | repair hit rate\n",
+    );
+    for row in &result.rows {
+        out.push_str(&format!(
+            "{:>7} | {:>7} | {:<5} | {:>4} | {:>12.1} | {:>8.0} | {:>9}/{:<7} | {:>14.2}\n",
+            row.clients,
+            row.verify_workers,
+            if row.cache { "on" } else { "off" },
+            row.messages,
+            row.elapsed_ms,
+            row.msgs_per_sec,
+            row.verify_cache_hits,
+            row.verify_cache_misses,
+            row.repair_cache_hit_rate,
+        ));
+    }
+    out.push_str(&format!(
+        "\nspeed-up (best cached vs single-thread uncached): {:.2}x\n\
+         gossip/repair-phase cache hit rate:               {:.2}\n",
+        result.speedup_vs_single_thread, result.repair_cache_hit_rate
+    ));
+    out
+}
+
+/// Writes the E5 result as machine-readable `BENCH_5.json` at the workspace
+/// root (the repo's first performance-trajectory point).  Returns the path.
+pub fn write_bench5_json(result: &IngestThroughputResult) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()?
+        .join("BENCH_5.json");
+    let json = serde_json::to_string_pretty(result).expect("serialise E5 result");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+// ----------------------------------------------------------------------
 // Report formatting
 // ----------------------------------------------------------------------
 
@@ -1072,6 +1410,37 @@ mod tests {
         assert!(lossy.repair_rounds.is_some(), "repair must reconverge");
         assert!(lossy.entries_repaired > 0);
         assert!(format_repair_report(&[clean, lossy]).contains("repair rounds"));
+    }
+
+    #[test]
+    fn ingest_smoke_verify_cache_stays_effective() {
+        // The guard the CI bench smoke relies on: the verified-signature
+        // cache must keep absorbing the gossip/repair phase (a silent
+        // regression to 0% would leave the pipeline re-verifying everything
+        // and the E5 acceptance numbers would quietly evaporate).
+        let config = ExperimentConfig::quick();
+        let cached = measure_ingest_throughput(&config, 4, 2, true, 6);
+        assert!(
+            cached.repair_cache_hit_rate > 0.5,
+            "gossip/repair-phase cache hit rate regressed: {:.2}",
+            cached.repair_cache_hit_rate
+        );
+        assert!(
+            cached.verify_cache_hits > cached.verify_cache_misses,
+            "re-published signatures must be cache hits ({}/{})",
+            cached.verify_cache_hits,
+            cached.verify_cache_misses
+        );
+
+        // The ablation baseline really runs uncached.
+        let baseline = measure_ingest_throughput(&config, 4, 0, false, 6);
+        assert_eq!(baseline.verify_cache_hits, 0);
+        assert_eq!(baseline.verify_cache_misses, 0);
+        assert_eq!(baseline.repair_cache_hit_rate, 0.0);
+
+        let result = summarize_ingest(vec![baseline, cached]);
+        assert!(result.speedup_vs_single_thread.is_finite());
+        assert!(format_ingest_report(&result).contains("repair hit rate"));
     }
 
     #[test]

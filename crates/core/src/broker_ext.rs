@@ -26,12 +26,15 @@ use crate::identity::PeerIdentity;
 use jxta_crypto::cbid::Cbid;
 use jxta_crypto::envelope::{open_envelope, Envelope};
 use jxta_crypto::drbg::HmacDrbg;
+use jxta_crypto::error::CryptoError;
 use jxta_crypto::rsa::RsaPublicKey;
+use jxta_crypto::sigcache::{DigestCache, SigCacheStats, VerifiedSigCache};
 use jxta_overlay::broker::{Broker, BrokerExtension};
 use jxta_overlay::{GroupId, Message, MessageKind, OverlayError, PeerId};
 use parking_lot::Mutex;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Length of the random session identifier in bytes ("sufficiently long", per
 /// the paper; 32 bytes makes guessing or collision attacks irrelevant).
@@ -95,6 +98,19 @@ pub fn decode_credential_list(
     Ok(credentials)
 }
 
+/// Computes the byte string a broker signs over a pushed federation
+/// credential-set update (`blob` is the [`encode_credential_list`] payload).
+/// The outer signature authenticates the *push* to the client — each listed
+/// credential is additionally verified by the client against the
+/// administrator trust anchor before it is accepted.
+pub fn credential_update_signed_content(blob: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(32 + blob.len());
+    out.extend_from_slice(b"JXTA-OVERLAY-CREDENTIAL-UPDATE-V1");
+    out.extend_from_slice(&(blob.len() as u32).to_be_bytes());
+    out.extend_from_slice(blob);
+    out
+}
+
 /// Computes the byte string signed by the sender of a `secureMsgPeer`
 /// message: `S_SKCl1(m)` with the group identifier bound in.
 pub fn message_signed_content(group: &str, text: &str) -> Vec<u8> {
@@ -126,6 +142,35 @@ pub struct SecureBrokerStats {
     /// Requests refused because the subject appears on an installed
     /// revocation list.
     pub revoked_rejected: u64,
+    /// Publishes refused because the signed advertisement's signature did
+    /// not verify or its credential chains to no known issuer.
+    pub forged_rejected: u64,
+    /// Signed advertisements whose signatures were pre-verified at ingress
+    /// (on a verify worker when the broker is pipelined).
+    pub ingress_preverified: u64,
+    /// Ingress signatures that failed pre-verification (forged or corrupted
+    /// bytes observed in publishes, gossip or anti-entropy snapshots).
+    pub ingress_sig_failures: u64,
+}
+
+/// Stateless verdict over one advertisement XML document: everything about
+/// it that is a **pure function of the bytes** — parseability, whether it is
+/// signed, the embedded credential, and whether the XMLdsig signature
+/// verifies under that credential's key.  Pure means cacheable by digest;
+/// the checks that depend on mutable broker state (expiry clock, revocation
+/// lists, the set of known issuers) are deliberately *not* part of the
+/// verdict and re-run on every use.
+#[derive(Debug, Clone)]
+enum VetVerdict {
+    /// Unparseable or unsigned content — not policy material.
+    Unsigned,
+    /// Signed, but the embedded credential does not decode.
+    MalformedCredential,
+    /// Signed, but the signature does not verify under the embedded
+    /// credential's key (or the signature structure is malformed).
+    SignatureInvalid,
+    /// Signed and the signature verifies under this credential.
+    Verified(Box<Credential>),
 }
 
 /// The broker-side secure extension.
@@ -154,6 +199,32 @@ pub struct SecureBrokerExtension {
     /// each list is admin-signed, so transit needs no extra trust and a
     /// late-joining broker can verify them from scratch.
     revocation_lists: Mutex<Vec<RevocationList>>,
+    /// Cache of successful RSA verifications: advertisement signatures,
+    /// credential chains and revocation lists verified once (typically on an
+    /// ingress verify worker) are recognised by digest everywhere else —
+    /// re-publishes, gossip and anti-entropy snapshots skip RSA entirely.
+    /// `None` disables caching (the bench ablation's baseline).
+    verify_cache: Mutex<Option<Arc<VerifiedSigCache>>>,
+    /// Memo table of stateless advertisement verdicts keyed by the XML's
+    /// SHA-256 digest: a re-published or re-gossiped advertisement skips the
+    /// XML parse *and* the RSA, leaving only the stateful expiry /
+    /// revocation / issuer checks on the hot path.  Enabled and disabled
+    /// together with [`SecureBrokerExtension::verify_cache`].
+    vet_cache: Mutex<DigestCache<VetVerdict>>,
+    /// Credentials (by digest of their encoding) that verified against one
+    /// of this broker's known issuers.  Only **positive** verdicts are
+    /// memoised: the issuer set grows monotonically (broker admissions add
+    /// peer credentials, nothing removes a trust anchor), so a success can
+    /// never become stale — while a failure can, the moment a new issuer is
+    /// learned, and is therefore re-evaluated every time.
+    chain_cache: Mutex<DigestCache<()>>,
+    /// Signature verifications avoided by the digest-level memo tables
+    /// (`vet_cache` + `chain_cache`); aggregated with the RSA-level
+    /// [`VerifiedSigCache`] counters in
+    /// [`SecureBrokerExtension::verify_cache_stats`].
+    memo_hits: AtomicU64,
+    /// Signature verifications that had to be computed at the digest level.
+    memo_misses: AtomicU64,
 }
 
 /// Serialises a set of revocation lists into one opaque blob (2-byte count,
@@ -226,7 +297,174 @@ impl SecureBrokerExtension {
             revoked_ids: Mutex::new(HashSet::new()),
             revoked_names: Mutex::new(HashSet::new()),
             revocation_lists: Mutex::new(Vec::new()),
+            verify_cache: Mutex::new(Some(Arc::new(VerifiedSigCache::default()))),
+            vet_cache: Mutex::new(DigestCache::new(
+                jxta_crypto::sigcache::DEFAULT_SIG_CACHE_CAPACITY,
+            )),
+            chain_cache: Mutex::new(DigestCache::new(
+                jxta_crypto::sigcache::DEFAULT_SIG_CACHE_CAPACITY,
+            )),
+            memo_hits: AtomicU64::new(0),
+            memo_misses: AtomicU64::new(0),
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Verified-signature cache
+    // ------------------------------------------------------------------
+
+    /// Replaces the verified-signature cache: `capacity` entries, or `0` to
+    /// disable caching entirely (every verification runs RSA — the baseline
+    /// of the `ingest_throughput` ablation).  Resets the hit/miss counters.
+    pub fn set_verify_cache_capacity(&self, capacity: usize) {
+        *self.verify_cache.lock() = if capacity == 0 {
+            None
+        } else {
+            Some(Arc::new(VerifiedSigCache::new(capacity)))
+        };
+        *self.vet_cache.lock() = DigestCache::new(capacity.max(1));
+        *self.chain_cache.lock() = DigestCache::new(capacity.max(1));
+    }
+
+    /// Hit/miss counters of the verification-caching layers combined: the
+    /// digest-level memo tables (advertisement verdicts, credential chains)
+    /// plus the RSA-level [`VerifiedSigCache`].  A *hit* is a signature
+    /// check answered without recomputation; zeros when caching is
+    /// disabled.
+    pub fn verify_cache_stats(&self) -> SigCacheStats {
+        let rsa = self
+            .verify_cache
+            .lock()
+            .as_ref()
+            .map(|cache| cache.stats())
+            .unwrap_or_default();
+        SigCacheStats {
+            hits: rsa.hits + self.memo_hits.load(Ordering::Relaxed),
+            misses: rsa.misses + self.memo_misses.load(Ordering::Relaxed),
+            entries: rsa.entries,
+        }
+    }
+
+    /// Verifies through the cache when one is installed, directly otherwise.
+    fn cached_verify(
+        &self,
+        key: &RsaPublicKey,
+        message: &[u8],
+        signature: &[u8],
+    ) -> Result<(), CryptoError> {
+        let cache = self.verify_cache.lock().clone();
+        match cache {
+            Some(cache) => cache.verify(key, message, signature),
+            None => key.verify(message, signature),
+        }
+    }
+
+    /// Verifies `credential` against this broker's known issuers — its own
+    /// identity, the beaconed peer-broker credentials and the administrator
+    /// anchor — through the caches.  A credential chaining to none of them
+    /// is not one this federation issued.  Positive verdicts are memoised by
+    /// credential digest (see the `chain_cache` field for why that is
+    /// sound); without it, a credential issued by a *peer* broker would pay
+    /// a full — failing, hence uncacheable — RSA verification against this
+    /// broker's own key on every single gossip message it rides in.
+    fn credential_chains(&self, credential: &Credential) -> bool {
+        let caching = self.verify_cache.lock().is_some();
+        let digest = jxta_crypto::sha2::sha256(&credential.to_bytes());
+        if caching && self.chain_cache.lock().get(&digest).is_some() {
+            self.memo_hits.fetch_add(1, Ordering::Relaxed);
+            return true;
+        }
+        let chains = self.credential_chains_uncached(credential);
+        if caching {
+            self.memo_misses.fetch_add(1, Ordering::Relaxed);
+            if chains {
+                self.chain_cache.lock().insert(digest, ());
+            }
+        }
+        chains
+    }
+
+    /// The chain check proper, one issuer key at a time.
+    fn credential_chains_uncached(&self, credential: &Credential) -> bool {
+        if credential
+            .verify_with(self.identity.public_key(), |k, m, s| {
+                self.cached_verify(k, m, s)
+            })
+            .is_ok()
+        {
+            return true;
+        }
+        let peers = self.peer_credentials.lock().clone();
+        for peer in &peers {
+            if credential
+                .verify_with(&peer.public_key, |k, m, s| self.cached_verify(k, m, s))
+                .is_ok()
+            {
+                return true;
+            }
+        }
+        let admin_key = self.admin_key.lock().clone();
+        if let Some(admin_key) = admin_key {
+            if credential
+                .verify_with(&admin_key, |k, m, s| self.cached_verify(k, m, s))
+                .is_ok()
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// The stateless verdict over `xml` (see [`VetVerdict`]): parse, extract
+    /// the embedded credential and verify the XMLdsig signature, memoised by
+    /// the XML's SHA-256 digest so repeated sightings of the same bytes —
+    /// re-publishes, gossip replicas, anti-entropy snapshots — skip both the
+    /// parse and the RSA.  With caching disabled the verdict is computed
+    /// from scratch every time.
+    fn vet_verdict_for(&self, xml: &str) -> VetVerdict {
+        let caching = self.verify_cache.lock().is_some();
+        let digest = jxta_crypto::sha2::sha256(xml.as_bytes());
+        if caching {
+            if let Some(verdict) = self.vet_cache.lock().get(&digest) {
+                if !matches!(verdict, VetVerdict::Unsigned) {
+                    self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                }
+                return verdict;
+            }
+        }
+        let verdict = self.compute_vet_verdict(xml);
+        if caching {
+            if !matches!(verdict, VetVerdict::Unsigned) {
+                self.memo_misses.fetch_add(1, Ordering::Relaxed);
+            }
+            self.vet_cache.lock().insert(digest, verdict.clone());
+        }
+        verdict
+    }
+
+    /// Computes the stateless verdict without consulting the memo table
+    /// (the RSA inside still goes through the signature cache when enabled).
+    fn compute_vet_verdict(&self, xml: &str) -> VetVerdict {
+        let Ok(element) = jxta_xmldoc::parse(xml) else {
+            return VetVerdict::Unsigned;
+        };
+        if !jxta_xmldoc::dsig::is_signed(&element) {
+            return VetVerdict::Unsigned;
+        }
+        let Ok(credential_bytes) = jxta_xmldoc::dsig::key_info(&element) else {
+            return VetVerdict::SignatureInvalid;
+        };
+        let Ok(credential) = Credential::from_bytes(&credential_bytes) else {
+            return VetVerdict::MalformedCredential;
+        };
+        if jxta_xmldoc::dsig::verify_element_with(&element, &credential.public_key, |k, m, s| {
+            self.cached_verify(k, m, s)
+        })
+        .is_err()
+        {
+            return VetVerdict::SignatureInvalid;
+        }
+        VetVerdict::Verified(Box::new(credential))
     }
 
     // ------------------------------------------------------------------
@@ -269,11 +507,15 @@ impl SecureBrokerExtension {
                 "no administrator key provisioned; cannot verify revocation list".into(),
             )
         })?;
-        list.verify(&admin_key).map_err(|_| {
-            OverlayError::SecurityViolation(
-                "revocation list not signed by the administrator".into(),
-            )
-        })?;
+        // Routed through the verified-signature cache: the same admin-signed
+        // list travels in every extension-state gossip and anti-entropy
+        // snapshot, so only its first sighting pays for RSA.
+        list.verify_with(&admin_key, |k, m, s| self.cached_verify(k, m, s))
+            .map_err(|_| {
+                OverlayError::SecurityViolation(
+                    "revocation list not signed by the administrator".into(),
+                )
+            })?;
         let mut added = 0u64;
         {
             let mut ids = self.revoked_ids.lock();
@@ -322,6 +564,43 @@ impl SecureBrokerExtension {
     /// The peer broker credentials this broker beacons.
     pub fn peer_broker_credentials(&self) -> Vec<Credential> {
         self.peer_credentials.lock().clone()
+    }
+
+    /// Pushes a signed update of the federation's current credential set
+    /// (this broker's plus every beaconed peer's) to every client currently
+    /// connected to `broker`.
+    ///
+    /// This is the re-beaconing half of broker admission: a client that ran
+    /// `secureConnection` *before* a broker joined only knows the
+    /// credentials beaconed at that time, so it could never validate
+    /// advertisements signed under the newcomer's credentials.  Clients
+    /// verify the push's outer signature against their authenticated home
+    /// broker's key and every contained credential against the
+    /// administrator anchor, so a forged push teaches them nothing.
+    /// Returns the number of clients the update was delivered to.
+    pub fn push_credential_update(&self, broker: &Broker) -> usize {
+        let mut credentials = vec![self.credential.clone()];
+        credentials.extend(self.peer_credentials.lock().iter().cloned());
+        let blob = encode_credential_list(&credentials);
+        let Ok(signature) = self.identity.sign(&credential_update_signed_content(&blob)) else {
+            return 0;
+        };
+        // The push is identical for every client: serialise it once.
+        let push = Message::new(MessageKind::CredentialUpdate, broker.id(), 0)
+            .with_element("credentials", blob)
+            .with_element("signature", signature)
+            .to_bytes();
+        let mut sent = 0;
+        for client in broker.client_peers() {
+            if broker
+                .network()
+                .send(broker.id(), client, push.clone())
+                .is_ok()
+            {
+                sent += 1;
+            }
+        }
+        sent
     }
 
     /// The broker's admin-issued credential (`Cred^Adm_Br`).
@@ -512,13 +791,81 @@ impl BrokerExtension for SecureBrokerExtension {
         }
     }
 
-    /// Publish policy: a *signed* advertisement whose embedded credential is
-    /// expired or revoked is refused at the broker instead of entering the
-    /// index.  Full chain validation stays with the clients (they hold the
-    /// trust anchors and re-check on every use); the broker's job here is to
-    /// stop serving credentials it knows to be dead — the expired-credential
-    /// hole this check closes.  Unsigned advertisements (the plain overlay's
-    /// publishes) pass through untouched.
+    /// Stateless ingress pre-verification: the expensive RSA checks of the
+    /// message kinds that carry signatures run here — on a verify-pool
+    /// worker when the broker is pipelined — and record their verdicts in
+    /// the verified-signature cache, so the serialized apply stage
+    /// ([`SecureBrokerExtension::vet_publish`], revocation-list merges)
+    /// finds them already paid for.  Client publishes, gossip digests and
+    /// anti-entropy snapshots are walked for embedded signed advertisements;
+    /// nothing here mutates broker state.
+    fn preverify(&self, _broker: &Broker, message: &Message) {
+        if self.verify_cache.lock().is_none() {
+            // Without a cache to warm, pre-verification would only duplicate
+            // the apply-stage checks — skip it (the ablation baseline).
+            return;
+        }
+        let warm = |xml: &str| match self.vet_verdict_for(xml) {
+            VetVerdict::Verified(credential) => {
+                // Warm the credential-chain verdict too, so the apply-stage
+                // policy check is pure cache lookups.
+                let _ = self.credential_chains(&credential);
+                self.stats.lock().ingress_preverified += 1;
+            }
+            VetVerdict::SignatureInvalid | VetVerdict::MalformedCredential => {
+                self.stats.lock().ingress_sig_failures += 1;
+            }
+            VetVerdict::Unsigned => {}
+        };
+        match message.kind {
+            MessageKind::PublishAdvertisement => {
+                if let Some(xml) = message.element_str("xml") {
+                    warm(&xml);
+                }
+            }
+            MessageKind::BrokerSync => {
+                if let Some(count) = message
+                    .element_str("count")
+                    .and_then(|c| c.parse::<usize>().ok())
+                {
+                    for i in 0..count {
+                        if let Some(xml) = message.element_str(&format!("e{i}-xml")) {
+                            warm(&xml);
+                        }
+                    }
+                } else if let Some(xml) = message.element_str("xml") {
+                    warm(&xml);
+                }
+            }
+            MessageKind::AntiEntropySnapshot => {
+                if let Some(count) = message
+                    .element_str("a-count")
+                    .and_then(|c| c.parse::<usize>().ok())
+                {
+                    for i in 0..count {
+                        if let Some(xml) = message.element_str(&format!("a{i}-xml")) {
+                            warm(&xml);
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Publish policy: a *signed* advertisement is refused at the broker
+    /// when its embedded credential is expired or revoked, when its XMLdsig
+    /// signature does not verify under that credential's key, or when the
+    /// credential chains to no issuer this federation knows — forged content
+    /// must not enter (or be gossiped out of) the index.  The RSA work is
+    /// served by the verified-signature cache, which the ingress
+    /// [`SecureBrokerExtension::preverify`] stage has normally already
+    /// warmed, so this apply-thread check is digest lookups, not modular
+    /// exponentiation.  The *owner binding* (advertisement owner ==
+    /// credential subject) deliberately stays client-side: clients hold the
+    /// trust anchors and re-check on every use, and the attack suite pins
+    /// that division of labour.  Unsigned advertisements (the plain
+    /// overlay's publishes) pass through untouched.
     fn vet_publish(
         &self,
         _broker: &Broker,
@@ -527,15 +874,21 @@ impl BrokerExtension for SecureBrokerExtension {
         _doc_type: &str,
         xml: &str,
     ) -> Result<(), String> {
-        let Ok(element) = jxta_xmldoc::parse(xml) else {
-            return Ok(()); // not policy material; the index stores raw XML
+        // Stateless part (parse + signature), memoised by content digest —
+        // normally a cache hit because the ingress stage pre-verified it.
+        let credential = match self.vet_verdict_for(xml) {
+            VetVerdict::Unsigned => return Ok(()), // no credential to vet
+            VetVerdict::MalformedCredential => {
+                return Err("malformed credential embedded in signed advertisement".to_string());
+            }
+            VetVerdict::SignatureInvalid => {
+                self.stats.lock().forged_rejected += 1;
+                return Err("advertisement signature does not verify".to_string());
+            }
+            VetVerdict::Verified(credential) => credential,
         };
-        let Ok(credential_bytes) = jxta_xmldoc::dsig::key_info(&element) else {
-            return Ok(()); // unsigned advertisement: no credential to vet
-        };
-        let Ok(credential) = Credential::from_bytes(&credential_bytes) else {
-            return Err("malformed credential embedded in signed advertisement".to_string());
-        };
+        // Stateful part, re-evaluated on every publish: the deployment
+        // clock, the revocation lists and the known-issuer set all move.
         if credential.is_expired(self.now()) {
             self.stats.lock().expired_rejected += 1;
             return Err("credential expired".to_string());
@@ -545,6 +898,10 @@ impl BrokerExtension for SecureBrokerExtension {
         {
             self.stats.lock().revoked_rejected += 1;
             return Err("credential revoked".to_string());
+        }
+        if !self.credential_chains(&credential) {
+            self.stats.lock().forged_rejected += 1;
+            return Err("credential does not chain to a known issuer".to_string());
         }
         Ok(())
     }

@@ -128,6 +128,16 @@ impl Credential {
         issuer_key.verify(&self.signed_content(), &self.signature)
     }
 
+    /// Like [`Credential::verify`], but delegating the RSA operation to
+    /// `verify` — so callers can route it through a
+    /// [`jxta_crypto::sigcache::VerifiedSigCache`].
+    pub fn verify_with<F>(&self, issuer_key: &RsaPublicKey, verify: F) -> Result<(), CryptoError>
+    where
+        F: FnOnce(&RsaPublicKey, &[u8], &[u8]) -> Result<(), CryptoError>,
+    {
+        verify(issuer_key, &self.signed_content(), &self.signature)
+    }
+
     /// Verifies a self-signed credential (issuer key = embedded subject key).
     pub fn verify_self_signed(&self) -> Result<(), CryptoError> {
         self.verify(&self.public_key)
@@ -302,6 +312,16 @@ impl RevocationList {
     /// Verifies the signature with the issuer's public key.
     pub fn verify(&self, issuer_key: &RsaPublicKey) -> Result<(), CryptoError> {
         issuer_key.verify(&self.signed_content(), &self.signature)
+    }
+
+    /// Like [`RevocationList::verify`], but delegating the RSA operation to
+    /// `verify` — so brokers re-verifying gossiped lists route it through
+    /// their [`jxta_crypto::sigcache::VerifiedSigCache`].
+    pub fn verify_with<F>(&self, issuer_key: &RsaPublicKey, verify: F) -> Result<(), CryptoError>
+    where
+        F: FnOnce(&RsaPublicKey, &[u8], &[u8]) -> Result<(), CryptoError>,
+    {
+        verify(issuer_key, &self.signed_content(), &self.signature)
     }
 
     /// Serialises the list (including its signature) to a wire blob, so it

@@ -17,7 +17,10 @@
 //! decrypts, authenticates and surfaces incoming secure messages
 //! ([`SecureClient::receive_secure_messages`]).
 
-use crate::broker_ext::{login_signed_content, message_signed_content};
+use crate::broker_ext::{
+    credential_update_signed_content, decode_credential_list, login_signed_content,
+    message_signed_content,
+};
 use crate::credential::{Credential, CredentialRole};
 use crate::identity::PeerIdentity;
 use crate::signed_adv::{
@@ -65,6 +68,11 @@ pub struct SecureClient {
     validated_pipes: HashMap<(GroupId, PeerId), ValidatedAdvertisement<PipeAdvertisement>>,
     /// Non-secure events set aside by the secure receive path.
     other_events: Vec<ClientEvent>,
+    /// Events drained from the inbox while looking for credential updates
+    /// (see [`SecureClient::absorb_pending_credential_updates`]); the next
+    /// [`SecureClient::receive_secure_messages`] consumes them first so
+    /// nothing is lost or reordered.
+    deferred_events: Vec<ClientEvent>,
 }
 
 impl SecureClient {
@@ -94,6 +102,7 @@ impl SecureClient {
             credential: None,
             validated_pipes: HashMap::new(),
             other_events: Vec::new(),
+            deferred_events: Vec::new(),
         })
     }
 
@@ -361,6 +370,12 @@ impl SecureClient {
 
     /// Resolves and validates the signed pipe advertisement of `owner` in
     /// `group` (steps 1-3 of `secureMsgPeer`).  Results are cached.
+    ///
+    /// A validation failure is retried once after absorbing any pending
+    /// [`MessageKind::CredentialUpdate`] pushes: the advertisement may be
+    /// signed under the credential of a broker admitted *after* this client
+    /// joined, in which case the re-beaconed credential set is what makes it
+    /// validate.
     pub fn resolve_secure_pipe(
         &mut self,
         group: &GroupId,
@@ -370,10 +385,35 @@ impl SecureClient {
             return Ok(validated.clone());
         }
         let xml = self.client.resolve_pipe_xml(group, owner)?;
-        let validated = validate_signed_pipe_advertisement(&xml, owner, &self.trust)?;
+        let validated = match validate_signed_pipe_advertisement(&xml, owner, &self.trust) {
+            Ok(validated) => validated,
+            Err(error) => {
+                if self.absorb_pending_credential_updates() == 0 {
+                    return Err(error);
+                }
+                validate_signed_pipe_advertisement(&xml, owner, &self.trust)?
+            }
+        };
         self.validated_pipes
             .insert((group.clone(), owner), validated.clone());
         Ok(validated)
+    }
+
+    /// Drains the inbox looking for broker-pushed credential updates and
+    /// applies them; every other event is deferred for the next
+    /// [`SecureClient::receive_secure_messages`] in its original order.
+    /// Returns the number of broker credentials accepted.
+    fn absorb_pending_credential_updates(&mut self) -> usize {
+        let mut added = 0usize;
+        for event in self.client.poll_events() {
+            match event {
+                ClientEvent::Raw(message) if message.kind == MessageKind::CredentialUpdate => {
+                    added += self.process_credential_update(&message).unwrap_or(0);
+                }
+                other => self.deferred_events.push(other),
+            }
+        }
+        added
     }
 
     /// Asks the home broker whether `peer` is currently a member of `group`.
@@ -605,7 +645,8 @@ impl SecureClient {
     /// set aside and can be retrieved with
     /// [`SecureClient::drain_other_events`].
     pub fn receive_secure_messages(&mut self) -> Result<Vec<ReceivedSecureMessage>, OverlayError> {
-        let events = self.client.poll_events();
+        let mut events = std::mem::take(&mut self.deferred_events);
+        events.extend(self.client.poll_events());
         let mut received = Vec::new();
         for event in events {
             match event {
@@ -618,10 +659,54 @@ impl SecureClient {
                         }
                     }
                 }
+                ClientEvent::Raw(message) if message.kind == MessageKind::CredentialUpdate => {
+                    // A broker-pushed federation credential-set update
+                    // (broker admitted after we joined).  Unauthentic pushes
+                    // are discarded like any other forged message.
+                    let _ = self.process_credential_update(&message);
+                }
                 other => self.other_events.push(other),
             }
         }
         Ok(received)
+    }
+
+    /// Processes a broker-pushed [`MessageKind::CredentialUpdate`]: checks
+    /// that it comes from — and is signed by — the broker this client
+    /// authenticated with `secureConnection`, then adds each contained
+    /// broker credential to the trust anchors.  Every credential is still
+    /// individually verified against the administrator anchor inside
+    /// [`TrustAnchors::add_broker`]; unverifiable entries are skipped.
+    /// Returns the number of credentials accepted.
+    pub fn process_credential_update(&mut self, message: &Message) -> Result<usize, OverlayError> {
+        let broker = self.client.broker_id().ok_or(OverlayError::NotConnected)?;
+        if message.sender != broker {
+            return Err(OverlayError::SecurityViolation(
+                "credential update does not come from this peer's broker".into(),
+            ));
+        }
+        let broker_credential = self.broker_credential.clone().ok_or_else(|| {
+            OverlayError::SecurityViolation(
+                "no authenticated broker credential to verify the update against".into(),
+            )
+        })?;
+        let blob = message.require("credentials")?;
+        let signature = message.require("signature")?;
+        broker_credential
+            .public_key
+            .verify(&credential_update_signed_content(blob), signature)
+            .map_err(|_| {
+                OverlayError::SecurityViolation(
+                    "credential update not signed by the authenticated broker".into(),
+                )
+            })?;
+        let mut added = 0usize;
+        for credential in decode_credential_list(blob)? {
+            if self.trust.add_broker(credential).is_ok() {
+                added += 1;
+            }
+        }
+        Ok(added)
     }
 
     /// Processes a single incoming `SecurePeerText` message.

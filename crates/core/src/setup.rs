@@ -40,6 +40,9 @@ pub struct SecureNetworkBuilder {
     replication_factor: Option<usize>,
     repair_interval: Option<Duration>,
     request_timeout: Duration,
+    verify_workers: usize,
+    inbox_capacity: Option<usize>,
+    verify_cache_capacity: Option<usize>,
 }
 
 impl SecureNetworkBuilder {
@@ -55,7 +58,35 @@ impl SecureNetworkBuilder {
             replication_factor: None,
             repair_interval: None,
             request_timeout: Duration::from_secs(5),
+            verify_workers: 0,
+            inbox_capacity: None,
+            verify_cache_capacity: None,
         }
+    }
+
+    /// Runs every broker's ingress as a staged pipeline with `workers`
+    /// parallel verify workers (default 0: the classic single event-loop
+    /// thread).  See [`jxta_overlay::broker::BrokerConfig::verify_workers`].
+    pub fn with_verify_workers(mut self, workers: usize) -> Self {
+        self.verify_workers = workers;
+        self
+    }
+
+    /// Bounds every broker's network inbox at `capacity` queued messages
+    /// (default: unbounded), turning overload into explicit sender
+    /// backpressure instead of unbounded queue growth.
+    pub fn with_inbox_capacity(mut self, capacity: usize) -> Self {
+        self.inbox_capacity = Some(capacity);
+        self
+    }
+
+    /// Sets the capacity of each broker's verified-signature cache; `0`
+    /// disables caching (every signature verification runs RSA — the
+    /// ablation baseline).  Default: the cache is enabled at
+    /// [`jxta_crypto::sigcache::DEFAULT_SIG_CACHE_CAPACITY`].
+    pub fn with_verify_cache_capacity(mut self, capacity: usize) -> Self {
+        self.verify_cache_capacity = Some(capacity);
+        self
     }
 
     /// Runs an anti-entropy repair round on every broker each `interval`:
@@ -178,6 +209,8 @@ impl SecureNetworkBuilder {
                 BrokerConfig {
                     name: name.clone(),
                     replication_factor: self.replication_factor,
+                    verify_workers: self.verify_workers,
+                    inbox_capacity: self.inbox_capacity,
                 },
                 Arc::clone(&network),
                 Arc::clone(&database),
@@ -190,6 +223,9 @@ impl SecureNetworkBuilder {
             ));
             // Brokers verify admin-pushed revocation lists against this key.
             extension.set_admin_public_key(admin.public_key().clone());
+            if let Some(capacity) = self.verify_cache_capacity {
+                extension.set_verify_cache_capacity(capacity);
+            }
             broker.set_extension(extension.clone());
             brokers.push(broker);
             extensions.push(extension);
@@ -213,6 +249,7 @@ impl SecureNetworkBuilder {
             rng,
             key_bits: self.key_bits,
             request_timeout: self.request_timeout,
+            verify_cache_capacity: self.verify_cache_capacity,
         }
     }
 }
@@ -228,6 +265,7 @@ pub struct SecureNetwork {
     rng: HmacDrbg,
     key_bits: usize,
     request_timeout: Duration,
+    verify_cache_capacity: Option<usize>,
 }
 
 impl SecureNetwork {
@@ -373,8 +411,14 @@ impl SecureNetwork {
     /// (deployment clock, admin key and peer-credential beacons included),
     /// spawns it into the federation full mesh and migrates its shard onto
     /// it.  Prior revocations reach it via the backbone (anti-entropy, or
-    /// the next gossiped list) rather than any in-process push.  Returns the
-    /// new broker's index.
+    /// the next gossiped list) rather than any in-process push.
+    ///
+    /// Every pre-existing broker then pushes a signed credential-set update
+    /// to its *live* clients: peers that ran `secureConnection` before this
+    /// admission would otherwise never learn the newcomer's credential and
+    /// could not validate advertisements signed under credentials it issues
+    /// (clients joining later get the current beacon list anyway).  Returns
+    /// the new broker's index.
     pub fn add_broker(&mut self, name: &str) -> usize {
         let identity = PeerIdentity::generate(&mut self.rng, self.key_bits)
             .expect("broker key generation");
@@ -387,12 +431,15 @@ impl SecureNetwork {
                 crate::admin::DEFAULT_CREDENTIAL_LIFETIME,
             )
             .expect("broker credential issuance");
+        // The newcomer inherits the deployment's broker configuration
+        // (sharding mode, ingress pipeline, inbox bound) with its own name.
+        let config = BrokerConfig {
+            name: name.to_string(),
+            ..self.federation.broker(0).config().clone()
+        };
         let broker = Broker::new(
             identity.peer_id(),
-            BrokerConfig {
-                name: name.to_string(),
-                replication_factor: self.federation.broker(0).replication_factor(),
-            },
+            config,
             Arc::clone(&self.network),
             Arc::clone(&self.database),
         );
@@ -403,6 +450,9 @@ impl SecureNetwork {
             self.rng.next_u64(),
         ));
         extension.set_admin_public_key(self.admin.public_key().clone());
+        if let Some(capacity) = self.verify_cache_capacity {
+            extension.set_verify_cache_capacity(capacity);
+        }
         if let Some(first) = self.extensions.first() {
             extension.set_now(first.now());
         }
@@ -413,6 +463,14 @@ impl SecureNetwork {
         broker.set_extension(extension.clone());
         self.extensions.push(extension);
         self.federation.add_broker(broker);
+        // Re-beacon the grown credential set to every already-connected
+        // client, from its own (authenticated) home broker.
+        for (index, existing) in self.extensions.iter().enumerate() {
+            if index + 1 == self.extensions.len() {
+                continue; // the newcomer has no clients yet
+            }
+            existing.push_credential_update(self.federation.broker(index));
+        }
         self.federation.len() - 1
     }
 

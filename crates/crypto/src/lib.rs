@@ -24,6 +24,10 @@
 //! * [`cbid`] — Crypto-Based IDentifiers: peer identifiers derived from the
 //!   hash of a public key, which is what makes advertisement-based credential
 //!   distribution self-certifying.
+//! * [`sigcache`] — a bounded cache of successful RSA signature
+//!   verifications keyed by `(key id, payload digest)`, so bytes verified
+//!   once (re-published advertisements, gossiped snapshots, revocation
+//!   lists) skip the modular exponentiation on every later sighting.
 //!
 //! All implementations are pure safe Rust, avoid allocation in their inner
 //! loops, and are covered by unit tests with published test vectors plus
@@ -41,6 +45,7 @@ pub mod error;
 pub mod hmac;
 pub mod rsa;
 pub mod sha2;
+pub mod sigcache;
 
 pub use cbid::Cbid;
 pub use drbg::HmacDrbg;
@@ -48,6 +53,7 @@ pub use envelope::{open_envelope, seal_envelope, Envelope};
 pub use error::CryptoError;
 pub use rsa::{RsaKeyPair, RsaPrivateKey, RsaPublicKey};
 pub use sha2::{sha256, sha512, Sha256, Sha512};
+pub use sigcache::{SigCacheStats, VerifiedSigCache};
 
 #[cfg(test)]
 mod proptests;

@@ -1,0 +1,282 @@
+//! A cache of *successful* RSA signature verifications.
+//!
+//! RSA verification is the dominant CPU cost of a broker's ingress path:
+//! every signed advertisement is re-verified each time it is re-published,
+//! gossiped across the backbone or re-shipped inside an anti-entropy
+//! snapshot, and every admin-signed revocation list is re-verified on each
+//! extension-state exchange — yet the bytes are identical every time.
+//! [`VerifiedSigCache`] memoises the outcome: a `(key, message, signature)`
+//! triple that verified once is recognised by its digest and skips the
+//! modular exponentiation entirely.
+//!
+//! # What is safe to cache — and why
+//!
+//! Only **successes** are cached, keyed by the SHA-256 digest of the public
+//! key (the *key id*) combined with the SHA-256 digest of the
+//! length-prefixed `(message, signature)` pair (the *payload digest*).
+//! Signature verification is a pure function of exactly those inputs, so a
+//! cache hit is sound iff the digests collide only for equal inputs — which
+//! SHA-256 guarantees for any adversary that cannot break the hash itself
+//! (an adversary who can forge SHA-256 collisions defeats the signatures
+//! directly, cache or no cache).  Failures are deliberately *not* cached:
+//! they only occur under attack or corruption, so they are not a hot path
+//! worth optimising, and never storing them means a poisoned entry can never
+//! suppress a later legitimate verification.
+//!
+//! The cache is a segmented LRU (two generations): entries are promoted to
+//! the current generation on hit and the previous generation is discarded
+//! wholesale when the current one fills.  Memory is therefore bounded by
+//! roughly `capacity` entries of 32 bytes each, with O(1) insert/lookup and
+//! no linked-list bookkeeping.
+
+use crate::error::CryptoError;
+use crate::rsa::RsaPublicKey;
+use crate::sha2::sha256;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Snapshot of a cache's activity counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SigCacheStats {
+    /// Verifications answered from the cache (RSA skipped).
+    pub hits: u64,
+    /// Verifications that had to run RSA (the result was then cached if it
+    /// succeeded).
+    pub misses: u64,
+    /// Entries currently held.
+    pub entries: usize,
+}
+
+impl SigCacheStats {
+    /// Fraction of lookups answered from the cache (0.0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The cache key: SHA-256 over the length-prefixed key bytes, message and
+/// signature.  See the module docs for why equality of this digest is a
+/// sound proxy for equality of the verification inputs.
+fn cache_key(key: &RsaPublicKey, message: &[u8], signature: &[u8]) -> [u8; 32] {
+    let key_bytes = key.to_bytes();
+    let mut input =
+        Vec::with_capacity(24 + key_bytes.len() + message.len() + signature.len());
+    input.extend_from_slice(&(key_bytes.len() as u64).to_be_bytes());
+    input.extend_from_slice(&key_bytes);
+    input.extend_from_slice(&(message.len() as u64).to_be_bytes());
+    input.extend_from_slice(message);
+    input.extend_from_slice(&(signature.len() as u64).to_be_bytes());
+    input.extend_from_slice(signature);
+    sha256(&input)
+}
+
+/// A bounded digest-keyed memo table with two-generation (segmented-LRU)
+/// eviction: entries are promoted to the current generation on hit, and the
+/// previous generation is discarded wholesale when the current one fills.
+/// Memory is bounded by ~`capacity` entries, with O(1) insert/lookup and no
+/// linked-list bookkeeping.  This is the eviction policy shared by
+/// [`VerifiedSigCache`] and the higher-level verdict memos built on it.
+pub struct DigestCache<V> {
+    /// Entries per generation; total memory is bounded by ~2× this.
+    generation_capacity: usize,
+    current: HashMap<[u8; 32], V>,
+    previous: HashMap<[u8; 32], V>,
+}
+
+impl<V: Clone> DigestCache<V> {
+    /// Creates a memo table holding at most ~`capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        DigestCache {
+            generation_capacity: (capacity / 2).max(1),
+            current: HashMap::new(),
+            previous: HashMap::new(),
+        }
+    }
+
+    /// Looks `key` up, promoting a previous-generation entry so recently
+    /// used entries survive the next turnover.
+    pub fn get(&mut self, key: &[u8; 32]) -> Option<V> {
+        if let Some(value) = self.current.get(key) {
+            return Some(value.clone());
+        }
+        if let Some(value) = self.previous.remove(key) {
+            self.insert(*key, value.clone());
+            return Some(value);
+        }
+        None
+    }
+
+    /// Inserts an entry, rotating the generations when the current one is
+    /// full.
+    pub fn insert(&mut self, key: [u8; 32], value: V) {
+        if self.current.len() >= self.generation_capacity {
+            self.previous = std::mem::take(&mut self.current);
+        }
+        self.current.insert(key, value);
+    }
+
+    /// Entries currently held across both generations.
+    pub fn len(&self) -> usize {
+        self.current.len() + self.previous.len()
+    }
+
+    /// Returns `true` when the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A bounded cache of successful signature verifications (see module docs).
+pub struct VerifiedSigCache {
+    verified: Mutex<DigestCache<()>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+/// Default total capacity (entries across both generations).
+pub const DEFAULT_SIG_CACHE_CAPACITY: usize = 4096;
+
+impl Default for VerifiedSigCache {
+    fn default() -> Self {
+        Self::new(DEFAULT_SIG_CACHE_CAPACITY)
+    }
+}
+
+impl VerifiedSigCache {
+    /// Creates a cache holding at most ~`capacity` verified signatures.
+    pub fn new(capacity: usize) -> Self {
+        VerifiedSigCache {
+            verified: Mutex::new(DigestCache::new(capacity)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Verifies `signature` over `message` with `key`, consulting the cache
+    /// first.  Behaves exactly like [`RsaPublicKey::verify`], except that a
+    /// triple verified before returns `Ok` without touching RSA.
+    pub fn verify(
+        &self,
+        key: &RsaPublicKey,
+        message: &[u8],
+        signature: &[u8],
+    ) -> Result<(), CryptoError> {
+        let digest = cache_key(key, message, signature);
+        if self
+            .verified
+            .lock()
+            .expect("sig cache poisoned")
+            .get(&digest)
+            .is_some()
+        {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(());
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        key.verify(message, signature)?;
+        self.verified
+            .lock()
+            .expect("sig cache poisoned")
+            .insert(digest, ());
+        Ok(())
+    }
+
+    /// Activity counters and current size.
+    pub fn stats(&self) -> SigCacheStats {
+        SigCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            entries: self.verified.lock().expect("sig cache poisoned").len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::drbg::HmacDrbg;
+    use crate::rsa::RsaKeyPair;
+    use std::sync::OnceLock;
+
+    fn keypair() -> &'static RsaKeyPair {
+        static KP: OnceLock<RsaKeyPair> = OnceLock::new();
+        KP.get_or_init(|| {
+            let mut rng = HmacDrbg::from_seed_u64(0x516C);
+            RsaKeyPair::generate(&mut rng, 512).unwrap()
+        })
+    }
+
+    #[test]
+    fn caches_successful_verifications() {
+        let kp = keypair();
+        let cache = VerifiedSigCache::new(16);
+        let signature = kp.private.sign(b"hello").unwrap();
+
+        cache.verify(&kp.public, b"hello", &signature).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.entries), (0, 1, 1));
+
+        cache.verify(&kp.public, b"hello", &signature).unwrap();
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert!((stats.hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failures_are_not_cached_and_keep_failing() {
+        let kp = keypair();
+        let cache = VerifiedSigCache::new(16);
+        let signature = kp.private.sign(b"hello").unwrap();
+
+        assert!(cache.verify(&kp.public, b"tampered", &signature).is_err());
+        assert_eq!(cache.stats().entries, 0, "failures never enter the cache");
+        assert!(cache.verify(&kp.public, b"tampered", &signature).is_err());
+        // A mismatched triple cannot ride on a cached success either.
+        cache.verify(&kp.public, b"hello", &signature).unwrap();
+        assert!(cache.verify(&kp.public, b"hello2", &signature).is_err());
+        let mut wrong = signature.clone();
+        wrong[0] ^= 0xff;
+        assert!(cache.verify(&kp.public, b"hello", &wrong).is_err());
+    }
+
+    #[test]
+    fn capacity_is_bounded_with_generational_eviction() {
+        let kp = keypair();
+        let cache = VerifiedSigCache::new(8);
+        for i in 0..64u32 {
+            let message = i.to_be_bytes();
+            let signature = kp.private.sign(&message).unwrap();
+            cache.verify(&kp.public, &message, &signature).unwrap();
+        }
+        assert!(
+            cache.stats().entries <= 8,
+            "entries stay bounded: {}",
+            cache.stats().entries
+        );
+        // The most recent entry is still cached.
+        let message = 63u32.to_be_bytes();
+        let signature = kp.private.sign(&message).unwrap();
+        let hits_before = cache.stats().hits;
+        cache.verify(&kp.public, &message, &signature).unwrap();
+        assert_eq!(cache.stats().hits, hits_before + 1);
+    }
+
+    #[test]
+    fn different_keys_do_not_collide() {
+        let kp = keypair();
+        let mut rng = HmacDrbg::from_seed_u64(0x516D);
+        let other = RsaKeyPair::generate(&mut rng, 512).unwrap();
+        let cache = VerifiedSigCache::new(16);
+        let signature = kp.private.sign(b"msg").unwrap();
+        cache.verify(&kp.public, b"msg", &signature).unwrap();
+        // Same message and signature under a different key: cache miss and a
+        // genuine RSA failure.
+        assert!(cache.verify(&other.public, b"msg", &signature).is_err());
+    }
+}

@@ -40,7 +40,7 @@ use crate::database::UserDatabase;
 use crate::group::{GroupId, GroupRegistry};
 use crate::id::PeerId;
 use crate::message::{Message, MessageKind};
-use crate::metrics::{FederationMetrics, FederationStats};
+use crate::metrics::{FederationMetrics, FederationStats, PipelineMetrics, PipelineStats};
 use crate::net::{NetMessage, SimNetwork};
 use crate::shard::ShardRing;
 use parking_lot::{Mutex, RwLock};
@@ -68,6 +68,29 @@ pub struct BrokerConfig {
     /// fully replicated in both modes — it is small and on the relay hot
     /// path.  All brokers of one federation must use the same setting.
     pub replication_factor: Option<usize>,
+    /// Number of ingress verify workers a *spawned* broker runs.
+    ///
+    /// `0` (the default) keeps the classic single-thread event loop: one
+    /// thread decodes, verifies and applies every message.  `n > 0` turns
+    /// ingress into a staged pipeline: an ingress thread stamps arriving
+    /// messages with monotone tickets, `n` workers decode them and run the
+    /// stateless cryptographic pre-verification
+    /// ([`BrokerExtension::preverify`]) in parallel, and a dedicated apply
+    /// thread drains completions **in ticket order**, so all state mutation
+    /// stays serialized and per-sender ordering plus replay-protection
+    /// semantics are exactly those of the single-thread loop.  Inline
+    /// drivers ([`crate::federation::InlineFederation`]) ignore this knob —
+    /// [`Broker::process_net`] runs both stages back to back on the calling
+    /// thread, which is what keeps the deterministic proptests seed-stable.
+    pub verify_workers: usize,
+    /// Capacity of the spawned broker's network inbox.
+    ///
+    /// `None` (the default) keeps the unbounded channel.  `Some(n)` bounds
+    /// the inbox at `n` queued messages: senders that find it full stall
+    /// briefly (explicit backpressure) and overflow past the network's
+    /// backpressure timeout is shed and counted — see
+    /// [`SimNetwork::register_bounded`].
+    pub inbox_capacity: Option<usize>,
 }
 
 impl Default for BrokerConfig {
@@ -75,6 +98,8 @@ impl Default for BrokerConfig {
         BrokerConfig {
             name: "broker".to_string(),
             replication_factor: None,
+            verify_workers: 0,
+            inbox_capacity: None,
         }
     }
 }
@@ -94,7 +119,16 @@ impl BrokerConfig {
         BrokerConfig {
             name: name.into(),
             replication_factor: Some(replication_factor),
+            ..Default::default()
         }
+    }
+
+    /// Enables the staged ingress pipeline: `workers` parallel verify
+    /// workers and a bounded network inbox of `inbox_capacity` messages.
+    pub fn with_pipeline(mut self, workers: usize, inbox_capacity: usize) -> Self {
+        self.verify_workers = workers;
+        self.inbox_capacity = Some(inbox_capacity);
+        self
     }
 }
 
@@ -106,6 +140,18 @@ pub trait BrokerExtension: Send + Sync {
     /// if the message kind is not handled by this extension (the broker then
     /// replies with a generic rejection).
     fn handle(&self, broker: &Broker, message: &Message) -> Option<Message>;
+
+    /// Stateless ingress pre-verification, run for every decoded message
+    /// *before* the serialized apply stage — on a verify-pool worker when the
+    /// broker is pipelined, or inline on the calling thread otherwise.
+    ///
+    /// The hook must not mutate broker state (several workers run it
+    /// concurrently and completions are reordered before apply); its job is
+    /// to spend the stateless CPU — signature and envelope checks — off the
+    /// apply thread, recording results in idempotent side tables such as the
+    /// verified-signature cache so the apply-stage handlers find them
+    /// already paid for.  The default does nothing.
+    fn preverify(&self, _broker: &Broker, _message: &Message) {}
 
     /// Policy hook invoked before an advertisement publish is indexed: the
     /// secure extension uses it to refuse signed advertisements whose
@@ -265,6 +311,8 @@ pub struct Broker {
     seen_seq: RwLock<HashMap<PeerId, u64>>,
     /// Federation activity counters.
     federation: FederationMetrics,
+    /// Ingress-pipeline activity counters (all zero without a pipeline).
+    pipeline: PipelineMetrics,
     /// The consistent-hash ring over this broker and its federation peers
     /// (only consulted when `config.replication_factor` is set).
     ring: RwLock<ShardRing>,
@@ -311,6 +359,7 @@ impl Broker {
             send_lock: Mutex::new(()),
             seen_seq: RwLock::new(HashMap::new()),
             federation: FederationMetrics::new(),
+            pipeline: PipelineMetrics::new(),
             ring: RwLock::new(ring),
             outbox: Mutex::new(BTreeMap::new()),
             pending_lookups: Mutex::new(HashMap::new()),
@@ -453,6 +502,25 @@ impl Broker {
     /// Federation activity counters (gossip, relays, rejected traffic).
     pub fn federation_stats(&self) -> FederationStats {
         self.federation.snapshot()
+    }
+
+    /// Ingress-pipeline activity counters (batch sizes, reorder waits).
+    pub fn pipeline_stats(&self) -> PipelineStats {
+        self.pipeline.snapshot()
+    }
+
+    /// Peers currently connected to this broker (logged in or not) — the
+    /// audience of broker-initiated pushes such as federation credential
+    /// updates.
+    pub fn client_peers(&self) -> Vec<PeerId> {
+        let mut peers: Vec<PeerId> = self.connected.read().keys().copied().collect();
+        for peer in self.sessions.read().keys() {
+            if !peers.contains(peer) {
+                peers.push(*peer);
+            }
+        }
+        peers.sort();
+        peers
     }
 
     /// The broker a peer is homed at: this broker for local sessions, the
@@ -1950,27 +2018,148 @@ impl Broker {
         results
     }
 
-    /// Starts the broker's event loop on a dedicated thread.
+    /// Starts the broker's event loop.
+    ///
+    /// With `config.verify_workers == 0` this is the classic single thread:
+    /// receive, decode, verify, apply, one message at a time.  With workers
+    /// configured the ingress path becomes a staged pipeline (see
+    /// [`BrokerConfig::verify_workers`]):
+    ///
+    /// ```text
+    /// network inbox ──ingress (tickets)──► verify pool (decode + preverify)
+    ///                                           │ (ticket, decoded)
+    ///                                           ▼
+    ///                               apply thread (reorder to ticket order,
+    ///                                serialized state mutation + replies)
+    /// ```
+    ///
+    /// The ticket reorder restores exact arrival order before anything
+    /// touches state, so the pipeline is observationally identical to the
+    /// single-thread loop — only the stateless decode/verify CPU runs in
+    /// parallel.  The verify queue is bounded, so a saturated pool pushes
+    /// back on ingress, which (with [`BrokerConfig::inbox_capacity`]) pushes
+    /// back on senders instead of queueing without bound.
     pub fn spawn(self: &Arc<Self>) -> BrokerHandle {
-        let receiver = self.network.register(self.id);
-        let broker = Arc::clone(self);
+        let receiver = match self.config.inbox_capacity {
+            Some(capacity) => self.network.register_bounded(self.id, capacity),
+            None => self.network.register(self.id),
+        };
         let (shutdown_tx, shutdown_rx) = crossbeam::channel::bounded::<()>(1);
-        let thread = std::thread::Builder::new()
-            .name(format!("broker-{}", self.config.name))
-            .spawn(move || loop {
-                crossbeam::channel::select! {
-                    recv(receiver) -> msg => match msg {
-                        Ok(net_message) => broker.process_net(net_message),
-                        Err(_) => break,
-                    },
-                    recv(shutdown_rx) -> _ => break,
-                }
-            })
-            .expect("failed to spawn broker thread");
+        let mut threads = Vec::new();
+
+        if self.config.verify_workers == 0 {
+            let broker = Arc::clone(self);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("broker-{}", self.config.name))
+                    .spawn(move || loop {
+                        crossbeam::channel::select! {
+                            recv(receiver) -> msg => match msg {
+                                Ok(net_message) => broker.process_net(net_message),
+                                Err(_) => break,
+                            },
+                            recv(shutdown_rx) -> _ => break,
+                        }
+                    })
+                    .expect("failed to spawn broker thread"),
+            );
+            return BrokerHandle {
+                broker: Arc::clone(self),
+                shutdown: shutdown_tx,
+                threads,
+            };
+        }
+
+        let workers = self.config.verify_workers;
+        // Bounded stage queues: a saturated verify pool stalls the ingress
+        // thread, which stops draining the (bounded) network inbox, which
+        // stalls senders — backpressure end to end instead of hidden queues.
+        let (verify_tx, verify_rx) =
+            crossbeam::channel::bounded::<(u64, NetMessage)>(workers * 8);
+        let (apply_tx, apply_rx) =
+            crossbeam::channel::bounded::<(u64, NetMessage, Option<Message>)>(workers * 8);
+
+        // Ingress: stamp arrivals with monotone tickets.
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("broker-{}-ingress", self.config.name))
+                .spawn(move || {
+                    let mut ticket = 0u64;
+                    loop {
+                        crossbeam::channel::select! {
+                            recv(receiver) -> msg => match msg {
+                                Ok(net_message) => {
+                                    ticket += 1;
+                                    if verify_tx.send((ticket, net_message)).is_err() {
+                                        break;
+                                    }
+                                }
+                                Err(_) => break,
+                            },
+                            recv(shutdown_rx) -> _ => break,
+                        }
+                    }
+                })
+                .expect("failed to spawn broker ingress thread"),
+        );
+
+        // Verify pool: decode and cryptographically pre-verify in parallel.
+        for worker in 0..workers {
+            let broker = Arc::clone(self);
+            let verify_rx = verify_rx.clone();
+            let apply_tx = apply_tx.clone();
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("broker-{}-verify-{worker}", self.config.name))
+                    .spawn(move || {
+                        while let Ok((ticket, net_message)) = verify_rx.recv() {
+                            let decoded = broker.decode_and_preverify(&net_message);
+                            if apply_tx.send((ticket, net_message, decoded)).is_err() {
+                                break;
+                            }
+                        }
+                    })
+                    .expect("failed to spawn broker verify worker"),
+            );
+        }
+        drop(verify_rx);
+        drop(apply_tx);
+
+        // Apply: restore ticket order, then mutate state serially.
+        let broker = Arc::clone(self);
+        threads.push(
+            std::thread::Builder::new()
+                .name(format!("broker-{}-apply", self.config.name))
+                .spawn(move || {
+                    let mut next_ticket = 1u64;
+                    let mut reorder: BTreeMap<u64, (NetMessage, Option<Message>)> =
+                        BTreeMap::new();
+                    while let Ok((ticket, net_message, decoded)) = apply_rx.recv() {
+                        if ticket != next_ticket {
+                            broker.pipeline.count_reorder_wait();
+                        }
+                        reorder.insert(ticket, (net_message, decoded));
+                        let mut batch = 0u64;
+                        while let Some((net_message, decoded)) = reorder.remove(&next_ticket) {
+                            broker.apply_net(net_message, decoded);
+                            next_ticket += 1;
+                            batch += 1;
+                        }
+                        if batch > 0 {
+                            broker.pipeline.record_apply_batch(batch);
+                        }
+                    }
+                    // The channels closed (shutdown): nothing in the reorder
+                    // buffer can complete, because every smaller ticket
+                    // already arrived or never will.
+                })
+                .expect("failed to spawn broker apply thread"),
+        );
+
         BrokerHandle {
             broker: Arc::clone(self),
             shutdown: shutdown_tx,
-            thread: Some(thread),
+            threads,
         }
     }
 
@@ -1978,19 +2167,42 @@ impl Broker {
     ///
     /// Public so the thread-free federation mode (deterministic pumping used
     /// by the replication proptests) can drive a broker without spawning its
-    /// event-loop thread.  Relay kinds are dispatched here rather than in
-    /// [`Broker::handle_message`] because they need the delivery's
-    /// accumulated wire time for per-hop accounting.
+    /// event-loop thread.  Runs both pipeline stages back to back on the
+    /// calling thread, so inline and pipelined brokers apply the identical
+    /// sequence of state changes.
     pub fn process_net(&self, net_message: NetMessage) {
-        let message = match Message::from_bytes(&net_message.payload) {
-            Ok(m) => m,
-            Err(_) => {
-                // Undecodable traffic is dropped silently — but it still
-                // counts as processed, or quiescence would never be reached
-                // after garbage arrives.
-                self.processed.fetch_add(1, Ordering::Release);
-                return;
-            }
+        let decoded = self.decode_and_preverify(&net_message);
+        self.apply_net(net_message, decoded);
+    }
+
+    /// Pipeline stage 1 — stateless: decodes the payload and runs the
+    /// extension's [`BrokerExtension::preverify`] hook (signature/envelope
+    /// checks that warm the verified-signature cache).  Safe to run
+    /// concurrently from several verify workers.  Returns `None` for
+    /// undecodable traffic.
+    pub fn decode_and_preverify(&self, net_message: &NetMessage) -> Option<Message> {
+        let message = Message::from_bytes(&net_message.payload).ok()?;
+        let extension = self.extension.read().clone();
+        if let Some(extension) = extension {
+            extension.preverify(self, &message);
+        }
+        Some(message)
+    }
+
+    /// Pipeline stage 2 — serialized: applies one decoded message to broker
+    /// state and sends replies.  Must observe messages in arrival order (the
+    /// pipeline's ticket reorder guarantees it), which preserves per-sender
+    /// FIFO and the inter-broker replay-protection semantics.  Relay kinds
+    /// are dispatched here rather than in [`Broker::handle_message`] because
+    /// they need the delivery's accumulated wire time for per-hop
+    /// accounting.
+    fn apply_net(&self, net_message: NetMessage, decoded: Option<Message>) {
+        let Some(message) = decoded else {
+            // Undecodable traffic is dropped silently — but it still counts
+            // as processed, or quiescence would never be reached after
+            // garbage arrives.
+            self.processed.fetch_add(1, Ordering::Release);
+            return;
         };
         let response = match message.kind {
             MessageKind::RelayViaBroker => {
@@ -2294,10 +2506,29 @@ impl Broker {
             });
         }
         let query_id = self.next_query.fetch_add(1, Ordering::Relaxed);
-        // The monotone query identifier doubles as the rotation counter, so
-        // the choice is deterministic for reproducible tests yet spreads
-        // successive queries round-robin over the replica set.
-        let target = candidates[(query_id as usize) % candidates.len()];
+        // Link-cost-aware replica choice: prefer the replicas behind the
+        // cheapest link from this broker (per-edge LinkModel — a WAN-priced
+        // replica loses to a LAN one), then rotate among the cheapest using
+        // the monotone query identifier, so the choice stays deterministic
+        // for reproducible tests yet spreads a hot key's queries over every
+        // equally cheap replica.  With uniform links this degenerates to the
+        // original full rotation.
+        let costs: Vec<Duration> = candidates
+            .iter()
+            .map(|replica| {
+                self.network
+                    .link_between(self.id, *replica)
+                    .transfer_time(SHARD_QUERY_NOMINAL_BYTES)
+            })
+            .collect();
+        let cheapest_cost = *costs.iter().min().expect("candidates is non-empty");
+        let cheapest: Vec<PeerId> = candidates
+            .iter()
+            .zip(&costs)
+            .filter(|(_, cost)| **cost == cheapest_cost)
+            .map(|(replica, _)| *replica)
+            .collect();
+        let target = cheapest[(query_id as usize) % cheapest.len()];
         let membership = doc_type.is_none();
         let mut query = Message::new(MessageKind::ShardQuery, self.id, 0)
             .with_str("query", &query_id.to_string())
@@ -2509,11 +2740,12 @@ impl Broker {
     }
 }
 
-/// Handle of a running broker thread.
+/// Handle of a running broker: the classic single event-loop thread, or the
+/// ingress/verify/apply threads of a pipelined broker.
 pub struct BrokerHandle {
     broker: Arc<Broker>,
     shutdown: crossbeam::channel::Sender<()>,
-    thread: Option<JoinHandle<()>>,
+    threads: Vec<JoinHandle<()>>,
 }
 
 impl BrokerHandle {
@@ -2527,16 +2759,19 @@ impl BrokerHandle {
         self.broker.id()
     }
 
-    /// Stops the broker's event loop and waits for the thread to finish.
+    /// Stops the broker's event loop(s) and waits for the threads to finish.
     pub fn shutdown(mut self) {
         self.shutdown_inner();
     }
 
     fn shutdown_inner(&mut self) {
         let _ = self.shutdown.send(());
-        // Unregistering closes the channel, which also wakes the loop.
+        // Unregistering closes the network channel, which wakes the ingress
+        // loop; the stage channels then close in cascade (ingress drops the
+        // verify sender, the last worker drops the apply sender), so every
+        // in-flight message still reaches the apply stage before it exits.
         self.broker.network.unregister(&self.broker.id);
-        if let Some(thread) = self.thread.take() {
+        for thread in self.threads.drain(..) {
             let _ = thread.join();
         }
     }
@@ -2544,7 +2779,7 @@ impl BrokerHandle {
 
 impl Drop for BrokerHandle {
     fn drop(&mut self) {
-        if self.thread.is_some() {
+        if !self.threads.is_empty() {
             self.shutdown_inner();
         }
     }
@@ -2552,6 +2787,10 @@ impl Drop for BrokerHandle {
 
 /// Default timeout used by client primitives waiting for a broker response.
 pub const DEFAULT_REQUEST_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Nominal shard-query size used to price replica links against each other
+/// (queries are small; only the relative order of the links matters).
+const SHARD_QUERY_NOMINAL_BYTES: usize = 512;
 
 #[cfg(test)]
 mod tests {

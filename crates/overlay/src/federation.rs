@@ -56,6 +56,32 @@ impl std::fmt::Display for PumpStalled {
 
 impl std::error::Error for PumpStalled {}
 
+/// Smallest fraction of the repair-interval ceiling the adaptive cadence can
+/// shrink to (observed mismatches halve the interval, at most three times).
+pub const MIN_REPAIR_INTERVAL_DIVISOR: u32 = 8;
+
+/// Computes the next anti-entropy delay for `broker` under the adaptive
+/// cadence.
+///
+/// * `ceiling` is the configured repair interval
+///   (`with_repair_interval` / [`BrokerNetwork::spawn_with_repair`]) and is
+///   never exceeded — it stays the upper bound the operator chose.
+/// * `mismatches` is the number of digest mismatches the broker observed
+///   since its previous round: each one halves the delay (saturating at
+///   `ceiling / MIN_REPAIR_INTERVAL_DIVISOR`), so a diverging backbone
+///   repairs aggressively while a healthy one idles at the ceiling.
+/// * A deterministic per-broker jitter in `[0.75, 1.0)` of the base delay is
+///   applied so the rounds of a large backbone spread out instead of
+///   synchronising into periodic digest bursts (every broker ticking at the
+///   identical interval would fire in lockstep forever).
+pub fn next_repair_delay(ceiling: Duration, mismatches: u64, broker: &PeerId) -> Duration {
+    use crate::shard::{fnv1a, mix, FNV_OFFSET};
+    let shrink = 1u32 << (mismatches.min(3) as u32); // 1, 2, 4, 8
+    let base = ceiling / shrink.min(MIN_REPAIR_INTERVAL_DIVISOR);
+    let jitter_permille = 750 + (mix(fnv1a(FNV_OFFSET, broker.as_bytes())) % 250) as u32;
+    base.mul_f64(f64::from(jitter_permille) / 1000.0)
+}
+
 /// Interconnects `brokers` into a full mesh: every broker learns every other
 /// broker's identifier as a federation peer.
 pub fn interconnect(brokers: &[Arc<Broker>]) {
@@ -191,10 +217,17 @@ impl BrokerNetwork {
         Self::spawn_with_repair(brokers, None)
     }
 
-    /// Like [`BrokerNetwork::spawn`], but additionally runs an anti-entropy
-    /// repair round on every broker each `interval` (when `Some`), so
-    /// replica divergence caused by lost backbone gossip heals within a
-    /// bounded number of intervals instead of persisting forever.
+    /// Like [`BrokerNetwork::spawn`], but additionally runs periodic
+    /// anti-entropy repair (when `interval` is `Some`), so replica
+    /// divergence caused by lost backbone gossip heals within a bounded
+    /// number of rounds instead of persisting forever.
+    ///
+    /// `interval` is the **ceiling** of an adaptive cadence, not a fixed
+    /// period: each broker's next round is scheduled by
+    /// [`next_repair_delay`] — digest mismatches observed since its previous
+    /// round shrink the delay (down to `interval / 8`), a healthy broker
+    /// idles at the ceiling, and a deterministic per-broker jitter keeps the
+    /// rounds of a large backbone from synchronising.
     ///
     /// # Panics
     ///
@@ -210,12 +243,46 @@ impl BrokerNetwork {
             let thread = std::thread::Builder::new()
                 .name("federation-repair".to_string())
                 .spawn(move || {
+                    // The scheduler ticks well below the smallest adaptive
+                    // delay so due times are honoured with useful precision.
+                    let tick = (interval / (2 * MIN_REPAIR_INTERVAL_DIVISOR))
+                        .max(Duration::from_millis(1));
+                    let mut next_due: BTreeMap<PeerId, Instant> = BTreeMap::new();
+                    let mut seen_mismatches: BTreeMap<PeerId, u64> = BTreeMap::new();
                     while let Err(crossbeam::channel::RecvTimeoutError::Timeout) =
-                        shutdown_rx.recv_timeout(interval)
+                        shutdown_rx.recv_timeout(tick)
                     {
-                        for broker in brokers.read().iter() {
-                            broker.start_repair_round();
+                        let now = Instant::now();
+                        let current: Vec<Arc<Broker>> = brokers.read().clone();
+                        for broker in &current {
+                            let id = broker.id();
+                            match next_due.get(&id) {
+                                None => {
+                                    // Newly tracked broker: schedule its
+                                    // first round a (jittered) ceiling out,
+                                    // matching the fixed cadence's start-up.
+                                    next_due
+                                        .insert(id, now + next_repair_delay(interval, 0, &id));
+                                }
+                                Some(due) if *due <= now => {
+                                    let mismatches =
+                                        broker.federation_stats().repair_mismatches;
+                                    let since_last = mismatches
+                                        .saturating_sub(
+                                            seen_mismatches.insert(id, mismatches).unwrap_or(0),
+                                        );
+                                    broker.start_repair_round();
+                                    next_due.insert(
+                                        id,
+                                        now + next_repair_delay(interval, since_last, &id),
+                                    );
+                                }
+                                Some(_) => {}
+                            }
                         }
+                        // Forget brokers that left the federation.
+                        next_due.retain(|id, _| current.iter().any(|b| b.id() == *id));
+                        seen_mismatches.retain(|id, _| current.iter().any(|b| b.id() == *id));
                     }
                 })
                 .expect("failed to spawn federation repair thread");
@@ -1386,6 +1453,145 @@ mod tests {
     }
 
     #[test]
+    fn adaptive_repair_delay_policy() {
+        let mut rng = HmacDrbg::from_seed_u64(0xADA9);
+        let ceiling = Duration::from_millis(800);
+        let a = PeerId::random(&mut rng);
+        let b = PeerId::random(&mut rng);
+
+        // Deterministic, and never above the configured ceiling.
+        assert_eq!(next_repair_delay(ceiling, 0, &a), next_repair_delay(ceiling, 0, &a));
+        for mismatches in 0..6 {
+            for broker in [&a, &b] {
+                assert!(next_repair_delay(ceiling, mismatches, broker) <= ceiling);
+            }
+        }
+
+        // Observed mismatches shrink the delay monotonically, saturating at
+        // ceiling / MIN_REPAIR_INTERVAL_DIVISOR (times the jitter factor).
+        let delays: Vec<Duration> = (0..5).map(|m| next_repair_delay(ceiling, m, &a)).collect();
+        assert!(delays.windows(2).all(|w| w[1] <= w[0]), "{delays:?}");
+        assert!(delays[3] < delays[0] / 4, "three mismatches shrink ≥ 8x: {delays:?}");
+        assert_eq!(delays[3], delays[4], "acceleration saturates");
+        assert!(
+            delays[4] >= ceiling / (2 * MIN_REPAIR_INTERVAL_DIVISOR),
+            "the floor keeps repair from busy-spinning"
+        );
+
+        // Distinct brokers get distinct jitter, so equal ceilings do not
+        // synchronise their rounds.
+        let healthy_a = next_repair_delay(ceiling, 0, &a);
+        let healthy_b = next_repair_delay(ceiling, 0, &b);
+        assert_ne!(healthy_a, healthy_b);
+        for broker in [&a, &b] {
+            let healthy = next_repair_delay(ceiling, 0, broker);
+            assert!(healthy >= ceiling.mul_f64(0.75) && healthy <= ceiling);
+        }
+    }
+
+    #[test]
+    fn adaptive_repair_accelerates_on_divergence_and_heals() {
+        use crate::net::RandomDrop;
+        // A spawned federation with a large repair ceiling: after a lossy
+        // episode the mismatch-driven acceleration must repair well before
+        // several ceilings elapse.
+        let (net, _db, brokers) = make_brokers(3, 0xADAA);
+        let all = brokers.clone();
+        let ceiling = Duration::from_millis(400);
+        let federation = BrokerNetwork::spawn_with_repair(brokers, Some(ceiling));
+        let mut rng = HmacDrbg::from_seed_u64(0xADAB);
+        let alice = PeerId::random(&mut rng);
+
+        let edge = vec![federation.id(0), federation.id(1)];
+        net.set_adversary(RandomDrop::between(5, 100, edge));
+        federation.broker(0).establish_session(alice, "alice");
+        federation
+            .broker(0)
+            .index_and_distribute(alice, &GroupId::new("math"), "jxta:PipeAdvertisement", "<a/>");
+        // Let the (partially dropped) gossip drain before lifting the drops.
+        let deadline = Instant::now() + Duration::from_secs(2);
+        while Instant::now() < deadline {
+            let drained = all.iter().all(|broker| {
+                broker.processed_count() == net.delivered_to(&broker.id())
+            });
+            if drained {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        net.clear_adversary();
+
+        assert!(
+            federation.await_convergence(Duration::from_secs(10)),
+            "adaptive repair reconverges the federation"
+        );
+        let repaired: u64 = (0..3)
+            .map(|i| federation.broker(i).federation_stats().entries_repaired)
+            .sum();
+        assert!(repaired > 0, "the heal went through anti-entropy");
+        federation.shutdown();
+    }
+
+    #[test]
+    fn keyed_shard_queries_prefer_the_cheapest_link() {
+        use crate::message::{Message, MessageKind};
+        use crate::net::LinkModel;
+        let (net, _db, brokers) = make_sharded_brokers(5, 3, 0xD8);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xD9);
+        let group = GroupId::new("math");
+
+        let client = PeerId::random(&mut rng);
+        let rx = net.register(client);
+        federation.broker(0).establish_session(client, "alice");
+        federation.pump();
+
+        // Same fixture as the rotation test: an owner whose three replicas
+        // are all remote from broker 0 — but now one replica sits behind a
+        // WAN-priced link, so the rotation must skip it entirely.
+        let b0 = federation.broker(0).id();
+        let owner = loop {
+            let candidate = PeerId::random(&mut rng);
+            if !federation.broker(0).shard_replicas(&group, &candidate).contains(&b0) {
+                break candidate;
+            }
+        };
+        federation
+            .broker(1)
+            .index_and_distribute(owner, &group, "jxta:PipeAdvertisement", "<hot/>");
+        federation.pump();
+        assert!(federation.converged());
+
+        let replicas = federation.broker(0).shard_replicas(&group, &owner);
+        assert_eq!(replicas.len(), 3);
+        let wan_replica = replicas[0];
+        net.set_link_between(b0, wan_replica, LinkModel::wan());
+
+        let before: Vec<u64> = replicas.iter().map(|r| net.delivered_to(r)).collect();
+        for i in 0..6 {
+            let lookup = Message::new(MessageKind::LookupRequest, client, 90 + i)
+                .with_str("group", "math")
+                .with_str("doc-type", "jxta:PipeAdvertisement")
+                .with_str("owner", &owner.to_urn());
+            let response = query_via_network(&federation, &rx, client, 0, lookup);
+            assert_eq!(response.element_str("adv-0").unwrap(), "<hot/>");
+        }
+        let deltas: Vec<u64> = replicas
+            .iter()
+            .zip(&before)
+            .map(|(r, b)| net.delivered_to(r) - b)
+            .collect();
+        assert_eq!(
+            deltas[0], 0,
+            "the WAN-priced replica is avoided entirely: {deltas:?}"
+        );
+        assert!(
+            deltas[1] >= 1 && deltas[2] >= 1,
+            "the equally cheap replicas share the load: {deltas:?}"
+        );
+    }
+
+    #[test]
     fn spawned_federation_admits_and_removes_brokers() {
         let (net, db, brokers) = make_sharded_brokers(3, 2, 0xDA);
         let mut rng = HmacDrbg::from_seed_u64(0xDB);
@@ -1760,6 +1966,7 @@ mod repair_proptests {
                     BrokerConfig {
                         name: format!("broker-{}", i + 1),
                         replication_factor: replication,
+                        ..Default::default()
                     },
                     Arc::clone(&network),
                     Arc::clone(&database),

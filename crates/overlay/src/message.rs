@@ -47,6 +47,11 @@ pub enum MessageKind {
     SecureLoginResponse = 23,
     /// Secure extension: encrypted and signed peer message (`secureMsgPeer`).
     SecurePeerText = 24,
+    /// Secure extension: a broker-pushed update of the federation's
+    /// credential set, sent to *live* clients when a broker is admitted so
+    /// peers that joined earlier can validate advertisements signed under
+    /// the newcomer's credentials.
+    CredentialUpdate = 25,
     /// Generic acknowledgement / error report.
     Ack = 30,
     /// Broker ↔ broker: federation gossip replicating the advertisement
@@ -90,6 +95,7 @@ impl MessageKind {
             22 => SecureLoginRequest,
             23 => SecureLoginResponse,
             24 => SecurePeerText,
+            25 => CredentialUpdate,
             30 => Ack,
             40 => BrokerSync,
             41 => BrokerRelay,
@@ -294,6 +300,7 @@ mod tests {
             MessageKind::SecureLoginRequest,
             MessageKind::SecureLoginResponse,
             MessageKind::SecurePeerText,
+            MessageKind::CredentialUpdate,
             MessageKind::Ack,
             MessageKind::BrokerSync,
             MessageKind::BrokerRelay,

@@ -141,6 +141,63 @@ impl WireTimeAccumulator {
     }
 }
 
+/// Snapshot of a broker's ingress-pipeline activity (see
+/// [`PipelineMetrics`]).  All zeros when the broker runs the classic
+/// single-thread loop (`verify_workers == 0`) or is driven inline.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PipelineStats {
+    /// Messages that traversed the staged pipeline (ticketed at ingress,
+    /// decoded/verified by a worker, applied serially).
+    pub messages_pipelined: u64,
+    /// Contiguous runs of ready tickets drained by the apply stage in one
+    /// go.  `messages_pipelined / apply_batches` is the mean batch size.
+    pub apply_batches: u64,
+    /// Largest single apply batch observed.
+    pub max_apply_batch: u64,
+    /// Worker completions that arrived ahead of a still-outstanding earlier
+    /// ticket and had to park in the reorder buffer (how often the parallel
+    /// verify stage actually ran ahead of arrival order).
+    pub reorder_waits: u64,
+}
+
+/// Thread-safe counters for the broker's staged ingress pipeline.
+#[derive(Debug, Default)]
+pub struct PipelineMetrics {
+    messages_pipelined: AtomicU64,
+    apply_batches: AtomicU64,
+    max_apply_batch: AtomicU64,
+    reorder_waits: AtomicU64,
+}
+
+impl PipelineMetrics {
+    /// Creates zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an apply-stage drain of `batch` consecutive tickets.
+    pub fn record_apply_batch(&self, batch: u64) {
+        self.messages_pipelined.fetch_add(batch, Ordering::Relaxed);
+        self.apply_batches.fetch_add(1, Ordering::Relaxed);
+        self.max_apply_batch.fetch_max(batch, Ordering::Relaxed);
+    }
+
+    /// Records a completion that had to park in the reorder buffer.
+    pub fn count_reorder_wait(&self) {
+        self.reorder_waits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Consistent snapshot of the counters.
+    pub fn snapshot(&self) -> PipelineStats {
+        PipelineStats {
+            messages_pipelined: self.messages_pipelined.load(Ordering::Relaxed),
+            apply_batches: self.apply_batches.load(Ordering::Relaxed),
+            max_apply_batch: self.max_apply_batch.load(Ordering::Relaxed),
+            reorder_waits: self.reorder_waits.load(Ordering::Relaxed),
+        }
+    }
+}
+
 /// Snapshot of a broker's federation activity (see [`FederationMetrics`]).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct FederationStats {
@@ -374,6 +431,21 @@ mod tests {
         assert_eq!(stats.repair_rounds, 1);
         assert_eq!(stats.repair_mismatches, 2);
         assert_eq!(stats.entries_repaired, 5);
+    }
+
+    #[test]
+    fn pipeline_metrics_count_batches() {
+        let metrics = PipelineMetrics::new();
+        assert_eq!(metrics.snapshot(), PipelineStats::default());
+        metrics.record_apply_batch(3);
+        metrics.record_apply_batch(1);
+        metrics.record_apply_batch(5);
+        metrics.count_reorder_wait();
+        let stats = metrics.snapshot();
+        assert_eq!(stats.messages_pipelined, 9);
+        assert_eq!(stats.apply_batches, 3);
+        assert_eq!(stats.max_apply_batch, 5);
+        assert_eq!(stats.reorder_waits, 1);
     }
 
     #[test]

@@ -18,11 +18,16 @@
 
 use crate::error::OverlayError;
 use crate::id::PeerId;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// How long a delivery into a full bounded inbox waits for the receiver to
+/// make room before the message is dropped (see
+/// [`SimNetwork::set_backpressure_timeout`]).
+pub const DEFAULT_BACKPRESSURE_TIMEOUT: Duration = Duration::from_secs(2);
 
 /// Latency/bandwidth model of the links between peers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -212,6 +217,14 @@ pub struct NetStats {
     pub bytes_sent: u64,
     /// Accumulated virtual wire time of all deliveries.
     pub total_wire_time: Duration,
+    /// Deliveries that found a bounded inbox full and had to wait for the
+    /// receiver (backpressure events — the sender stalls instead of queueing
+    /// without bound).
+    pub inbox_overflows: u64,
+    /// Deliveries abandoned because a bounded inbox stayed full past the
+    /// backpressure timeout (the overload analogue of an adversarial drop —
+    /// anti-entropy repair is what heals whatever state they carried).
+    pub overflow_dropped: u64,
 }
 
 /// The in-process message-passing network connecting all peers.
@@ -224,6 +237,8 @@ pub struct SimNetwork {
     link_overrides: RwLock<HashMap<(PeerId, PeerId), LinkModel>>,
     adversary: RwLock<Option<Arc<dyn Adversary>>>,
     stats: Mutex<NetStats>,
+    /// How long a delivery into a full bounded inbox waits before dropping.
+    backpressure_timeout: Mutex<Duration>,
     /// Messages successfully enqueued per destination, ever.  Paired with a
     /// receiver-side processed counter this gives a race-free quiescence
     /// check (see `BrokerNetwork::converged`): a destination is idle exactly
@@ -240,6 +255,7 @@ impl SimNetwork {
             link_overrides: RwLock::new(HashMap::new()),
             adversary: RwLock::new(None),
             stats: Mutex::new(NetStats::default()),
+            backpressure_timeout: Mutex::new(DEFAULT_BACKPRESSURE_TIMEOUT),
             delivered: Mutex::new(HashMap::new()),
         })
     }
@@ -279,6 +295,27 @@ impl SimNetwork {
         let (tx, rx) = unbounded();
         self.endpoints.write().insert(peer, tx);
         rx
+    }
+
+    /// Registers a peer with a **bounded** inbox of at most `capacity`
+    /// queued messages.  A delivery that finds the inbox full waits for the
+    /// receiver (explicit backpressure, counted in
+    /// [`NetStats::inbox_overflows`]); if the inbox is still full after the
+    /// backpressure timeout the message is dropped and counted in
+    /// [`NetStats::overflow_dropped`] — an overloaded receiver sheds load
+    /// instead of growing an unbounded queue.
+    pub fn register_bounded(&self, peer: PeerId, capacity: usize) -> Receiver<NetMessage> {
+        let (tx, rx) = bounded(capacity);
+        self.endpoints.write().insert(peer, tx);
+        rx
+    }
+
+    /// Sets how long a delivery into a full bounded inbox waits for the
+    /// receiver before the message is dropped (default
+    /// [`DEFAULT_BACKPRESSURE_TIMEOUT`]).  Tests use a tiny timeout to
+    /// exercise the shedding path deterministically.
+    pub fn set_backpressure_timeout(&self, timeout: Duration) {
+        *self.backpressure_timeout.lock() = timeout;
     }
 
     /// Removes a peer from the network (it becomes unreachable).
@@ -362,7 +399,12 @@ impl SimNetwork {
             }
         }
 
-        self.deliver(&message)?;
+        if !self.deliver(&message)? {
+            // The destination's bounded inbox stayed full past the
+            // backpressure timeout: the message was shed (and counted) but
+            // the sender still paid the wire time, like an adversarial drop.
+            return Ok(wire_time);
+        }
         {
             let mut stats = self.stats.lock();
             stats.messages_sent += 1;
@@ -376,7 +418,7 @@ impl SimNetwork {
             for injected in adv.inject(&message) {
                 // Injected traffic is delivered on a best-effort basis and
                 // counted as ordinary traffic.
-                if self.deliver(&injected).is_ok() {
+                if matches!(self.deliver(&injected), Ok(true)) {
                     let mut stats = self.stats.lock();
                     stats.messages_sent += 1;
                     stats.bytes_sent += injected.payload.len() as u64;
@@ -388,15 +430,40 @@ impl SimNetwork {
         Ok(wire_time)
     }
 
-    fn deliver(&self, message: &NetMessage) -> Result<(), OverlayError> {
-        let endpoints = self.endpoints.read();
-        let tx = endpoints
+    /// Enqueues `message` at its destination.  Returns `Ok(true)` when it was
+    /// delivered, `Ok(false)` when a bounded inbox shed it after the
+    /// backpressure timeout, and `Err` when the destination has no endpoint.
+    fn deliver(&self, message: &NetMessage) -> Result<bool, OverlayError> {
+        // Clone the sender out of the endpoint map so a backpressure wait
+        // never blocks registrations.
+        let tx = self
+            .endpoints
+            .read()
             .get(&message.to)
+            .cloned()
             .ok_or(OverlayError::PeerUnreachable(message.to))?;
-        tx.send(message.clone())
-            .map_err(|_| OverlayError::PeerUnreachable(message.to))?;
+        match tx.try_send(message.clone()) {
+            Ok(()) => {}
+            Err(TrySendError::Disconnected(_)) => {
+                return Err(OverlayError::PeerUnreachable(message.to));
+            }
+            Err(TrySendError::Full(queued)) => {
+                self.stats.lock().inbox_overflows += 1;
+                let timeout = *self.backpressure_timeout.lock();
+                match tx.send_timeout(queued, timeout) {
+                    Ok(()) => {}
+                    Err(SendTimeoutError::Timeout(_)) => {
+                        self.stats.lock().overflow_dropped += 1;
+                        return Ok(false);
+                    }
+                    Err(SendTimeoutError::Disconnected(_)) => {
+                        return Err(OverlayError::PeerUnreachable(message.to));
+                    }
+                }
+            }
+        }
         *self.delivered.lock().entry(message.to).or_insert(0) += 1;
-        Ok(())
+        Ok(true)
     }
 
     /// Total messages ever enqueued for `peer` (monotone).
@@ -672,6 +739,61 @@ mod tests {
         }
         assert_eq!(a.dropped_count(), b.dropped_count());
         assert_eq!(RandomDrop::new(1, 0).intercept(&msg), Verdict::Deliver);
+    }
+
+    #[test]
+    fn bounded_inbox_applies_backpressure_then_sheds() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(2);
+        let _rx_a = net.register(ids[0]);
+        let rx_b = net.register_bounded(ids[1], 2);
+        net.set_backpressure_timeout(Duration::from_millis(5));
+
+        net.send(ids[0], ids[1], vec![1]).unwrap();
+        net.send(ids[0], ids[1], vec![2]).unwrap();
+        assert_eq!(net.stats().inbox_overflows, 0);
+
+        // Third delivery finds the inbox full; nobody drains it, so after
+        // the backpressure timeout the message is shed (not an error).
+        net.send(ids[0], ids[1], vec![3]).unwrap();
+        let stats = net.stats();
+        assert_eq!(stats.inbox_overflows, 1);
+        assert_eq!(stats.overflow_dropped, 1);
+        assert_eq!(stats.messages_sent, 2, "the shed message was never counted as sent");
+        assert_eq!(net.delivered_to(&ids[1]), 2, "nor as delivered");
+
+        // Draining makes room; deliveries resume without further overflow.
+        assert_eq!(rx_b.try_iter().count(), 2);
+        net.send(ids[0], ids[1], vec![4]).unwrap();
+        assert_eq!(net.stats().overflow_dropped, 1);
+        assert_eq!(rx_b.try_recv().unwrap().payload, vec![4]);
+    }
+
+    #[test]
+    fn bounded_inbox_backpressure_waits_for_a_live_consumer() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(2);
+        let _rx_a = net.register(ids[0]);
+        let rx_b = net.register_bounded(ids[1], 1);
+        net.send(ids[0], ids[1], vec![1]).unwrap();
+
+        // A consumer drains concurrently: the overflowing delivery blocks
+        // briefly (counted as an overflow) and then lands — nothing is lost.
+        let net2 = Arc::clone(&net);
+        let from = ids[0];
+        let to = ids[1];
+        crossbeam::thread::scope(|s| {
+            s.spawn(move |_| net2.send(from, to, vec![2]).unwrap());
+            let mut got = Vec::new();
+            while got.len() < 2 {
+                if let Ok(message) = rx_b.recv_timeout(Duration::from_secs(2)) {
+                    got.push(message.payload[0]);
+                }
+            }
+            assert_eq!(got, vec![1, 2], "per-sender FIFO order survives backpressure");
+        })
+        .unwrap();
+        assert_eq!(net.stats().overflow_dropped, 0);
     }
 
     #[test]

@@ -152,6 +152,24 @@ pub fn key_info(element: &Element) -> Result<Vec<u8>, DsigError> {
 /// identifiers, the content digest (integrity of the advertisement body) and
 /// the RSA signature over `SignedInfo` (authenticity of the signer).
 pub fn verify_element(element: &Element, signer_key: &RsaPublicKey) -> Result<(), DsigError> {
+    verify_element_with(element, signer_key, |key, message, signature| {
+        key.verify(message, signature)
+    })
+}
+
+/// Like [`verify_element`], but delegating the final RSA check to `verify`,
+/// so callers can route it through a
+/// [`jxta_crypto::sigcache::VerifiedSigCache`] (or instrument it).  All the
+/// structural checks and the content-digest comparison still run here — only
+/// the public-key operation itself is delegated.
+pub fn verify_element_with<F>(
+    element: &Element,
+    signer_key: &RsaPublicKey,
+    verify: F,
+) -> Result<(), DsigError>
+where
+    F: FnOnce(&RsaPublicKey, &[u8], &[u8]) -> Result<(), jxta_crypto::CryptoError>,
+{
     let signature = element
         .child(SIGNATURE_ELEMENT)
         .ok_or(DsigError::MissingSignature)?;
@@ -207,9 +225,12 @@ pub fn verify_element(element: &Element, signer_key: &RsaPublicKey) -> Result<()
     let signature_bytes = base64::decode(&signature_value)
         .map_err(|e| DsigError::MalformedSignature(format!("SignatureValue base64: {e}")))?;
 
-    signer_key
-        .verify(signed_info.to_canonical_xml().as_bytes(), &signature_bytes)
-        .map_err(|_| DsigError::SignatureInvalid)
+    verify(
+        signer_key,
+        signed_info.to_canonical_xml().as_bytes(),
+        &signature_bytes,
+    )
+    .map_err(|_| DsigError::SignatureInvalid)
 }
 
 /// Returns `true` if the element carries a `<Signature>` child.

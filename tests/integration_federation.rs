@@ -271,8 +271,9 @@ fn live_broker_admission_and_removal_on_the_spawned_path() {
     bob.publish_secure_pipe(&group).unwrap();
     // Carol joins broker 1 *after* the admission, so her credential beacons
     // include broker-4's credential and she can validate bob end to end
-    // (clients that joined earlier lack the newcomer's credential — the
-    // re-beaconing of live clients stays a ROADMAP item).
+    // (clients that joined earlier get the newcomer's credential through the
+    // pushed credential-set update — see
+    // `live_clients_learn_a_newly_admitted_brokers_credentials`).
     let mut carol = world.secure_client("carol");
     carol.secure_join(world.broker_id_at(1), "carol", "pw-c").unwrap();
     carol.publish_secure_pipe(&group).unwrap();
@@ -302,6 +303,64 @@ fn live_broker_admission_and_removal_on_the_spawned_path() {
         .map(|i| world.broker_at(i).advertisement_entry_count())
         .sum();
     assert_eq!(total, 3 * 2, "three signed pipes, two replicas each");
+    world.shutdown();
+}
+
+#[test]
+fn live_clients_learn_a_newly_admitted_brokers_credentials() {
+    // Regression for ROADMAP open item #2: a client that ran
+    // `secureConnection` *before* a broker was admitted only knew the
+    // credential beacons of that moment, so it could never validate
+    // advertisements signed under credentials the newcomer issues.  Broker
+    // admission now pushes a signed credential-set update to every live
+    // client, and the client absorbs it (verifying the push against its
+    // authenticated home broker and each credential against the admin
+    // anchor) before retrying a failed validation.
+    let mut world = SecureNetworkBuilder::new(73)
+        .with_key_bits(512)
+        .with_broker_count(2)
+        .with_user("alice", "pw-a", &["ops"])
+        .with_user("dave", "pw-d", &["ops"])
+        .build();
+    let group = GroupId::new("ops");
+
+    // Alice joins *before* the admission: her anchors cover brokers 1-2.
+    let mut alice = world.secure_client("alice");
+    alice.secure_join(world.broker_id_at(0), "alice", "pw-a").unwrap();
+    alice.publish_secure_pipe(&group).unwrap();
+    assert_eq!(alice.trust().brokers().len(), 2);
+
+    let index = world.add_broker("broker-3");
+    let broker_c = world.broker_id_at(index);
+    assert!(world.federation().await_convergence(Duration::from_secs(2)));
+
+    // Dave joins the newcomer: his signed pipe advertisement embeds a
+    // credential issued by broker-3 — one alice never saw at join time.
+    let mut dave = world.secure_client("dave");
+    dave.secure_join(broker_c, "dave", "pw-d").unwrap();
+    dave.publish_secure_pipe(&group).unwrap();
+    assert!(world.federation().await_convergence(Duration::from_secs(2)));
+
+    // Pre-admission alice validates dave's advertisement: the pushed update
+    // waiting in her inbox is absorbed on the validation miss and the
+    // newcomer's credential now chains.
+    let validated = alice.resolve_secure_pipe(&group, dave.id()).unwrap();
+    assert_eq!(validated.credential.issuer_name, "broker-3");
+    assert_eq!(
+        alice.trust().brokers().len(),
+        3,
+        "the newcomer's credential joined alice's trust anchors"
+    );
+
+    // And the full secure path works on top of it.
+    alice
+        .secure_msg_peer_relayed(&group, dave.id(), "hello post-admission world")
+        .unwrap();
+    assert!(eventually(|| {
+        dave.receive_secure_messages()
+            .map(|m| m.iter().any(|m| m.text == "hello post-admission world"))
+            .unwrap_or(false)
+    }));
     world.shutdown();
 }
 

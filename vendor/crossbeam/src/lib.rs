@@ -22,11 +22,17 @@ pub mod channel {
         queue: VecDeque<T>,
         senders: usize,
         receivers: usize,
+        /// `Some(n)` caps the queue at `n` messages (bounded channel);
+        /// `None` never blocks a sender.
+        capacity: Option<usize>,
     }
 
     struct Shared<T> {
         state: Mutex<State<T>>,
         available: Condvar,
+        /// Signalled when a bounded queue makes room (a message was consumed
+        /// or every receiver disappeared).
+        space: Condvar,
     }
 
     /// The sending half of a channel.
@@ -113,15 +119,54 @@ pub mod channel {
 
     impl std::error::Error for RecvTimeoutError {}
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// The bounded channel is at capacity.
+        Full(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    /// Error returned by [`Sender::send_timeout`].
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The timeout elapsed with the channel still full.
+        Timeout(T),
+        /// All receivers are gone.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for SendTimeoutError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                SendTimeoutError::Timeout(_) => f.write_str("timed out waiting on a full channel"),
+                SendTimeoutError::Disconnected(_) => {
+                    f.write_str("sending on a disconnected channel")
+                }
+            }
+        }
+    }
+
+    fn make_channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 senders: 1,
                 receivers: 1,
+                capacity,
             }),
             available: Condvar::new(),
+            space: Condvar::new(),
         });
         (
             Sender {
@@ -131,26 +176,87 @@ pub mod channel {
         )
     }
 
-    /// Creates a bounded channel.
-    ///
-    /// The capacity is accepted for API compatibility but not enforced; the
-    /// workspace only uses tiny bounded channels as shutdown signals, where
-    /// unbounded buffering is indistinguishable.
-    pub fn bounded<T>(_capacity: usize) -> (Sender<T>, Receiver<T>) {
-        unbounded()
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        make_channel(None)
+    }
+
+    /// Creates a bounded MPMC channel: at most `capacity` messages are queued
+    /// at any time, and senders block (or fail, for the `try_send` /
+    /// `send_timeout` variants) while the queue is full.
+    pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+        make_channel(Some(capacity.max(1)))
     }
 
     impl<T> Sender<T> {
-        /// Sends `value`, failing only if every receiver has been dropped.
+        /// Sends `value`, blocking while a bounded channel is at capacity and
+        /// failing only if every receiver has been dropped.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut state = self.shared.state.lock().expect("channel state poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if state.capacity.is_none_or(|cap| state.queue.len() < cap) {
+                    state.queue.push_back(value);
+                    drop(state);
+                    self.shared.available.notify_one();
+                    return Ok(());
+                }
+                state = self
+                    .shared
+                    .space
+                    .wait(state)
+                    .expect("channel state poisoned");
+            }
+        }
+
+        /// Sends `value` if the channel has room, failing immediately with
+        /// [`TrySendError::Full`] otherwise.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut state = self.shared.state.lock().expect("channel state poisoned");
             if state.receivers == 0 {
-                return Err(SendError(value));
+                return Err(TrySendError::Disconnected(value));
+            }
+            if state.capacity.is_some_and(|cap| state.queue.len() >= cap) {
+                return Err(TrySendError::Full(value));
             }
             state.queue.push_back(value);
             drop(state);
             self.shared.available.notify_one();
             Ok(())
+        }
+
+        /// Sends `value`, giving up with [`SendTimeoutError::Timeout`] if the
+        /// channel is still full after `timeout`.
+        pub fn send_timeout(
+            &self,
+            value: T,
+            timeout: Duration,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let deadline = Instant::now() + timeout;
+            let mut state = self.shared.state.lock().expect("channel state poisoned");
+            loop {
+                if state.receivers == 0 {
+                    return Err(SendTimeoutError::Disconnected(value));
+                }
+                if state.capacity.is_none_or(|cap| state.queue.len() < cap) {
+                    state.queue.push_back(value);
+                    drop(state);
+                    self.shared.available.notify_one();
+                    return Ok(());
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    return Err(SendTimeoutError::Timeout(value));
+                }
+                let (guard, _timeout_result) = self
+                    .shared
+                    .space
+                    .wait_timeout(state, deadline - now)
+                    .expect("channel state poisoned");
+                state = guard;
+            }
         }
     }
 
@@ -192,6 +298,8 @@ pub mod channel {
             let mut state = self.shared.state.lock().expect("channel state poisoned");
             loop {
                 if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(value);
                 }
                 if state.senders == 0 {
@@ -211,6 +319,8 @@ pub mod channel {
             let mut state = self.shared.state.lock().expect("channel state poisoned");
             loop {
                 if let Some(value) = state.queue.pop_front() {
+                    drop(state);
+                    self.shared.space.notify_one();
                     return Ok(value);
                 }
                 if state.senders == 0 {
@@ -233,6 +343,8 @@ pub mod channel {
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut state = self.shared.state.lock().expect("channel state poisoned");
             if let Some(value) = state.queue.pop_front() {
+                drop(state);
+                self.shared.space.notify_one();
                 return Ok(value);
             }
             if state.senders == 0 {
@@ -285,11 +397,16 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared
-                .state
-                .lock()
-                .expect("channel state poisoned")
-                .receivers -= 1;
+            let disconnected = {
+                let mut state = self.shared.state.lock().expect("channel state poisoned");
+                state.receivers -= 1;
+                state.receivers == 0
+            };
+            if disconnected {
+                // Wake senders blocked on a full bounded queue so they can
+                // observe the disconnection instead of waiting forever.
+                self.shared.space.notify_all();
+            }
         }
     }
 
@@ -485,6 +602,46 @@ mod tests {
             recv(rx2) -> _ => false,
         };
         assert!(disconnected);
+    }
+
+    #[test]
+    fn bounded_channel_enforces_capacity() {
+        use std::time::Duration;
+        let (tx, rx) = channel::bounded::<u32>(2);
+        tx.try_send(1).unwrap();
+        tx.try_send(2).unwrap();
+        assert!(matches!(tx.try_send(3), Err(channel::TrySendError::Full(3))));
+        assert!(matches!(
+            tx.send_timeout(3, Duration::from_millis(5)),
+            Err(channel::SendTimeoutError::Timeout(3))
+        ));
+        // Consuming a message makes room again.
+        assert_eq!(rx.try_recv(), Ok(1));
+        tx.try_send(3).unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![2, 3]);
+
+        // A blocked sender wakes up when the consumer drains the queue.
+        tx.try_send(10).unwrap();
+        tx.try_send(11).unwrap();
+        let tx2 = tx.clone();
+        let handle = std::thread::spawn(move || tx2.send(12));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(rx.recv(), Ok(10));
+        handle.join().unwrap().unwrap();
+        assert_eq!(rx.try_iter().collect::<Vec<_>>(), vec![11, 12]);
+
+        // Dropping the only receiver unblocks and fails pending sends.
+        tx.try_send(20).unwrap();
+        tx.try_send(21).unwrap();
+        let tx3 = tx.clone();
+        let handle = std::thread::spawn(move || tx3.send(22));
+        std::thread::sleep(Duration::from_millis(5));
+        drop(rx);
+        assert!(handle.join().unwrap().is_err());
+        assert!(matches!(
+            tx.try_send(23),
+            Err(channel::TrySendError::Disconnected(23))
+        ));
     }
 
     #[test]
