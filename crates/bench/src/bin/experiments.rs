@@ -6,7 +6,7 @@
 //! cargo run --release -p jxta-bench --bin experiments -- e2        # Figure 2
 //! cargo run --release -p jxta-bench --bin experiments -- e3        # federation/sharding relay overhead
 //! cargo run --release -p jxta-bench --bin experiments -- e4        # anti-entropy repair vs drop rate
-//! cargo run --release -p jxta-bench --bin experiments -- e5        # ingest throughput (pipeline × cache), writes BENCH_5.json
+//! cargo run --release -p jxta-bench --bin experiments -- e6        # ingest throughput (lanes × workers × cache), writes BENCH_6.json
 //! cargo run --release -p jxta-bench --bin experiments -- fanout    # ablation A3
 //! cargo run --release -p jxta-bench --bin experiments -- all --quick --json
 //! ```
@@ -18,7 +18,7 @@ use jxta_bench::{
     experiment_federation, experiment_group_fanout, experiment_ingest_throughput,
     experiment_join_overhead, experiment_msg_overhead, experiment_repair, format_fanout_report,
     format_federation_report, format_ingest_report, format_join_report, format_msg_report,
-    format_repair_report, write_bench5_json, ExperimentConfig, FIGURE2_PAYLOAD_SIZES,
+    format_repair_report, write_bench6_json, ExperimentConfig, FIGURE2_PAYLOAD_SIZES,
 };
 
 fn main() {
@@ -88,22 +88,24 @@ fn main() {
         }
     }
 
-    if which == "e5" || which == "ingest" || which == "all" {
+    // `e5` stays as an alias: the E6 sweep supersedes it (same workload, plus
+    // the apply-lane dimension) and now writes BENCH_6.json.
+    if which == "e5" || which == "e6" || which == "ingest" || which == "all" {
         let result = experiment_ingest_throughput(&config);
         println!("{}", format_ingest_report(&result));
-        match write_bench5_json(&result) {
+        match write_bench6_json(&result) {
             Ok(path) => println!("wrote {}", path.display()),
-            Err(error) => eprintln!("could not write BENCH_5.json: {error}"),
+            Err(error) => eprintln!("could not write BENCH_6.json: {error}"),
         }
         if json {
             println!("{}\n", serde_json::to_string_pretty(&result).unwrap());
         }
     }
 
-    if !["e1", "e2", "e3", "federation", "e4", "repair", "e5", "ingest", "fanout", "all"]
+    if !["e1", "e2", "e3", "federation", "e4", "repair", "e5", "e6", "ingest", "fanout", "all"]
         .contains(&which.as_str())
     {
-        eprintln!("unknown experiment {which:?}; expected e1, e2, e3, e4, e5, fanout or all");
+        eprintln!("unknown experiment {which:?}; expected e1, e2, e3, e4, e5, e6, fanout or all");
         std::process::exit(1);
     }
 }

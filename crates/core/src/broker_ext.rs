@@ -211,13 +211,22 @@ pub struct SecureBrokerExtension {
     /// revocation / issuer checks on the hot path.  Enabled and disabled
     /// together with [`SecureBrokerExtension::verify_cache`].
     vet_cache: Mutex<DigestCache<VetVerdict>>,
-    /// Credentials (by digest of their encoding) that verified against one
-    /// of this broker's known issuers.  Only **positive** verdicts are
-    /// memoised: the issuer set grows monotonically (broker admissions add
-    /// peer credentials, nothing removes a trust anchor), so a success can
-    /// never become stale — while a failure can, the moment a new issuer is
-    /// learned, and is therefore re-evaluated every time.
-    chain_cache: Mutex<DigestCache<()>>,
+    /// Chain verdicts (by digest of the credential's encoding), each stamped
+    /// with the [`SecureBrokerExtension::issuer_epoch`] it was computed in.
+    /// A **positive** verdict is valid at any epoch: the issuer set grows
+    /// monotonically (broker admissions add peer credentials, nothing
+    /// removes a trust anchor), so a success can never become stale.  A
+    /// **negative** verdict can go stale the moment a new issuer is learned,
+    /// so it is honoured only while its stamp equals the current epoch and
+    /// recomputed after any bump — which makes the expensive
+    /// every-issuer-fails case (e.g. a flood of foreign credentials)
+    /// cacheable between admissions instead of re-running RSA every time.
+    chain_cache: Mutex<DigestCache<(u64, bool)>>,
+    /// Issuer-set epoch: bumped whenever this broker learns a new trust
+    /// anchor (a beaconed peer-broker credential on admission, or the
+    /// provisioned admin key), invalidating every cached *negative* chain
+    /// verdict at once.
+    issuer_epoch: AtomicU64,
     /// Signature verifications avoided by the digest-level memo tables
     /// (`vet_cache` + `chain_cache`); aggregated with the RSA-level
     /// [`VerifiedSigCache`] counters in
@@ -304,6 +313,7 @@ impl SecureBrokerExtension {
             chain_cache: Mutex::new(DigestCache::new(
                 jxta_crypto::sigcache::DEFAULT_SIG_CACHE_CAPACITY,
             )),
+            issuer_epoch: AtomicU64::new(0),
             memo_hits: AtomicU64::new(0),
             memo_misses: AtomicU64::new(0),
         }
@@ -362,26 +372,46 @@ impl SecureBrokerExtension {
     /// Verifies `credential` against this broker's known issuers — its own
     /// identity, the beaconed peer-broker credentials and the administrator
     /// anchor — through the caches.  A credential chaining to none of them
-    /// is not one this federation issued.  Positive verdicts are memoised by
-    /// credential digest (see the `chain_cache` field for why that is
-    /// sound); without it, a credential issued by a *peer* broker would pay
-    /// a full — failing, hence uncacheable — RSA verification against this
-    /// broker's own key on every single gossip message it rides in.
+    /// is not one this federation issued.  Verdicts are memoised by
+    /// credential digest, stamped with the issuer-set epoch (see the
+    /// `chain_cache` field for the validity rules); without the positive
+    /// memo, a credential issued by a *peer* broker would pay a full —
+    /// failing — RSA verification against this broker's own key on every
+    /// single gossip message it rides in, and without the epoch-stamped
+    /// negative memo a credential this federation never issued would pay
+    /// the full every-issuer walk on every sighting.
     fn credential_chains(&self, credential: &Credential) -> bool {
         let caching = self.verify_cache.lock().is_some();
         let digest = jxta_crypto::sha2::sha256(&credential.to_bytes());
-        if caching && self.chain_cache.lock().get(&digest).is_some() {
-            self.memo_hits.fetch_add(1, Ordering::Relaxed);
-            return true;
+        // Load the epoch *before* computing: if an issuer arrives while the
+        // verdict is being computed, the stored stamp is already stale and
+        // the next sighting recomputes — conservative, never wrong.
+        let epoch = self.issuer_epoch.load(Ordering::Acquire);
+        if caching {
+            if let Some((stamped, chains)) = self.chain_cache.lock().get(&digest) {
+                if chains || stamped == epoch {
+                    self.memo_hits.fetch_add(1, Ordering::Relaxed);
+                    return chains;
+                }
+            }
         }
         let chains = self.credential_chains_uncached(credential);
         if caching {
             self.memo_misses.fetch_add(1, Ordering::Relaxed);
-            if chains {
-                self.chain_cache.lock().insert(digest, ());
-            }
+            self.chain_cache.lock().insert(digest, (epoch, chains));
         }
         chains
+    }
+
+    /// Invalidates all cached negative chain verdicts: the issuer set just
+    /// grew, so "chains to nobody" may no longer hold.
+    fn bump_issuer_epoch(&self) {
+        self.issuer_epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Current issuer-set epoch (bumped per newly learned trust anchor).
+    pub fn issuer_epoch(&self) -> u64 {
+        self.issuer_epoch.load(Ordering::Acquire)
     }
 
     /// The chain check proper, one issuer key at a time.
@@ -484,9 +514,12 @@ impl SecureBrokerExtension {
     }
 
     /// Provisions the administrator's public key, the trust anchor against
-    /// which pushed revocation lists are verified.
+    /// which pushed revocation lists are verified.  A new anchor can turn a
+    /// previously failing credential chain into a passing one, so the
+    /// issuer-set epoch is bumped.
     pub fn set_admin_public_key(&self, key: RsaPublicKey) {
         *self.admin_key.lock() = Some(key);
+        self.bump_issuer_epoch();
     }
 
     /// Installs a revocation list pushed by the administrator.  The list's
@@ -552,12 +585,16 @@ impl SecureBrokerExtension {
     }
 
     /// Registers the admin-issued credential of a peer broker so this broker
-    /// can beacon it to connecting clients.
+    /// can beacon it to connecting clients.  Admission grows the issuer set,
+    /// so a genuinely new credential bumps the issuer-set epoch and thereby
+    /// invalidates every cached negative chain verdict.
     pub fn add_peer_broker_credential(&self, credential: Credential) {
         debug_assert_eq!(credential.role, CredentialRole::Broker);
         let mut peers = self.peer_credentials.lock();
         if !peers.iter().any(|c| c == &credential) {
             peers.push(credential);
+            drop(peers);
+            self.bump_issuer_epoch();
         }
     }
 
@@ -1441,6 +1478,62 @@ mod tests {
         let client = client_identity(&mut w.rng);
         let msg = Message::new(MessageKind::PeerText, client.peer_id(), 1);
         assert!(w.extension.handle(&w.broker, &msg).is_none());
+    }
+
+    #[test]
+    fn negative_chain_verdicts_cache_within_an_issuer_epoch() {
+        let w = world();
+        // A credential issued by a *foreign* federation: chains to nobody
+        // this broker knows.
+        let mut rng = HmacDrbg::from_seed_u64(0xF0E1);
+        let foreign_admin = Administrator::new(&mut rng, "foreign-admin", 512).unwrap();
+        let foreign_identity = PeerIdentity::generate(&mut rng, 1024).unwrap();
+        let foreign = foreign_admin
+            .issue_broker_credential(
+                "foreign",
+                foreign_identity.peer_id(),
+                foreign_identity.public_key(),
+                u64::MAX,
+            )
+            .unwrap();
+
+        let epoch0 = w.extension.issuer_epoch();
+        let hits0 = w.extension.memo_hits.load(Ordering::Relaxed);
+        let misses0 = w.extension.memo_misses.load(Ordering::Relaxed);
+
+        // First sighting computes the failing chain walk and memoises the
+        // negative verdict; the second is answered from the memo.
+        assert!(!w.extension.credential_chains(&foreign));
+        assert!(!w.extension.credential_chains(&foreign));
+        assert_eq!(w.extension.memo_misses.load(Ordering::Relaxed), misses0 + 1);
+        assert_eq!(w.extension.memo_hits.load(Ordering::Relaxed), hits0 + 1);
+
+        // Admission of a broker whose credential binds the foreign admin's
+        // key grows the issuer set: the epoch bumps, the stale negative
+        // verdict is recomputed — and now chains.
+        let bridge = w
+            .admin
+            .issue_broker_credential(
+                "bridge",
+                foreign_identity.peer_id(),
+                foreign_admin.public_key(),
+                u64::MAX,
+            )
+            .unwrap();
+        w.extension.add_peer_broker_credential(bridge.clone());
+        assert_eq!(w.extension.issuer_epoch(), epoch0 + 1);
+        assert!(
+            w.extension.credential_chains(&foreign),
+            "the epoch bump must invalidate the cached negative verdict"
+        );
+        assert_eq!(w.extension.memo_misses.load(Ordering::Relaxed), misses0 + 2);
+
+        // The now-positive verdict is epoch-independent, and re-adding a
+        // known credential does not bump the epoch.
+        w.extension.add_peer_broker_credential(bridge);
+        assert_eq!(w.extension.issuer_epoch(), epoch0 + 1);
+        assert!(w.extension.credential_chains(&foreign));
+        assert_eq!(w.extension.memo_hits.load(Ordering::Relaxed), hits0 + 2);
     }
 
     #[test]

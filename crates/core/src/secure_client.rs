@@ -24,12 +24,13 @@ use crate::broker_ext::{
 use crate::credential::{Credential, CredentialRole};
 use crate::identity::PeerIdentity;
 use crate::signed_adv::{
-    signed_pipe_advertisement, validate_signed_pipe_advertisement, TrustAnchors,
+    signed_pipe_advertisement, validate_signed_pipe_advertisement_with, TrustAnchors,
     ValidatedAdvertisement,
 };
 use jxta_crypto::drbg::HmacDrbg;
 use jxta_crypto::envelope::{open_envelope, seal_envelope, Envelope};
 use jxta_crypto::rsa::RsaPublicKey;
+use jxta_crypto::sigcache::{SigCacheStats, VerifiedSigCache};
 use jxta_overlay::advertisement::{Advertisement, PipeAdvertisement};
 use jxta_overlay::client::{ClientConfig, ClientEvent, ClientPeer};
 use jxta_overlay::metrics::{OperationTiming, Stopwatch};
@@ -66,6 +67,13 @@ pub struct SecureClient {
     credential: Option<Credential>,
     /// Cache of validated signed pipe advertisements.
     validated_pipes: HashMap<(GroupId, PeerId), ValidatedAdvertisement<PipeAdvertisement>>,
+    /// Client-side verified-signature cache: pipe-advertisement validation
+    /// routes its RSA checks (credential chain walk + XMLdsig) through it,
+    /// so a `validated_pipes` miss on bytes whose signatures were already
+    /// verified — the same owner's advertisement in another group embeds the
+    /// identical credential, a re-resolved advertisement repeats both
+    /// checks — skips the RSA instead of recomputing it.
+    sig_cache: Arc<VerifiedSigCache>,
     /// Non-secure events set aside by the secure receive path.
     other_events: Vec<ClientEvent>,
     /// Events drained from the inbox while looking for credential updates
@@ -101,6 +109,7 @@ impl SecureClient {
             session_id: None,
             credential: None,
             validated_pipes: HashMap::new(),
+            sig_cache: Arc::new(VerifiedSigCache::default()),
             other_events: Vec::new(),
             deferred_events: Vec::new(),
         })
@@ -118,6 +127,12 @@ impl SecureClient {
     /// The wrapped plain client (for plain primitives, events and stats).
     pub fn inner(&self) -> &ClientPeer {
         &self.client
+    }
+
+    /// Hit/miss counters of this client's verified-signature cache (the RSA
+    /// layer behind pipe-advertisement validation).
+    pub fn sig_cache_stats(&self) -> SigCacheStats {
+        self.sig_cache.stats()
     }
 
     /// Mutable access to the wrapped plain client.
@@ -385,13 +400,19 @@ impl SecureClient {
             return Ok(validated.clone());
         }
         let xml = self.client.resolve_pipe_xml(group, owner)?;
-        let validated = match validate_signed_pipe_advertisement(&xml, owner, &self.trust) {
+        let cache = Arc::clone(&self.sig_cache);
+        let validate = |trust: &TrustAnchors| {
+            validate_signed_pipe_advertisement_with(&xml, owner, trust, |key, message, signature| {
+                cache.verify(key, message, signature)
+            })
+        };
+        let validated = match validate(&self.trust) {
             Ok(validated) => validated,
             Err(error) => {
                 if self.absorb_pending_credential_updates() == 0 {
                     return Err(error);
                 }
-                validate_signed_pipe_advertisement(&xml, owner, &self.trust)?
+                validate(&self.trust)?
             }
         };
         self.validated_pipes

@@ -22,6 +22,8 @@
 
 use crate::credential::{Credential, CredentialRole};
 use crate::identity::PeerIdentity;
+use jxta_crypto::rsa::RsaPublicKey;
+use jxta_crypto::CryptoError;
 use jxta_overlay::advertisement::{Advertisement, PipeAdvertisement};
 use jxta_overlay::{OverlayError, PeerId};
 use jxta_xmldoc::{dsig, Element};
@@ -92,11 +94,31 @@ impl TrustAnchors {
     /// Verifies an arbitrary credential against the trust anchors: the
     /// administrator key or any trusted broker key.
     pub fn verify_credential(&self, credential: &Credential) -> Result<(), OverlayError> {
-        if credential.verify(&self.admin.public_key).is_ok() {
+        self.verify_credential_with(credential, |key, message, signature| {
+            key.verify(message, signature)
+        })
+    }
+
+    /// Like [`TrustAnchors::verify_credential`], but delegating every RSA
+    /// operation to `verify` — so callers can route the chain walk through a
+    /// [`jxta_crypto::sigcache::VerifiedSigCache`] and pay for each
+    /// (key, bytes, signature) triple only once.
+    pub fn verify_credential_with<V>(
+        &self,
+        credential: &Credential,
+        verify: V,
+    ) -> Result<(), OverlayError>
+    where
+        V: Fn(&RsaPublicKey, &[u8], &[u8]) -> Result<(), CryptoError>,
+    {
+        if credential
+            .verify_with(&self.admin.public_key, &verify)
+            .is_ok()
+        {
             return Ok(());
         }
         for broker in &self.brokers {
-            if credential.verify(&broker.public_key).is_ok() {
+            if credential.verify_with(&broker.public_key, &verify).is_ok() {
                 return Ok(());
             }
         }
@@ -154,13 +176,36 @@ where
     A: Advertisement,
     F: Fn(&A) -> PeerId,
 {
+    validate_signed_advertisement_with(xml, expected_owner, trust, owner_of, |key, message, signature| {
+        key.verify(message, signature)
+    })
+}
+
+/// Like [`validate_signed_advertisement`], but delegating every RSA
+/// verification — the credential chain walk *and* the XMLdsig check — to
+/// `verify`.  Clients route this through their
+/// [`jxta_crypto::sigcache::VerifiedSigCache`] so re-validating an
+/// advertisement (or another advertisement embedding the same credential)
+/// skips the RSA entirely.
+pub fn validate_signed_advertisement_with<A, F, V>(
+    xml: &str,
+    expected_owner: PeerId,
+    trust: &TrustAnchors,
+    owner_of: F,
+    verify: V,
+) -> Result<ValidatedAdvertisement<A>, OverlayError>
+where
+    A: Advertisement,
+    F: Fn(&A) -> PeerId,
+    V: Fn(&RsaPublicKey, &[u8], &[u8]) -> Result<(), CryptoError>,
+{
     let element = jxta_xmldoc::parse(xml)?;
 
     // 1. Extract and authenticate the embedded credential.
     let credential_bytes = dsig::key_info(&element)?;
     let credential = Credential::from_bytes(&credential_bytes)
         .map_err(|e| OverlayError::SecurityViolation(format!("embedded credential: {e}")))?;
-    trust.verify_credential(&credential)?;
+    trust.verify_credential_with(&credential, &verify)?;
 
     // 2. Key authenticity: the credential's key must hash to its subject id.
     if !credential.binds_key_to_subject() {
@@ -170,7 +215,7 @@ where
     }
 
     // 3. Advertisement integrity and source authenticity.
-    dsig::verify_element(&element, &credential.public_key)?;
+    dsig::verify_element_with(&element, &credential.public_key, &verify)?;
 
     // 4. The advertisement must belong to the credential subject and to the
     //    peer the caller expected.
@@ -200,6 +245,26 @@ pub fn validate_signed_pipe_advertisement(
     trust: &TrustAnchors,
 ) -> Result<ValidatedAdvertisement<PipeAdvertisement>, OverlayError> {
     validate_signed_advertisement(xml, expected_owner, trust, |adv: &PipeAdvertisement| adv.owner)
+}
+
+/// [`validate_signed_pipe_advertisement`] with the RSA verification
+/// delegated to `verify` (see [`validate_signed_advertisement_with`]).
+pub fn validate_signed_pipe_advertisement_with<V>(
+    xml: &str,
+    expected_owner: PeerId,
+    trust: &TrustAnchors,
+    verify: V,
+) -> Result<ValidatedAdvertisement<PipeAdvertisement>, OverlayError>
+where
+    V: Fn(&RsaPublicKey, &[u8], &[u8]) -> Result<(), CryptoError>,
+{
+    validate_signed_advertisement_with(
+        xml,
+        expected_owner,
+        trust,
+        |adv: &PipeAdvertisement| adv.owner,
+        verify,
+    )
 }
 
 #[cfg(test)]

@@ -75,10 +75,13 @@ pub struct BrokerConfig {
     /// ingress into a staged pipeline: an ingress thread stamps arriving
     /// messages with monotone tickets, `n` workers decode them and run the
     /// stateless cryptographic pre-verification
-    /// ([`BrokerExtension::preverify`]) in parallel, and a dedicated apply
-    /// thread drains completions **in ticket order**, so all state mutation
-    /// stays serialized and per-sender ordering plus replay-protection
-    /// semantics are exactly those of the single-thread loop.  Inline
+    /// ([`BrokerExtension::preverify`]) in parallel, and a dispatcher
+    /// drains completions **in ticket order** into partitioned apply lanes
+    /// (see [`Broker::spawn`] and [`BrokerConfig::apply_lanes`]):
+    /// partition-local mutations run in parallel across lanes while
+    /// partition-spanning messages apply under a full-lane barrier, so
+    /// per-sender ordering plus replay-protection semantics are exactly
+    /// those of the single-thread loop.  Inline
     /// drivers ([`crate::federation::InlineFederation`]) ignore this knob —
     /// [`Broker::process_net`] runs both stages back to back on the calling
     /// thread, which is what keeps the deterministic proptests seed-stable.
@@ -91,6 +94,13 @@ pub struct BrokerConfig {
     /// backpressure timeout is shed and counted — see
     /// [`SimNetwork::register_bounded`].
     pub inbox_capacity: Option<usize>,
+    /// Number of partitioned apply lanes a *spawned*, pipelined broker runs.
+    ///
+    /// `None` (the default) sizes the lane pool to `verify_workers`; `Some(n)`
+    /// pins it (`Some(1)` reproduces the old fully serialized apply stage).
+    /// Ignored when `verify_workers == 0` — the classic loop has no apply
+    /// stage to partition.  See [`Broker::spawn`] for the lane/barrier model.
+    pub apply_lanes: Option<usize>,
 }
 
 impl Default for BrokerConfig {
@@ -100,6 +110,7 @@ impl Default for BrokerConfig {
             replication_factor: None,
             verify_workers: 0,
             inbox_capacity: None,
+            apply_lanes: None,
         }
     }
 }
@@ -130,6 +141,88 @@ impl BrokerConfig {
         self.inbox_capacity = Some(inbox_capacity);
         self
     }
+
+    /// Pins the number of partitioned apply lanes (default: one lane per
+    /// verify worker).  Only meaningful together with
+    /// [`BrokerConfig::with_pipeline`].
+    pub fn with_apply_lanes(mut self, lanes: usize) -> Self {
+        self.apply_lanes = Some(lanes);
+        self
+    }
+}
+
+/// Where the apply stage may run one decoded message — the routing decision
+/// of the partitioned apply stage (see [`Broker::spawn`]).
+///
+/// `Lane(key)` means every state mutation the message can cause is confined
+/// to the `(group, owner)` shard partition at ring position `key`
+/// ([`crate::shard::shard_key`]), so it may apply on a partition lane
+/// concurrently with messages of *other* partitions.  `Barrier` means the
+/// message reads or writes state spanning partitions — sessions, group
+/// membership, peer routing, gossip sequencing, shard queries, anti-entropy
+/// — and must observe every earlier-ticket lane apply before it runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ApplyRoute {
+    /// Partition-local: apply on the lane owning this shard key.
+    Lane(u64),
+    /// Partition-spanning: drain all lanes, then apply serialized.
+    Barrier,
+}
+
+/// Classifies a decoded message for the partitioned apply stage.
+///
+/// Only client [`MessageKind::PublishAdvertisement`] is partition-local
+/// today: its mutations are the `(group, sender)` index entry plus gossip
+/// *about that entry*, and the paper's workload — file/pipe advertisement
+/// churn — is exactly this kind.  Everything else (connects, logins,
+/// lookups, relays, inter-broker sync/repair, the secure handshakes) is a
+/// barrier: correct but serialized, the same cost it had before lanes
+/// existed.  A publish without a parseable `group` element only draws a
+/// rejection reply, but classifying it as a barrier keeps the lane
+/// invariant — "a lane message touches exactly one partition" — trivially
+/// true.
+pub fn apply_route(message: &Message) -> ApplyRoute {
+    match message.kind {
+        MessageKind::PublishAdvertisement => match message.element_str("group") {
+            Some(group) => ApplyRoute::Lane(crate::shard::shard_key(
+                &GroupId::new(group),
+                &message.sender,
+            )),
+            None => ApplyRoute::Barrier,
+        },
+        _ => ApplyRoute::Barrier,
+    }
+}
+
+/// Work queued to one partition apply lane by the pipeline dispatcher.
+enum LaneJob {
+    /// Apply one decoded partition-local message.
+    Apply(NetMessage, Message),
+    /// Synchronisation point: acknowledge once every earlier job on this
+    /// lane has fully applied.
+    Barrier(crossbeam::channel::Sender<()>),
+}
+
+/// How many arrivals one verify worker stamps per ingress-lock acquisition.
+/// Batching amortises the lock (and the wake-up of the next waiting worker)
+/// across a deep inbox; only already-queued messages are taken (`try_recv`),
+/// so a lone arrival is never held back waiting for company.
+const INGRESS_BATCH: usize = 32;
+
+/// Stage-1 state shared by the verify workers: the network inbox plus the
+/// monotone ticket counter.  Holding the lock across `recv` + stamp is what
+/// makes ticket order identical to arrival order.
+struct PipelineIngress {
+    receiver: crossbeam::channel::Receiver<NetMessage>,
+    ticket: u64,
+}
+
+/// Stage-3 state shared by the verify workers: the ticket reorder buffer.
+/// Whichever worker holds this lock is *the* dispatcher for that moment —
+/// the single-router invariant the lane fast-path and barriers rely on.
+struct PipelineRouter {
+    next_ticket: u64,
+    reorder: BTreeMap<u64, (NetMessage, Option<Message>)>,
 }
 
 /// Hook that lets the security extension handle additional message kinds.
@@ -2026,18 +2119,34 @@ impl Broker {
     /// [`BrokerConfig::verify_workers`]):
     ///
     /// ```text
-    /// network inbox ──ingress (tickets)──► verify pool (decode + preverify)
-    ///                                           │ (ticket, decoded)
-    ///                                           ▼
-    ///                               apply thread (reorder to ticket order,
-    ///                                serialized state mutation + replies)
+    /// network inbox ──[ingress lock: batch + tickets]──► verify worker
+    ///   (decode + preverify, parallel, no lock)              │
+    ///                                                        ▼
+    ///              [router lock: reorder to ticket order, classify]
+    ///               │ partition-local               │ partition-spanning
+    ///               ▼ (shard_key % lanes)           ▼
+    ///       apply lanes (parallel,          barrier: drain all lanes,
+    ///        FIFO per partition;             then apply on the routing
+    ///        idle lane → apply on            worker
+    ///        the routing worker)
     /// ```
     ///
-    /// The ticket reorder restores exact arrival order before anything
-    /// touches state, so the pipeline is observationally identical to the
-    /// single-thread loop — only the stateless decode/verify CPU runs in
-    /// parallel.  The verify queue is bounded, so a saturated pool pushes
-    /// back on ingress, which (with [`BrokerConfig::inbox_capacity`]) pushes
+    /// Each verify worker carries a message end to end: it stamps monotone
+    /// tickets while holding the ingress lock (so ticket order is arrival
+    /// order), pre-verifies in parallel, and then — holding the router lock,
+    /// which makes it the sole dispatcher for that moment — restores exact
+    /// arrival order through the ticket reorder buffer and routes each
+    /// message *in that order*.  A partition-local message ([`apply_route`])
+    /// goes to the FIFO lane owning its `(group, owner)` shard key (or, when
+    /// that lane is idle, applies directly on the routing worker — the lane
+    /// handoff only pays for itself when there is queued work to overlap
+    /// with), so same-partition messages keep their relative order while
+    /// different partitions apply in parallel.  A partition-spanning message
+    /// waits for every busy lane to quiesce (a barrier) and then applies on
+    /// the routing worker itself, so it observes — and is observed by — all
+    /// lane traffic in ticket order.  Lane queues are bounded, so a
+    /// saturated lane stalls the router, which stalls the verify pool and
+    /// the inbox drain, which (with [`BrokerConfig::inbox_capacity`]) pushes
     /// back on senders instead of queueing without bound.
     pub fn spawn(self: &Arc<Self>) -> BrokerHandle {
         let receiver = match self.config.inbox_capacity {
@@ -2071,95 +2180,238 @@ impl Broker {
         }
 
         let workers = self.config.verify_workers;
-        // Bounded stage queues: a saturated verify pool stalls the ingress
-        // thread, which stops draining the (bounded) network inbox, which
-        // stalls senders — backpressure end to end instead of hidden queues.
-        let (verify_tx, verify_rx) =
-            crossbeam::channel::bounded::<(u64, NetMessage)>(workers * 8);
-        let (apply_tx, apply_rx) =
-            crossbeam::channel::bounded::<(u64, NetMessage, Option<Message>)>(workers * 8);
+        drop(shutdown_rx);
 
-        // Ingress: stamp arrivals with monotone tickets.
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("broker-{}-ingress", self.config.name))
-                .spawn(move || {
-                    let mut ticket = 0u64;
-                    loop {
-                        crossbeam::channel::select! {
-                            recv(receiver) -> msg => match msg {
-                                Ok(net_message) => {
-                                    ticket += 1;
-                                    if verify_tx.send((ticket, net_message)).is_err() {
-                                        break;
-                                    }
+        // Lane pool: partition-local messages apply here in parallel, one
+        // FIFO lane per shard-key slice.  Bounded queues keep the
+        // backpressure chain intact: a slow lane stalls the dispatcher.
+        let lanes = self.config.apply_lanes.unwrap_or(workers).max(1);
+        let lane_counters = self.pipeline.configure_lanes(lanes);
+        let mut lane_txs = Vec::with_capacity(lanes);
+        let mut lane_busy = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let (lane_tx, lane_rx) = crossbeam::channel::bounded::<LaneJob>(workers * 8);
+            let busy = Arc::new(AtomicU64::new(0));
+            let broker = Arc::clone(self);
+            let counters = Arc::clone(&lane_counters);
+            let in_flight = Arc::clone(&busy);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("broker-{}-lane-{lane}", self.config.name))
+                    .spawn(move || {
+                        while let Ok(job) = lane_rx.recv() {
+                            match job {
+                                LaneJob::Apply(net_message, message) => {
+                                    broker.apply_net(net_message, Some(message));
+                                    counters[lane].fetch_add(1, Ordering::Relaxed);
+                                    // Release pairs with the dispatcher's
+                                    // Acquire: a zero in-flight count proves
+                                    // the apply's effects are visible.
+                                    in_flight.fetch_sub(1, Ordering::Release);
                                 }
-                                Err(_) => break,
-                            },
-                            recv(shutdown_rx) -> _ => break,
+                                LaneJob::Barrier(ack) => {
+                                    // FIFO: every apply routed to this lane
+                                    // before the barrier has already run.
+                                    let _ = ack.send(());
+                                }
+                            }
                         }
-                    }
-                })
-                .expect("failed to spawn broker ingress thread"),
-        );
+                    })
+                    .expect("failed to spawn broker apply lane"),
+            );
+            lane_txs.push(lane_tx);
+            lane_busy.push(busy);
+        }
 
-        // Verify pool: decode and cryptographically pre-verify in parallel.
+        // Verify pool: each worker owns a message end to end.  It pulls a
+        // batch off the inbox and stamps monotone tickets under the ingress
+        // lock (stamp order == arrival order), decodes and cryptographically
+        // pre-verifies outside any lock (the parallel stage), then takes the
+        // router lock to restore global ticket order and route — so exactly
+        // one thread routes at any moment, which is what keeps the lane
+        // fast-path and the barrier protocol sound.  Compared to dedicated
+        // ingress/dispatcher threads this costs two short critical sections
+        // instead of two channel handoffs per message, and the batching
+        // amortises both locks when the inbox runs deep.
+        let ingress = Arc::new(Mutex::new(PipelineIngress { receiver, ticket: 0 }));
+        let router = Arc::new(Mutex::new(PipelineRouter {
+            next_ticket: 1,
+            reorder: BTreeMap::new(),
+        }));
+        let lane_txs = Arc::new(lane_txs);
+        let lane_busy = Arc::new(lane_busy);
+        // A single-core host cannot run lanes concurrently with the router;
+        // fanning out would only pay thread-handoff cost for no overlap, so
+        // the router applies partition-local messages itself there.
+        let eager_inline =
+            std::thread::available_parallelism().is_ok_and(|cores| cores.get() == 1);
         for worker in 0..workers {
             let broker = Arc::clone(self);
-            let verify_rx = verify_rx.clone();
-            let apply_tx = apply_tx.clone();
+            let ingress = Arc::clone(&ingress);
+            let router = Arc::clone(&router);
+            let lane_txs = Arc::clone(&lane_txs);
+            let lane_busy = Arc::clone(&lane_busy);
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("broker-{}-verify-{worker}", self.config.name))
                     .spawn(move || {
-                        while let Ok((ticket, net_message)) = verify_rx.recv() {
-                            let decoded = broker.decode_and_preverify(&net_message);
-                            if apply_tx.send((ticket, net_message, decoded)).is_err() {
-                                break;
+                        let mut stamped = Vec::with_capacity(INGRESS_BATCH);
+                        let mut verified: Vec<(u64, NetMessage, Option<Message>)> =
+                            Vec::with_capacity(INGRESS_BATCH);
+                        loop {
+                            {
+                                let mut ingress = ingress.lock();
+                                match ingress.receiver.recv() {
+                                    Ok(net_message) => {
+                                        ingress.ticket += 1;
+                                        stamped.push((ingress.ticket, net_message));
+                                    }
+                                    // Inbox closed (shutdown): every stamped
+                                    // ticket was inserted by its carrier, so
+                                    // the reorder buffer has no gaps left.
+                                    Err(_) => break,
+                                }
+                                while stamped.len() < INGRESS_BATCH {
+                                    match ingress.receiver.try_recv() {
+                                        Ok(net_message) => {
+                                            ingress.ticket += 1;
+                                            stamped.push((ingress.ticket, net_message));
+                                        }
+                                        Err(_) => break,
+                                    }
+                                }
+                            }
+                            verified.extend(stamped.drain(..).map(|(ticket, net_message)| {
+                                let decoded = broker.decode_and_preverify(&net_message);
+                                (ticket, net_message, decoded)
+                            }));
+                            let mut router = router.lock();
+                            let router = &mut *router;
+                            let mut batch = 0u64;
+                            for (ticket, net_message, decoded) in verified.drain(..) {
+                                if ticket != router.next_ticket {
+                                    // An earlier ticket is still being
+                                    // verified elsewhere: park this one.
+                                    // Inserting can never fill the gap, so
+                                    // there is nothing to drain here.
+                                    broker.pipeline.count_reorder_wait();
+                                    router.reorder.insert(ticket, (net_message, decoded));
+                                    continue;
+                                }
+                                // In order — the common case: route without
+                                // touching the reorder buffer, then drain any
+                                // parked successors this unblocked.
+                                broker.dispatch_apply(
+                                    net_message,
+                                    decoded,
+                                    &lane_txs,
+                                    &lane_busy,
+                                    eager_inline,
+                                );
+                                router.next_ticket += 1;
+                                batch += 1;
+                                loop {
+                                    let next = router.next_ticket;
+                                    let Some((net_message, decoded)) =
+                                        router.reorder.remove(&next)
+                                    else {
+                                        break;
+                                    };
+                                    broker.dispatch_apply(
+                                        net_message,
+                                        decoded,
+                                        &lane_txs,
+                                        &lane_busy,
+                                        eager_inline,
+                                    );
+                                    router.next_ticket += 1;
+                                    batch += 1;
+                                }
+                            }
+                            if batch > 0 {
+                                broker.pipeline.record_apply_batch(batch);
                             }
                         }
+                        // The last worker out drops the final clones of the
+                        // lane senders, closing each lane's queue after its
+                        // last routed apply.
                     })
                     .expect("failed to spawn broker verify worker"),
             );
         }
-        drop(verify_rx);
-        drop(apply_tx);
-
-        // Apply: restore ticket order, then mutate state serially.
-        let broker = Arc::clone(self);
-        threads.push(
-            std::thread::Builder::new()
-                .name(format!("broker-{}-apply", self.config.name))
-                .spawn(move || {
-                    let mut next_ticket = 1u64;
-                    let mut reorder: BTreeMap<u64, (NetMessage, Option<Message>)> =
-                        BTreeMap::new();
-                    while let Ok((ticket, net_message, decoded)) = apply_rx.recv() {
-                        if ticket != next_ticket {
-                            broker.pipeline.count_reorder_wait();
-                        }
-                        reorder.insert(ticket, (net_message, decoded));
-                        let mut batch = 0u64;
-                        while let Some((net_message, decoded)) = reorder.remove(&next_ticket) {
-                            broker.apply_net(net_message, decoded);
-                            next_ticket += 1;
-                            batch += 1;
-                        }
-                        if batch > 0 {
-                            broker.pipeline.record_apply_batch(batch);
-                        }
-                    }
-                    // The channels closed (shutdown): nothing in the reorder
-                    // buffer can complete, because every smaller ticket
-                    // already arrived or never will.
-                })
-                .expect("failed to spawn broker apply thread"),
-        );
 
         BrokerHandle {
             broker: Arc::clone(self),
             shutdown: shutdown_tx,
             threads,
+        }
+    }
+
+    /// Routes one in-ticket-order completion through the partitioned apply
+    /// stage: partition-local messages go to their shard lane, anything
+    /// else drains the lanes (a barrier) and applies on the calling
+    /// dispatcher thread.  Only ever called from the dispatcher, which is
+    /// the sole sender on every lane — that is what makes the barrier
+    /// protocol sound: once each busy lane acknowledges, no lane can have
+    /// work in flight until the dispatcher routes more.
+    fn dispatch_apply(
+        &self,
+        net_message: NetMessage,
+        decoded: Option<Message>,
+        lane_txs: &[crossbeam::channel::Sender<LaneJob>],
+        lane_busy: &[Arc<AtomicU64>],
+        eager_inline: bool,
+    ) {
+        let Some(message) = decoded else {
+            // Undecodable traffic touches no state (`apply_net` only counts
+            // it processed), so it needs neither a lane nor a drain.
+            return self.apply_net(net_message, None);
+        };
+        match apply_route(&message) {
+            ApplyRoute::Lane(key) => {
+                let lane = (key % lane_txs.len() as u64) as usize;
+                // On a host without spare cores the lane handoff cannot buy
+                // concurrency that does not exist, so the router applies
+                // partition-local messages itself: routing is paused while
+                // it does, so partition FIFO holds trivially, and the
+                // message still counts against its lane for load metrics.
+                if eager_inline {
+                    self.apply_net(net_message, Some(message));
+                    self.pipeline.count_lane_message(lane);
+                    return;
+                }
+                lane_busy[lane].fetch_add(1, Ordering::Relaxed);
+                if lane_txs[lane]
+                    .send(LaneJob::Apply(net_message, message))
+                    .is_err()
+                {
+                    // Shutdown race: the lane is gone, nothing applies.
+                    lane_busy[lane].fetch_sub(1, Ordering::Relaxed);
+                }
+            }
+            ApplyRoute::Barrier => {
+                // Ask every busy lane to acknowledge; lane FIFO means the
+                // ack proves all its earlier applies completed.  Acks are
+                // collected after all requests go out, so lanes drain in
+                // parallel.
+                let mut pending = Vec::new();
+                for (lane, busy) in lane_busy.iter().enumerate() {
+                    if busy.load(Ordering::Acquire) > 0 {
+                        let (ack_tx, ack_rx) = crossbeam::channel::bounded::<()>(1);
+                        if lane_txs[lane].send(LaneJob::Barrier(ack_tx)).is_ok() {
+                            pending.push(ack_rx);
+                        }
+                    }
+                }
+                if !pending.is_empty() {
+                    self.pipeline.count_barrier_drain();
+                    for ack in pending {
+                        let _ = ack.recv();
+                    }
+                }
+                self.pipeline.count_barrier();
+                self.apply_net(net_message, Some(message));
+            }
         }
     }
 
@@ -2766,10 +3018,11 @@ impl BrokerHandle {
 
     fn shutdown_inner(&mut self) {
         let _ = self.shutdown.send(());
-        // Unregistering closes the network channel, which wakes the ingress
-        // loop; the stage channels then close in cascade (ingress drops the
-        // verify sender, the last worker drops the apply sender), so every
-        // in-flight message still reaches the apply stage before it exits.
+        // Unregistering closes the network channel, which wakes whichever
+        // verify worker holds the ingress lock; each worker finishes routing
+        // the messages it already stamped before exiting, and the last one
+        // out drops the lane senders — so every in-flight message still
+        // reaches the apply stage before the pipeline winds down.
         self.broker.network.unregister(&self.broker.id);
         for thread in self.threads.drain(..) {
             let _ = thread.join();

@@ -244,6 +244,10 @@ pub struct SimNetwork {
     /// check (see `BrokerNetwork::converged`): a destination is idle exactly
     /// when it has processed as many messages as were delivered to it.
     delivered: Mutex<HashMap<PeerId, u64>>,
+    /// Messages shed per destination after the backpressure timeout — the
+    /// per-peer breakdown of [`NetStats::overflow_dropped`].  Benchmarks use
+    /// it to prove a measured row dropped nothing at a specific broker.
+    shed: Mutex<HashMap<PeerId, u64>>,
 }
 
 impl SimNetwork {
@@ -257,6 +261,7 @@ impl SimNetwork {
             stats: Mutex::new(NetStats::default()),
             backpressure_timeout: Mutex::new(DEFAULT_BACKPRESSURE_TIMEOUT),
             delivered: Mutex::new(HashMap::new()),
+            shed: Mutex::new(HashMap::new()),
         })
     }
 
@@ -454,6 +459,7 @@ impl SimNetwork {
                     Ok(()) => {}
                     Err(SendTimeoutError::Timeout(_)) => {
                         self.stats.lock().overflow_dropped += 1;
+                        *self.shed.lock().entry(message.to).or_insert(0) += 1;
                         return Ok(false);
                     }
                     Err(SendTimeoutError::Disconnected(_)) => {
@@ -469,6 +475,13 @@ impl SimNetwork {
     /// Total messages ever enqueued for `peer` (monotone).
     pub fn delivered_to(&self, peer: &PeerId) -> u64 {
         self.delivered.lock().get(peer).copied().unwrap_or(0)
+    }
+
+    /// Total messages ever shed at `peer`'s bounded inbox after the
+    /// backpressure timeout (monotone) — the per-peer view of
+    /// [`NetStats::overflow_dropped`].
+    pub fn shed_to(&self, peer: &PeerId) -> u64 {
+        self.shed.lock().get(peer).copied().unwrap_or(0)
     }
 }
 
@@ -761,6 +774,8 @@ mod tests {
         assert_eq!(stats.overflow_dropped, 1);
         assert_eq!(stats.messages_sent, 2, "the shed message was never counted as sent");
         assert_eq!(net.delivered_to(&ids[1]), 2, "nor as delivered");
+        assert_eq!(net.shed_to(&ids[1]), 1, "the shed is attributed to its destination");
+        assert_eq!(net.shed_to(&ids[0]), 0);
 
         // Draining makes room; deliveries resume without further overflow.
         assert_eq!(rx_b.try_iter().count(), 2);

@@ -1,16 +1,23 @@
 //! Integration tests of the staged broker ingress pipeline.
 //!
 //! The pipeline (`BrokerConfig::verify_workers`) splits ingress into an
-//! ingress thread, a parallel decode/pre-verify pool, and a serialized apply
-//! stage that restores exact arrival order through a ticket reorder buffer.
-//! Its contract is *observational equivalence* with the classic
-//! single-thread loop: same message sequence in, same broker state out —
-//! per-sender FIFO and the inter-broker replay protection included.  These
-//! tests pin that contract:
+//! ingress thread, a parallel decode/pre-verify pool, and a dispatcher that
+//! restores exact arrival order through a ticket reorder buffer and then
+//! routes each message into partitioned apply lanes: partition-local
+//! messages (publishes, keyed by the `(group, owner)` shard key) apply in
+//! parallel across lanes, partition-spanning messages apply under a
+//! full-lane barrier.  Its contract is *observational equivalence* with the
+//! classic single-thread loop: same message sequence in, same broker state
+//! out — per-sender FIFO and the inter-broker replay protection included.
+//! These tests pin that contract:
 //!
 //! * a proptest feeds the identical message sequence to an inline broker
-//!   (direct `process_net`) and a pipelined spawned broker and requires
-//!   bit-identical final state and federation counters;
+//!   (direct `process_net`) and pipelined spawned brokers with 1, 2 and 8
+//!   apply lanes, and requires bit-identical final state and federation
+//!   counters from every lane count;
+//! * a unit test checks the barrier ordering directly: a lookup (barrier)
+//!   fired right behind a storm of publishes spread across lanes must
+//!   observe every single one of them;
 //! * a concurrency stress test runs many client threads against a pipelined
 //!   2-broker federation with bounded inboxes and an adversarial lossy
 //!   backbone, asserting no replay-protection trips, per-sender ordering of
@@ -148,9 +155,12 @@ proptest! {
 
     /// The pipeline's load-bearing property: for any message sequence
     /// delivered in a fixed total order, the pipelined broker (parallel
-    /// decode/verify, ticket-reordered apply) ends in exactly the state the
-    /// classic inline application produces — replay-protection counters
-    /// included.
+    /// decode/verify, ticket-ordered dispatch into partitioned apply lanes)
+    /// ends in exactly the state the classic inline application produces —
+    /// replay-protection counters included — whatever the lane count.  The
+    /// script mixes partition-local publishes with barrier kinds (connects,
+    /// logins, lookups, inter-broker sync) and undecodable garbage, so every
+    /// dispatch route is exercised.
     #[test]
     fn pipelined_apply_is_equivalent_to_inline(
         ops in proptest::collection::vec(
@@ -171,31 +181,164 @@ proptest! {
             });
         }
 
-        // Universe B: the same broker identity and script, but spawned with
-        // a verify pool and a bounded inbox, fed over the network.
-        let (net_b, pipelined_broker, clients_b, fake_b, owner_b) =
-            script_world(0x91BE, BrokerConfig::named("pipelined").with_pipeline(3, 16));
-        prop_assert_eq!(inline_broker.id(), pipelined_broker.id());
-        let handle = pipelined_broker.spawn();
-        for &op in &ops {
-            let (from, payload) = script_message(op, &clients_b, fake_b, owner_b);
-            net_b.send(from, pipelined_broker.id(), payload).unwrap();
-        }
-        let deadline = Instant::now() + Duration::from_secs(10);
-        while pipelined_broker.processed_count()
-            != net_b.delivered_to(&pipelined_broker.id())
-        {
-            prop_assert!(Instant::now() < deadline, "pipelined broker must drain");
-            std::thread::sleep(Duration::from_micros(200));
-        }
+        // Universe B (once per lane count): the same broker identity and
+        // script, but spawned with a verify pool, a bounded inbox and a
+        // partitioned apply stage, fed over the network.
+        for lanes in [1usize, 2, 8] {
+            let (net_b, pipelined_broker, clients_b, fake_b, owner_b) = script_world(
+                0x91BE,
+                BrokerConfig::named("pipelined")
+                    .with_pipeline(3, 16)
+                    .with_apply_lanes(lanes),
+            );
+            prop_assert_eq!(inline_broker.id(), pipelined_broker.id());
+            let handle = pipelined_broker.spawn();
+            for &op in &ops {
+                let (from, payload) = script_message(op, &clients_b, fake_b, owner_b);
+                net_b.send(from, pipelined_broker.id(), payload).unwrap();
+            }
+            let deadline = Instant::now() + Duration::from_secs(10);
+            while pipelined_broker.processed_count()
+                != net_b.delivered_to(&pipelined_broker.id())
+            {
+                prop_assert!(Instant::now() < deadline, "pipelined broker must drain");
+                std::thread::sleep(Duration::from_micros(200));
+            }
 
-        prop_assert_eq!(state_digest(&inline_broker), state_digest(&pipelined_broker));
-        prop_assert_eq!(
-            pipelined_broker.processed_count(),
-            inline_broker.processed_count()
-        );
-        handle.shutdown();
+            prop_assert_eq!(state_digest(&inline_broker), state_digest(&pipelined_broker));
+            prop_assert_eq!(
+                pipelined_broker.processed_count(),
+                inline_broker.processed_count()
+            );
+            let stats = pipelined_broker.pipeline_stats();
+            prop_assert_eq!(stats.apply_lanes, lanes as u64);
+            // Every scripted publish is partition-local, everything else is
+            // a barrier or undecodable (the garbage op occasionally decodes
+            // by accident, so only the publish count is exact).
+            prop_assert_eq!(
+                stats.lane_messages,
+                ops.iter().filter(|(kind, ..)| kind % 6 == 2).count() as u64,
+                "publishes apply on lanes"
+            );
+            prop_assert!(
+                stats.lane_messages + stats.barriers_applied <= stats.messages_pipelined,
+                "lane and barrier applies partition the pipelined messages"
+            );
+            handle.shutdown();
+        }
     }
+}
+
+/// Direct check of the barrier ordering guarantee: a partition-spanning
+/// message dispatched right behind a storm of partition-local publishes must
+/// observe *all* of them, no matter which lanes they landed on or how far
+/// the lanes had drained when the barrier arrived.
+#[test]
+fn barrier_observes_all_prior_lane_applies() {
+    const GROUPS: usize = 8;
+    const ROUNDS: usize = 25;
+
+    let mut rng = HmacDrbg::from_seed_u64(0xBA44);
+    let network = SimNetwork::new(LinkModel::ideal());
+    let database = Arc::new(UserDatabase::new());
+    let groups: Vec<GroupId> = (0..GROUPS).map(|i| GroupId::new(format!("g{i}"))).collect();
+    database.register_user(&mut rng, "alice", "pw", &groups);
+    let broker = Broker::new(
+        PeerId::random(&mut rng),
+        BrokerConfig::named("laned")
+            .with_pipeline(4, 64)
+            .with_apply_lanes(4),
+        Arc::clone(&network),
+        Arc::clone(&database),
+    );
+    let handle = broker.spawn();
+
+    let client = PeerId::random(&mut rng);
+    let inbox = network.register(client);
+    network
+        .send(
+            client,
+            broker.id(),
+            Message::new(MessageKind::ConnectRequest, client, 1).to_bytes(),
+        )
+        .unwrap();
+    network
+        .send(
+            client,
+            broker.id(),
+            Message::new(MessageKind::LoginRequest, client, 2)
+                .with_str("username", "alice")
+                .with_str("password", "pw")
+                .to_bytes(),
+        )
+        .unwrap();
+
+    // Publishes spread over GROUPS partitions (distinct shard keys, hence
+    // spread over lanes), immediately chased by one lookup per round — a
+    // barrier that must see every publish of its own round.
+    let mut seq = 2u64;
+    for round in 0..ROUNDS {
+        for group in &groups {
+            seq += 1;
+            network
+                .send(
+                    client,
+                    broker.id(),
+                    Message::new(MessageKind::PublishAdvertisement, client, seq)
+                        .with_str("group", group.as_str())
+                        .with_str("doc-type", "jxta:PipeAdvertisement")
+                        .with_str("xml", &format!("<adv round=\"{round}\"/>"))
+                        .to_bytes(),
+                )
+                .unwrap();
+        }
+        seq += 1;
+        network
+            .send(
+                client,
+                broker.id(),
+                Message::new(MessageKind::LookupRequest, client, seq)
+                    .with_str("group", groups[round % GROUPS].as_str())
+                    .with_str("doc-type", "jxta:PipeAdvertisement")
+                    .to_bytes(),
+            )
+            .unwrap();
+    }
+
+    // Every lookup response must carry the round's freshly published XML:
+    // the barrier happened-after all its round's lane applies.
+    let mut lookups_seen = 0usize;
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while lookups_seen < ROUNDS {
+        assert!(Instant::now() < deadline, "all lookup responses must arrive");
+        let Ok(net_message) = inbox.recv_timeout(Duration::from_secs(1)) else {
+            continue;
+        };
+        let message = Message::from_bytes(&net_message.payload).unwrap();
+        if message.kind != MessageKind::LookupResponse {
+            continue;
+        }
+        assert_eq!(message.element_str("count").as_deref(), Some("1"));
+        let xml = message.element_str("adv-0").unwrap_or_default();
+        assert_eq!(
+            xml,
+            format!("<adv round=\"{lookups_seen}\"/>"),
+            "lookup {lookups_seen} must observe its round's publish"
+        );
+        lookups_seen += 1;
+    }
+
+    let stats = broker.pipeline_stats();
+    assert_eq!(stats.apply_lanes, 4);
+    assert!(
+        stats.lane_messages >= (GROUPS * ROUNDS) as u64,
+        "publishes applied on lanes: {stats:?}"
+    );
+    assert!(
+        stats.barriers_applied >= ROUNDS as u64,
+        "lookups applied as barriers: {stats:?}"
+    );
+    handle.shutdown();
 }
 
 #[test]

@@ -95,6 +95,46 @@ fn group_broadcast_respects_membership_boundaries() {
 }
 
 #[test]
+fn client_sig_cache_skips_rsa_on_repeat_validations() {
+    let mut setup = SecureNetworkBuilder::new(14)
+        .with_key_bits(512)
+        .with_user("alice", "pw-a", &["math", "chem"])
+        .with_user("bob", "pw-b", &["math", "chem"])
+        .build();
+    let broker = setup.broker_id();
+    let math = GroupId::new("math");
+    let chem = GroupId::new("chem");
+    let mut alice = setup.secure_client("alice");
+    let mut bob = setup.secure_client("bob");
+    alice.secure_join(broker, "alice", "pw-a").unwrap();
+    bob.secure_join(broker, "bob", "pw-b").unwrap();
+    bob.publish_secure_pipe(&math).unwrap();
+    bob.publish_secure_pipe(&chem).unwrap();
+
+    // First validation of one of bob's advertisements pays RSA for the
+    // credential chain and the XMLdsig check.
+    assert_eq!(alice.sig_cache_stats().hits, 0);
+    alice.resolve_secure_pipe(&math, bob.id()).unwrap();
+    let first = alice.sig_cache_stats();
+    assert!(first.misses > 0, "first validation computes RSA: {first:?}");
+    assert_eq!(first.hits, 0);
+
+    // Bob's advertisement in the *other* group misses `validated_pipes`
+    // (different bytes, different signature) but embeds the identical
+    // credential — whose chain verification now comes from the cache.
+    alice.resolve_secure_pipe(&chem, bob.id()).unwrap();
+    let second = alice.sig_cache_stats();
+    assert!(
+        second.hits > first.hits,
+        "the shared credential's chain check must hit the sig cache: {second:?}"
+    );
+
+    // A repeat resolve is answered from `validated_pipes`: no RSA at all.
+    alice.resolve_secure_pipe(&math, bob.id()).unwrap();
+    assert_eq!(alice.sig_cache_stats().misses, second.misses);
+}
+
+#[test]
 fn plain_and_secure_traffic_coexist() {
     // The extension is additive: plain peers keep working on the same
     // network and broker while secure peers exchange protected traffic.
