@@ -888,6 +888,221 @@ pub fn format_repair_report(rows: &[RepairRow]) -> String {
 }
 
 // ----------------------------------------------------------------------
+// E7 — delta repair: hash-tree descent vs flat full-section snapshots
+// ----------------------------------------------------------------------
+
+/// One (section size, divergence size, protocol) cell of the E7 sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeltaRepairRow {
+    /// Advertisements seeded identically into both replicas.
+    pub entries: usize,
+    /// Entries perturbed on broker 0 with a newer version broker 1 missed.
+    pub divergent: usize,
+    /// `"tree"` (hash-tree descent) or `"flat"` (full-section snapshots).
+    pub mode: String,
+    /// Anti-entropy bytes on the wire (digests + range legs + snapshots),
+    /// summed over both brokers — the headline O(delta) vs O(shard) number.
+    pub repair_bytes: u64,
+    /// `AntiEntropyRange` descent legs sent (0 in flat mode).
+    pub descent_legs: u64,
+    /// Range-scoped snapshot pages shipped (0 in flat mode).
+    pub pages: u64,
+    /// Repair rounds until reconvergence (`None` = bound exhausted, a bug).
+    pub rounds: Option<usize>,
+    /// Entries brought up to date across the federation.
+    pub entries_repaired: u64,
+}
+
+/// The E7 result: rows plus the tree geometry they were measured under.
+#[derive(Debug, Clone, Serialize)]
+pub struct DeltaRepairResult {
+    /// Experiment identifier (`"e7-delta-repair"`).
+    pub experiment: String,
+    /// Whether the quick (CI smoke) sweep was run.
+    pub quick: bool,
+    /// Repair-tree depth the overlay was built with.
+    pub tree_depth: u32,
+    /// Repair-tree fan-out per level.
+    pub tree_arity: usize,
+    /// The measured cells.
+    pub rows: Vec<DeltaRepairRow>,
+}
+
+/// Measures one E7 cell: two fully replicating brokers are seeded with
+/// `entries` identical advertisements, `divergent` of them are overwritten
+/// on broker 0 with a newer version (writes broker 1 missed), and
+/// anti-entropy runs to reconvergence.  Byte/leg counters are read as
+/// deltas, so only the repair traffic of this cell is attributed.
+pub fn measure_delta_repair(
+    entries: usize,
+    divergent: usize,
+    tree: bool,
+    seed: u64,
+) -> DeltaRepairRow {
+    use jxta_overlay::broker::{Broker, BrokerConfig};
+    use jxta_overlay::federation::InlineFederation;
+    use jxta_overlay::net::SimNetwork;
+    use jxta_overlay::{GroupId, PeerId, UserDatabase};
+
+    let mut rng = jxta_crypto::drbg::HmacDrbg::from_seed_u64(seed);
+    let network = SimNetwork::new(LinkModel::ideal());
+    let database = std::sync::Arc::new(UserDatabase::new());
+    let brokers: Vec<std::sync::Arc<Broker>> = (0..2)
+        .map(|i| {
+            let config = BrokerConfig {
+                name: format!("broker-{}", i + 1),
+                ..Default::default()
+            };
+            let config = if tree { config } else { config.with_flat_repair() };
+            Broker::new(
+                PeerId::random(&mut rng),
+                config,
+                std::sync::Arc::clone(&network),
+                std::sync::Arc::clone(&database),
+            )
+        })
+        .collect();
+    let federation = InlineFederation::new(brokers);
+    let group = GroupId::new(EXPERIMENT_GROUP);
+    let origin = federation.broker(0).id();
+    let mut owners = Vec::with_capacity(divergent);
+    for i in 0..entries {
+        let owner = PeerId::random(&mut rng);
+        if owners.len() < divergent {
+            owners.push(owner);
+        }
+        for b in 0..2 {
+            federation.broker(b).load_advertisement(
+                owner,
+                &group,
+                "jxta:PipeAdvertisement",
+                &format!("<adv n=\"{i}\"/>"),
+                (1, origin),
+            );
+        }
+    }
+    for (i, owner) in owners.iter().enumerate() {
+        federation.broker(0).load_advertisement(
+            *owner,
+            &group,
+            "jxta:PipeAdvertisement",
+            &format!("<adv n=\"{i}\" rev=\"2\"/>"),
+            (2, origin),
+        );
+    }
+
+    let stats_sum = |field: fn(&jxta_overlay::metrics::FederationStats) -> u64| -> u64 {
+        (0..2)
+            .map(|b| field(&federation.broker(b).federation_stats()))
+            .sum()
+    };
+    let bytes_before = stats_sum(|s| s.repair_bytes);
+    let legs_before = stats_sum(|s| s.descent_rounds);
+    let pages_before = stats_sum(|s| s.repair_pages);
+    let repaired_before = stats_sum(|s| s.entries_repaired);
+
+    let rounds = federation.repair_until_converged(8);
+
+    let repair_bytes = stats_sum(|s| s.repair_bytes) - bytes_before;
+    assert!(
+        repair_bytes > 0,
+        "repair traffic must be visible in FederationStats::repair_bytes"
+    );
+    DeltaRepairRow {
+        entries,
+        divergent,
+        mode: if tree { "tree" } else { "flat" }.to_string(),
+        repair_bytes,
+        descent_legs: stats_sum(|s| s.descent_rounds) - legs_before,
+        pages: stats_sum(|s| s.repair_pages) - pages_before,
+        rounds,
+        entries_repaired: stats_sum(|s| s.entries_repaired) - repaired_before,
+    }
+}
+
+/// Runs experiment E7: repair bytes and exchange legs vs divergence size,
+/// hash-tree descent against the flat full-section baseline.  The full
+/// sweep adds a 10⁶-entry tree-only series — a flat snapshot at that size
+/// would serialize a multi-hundred-MB `Message` per leg, which is exactly
+/// the failure mode the tree exists to avoid, so it is skipped rather
+/// than measured.
+pub fn experiment_delta_repair(config: &ExperimentConfig) -> DeltaRepairResult {
+    let quick = config.iterations <= ExperimentConfig::quick().iterations;
+    let (sizes, divergences): (Vec<usize>, Vec<usize>) = if quick {
+        (vec![100_000], vec![1, 100])
+    } else {
+        (vec![100_000, 1_000_000], vec![1, 10, 100, 1000])
+    };
+    let mut rows = Vec::new();
+    for &entries in &sizes {
+        for &divergent in &divergences {
+            let seed = 0xE7_5EED ^ (entries as u64) ^ ((divergent as u64) << 32);
+            rows.push(measure_delta_repair(entries, divergent, true, seed));
+            if entries <= 100_000 {
+                rows.push(measure_delta_repair(entries, divergent, false, seed));
+            }
+        }
+    }
+    DeltaRepairResult {
+        experiment: "e7-delta-repair".to_string(),
+        quick,
+        tree_depth: jxta_overlay::shard::REPAIR_TREE_DEPTH,
+        tree_arity: jxta_overlay::shard::REPAIR_TREE_ARITY,
+        rows,
+    }
+}
+
+/// Formats E7 as a text table.
+pub fn format_delta_repair_report(result: &DeltaRepairResult) -> String {
+    let mut out = String::from(
+        "E7 — delta repair: hash-tree descent vs flat snapshots (2 brokers, full replication)\n\
+         -------------------------------------------------------------------------------------\n\
+         entries | divergent | mode | repair bytes | range legs | pages | rounds | repaired\n",
+    );
+    for row in &result.rows {
+        out.push_str(&format!(
+            "{:>7} | {:>9} | {:<4} | {:>12} | {:>10} | {:>5} | {:>6} | {:>8}\n",
+            row.entries,
+            row.divergent,
+            row.mode,
+            row.repair_bytes,
+            row.descent_legs,
+            row.pages,
+            row.rounds
+                .map(|r| r.to_string())
+                .unwrap_or_else(|| "UNHEALED".to_string()),
+            row.entries_repaired,
+        ));
+    }
+    for pair in result.rows.chunks(2) {
+        if let [tree, flat] = pair {
+            if tree.entries == flat.entries && tree.divergent == flat.divergent {
+                out.push_str(&format!(
+                    "\n{} entries, {} divergent: tree ships {:.3}% of flat bytes",
+                    tree.entries,
+                    tree.divergent,
+                    100.0 * tree.repair_bytes as f64 / flat.repair_bytes as f64,
+                ));
+            }
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Writes the E7 result as machine-readable `BENCH_7.json` at the workspace
+/// root.  Returns the path.
+pub fn write_bench7_json(result: &DeltaRepairResult) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()?
+        .join("BENCH_7.json");
+    let json = serde_json::to_string_pretty(result).expect("serialise E7 result");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+// ----------------------------------------------------------------------
 // E6 — broker ingest throughput: lanes × verify workers × cache ablation
 // ----------------------------------------------------------------------
 

@@ -222,6 +222,7 @@ impl SecureNetworkBuilder {
                     verify_workers: self.verify_workers,
                     inbox_capacity: self.inbox_capacity,
                     apply_lanes: self.apply_lanes,
+                    ..BrokerConfig::default()
                 },
                 Arc::clone(&network),
                 Arc::clone(&database),

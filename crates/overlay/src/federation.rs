@@ -1786,6 +1786,92 @@ mod tests {
         // With the adversary gone the backbone drains normally again.
         assert!(federation.try_pump(DEFAULT_PUMP_BUDGET).is_ok());
     }
+
+    /// The tentpole property of the hash-tree repair: a 1-entry divergence
+    /// in a 100 000-entry section heals within `depth + 1` exchange legs and
+    /// ships well under 1% of the bytes the flat full-section snapshot
+    /// protocol needs for the same divergence.
+    #[test]
+    fn single_divergence_in_large_section_heals_in_bounded_legs_and_bytes() {
+        use crate::shard::REPAIR_TREE_DEPTH;
+
+        let entries = 100_000usize;
+        // Returns (repair bytes, exchange legs) summed over both brokers.
+        let run = |tree: bool| -> (u64, u64) {
+            let mut rng = HmacDrbg::from_seed_u64(0xD17);
+            let network = SimNetwork::new(LinkModel::ideal());
+            let database = Arc::new(UserDatabase::new());
+            let brokers: Vec<Arc<Broker>> = (0..2)
+                .map(|i| {
+                    let config = crate::broker::BrokerConfig {
+                        name: format!("broker-{i}"),
+                        ..Default::default()
+                    };
+                    let config = if tree { config } else { config.with_flat_repair() };
+                    Broker::new(
+                        PeerId::random(&mut rng),
+                        config,
+                        Arc::clone(&network),
+                        Arc::clone(&database),
+                    )
+                })
+                .collect();
+            let federation = InlineFederation::new(brokers);
+            let group = GroupId::new("math");
+            let origin = federation.broker(0).id();
+            let mut first_owner = None;
+            for i in 0..entries {
+                let owner = PeerId::random(&mut rng);
+                first_owner.get_or_insert(owner);
+                for b in 0..2 {
+                    federation.broker(b).load_advertisement(
+                        owner,
+                        &group,
+                        "jxta:PipeAdvertisement",
+                        &format!("<adv n=\"{i}\"/>"),
+                        (1, origin),
+                    );
+                }
+            }
+            // One write broker 1 missed: broker 0 holds a newer version of a
+            // single entry.
+            federation.broker(0).load_advertisement(
+                first_owner.unwrap(),
+                &group,
+                "jxta:PipeAdvertisement",
+                "<adv n=\"0\" rev=\"2\"/>",
+                (2, origin),
+            );
+            assert!(!federation.converged());
+            assert!(
+                federation.repair_until_converged(2).is_some(),
+                "tree={tree}: no reconvergence"
+            );
+            let mut bytes = 0u64;
+            let mut legs = 0u64;
+            for b in 0..2 {
+                let stats = federation.broker(b).federation_stats();
+                bytes += stats.repair_bytes;
+                legs += stats.descent_rounds + stats.repair_pages;
+            }
+            (bytes, legs)
+        };
+
+        let (tree_bytes, tree_legs) = run(true);
+        let (flat_bytes, _) = run(false);
+        assert!(tree_bytes > 0 && flat_bytes > 0);
+        // With the triggering digest, the exchange took `tree_legs + 1`
+        // legs; the acceptance bound is depth + 1.
+        assert!(
+            tree_legs <= u64::from(REPAIR_TREE_DEPTH),
+            "descent took {tree_legs} range/page legs — more than depth"
+        );
+        assert!(
+            tree_bytes * 100 < flat_bytes,
+            "tree repair shipped {tree_bytes} bytes, \
+             not under 1% of the flat protocol's {flat_bytes}"
+        );
+    }
 }
 
 #[cfg(test)]
@@ -1951,7 +2037,10 @@ mod repair_proptests {
     const GROUP_NAMES: [&str; 2] = ["math", "chem"];
     const BROKERS: usize = 4;
 
-    fn build(replication: Option<usize>) -> (Arc<SimNetwork>, InlineFederation, Vec<PeerId>) {
+    fn build(
+        replication: Option<usize>,
+        tree: bool,
+    ) -> (Arc<SimNetwork>, InlineFederation, Vec<PeerId>) {
         let mut rng = HmacDrbg::from_seed_u64(0xAE0);
         let network = SimNetwork::new(LinkModel::ideal());
         let database = Arc::new(UserDatabase::new());
@@ -1966,6 +2055,7 @@ mod repair_proptests {
                     BrokerConfig {
                         name: format!("broker-{}", i + 1),
                         replication_factor: replication,
+                        repair_tree: tree,
                         ..Default::default()
                     },
                     Arc::clone(&network),
@@ -1999,6 +2089,10 @@ mod repair_proptests {
         #[test]
         fn random_drops_plus_repair_always_reconverge(
             sharded in any::<bool>(),
+            // Both repair protocols — the flat full-section snapshots and
+            // the hash-tree descent — must satisfy the same oracle: the LWW
+            // merge underneath is shared, only the delta location differs.
+            tree in any::<bool>(),
             drop_percent in 0u32..80,
             drop_seed in any::<u64>(),
             ops in proptest::collection::vec(
@@ -2007,7 +2101,7 @@ mod repair_proptests {
             ),
         ) {
             let replication = if sharded { Some(2) } else { None };
-            let (network, federation, peers) = build(replication);
+            let (network, federation, peers) = build(replication, tree);
             let backbone: Vec<PeerId> =
                 (0..BROKERS).map(|i| federation.broker(i).id()).collect();
             network.set_adversary(RandomDrop::between(drop_seed, drop_percent, backbone));
@@ -2051,7 +2145,7 @@ mod repair_proptests {
             let rounds = federation.repair_until_converged(6);
             prop_assert!(
                 rounds.is_some(),
-                "no reconvergence after 6 repair rounds: sharded={sharded} drop_percent={drop_percent} drop_seed={drop_seed} ops={ops:?}"
+                "no reconvergence after 6 repair rounds: sharded={sharded} tree={tree} drop_percent={drop_percent} drop_seed={drop_seed} ops={ops:?}"
             );
 
             // Zero LWW regression and no invented data: the surviving

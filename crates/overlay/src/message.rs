@@ -71,8 +71,16 @@ pub enum MessageKind {
     AntiEntropyDigest = 44,
     /// Broker ↔ broker: a full snapshot of the mismatched anti-entropy
     /// sections, merged with last-writer-wins versions so repair can never
-    /// regress a newer write.
+    /// regress a newer write.  Also carries range-scoped *pages* during a
+    /// hash-tree descent: the same element layout plus a `[range-lo,
+    /// range-hi]` shard-key window that bounds what the page covers.
     AntiEntropySnapshot = 45,
+    /// Broker ↔ broker: one leg of a hash-tree descent.  Carries the child
+    /// summaries of repair-tree nodes the two brokers disagree on; the
+    /// receiver compares them against its own tree and answers with the next
+    /// level down, or with range-scoped [`MessageKind::AntiEntropySnapshot`]
+    /// pages once a divergent range is small enough to ship.
+    AntiEntropyRange = 46,
 }
 
 impl MessageKind {
@@ -103,6 +111,7 @@ impl MessageKind {
             43 => ShardResponse,
             44 => AntiEntropyDigest,
             45 => AntiEntropySnapshot,
+            46 => AntiEntropyRange,
             _ => return None,
         })
     }
@@ -162,11 +171,24 @@ impl Message {
     }
 
     /// Looks up an element's raw content by name.
+    ///
+    /// This is a linear scan — fine for the handful of named fields a normal
+    /// message carries, quadratic when called per entry of a bulk message.
+    /// Loops over `{prefix}{i}-{field}` style names must build an
+    /// [`ElementIndex`] once instead.
     pub fn element(&self, name: &str) -> Option<&[u8]> {
-        self.elements
-            .iter()
-            .find(|e| e.name == name)
-            .map(|e| e.content.as_slice())
+        let position = self.elements.iter().position(|e| e.name == name);
+        #[cfg(test)]
+        scan_probe::record(match position {
+            Some(found) => found + 1,
+            None => self.elements.len(),
+        });
+        position.map(|at| self.elements[at].content.as_slice())
+    }
+
+    /// Builds a one-pass name→content index over the elements.
+    pub fn index(&self) -> ElementIndex<'_> {
+        ElementIndex::new(self)
     }
 
     /// Looks up an element and decodes it as UTF-8.
@@ -195,10 +217,15 @@ impl Message {
     /// Serialises the message to its wire format.
     ///
     /// Layout: `"JXMS"`, kind byte, 16-byte sender, 8-byte request id,
-    /// 2-byte element count, then per element a 2-byte name length, the name,
+    /// 4-byte element count, then per element a 2-byte name length, the name,
     /// a 4-byte content length and the content (all integers big-endian).
+    ///
+    /// The element count is 32-bit: bulk messages (flat anti-entropy
+    /// snapshots of large shards) legitimately exceed 65 535 elements, and a
+    /// 16-bit count would wrap silently, producing bytes the receiver
+    /// rejects as trailing garbage.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut size = 4 + 1 + PEER_ID_LEN + 8 + 2;
+        let mut size = 4 + 1 + PEER_ID_LEN + 8 + 4;
         for e in &self.elements {
             size += 2 + e.name.len() + 4 + e.content.len();
         }
@@ -207,7 +234,7 @@ impl Message {
         out.push(self.kind as u8);
         out.extend_from_slice(self.sender.as_bytes());
         out.extend_from_slice(&self.request_id.to_be_bytes());
-        out.extend_from_slice(&(self.elements.len() as u16).to_be_bytes());
+        out.extend_from_slice(&(self.elements.len() as u32).to_be_bytes());
         for e in &self.elements {
             out.extend_from_slice(&(e.name.len() as u16).to_be_bytes());
             out.extend_from_slice(e.name.as_bytes());
@@ -220,7 +247,7 @@ impl Message {
     /// Parses a message from its wire format.
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, OverlayError> {
         let err = |what: &str| OverlayError::MalformedMessage(what.to_string());
-        if bytes.len() < 4 + 1 + PEER_ID_LEN + 8 + 2 || &bytes[..4] != b"JXMS" {
+        if bytes.len() < 4 + 1 + PEER_ID_LEN + 8 + 4 || &bytes[..4] != b"JXMS" {
             return Err(err("missing JXMS header"));
         }
         let mut offset = 4usize;
@@ -232,10 +259,12 @@ impl Message {
         offset += PEER_ID_LEN;
         let request_id = u64::from_be_bytes(bytes[offset..offset + 8].try_into().unwrap());
         offset += 8;
-        let count = u16::from_be_bytes(bytes[offset..offset + 2].try_into().unwrap()) as usize;
-        offset += 2;
+        let count = u32::from_be_bytes(bytes[offset..offset + 4].try_into().unwrap()) as usize;
+        offset += 4;
 
-        let mut elements = Vec::with_capacity(count);
+        // Cap the pre-allocation: a forged count must not reserve memory the
+        // payload cannot back (each element costs at least 6 bytes on the wire).
+        let mut elements = Vec::with_capacity(count.min(bytes.len() / 6 + 1));
         for _ in 0..count {
             if bytes.len() < offset + 2 {
                 return Err(err("truncated element name length"));
@@ -269,6 +298,59 @@ impl Message {
             request_id,
             elements,
         })
+    }
+}
+
+/// A name→content index built in one pass over a message's elements.
+///
+/// Handlers that address entries via `{section}{i}-{field}` style names must
+/// use this instead of per-name [`Message::element`] calls: each of those is
+/// a linear scan, so an n-entry bulk message merged field-by-field costs
+/// O(n²) element visits.  First occurrence of a name wins, matching
+/// [`Message::element`].
+pub struct ElementIndex<'a> {
+    by_name: std::collections::HashMap<&'a str, &'a [u8]>,
+}
+
+impl<'a> ElementIndex<'a> {
+    /// Indexes every element of `message`.
+    pub fn new(message: &'a Message) -> Self {
+        let mut by_name = std::collections::HashMap::with_capacity(message.elements.len());
+        for element in &message.elements {
+            by_name
+                .entry(element.name.as_str())
+                .or_insert_with(|| element.content.as_slice());
+        }
+        ElementIndex { by_name }
+    }
+
+    /// Raw content of element `name`.
+    pub fn get(&self, name: &str) -> Option<&'a [u8]> {
+        self.by_name.get(name).copied()
+    }
+
+    /// UTF-8 decoded content of element `name`.
+    pub fn get_str(&self, name: &str) -> Option<String> {
+        self.get(name).map(|b| String::from_utf8_lossy(b).into_owned())
+    }
+}
+
+/// Test-only instrumentation counting how many elements linear
+/// [`Message::element`] lookups visit, so regression tests can pin bulk
+/// merge paths to O(n) total element visits.
+#[cfg(test)]
+pub(crate) mod scan_probe {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static VISITED: AtomicU64 = AtomicU64::new(0);
+
+    pub(crate) fn record(elements: usize) {
+        VISITED.fetch_add(elements as u64, Ordering::Relaxed);
+    }
+
+    /// Cumulative elements visited by `Message::element` process-wide.
+    pub(crate) fn visited() -> u64 {
+        VISITED.load(Ordering::Relaxed)
     }
 }
 
@@ -308,6 +390,7 @@ mod tests {
             MessageKind::ShardResponse,
             MessageKind::AntiEntropyDigest,
             MessageKind::AntiEntropySnapshot,
+            MessageKind::AntiEntropyRange,
         ] {
             assert_eq!(MessageKind::from_u8(kind as u8), Some(kind));
         }
@@ -355,6 +438,33 @@ mod tests {
         assert!(bytes.len() > payload.len());
         let parsed = Message::from_bytes(&bytes).unwrap();
         assert_eq!(parsed.element("payload").unwrap(), &payload[..]);
+    }
+
+    #[test]
+    fn wire_roundtrip_beyond_u16_element_count() {
+        // A flat anti-entropy snapshot of a 10⁵-entry shard carries 600k+
+        // elements; the old 16-bit element count wrapped silently and the
+        // receiver rejected the bytes as trailing garbage.
+        let mut msg = Message::new(MessageKind::AntiEntropySnapshot, peer(), 3);
+        for i in 0..70_000u32 {
+            msg.push_element(format!("e{i}"), i.to_be_bytes().to_vec());
+        }
+        let parsed = Message::from_bytes(&msg.to_bytes()).unwrap();
+        assert_eq!(parsed.elements.len(), 70_000);
+        assert_eq!(parsed, msg);
+    }
+
+    #[test]
+    fn element_index_matches_linear_lookup() {
+        let msg = Message::new(MessageKind::Ack, peer(), 0)
+            .with_str("first", "1")
+            .with_element("blob", vec![7u8, 8])
+            .with_str("first", "shadowed");
+        let idx = msg.index();
+        assert_eq!(idx.get_str("first").as_deref(), Some("1"));
+        assert_eq!(idx.get("blob"), msg.element("blob"));
+        assert_eq!(idx.get("missing"), None);
+        assert_eq!(idx.get_str("first"), msg.element_str("first"));
     }
 
     #[test]

@@ -315,6 +315,17 @@ pub struct FederationStats {
     /// Index/membership/routing entries (and extension-state entries, e.g.
     /// revocations) brought up to date by anti-entropy snapshot merges.
     pub entries_repaired: u64,
+    /// Wire bytes of repair-protocol traffic this broker sent: digests,
+    /// hash-tree descent legs and snapshot/page messages.  This is what the
+    /// repair-bytes-vs-divergence experiment attributes — the global
+    /// `NetStats::bytes_sent` cannot separate repair from gossip.
+    pub repair_bytes: u64,
+    /// Hash-tree descent legs ([`crate::message::MessageKind::AntiEntropyRange`])
+    /// this broker sent while narrowing a divergence.
+    pub descent_rounds: u64,
+    /// Range-scoped snapshot pages sent during tree repair (the final legs
+    /// that actually carry entries).
+    pub repair_pages: u64,
 }
 
 /// Thread-safe counters describing a broker's participation in the
@@ -335,6 +346,9 @@ pub struct FederationMetrics {
     repair_rounds: AtomicU64,
     repair_mismatches: AtomicU64,
     entries_repaired: AtomicU64,
+    repair_bytes: AtomicU64,
+    descent_rounds: AtomicU64,
+    repair_pages: AtomicU64,
 }
 
 impl FederationMetrics {
@@ -408,6 +422,21 @@ impl FederationMetrics {
         self.entries_repaired.fetch_add(n, Ordering::Relaxed);
     }
 
+    /// Records `n` wire bytes of repair-protocol traffic sent.
+    pub fn count_repair_bytes(&self, n: u64) {
+        self.repair_bytes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a hash-tree descent leg sent.
+    pub fn count_descent_round(&self) {
+        self.descent_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a range-scoped snapshot page sent.
+    pub fn count_repair_page(&self) {
+        self.repair_pages.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Consistent snapshot of the counters.
     pub fn snapshot(&self) -> FederationStats {
         FederationStats {
@@ -424,6 +453,9 @@ impl FederationMetrics {
             repair_rounds: self.repair_rounds.load(Ordering::Relaxed),
             repair_mismatches: self.repair_mismatches.load(Ordering::Relaxed),
             entries_repaired: self.entries_repaired.load(Ordering::Relaxed),
+            repair_bytes: self.repair_bytes.load(Ordering::Relaxed),
+            descent_rounds: self.descent_rounds.load(Ordering::Relaxed),
+            repair_pages: self.repair_pages.load(Ordering::Relaxed),
         }
     }
 }
@@ -498,6 +530,11 @@ mod tests {
         metrics.count_repair_mismatch();
         metrics.count_repair_mismatch();
         metrics.count_entries_repaired(5);
+        metrics.count_repair_bytes(128);
+        metrics.count_repair_bytes(64);
+        metrics.count_descent_round();
+        metrics.count_repair_page();
+        metrics.count_repair_page();
         let stats = metrics.snapshot();
         assert_eq!(stats.syncs_sent, 2);
         assert_eq!(stats.syncs_applied, 1);
@@ -512,6 +549,9 @@ mod tests {
         assert_eq!(stats.repair_rounds, 1);
         assert_eq!(stats.repair_mismatches, 2);
         assert_eq!(stats.entries_repaired, 5);
+        assert_eq!(stats.repair_bytes, 192);
+        assert_eq!(stats.descent_rounds, 1);
+        assert_eq!(stats.repair_pages, 2);
     }
 
     #[test]

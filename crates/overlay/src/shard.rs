@@ -58,6 +58,146 @@ pub fn shard_key(group: &GroupId, owner: &PeerId) -> u64 {
     mix(fnv1a(state, owner.as_bytes()))
 }
 
+/// Depth of the anti-entropy repair tree over the shard-key space: one hex
+/// digit of the 64-bit key per level, so the tree has 16⁵ ≈ one million
+/// potential leaves.  At the target scale of 10⁵–10⁶ entries per shard a
+/// divergent leaf therefore holds only a handful of entries, and the final
+/// repair leg ships O(delta) bytes instead of the whole section.
+pub const REPAIR_TREE_DEPTH: u32 = 5;
+
+/// Fan-out of every repair-tree node (one hex digit of the key per level).
+pub const REPAIR_TREE_ARITY: usize = 16;
+
+/// Bits of shard key consumed by the leaf level.
+const LEAF_BITS: u32 = 4 * REPAIR_TREE_DEPTH;
+
+/// Wire size of one encoded tree-node summary inside an `AntiEntropyRange`
+/// message: depth (u8) · prefix (u64) · xor (u64) · count (u64), big-endian.
+pub const NODE_RECORD_BYTES: usize = 25;
+
+/// Aggregate summary of one repair-tree node: the XOR of the entry hashes
+/// under it plus their count.  XOR is order-independent and self-inverse, so
+/// summaries compose up the tree and an insert never needs a rebuild; the
+/// count disambiguates the empty set from XOR-cancelling pairs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NodeSummary {
+    /// XOR of the (already mixed) per-entry hashes under this node.
+    pub xor: u64,
+    /// Number of entries under this node.
+    pub count: u64,
+}
+
+impl NodeSummary {
+    /// Collapses the summary into a single comparable hash for the root
+    /// digest exchanged every round.
+    pub fn digest(&self) -> u64 {
+        mix(self.xor ^ mix(self.count ^ FNV_OFFSET))
+    }
+}
+
+/// A sparse hash tree over the 64-bit shard-key space for one replicated
+/// section.  Only non-empty leaves are stored; interior nodes are aggregated
+/// on demand with a range scan, which keeps inserts O(log leaves) and the
+/// structure cheap enough to cache per peer.
+///
+/// A node at `depth` is addressed by `prefix`: the top `4·depth` bits of the
+/// keys it covers.  Depth 0 is the root (prefix 0); depth
+/// [`REPAIR_TREE_DEPTH`] is the leaf level.
+#[derive(Debug, Clone, Default)]
+pub struct SectionTree {
+    /// Leaf summaries keyed by leaf prefix (top [`LEAF_BITS`] bits of key).
+    leaves: std::collections::BTreeMap<u64, NodeSummary>,
+}
+
+impl SectionTree {
+    /// Folds one entry (its shard key and mixed entry hash) into the tree.
+    pub fn insert(&mut self, key: u64, entry_hash: u64) {
+        let leaf = self.leaves.entry(key >> (64 - LEAF_BITS)).or_default();
+        leaf.xor ^= entry_hash;
+        leaf.count += 1;
+    }
+
+    /// Summary of the whole tree.
+    pub fn root(&self) -> NodeSummary {
+        self.node(0, 0)
+    }
+
+    /// Summary of the node at `(depth, prefix)`.  Depths beyond the leaf
+    /// level clamp to it; the caller is responsible for keeping `prefix`
+    /// within `4·depth` bits.
+    pub fn node(&self, depth: u32, prefix: u64) -> NodeSummary {
+        let span = LEAF_BITS - 4 * depth.min(REPAIR_TREE_DEPTH);
+        let lo = prefix << span;
+        let hi = lo | ((1u64 << span) - 1);
+        let mut total = NodeSummary::default();
+        for (_, leaf) in self.leaves.range(lo..=hi) {
+            total.xor ^= leaf.xor;
+            total.count += leaf.count;
+        }
+        total
+    }
+
+    /// Summaries of the [`REPAIR_TREE_ARITY`] children of `(depth, prefix)`,
+    /// in child-index order, empty children included — a peer needs the
+    /// zero summaries to notice entries only it holds.  One pass over the
+    /// node's leaves.  Returns all-empty summaries at the leaf level.
+    pub fn children(&self, depth: u32, prefix: u64) -> [NodeSummary; REPAIR_TREE_ARITY] {
+        let mut out = [NodeSummary::default(); REPAIR_TREE_ARITY];
+        if depth >= REPAIR_TREE_DEPTH {
+            return out;
+        }
+        let span = LEAF_BITS - 4 * depth;
+        let child_span = span - 4;
+        let lo = prefix << span;
+        let hi = lo | ((1u64 << span) - 1);
+        for (leaf_prefix, leaf) in self.leaves.range(lo..=hi) {
+            let child = ((leaf_prefix >> child_span) & 0xf) as usize;
+            out[child].xor ^= leaf.xor;
+            out[child].count += leaf.count;
+        }
+        out
+    }
+}
+
+/// The inclusive shard-key range covered by the node at `(depth, prefix)`.
+pub fn node_range(depth: u32, prefix: u64) -> (u64, u64) {
+    let depth = depth.min(REPAIR_TREE_DEPTH);
+    if depth == 0 {
+        return (0, u64::MAX);
+    }
+    let shift = 64 - 4 * depth;
+    let lo = prefix << shift;
+    (lo, lo | ((1u64 << shift) - 1))
+}
+
+/// Appends one node-summary record to a wire blob (see [`NODE_RECORD_BYTES`]).
+pub fn encode_node(out: &mut Vec<u8>, depth: u32, prefix: u64, summary: NodeSummary) {
+    out.push(depth as u8);
+    out.extend_from_slice(&prefix.to_be_bytes());
+    out.extend_from_slice(&summary.xor.to_be_bytes());
+    out.extend_from_slice(&summary.count.to_be_bytes());
+}
+
+/// Decodes a wire blob of node-summary records.  Trailing partial records
+/// are dropped; a malformed blob simply yields fewer nodes (the descent is
+/// stateless, so under-delivery only delays convergence by a round).
+pub fn decode_nodes(bytes: &[u8]) -> Vec<(u32, u64, NodeSummary)> {
+    bytes
+        .chunks_exact(NODE_RECORD_BYTES)
+        .map(|record| {
+            let word = |at: usize| u64::from_be_bytes(record[at..at + 8].try_into().unwrap());
+            (
+                u32::from(record[0]),
+                word(1),
+                NodeSummary {
+                    xor: word(9),
+                    count: word(17),
+                },
+            )
+        })
+        .collect()
+}
+
 /// A deterministic consistent-hash ring over the brokers of a federation.
 #[derive(Debug, Clone)]
 pub struct ShardRing {
@@ -311,6 +451,111 @@ mod tests {
                 "broker share out of band: {share}"
             );
         }
+    }
+
+    fn random_entries(n: usize, seed: u64) -> Vec<(u64, u64)> {
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        (0..n)
+            .map(|_| {
+                let mut bytes = [0u8; 16];
+                rng.generate(&mut bytes);
+                (
+                    u64::from_be_bytes(bytes[..8].try_into().unwrap()),
+                    u64::from_be_bytes(bytes[8..].try_into().unwrap()),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tree_root_is_insert_order_independent() {
+        let entries = random_entries(500, 0x7EE1);
+        let mut forward = SectionTree::default();
+        let mut backward = SectionTree::default();
+        for (key, hash) in &entries {
+            forward.insert(*key, *hash);
+        }
+        for (key, hash) in entries.iter().rev() {
+            backward.insert(*key, *hash);
+        }
+        assert_eq!(forward.root(), backward.root());
+        assert_eq!(forward.root().count, 500);
+        assert_ne!(forward.root().digest(), SectionTree::default().root().digest());
+    }
+
+    #[test]
+    fn children_compose_to_their_parent_at_every_depth() {
+        let entries = random_entries(300, 0x7EE2);
+        let mut tree = SectionTree::default();
+        for (key, hash) in &entries {
+            tree.insert(*key, *hash);
+        }
+        for depth in 0..REPAIR_TREE_DEPTH {
+            // Spot-check the prefixes actually populated by the entries.
+            for (key, _) in entries.iter().take(20) {
+                let prefix = if depth == 0 { 0 } else { key >> (64 - 4 * depth) };
+                let parent = tree.node(depth, prefix);
+                let children = tree.children(depth, prefix);
+                let xor = children.iter().fold(0u64, |acc, c| acc ^ c.xor);
+                let count: u64 = children.iter().map(|c| c.count).sum();
+                assert_eq!(parent, NodeSummary { xor, count });
+            }
+        }
+    }
+
+    #[test]
+    fn single_divergent_entry_isolates_to_one_child_per_level() {
+        let entries = random_entries(2000, 0x7EE3);
+        let mut a = SectionTree::default();
+        let mut b = SectionTree::default();
+        for (key, hash) in &entries {
+            a.insert(*key, *hash);
+            b.insert(*key, *hash);
+        }
+        let (extra_key, extra_hash) = (0x1234_5678_9abc_def0u64, 0xfeed);
+        a.insert(extra_key, extra_hash);
+        let mut prefix = 0u64;
+        for depth in 0..REPAIR_TREE_DEPTH {
+            let ours = a.children(depth, prefix);
+            let theirs = b.children(depth, prefix);
+            let divergent: Vec<usize> =
+                (0..REPAIR_TREE_ARITY).filter(|i| ours[*i] != theirs[*i]).collect();
+            assert_eq!(divergent.len(), 1, "depth {depth}");
+            prefix = (prefix << 4) | divergent[0] as u64;
+        }
+        let (lo, hi) = node_range(REPAIR_TREE_DEPTH, prefix);
+        assert!((lo..=hi).contains(&extra_key));
+    }
+
+    #[test]
+    fn node_ranges_tile_the_parent_range() {
+        for (depth, prefix) in [(0u32, 0u64), (1, 3), (2, 0x2a), (REPAIR_TREE_DEPTH - 1, 7)] {
+            let (lo, hi) = node_range(depth, prefix);
+            let mut next = lo;
+            for child in 0..REPAIR_TREE_ARITY as u64 {
+                let (child_lo, child_hi) = node_range(depth + 1, (prefix << 4) | child);
+                assert_eq!(child_lo, next);
+                next = child_hi.wrapping_add(1);
+            }
+            assert_eq!(next, hi.wrapping_add(1));
+        }
+        assert_eq!(node_range(0, 0), (0, u64::MAX));
+    }
+
+    #[test]
+    fn node_records_roundtrip_and_tolerate_truncation() {
+        let mut blob = Vec::new();
+        let summary = NodeSummary { xor: 0xabcd, count: 42 };
+        encode_node(&mut blob, 3, 0x123, summary);
+        encode_node(&mut blob, 5, 0xf_ffff, NodeSummary::default());
+        assert_eq!(blob.len(), 2 * NODE_RECORD_BYTES);
+        let decoded = decode_nodes(&blob);
+        assert_eq!(decoded.len(), 2);
+        assert_eq!(decoded[0], (3, 0x123, summary));
+        assert_eq!(decoded[1].2, NodeSummary::default());
+        // A truncated trailing record is dropped, not misparsed.
+        blob.truncate(2 * NODE_RECORD_BYTES - 1);
+        assert_eq!(decode_nodes(&blob).len(), 1);
     }
 
     #[test]
