@@ -44,9 +44,16 @@ use std::sync::Arc;
 // ----------------------------------------------------------------------
 
 /// A passive adversary that records every payload it sees.
-#[derive(Default)]
 pub struct Eavesdropper {
     captured: Mutex<Vec<Vec<u8>>>,
+}
+
+impl Default for Eavesdropper {
+    fn default() -> Self {
+        Eavesdropper {
+            captured: Mutex::with_class("attacks.captured", Vec::new()),
+        }
+    }
 }
 
 impl Eavesdropper {
@@ -106,7 +113,7 @@ impl LoginReplayAttacker {
     pub fn new(kind: MessageKind) -> Arc<Self> {
         Arc::new(LoginReplayAttacker {
             kind,
-            captured: Mutex::new(None),
+            captured: Mutex::with_class("attacks.captured", None),
         })
     }
 
@@ -173,7 +180,7 @@ impl InterBrokerReplayAttacker {
         Arc::new(InterBrokerReplayAttacker {
             edge: (from, to),
             kind,
-            captured: Mutex::new(None),
+            captured: Mutex::with_class("attacks.captured", None),
         })
     }
 
@@ -240,7 +247,7 @@ impl EdgeAdversary {
         Arc::new(EdgeAdversary {
             edge: (from, to),
             behavior: EdgeBehavior::Redirect(rogue),
-            intercepted: Mutex::new(0),
+            intercepted: Mutex::with_class("attacks.intercepted", 0),
         })
     }
 
@@ -249,7 +256,7 @@ impl EdgeAdversary {
         Arc::new(EdgeAdversary {
             edge: (from, to),
             behavior: EdgeBehavior::Tamper,
-            intercepted: Mutex::new(0),
+            intercepted: Mutex::with_class("attacks.intercepted", 0),
         })
     }
 
@@ -258,7 +265,7 @@ impl EdgeAdversary {
         Arc::new(EdgeAdversary {
             edge: (from, to),
             behavior: EdgeBehavior::Drop,
-            intercepted: Mutex::new(0),
+            intercepted: Mutex::with_class("attacks.intercepted", 0),
         })
     }
 
@@ -350,7 +357,7 @@ impl FakeBroker {
         let fake = Arc::new(FakeBroker {
             identity,
             credential,
-            harvested: Mutex::new(Vec::new()),
+            harvested: Mutex::with_class("attacks.harvested", Vec::new()),
         });
 
         let receiver = network.register(fake.id());
@@ -532,9 +539,9 @@ mod tests {
         let rejected_before = setup.broker_extension().stats().replays_rejected;
         assert!(replayer2.replay(setup.network(), None));
         // Give the broker thread a moment to process the injected message.
-        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        let deadline = jxta_overlay::clock::now() + std::time::Duration::from_secs(2);
         while setup.broker_extension().stats().replays_rejected == rejected_before
-            && std::time::Instant::now() < deadline
+            && jxta_overlay::clock::now() < deadline
         {
             std::thread::sleep(std::time::Duration::from_millis(10));
         }

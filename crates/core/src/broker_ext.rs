@@ -77,7 +77,9 @@ pub fn decode_credential_list(
     }
     let count = u16::from_be_bytes(bytes[..2].try_into().unwrap()) as usize;
     let mut offset = 2usize;
-    let mut credentials = Vec::with_capacity(count);
+    // A forged count must not reserve memory the blob cannot back (each
+    // credential costs at least a 4-byte length prefix).
+    let mut credentials = Vec::with_capacity(count.min(bytes.len() / 4 + 1));
     for _ in 0..count {
         if bytes.len() < offset + 4 {
             return Err(err("truncated credential length"));
@@ -258,7 +260,9 @@ pub fn decode_revocation_lists(bytes: &[u8]) -> Result<Vec<RevocationList>, Over
     }
     let count = u16::from_be_bytes(bytes[..2].try_into().unwrap()) as usize;
     let mut offset = 2usize;
-    let mut lists = Vec::with_capacity(count);
+    // Same guard as decode_credential_list: never trust a wire count to
+    // size an allocation past what the payload can hold.
+    let mut lists = Vec::with_capacity(count.min(bytes.len() / 4 + 1));
     for _ in 0..count {
         if bytes.len() < offset + 4 {
             return Err(err("truncated revocation-list length"));
@@ -297,20 +301,20 @@ impl SecureBrokerExtension {
             identity,
             credential,
             credential_lifetime,
-            sessions: Mutex::new(HashSet::new()),
-            rng: Mutex::new(HmacDrbg::from_seed_u64(rng_seed)),
-            stats: Mutex::new(SecureBrokerStats::default()),
-            peer_credentials: Mutex::new(Vec::new()),
+            sessions: Mutex::with_class("secure.sessions", HashSet::new()),
+            rng: Mutex::with_class("secure.rng", HmacDrbg::from_seed_u64(rng_seed)),
+            stats: Mutex::with_class("secure.stats", SecureBrokerStats::default()),
+            peer_credentials: Mutex::with_class("secure.peer_credentials", Vec::new()),
             now: AtomicU64::new(0),
-            admin_key: Mutex::new(None),
-            revoked_ids: Mutex::new(HashSet::new()),
-            revoked_names: Mutex::new(HashSet::new()),
-            revocation_lists: Mutex::new(Vec::new()),
-            verify_cache: Mutex::new(Some(Arc::new(VerifiedSigCache::default()))),
-            vet_cache: Mutex::new(DigestCache::new(
+            admin_key: Mutex::with_class("secure.admin_key", None),
+            revoked_ids: Mutex::with_class("secure.revoked_ids", HashSet::new()),
+            revoked_names: Mutex::with_class("secure.revoked_names", HashSet::new()),
+            revocation_lists: Mutex::with_class("secure.revocation_lists", Vec::new()),
+            verify_cache: Mutex::with_class("secure.verify_cache", Some(Arc::new(VerifiedSigCache::default()))),
+            vet_cache: Mutex::with_class("secure.vet_cache", DigestCache::new(
                 jxta_crypto::sigcache::DEFAULT_SIG_CACHE_CAPACITY,
             )),
-            chain_cache: Mutex::new(DigestCache::new(
+            chain_cache: Mutex::with_class("secure.chain_cache", DigestCache::new(
                 jxta_crypto::sigcache::DEFAULT_SIG_CACHE_CAPACITY,
             )),
             issuer_epoch: AtomicU64::new(0),
@@ -631,6 +635,7 @@ impl SecureBrokerExtension {
         for client in broker.client_peers() {
             if broker
                 .network()
+                // lint:allow(accounted-send, credential push to an attached client peer)
                 .send(broker.id(), client, push.clone())
                 .is_ok()
             {

@@ -34,7 +34,7 @@ use crate::rsa::RsaPublicKey;
 use crate::sha2::sha256;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use parking_lot::Mutex;
 
 /// Snapshot of a cache's activity counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -152,7 +152,7 @@ impl VerifiedSigCache {
     /// Creates a cache holding at most ~`capacity` verified signatures.
     pub fn new(capacity: usize) -> Self {
         VerifiedSigCache {
-            verified: Mutex::new(DigestCache::new(capacity)),
+            verified: Mutex::with_class("sigcache.verified", DigestCache::new(capacity)),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
         }
@@ -171,7 +171,6 @@ impl VerifiedSigCache {
         if self
             .verified
             .lock()
-            .expect("sig cache poisoned")
             .get(&digest)
             .is_some()
         {
@@ -182,7 +181,6 @@ impl VerifiedSigCache {
         key.verify(message, signature)?;
         self.verified
             .lock()
-            .expect("sig cache poisoned")
             .insert(digest, ());
         Ok(())
     }
@@ -192,7 +190,7 @@ impl VerifiedSigCache {
         SigCacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
-            entries: self.verified.lock().expect("sig cache poisoned").len(),
+            entries: self.verified.lock().len(),
         }
     }
 }

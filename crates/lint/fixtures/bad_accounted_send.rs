@@ -1,0 +1,13 @@
+// Fixture: raw network sends from broker code, bypassing the
+// send_sequenced / send_repair accounting choke points.  Must trip
+// `accounted-send`.
+
+impl Broker {
+    fn gossip_directly(&self, target: PeerId, message: Message) {
+        self.network.send(target, message);
+    }
+
+    fn relay(&self, target: PeerId, message: Message) {
+        self.network().forward(target, message);
+    }
+}

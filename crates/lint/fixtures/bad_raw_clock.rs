@@ -1,0 +1,8 @@
+// Fixture: raw clock reads outside the clock abstraction.  Must trip
+// `raw-clock`.
+
+fn measure(&self) {
+    let started = Instant::now();
+    let wall = std::time::SystemTime::now();
+    self.record(started.elapsed(), wall);
+}

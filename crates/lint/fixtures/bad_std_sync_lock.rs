@@ -1,0 +1,9 @@
+// Fixture: std::sync locks in library code — invisible to the lock-order
+// detector and poisonable.  Must trip `std-sync-lock`.
+
+use std::sync::{Arc, Mutex};
+
+struct Cache {
+    entries: Mutex<Vec<u64>>,
+    index: std::sync::RwLock<u64>,
+}

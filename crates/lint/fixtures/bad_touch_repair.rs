@@ -1,0 +1,14 @@
+// Fixture: mutates repair-tracked broker state without invalidating the
+// cached hash trees.  Scanned as if it were broker.rs; must trip
+// `touch-repair`.
+
+impl Broker {
+    fn adopt_session(&self, peer: PeerId, session: PeerSession) {
+        self.sessions.write().insert(peer, session);
+        self.peer_homes.write().insert(peer, self.id);
+    }
+
+    fn forget_group(&self, peer: PeerId) {
+        self.groups.leave_all(peer);
+    }
+}

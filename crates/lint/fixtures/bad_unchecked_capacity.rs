@@ -1,0 +1,14 @@
+// Fixture: allocations sized by wire-decoded integers with no clamp — a
+// hostile peer controls the count.  Must trip `unchecked-capacity`.
+
+fn decode_list(bytes: &[u8]) -> Vec<Entry> {
+    let count = u32::from_be_bytes([bytes[0], bytes[1], bytes[2], bytes[3]]) as usize;
+    let mut out = Vec::with_capacity(count);
+    out
+}
+
+fn decode_text(body: &str) -> Vec<String> {
+    let n: usize = body.lines().next().unwrap().parse().unwrap_or(0);
+    let total = n * 2;
+    Vec::with_capacity(total)
+}

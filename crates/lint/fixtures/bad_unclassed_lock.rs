@@ -1,0 +1,9 @@
+// Fixture: parking_lot locks constructed without a lock class — the
+// lock-order detector cannot name them.  Must trip `unclassed-lock`.
+
+fn build_state() -> State {
+    State {
+        peers: Mutex::new(Vec::new()),
+        routes: RwLock::new(HashMap::new()),
+    }
+}

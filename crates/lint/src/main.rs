@@ -1,0 +1,106 @@
+//! `jxta-lint`: scan the workspace's library crates for project-invariant
+//! violations and exit nonzero if any are found.  Run from anywhere inside
+//! the workspace; CI runs it as `cargo run -p jxta-lint`.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let root = match workspace_root() {
+        Some(root) => root,
+        None => {
+            eprintln!("jxta-lint: could not locate the workspace root");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    match std::fs::read_dir(&crates_dir) {
+        Ok(entries) => {
+            for entry in entries.flatten() {
+                let path = entry.path();
+                // The lint crate itself is exempt: its sources and fixtures
+                // carry the banned patterns as data.
+                if path.file_name().is_some_and(|n| n == "lint") {
+                    continue;
+                }
+                collect_rs(&path.join("src"), &mut files);
+            }
+        }
+        Err(err) => {
+            eprintln!("jxta-lint: cannot read {}: {}", crates_dir.display(), err);
+            return ExitCode::FAILURE;
+        }
+    }
+    files.sort();
+
+    let mut violations = Vec::new();
+    let mut scanned = 0usize;
+    for file in &files {
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(err) => {
+                eprintln!("jxta-lint: cannot read {}: {}", file.display(), err);
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = file
+            .strip_prefix(&root)
+            .unwrap_or(file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        violations.extend(jxta_lint::scan_source(&rel, &source));
+        scanned += 1;
+    }
+
+    for v in &violations {
+        println!("{}", v);
+    }
+    if violations.is_empty() {
+        println!("jxta-lint: {} files clean", scanned);
+        ExitCode::SUCCESS
+    } else {
+        println!(
+            "jxta-lint: {} violation(s) in {} files scanned",
+            violations.len(),
+            scanned
+        );
+        println!("suppress a deliberate exception with: // lint:allow(<rule>, <reason>)");
+        ExitCode::FAILURE
+    }
+}
+
+/// Walk up from the current directory to the `[workspace]` Cargo.toml,
+/// falling back to the location baked in at compile time.
+fn workspace_root() -> Option<PathBuf> {
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            let manifest = dir.join("Cargo.toml");
+            if let Ok(text) = std::fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir);
+                }
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    let baked = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    baked.canonicalize().ok()
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}

@@ -502,26 +502,26 @@ impl Broker {
             network,
             database,
             groups: GroupRegistry::new(),
-            advertisements: RwLock::new(HashMap::new()),
-            connected: RwLock::new(HashMap::new()),
-            sessions: RwLock::new(HashMap::new()),
-            displaced: RwLock::new(HashMap::new()),
-            extension: RwLock::new(None),
-            peer_brokers: RwLock::new(Vec::new()),
-            peer_homes: RwLock::new(HashMap::new()),
-            peer_versions: RwLock::new(HashMap::new()),
-            membership_versions: RwLock::new(HashMap::new()),
+            advertisements: RwLock::with_class("broker.advertisements", HashMap::new()),
+            connected: RwLock::with_class("broker.connected", HashMap::new()),
+            sessions: RwLock::with_class("broker.sessions", HashMap::new()),
+            displaced: RwLock::with_class("broker.displaced", HashMap::new()),
+            extension: RwLock::with_class("broker.extension", None),
+            peer_brokers: RwLock::with_class("broker.peer_brokers", Vec::new()),
+            peer_homes: RwLock::with_class("broker.peer_homes", HashMap::new()),
+            peer_versions: RwLock::with_class("broker.peer_versions", HashMap::new()),
+            membership_versions: RwLock::with_class("broker.membership_versions", HashMap::new()),
             sync_seq: AtomicU64::new(0),
-            send_lock: Mutex::new(()),
-            seen_seq: RwLock::new(HashMap::new()),
+            send_lock: Mutex::with_class("broker.send_lock", ()),
+            seen_seq: RwLock::with_class("broker.seen_seq", HashMap::new()),
             federation: FederationMetrics::new(),
             pipeline: PipelineMetrics::new(),
-            ring: RwLock::new(ring),
-            outbox: Mutex::new(BTreeMap::new()),
-            pending_lookups: Mutex::new(HashMap::new()),
+            ring: RwLock::with_class("broker.ring", ring),
+            outbox: Mutex::with_class("broker.outbox", BTreeMap::new()),
+            pending_lookups: Mutex::with_class("broker.pending_lookups", HashMap::new()),
             next_query: AtomicU64::new(1),
             processed: AtomicU64::new(0),
-            repair_trees: Mutex::new(RepairTreeCache::default()),
+            repair_trees: Mutex::with_class("broker.repair_trees", RepairTreeCache::default()),
             repair_epoch: AtomicU64::new(0),
         })
     }
@@ -824,10 +824,13 @@ impl Broker {
     }
 
     /// Records the provenance version of a stored membership entry.
+    /// Bumps the repair epoch itself: a caller cannot forget and serve a
+    /// stale membership tree (over-bumping is O(1) and harmless).
     fn stamp_membership(&self, group: &GroupId, member: PeerId, version: PresenceVersion) {
         self.membership_versions
             .write()
             .insert((group.clone(), member), version);
+        self.touch_repair_state();
     }
 
     /// Drops every membership provenance stamp of `peer` (paired with the
@@ -836,6 +839,7 @@ impl Broker {
         self.membership_versions
             .write()
             .retain(|(_, member), _| member != peer);
+        self.touch_repair_state();
     }
 
     /// The provenance version of a stored membership entry (falling back to
@@ -876,6 +880,9 @@ impl Broker {
         }
         self.sessions.write().remove(&peer);
         self.connected.write().remove(&peer);
+        // The sessions map shapes the membership-filter side of the repair
+        // trees; bump here so the yield itself can never serve stale digests.
+        self.touch_repair_state();
         false
     }
 
@@ -899,6 +906,7 @@ impl Broker {
             return true;
         }
         self.connected.write().remove(&peer);
+        self.touch_repair_state();
         false
     }
 
@@ -1075,6 +1083,7 @@ impl Broker {
                 .with_str("group", group.as_str())
                 .with_str("doc-type", doc_type)
                 .with_str("xml", xml);
+            // lint:allow(accounted-send, client-facing push to a locally attached member)
             if self.network.send(self.id, member, push.to_bytes()).is_ok() {
                 pushed += 1;
             }
@@ -1106,6 +1115,7 @@ impl Broker {
         let bytes = message.to_bytes();
         let size = bytes.len();
         self.network
+            // lint:allow(accounted-send, the sequencing choke point itself)
             .forward(self.id, to, bytes, carried_wire)
             .ok()
             .map(|_| size)
@@ -2323,9 +2333,12 @@ impl Broker {
         if let (Some(m_count), Some(presence)) = (count("m-count"), presence.as_ref()) {
             let sender_versions: HashMap<PeerId, PresenceVersion> =
                 presence.iter().map(|(peer, version, _)| (*peer, *version)).collect();
+            // A forged m-count must not reserve memory the message cannot
+            // back: each membership entry occupies at least five elements.
+            let m_cap = m_count.min(message.element_count() / 5 + 1);
             let mut sender_members: std::collections::HashSet<(GroupId, PeerId)> =
-                std::collections::HashSet::with_capacity(m_count);
-            let mut additions = Vec::with_capacity(m_count);
+                std::collections::HashSet::with_capacity(m_cap);
+            let mut additions = Vec::with_capacity(m_cap);
             for i in 0..m_count {
                 let (Some(group), Some(member), Some(seq), Some(rank), Some(vorigin)) = (
                     text(&format!("m{i}-group")),
@@ -2452,6 +2465,7 @@ impl Broker {
         };
 
         if self.sessions.read().contains_key(&dest) {
+            // lint:allow(accounted-send, relay leaf delivery to a locally attached peer)
             return match self.network.forward(self.id, dest, payload.to_vec(), carried_wire) {
                 Ok(_) => {
                     self.federation.count_relay_delivered();
@@ -2516,6 +2530,7 @@ impl Broker {
             self.federation.count_relay_failed();
             return;
         }
+        // lint:allow(accounted-send, relay leaf delivery to a locally attached peer)
         match self.network.forward(self.id, dest, payload.to_vec(), carried_wire) {
             Ok(_) => self.federation.count_relay_delivered(),
             Err(_) => self.federation.count_relay_failed(),
@@ -2683,11 +2698,17 @@ impl Broker {
         // ingress/dispatcher threads this costs two short critical sections
         // instead of two channel handoffs per message, and the batching
         // amortises both locks when the inbox runs deep.
-        let ingress = Arc::new(Mutex::new(PipelineIngress { receiver, ticket: 0 }));
-        let router = Arc::new(Mutex::new(PipelineRouter {
-            next_ticket: 1,
-            reorder: BTreeMap::new(),
-        }));
+        let ingress = Arc::new(Mutex::with_class(
+            "pipeline.ingress",
+            PipelineIngress { receiver, ticket: 0 },
+        ));
+        let router = Arc::new(Mutex::with_class(
+            "pipeline.router",
+            PipelineRouter {
+                next_ticket: 1,
+                reorder: BTreeMap::new(),
+            },
+        ));
         let lane_txs = Arc::new(lane_txs);
         let lane_busy = Arc::new(lane_busy);
         // A single-core host cannot run lanes concurrently with the router;
@@ -2947,6 +2968,7 @@ impl Broker {
         if let Some(response) = response {
             let _ = self
                 .network
+                // lint:allow(accounted-send, direct response to the requesting peer)
                 .send(self.id, net_message.from, response.to_bytes());
         }
         // Only now — with every side effect applied and sent — does this
@@ -3446,6 +3468,7 @@ impl Broker {
                 .collect();
             self.lookup_response(state.client_request, results)
         };
+        // lint:allow(accounted-send, lookup response to the requesting client)
         let _ = self.network.send(self.id, state.client, response.to_bytes());
     }
 }
@@ -3532,6 +3555,98 @@ mod tests {
             .with_str("username", username)
             .with_str("password", password);
         broker.handle_message(&login).unwrap()
+    }
+
+    /// Every membership/session mutation primitive must bump the repair
+    /// epoch on its own: PR 8's lint demands `touch_repair_state` at each
+    /// mutation site, and pushing the bump *into* the primitives makes the
+    /// stale-tree-digest bug (a forgetful future caller serving old section
+    /// digests forever) structurally impossible.
+    #[test]
+    fn mutation_primitives_bump_the_repair_epoch() {
+        let (_net, _db, broker, mut rng) = setup();
+        let peer = PeerId::random(&mut rng);
+        let origin = PeerId::random(&mut rng);
+        let group = GroupId::new("math");
+        let epoch = |b: &Broker| b.repair_epoch.load(Ordering::Acquire);
+
+        let before = epoch(&broker);
+        broker.stamp_membership(&group, peer, (1, PRESENCE_JOIN, origin));
+        assert!(epoch(&broker) > before, "stamp_membership must touch");
+
+        let before = epoch(&broker);
+        broker.forget_membership_stamps(&peer);
+        assert!(epoch(&broker) > before, "forget_membership_stamps must touch");
+
+        // An all-zero origin orders below any random broker id, forcing the
+        // yield (non-re-assert) branch — the path that had no touch of its
+        // own before this PR.
+        connect_and_login(&broker, peer, "alice", "pw-a");
+        let low_origin = PeerId::from_bytes([0u8; 16]);
+        let before = epoch(&broker);
+        assert!(!broker.yield_to_remote_join(peer, low_origin));
+        assert!(epoch(&broker) > before, "yield_to_remote_join must touch");
+
+        // A peer with neither session nor shadow hits absorb's fall-through
+        // branch, the other previously-uncovered path.
+        let stranger = PeerId::random(&mut rng);
+        let before = epoch(&broker);
+        assert!(!broker.absorb_remote_leave(stranger));
+        assert!(epoch(&broker) > before, "absorb_remote_leave must touch");
+        let _ = origin;
+    }
+
+    /// The digest-level regression: prime the cached membership tree, then
+    /// mutate through a primitive alone (exactly what a caller that forgot
+    /// its own `touch_repair_state` would do) and verify the next tree is
+    /// rebuilt rather than served stale.
+    #[test]
+    fn repair_tree_never_serves_stale_digests_after_primitive_mutation() {
+        let (_net, _db, broker, mut rng) = setup();
+        let peer = PeerId::random(&mut rng);
+        connect_and_login(&broker, peer, "alice", "pw-a");
+        let own_id = broker.id();
+        let primed = broker.repair_section_tree('m', &own_id).root().digest();
+        // Re-reading without a mutation serves the cached tree.
+        assert_eq!(
+            broker.repair_section_tree('m', &own_id).root().digest(),
+            primed
+        );
+        // A leave applied through the primitive alone must invalidate it.
+        broker.groups.leave_all(&peer);
+        broker.forget_membership_stamps(&peer);
+        let healed = broker.repair_section_tree('m', &own_id).root().digest();
+        assert_ne!(healed, primed, "membership tree digest served stale");
+    }
+
+    /// End-to-end sanity that the lock-order detector is live inside broker
+    /// machinery: a normal workload populates the acquisition-order graph
+    /// with broker lock classes and records no violations.
+    #[test]
+    fn lock_order_detector_observes_broker_classes() {
+        let (_net, _db, broker, mut rng) = setup();
+        let peer = PeerId::random(&mut rng);
+        connect_and_login(&broker, peer, "alice", "pw-a");
+        let publish = Message::new(MessageKind::PublishAdvertisement, peer, 3)
+            .with_str("group", "math")
+            .with_str("doc-type", "jxta:PipeAdvertisement")
+            .with_str("xml", "<adv/>");
+        broker.handle_message(&publish).unwrap();
+        let edges = parking_lot::lock_order::graph_edges();
+        assert!(
+            edges
+                .iter()
+                .any(|(held, _)| held.starts_with("broker.")
+                    || held.starts_with("groups.")
+                    || held.starts_with("database.")),
+            "no broker lock classes in the order graph: {edges:?}"
+        );
+        assert!(
+            parking_lot::lock_order::violations()
+                .iter()
+                .all(|v| v.held.starts_with("test.")),
+            "broker workload produced lock-order violations"
+        );
     }
 
     #[test]

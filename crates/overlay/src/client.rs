@@ -35,7 +35,7 @@ use crossbeam::channel::Receiver;
 use rand::RngCore;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 /// Configuration of a client peer.
 #[derive(Debug, Clone)]
@@ -257,10 +257,10 @@ impl ClientPeer {
     ) -> Result<Message, OverlayError> {
         let request_id = message.request_id;
         self.send_message(to, message)?;
-        let deadline = Instant::now() + self.config.request_timeout;
+        let deadline = crate::clock::Deadline::after(self.config.request_timeout);
         loop {
             let remaining = deadline
-                .checked_duration_since(Instant::now())
+                .remaining()
                 .ok_or_else(|| OverlayError::Timeout {
                     operation: format!("{expected:?}"),
                 })?;
@@ -339,12 +339,12 @@ impl ClientPeer {
 
     /// Blocks until at least one event is available or the timeout expires.
     pub fn wait_for_event(&mut self, timeout: Duration) -> Option<ClientEvent> {
-        let deadline = Instant::now() + timeout;
+        let deadline = crate::clock::Deadline::after(timeout);
         loop {
             if let Some(event) = self.pending.pop_front() {
                 return Some(event);
             }
-            let remaining = deadline.checked_duration_since(Instant::now())?;
+            let remaining = deadline.remaining()?;
             match self.inbox.recv_timeout(remaining) {
                 Ok(net_message) => {
                     self.wire.add(net_message.wire_time);
@@ -497,7 +497,9 @@ impl ClientPeer {
             .element_str("count")
             .and_then(|c| c.parse().ok())
             .unwrap_or(0);
-        let mut results = Vec::with_capacity(count);
+        // The count is broker-asserted text: cap the pre-allocation by the
+        // elements the response actually carries.
+        let mut results = Vec::with_capacity(count.min(response.element_count()));
         for i in 0..count {
             if let Some(xml) = response.element_str(&format!("adv-{i}")) {
                 results.push(xml);

@@ -23,7 +23,7 @@ struct UserRecord {
 }
 
 /// The central database of end users, accessed only by brokers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct UserDatabase {
     users: RwLock<HashMap<String, UserRecord>>,
 }
@@ -33,6 +33,14 @@ fn hash_password(salt: &[u8; 16], password: &str) -> [u8; 32] {
     h.update(salt);
     h.update(password.as_bytes());
     h.finalize()
+}
+
+impl Default for UserDatabase {
+    fn default() -> Self {
+        UserDatabase {
+            users: RwLock::with_class("database.users", HashMap::new()),
+        }
+    }
 }
 
 impl UserDatabase {

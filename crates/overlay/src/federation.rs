@@ -236,7 +236,7 @@ impl BrokerNetwork {
         assert!(!brokers.is_empty(), "a federation needs at least one broker");
         interconnect(&brokers);
         let handles: Vec<BrokerHandle> = brokers.iter().map(|broker| broker.spawn()).collect();
-        let brokers = Arc::new(parking_lot::RwLock::new(brokers));
+        let brokers = Arc::new(parking_lot::RwLock::with_class("federation.brokers", brokers));
         let repair = interval.map(|interval| {
             let (shutdown_tx, shutdown_rx) = crossbeam::channel::bounded::<()>(1);
             let brokers = Arc::clone(&brokers);
@@ -252,7 +252,7 @@ impl BrokerNetwork {
                     while let Err(crossbeam::channel::RecvTimeoutError::Timeout) =
                         shutdown_rx.recv_timeout(tick)
                     {
-                        let now = Instant::now();
+                        let now = crate::clock::now();
                         let current: Vec<Arc<Broker>> = brokers.read().clone();
                         for broker in &current {
                             let id = broker.id();
@@ -358,8 +358,8 @@ impl BrokerNetwork {
         }
         // Let the departure gossip drain while the leaver is still a peer:
         // poll until every survivor has processed everything delivered to it.
-        let deadline = Instant::now() + Duration::from_millis(500);
-        while Instant::now() < deadline {
+        let deadline = crate::clock::now() + Duration::from_millis(500);
+        while crate::clock::now() < deadline {
             let drained = self.brokers.read().iter().all(|broker| {
                 broker.processed_count() == broker.network().delivered_to(&broker.id())
             });
@@ -443,12 +443,12 @@ impl BrokerNetwork {
     /// Polls until the brokers converge or the timeout expires.  Returns
     /// `true` on convergence.
     pub fn await_convergence(&self, timeout: Duration) -> bool {
-        let deadline = Instant::now() + timeout;
+        let deadline = crate::clock::now() + timeout;
         loop {
             if self.converged() {
                 return true;
             }
-            if Instant::now() >= deadline {
+            if crate::clock::now() >= deadline {
                 return false;
             }
             std::thread::sleep(Duration::from_millis(2));
@@ -927,9 +927,9 @@ mod tests {
         ));
         // The delivery to bob and the destination broker's counter update
         // are not ordered with respect to each other; poll briefly.
-        let deadline = Instant::now() + Duration::from_secs(2);
+        let deadline = crate::clock::now() + Duration::from_secs(2);
         while federation.broker(1).federation_stats().relays_delivered == 0
-            && Instant::now() < deadline
+            && crate::clock::now() < deadline
         {
             std::thread::sleep(Duration::from_millis(2));
         }
@@ -1509,8 +1509,8 @@ mod tests {
             .broker(0)
             .index_and_distribute(alice, &GroupId::new("math"), "jxta:PipeAdvertisement", "<a/>");
         // Let the (partially dropped) gossip drain before lifting the drops.
-        let deadline = Instant::now() + Duration::from_secs(2);
-        while Instant::now() < deadline {
+        let deadline = crate::clock::now() + Duration::from_secs(2);
+        while crate::clock::now() < deadline {
             let drained = all.iter().all(|broker| {
                 broker.processed_count() == net.delivered_to(&broker.id())
             });

@@ -45,9 +45,17 @@ impl From<String> for GroupId {
 
 /// Thread-safe registry of groups and their current members, maintained by
 /// brokers.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct GroupRegistry {
     groups: RwLock<HashMap<GroupId, HashSet<PeerId>>>,
+}
+
+impl Default for GroupRegistry {
+    fn default() -> Self {
+        GroupRegistry {
+            groups: RwLock::with_class("groups.members", HashMap::new()),
+        }
+    }
 }
 
 impl GroupRegistry {

@@ -49,6 +49,7 @@
 pub mod advertisement;
 pub mod broker;
 pub mod client;
+pub mod clock;
 pub mod database;
 pub mod error;
 pub mod federation;

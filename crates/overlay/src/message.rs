@@ -191,6 +191,13 @@ impl Message {
         ElementIndex::new(self)
     }
 
+    /// Number of elements this message carries.  Bulk decoders use it to cap
+    /// allocations sized by a count that arrived on the wire: entries cannot
+    /// outnumber the elements that encode them.
+    pub fn element_count(&self) -> usize {
+        self.elements.len()
+    }
+
     /// Looks up an element and decodes it as UTF-8.
     pub fn element_str(&self, name: &str) -> Option<String> {
         self.element(name)

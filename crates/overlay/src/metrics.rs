@@ -90,7 +90,7 @@ impl Stopwatch {
     /// Starts a new stopwatch.
     pub fn start() -> Self {
         Stopwatch {
-            start: Instant::now(),
+            start: crate::clock::now(),
         }
     }
 
@@ -102,7 +102,7 @@ impl Stopwatch {
     /// Restarts the stopwatch and returns the time elapsed up to now.
     pub fn lap(&mut self) -> Duration {
         let elapsed = self.start.elapsed();
-        self.start = Instant::now();
+        self.start = crate::clock::now();
         elapsed
     }
 }
@@ -114,9 +114,17 @@ impl Default for Stopwatch {
 }
 
 /// Thread-safe accumulator for virtual wire time.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct WireTimeAccumulator {
     total: Mutex<Duration>,
+}
+
+impl Default for WireTimeAccumulator {
+    fn default() -> Self {
+        WireTimeAccumulator {
+            total: Mutex::with_class("metrics.wire_time", Duration::ZERO),
+        }
+    }
 }
 
 impl WireTimeAccumulator {
@@ -201,7 +209,7 @@ impl Default for PipelineMetrics {
             reorder_waits: AtomicU64::new(0),
             barriers_applied: AtomicU64::new(0),
             barrier_drains: AtomicU64::new(0),
-            lane_counters: Mutex::new(std::sync::Arc::from(Vec::new())),
+            lane_counters: Mutex::with_class("metrics.lane_counters", std::sync::Arc::from(Vec::new())),
         }
     }
 }

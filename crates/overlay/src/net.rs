@@ -157,9 +157,9 @@ impl RandomDrop {
     pub fn new(seed: u64, percent: u32) -> Arc<Self> {
         Arc::new(RandomDrop {
             percent: percent.min(100),
-            state: Mutex::new(seed),
+            state: Mutex::with_class("net.randomdrop.state", seed),
             scope: None,
-            dropped: Mutex::new(0),
+            dropped: Mutex::with_class("net.randomdrop.dropped", 0),
         })
     }
 
@@ -168,9 +168,9 @@ impl RandomDrop {
     pub fn between(seed: u64, percent: u32, peers: Vec<PeerId>) -> Arc<Self> {
         Arc::new(RandomDrop {
             percent: percent.min(100),
-            state: Mutex::new(seed),
+            state: Mutex::with_class("net.randomdrop.state", seed),
             scope: Some(peers),
-            dropped: Mutex::new(0),
+            dropped: Mutex::with_class("net.randomdrop.dropped", 0),
         })
     }
 
@@ -254,14 +254,14 @@ impl SimNetwork {
     /// Creates a network with the given link model.
     pub fn new(link: LinkModel) -> Arc<Self> {
         Arc::new(SimNetwork {
-            endpoints: RwLock::new(HashMap::new()),
+            endpoints: RwLock::with_class("net.endpoints", HashMap::new()),
             link,
-            link_overrides: RwLock::new(HashMap::new()),
-            adversary: RwLock::new(None),
-            stats: Mutex::new(NetStats::default()),
-            backpressure_timeout: Mutex::new(DEFAULT_BACKPRESSURE_TIMEOUT),
-            delivered: Mutex::new(HashMap::new()),
-            shed: Mutex::new(HashMap::new()),
+            link_overrides: RwLock::with_class("net.link_overrides", HashMap::new()),
+            adversary: RwLock::with_class("net.adversary", None),
+            stats: Mutex::with_class("net.stats", NetStats::default()),
+            backpressure_timeout: Mutex::with_class("net.backpressure_timeout", DEFAULT_BACKPRESSURE_TIMEOUT),
+            delivered: Mutex::with_class("net.delivered", HashMap::new()),
+            shed: Mutex::with_class("net.shed", HashMap::new()),
         })
     }
 

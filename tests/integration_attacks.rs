@@ -10,7 +10,8 @@ use jxta_overlay_secure::attacks::{
     RedirectToFakeBroker,
 };
 use jxta_overlay_secure::setup::SecureNetworkBuilder;
-use std::time::{Duration, Instant};
+use jxta_overlay::clock::Deadline;
+use std::time::Duration;
 
 fn setup(seed: u64) -> jxta_overlay_secure::setup::SecureNetwork {
     SecureNetworkBuilder::new(seed)
@@ -56,9 +57,9 @@ fn secure_login_replay_is_rejected_by_the_broker() {
 
     let rejected_before = world.broker_extension().stats().replays_rejected;
     assert!(replayer.replay(world.network(), None));
-    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+    let deadline = Deadline::after(std::time::Duration::from_secs(2));
     while world.broker_extension().stats().replays_rejected == rejected_before
-        && std::time::Instant::now() < deadline
+        && !deadline.expired()
     {
         std::thread::sleep(std::time::Duration::from_millis(5));
     }
@@ -103,12 +104,12 @@ fn federated_setup(seed: u64) -> jxta_overlay_secure::setup::SecureNetwork {
 
 /// Polls `condition` until it holds or two seconds elapse.
 fn eventually(mut condition: impl FnMut() -> bool) -> bool {
-    let deadline = Instant::now() + Duration::from_secs(2);
+    let deadline = Deadline::after(Duration::from_secs(2));
     loop {
         if condition() {
             return true;
         }
-        if Instant::now() >= deadline {
+        if deadline.expired() {
             return false;
         }
         std::thread::sleep(Duration::from_millis(5));

@@ -11,16 +11,17 @@ use jxta_overlay::net::LinkModel;
 use jxta_overlay::GroupId;
 use jxta_overlay_secure::secure_client::{ReceivedSecureMessage, SecureClient};
 use jxta_overlay_secure::setup::{SecureNetwork, SecureNetworkBuilder};
-use std::time::{Duration, Instant};
+use jxta_overlay::clock::Deadline;
+use std::time::Duration;
 
 /// Drains the client's secure inbox, polling until at least one message
 /// arrives or the timeout expires (the final hop of a relayed delivery is
 /// performed asynchronously by the destination's home broker).
 fn receive_relayed(client: &mut SecureClient) -> Vec<ReceivedSecureMessage> {
-    let deadline = Instant::now() + Duration::from_secs(2);
+    let deadline = Deadline::after(Duration::from_secs(2));
     loop {
         let received = client.receive_secure_messages().unwrap();
-        if !received.is_empty() || Instant::now() >= deadline {
+        if !received.is_empty() || deadline.expired() {
             return received;
         }
         std::thread::sleep(Duration::from_millis(2));
@@ -115,9 +116,9 @@ fn encrypted_message_relays_across_brokers_with_authenticity_intact() {
     );
     // The delivery to bob and broker B's counter update are unordered with
     // respect to each other; poll briefly before asserting.
-    let deadline = Instant::now() + Duration::from_secs(2);
+    let deadline = Deadline::after(Duration::from_secs(2));
     while world.broker_at(1).federation_stats().relays_delivered == 0
-        && Instant::now() < deadline
+        && !deadline.expired()
     {
         std::thread::sleep(Duration::from_millis(2));
     }
@@ -222,12 +223,12 @@ fn relayed_wire_time_charges_every_hop_of_the_backbone() {
 
 /// Polls `condition` until it holds or two seconds elapse.
 fn eventually(mut condition: impl FnMut() -> bool) -> bool {
-    let deadline = Instant::now() + Duration::from_secs(2);
+    let deadline = Deadline::after(Duration::from_secs(2));
     loop {
         if condition() {
             return true;
         }
-        if Instant::now() >= deadline {
+        if deadline.expired() {
             return false;
         }
         std::thread::sleep(Duration::from_millis(5));

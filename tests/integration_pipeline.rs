@@ -33,7 +33,8 @@ use jxta_overlay::net::{LinkModel, NetMessage, RandomDrop, SimNetwork};
 use jxta_overlay::{GroupId, Message, MessageKind, PeerId, UserDatabase};
 use proptest::prelude::*;
 use std::sync::Arc;
-use std::time::{Duration, Instant};
+use jxta_overlay::clock::Deadline;
+use std::time::Duration;
 
 /// One scripted ingress operation: `(kind selector, sender selector, a, b)`.
 type Op = (u8, u8, u8, u8);
@@ -197,11 +198,11 @@ proptest! {
                 let (from, payload) = script_message(op, &clients_b, fake_b, owner_b);
                 net_b.send(from, pipelined_broker.id(), payload).unwrap();
             }
-            let deadline = Instant::now() + Duration::from_secs(10);
+            let deadline = Deadline::after(Duration::from_secs(10));
             while pipelined_broker.processed_count()
                 != net_b.delivered_to(&pipelined_broker.id())
             {
-                prop_assert!(Instant::now() < deadline, "pipelined broker must drain");
+                prop_assert!(!deadline.expired(), "pipelined broker must drain");
                 std::thread::sleep(Duration::from_micros(200));
             }
 
@@ -308,9 +309,9 @@ fn barrier_observes_all_prior_lane_applies() {
     // Every lookup response must carry the round's freshly published XML:
     // the barrier happened-after all its round's lane applies.
     let mut lookups_seen = 0usize;
-    let deadline = Instant::now() + Duration::from_secs(10);
+    let deadline = Deadline::after(Duration::from_secs(10));
     while lookups_seen < ROUNDS {
-        assert!(Instant::now() < deadline, "all lookup responses must arrive");
+        assert!(!deadline.expired(), "all lookup responses must arrive");
         let Ok(net_message) = inbox.recv_timeout(Duration::from_secs(1)) else {
             continue;
         };
@@ -486,13 +487,13 @@ fn secure_stack_runs_end_to_end_on_pipelined_brokers() {
     alice
         .secure_msg_peer_relayed(&group, bob.id(), "pipelined hello")
         .unwrap();
-    let deadline = Instant::now() + Duration::from_secs(2);
+    let deadline = Deadline::after(Duration::from_secs(2));
     loop {
         let received = bob.receive_secure_messages().unwrap();
         if received.iter().any(|m| m.text == "pipelined hello") {
             break;
         }
-        assert!(Instant::now() < deadline, "relayed secure message must arrive");
+        assert!(!deadline.expired(), "relayed secure message must arrive");
         std::thread::yield_now();
     }
 

@@ -13,7 +13,8 @@ use jxta_overlay::shard::ShardRing;
 use jxta_overlay::{GroupId, Message, MessageKind, PeerId};
 use jxta_overlay_secure::secure_client::{ReceivedSecureMessage, SecureClient};
 use jxta_overlay_secure::setup::{SecureNetwork, SecureNetworkBuilder};
-use std::time::{Duration, Instant};
+use jxta_overlay::clock::Deadline;
+use std::time::Duration;
 
 const K: usize = 2;
 const BROKERS: usize = 4;
@@ -32,10 +33,10 @@ fn sharded_setup(seed: u64) -> SecureNetwork {
 /// Drains the client's secure inbox, polling until at least one message
 /// arrives or the timeout expires.
 fn receive_relayed(client: &mut SecureClient) -> Vec<ReceivedSecureMessage> {
-    let deadline = Instant::now() + Duration::from_secs(2);
+    let deadline = Deadline::after(Duration::from_secs(2));
     loop {
         let received = client.receive_secure_messages().unwrap();
-        if !received.is_empty() || Instant::now() >= deadline {
+        if !received.is_empty() || deadline.expired() {
             return received;
         }
         std::thread::sleep(Duration::from_millis(2));
@@ -44,12 +45,12 @@ fn receive_relayed(client: &mut SecureClient) -> Vec<ReceivedSecureMessage> {
 
 /// Polls `condition` until it holds or two seconds elapse.
 fn eventually(mut condition: impl FnMut() -> bool) -> bool {
-    let deadline = Instant::now() + Duration::from_secs(2);
+    let deadline = Deadline::after(Duration::from_secs(2));
     loop {
         if condition() {
             return true;
         }
-        if Instant::now() >= deadline {
+        if deadline.expired() {
             return false;
         }
         std::thread::sleep(Duration::from_millis(5));

@@ -8,6 +8,8 @@
 //! iteration (plus throughput when configured).
 
 #![forbid(unsafe_code)]
+// Benchmark harness: reading the wall clock is the whole point.
+#![allow(clippy::disallowed_methods)]
 
 use std::fmt;
 use std::time::{Duration, Instant};

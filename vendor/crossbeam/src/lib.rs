@@ -9,6 +9,8 @@
 //!   crossbeam-style `Result` return and `spawn(|_| ..)` closure shape.
 
 #![forbid(unsafe_code)]
+// Vendored stand-in: raw std locks and clock reads are its implementation.
+#![allow(clippy::disallowed_methods)]
 
 pub mod channel {
     //! MPMC channels with an API modelled on `crossbeam-channel`.

@@ -1,28 +1,63 @@
-//! Offline stand-in for the `parking_lot` crate.
+//! Offline stand-in for the `parking_lot` crate, instrumented for
+//! lock-order analysis.
 //!
 //! Wraps `std::sync::Mutex` / `std::sync::RwLock` behind parking_lot's
 //! poison-free API (guards are returned directly, a poisoned lock simply
 //! hands back the inner guard since a panic mid-critical-section aborts the
 //! affected test anyway).  Only the surface this workspace uses is provided.
+//!
+//! On top of the stand-in API, every lock can carry a static **class name**
+//! ([`Mutex::with_class`] / [`RwLock::with_class`]); classed locks feed the
+//! debug-build lock-order detector in [`lock_order`], which accumulates a
+//! process-global acquisition-order graph and panics (or reports) on any
+//! cycle — catching *potential* ABBA deadlocks even on schedules that never
+//! actually deadlock.  `jxta-lint` enforces that library code constructs
+//! locks only through `with_class`.
 
 #![forbid(unsafe_code)]
+// This crate *implements* the instrumented locks, so it is the one place
+// allowed to name the raw std primitives the rest of the workspace bans.
+#![allow(clippy::disallowed_methods, clippy::disallowed_types)]
 
 use std::fmt;
-use std::sync::{self, MutexGuard as StdMutexGuard, RwLockReadGuard, RwLockWriteGuard};
+use std::ops::{Deref, DerefMut};
+use std::sync::{self, MutexGuard as StdMutexGuard, RwLockReadGuard as StdRwLockReadGuard, RwLockWriteGuard as StdRwLockWriteGuard};
 
-/// A mutual-exclusion primitive (poison-free facade over `std::sync::Mutex`).
+pub mod lock_order;
+
+use lock_order::Held;
+
+/// A mutual-exclusion primitive (poison-free facade over `std::sync::Mutex`
+/// with optional lock-order instrumentation).
 #[derive(Default)]
 pub struct Mutex<T: ?Sized> {
+    class: Option<&'static str>,
     inner: sync::Mutex<T>,
 }
 
-/// RAII guard returned by [`Mutex::lock`].
-pub type MutexGuard<'a, T> = StdMutexGuard<'a, T>;
+/// RAII guard returned by [`Mutex::lock`]; releases the lock (and its
+/// lock-order held-set entry) on drop.
+pub struct MutexGuard<'a, T: ?Sized> {
+    _held: Held,
+    inner: StdMutexGuard<'a, T>,
+}
 
 impl<T> Mutex<T> {
-    /// Creates a new mutex protecting `value`.
+    /// Creates a new mutex protecting `value`, invisible to the lock-order
+    /// detector.  Library code should prefer [`Mutex::with_class`].
     pub const fn new(value: T) -> Self {
         Mutex {
+            class: None,
+            inner: sync::Mutex::new(value),
+        }
+    }
+
+    /// Creates a new mutex carrying the lock-order class `class`.  Every
+    /// blocking acquisition while other classed locks are held records an
+    /// ordering edge in [`lock_order`]'s global graph (debug builds only).
+    pub const fn with_class(class: &'static str, value: T) -> Self {
+        Mutex {
+            class: Some(class),
             inner: sync::Mutex::new(value),
         }
     }
@@ -37,21 +72,31 @@ impl<T> Mutex<T> {
 }
 
 impl<T: ?Sized> Mutex<T> {
+    /// The lock-order class this mutex was constructed with, if any.
+    pub fn class(&self) -> Option<&'static str> {
+        self.class
+    }
+
     /// Acquires the mutex, blocking until it is available.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        match self.inner.lock() {
+        let held = lock_order::on_acquire(self.class, true);
+        let inner = match self.inner.lock() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
-        }
+        };
+        MutexGuard { _held: held, inner }
     }
 
     /// Attempts to acquire the mutex without blocking.
     pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
-        match self.inner.try_lock() {
-            Ok(guard) => Some(guard),
-            Err(sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_lock() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        // Non-blocking: enters the held set but records no incoming edges.
+        let held = lock_order::on_acquire(self.class, false);
+        Some(MutexGuard { _held: held, inner })
     }
 
     /// Returns a mutable reference to the protected value.
@@ -60,6 +105,25 @@ impl<T: ?Sized> Mutex<T> {
             Ok(v) => v,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+}
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for MutexGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
     }
 }
 
@@ -72,16 +136,43 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for Mutex<T> {
     }
 }
 
-/// A reader-writer lock (poison-free facade over `std::sync::RwLock`).
+/// A reader-writer lock (poison-free facade over `std::sync::RwLock` with
+/// optional lock-order instrumentation).  Readers and writers share one
+/// lock-order class node: a held read lock blocks a writer, so the
+/// conservative merge is exactly what deadlock analysis needs.
 #[derive(Default)]
 pub struct RwLock<T: ?Sized> {
+    class: Option<&'static str>,
     inner: sync::RwLock<T>,
 }
 
+/// RAII guard returned by [`RwLock::read`].
+pub struct RwLockReadGuard<'a, T: ?Sized> {
+    _held: Held,
+    inner: StdRwLockReadGuard<'a, T>,
+}
+
+/// RAII guard returned by [`RwLock::write`].
+pub struct RwLockWriteGuard<'a, T: ?Sized> {
+    _held: Held,
+    inner: StdRwLockWriteGuard<'a, T>,
+}
+
 impl<T> RwLock<T> {
-    /// Creates a new lock protecting `value`.
+    /// Creates a new lock protecting `value`, invisible to the lock-order
+    /// detector.  Library code should prefer [`RwLock::with_class`].
     pub const fn new(value: T) -> Self {
         RwLock {
+            class: None,
+            inner: sync::RwLock::new(value),
+        }
+    }
+
+    /// Creates a new lock carrying the lock-order class `class` (see
+    /// [`Mutex::with_class`]).
+    pub const fn with_class(class: &'static str, value: T) -> Self {
+        RwLock {
+            class: Some(class),
             inner: sync::RwLock::new(value),
         }
     }
@@ -96,38 +187,51 @@ impl<T> RwLock<T> {
 }
 
 impl<T: ?Sized> RwLock<T> {
+    /// The lock-order class this lock was constructed with, if any.
+    pub fn class(&self) -> Option<&'static str> {
+        self.class
+    }
+
     /// Acquires shared read access, blocking until available.
     pub fn read(&self) -> RwLockReadGuard<'_, T> {
-        match self.inner.read() {
+        let held = lock_order::on_acquire(self.class, true);
+        let inner = match self.inner.read() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
-        }
+        };
+        RwLockReadGuard { _held: held, inner }
     }
 
     /// Acquires exclusive write access, blocking until available.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
-        match self.inner.write() {
+        let held = lock_order::on_acquire(self.class, true);
+        let inner = match self.inner.write() {
             Ok(guard) => guard,
             Err(poisoned) => poisoned.into_inner(),
-        }
+        };
+        RwLockWriteGuard { _held: held, inner }
     }
 
     /// Attempts to acquire read access without blocking.
     pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
-        match self.inner.try_read() {
-            Ok(guard) => Some(guard),
-            Err(sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_read() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        let held = lock_order::on_acquire(self.class, false);
+        Some(RwLockReadGuard { _held: held, inner })
     }
 
     /// Attempts to acquire write access without blocking.
     pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
-        match self.inner.try_write() {
-            Ok(guard) => Some(guard),
-            Err(sync::TryLockError::Poisoned(poisoned)) => Some(poisoned.into_inner()),
-            Err(sync::TryLockError::WouldBlock) => None,
-        }
+        let inner = match self.inner.try_write() {
+            Ok(guard) => guard,
+            Err(sync::TryLockError::Poisoned(poisoned)) => poisoned.into_inner(),
+            Err(sync::TryLockError::WouldBlock) => return None,
+        };
+        let held = lock_order::on_acquire(self.class, false);
+        Some(RwLockWriteGuard { _held: held, inner })
     }
 
     /// Returns a mutable reference to the protected value.
@@ -136,6 +240,38 @@ impl<T: ?Sized> RwLock<T> {
             Ok(v) => v,
             Err(poisoned) => poisoned.into_inner(),
         }
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockReadGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockReadGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
+    }
+}
+
+impl<T: ?Sized> Deref for RwLockWriteGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T: ?Sized> DerefMut for RwLockWriteGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLockWriteGuard<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(&**self, f)
     }
 }
 
@@ -150,7 +286,9 @@ impl<T: ?Sized + fmt::Debug> fmt::Debug for RwLock<T> {
 
 #[cfg(test)]
 mod tests {
+    use super::lock_order::{self, CycleMode};
     use super::*;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
 
     #[test]
     fn mutex_roundtrip() {
@@ -165,5 +303,203 @@ mod tests {
         let l = RwLock::new(vec![1]);
         l.write().push(2);
         assert_eq!(l.read().len(), 2);
+    }
+
+    #[test]
+    fn classed_locks_expose_their_class() {
+        let m = Mutex::with_class("test.classed.mutex", 0u8);
+        let l = RwLock::with_class("test.classed.rwlock", 0u8);
+        assert_eq!(m.class(), Some("test.classed.mutex"));
+        assert_eq!(l.class(), Some("test.classed.rwlock"));
+        assert_eq!(Mutex::new(0u8).class(), None);
+    }
+
+    #[test]
+    fn consistent_order_records_edges_without_firing() {
+        let a = Mutex::with_class("test.consistent.a", ());
+        let b = Mutex::with_class("test.consistent.b", ());
+        for _ in 0..3 {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        assert!(lock_order::graph_edges()
+            .contains(&("test.consistent.a", "test.consistent.b")));
+        assert!(!lock_order::violations().iter().any(|v| {
+            v.held.starts_with("test.consistent") || v.acquired.starts_with("test.consistent")
+        }));
+    }
+
+    #[test]
+    fn held_set_tracks_guard_lifetimes() {
+        let a = Mutex::with_class("test.held.a", ());
+        let b = RwLock::with_class("test.held.b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.read();
+            let held = lock_order::held_classes();
+            assert!(held.contains(&"test.held.a"));
+            assert!(held.contains(&"test.held.b"));
+        }
+        let held = lock_order::held_classes();
+        assert!(!held.contains(&"test.held.a"));
+        assert!(!held.contains(&"test.held.b"));
+    }
+
+    /// The seeded ABBA inversion: once `a → b` is on record, acquiring `a`
+    /// while holding `b` fires the detector even though this schedule never
+    /// deadlocks (it is one thread).
+    #[test]
+    fn abba_inversion_panics_in_panic_mode() {
+        let a = Mutex::with_class("test.abba.panic.a", ());
+        let b = Mutex::with_class("test.abba.panic.b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        let _gb = b.lock();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            let _ga = a.lock();
+        }));
+        let message = result
+            .expect_err("ABBA inversion must panic the acquiring thread")
+            .downcast::<String>()
+            .expect("panic payload is the cycle description");
+        assert!(message.contains("lock-order cycle"), "got: {message}");
+        assert!(message.contains("test.abba.panic.a"), "got: {message}");
+        // The offending edge was not committed: the graph stays acyclic and
+        // the correct order still works.
+        drop(_gb);
+        let _ga = a.lock();
+        let _gb2 = b.lock();
+    }
+
+    #[test]
+    fn abba_inversion_reports_in_report_mode() {
+        let a = RwLock::with_class("test.abba.report.a", ());
+        let b = Mutex::with_class("test.abba.report.b", ());
+        {
+            let _ga = a.write();
+            let _gb = b.lock();
+        }
+        lock_order::with_thread_mode(CycleMode::Report, || {
+            let _gb = b.lock();
+            let _ga = a.read();
+        });
+        let violation = lock_order::violations()
+            .into_iter()
+            .find(|v| v.held == "test.abba.report.b")
+            .expect("inversion recorded");
+        assert_eq!(violation.acquired, "test.abba.report.a");
+        assert_eq!(
+            violation.path,
+            vec!["test.abba.report.a", "test.abba.report.b"]
+        );
+    }
+
+    #[test]
+    fn transitive_cycle_through_third_class_is_detected() {
+        let a = Mutex::with_class("test.chain.a", ());
+        let b = Mutex::with_class("test.chain.b", ());
+        let c = Mutex::with_class("test.chain.c", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            let _gb = b.lock();
+            let _gc = c.lock();
+        }
+        lock_order::with_thread_mode(CycleMode::Report, || {
+            let _gc = c.lock();
+            let _ga = a.lock();
+        });
+        let violation = lock_order::violations()
+            .into_iter()
+            .find(|v| v.held == "test.chain.c")
+            .expect("transitive inversion recorded");
+        assert_eq!(violation.acquired, "test.chain.a");
+        assert_eq!(
+            violation.path,
+            vec!["test.chain.a", "test.chain.b", "test.chain.c"]
+        );
+    }
+
+    #[test]
+    fn trusted_edge_suppresses_the_cycle() {
+        let a = Mutex::with_class("test.trusted.a", ());
+        let b = Mutex::with_class("test.trusted.b", ());
+        // Hierarchy note (what a real annotation looks like): a and b are
+        // only ever both taken by the single maintenance thread, so the
+        // inversion cannot deadlock.
+        lock_order::trust_edge("test.trusted.a", "test.trusted.b");
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        let _gb = b.lock();
+        let _ga = a.lock(); // would fire without the trust_edge
+        assert!(!lock_order::violations()
+            .iter()
+            .any(|v| v.held == "test.trusted.b"));
+    }
+
+    #[test]
+    fn paused_detection_ignores_inversions_and_stays_balanced() {
+        let a = Mutex::with_class("pause.a", ());
+        let b = Mutex::with_class("pause.b", ());
+        {
+            let _pause = lock_order::pause_detection();
+            // Inverted orders while paused: invisible, no panic, no edges.
+            let gb = b.lock();
+            let ga = a.lock();
+            drop(gb);
+            // Resume while `ga` (acquired untracked) is still held: its
+            // drop must not unbalance the live held set.
+            drop(_pause);
+            let held = lock_order::held_classes();
+            assert!(
+                !held.contains(&"pause.a") && !held.contains(&"pause.b"),
+                "paused acquisitions must stay invisible: {held:?}"
+            );
+            drop(ga);
+        }
+        let edges = lock_order::graph_edges();
+        assert!(
+            !edges.contains(&("pause.b", "pause.a")),
+            "paused ordering leaked into the graph"
+        );
+        // Tracking is live again: the forward order records normally.
+        let ga = a.lock();
+        let gb = b.lock();
+        drop(gb);
+        drop(ga);
+        assert!(lock_order::graph_edges().contains(&("pause.a", "pause.b")));
+    }
+
+    #[test]
+    fn try_lock_does_not_record_incoming_edges() {
+        let a = Mutex::with_class("test.trylock.a", ());
+        let b = Mutex::with_class("test.trylock.b", ());
+        {
+            let _ga = a.lock();
+            let _gb = b.lock();
+        }
+        {
+            // Reverse order via try_lock: legal, records nothing.
+            let _gb = b.lock();
+            let _ga = a.try_lock().expect("uncontended");
+        }
+        assert!(!lock_order::graph_edges()
+            .contains(&("test.trylock.b", "test.trylock.a")));
+    }
+
+    #[test]
+    fn same_class_nesting_is_not_a_cycle() {
+        let a1 = Mutex::with_class("test.sameclass", 1);
+        let a2 = Mutex::with_class("test.sameclass", 2);
+        let _g1 = a1.lock();
+        let _g2 = a2.lock();
+        assert!(!lock_order::graph_edges()
+            .contains(&("test.sameclass", "test.sameclass")));
     }
 }

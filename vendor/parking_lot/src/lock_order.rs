@@ -1,0 +1,440 @@
+//! Dynamic lock-order (ABBA) detection for the instrumented locks.
+//!
+//! Every [`crate::Mutex`]/[`crate::RwLock`] constructed through
+//! `with_class` carries a static **lock class** name.  In debug builds
+//! (`cfg(debug_assertions)` — which includes `cargo test`) each thread
+//! tracks the multiset of classed locks it currently holds, and every
+//! *blocking* acquisition records `held-class → acquired-class` edges into a
+//! process-global acquisition-order graph.  The graph accumulates across the
+//! whole process lifetime, so an inversion is caught as soon as both orders
+//! have *ever* been exercised — even when the interleaving that would
+//! actually deadlock never happens on this run.
+//!
+//! On detecting a cycle the registry either panics (the default — a test
+//! run fails loudly) or records a [`CycleReport`] for later inspection
+//! ([`violations`]), selectable globally with [`set_cycle_mode`] or for one
+//! closure with [`with_thread_mode`] (used by the seeded-inversion tests so
+//! an intentional cycle on one thread cannot flip another thread's mode).
+//!
+//! Deliberate limitations, chosen to keep the checker false-positive free:
+//!
+//! * `try_lock`/`try_read`/`try_write` push the lock onto the held set but
+//!   record no incoming edges — a non-blocking acquisition cannot deadlock,
+//!   while *holding* its lock across a later blocking acquisition still
+//!   must order correctly (that later acquisition records the edge).
+//! * Same-class nesting (two locks of one class held together, e.g. two
+//!   apply lanes) is not treated as a cycle; ordering *within* a class is
+//!   the owner's responsibility and is documented per class.
+//! * `RwLock` readers and writers share the class node — conservative, and
+//!   exactly what the deadlock analysis wants (a reader blocks a writer).
+//!
+//! A cycle that is analysed and found benign is suppressed explicitly with
+//! [`trust_edge`] next to a comment justifying the hierarchy — mirroring
+//! the `// lint:allow(...)` convention of the static lint.
+//!
+//! Release builds compile all of this to nothing: the `Held` token is a
+//! ZST and `on_acquire` is an empty inline function.
+
+#[cfg(debug_assertions)]
+use std::cell::RefCell;
+#[cfg(debug_assertions)]
+use std::collections::{HashMap, HashSet};
+#[cfg(debug_assertions)]
+use std::sync::atomic::{AtomicU8, Ordering};
+#[cfg(debug_assertions)]
+use std::sync::{Mutex as StdMutex, OnceLock};
+
+/// What the registry does when a blocking acquisition closes a cycle in the
+/// acquisition-order graph.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum CycleMode {
+    /// Panic with the cycle path (default; fails the test that found it).
+    Panic,
+    /// Record a [`CycleReport`] retrievable via [`violations`] and keep
+    /// going.
+    Report,
+}
+
+/// One detected acquisition-order cycle.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct CycleReport {
+    /// The class that was held when the cycle closed.
+    pub held: &'static str,
+    /// The class whose acquisition closed the cycle.
+    pub acquired: &'static str,
+    /// The pre-existing path `acquired → … → held` that the new
+    /// `held → acquired` edge turned into a cycle.
+    pub path: Vec<&'static str>,
+}
+
+impl CycleReport {
+    /// Human-readable rendering: both directions of the conflicting order.
+    pub fn describe(&self) -> String {
+        let mut chain = String::new();
+        for class in &self.path {
+            chain.push_str(class);
+            chain.push_str(" -> ");
+        }
+        chain.push_str(self.held);
+        format!(
+            "lock-order cycle: acquiring '{}' while holding '{}', but the \
+             reverse order is already on record ({} -> {})",
+            self.acquired, self.held, chain, self.acquired
+        )
+    }
+}
+
+/// RAII token returned by [`on_acquire`]; dropping it releases the class
+/// from the thread's held set.  A ZST in release builds.
+#[derive(Debug)]
+pub struct Held {
+    #[cfg(debug_assertions)]
+    class: Option<&'static str>,
+}
+
+#[cfg(debug_assertions)]
+mod registry {
+    use super::*;
+
+    pub(super) struct Graph {
+        /// `edges[a]` holds every class ever blocking-acquired while `a`
+        /// was held.
+        pub(super) edges: HashMap<&'static str, HashSet<&'static str>>,
+        /// Edges whose cycles a human has vouched for (see [`trust_edge`]).
+        pub(super) trusted: HashSet<(&'static str, &'static str)>,
+        pub(super) violations: Vec<CycleReport>,
+    }
+
+    pub(super) fn graph() -> &'static StdMutex<Graph> {
+        static GRAPH: OnceLock<StdMutex<Graph>> = OnceLock::new();
+        GRAPH.get_or_init(|| {
+            StdMutex::new(Graph {
+                edges: HashMap::new(),
+                trusted: HashSet::new(),
+                violations: Vec::new(),
+            })
+        })
+    }
+
+    /// Global cycle mode: 0 = Panic, 1 = Report.
+    pub(super) static MODE: AtomicU8 = AtomicU8::new(0);
+
+    /// Outstanding [`pause_detection`](super::pause_detection) guards.
+    /// Non-zero pauses tracking process-wide.
+    pub(super) static PAUSES: AtomicU8 = AtomicU8::new(0);
+
+    thread_local! {
+        /// Multiset of classed locks this thread currently holds.
+        pub(super) static HELD: RefCell<Vec<&'static str>> =
+            const { RefCell::new(Vec::new()) };
+        /// Per-thread mode override (tests seeding intentional cycles).
+        pub(super) static THREAD_MODE: RefCell<Option<CycleMode>> =
+            const { RefCell::new(None) };
+        /// Edges this thread already pushed into the global graph: skips
+        /// the global mutex on the hot path once an ordering is on record.
+        /// Class names are static literals, so the address pair identifies
+        /// an edge; a linear scan over a short Vec beats hashing two
+        /// strings per acquisition in debug builds.  (Distinct literals
+        /// with equal text get separate entries — the global graph dedups.)
+        pub(super) static SEEN: RefCell<Vec<(*const u8, *const u8)>> =
+            const { RefCell::new(Vec::new()) };
+    }
+
+    /// Depth-first search for a path `from → … → to`; returns it when found.
+    pub(super) fn find_path(
+        edges: &HashMap<&'static str, HashSet<&'static str>>,
+        from: &'static str,
+        to: &'static str,
+    ) -> Option<Vec<&'static str>> {
+        let mut stack = vec![(from, vec![from])];
+        let mut visited: HashSet<&'static str> = HashSet::new();
+        while let Some((node, path)) = stack.pop() {
+            if node == to {
+                return Some(path);
+            }
+            if !visited.insert(node) {
+                continue;
+            }
+            if let Some(nexts) = edges.get(node) {
+                for next in nexts {
+                    let mut longer = path.clone();
+                    longer.push(next);
+                    stack.push((next, longer));
+                }
+            }
+        }
+        None
+    }
+
+    /// True when any consecutive pair of the would-be cycle
+    /// (`path + [held] + [acquired]`) is a trusted edge.
+    pub(super) fn cycle_is_trusted(
+        trusted: &HashSet<(&'static str, &'static str)>,
+        report: &CycleReport,
+    ) -> bool {
+        if trusted.contains(&(report.held, report.acquired)) {
+            return true;
+        }
+        let mut nodes = report.path.clone();
+        nodes.push(report.held);
+        nodes.windows(2).any(|w| trusted.contains(&(w[0], w[1])))
+    }
+}
+
+/// Records a (possibly) blocking acquisition of `class` and returns the
+/// held-set token to tie to the guard.  Unclassed locks pass `None` and are
+/// invisible to the detector.
+#[cfg(debug_assertions)]
+pub(crate) fn on_acquire(class: Option<&'static str>, blocking: bool) -> Held {
+    let Some(class) = class else {
+        return Held { class: None };
+    };
+    if registry::PAUSES.load(Ordering::Relaxed) != 0 {
+        // Paused (a bench timing phase): return an untracked token, so its
+        // drop is a no-op even if detection resumes while it is held.
+        return Held { class: None };
+    }
+    registry::HELD.with(|held| {
+        let mut held = held.borrow_mut();
+        if blocking && !held.is_empty() {
+            // Distinct held classes, skipping same-class nesting and
+            // duplicates earlier in the hold list.
+            for i in 0..held.len() {
+                let held_class = held[i];
+                if held_class == class || held[..i].contains(&held_class) {
+                    continue;
+                }
+                record_edge(held_class, class);
+            }
+        }
+        held.push(class);
+    });
+    Held { class: Some(class) }
+}
+
+#[cfg(not(debug_assertions))]
+#[inline(always)]
+pub(crate) fn on_acquire(_class: Option<&'static str>, _blocking: bool) -> Held {
+    Held {}
+}
+
+/// Inserts `held → acquired` into the global graph and reacts to any cycle
+/// it closes.
+#[cfg(debug_assertions)]
+fn record_edge(held_class: &'static str, class: &'static str) {
+    let key = (held_class.as_ptr(), class.as_ptr());
+    let fresh = registry::SEEN.with(|seen| !seen.borrow().contains(&key));
+    if !fresh {
+        return; // this thread already pushed the edge; ordering unchanged
+    }
+    let mut graph = match registry::graph().lock() {
+        Ok(guard) => guard,
+        Err(poisoned) => poisoned.into_inner(),
+    };
+    let known = graph
+        .edges
+        .get(held_class)
+        .is_some_and(|next| next.contains(class));
+    if known {
+        return;
+    }
+    // New ordering fact: does the reverse direction already exist?
+    let cycle = registry::find_path(&graph.edges, class, held_class);
+    if let Some(path) = cycle {
+        let report = CycleReport {
+            held: held_class,
+            acquired: class,
+            path,
+        };
+        if !registry::cycle_is_trusted(&graph.trusted, &report) {
+            let mode = registry::THREAD_MODE
+                .with(|mode| *mode.borrow())
+                .unwrap_or(match registry::MODE.load(Ordering::Relaxed) {
+                    1 => CycleMode::Report,
+                    _ => CycleMode::Panic,
+                });
+            match mode {
+                CycleMode::Panic => {
+                    // The offending edge is *not* committed, so a caught
+                    // panic (tests) leaves the graph cycle-free.
+                    let message = report.describe();
+                    drop(graph);
+                    panic!("{message}");
+                }
+                CycleMode::Report => {
+                    let duplicate = graph
+                        .violations
+                        .iter()
+                        .any(|v| v.held == report.held && v.acquired == report.acquired);
+                    if !duplicate {
+                        graph.violations.push(report);
+                    }
+                }
+            }
+        }
+    }
+    graph.edges.entry(held_class).or_default().insert(class);
+    drop(graph);
+    // Cache only once the edge is committed: a panicking acquisition must
+    // stay un-cached, or a caught panic would let the same inversion pass
+    // silently on this thread next time.
+    registry::SEEN.with(|seen| seen.borrow_mut().push(key));
+}
+
+#[cfg(debug_assertions)]
+impl Drop for Held {
+    fn drop(&mut self) {
+        let Some(class) = self.class else { return };
+        registry::HELD.with(|held| {
+            let mut held = held.borrow_mut();
+            if let Some(at) = held.iter().rposition(|&h| h == class) {
+                held.remove(at);
+            }
+        });
+    }
+}
+
+/// Pauses lock-order tracking process-wide until the returned guard drops.
+/// Guards nest; tracking resumes when the last one goes.
+///
+/// For debug-build timing measurements (the pipelined-vs-inline ingest
+/// smoke bench): per-acquisition bookkeeping is cheap but not free, and it
+/// taxes configurations in proportion to how many locks they take — which
+/// is exactly the quantity such benches compare.  Everything acquired
+/// while paused is simply invisible to the graph; nothing is unbalanced
+/// when tracking resumes, because untracked tokens stay untracked for
+/// their whole lifetime.  No-op in release builds, where the detector does
+/// not exist anyway.
+#[must_use]
+pub fn pause_detection() -> DetectionPause {
+    #[cfg(debug_assertions)]
+    registry::PAUSES.fetch_add(1, Ordering::Relaxed);
+    DetectionPause { _private: () }
+}
+
+/// RAII guard from [`pause_detection`]; resumes tracking on drop.
+pub struct DetectionPause {
+    _private: (),
+}
+
+impl Drop for DetectionPause {
+    fn drop(&mut self) {
+        #[cfg(debug_assertions)]
+        registry::PAUSES.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Sets the process-wide reaction to a detected cycle (default:
+/// [`CycleMode::Panic`]).  No-op in release builds.
+pub fn set_cycle_mode(mode: CycleMode) {
+    #[cfg(debug_assertions)]
+    registry::MODE.store(
+        match mode {
+            CycleMode::Panic => 0,
+            CycleMode::Report => 1,
+        },
+        Ordering::Relaxed,
+    );
+    #[cfg(not(debug_assertions))]
+    let _ = mode;
+}
+
+/// Runs `f` with this thread's cycle reaction overridden to `mode` —
+/// scoped, so a test seeding an intentional inversion cannot change how
+/// concurrently running tests react.
+pub fn with_thread_mode<R>(mode: CycleMode, f: impl FnOnce() -> R) -> R {
+    #[cfg(debug_assertions)]
+    {
+        let previous = registry::THREAD_MODE
+            .with(|slot| slot.borrow_mut().replace(mode));
+        struct Restore(Option<CycleMode>);
+        impl Drop for Restore {
+            fn drop(&mut self) {
+                registry::THREAD_MODE.with(|slot| *slot.borrow_mut() = self.0);
+            }
+        }
+        let _restore = Restore(previous);
+        f()
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = mode;
+        f()
+    }
+}
+
+/// Marks the ordering `from → to` as human-audited: any cycle that runs
+/// through this edge is suppressed.  Call it next to a comment explaining
+/// the actual lock hierarchy.  No-op in release builds.
+pub fn trust_edge(from: &'static str, to: &'static str) {
+    #[cfg(debug_assertions)]
+    {
+        let mut graph = match registry::graph().lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        graph.trusted.insert((from, to));
+    }
+    #[cfg(not(debug_assertions))]
+    {
+        let _ = (from, to);
+    }
+}
+
+/// Cycles recorded while in [`CycleMode::Report`].  Empty in release
+/// builds.
+pub fn violations() -> Vec<CycleReport> {
+    #[cfg(debug_assertions)]
+    {
+        let graph = match registry::graph().lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        graph.violations.clone()
+    }
+    #[cfg(not(debug_assertions))]
+    Vec::new()
+}
+
+/// Drops every recorded violation (test isolation).
+pub fn clear_violations() {
+    #[cfg(debug_assertions)]
+    {
+        let mut graph = match registry::graph().lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        graph.violations.clear();
+    }
+}
+
+/// A snapshot of the accumulated acquisition-order graph as
+/// `(held, then-acquired)` pairs.  Empty in release builds.
+pub fn graph_edges() -> Vec<(&'static str, &'static str)> {
+    #[cfg(debug_assertions)]
+    {
+        let graph = match registry::graph().lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let mut edges: Vec<(&'static str, &'static str)> = graph
+            .edges
+            .iter()
+            .flat_map(|(from, tos)| tos.iter().map(|to| (*from, *to)))
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+    #[cfg(not(debug_assertions))]
+    Vec::new()
+}
+
+/// The classes this thread currently holds (diagnostics/tests).
+pub fn held_classes() -> Vec<&'static str> {
+    #[cfg(debug_assertions)]
+    {
+        registry::HELD.with(|held| held.borrow().clone())
+    }
+    #[cfg(not(debug_assertions))]
+    Vec::new()
+}

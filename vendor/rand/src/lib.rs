@@ -9,6 +9,8 @@
 //! available.
 
 #![forbid(unsafe_code)]
+// Entropy seeding reads the clock by design.
+#![allow(clippy::disallowed_methods)]
 
 use std::fmt;
 
