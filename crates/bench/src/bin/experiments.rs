@@ -8,6 +8,7 @@
 //! cargo run --release -p jxta-bench --bin experiments -- e4        # anti-entropy repair vs drop rate
 //! cargo run --release -p jxta-bench --bin experiments -- e6        # ingest throughput (lanes × workers × cache), writes BENCH_6.json
 //! cargo run --release -p jxta-bench --bin experiments -- e7        # delta repair: tree descent vs flat snapshots, writes BENCH_7.json
+//! cargo run --release -p jxta-bench --bin experiments -- e8        # epidemic backbone vs full mesh fan-out, writes BENCH_8.json
 //! cargo run --release -p jxta-bench --bin experiments -- fanout    # ablation A3
 //! cargo run --release -p jxta-bench --bin experiments -- all --quick --json
 //! ```
@@ -16,11 +17,12 @@
 //! runs); `--json` additionally prints machine-readable results.
 
 use jxta_bench::{
-    experiment_delta_repair, experiment_federation, experiment_group_fanout,
-    experiment_ingest_throughput, experiment_join_overhead, experiment_msg_overhead,
-    experiment_repair, format_delta_repair_report, format_fanout_report,
-    format_federation_report, format_ingest_report, format_join_report, format_msg_report,
-    format_repair_report, write_bench6_json, write_bench7_json, ExperimentConfig,
+    experiment_delta_repair, experiment_epidemic_fanout, experiment_federation,
+    experiment_group_fanout, experiment_ingest_throughput, experiment_join_overhead,
+    experiment_msg_overhead, experiment_repair, format_delta_repair_report,
+    format_epidemic_fanout_report, format_fanout_report, format_federation_report,
+    format_ingest_report, format_join_report, format_msg_report, format_repair_report,
+    write_bench6_json, write_bench7_json, write_bench8_json, ExperimentConfig,
     FIGURE2_PAYLOAD_SIZES,
 };
 
@@ -117,13 +119,25 @@ fn main() {
         }
     }
 
+    if which == "e8" || which == "epidemic" || which == "all" {
+        let result = experiment_epidemic_fanout(&config);
+        println!("{}", format_epidemic_fanout_report(&result));
+        match write_bench8_json(&result) {
+            Ok(path) => println!("wrote {}", path.display()),
+            Err(error) => eprintln!("could not write BENCH_8.json: {error}"),
+        }
+        if json {
+            println!("{}\n", serde_json::to_string_pretty(&result).unwrap());
+        }
+    }
+
     if ![
         "e1", "e2", "e3", "federation", "e4", "repair", "e5", "e6", "ingest", "e7", "delta",
-        "fanout", "all",
+        "e8", "epidemic", "fanout", "all",
     ]
     .contains(&which.as_str())
     {
-        eprintln!("unknown experiment {which:?}; expected e1, e2, e3, e4, e5, e6, e7, fanout or all");
+        eprintln!("unknown experiment {which:?}; expected e1, e2, e3, e4, e5, e6, e7, e8, fanout or all");
         std::process::exit(1);
     }
 }

@@ -1105,6 +1105,214 @@ pub fn write_bench7_json(result: &DeltaRepairResult) -> std::io::Result<std::pat
 }
 
 // ----------------------------------------------------------------------
+// E8 — epidemic backbone: per-broker fan-out and convergence vs full mesh
+// ----------------------------------------------------------------------
+
+/// One (broker count, fabric) cell of the E8 sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpidemicFanoutRow {
+    /// Brokers in the federation.
+    pub brokers: usize,
+    /// `"epidemic"` (HyParView + Plumtree) or `"mesh"` (`with_full_mesh`).
+    pub mode: String,
+    /// Broadcasts measured (all from one origin broker, after warm-up).
+    pub publishes: usize,
+    /// Max over brokers of backbone messages sent per publish — the headline
+    /// number: a full-mesh origin pays O(N) here, an epidemic broker pays
+    /// O(active view) wherever it sits in the tree.
+    pub peak_sends_per_publish: f64,
+    /// Backbone messages federation-wide per publish (any broadcast costs at
+    /// least N-1 of these; the fabrics differ in *who* pays them).
+    pub total_messages_per_publish: f64,
+    /// Wall-clock from first publish to quiescence of the measured batch.
+    pub convergence_ms: f64,
+    /// Whether the batch alone converged the federation (no repair needed).
+    pub converged: bool,
+    /// Plumtree eager pushes during the measured batch.
+    pub eager_pushes: u64,
+    /// Lazy `IHave` digests sent during the measured batch.
+    pub ihaves_sent: u64,
+    /// `Graft` repairs during the measured batch.
+    pub grafts_sent: u64,
+}
+
+/// The E8 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct EpidemicFanoutResult {
+    /// Experiment identifier (`"e8-epidemic-fanout"`).
+    pub experiment: String,
+    /// Whether the quick (CI smoke) sweep was run.
+    pub quick: bool,
+    /// Active-view capacity the epidemic rows ran with.
+    pub active_view: usize,
+    /// Passive-view capacity the epidemic rows ran with.
+    pub passive_view: usize,
+    /// The measured cells.
+    pub rows: Vec<EpidemicFanoutRow>,
+}
+
+/// Measures one E8 cell: a fully replicating `brokers`-wide federation
+/// broadcasts `publishes` advertisements from a single origin broker and is
+/// pumped to quiescence.  Two warm-up broadcasts run first so the epidemic
+/// rows measure the *pruned* eager tree, not the initial flood.  Per-broker
+/// send counts are read as [`SimNetwork::sent_by`] deltas around the batch,
+/// so warm-up and any trailing repair traffic are not attributed.
+pub fn measure_epidemic_fanout(
+    brokers: usize,
+    full_mesh: bool,
+    publishes: usize,
+    seed: u64,
+) -> EpidemicFanoutRow {
+    use jxta_overlay::broker::{Broker, BrokerConfig};
+    use jxta_overlay::federation::InlineFederation;
+    use jxta_overlay::net::SimNetwork;
+    use jxta_overlay::{GroupId, PeerId, UserDatabase};
+
+    let mut rng = jxta_crypto::drbg::HmacDrbg::from_seed_u64(seed);
+    let network = SimNetwork::new(LinkModel::ideal());
+    let database = Arc::new(UserDatabase::new());
+    let members: Vec<Arc<Broker>> = (0..brokers)
+        .map(|i| {
+            let config = BrokerConfig::named(format!("broker-{}", i + 1));
+            let config = if full_mesh { config.with_full_mesh() } else { config };
+            Broker::new(
+                PeerId::random(&mut rng),
+                config,
+                Arc::clone(&network),
+                Arc::clone(&database),
+            )
+        })
+        .collect();
+    let federation = InlineFederation::new(members);
+    let group = GroupId::new(EXPERIMENT_GROUP);
+    let publish = |n: usize, rng: &mut jxta_crypto::drbg::HmacDrbg| {
+        federation.broker(0).index_and_distribute(
+            PeerId::random(rng),
+            &group,
+            "jxta:PipeAdvertisement",
+            &format!("<adv n=\"{n}\"/>"),
+        );
+        federation.pump();
+    };
+    for warm in 0..2 {
+        publish(warm, &mut rng);
+    }
+
+    let ids: Vec<jxta_overlay::PeerId> =
+        (0..federation.len()).map(|i| federation.broker(i).id()).collect();
+    let sent_before: Vec<u64> = ids.iter().map(|id| network.sent_by(id)).collect();
+    let stats_sum = |field: fn(&jxta_overlay::metrics::FederationStats) -> u64| -> u64 {
+        (0..federation.len())
+            .map(|b| field(&federation.broker(b).federation_stats()))
+            .sum()
+    };
+    let eager_before = stats_sum(|s| s.eager_pushes);
+    let ihave_before = stats_sum(|s| s.ihaves_sent);
+    let graft_before = stats_sum(|s| s.grafts_sent);
+
+    let start = std::time::Instant::now();
+    for n in 0..publishes {
+        publish(2 + n, &mut rng);
+    }
+    let convergence_ms = start.elapsed().as_secs_f64() * 1000.0;
+    let converged = federation.converged();
+
+    let deltas: Vec<u64> = ids
+        .iter()
+        .zip(&sent_before)
+        .map(|(id, before)| network.sent_by(id) - before)
+        .collect();
+    let peak = deltas.iter().copied().max().unwrap_or(0);
+    let total: u64 = deltas.iter().sum();
+    if !converged {
+        // Divergence the tree could not carry: anti-entropy is the backstop,
+        // and a federation it cannot heal either is a bug worth a panic.
+        assert!(
+            federation.repair_until_converged(8).is_some(),
+            "E8 federation failed to converge even through repair"
+        );
+    }
+    EpidemicFanoutRow {
+        brokers,
+        mode: if full_mesh { "mesh" } else { "epidemic" }.to_string(),
+        publishes,
+        peak_sends_per_publish: peak as f64 / publishes as f64,
+        total_messages_per_publish: total as f64 / publishes as f64,
+        convergence_ms,
+        converged,
+        eager_pushes: stats_sum(|s| s.eager_pushes) - eager_before,
+        ihaves_sent: stats_sum(|s| s.ihaves_sent) - ihave_before,
+        grafts_sent: stats_sum(|s| s.grafts_sent) - graft_before,
+    }
+}
+
+/// Runs experiment E8: per-broker fan-out and convergence time of the
+/// epidemic backbone against the full-mesh baseline at 32/128/512 brokers.
+pub fn experiment_epidemic_fanout(config: &ExperimentConfig) -> EpidemicFanoutResult {
+    let quick = config.iterations <= ExperimentConfig::quick().iterations;
+    let publishes = if quick { 4 } else { 16 };
+    let mut rows = Vec::new();
+    for &brokers in &[32usize, 128, 512] {
+        for &full_mesh in &[false, true] {
+            let seed = 0xE8_5EED ^ (brokers as u64) ^ ((full_mesh as u64) << 32);
+            rows.push(measure_epidemic_fanout(brokers, full_mesh, publishes, seed));
+        }
+    }
+    EpidemicFanoutResult {
+        experiment: "e8-epidemic-fanout".to_string(),
+        quick,
+        active_view: jxta_overlay::membership::DEFAULT_ACTIVE_VIEW,
+        passive_view: jxta_overlay::membership::DEFAULT_PASSIVE_VIEW,
+        rows,
+    }
+}
+
+/// Formats E8 as a text table.
+pub fn format_epidemic_fanout_report(result: &EpidemicFanoutResult) -> String {
+    let mut out = String::from(
+        "E8 — epidemic backbone vs full mesh: per-broker sends and convergence per broadcast\n\
+         ------------------------------------------------------------------------------------\n\
+         brokers | mode     | peak sends/publish | total msgs/publish | conv ms | eager | ihave | graft\n",
+    );
+    for row in &result.rows {
+        out.push_str(&format!(
+            "{:>7} | {:<8} | {:>18.1} | {:>18.1} | {:>7.2} | {:>5} | {:>5} | {:>5}\n",
+            row.brokers,
+            row.mode,
+            row.peak_sends_per_publish,
+            row.total_messages_per_publish,
+            row.convergence_ms,
+            row.eager_pushes,
+            row.ihaves_sent,
+            row.grafts_sent,
+        ));
+    }
+    for pair in result.rows.chunks(2) {
+        if let [epidemic, mesh] = pair {
+            out.push_str(&format!(
+                "\n{} brokers: epidemic peak is {:.1}% of the mesh origin's O(N) burst",
+                epidemic.brokers,
+                100.0 * epidemic.peak_sends_per_publish / mesh.peak_sends_per_publish,
+            ));
+        }
+    }
+    out.push('\n');
+    out
+}
+
+/// Writes the E8 result as machine-readable `BENCH_8.json` at the workspace
+/// root.  Returns the path.
+pub fn write_bench8_json(result: &EpidemicFanoutResult) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()?
+        .join("BENCH_8.json");
+    let json = serde_json::to_string_pretty(result).expect("serialise E8 result");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+// ----------------------------------------------------------------------
 // E6 — broker ingest throughput: lanes × verify workers × cache ablation
 // ----------------------------------------------------------------------
 

@@ -39,7 +39,9 @@
 use crate::database::UserDatabase;
 use crate::group::{GroupId, GroupRegistry};
 use crate::id::PeerId;
+use crate::membership::PartialView;
 use crate::message::{Message, MessageKind};
+use crate::plumtree::{GossipId, PlumtreeState};
 use crate::metrics::{FederationMetrics, FederationStats, PipelineMetrics, PipelineStats};
 use crate::net::{NetMessage, SimNetwork};
 use crate::shard::{self, SectionTree, ShardRing};
@@ -113,6 +115,29 @@ pub struct BrokerConfig {
     /// experimental baseline.  Both strategies run the same LWW merge, so
     /// mixed federations still reconverge (a flat broker just ships more).
     pub repair_tree: bool,
+    /// Forces the classic full-mesh fabric: every broadcast gossip event is
+    /// sent directly to every peer broker, regardless of federation size.
+    ///
+    /// `false` (the default) engages the epidemic backbone once the known
+    /// peer set outgrows [`BrokerConfig::active_view`]: broadcasts are then
+    /// eagerly pushed along the Plumtree edges of the bounded active view
+    /// and merely advertised (`IHave`) on the rest, capping every broker's
+    /// per-publish fan-out at the view size instead of O(N).  Federations
+    /// at or below the view capacity behave identically either way — their
+    /// views are complete — so this knob matters only at scale, where it
+    /// buys worst-case direct delivery at O(N) per-broker cost.  All
+    /// brokers of one federation must agree on it: a mesh broker never
+    /// forwards, so a mixed fabric would leave epidemic brokers waiting on
+    /// relays that never come (anti-entropy would still converge them, but
+    /// slowly).
+    pub full_mesh: bool,
+    /// Capacity of the membership layer's active view (bounded routing
+    /// degree); see [`crate::membership::PartialView`].  Defaults to
+    /// [`crate::membership::DEFAULT_ACTIVE_VIEW`].
+    pub active_view: usize,
+    /// Capacity of the membership layer's passive healing reservoir.
+    /// Defaults to [`crate::membership::DEFAULT_PASSIVE_VIEW`].
+    pub passive_view: usize,
 }
 
 impl Default for BrokerConfig {
@@ -124,6 +149,9 @@ impl Default for BrokerConfig {
             inbox_capacity: None,
             apply_lanes: None,
             repair_tree: true,
+            full_mesh: false,
+            active_view: crate::membership::DEFAULT_ACTIVE_VIEW,
+            passive_view: crate::membership::DEFAULT_PASSIVE_VIEW,
         }
     }
 }
@@ -169,6 +197,25 @@ impl BrokerConfig {
     /// keep the tree.
     pub fn with_flat_repair(mut self) -> Self {
         self.repair_tree = false;
+        self
+    }
+
+    /// Forces the classic full-mesh fabric at any federation size — see
+    /// [`BrokerConfig::full_mesh`].  Right when the federation is small
+    /// enough that O(N) per-broker fan-out is cheap, or when worst-case
+    /// single-hop delivery latency matters more than backbone load.
+    pub fn with_full_mesh(mut self) -> Self {
+        self.full_mesh = true;
+        self
+    }
+
+    /// Pins the membership view capacities (active routing degree, passive
+    /// healing reservoir).  Tests use small capacities to engage the
+    /// epidemic fabric in small federations; production brokers keep the
+    /// defaults.
+    pub fn with_view_capacities(mut self, active: usize, passive: usize) -> Self {
+        self.active_view = active;
+        self.passive_view = passive;
         self
     }
 }
@@ -367,15 +414,46 @@ const PRESENCE_JOIN: u8 = 1;
 /// One gossip event queued for a peer broker: the flattened element list of
 /// a single replicated write (`op`, its version `seq`, and the op-specific
 /// fields).  Events are coalesced per destination into one `BrokerSync`
-/// digest per flush instead of one message per event.
+/// digest per flush instead of one message per event.  Keys are owned
+/// because the epidemic fabric re-queues events parsed off the wire.
 #[derive(Debug, Clone)]
 struct GossipEvent {
-    fields: Vec<(&'static str, String)>,
+    fields: Vec<(String, String)>,
 }
 
 impl GossipEvent {
-    fn new(fields: Vec<(&'static str, String)>) -> Self {
+    fn new(fields: Vec<(&str, String)>) -> Self {
+        GossipEvent {
+            fields: fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect(),
+        }
+    }
+
+    fn from_owned(fields: Vec<(String, String)>) -> Self {
         GossipEvent { fields }
+    }
+
+    /// The value of field `key`, if present.
+    fn get(&self, key: &str) -> Option<&str> {
+        self.fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Sets field `key`, replacing an existing value.
+    fn set(&mut self, key: &str, value: String) {
+        if let Some(slot) = self.fields.iter_mut().find(|(k, _)| k == key) {
+            slot.1 = value;
+        } else {
+            self.fields.push((key.to_string(), value));
+        }
+    }
+
+    /// The gossip id of a broadcast event: its `(vorigin, seq)` LWW version.
+    fn gossip_id(&self) -> Option<GossipId> {
+        let origin = PeerId::from_urn(self.get("vorigin")?)?;
+        let seq = self.get("seq")?.parse().ok()?;
+        Some((origin, seq))
     }
 }
 
@@ -417,8 +495,26 @@ pub struct Broker {
     /// (the join/leave pair proves the displacing join was a stale echo).
     displaced: RwLock<HashMap<PeerId, BrokerSession>>,
     extension: RwLock<Option<Arc<dyn BrokerExtension>>>,
-    /// The other brokers of the federation backbone.
+    /// The other brokers of the federation backbone.  This is the complete
+    /// *known* set — admission control and the shard ring always use it;
+    /// the membership layer's partial views below pick the traffic targets.
     peer_brokers: RwLock<Vec<PeerId>>,
+    /// HyParView-style partial views over `peer_brokers`: the bounded
+    /// active view is where broadcast traffic and anti-entropy go once the
+    /// epidemic fabric engages (see [`Broker::epidemic_engaged`]).
+    view: Mutex<PartialView>,
+    /// Plumtree eager/lazy edge sets, seen-set and graft cache over the
+    /// active view.
+    plumtree: Mutex<PlumtreeState>,
+    /// Gossip ids pending lazy advertisement, coalesced into one
+    /// `PlumtreeIHave` per destination at the next flush.
+    ihave_outbox: Mutex<BTreeMap<PeerId, Vec<GossipId>>>,
+    /// Which brokers host live members of each group: group → member →
+    /// home broker.  Maintained from the same fully replicated join/leave
+    /// gossip that feeds `peer_homes`, so it needs no extra wire traffic;
+    /// sharded publishes use it to address member-hosting brokers beyond
+    /// the replica set instead of broadcasting.
+    group_hosts: RwLock<HashMap<GroupId, HashMap<PeerId, PeerId>>>,
     /// Which broker each remote peer is homed at (replicated via gossip).
     peer_homes: RwLock<HashMap<PeerId, PeerId>>,
     /// Last-writer-wins version of each peer's presence (join/leave) state.
@@ -496,6 +592,7 @@ impl Broker {
     ) -> Arc<Self> {
         let mut ring = ShardRing::new(config.replication_factor.unwrap_or(usize::MAX));
         ring.insert(id);
+        let view = PartialView::new(id, config.active_view, config.passive_view);
         Arc::new(Broker {
             id,
             config,
@@ -508,6 +605,13 @@ impl Broker {
             displaced: RwLock::with_class("broker.displaced", HashMap::new()),
             extension: RwLock::with_class("broker.extension", None),
             peer_brokers: RwLock::with_class("broker.peer_brokers", Vec::new()),
+            view: Mutex::with_class("broker.view", view),
+            plumtree: Mutex::with_class(
+                "broker.plumtree",
+                PlumtreeState::new(crate::plumtree::DEFAULT_CACHE),
+            ),
+            ihave_outbox: Mutex::with_class("broker.ihave_outbox", BTreeMap::new()),
+            group_hosts: RwLock::with_class("broker.group_hosts", HashMap::new()),
             peer_homes: RwLock::with_class("broker.peer_homes", HashMap::new()),
             peer_versions: RwLock::with_class("broker.peer_versions", HashMap::new()),
             membership_versions: RwLock::with_class("broker.membership_versions", HashMap::new()),
@@ -570,14 +674,23 @@ impl Broker {
         if broker == self.id {
             return;
         }
-        let mut peers = self.peer_brokers.write();
-        if !peers.contains(&broker) {
+        {
+            let mut peers = self.peer_brokers.write();
+            if peers.contains(&broker) {
+                return;
+            }
             peers.push(broker);
             self.ring.write().insert(broker);
             // The ring changed, so the set of entries shared with each peer
             // changed with it.
             self.touch_repair_state();
         }
+        let active = {
+            let mut view = self.view.lock();
+            view.on_join(broker);
+            view.active()
+        };
+        self.plumtree.lock().sync_active(&active);
     }
 
     /// Removes a broker from the federation backbone and the shard ring.
@@ -619,6 +732,18 @@ impl Broker {
         for state in stranded {
             self.finish_pending_lookup(state);
         }
+        let active = {
+            let mut view = self.view.lock();
+            view.on_failure(broker);
+            view.active()
+        };
+        self.plumtree.lock().sync_active(&active);
+        self.ihave_outbox.lock().remove(broker);
+        // The dead broker's hosted members left with it (mirrors the
+        // peer_homes cleanup above).
+        for hosts in self.group_hosts.write().values_mut() {
+            hosts.retain(|_, home| home != broker);
+        }
     }
 
     /// The configured shard replication factor (`None` = full replication).
@@ -659,6 +784,75 @@ impl Broker {
     /// Returns `true` if `peer` is a known peer broker of the federation.
     pub fn is_peer_broker(&self, peer: &PeerId) -> bool {
         self.peer_brokers.read().contains(peer)
+    }
+
+    /// Whether the epidemic fabric is active: the broker is not pinned to
+    /// full mesh and the known peer set has outgrown the active view, so
+    /// the view is a strict subset and broadcasts must be forwarded.  The
+    /// predicate depends only on configuration and the (replicated) peer
+    /// count, so every broker of a federation reaches the same answer —
+    /// which the forwarding protocol needs: a broker that pushed eagerly
+    /// must be able to rely on its neighbours pushing onward.
+    pub fn epidemic_engaged(&self) -> bool {
+        !self.config.full_mesh && self.peer_brokers.read().len() > self.config.active_view
+    }
+
+    /// The peer brokers that broadcast gossip, anti-entropy and extension
+    /// state target: the bounded active view once the epidemic fabric is
+    /// engaged, the complete peer set otherwise.
+    fn repair_targets(&self) -> Vec<PeerId> {
+        if self.epidemic_engaged() {
+            self.view.lock().active()
+        } else {
+            self.peer_brokers()
+        }
+    }
+
+    /// The membership layer's current active view (complete below the view
+    /// capacity), for tests and diagnostics.
+    pub fn active_view(&self) -> Vec<PeerId> {
+        self.view.lock().active()
+    }
+
+    /// The Plumtree eager (tree) edges, for tests and diagnostics.
+    pub fn epidemic_eager_peers(&self) -> Vec<PeerId> {
+        self.plumtree.lock().eager()
+    }
+
+    /// The Plumtree lazy (digest-only) edges, for tests and diagnostics.
+    pub fn epidemic_lazy_peers(&self) -> Vec<PeerId> {
+        self.plumtree.lock().lazy()
+    }
+
+    /// Records `member` as hosted at `home` for each listed group.
+    fn set_group_hosts(&self, member: &PeerId, groups: &[GroupId], home: PeerId) {
+        let mut hosts = self.group_hosts.write();
+        for group in groups {
+            hosts.entry(group.clone()).or_default().insert(*member, home);
+        }
+    }
+
+    /// Drops `member` from every group's host digest.
+    fn clear_group_hosts(&self, member: &PeerId) {
+        let mut hosts = self.group_hosts.write();
+        for members in hosts.values_mut() {
+            members.remove(member);
+        }
+        hosts.retain(|_, members| !members.is_empty());
+    }
+
+    /// The brokers hosting at least one live member of `group`, per the
+    /// replicated join/leave digest (never includes this broker itself).
+    pub fn group_host_brokers(&self, group: &GroupId) -> Vec<PeerId> {
+        let hosts = self.group_hosts.read();
+        let mut out: Vec<PeerId> = hosts
+            .get(group)
+            .map(|members| members.values().copied().collect())
+            .unwrap_or_default();
+        out.sort();
+        out.dedup();
+        out.retain(|b| *b != self.id);
+        out
     }
 
     /// Federation activity counters (gossip, relays, rejected traffic).
@@ -779,6 +973,7 @@ impl Broker {
         for g in &groups {
             self.stamp_membership(g, peer, (seq, PRESENCE_JOIN, self.id));
         }
+        self.set_group_hosts(&peer, &groups, self.id);
         self.touch_repair_state();
         self.gossip_join(seq, peer, &groups);
         self.flush_gossip();
@@ -793,6 +988,7 @@ impl Broker {
         self.displaced.write().remove(peer);
         self.groups.leave_all(peer);
         self.forget_membership_stamps(peer);
+        self.clear_group_hosts(peer);
         self.touch_repair_state();
         if had_session {
             let peer = *peer;
@@ -935,16 +1131,17 @@ impl Broker {
     /// brokers when fully replicated, only the K ring replicas when sharded.
     /// Returns the number of local peers it was pushed to.
     ///
-    /// Push semantics differ between the modes, deliberately: with full
-    /// replication every broker applies the gossip and pushes to its local
-    /// members, so every member receives exactly one push.  Sharded, the
-    /// push fan-out is **best-effort** — members homed at the origin broker
-    /// and at the entry's replicas are notified, members homed elsewhere
-    /// discover the advertisement through lookups (`resolve_pipe` and
-    /// friends route to a replica transparently).  Pushing to every member's
-    /// home would put the gossip back at O(brokers) per publish, which is
-    /// exactly what sharding removes; group-aware push routing is a ROADMAP
-    /// item.
+    /// Push semantics differ between the modes: with full replication every
+    /// broker applies the gossip and pushes to its local members, so every
+    /// member receives exactly one push.  Sharded, the publish is addressed
+    /// to the entry's K ring replicas **plus** the brokers the group-host
+    /// digest ([`Broker::group_host_brokers`]) lists as homing a live member
+    /// of the group — those apply without storing and push to their members,
+    /// so the fan-out is O(K + hosting brokers) per publish instead of
+    /// O(brokers), and brokers hosting nobody in the group see no traffic.
+    /// The digest is itself replicated gossip, so a broker whose hosts view
+    /// lags can briefly miss a push; lookups (`resolve_pipe` and friends)
+    /// remain the authoritative path.
     pub fn index_and_distribute(
         &self,
         from: PeerId,
@@ -966,16 +1163,21 @@ impl Broker {
             ("owner", from.to_urn()),
             ("xml", xml.to_string()),
         ]);
-        if self.is_sharded() {
-            let targets: Vec<PeerId> = self
+        let fanout = if self.is_sharded() {
+            let mut targets: Vec<PeerId> = self
                 .shard_replicas(group, &from)
                 .into_iter()
-                .filter(|replica| *replica != self.id)
+                .chain(self.group_host_brokers(group))
+                .filter(|broker| *broker != self.id)
                 .collect();
+            targets.sort();
+            targets.dedup();
             self.gossip_to(&targets, event);
+            targets.len()
         } else {
-            self.gossip_to_all(event);
-        }
+            self.gossip_to_all(event)
+        };
+        self.federation.count_publish_fanout(fanout as u64);
         self.flush_gossip();
         pushed
     }
@@ -1121,10 +1323,47 @@ impl Broker {
             .map(|_| size)
     }
 
-    /// Queues a gossip event for every peer broker of the federation.
-    fn gossip_to_all(&self, event: GossipEvent) {
-        let peers = self.peer_brokers.read().clone();
-        self.gossip_to(&peers, event);
+    /// Queues a broadcast gossip event for the federation and returns the
+    /// number of brokers it was queued to directly (the origin's fan-out).
+    ///
+    /// Full mesh (or a federation small enough that the active view is
+    /// complete): queued to every peer broker, exactly the old behaviour.
+    /// Epidemic: the event is stamped with its version origin and a
+    /// broadcast marker, recorded as seen and cached for grafts, queued
+    /// eagerly only to the Plumtree tree edges, and advertised as an
+    /// `IHave` on the lazy edges at the next flush — receivers forward it
+    /// onward (see [`Broker::handle_sync`]), which is what caps this
+    /// broker's fan-out at the view size.
+    fn gossip_to_all(&self, mut event: GossipEvent) -> usize {
+        if !self.epidemic_engaged() {
+            let peers = self.peer_brokers.read().clone();
+            self.gossip_to(&peers, event);
+            return peers.len();
+        }
+        event.set("vorigin", self.id.to_urn());
+        event.set("bcast", "1".to_string());
+        let Some(gid) = event.gossip_id() else {
+            // No parseable version: fall back to direct delivery rather
+            // than lose the event (forwarders could not dedup it).
+            let peers = self.peer_brokers.read().clone();
+            self.gossip_to(&peers, event);
+            return peers.len();
+        };
+        let (eager, lazy) = {
+            let mut tree = self.plumtree.lock();
+            tree.note_seen(gid);
+            tree.cache_event(gid, event.fields.clone());
+            (tree.eager(), tree.lazy())
+        };
+        self.gossip_to(&eager, event);
+        self.federation.count_eager_pushes(eager.len() as u64);
+        if !lazy.is_empty() {
+            let mut ihaves = self.ihave_outbox.lock();
+            for peer in &lazy {
+                ihaves.entry(*peer).or_default().push(gid);
+            }
+        }
+        eager.len()
     }
 
     /// Queues a gossip event for each broker in `targets`.  Nothing is sent
@@ -1165,6 +1404,24 @@ impl Broker {
             }
             if self.send_sequenced(destination, digest, Duration::ZERO).is_some() {
                 self.federation.count_sync_sent();
+            }
+        }
+        // Lazy edges get one coalesced `IHave` digest per destination: the
+        // gossip ids only, so a lazy edge costs bytes proportional to the
+        // event count, not the payload size.
+        let ihaves: Vec<(PeerId, Vec<GossipId>)> = {
+            let mut outbox = self.ihave_outbox.lock();
+            std::mem::take(&mut *outbox).into_iter().collect()
+        };
+        for (destination, gids) in ihaves {
+            let mut digest = Message::new(MessageKind::PlumtreeIHave, self.id, 0)
+                .with_str("count", &gids.len().to_string());
+            for (i, (origin, seq)) in gids.iter().enumerate() {
+                digest.push_element(format!("g{i}-origin"), origin.to_urn().into_bytes());
+                digest.push_element(format!("g{i}-seq"), seq.to_string().into_bytes());
+            }
+            if self.send_sequenced(destination, digest, Duration::ZERO).is_some() {
+                self.federation.count_ihave_sent();
             }
         }
     }
@@ -1223,6 +1480,9 @@ impl Broker {
             return;
         }
         let origin = message.sender;
+        let epidemic = self.epidemic_engaged();
+        let mut broadcasts = 0usize;
+        let mut duplicates = 0usize;
         if let Some(count) = message
             .element_str("count")
             .and_then(|c| c.parse::<usize>().ok())
@@ -1231,6 +1491,66 @@ impl Broker {
             // would make applying an n-event digest O(n²).
             let index = message.index();
             for i in 0..count {
+                // Epidemic bookkeeping first: a broadcast event (it carries
+                // its gossip id in `vorigin`/`seq` plus the `bcast` marker)
+                // is deduplicated on the seen-set, cached for grafts, and
+                // re-queued onward — eager edges get the payload, lazy
+                // edges an `IHave` at the flush below.  Application itself
+                // stays on the byte-faithful closure over the wire message.
+                let gid = if epidemic
+                    && index.get(&format!("e{i}-bcast")) == Some(b"1".as_slice())
+                {
+                    index
+                        .get_str(&format!("e{i}-vorigin"))
+                        .and_then(|urn| PeerId::from_urn(&urn))
+                        .zip(
+                            index
+                                .get_str(&format!("e{i}-seq"))
+                                .and_then(|s| s.parse::<u64>().ok()),
+                        )
+                } else {
+                    None
+                };
+                if let Some(gid) = gid {
+                    broadcasts += 1;
+                    let fresh = self.plumtree.lock().note_seen(gid);
+                    if !fresh {
+                        duplicates += 1;
+                        continue;
+                    }
+                    let prefix = format!("e{i}-");
+                    let fields: Vec<(String, String)> = message
+                        .elements
+                        .iter()
+                        .filter_map(|element| {
+                            element.name.strip_prefix(&prefix).map(|field| {
+                                (
+                                    field.to_string(),
+                                    String::from_utf8_lossy(&element.content).into_owned(),
+                                )
+                            })
+                        })
+                        .collect();
+                    let (eager, lazy) = {
+                        let mut tree = self.plumtree.lock();
+                        tree.cache_event(gid, fields.clone());
+                        (tree.eager(), tree.lazy())
+                    };
+                    let forward: Vec<PeerId> = eager
+                        .into_iter()
+                        .filter(|p| *p != origin && *p != gid.0)
+                        .collect();
+                    self.gossip_to(&forward, GossipEvent::from_owned(fields));
+                    self.federation.count_eager_pushes(forward.len() as u64);
+                    if !lazy.is_empty() {
+                        let mut ihaves = self.ihave_outbox.lock();
+                        for peer in lazy {
+                            if peer != origin && peer != gid.0 {
+                                ihaves.entry(peer).or_default().push(gid);
+                            }
+                        }
+                    }
+                }
                 self.apply_sync_event(origin, &|field: &str| {
                     index.get(&format!("e{i}-{field}")).map(<[u8]>::to_vec)
                 });
@@ -1240,8 +1560,19 @@ impl Broker {
                 message.element(field).map(<[u8]>::to_vec)
             });
         }
+        // A digest made entirely of already-seen broadcasts means this edge
+        // duplicates the tree: demote it to lazy and tell the sender to
+        // prune its side too.
+        if epidemic && broadcasts > 0 && duplicates == broadcasts {
+            self.plumtree.lock().demote(origin);
+            let prune = Message::new(MessageKind::PlumtreePrune, self.id, 0);
+            if self.send_sequenced(origin, prune, Duration::ZERO).is_some() {
+                self.federation.count_prune_sent();
+            }
+        }
         // Applying events may have re-asserted live local sessions; ship the
-        // resulting gossip in one digest per destination.
+        // resulting gossip (and any forwarded broadcasts) in one digest per
+        // destination.
         self.flush_gossip();
     }
 
@@ -1273,40 +1604,52 @@ impl Broker {
                     .and_then(|urn| PeerId::from_urn(&urn))
                     .unwrap_or(origin);
                 let group = GroupId::new(group);
-                if !self.is_local_replica(&group, &owner) {
-                    // Not ours to store (a ring-membership race); the sender's
-                    // next reshard re-routes it to the right replicas.
-                    return;
-                }
-                self.apply_publish(owner, &group, &doc_type, &xml, (seq, version_origin), true);
+                // A broker outside the replica set can still receive the
+                // publish: group-aware routing addresses member-hosting
+                // brokers so they push to their local members.  They apply
+                // without storing — `sharded_converged` checks the entry
+                // lives on exactly its ring replicas.
+                let store = self.is_local_replica(&group, &owner);
+                self.apply_publish(owner, &group, &doc_type, &xml, (seq, version_origin), store);
                 self.federation.count_sync_applied();
             }
             Some("join") => {
                 let Some(peer) = get("peer").and_then(|urn| PeerId::from_urn(&urn)) else {
                     return;
                 };
-                if !self.try_version_presence(peer, (seq, PRESENCE_JOIN, origin)) {
+                // The joining peer's home is the broker that versioned the
+                // event.  Under the epidemic fabric the transport sender may
+                // be a forwarder, so the event carries the home explicitly;
+                // the direct-delivery layouts fall back to the sender.
+                let home = get("vorigin")
+                    .and_then(|urn| PeerId::from_urn(&urn))
+                    .unwrap_or(origin);
+                if !self.try_version_presence(peer, (seq, PRESENCE_JOIN, home)) {
                     return; // a newer local or replicated write already won
                 }
-                if self.yield_to_remote_join(peer, origin) {
+                if self.yield_to_remote_join(peer, home) {
                     return;
                 }
-                // The peer is homed at `origin` now; any local session for it
+                // The peer is homed at `home` now; any local session for it
                 // was stale (the peer re-homed to another broker).
                 self.groups.leave_all(&peer);
                 self.forget_membership_stamps(&peer);
-                self.peer_homes.write().insert(peer, origin);
+                self.clear_group_hosts(&peer);
+                self.peer_homes.write().insert(peer, home);
                 for group in get("groups")
                     .unwrap_or_default()
                     .split(',')
                     .filter(|s| !s.is_empty())
                 {
                     let group = GroupId::new(group);
-                    // Sharded mode: membership entries live on their ring
-                    // replicas only; the routing update above is applied by
+                    // Every broker records which broker hosts the member (the
+                    // group-aware publish routing digest) …
+                    self.set_group_hosts(&peer, std::slice::from_ref(&group), home);
+                    // … but sharded membership entries live on their ring
+                    // replicas only; the routing updates are applied by
                     // every broker either way.
                     if self.is_local_replica(&group, &peer) {
-                        self.stamp_membership(&group, peer, (seq, PRESENCE_JOIN, origin));
+                        self.stamp_membership(&group, peer, (seq, PRESENCE_JOIN, home));
                         self.groups.join(group, peer);
                     }
                 }
@@ -1317,7 +1660,10 @@ impl Broker {
                 let Some(peer) = get("peer").and_then(|urn| PeerId::from_urn(&urn)) else {
                     return;
                 };
-                if !self.try_version_presence(peer, (seq, PRESENCE_LEAVE, origin)) {
+                let home = get("vorigin")
+                    .and_then(|urn| PeerId::from_urn(&urn))
+                    .unwrap_or(origin);
+                if !self.try_version_presence(peer, (seq, PRESENCE_LEAVE, home)) {
                     return; // the peer meanwhile re-homed; this leave is stale
                 }
                 if self.absorb_remote_leave(peer) {
@@ -1325,6 +1671,7 @@ impl Broker {
                 }
                 self.groups.leave_all(&peer);
                 self.forget_membership_stamps(&peer);
+                self.clear_group_hosts(&peer);
                 self.peer_homes.write().remove(&peer);
                 self.touch_repair_state();
                 self.federation.count_sync_applied();
@@ -1390,6 +1737,165 @@ impl Broker {
         }
     }
 
+    // ------------------------------------------------------------------
+    // Epidemic backbone: membership shuffles and Plumtree tree repair
+    // ------------------------------------------------------------------
+
+    /// Decodes a comma-joined list of peer URNs.
+    fn parse_peer_list(csv: &str) -> Vec<PeerId> {
+        csv.split(',').filter_map(PeerId::from_urn).collect()
+    }
+
+    /// Handles a peer's `MembershipShuffle`: fold the offered sample into
+    /// the passive reservoir (never widening the known set — admission
+    /// stays anchored on `peer_brokers`) and answer with a sample of our
+    /// own views, so both reservoirs refresh from one exchange.
+    fn handle_membership_shuffle(&self, message: &Message, transport_from: Option<PeerId>) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        let incoming = Self::parse_peer_list(&message.element_str("peers").unwrap_or_default());
+        let reply_sample = {
+            let mut view = self.view.lock();
+            let sample = view.shuffle_sample(incoming.len().max(4));
+            view.integrate_shuffle(&incoming);
+            sample
+        };
+        if reply_sample.is_empty() {
+            return;
+        }
+        let urns: Vec<String> = reply_sample.iter().map(PeerId::to_urn).collect();
+        // Replied through the sequencing choke point, not `apply_net`'s
+        // response path: inter-broker admission requires a fresh `seq`.
+        let reply = Message::new(MessageKind::MembershipShuffleReply, self.id, 0)
+            .with_str("peers", &urns.join(","));
+        self.send_sequenced(message.sender, reply, Duration::ZERO);
+    }
+
+    /// Handles the answering half of a shuffle: integrate only.
+    fn handle_membership_shuffle_reply(&self, message: &Message, transport_from: Option<PeerId>) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        let incoming = Self::parse_peer_list(&message.element_str("peers").unwrap_or_default());
+        self.view.lock().integrate_shuffle(&incoming);
+    }
+
+    /// Handles a lazy-edge `IHave` digest: any advertised gossip id this
+    /// broker has not received means the eager tree failed to reach us
+    /// first — promote the advertising edge and pull the payloads with a
+    /// `Graft`.  Ids already seen need nothing: the tree worked.
+    fn handle_plumtree_ihave(&self, message: &Message, transport_from: Option<PeerId>) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        let Some(count) = message
+            .element_str("count")
+            .and_then(|c| c.parse::<usize>().ok())
+        else {
+            return;
+        };
+        let index = message.index();
+        let mut missing: Vec<GossipId> = Vec::new();
+        {
+            let tree = self.plumtree.lock();
+            for i in 0..count.min(message.element_count()) {
+                let gid = index
+                    .get_str(&format!("g{i}-origin"))
+                    .and_then(|urn| PeerId::from_urn(&urn))
+                    .zip(
+                        index
+                            .get_str(&format!("g{i}-seq"))
+                            .and_then(|s| s.parse::<u64>().ok()),
+                    );
+                if let Some(gid) = gid {
+                    if !tree.has_seen(&gid) {
+                        missing.push(gid);
+                    }
+                }
+            }
+        }
+        if missing.is_empty() {
+            return;
+        }
+        self.plumtree.lock().promote(message.sender);
+        let mut graft = Message::new(MessageKind::PlumtreeGraft, self.id, 0)
+            .with_str("count", &missing.len().to_string());
+        for (i, (origin, seq)) in missing.iter().enumerate() {
+            graft.push_element(format!("g{i}-origin"), origin.to_urn().into_bytes());
+            graft.push_element(format!("g{i}-seq"), seq.to_string().into_bytes());
+        }
+        if self
+            .send_sequenced(message.sender, graft, Duration::ZERO)
+            .is_some()
+        {
+            self.federation.count_graft_sent();
+        }
+    }
+
+    /// Handles a `Graft`: the sender missed payloads we advertised — the
+    /// edge towards it becomes eager again and every requested payload
+    /// still in the cache is re-sent as ordinary gossip.  Evicted payloads
+    /// are counted as graft misses; anti-entropy repairs those.
+    fn handle_plumtree_graft(&self, message: &Message, transport_from: Option<PeerId>) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        let Some(count) = message
+            .element_str("count")
+            .and_then(|c| c.parse::<usize>().ok())
+        else {
+            return;
+        };
+        self.plumtree.lock().promote(message.sender);
+        let index = message.index();
+        for i in 0..count.min(message.element_count()) {
+            let gid = index
+                .get_str(&format!("g{i}-origin"))
+                .and_then(|urn| PeerId::from_urn(&urn))
+                .zip(
+                    index
+                        .get_str(&format!("g{i}-seq"))
+                        .and_then(|s| s.parse::<u64>().ok()),
+                );
+            let Some(gid) = gid else {
+                continue;
+            };
+            let cached = self.plumtree.lock().cached(&gid);
+            match cached {
+                Some(fields) => {
+                    self.gossip_to(&[message.sender], GossipEvent::from_owned(fields));
+                }
+                None => self.federation.count_graft_miss(),
+            }
+        }
+        self.flush_gossip();
+    }
+
+    /// Handles a `Prune`: our pushes duplicate what the sender already has
+    /// — demote the edge to lazy (digests only) until a graft re-earns it.
+    fn handle_plumtree_prune(&self, message: &Message, transport_from: Option<PeerId>) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        self.plumtree.lock().demote(message.sender);
+    }
+
     /// Replicates the extension's opaque repair state (e.g. its installed
     /// revocation lists) to every peer broker of the federation.  No-op when
     /// no extension is installed or the extension has nothing to share.
@@ -1408,7 +1914,9 @@ impl Broker {
         let Some(blob) = extension.repair_snapshot() else {
             return;
         };
-        for peer in self.peer_brokers() {
+        // Epidemic federations send to the active view only; the x-section
+        // anti-entropy exchange spreads the blob transitively from there.
+        for peer in self.repair_targets() {
             let sync = Message::new(MessageKind::BrokerSync, self.id, 0)
                 .with_str("op", "ext")
                 .with_element("blob", blob.clone());
@@ -1550,6 +2058,7 @@ impl Broker {
             self.stamp_membership(group, peer, (seq, PRESENCE_JOIN, self.id));
             self.groups.join(group.clone(), peer);
         }
+        self.set_group_hosts(&peer, &session.groups, self.id);
         self.touch_repair_state();
         self.gossip_join(seq, peer, &session.groups);
     }
@@ -1828,7 +2337,11 @@ impl Broker {
     /// snapshot exchange; a healthy backbone answers nothing, so the idle
     /// cost of a round is one small digest per edge.
     pub fn start_repair_round(&self) {
-        let peers = self.peer_brokers();
+        // Epidemic federations repair over the active-view edges only:
+        // state flows transitively edge by edge (the view graph is
+        // connected — the pinned ring successors alone form a cycle), so
+        // the idle cost of a round is O(view) digests instead of O(N).
+        let peers = self.repair_targets();
         if peers.is_empty() {
             return;
         }
@@ -1849,6 +2362,35 @@ impl Broker {
                 .with_str("x-hash", &x.to_string());
             self.send_repair(peer, digest);
         }
+        // The repair cadence doubles as the membership layer's shuffle
+        // clock: one shuffle per round refreshes the passive reservoir so
+        // failure-triggered promotions have fresh candidates.
+        self.start_shuffle();
+    }
+
+    /// Sends one `MembershipShuffle` to a deterministically rotating active
+    /// peer: a sample of this broker's views for the target to fold into
+    /// its passive reservoir, answered with a sample of the target's own
+    /// ([`MessageKind::MembershipShuffleReply`]).  No-op below the epidemic
+    /// engagement threshold — complete views have nothing to refresh.
+    fn start_shuffle(&self) {
+        if !self.epidemic_engaged() {
+            return;
+        }
+        let (target, sample) = {
+            let mut view = self.view.lock();
+            (view.shuffle_target(), view.shuffle_sample(4))
+        };
+        let Some(target) = target else {
+            return;
+        };
+        if sample.is_empty() {
+            return;
+        }
+        let urns: Vec<String> = sample.iter().map(PeerId::to_urn).collect();
+        let shuffle = Message::new(MessageKind::MembershipShuffle, self.id, 0)
+            .with_str("peers", &urns.join(","));
+        self.send_sequenced(target, shuffle, Duration::ZERO);
     }
 
     /// Sends one repair-protocol message, attributing its wire bytes (and,
@@ -1920,12 +2462,17 @@ impl Broker {
             let snapshot = self.build_repair_snapshot(&origin, &sections, &sections);
             self.send_repair(origin, snapshot);
         }
-        // Repair rounds are started federation-wide, so each broker pair
-        // exchanges digests in both directions every round.  One descent
-        // already heals both replicas (the final page legs ship entries both
-        // ways), so only the lower-id broker initiates — without the
-        // tie-break every divergence would be walked twice in mirror.
-        if self.id < origin {
+        // Repair rounds are started federation-wide, so in a full mesh each
+        // broker pair exchanges digests in both directions every round.  One
+        // descent already heals both replicas (the final page legs ship
+        // entries both ways), so only the lower-id broker initiates — without
+        // the tie-break every divergence would be walked twice in mirror.
+        // Epidemic federations digest over the *asymmetric* active view: when
+        // `origin` is not among this broker's own repair targets the mirror
+        // digest never arrives, and waiting for it would wedge the repair —
+        // so a one-directional edge descends regardless of the tie-break.
+        let mirrored = self.repair_targets().contains(&origin);
+        if self.id < origin || !mirrored {
             for section in descend.chars() {
                 // First descent leg: our children of the root.
                 self.send_range_children(origin, section, 0, 0);
@@ -2959,6 +3506,26 @@ impl Broker {
                 self.handle_anti_entropy_range(&message, Some(net_message.from));
                 None
             }
+            MessageKind::MembershipShuffle => {
+                self.handle_membership_shuffle(&message, Some(net_message.from));
+                None
+            }
+            MessageKind::MembershipShuffleReply => {
+                self.handle_membership_shuffle_reply(&message, Some(net_message.from));
+                None
+            }
+            MessageKind::PlumtreeIHave => {
+                self.handle_plumtree_ihave(&message, Some(net_message.from));
+                None
+            }
+            MessageKind::PlumtreeGraft => {
+                self.handle_plumtree_graft(&message, Some(net_message.from));
+                None
+            }
+            MessageKind::PlumtreePrune => {
+                self.handle_plumtree_prune(&message, Some(net_message.from));
+                None
+            }
             _ => self.handle_message(&message),
         };
         // Belt and braces: any handler that queued gossip has flushed it
@@ -3018,6 +3585,26 @@ impl Broker {
             }
             MessageKind::AntiEntropyRange => {
                 self.handle_anti_entropy_range(message, None);
+                None
+            }
+            MessageKind::MembershipShuffle => {
+                self.handle_membership_shuffle(message, None);
+                None
+            }
+            MessageKind::MembershipShuffleReply => {
+                self.handle_membership_shuffle_reply(message, None);
+                None
+            }
+            MessageKind::PlumtreeIHave => {
+                self.handle_plumtree_ihave(message, None);
+                None
+            }
+            MessageKind::PlumtreeGraft => {
+                self.handle_plumtree_graft(message, None);
+                None
+            }
+            MessageKind::PlumtreePrune => {
+                self.handle_plumtree_prune(message, None);
                 None
             }
             MessageKind::SecureConnectChallenge

@@ -5,17 +5,35 @@
 //! act as beacons for client peers.  This module turns a set of independent
 //! [`Broker`]s into that backbone:
 //!
-//! * [`BrokerNetwork`] interconnects brokers into a full mesh (every broker
-//!   registers every other as a peer broker), spawns their event loops and
-//!   offers convergence checks over their replicated state.  State
-//!   replication itself — advertisement index, group membership and
-//!   peer→broker routing — travels as [`crate::message::MessageKind::BrokerSync`]
-//!   gossip implemented by the broker module.
+//! * [`BrokerNetwork`] interconnects brokers (every broker learns every other
+//!   as an *admitted* federation peer), spawns their event loops and offers
+//!   convergence checks over their replicated state.  State replication
+//!   itself — advertisement index, group membership and peer→broker routing —
+//!   travels as [`crate::message::MessageKind::BrokerSync`] gossip
+//!   implemented by the broker module.
 //! * [`InlineFederation`] is the thread-free variant: brokers are registered
 //!   on the network but not spawned, and [`InlineFederation::pump`] delivers
 //!   queued messages in a deterministic round-robin until quiescence.  The
 //!   replication-convergence property tests are built on it, because a
 //!   deterministic delivery order makes shrinking and reproduction exact.
+//!
+//! # The two-layer fabric
+//!
+//! Interconnection defines *who is admitted*, not *who is talked to*.  The
+//! traffic topology layers on top:
+//!
+//! * At or below the active-view capacity
+//!   ([`crate::broker::BrokerConfig::active_view`], default 8), every
+//!   broker's view is complete and broadcast gossip goes directly to every
+//!   peer — the classic full mesh, byte-identical to the previous fabric.
+//! * Beyond it, the epidemic backbone engages: each broker keeps a bounded
+//!   HyParView-style active view ([`crate::membership`], with a pinned ring
+//!   successor guaranteeing a connected overlay) and disseminates broadcasts
+//!   Plumtree-style over it ([`crate::plumtree`]) — eager pushes along the
+//!   spanning-tree edges, lazy `IHave` digests on the rest, `Graft`/`Prune`
+//!   tree repair, anti-entropy as the last-resort safety net.  Per-broker
+//!   fan-out per publish is then O(view), not O(N).
+//!   [`crate::broker::BrokerConfig::with_full_mesh`] opts a federation out.
 //!
 //! A client joined at broker A can therefore discover (via the replicated
 //! index) and message (via the [`crate::message::MessageKind::RelayViaBroker`]
@@ -734,6 +752,256 @@ mod tests {
                 assert_eq!(broker.is_peer_broker(&other.id()), i != j);
             }
         }
+    }
+
+    /// Brokers with small pinned view capacities, to engage the epidemic
+    /// fabric in federation sizes a test can afford.
+    fn make_view_brokers(
+        n: usize,
+        active: usize,
+        passive: usize,
+        seed: u64,
+    ) -> (Arc<SimNetwork>, Arc<UserDatabase>, Vec<Arc<Broker>>) {
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        let network = SimNetwork::new(LinkModel::ideal());
+        let database = Arc::new(UserDatabase::new());
+        database.register_user(&mut rng, "alice", "pw-a", &[GroupId::new("math")]);
+        database.register_user(&mut rng, "bob", "pw-b", &[GroupId::new("math")]);
+        let brokers = (0..n)
+            .map(|i| {
+                Broker::new(
+                    PeerId::random(&mut rng),
+                    BrokerConfig::named(format!("broker-{}", i + 1))
+                        .with_view_capacities(active, passive),
+                    Arc::clone(&network),
+                    Arc::clone(&database),
+                )
+            })
+            .collect();
+        (network, database, brokers)
+    }
+
+    #[test]
+    fn small_federations_keep_the_full_mesh_fabric() {
+        let (_net, _db, brokers) = make_brokers(3, 0xE800);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xE801);
+        for broker in 0..3 {
+            assert!(
+                !federation.broker(broker).epidemic_engaged(),
+                "2 peers fit a default active view of 8"
+            );
+        }
+        let alice = PeerId::random(&mut rng);
+        federation.broker(0).establish_session(alice, "alice");
+        federation
+            .broker(0)
+            .index_and_distribute(alice, &GroupId::new("math"), "jxta:PipeAdvertisement", "<a/>");
+        federation.pump();
+        assert!(federation.converged());
+        let stats = federation.broker(0).federation_stats();
+        assert_eq!(stats.publishes, 1);
+        assert_eq!(stats.publish_fanout_max, 2, "mesh fan-out is N-1");
+        assert_eq!(stats.eager_pushes, 0, "no Plumtree below the threshold");
+    }
+
+    #[test]
+    fn epidemic_backbone_converges_with_bounded_fanout() {
+        const N: usize = 10;
+        const ACTIVE: usize = 3;
+        let (_net, _db, brokers) = make_view_brokers(N, ACTIVE, 8, 0xE810);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xE811);
+        for i in 0..N {
+            assert!(federation.broker(i).epidemic_engaged());
+            let view = federation.broker(i).active_view();
+            assert!(!view.is_empty() && view.len() <= ACTIVE + 1);
+        }
+
+        let alice = PeerId::random(&mut rng);
+        federation.broker(0).establish_session(alice, "alice");
+        federation.broker(0).index_and_distribute(
+            alice,
+            &GroupId::new("math"),
+            "jxta:PipeAdvertisement",
+            "<epidemic/>",
+        );
+        federation.pump();
+        assert!(
+            federation.converged(),
+            "epidemic dissemination must reach every broker"
+        );
+        // The far side resolves the advertisement and the route.
+        assert_eq!(
+            federation
+                .broker(N - 1)
+                .lookup(&GroupId::new("math"), "jxta:PipeAdvertisement", Some(alice)),
+            vec!["<epidemic/>".to_string()]
+        );
+        assert_eq!(
+            federation.broker(N - 1).home_of(&alice),
+            Some(federation.broker(0).id())
+        );
+
+        let stats = federation.broker(0).federation_stats();
+        assert!(
+            stats.publish_fanout_max <= (ACTIVE + 1) as u64,
+            "origin fan-out {} exceeds the active view bound",
+            stats.publish_fanout_max
+        );
+        assert!(stats.eager_pushes > 0, "dissemination went over tree edges");
+    }
+
+    #[test]
+    fn epidemic_leave_and_rehome_converge_like_the_mesh() {
+        const N: usize = 9;
+        let (_net, _db, brokers) = make_view_brokers(N, 2, 8, 0xE820);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xE821);
+        let alice = PeerId::random(&mut rng);
+
+        federation.broker(0).establish_session(alice, "alice");
+        federation.pump();
+        for i in 0..N {
+            assert_eq!(
+                federation.broker(i).home_of(&alice),
+                Some(federation.broker(0).id()),
+                "join must replicate through the epidemic fabric"
+            );
+        }
+        // Re-home: the leave and the new join both travel epidemically.
+        federation.broker(0).drop_session(&alice);
+        federation.broker(4).establish_session(alice, "alice");
+        federation.pump();
+        assert!(federation.converged());
+        for i in 0..N {
+            assert_eq!(
+                federation.broker(i).home_of(&alice),
+                Some(federation.broker(4).id())
+            );
+        }
+    }
+
+    #[test]
+    fn full_mesh_opt_out_bypasses_the_epidemic_fabric() {
+        let mut rng = HmacDrbg::from_seed_u64(0xE830);
+        let network = SimNetwork::new(LinkModel::ideal());
+        let database = Arc::new(UserDatabase::new());
+        database.register_user(&mut rng, "alice", "pw-a", &[GroupId::new("math")]);
+        let brokers: Vec<Arc<Broker>> = (0..6)
+            .map(|i| {
+                Broker::new(
+                    PeerId::random(&mut rng),
+                    BrokerConfig::named(format!("broker-{}", i + 1))
+                        .with_view_capacities(2, 4)
+                        .with_full_mesh(),
+                    Arc::clone(&network),
+                    Arc::clone(&database),
+                )
+            })
+            .collect();
+        let federation = InlineFederation::new(brokers);
+        let alice = PeerId::random(&mut rng);
+        assert!(!federation.broker(0).epidemic_engaged());
+        federation.broker(0).establish_session(alice, "alice");
+        federation
+            .broker(0)
+            .index_and_distribute(alice, &GroupId::new("math"), "jxta:PipeAdvertisement", "<m/>");
+        federation.pump();
+        assert!(federation.converged());
+        let stats = federation.broker(0).federation_stats();
+        assert_eq!(stats.publish_fanout_max, 5, "pinned mesh sends to N-1");
+        assert_eq!(stats.eager_pushes, 0);
+    }
+
+    /// Satellite regression for group-aware push routing: a sharded 3-broker
+    /// federation with a single-broker group must send **zero** backbone
+    /// traffic for that group's publishes to the two uninvolved brokers —
+    /// and a member homed on a non-replica broker must still get its push.
+    #[test]
+    fn sharded_publish_targets_only_replicas_and_member_hosts() {
+        let mut rng = HmacDrbg::from_seed_u64(0xE840);
+        let network = SimNetwork::new(LinkModel::ideal());
+        let database = Arc::new(UserDatabase::new());
+        database.register_user(&mut rng, "carol", "pw-c", &[GroupId::new("solo")]);
+        database.register_user(&mut rng, "dina", "pw-d", &[GroupId::new("solo")]);
+        let brokers: Vec<Arc<Broker>> = (0..3)
+            .map(|i| {
+                Broker::new(
+                    PeerId::random(&mut rng),
+                    BrokerConfig::sharded(format!("broker-{}", i + 1), 1),
+                    Arc::clone(&network),
+                    Arc::clone(&database),
+                )
+            })
+            .collect();
+        let federation = InlineFederation::new(brokers);
+        let group = GroupId::new("solo");
+        let home = federation.broker(0).id();
+        // Pick the publisher id so broker 0 — its home — is also the entry's
+        // single ring replica: the publish then involves no other broker.
+        let carol = loop {
+            let candidate = PeerId::random(&mut rng);
+            if federation.broker(0).shard_replicas(&group, &candidate) == vec![home] {
+                break candidate;
+            }
+        };
+        federation.broker(0).establish_session(carol, "carol");
+        federation.pump();
+
+        let idle: Vec<u64> = (1..3)
+            .map(|i| network.delivered_to(&federation.broker(i).id()))
+            .collect();
+        federation.broker(0).index_and_distribute(
+            carol,
+            &group,
+            "jxta:PipeAdvertisement",
+            "<solo/>",
+        );
+        federation.pump();
+        for (i, before) in (1..3).zip(&idle) {
+            assert_eq!(
+                network.delivered_to(&federation.broker(i).id()),
+                *before,
+                "broker {i} hosts no member and replicates nothing for the group"
+            );
+        }
+        assert!(federation.converged());
+        assert_eq!(
+            federation.broker(0).federation_stats().publish_fanout_max,
+            0,
+            "single-broker group costs zero backbone messages per publish"
+        );
+
+        // A second member homed at broker 1 (not a replica of the entry)
+        // turns broker 1 into a push target — and only broker 1.
+        let dina = PeerId::random(&mut rng);
+        let dina_inbox = network.register(dina);
+        federation.broker(1).establish_session(dina, "dina");
+        federation.pump();
+        let idle_2 = network.delivered_to(&federation.broker(2).id());
+        federation.broker(0).index_and_distribute(
+            carol,
+            &group,
+            "jxta:PipeAdvertisement",
+            "<solo v=\"2\"/>",
+        );
+        federation.pump();
+        assert_eq!(
+            network.delivered_to(&federation.broker(2).id()),
+            idle_2,
+            "broker 2 still hosts nobody in the group"
+        );
+        let pushes: Vec<crate::message::Message> = dina_inbox
+            .try_iter()
+            .filter_map(|net| crate::message::Message::from_bytes(&net.payload).ok())
+            .filter(|m| m.kind == crate::message::MessageKind::AdvertisementPush)
+            .collect();
+        assert!(
+            pushes.iter().any(|m| m.element_str("xml").as_deref() == Some("<solo v=\"2\"/>")),
+            "member on the non-replica host broker must receive the push"
+        );
+        assert!(federation.converged(), "store stays confined to the replica");
     }
 
     #[test]
@@ -2405,6 +2673,183 @@ mod shard_proptests {
                 let expected = expected.to_string();
                 prop_assert_eq!(count.as_deref(), Some(expected.as_str()));
             }
+        }
+    }
+}
+
+#[cfg(test)]
+mod epidemic_proptests {
+    //! Membership-churn safety of the two-layer fabric, generalized over
+    //! mesh × epidemic exactly like the lane proptests generalize over
+    //! pipelines: random join/leave/crash sequences of *brokers* must leave
+    //! every survivor with a non-empty active view, an overlay whose
+    //! active-view edges reach every live broker (the reachability oracle —
+    //! the pinned ring successors guarantee it structurally), and fully
+    //! convergent replicated state under the same LWW oracle as always.
+
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use crate::database::UserDatabase;
+    use crate::group::GroupId;
+    use crate::net::{LinkModel, SimNetwork};
+    use jxta_crypto::drbg::HmacDrbg;
+    use proptest::prelude::*;
+    use std::collections::BTreeSet;
+
+    /// Small capacities so even a handful of brokers trips the epidemic
+    /// engagement threshold (`peers > active`).
+    const ACTIVE: usize = 2;
+    const PASSIVE: usize = 6;
+    /// Brokers at start; churn adds and removes around this size.
+    const START: usize = 7;
+    /// Ceiling on live brokers (keeps the proptest cheap).
+    const MAX: usize = 12;
+
+    struct Churn {
+        network: Arc<SimNetwork>,
+        database: Arc<UserDatabase>,
+        federation: InlineFederation,
+        rng: HmacDrbg,
+        next_name: usize,
+        full_mesh: bool,
+    }
+
+    impl Churn {
+        fn new(seed: u64, full_mesh: bool) -> Self {
+            let mut rng = HmacDrbg::from_seed_u64(seed);
+            let network = SimNetwork::new(LinkModel::ideal());
+            let database = Arc::new(UserDatabase::new());
+            database.register_user(&mut rng, "alice", "pw", &[GroupId::new("math")]);
+            let mut churn = Churn {
+                network,
+                database,
+                federation: InlineFederation::new(Vec::new()),
+                rng,
+                next_name: 0,
+                full_mesh,
+            };
+            let brokers: Vec<Arc<Broker>> = (0..START).map(|_| churn.make_broker()).collect();
+            churn.federation = InlineFederation::new(brokers);
+            churn
+        }
+
+        fn make_broker(&mut self) -> Arc<Broker> {
+            self.next_name += 1;
+            let mut config = BrokerConfig::named(format!("broker-{}", self.next_name))
+                .with_view_capacities(ACTIVE, PASSIVE);
+            if self.full_mesh {
+                config = config.with_full_mesh();
+            }
+            Broker::new(
+                PeerId::random(&mut self.rng),
+                config,
+                Arc::clone(&self.network),
+                Arc::clone(&self.database),
+            )
+        }
+
+        /// Every live broker's active view is non-empty, contains only live
+        /// brokers, and the union of directed view edges reaches every live
+        /// broker from every other (BFS over the active-view graph).
+        fn overlay_connected(&self) -> Result<(), String> {
+            let n = self.federation.len();
+            if n < 2 {
+                return Ok(());
+            }
+            let ids: Vec<PeerId> = (0..n).map(|i| self.federation.broker(i).id()).collect();
+            let live: BTreeSet<PeerId> = ids.iter().copied().collect();
+            let mut edges: Vec<(PeerId, PeerId)> = Vec::new();
+            for (i, id) in ids.iter().enumerate() {
+                let view = self.federation.broker(i).active_view();
+                if view.is_empty() {
+                    return Err(format!("broker {i} has an empty active view"));
+                }
+                for peer in view {
+                    if !live.contains(&peer) {
+                        return Err(format!("broker {i} keeps dead peer in its view"));
+                    }
+                    edges.push((*id, peer));
+                }
+            }
+            // Active-view edges are symmetric links in spirit (either end
+            // may push); BFS over the undirected graph.
+            let mut seen = BTreeSet::from([ids[0]]);
+            let mut frontier = vec![ids[0]];
+            while let Some(at) = frontier.pop() {
+                for (a, b) in &edges {
+                    let next = match (at == *a, at == *b) {
+                        (true, _) => *b,
+                        (_, true) => *a,
+                        _ => continue,
+                    };
+                    if seen.insert(next) {
+                        frontier.push(next);
+                    }
+                }
+            }
+            if seen.len() != n {
+                return Err(format!("overlay split: reached {}/{n} brokers", seen.len()));
+            }
+            Ok(())
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+
+        #[test]
+        fn broker_churn_keeps_the_overlay_connected_and_convergent(
+            seed in 0u64..1_000_000,
+            full_mesh in any::<bool>(),
+            ops in proptest::collection::vec((0u8..3, any::<u16>()), 1..10),
+        ) {
+            let mut churn = Churn::new(seed, full_mesh);
+            // A replicated workload rides along so convergence is not vacuous.
+            let alice = PeerId::random(&mut churn.rng);
+            churn.federation.broker(0).establish_session(alice, "alice");
+            churn.federation.broker(0).index_and_distribute(
+                alice,
+                &GroupId::new("math"),
+                "jxta:PipeAdvertisement",
+                "<churn/>",
+            );
+            churn.federation.pump();
+
+            for &(selector, pick) in &ops {
+                match selector {
+                    0 if churn.federation.len() < MAX => {
+                        let broker = churn.make_broker();
+                        churn.federation.add_broker(broker);
+                    }
+                    1 if churn.federation.len() > 2 => {
+                        // Graceful removal (drop_session + goodbye gossip).
+                        let at = pick as usize % churn.federation.len();
+                        churn.federation.remove_broker(at);
+                    }
+                    _ if churn.federation.len() > 2 => {
+                        // Crash: the broker vanishes without draining its
+                        // departure gossip first; remove_broker's survivor
+                        // cleanup is all that heals the views.
+                        let at = pick as usize % churn.federation.len();
+                        if churn.federation.broker(at).id() != churn.federation.broker(0).id()
+                            || churn.federation.len() > 3
+                        {
+                            churn.federation.remove_broker(at);
+                        }
+                    }
+                    _ => {}
+                }
+                prop_assert!(churn.overlay_connected().is_ok(),
+                    "{}", churn.overlay_connected().unwrap_err());
+            }
+            churn.federation.pump();
+            // Anti-entropy over the view edges is allowed to finish the heal
+            // after heavy churn; it must converge within a few rounds.
+            prop_assert!(
+                churn.federation.repair_until_converged(6).is_some(),
+                "churned federation failed to reconverge (full_mesh={full_mesh})"
+            );
+            prop_assert!(churn.overlay_connected().is_ok());
         }
     }
 }

@@ -28,9 +28,19 @@
 //!   (`connect`, `login`, `sendMsgPeer`, `sendMsgPeerGroup`, file publication,
 //!   presence) and the event stream produced by incoming messages.
 //! * [`group`] — overlapping peer groups and membership bookkeeping.
-//! * [`federation`] — the broker backbone: full-mesh interconnection,
-//!   gossip-based replication of the index/membership/routing state, and
-//!   cross-broker relaying of client payloads.
+//! * [`federation`] — the broker backbone: broker interconnection (the known
+//!   peer set every broker admits traffic from), gossip-based replication of
+//!   the index/membership/routing state, and cross-broker relaying of client
+//!   payloads.
+//! * [`membership`] — HyParView-style partial views over the known peer set:
+//!   a bounded active view that caps every broker's routing degree plus a
+//!   passive healing reservoir, with a pinned ring successor keeping the
+//!   overlay provably connected.  Small federations keep complete views (the
+//!   full-mesh behaviour); [`broker::BrokerConfig::with_full_mesh`] pins it.
+//! * [`plumtree`] — Plumtree-style dissemination over the active view: eager
+//!   push along a self-repairing spanning tree, lazy `IHave` digests on the
+//!   remaining active edges, `Graft`/`Prune` tree repair, with anti-entropy
+//!   as the last-resort safety net.
 //! * [`shard`] — the consistent-hash ring that partitions the advertisement
 //!   index and group membership across K replica brokers instead of fully
 //!   replicating them (the peer→home-broker routing table stays fully
@@ -55,9 +65,11 @@ pub mod error;
 pub mod federation;
 pub mod group;
 pub mod id;
+pub mod membership;
 pub mod message;
 pub mod metrics;
 pub mod net;
+pub mod plumtree;
 pub mod shard;
 
 pub use broker::{Broker, BrokerConfig, BrokerHandle};

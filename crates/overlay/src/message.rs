@@ -81,6 +81,24 @@ pub enum MessageKind {
     /// level down, or with range-scoped [`MessageKind::AntiEntropySnapshot`]
     /// pages once a divergent range is small enough to ship.
     AntiEntropyRange = 46,
+    /// Broker ↔ broker: a HyParView shuffle — a pseudo-random sample of the
+    /// sender's partial view, offered so the receiver can refresh its
+    /// passive (healing) reservoir.  Answered with
+    /// [`MessageKind::MembershipShuffleReply`].
+    MembershipShuffle = 47,
+    /// Broker ↔ broker: the receiver's own sample answering a
+    /// [`MessageKind::MembershipShuffle`] (not answered further).
+    MembershipShuffleReply = 48,
+    /// Broker ↔ broker: a lazy Plumtree digest — the gossip ids of broadcast
+    /// events the sender holds but did not push eagerly over this edge.  A
+    /// receiver missing one answers [`MessageKind::PlumtreeGraft`].
+    PlumtreeIHave = 49,
+    /// Broker ↔ broker: pulls broadcast events a digest revealed as missed
+    /// and promotes the advertising edge into the sender's eager tree.
+    PlumtreeGraft = 50,
+    /// Broker ↔ broker: demotes the edge to lazy — the receiver keeps
+    /// delivering duplicates the tree already covers.
+    PlumtreePrune = 51,
 }
 
 impl MessageKind {
@@ -112,6 +130,11 @@ impl MessageKind {
             44 => AntiEntropyDigest,
             45 => AntiEntropySnapshot,
             46 => AntiEntropyRange,
+            47 => MembershipShuffle,
+            48 => MembershipShuffleReply,
+            49 => PlumtreeIHave,
+            50 => PlumtreeGraft,
+            51 => PlumtreePrune,
             _ => return None,
         })
     }
@@ -398,6 +421,11 @@ mod tests {
             MessageKind::AntiEntropyDigest,
             MessageKind::AntiEntropySnapshot,
             MessageKind::AntiEntropyRange,
+            MessageKind::MembershipShuffle,
+            MessageKind::MembershipShuffleReply,
+            MessageKind::PlumtreeIHave,
+            MessageKind::PlumtreeGraft,
+            MessageKind::PlumtreePrune,
         ] {
             assert_eq!(MessageKind::from_u8(kind as u8), Some(kind));
         }

@@ -334,6 +334,27 @@ pub struct FederationStats {
     /// Range-scoped snapshot pages sent during tree repair (the final legs
     /// that actually carry entries).
     pub repair_pages: u64,
+    /// Broadcast gossip events pushed eagerly (full payload) along Plumtree
+    /// tree edges, counted per (event, edge) pair.
+    pub eager_pushes: u64,
+    /// Lazy `IHave` digests sent on non-tree active edges.
+    pub ihaves_sent: u64,
+    /// `Graft` pulls sent after a digest revealed a missed broadcast (each
+    /// one also promotes the advertising edge into the eager tree).
+    pub grafts_sent: u64,
+    /// `Prune` demotions sent after an edge delivered only duplicates.
+    pub prunes_sent: u64,
+    /// Grafted gossip ids whose payload had already left the bounded cache —
+    /// the cases anti-entropy must heal instead.
+    pub graft_misses: u64,
+    /// Publishes this broker originated (the denominator of the fan-out
+    /// counters below).
+    pub publishes: u64,
+    /// Sum over publishes of the peers addressed directly (full mesh: N−1;
+    /// epidemic: the eager edge count; sharded: replicas plus member hosts).
+    pub publish_fanout_total: u64,
+    /// Largest single-publish fan-out observed.
+    pub publish_fanout_max: u64,
 }
 
 /// Thread-safe counters describing a broker's participation in the
@@ -357,6 +378,14 @@ pub struct FederationMetrics {
     repair_bytes: AtomicU64,
     descent_rounds: AtomicU64,
     repair_pages: AtomicU64,
+    eager_pushes: AtomicU64,
+    ihaves_sent: AtomicU64,
+    grafts_sent: AtomicU64,
+    prunes_sent: AtomicU64,
+    graft_misses: AtomicU64,
+    publishes: AtomicU64,
+    publish_fanout_total: AtomicU64,
+    publish_fanout_max: AtomicU64,
 }
 
 impl FederationMetrics {
@@ -445,6 +474,38 @@ impl FederationMetrics {
         self.repair_pages.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records `n` eager pushes of one broadcast event (one per tree edge).
+    pub fn count_eager_pushes(&self, n: u64) {
+        self.eager_pushes.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a lazy `IHave` digest sent.
+    pub fn count_ihave_sent(&self) {
+        self.ihaves_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `Graft` pull sent.
+    pub fn count_graft_sent(&self) {
+        self.grafts_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a `Prune` demotion sent.
+    pub fn count_prune_sent(&self) {
+        self.prunes_sent.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a grafted gossip id whose payload was no longer cached.
+    pub fn count_graft_miss(&self) {
+        self.graft_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one originated publish that directly addressed `fanout` peers.
+    pub fn count_publish_fanout(&self, fanout: u64) {
+        self.publishes.fetch_add(1, Ordering::Relaxed);
+        self.publish_fanout_total.fetch_add(fanout, Ordering::Relaxed);
+        self.publish_fanout_max.fetch_max(fanout, Ordering::Relaxed);
+    }
+
     /// Consistent snapshot of the counters.
     pub fn snapshot(&self) -> FederationStats {
         FederationStats {
@@ -464,6 +525,14 @@ impl FederationMetrics {
             repair_bytes: self.repair_bytes.load(Ordering::Relaxed),
             descent_rounds: self.descent_rounds.load(Ordering::Relaxed),
             repair_pages: self.repair_pages.load(Ordering::Relaxed),
+            eager_pushes: self.eager_pushes.load(Ordering::Relaxed),
+            ihaves_sent: self.ihaves_sent.load(Ordering::Relaxed),
+            grafts_sent: self.grafts_sent.load(Ordering::Relaxed),
+            prunes_sent: self.prunes_sent.load(Ordering::Relaxed),
+            graft_misses: self.graft_misses.load(Ordering::Relaxed),
+            publishes: self.publishes.load(Ordering::Relaxed),
+            publish_fanout_total: self.publish_fanout_total.load(Ordering::Relaxed),
+            publish_fanout_max: self.publish_fanout_max.load(Ordering::Relaxed),
         }
     }
 }
@@ -543,6 +612,13 @@ mod tests {
         metrics.count_descent_round();
         metrics.count_repair_page();
         metrics.count_repair_page();
+        metrics.count_eager_pushes(4);
+        metrics.count_ihave_sent();
+        metrics.count_graft_sent();
+        metrics.count_prune_sent();
+        metrics.count_graft_miss();
+        metrics.count_publish_fanout(3);
+        metrics.count_publish_fanout(7);
         let stats = metrics.snapshot();
         assert_eq!(stats.syncs_sent, 2);
         assert_eq!(stats.syncs_applied, 1);
@@ -560,6 +636,14 @@ mod tests {
         assert_eq!(stats.repair_bytes, 192);
         assert_eq!(stats.descent_rounds, 1);
         assert_eq!(stats.repair_pages, 2);
+        assert_eq!(stats.eager_pushes, 4);
+        assert_eq!(stats.ihaves_sent, 1);
+        assert_eq!(stats.grafts_sent, 1);
+        assert_eq!(stats.prunes_sent, 1);
+        assert_eq!(stats.graft_misses, 1);
+        assert_eq!(stats.publishes, 2);
+        assert_eq!(stats.publish_fanout_total, 10);
+        assert_eq!(stats.publish_fanout_max, 7);
     }
 
     #[test]

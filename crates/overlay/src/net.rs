@@ -248,6 +248,11 @@ pub struct SimNetwork {
     /// per-peer breakdown of [`NetStats::overflow_dropped`].  Benchmarks use
     /// it to prove a measured row dropped nothing at a specific broker.
     shed: Mutex<HashMap<PeerId, u64>>,
+    /// Messages successfully enqueued per **sender**, ever.  The per-broker
+    /// load view the backbone experiments need: a full-mesh origin sends
+    /// O(N) messages per publish while an epidemic origin sends O(fanout),
+    /// which only a sender-side counter can show.
+    sent: Mutex<HashMap<PeerId, u64>>,
 }
 
 impl SimNetwork {
@@ -262,6 +267,7 @@ impl SimNetwork {
             backpressure_timeout: Mutex::with_class("net.backpressure_timeout", DEFAULT_BACKPRESSURE_TIMEOUT),
             delivered: Mutex::with_class("net.delivered", HashMap::new()),
             shed: Mutex::with_class("net.shed", HashMap::new()),
+            sent: Mutex::with_class("net.sent", HashMap::new()),
         })
     }
 
@@ -469,6 +475,7 @@ impl SimNetwork {
             }
         }
         *self.delivered.lock().entry(message.to).or_insert(0) += 1;
+        *self.sent.lock().entry(message.from).or_insert(0) += 1;
         Ok(true)
     }
 
@@ -482,6 +489,13 @@ impl SimNetwork {
     /// [`NetStats::overflow_dropped`].
     pub fn shed_to(&self, peer: &PeerId) -> u64 {
         self.shed.lock().get(peer).copied().unwrap_or(0)
+    }
+
+    /// Total messages ever successfully sent *by* `peer` (monotone).
+    /// Redirected deliveries still count against the original sender; shed
+    /// and adversarially dropped messages never enqueued, so they don't.
+    pub fn sent_by(&self, peer: &PeerId) -> u64 {
+        self.sent.lock().get(peer).copied().unwrap_or(0)
     }
 }
 

@@ -1,0 +1,212 @@
+//! Plumtree-style dissemination over the active view.
+//!
+//! Layered on [`crate::membership::PartialView`]: broadcast gossip (the
+//! fully replicated publish/join/leave events) is **eagerly pushed** along a
+//! per-broker spanning-tree edge set (the *eager* peers) and only
+//! **advertised** — as a compact `IHave` digest of gossip ids — on the
+//! remaining active edges (the *lazy* peers).  A receiver that learns about
+//! a message from a digest it never received eagerly answers `Graft`, which
+//! both pulls the missed payload and promotes the advertising edge into the
+//! tree; a receiver that keeps getting duplicates over an edge answers
+//! `Prune`, demoting it to lazy.  The tree therefore repairs itself around
+//! dropped edges and converges towards one eager path per broker pair, while
+//! the PR 4/7 anti-entropy machinery stays underneath as the last-resort
+//! safety net (a graft that misses the bounded cache heals there).
+//!
+//! This module is the bookkeeping only — eager/lazy edge sets, the bounded
+//! seen-set and payload cache keyed by [`GossipId`].  The broker owns one
+//! [`PlumtreeState`] behind a classed lock and drives it from its gossip
+//! paths and the `PlumtreeIHave`/`PlumtreeGraft`/`PlumtreePrune` wire
+//! messages.
+
+use crate::id::PeerId;
+use std::collections::{BTreeSet, HashMap, HashSet, VecDeque};
+
+/// Identity of one broadcast gossip event: the version origin that created
+/// it and the sequence number it was versioned under.  The pair is exactly
+/// the event's last-writer-wins version, so it is already unique per write
+/// and travels in the event's existing `vorigin`/`seq` fields.
+pub type GossipId = (PeerId, u64);
+
+/// Default bound of the seen-set and the graft cache.  Eviction is FIFO;
+/// an evicted entry can only cost a redundant application (the LWW merge
+/// rejects it) or a graft miss (anti-entropy heals it).
+pub const DEFAULT_CACHE: usize = 4096;
+
+/// Plumtree bookkeeping for one broker.
+#[derive(Debug)]
+pub struct PlumtreeState {
+    /// Tree edges: broadcast payloads are pushed here in full.
+    eager: BTreeSet<PeerId>,
+    /// Remaining active edges: only `IHave` digests travel here.
+    lazy: BTreeSet<PeerId>,
+    /// Gossip ids this broker has already received or originated.
+    seen: HashSet<GossipId>,
+    seen_order: VecDeque<GossipId>,
+    /// Recently seen payloads, kept to answer `Graft` pulls.
+    cache: HashMap<GossipId, Vec<(String, String)>>,
+    cache_order: VecDeque<GossipId>,
+    capacity: usize,
+}
+
+impl PlumtreeState {
+    /// Creates empty state with the given seen/cache bound (clamped to 1).
+    pub fn new(capacity: usize) -> Self {
+        PlumtreeState {
+            eager: BTreeSet::new(),
+            lazy: BTreeSet::new(),
+            seen: HashSet::new(),
+            seen_order: VecDeque::new(),
+            cache: HashMap::new(),
+            cache_order: VecDeque::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Reconciles the edge sets with the membership layer's active view:
+    /// peers that left the view are dropped, new active peers start out
+    /// eager (optimistic — the first duplicate over the edge prunes it).
+    pub fn sync_active(&mut self, active: &[PeerId]) {
+        let view: BTreeSet<PeerId> = active.iter().copied().collect();
+        self.eager.retain(|p| view.contains(p));
+        self.lazy.retain(|p| view.contains(p));
+        for peer in view {
+            if !self.eager.contains(&peer) && !self.lazy.contains(&peer) {
+                self.eager.insert(peer);
+            }
+        }
+    }
+
+    /// Records `gid` as seen.  Returns `true` when it was fresh — the caller
+    /// applies and forwards the event only then.
+    pub fn note_seen(&mut self, gid: GossipId) -> bool {
+        if !self.seen.insert(gid) {
+            return false;
+        }
+        self.seen_order.push_back(gid);
+        while self.seen_order.len() > self.capacity {
+            if let Some(evicted) = self.seen_order.pop_front() {
+                self.seen.remove(&evicted);
+            }
+        }
+        true
+    }
+
+    /// Returns `true` when `gid` was already seen.
+    pub fn has_seen(&self, gid: &GossipId) -> bool {
+        self.seen.contains(gid)
+    }
+
+    /// Stores an event's field list so a later `Graft` can pull it.
+    pub fn cache_event(&mut self, gid: GossipId, fields: Vec<(String, String)>) {
+        if self.cache.insert(gid, fields).is_none() {
+            self.cache_order.push_back(gid);
+        }
+        while self.cache_order.len() > self.capacity {
+            if let Some(evicted) = self.cache_order.pop_front() {
+                self.cache.remove(&evicted);
+            }
+        }
+    }
+
+    /// The cached field list of `gid`, if it has not been evicted.
+    pub fn cached(&self, gid: &GossipId) -> Option<Vec<(String, String)>> {
+        self.cache.get(gid).cloned()
+    }
+
+    /// Demotes an edge to lazy (a duplicate arrived over it, or the peer
+    /// pruned us).  Returns `true` when the peer was eager until now.
+    pub fn demote(&mut self, peer: PeerId) -> bool {
+        if self.eager.remove(&peer) {
+            self.lazy.insert(peer);
+            return true;
+        }
+        false
+    }
+
+    /// Promotes an edge to eager (a digest over it beat the tree, or the
+    /// peer grafted it).  Returns `true` when the peer was lazy until now.
+    pub fn promote(&mut self, peer: PeerId) -> bool {
+        if self.lazy.remove(&peer) {
+            self.eager.insert(peer);
+            return true;
+        }
+        false
+    }
+
+    /// The eager (tree) edges, sorted.
+    pub fn eager(&self) -> Vec<PeerId> {
+        self.eager.iter().copied().collect()
+    }
+
+    /// The lazy (digest-only) edges, sorted.
+    pub fn lazy(&self) -> Vec<PeerId> {
+        self.lazy.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use jxta_crypto::drbg::HmacDrbg;
+
+    fn peers(n: usize, seed: u64) -> Vec<PeerId> {
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        (0..n).map(|_| PeerId::random(&mut rng)).collect()
+    }
+
+    #[test]
+    fn new_active_peers_start_eager_and_leavers_are_dropped() {
+        let ids = peers(4, 1);
+        let mut state = PlumtreeState::new(16);
+        state.sync_active(&ids[..3]);
+        assert_eq!(state.eager().len(), 3);
+        state.demote(ids[0]);
+        assert_eq!(state.lazy(), vec![ids[0]].into_iter().collect::<Vec<_>>());
+        // ids[0] leaves the view, ids[3] joins: the demotion survives for
+        // the peers that stayed, the newcomer starts eager.
+        state.sync_active(&ids[1..]);
+        assert!(!state.eager().contains(&ids[0]) && !state.lazy().contains(&ids[0]));
+        assert!(state.eager().contains(&ids[3]));
+        assert!(state.eager().contains(&ids[1]) && state.eager().contains(&ids[2]));
+    }
+
+    #[test]
+    fn seen_set_dedups_and_evicts_fifo() {
+        let ids = peers(1, 2);
+        let mut state = PlumtreeState::new(3);
+        assert!(state.note_seen((ids[0], 1)));
+        assert!(!state.note_seen((ids[0], 1)), "duplicate");
+        assert!(state.note_seen((ids[0], 2)));
+        assert!(state.note_seen((ids[0], 3)));
+        assert!(state.note_seen((ids[0], 4)), "evicts (_, 1)");
+        assert!(!state.has_seen(&(ids[0], 1)), "FIFO eviction at capacity 3");
+        assert!(state.has_seen(&(ids[0], 4)));
+    }
+
+    #[test]
+    fn cache_serves_grafts_until_evicted() {
+        let ids = peers(1, 3);
+        let mut state = PlumtreeState::new(2);
+        let fields = vec![("op".to_string(), "publish".to_string())];
+        state.cache_event((ids[0], 1), fields.clone());
+        state.cache_event((ids[0], 2), vec![]);
+        assert_eq!(state.cached(&(ids[0], 1)), Some(fields));
+        state.cache_event((ids[0], 3), vec![]);
+        assert_eq!(state.cached(&(ids[0], 1)), None, "FIFO eviction");
+        assert!(state.cached(&(ids[0], 3)).is_some());
+    }
+
+    #[test]
+    fn demote_and_promote_move_edges_between_sets() {
+        let ids = peers(2, 4);
+        let mut state = PlumtreeState::new(8);
+        state.sync_active(&ids);
+        assert!(state.demote(ids[0]));
+        assert!(!state.demote(ids[0]), "already lazy");
+        assert_eq!(state.eager(), vec![ids[1]].into_iter().collect::<Vec<_>>());
+        assert!(state.promote(ids[0]));
+        assert!(!state.promote(ids[0]), "already eager");
+        assert_eq!(state.lazy(), Vec::<PeerId>::new());
+    }
+}

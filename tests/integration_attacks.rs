@@ -448,3 +448,215 @@ fn forged_advertisements_cannot_hijack_secure_messages() {
     assert!(result.is_err());
     assert!(bob.receive_secure_messages().unwrap().is_empty());
 }
+
+// ----------------------------------------------------------------------
+// Tree-repair batteries: adversaries on the epidemic (Plumtree) backbone
+//
+// The drop batteries above attack a two-broker mesh, where every event has
+// exactly one path.  Once the federation engages the partial-view fabric,
+// dissemination rides a pruned eager tree — so a dropped edge is no longer
+// "the" path but "a" path, and the protocol owes us recovery through the
+// lazy `IHave` → `Graft` channel, with hash-tree anti-entropy as the last
+// resort when even that is cut.
+
+mod tree_repair {
+    use super::{EdgeAdversary, GroupId};
+    use jxta_crypto::drbg::HmacDrbg;
+    use jxta_overlay::broker::{Broker, BrokerConfig};
+    use jxta_overlay::federation::InlineFederation;
+    use jxta_overlay::metrics::FederationStats;
+    use jxta_overlay::net::RandomDrop;
+    use jxta_overlay::{LinkModel, PeerId, SimNetwork, UserDatabase};
+    use std::collections::HashMap;
+    use std::sync::Arc;
+
+    const GROUP: &str = "ops";
+
+    /// Builds an inline federation large enough (over small view capacities)
+    /// that every broker engages the epidemic fabric, then runs a warm-up
+    /// workload until duplicate digests have pruned the eager graph — so the
+    /// lazy `IHave` links the batteries attack actually exist.
+    fn epidemic_fixture(seed: u64, broker_count: usize) -> (Arc<SimNetwork>, InlineFederation) {
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        let network = SimNetwork::new(LinkModel::ideal());
+        let database = Arc::new(UserDatabase::new());
+        let brokers: Vec<Arc<Broker>> = (0..broker_count)
+            .map(|i| {
+                Broker::new(
+                    PeerId::random(&mut rng),
+                    BrokerConfig::named(format!("b{i}")).with_view_capacities(3, 8),
+                    Arc::clone(&network),
+                    Arc::clone(&database),
+                )
+            })
+            .collect();
+        let federation = InlineFederation::new(brokers);
+        assert!(federation.broker(0).epidemic_engaged());
+
+        let group = GroupId::new(GROUP);
+        for round in 0..8 {
+            for i in 0..federation.len() {
+                federation.broker(i).index_and_distribute(
+                    PeerId::random(&mut rng),
+                    &group,
+                    "jxta:PipeAdvertisement",
+                    &format!("<warm r=\"{round}\" b=\"{i}\"/>"),
+                );
+                federation.pump();
+            }
+            if backbone_stat(&federation, |s| s.prunes_sent) > 0 {
+                break;
+            }
+        }
+        assert!(federation.converged(), "warm-up workload converged");
+        assert!(
+            backbone_stat(&federation, |s| s.prunes_sent) > 0,
+            "warm-up duplicates pruned the eager graph"
+        );
+        (network, federation)
+    }
+
+    fn backbone_stat(federation: &InlineFederation, pick: fn(&FederationStats) -> u64) -> u64 {
+        (0..federation.len())
+            .map(|i| pick(&federation.broker(i).federation_stats()))
+            .sum()
+    }
+
+    fn holds_advertisement(federation: &InlineFederation, index: usize, marker: &str) -> bool {
+        federation
+            .broker(index)
+            .advertisement_snapshot()
+            .iter()
+            .any(|(_, _, _, xml)| xml.contains(marker))
+    }
+
+    /// Cut *every* eager in-edge of one broker mid-broadcast.  The victim can
+    /// then only learn of the event through a lazy `IHave` digest, which it
+    /// must answer with a `Graft` — the Plumtree repair path end to end.
+    #[test]
+    fn severed_eager_edges_recover_through_lazy_ihave_grafts() {
+        let (network, federation) = epidemic_fixture(91, 10);
+        let ids: Vec<PeerId> = (0..federation.len()).map(|i| federation.broker(i).id()).collect();
+
+        // Invert the per-broker views into in-edge maps of the pruned tree.
+        let mut in_eager: HashMap<PeerId, Vec<PeerId>> = HashMap::new();
+        let mut in_lazy: HashMap<PeerId, Vec<PeerId>> = HashMap::new();
+        for i in 0..federation.len() {
+            let broker = federation.broker(i);
+            for peer in broker.epidemic_eager_peers() {
+                in_eager.entry(peer).or_default().push(broker.id());
+            }
+            for peer in broker.epidemic_lazy_peers() {
+                in_lazy.entry(peer).or_default().push(broker.id());
+            }
+        }
+
+        // A victim is attackable when all its eager in-edges can be cut while
+        // at least one lazy in-edge (an `IHave` source) survives outside the
+        // cut set.
+        let (victim, scope) = ids
+            .iter()
+            .find_map(|v| {
+                let eager_in = in_eager.get(v).cloned().unwrap_or_default();
+                let lazy_in = in_lazy.get(v).cloned().unwrap_or_default();
+                if eager_in.is_empty() || !lazy_in.iter().any(|l| !eager_in.contains(l)) {
+                    return None;
+                }
+                let mut scope = eager_in;
+                scope.push(*v);
+                Some((*v, scope))
+            })
+            .expect("fixture yields a broker whose eager in-edges are cuttable");
+        let victim_index = ids.iter().position(|id| *id == victim).unwrap();
+        let origin = ids
+            .iter()
+            .position(|id| !scope.contains(id))
+            .expect("an origin outside the cut set");
+
+        let dropper = RandomDrop::between(17, 100, scope);
+        network.set_adversary(dropper.clone());
+
+        let grafts_before = backbone_stat(&federation, |s| s.grafts_sent);
+        let mut rng = HmacDrbg::from_seed_u64(0xA11CE);
+        federation.broker(origin).index_and_distribute(
+            PeerId::random(&mut rng),
+            &GroupId::new(GROUP),
+            "jxta:PipeAdvertisement",
+            "<healed/>",
+        );
+        federation.pump();
+
+        assert!(dropper.dropped_count() > 0, "the eager in-edges did carry traffic");
+        assert!(
+            holds_advertisement(&federation, victim_index, "<healed/>"),
+            "victim obtained the broadcast with every eager in-edge cut"
+        );
+        assert!(
+            backbone_stat(&federation, |s| s.grafts_sent) > grafts_before,
+            "recovery went through the IHave -> Graft channel"
+        );
+
+        // Brokers inside the cut set missed each other's traffic; once the
+        // adversary lifts, anti-entropy settles the remainder.
+        network.clear_adversary();
+        assert!(federation.repair_until_converged(6).is_some());
+    }
+
+    /// A single cut eager edge: the broadcast routes around it — through the
+    /// remaining eager forwards or a graft — and anti-entropy stays the last
+    /// resort, not the first.
+    #[test]
+    fn a_single_cut_eager_edge_is_routed_around() {
+        let (network, federation) = epidemic_fixture(92, 10);
+        let eager = federation.broker(0).epidemic_eager_peers();
+        assert!(!eager.is_empty(), "the origin has eager tree edges");
+        let dropper = EdgeAdversary::drop_all(federation.broker(0).id(), eager[0]);
+        network.set_adversary(dropper.clone());
+
+        let mut rng = HmacDrbg::from_seed_u64(0xB0B);
+        federation.broker(0).index_and_distribute(
+            PeerId::random(&mut rng),
+            &GroupId::new(GROUP),
+            "jxta:PipeAdvertisement",
+            "<around/>",
+        );
+        federation.pump();
+        assert!(dropper.intercepted_count() > 0, "the cut edge was on the eager tree");
+
+        network.clear_adversary();
+        if !federation.converged() {
+            assert!(
+                federation.repair_until_converged(4).is_some(),
+                "anti-entropy recovers what the tree could not re-route"
+            );
+        }
+        assert!(federation.converged());
+    }
+
+    /// Black out the whole backbone mid-broadcast.  Plumtree has already
+    /// flushed its one shot; only the hash-tree anti-entropy of the repair
+    /// scheduler can still carry the event once the adversary lifts.
+    #[test]
+    fn blackout_broadcast_heals_through_anti_entropy_as_last_resort() {
+        let (network, federation) = epidemic_fixture(93, 9);
+        let dropper = RandomDrop::new(5, 100);
+        network.set_adversary(dropper.clone());
+
+        let mut rng = HmacDrbg::from_seed_u64(0xEC11);
+        federation.broker(0).index_and_distribute(
+            PeerId::random(&mut rng),
+            &GroupId::new(GROUP),
+            "jxta:PipeAdvertisement",
+            "<eclipse/>",
+        );
+        federation.pump();
+        assert!(!federation.converged(), "a black-holed broadcast reaches nobody");
+        assert!(dropper.dropped_count() > 0);
+
+        network.clear_adversary();
+        assert!(federation.repair_until_converged(8).is_some());
+        for i in 0..federation.len() {
+            assert!(holds_advertisement(&federation, i, "<eclipse/>"));
+        }
+    }
+}
