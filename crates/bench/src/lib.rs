@@ -1313,6 +1313,258 @@ pub fn write_bench8_json(result: &EpidemicFanoutResult) -> std::io::Result<std::
 }
 
 // ----------------------------------------------------------------------
+// E9 — SWIM failure detection: latency and false positives vs drop rate
+// ----------------------------------------------------------------------
+
+/// One cell of the E9 sweep: an epidemic federation of `brokers`, one
+/// crash-stopped victim, seeded flaky links at `drop_percent` on every
+/// backbone edge.
+#[derive(Debug, Clone, Serialize)]
+pub struct SwimDetectionRow {
+    /// Federation size (including the victim).
+    pub brokers: usize,
+    /// Per-edge message drop probability (percent) during the sweep.
+    pub drop_percent: u32,
+    /// Survivors whose detector confirmed the victim dead — and whose
+    /// active view excluded it — within the sweep's tick budget.
+    pub survivors_detected: usize,
+    /// Survivors total (`brokers - 1`).
+    pub survivors: usize,
+    /// Median detection latency in repair ticks after the crash, over the
+    /// survivors that detected.
+    pub detection_p50_ticks: f64,
+    /// 99th-percentile detection latency in repair ticks.
+    pub detection_p99_ticks: f64,
+    /// Whether every survivor detected the crash within
+    /// [`jxta_overlay::swim::PROBE_BUDGET_TICKS`].
+    pub detected_within_budget: bool,
+    /// `(broker, live peer)` pairs held `Dead` at sweep end — live brokers
+    /// falsely buried (and not yet dug out by refutation).
+    pub false_positive_pairs: u64,
+    /// `false_positive_pairs` over all ordered live pairs.
+    pub false_positive_rate: f64,
+    /// Direct SWIM probes sent across the federation during the sweep.
+    pub swim_probes: u64,
+    /// Indirect ping-requests relayed during the sweep.
+    pub swim_indirect_probes: u64,
+    /// Incarnation refutations broadcast during the sweep.
+    pub swim_refutations: u64,
+    /// Messages the fault plan dropped (crash plus flaky links).
+    pub dropped_messages: u64,
+}
+
+/// The E9 result.
+#[derive(Debug, Clone, Serialize)]
+pub struct SwimDetectionResult {
+    /// Experiment identifier (`"e9-swim-detection"`).
+    pub experiment: String,
+    /// Whether the quick (CI smoke) sweep was run.
+    pub quick: bool,
+    /// The detection budget the `detected_within_budget` column is judged
+    /// against, in repair ticks.
+    pub probe_budget_ticks: u64,
+    /// The measured cells.
+    pub rows: Vec<SwimDetectionRow>,
+}
+
+/// Nearest-rank percentile of a sorted sample (`q` in `[0, 1]`).
+fn percentile_ticks(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return f64::NAN;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1] as f64
+}
+
+/// Measures one E9 cell.  Broker 1 crash-stops mid-broadcast; every other
+/// edge runs a seeded flaky link at `drop_percent`.  The surviving brokers
+/// drive their repair cadence for `2 ×` the probe budget, and a survivor
+/// counts as having *detected* the crash at the first tick where its SWIM
+/// record for the victim is `Dead` **and** its active view excludes the
+/// victim — the operator-free eviction the detector exists to deliver.
+pub fn measure_swim_detection(brokers: usize, drop_percent: u32, seed: u64) -> SwimDetectionRow {
+    use jxta_overlay::broker::{Broker, BrokerConfig};
+    use jxta_overlay::federation::InlineFederation;
+    use jxta_overlay::net::{FaultPlan, SimNetwork};
+    use jxta_overlay::swim::{PeerState, PROBE_BUDGET_TICKS};
+    use jxta_overlay::{GroupId, PeerId, UserDatabase};
+
+    let mut rng = jxta_crypto::drbg::HmacDrbg::from_seed_u64(seed);
+    let network = SimNetwork::new(LinkModel::ideal());
+    let database = Arc::new(UserDatabase::new());
+    let members: Vec<Arc<Broker>> = (0..brokers)
+        .map(|i| {
+            Broker::new(
+                PeerId::random(&mut rng),
+                BrokerConfig::named(format!("broker-{}", i + 1)).with_view_capacities(4, 12),
+                Arc::clone(&network),
+                Arc::clone(&database),
+            )
+        })
+        .collect();
+    let ids: Vec<PeerId> = members.iter().map(|b| b.id()).collect();
+    let federation = InlineFederation::new(members);
+    assert!(federation.broker(0).epidemic_engaged());
+
+    let victim = 1usize;
+    let mut plan = FaultPlan::new(seed ^ 0xE9_5EED).crash_stop(ids[victim], 0);
+    if drop_percent > 0 {
+        for a in 0..brokers {
+            for b in (a + 1)..brokers {
+                plan = plan.flaky_link(ids[a], ids[b], drop_percent);
+            }
+        }
+    }
+    let plan = plan.into_adversary();
+    network.set_adversary(plan.clone());
+
+    // The crash lands mid-broadcast: the victim holds an undelivered
+    // forwarding obligation when it goes dark.
+    federation.broker(0).index_and_distribute(
+        PeerId::random(&mut rng),
+        &GroupId::new(EXPERIMENT_GROUP),
+        "jxta:PipeAdvertisement",
+        "<casualty/>",
+    );
+    federation.pump();
+
+    let max_ticks = 2 * PROBE_BUDGET_TICKS;
+    let mut detected_at: Vec<Option<u64>> = vec![None; brokers];
+    for tick in 1..=max_ticks {
+        for (i, id) in ids.iter().enumerate() {
+            if !plan.is_crashed(id) {
+                federation.broker(i).start_repair_round();
+            }
+        }
+        federation.pump();
+        plan.advance_tick();
+        for (i, slot) in detected_at.iter_mut().enumerate() {
+            if i == victim || slot.is_some() {
+                continue;
+            }
+            let dead = matches!(
+                federation.broker(i).swim_record(&ids[victim]).map(|r| r.state),
+                Some(PeerState::Dead)
+            );
+            if dead && !federation.broker(i).active_view().contains(&ids[victim]) {
+                *slot = Some(tick);
+            }
+        }
+    }
+
+    let mut latencies: Vec<u64> = detected_at.iter().flatten().copied().collect();
+    latencies.sort_unstable();
+    let survivors = brokers - 1;
+    let detected_within_budget = latencies.len() == survivors
+        && latencies.last().copied().unwrap_or(u64::MAX) <= PROBE_BUDGET_TICKS;
+
+    // False positives: live brokers held dead at sweep end (drops still
+    // active — this is the rate the drop dimension exists to expose).
+    let mut false_positive_pairs = 0u64;
+    for (i, id) in ids.iter().enumerate() {
+        if i == victim {
+            continue;
+        }
+        false_positive_pairs += federation
+            .broker(i)
+            .swim_dead_members()
+            .iter()
+            .filter(|peer| **peer != ids[victim] && **peer != *id)
+            .count() as u64;
+    }
+    let live_pairs = (survivors * survivors.saturating_sub(1)) as f64;
+    let stats_sum = |field: fn(&jxta_overlay::metrics::FederationStats) -> u64| -> u64 {
+        (0..federation.len())
+            .map(|b| field(&federation.broker(b).federation_stats()))
+            .sum()
+    };
+    SwimDetectionRow {
+        brokers,
+        drop_percent,
+        survivors_detected: latencies.len(),
+        survivors,
+        detection_p50_ticks: percentile_ticks(&latencies, 0.50),
+        detection_p99_ticks: percentile_ticks(&latencies, 0.99),
+        detected_within_budget,
+        false_positive_pairs,
+        false_positive_rate: if live_pairs > 0.0 {
+            false_positive_pairs as f64 / live_pairs
+        } else {
+            0.0
+        },
+        swim_probes: stats_sum(|s| s.swim_probes),
+        swim_indirect_probes: stats_sum(|s| s.swim_indirect_probes),
+        swim_refutations: stats_sum(|s| s.swim_refutations),
+        dropped_messages: plan.dropped_count(),
+    }
+}
+
+/// Runs experiment E9: SWIM detection latency (p50/p99 repair ticks) and
+/// false-positive rate against the drop rate, at 32 and 128 brokers.  The
+/// quick sweep keeps the cells CI asserts on: zero false positives at drop
+/// rate 0 (both sizes) and within-budget detection at 128 brokers.
+pub fn experiment_swim_detection(config: &ExperimentConfig) -> SwimDetectionResult {
+    let quick = config.iterations <= ExperimentConfig::quick().iterations;
+    let drops: &[u32] = if quick { &[0, 25] } else { &[0, 10, 25, 40] };
+    let mut rows = Vec::new();
+    for &brokers in &[32usize, 128] {
+        for &drop_percent in drops {
+            if quick && brokers == 128 && drop_percent > 0 {
+                continue; // the quick sweep keeps only the asserted cells
+            }
+            let seed = 0xE9_0000 ^ (brokers as u64) ^ ((drop_percent as u64) << 32);
+            rows.push(measure_swim_detection(brokers, drop_percent, seed));
+        }
+    }
+    SwimDetectionResult {
+        experiment: "e9-swim-detection".to_string(),
+        quick,
+        probe_budget_ticks: jxta_overlay::swim::PROBE_BUDGET_TICKS,
+        rows,
+    }
+}
+
+/// Formats E9 as a text table.
+pub fn format_swim_detection_report(result: &SwimDetectionResult) -> String {
+    let mut out = format!(
+        "E9 — SWIM failure detection: latency (repair ticks) and false positives vs drop rate (budget = {} ticks)\n\
+         -------------------------------------------------------------------------------------------------------\n\
+         brokers | drop % | detected | p50 | p99 | in budget | false+ pairs | false+ rate | probes | indirect | refutations\n",
+        result.probe_budget_ticks
+    );
+    for row in &result.rows {
+        out.push_str(&format!(
+            "{:>7} | {:>6} | {:>4}/{:<4} | {:>3.0} | {:>3.0} | {:>9} | {:>12} | {:>11.4} | {:>6} | {:>8} | {:>11}\n",
+            row.brokers,
+            row.drop_percent,
+            row.survivors_detected,
+            row.survivors,
+            row.detection_p50_ticks,
+            row.detection_p99_ticks,
+            row.detected_within_budget,
+            row.false_positive_pairs,
+            row.false_positive_rate,
+            row.swim_probes,
+            row.swim_indirect_probes,
+            row.swim_refutations,
+        ));
+    }
+    out
+}
+
+/// Writes the E9 result as machine-readable `BENCH_9.json` at the workspace
+/// root.  Returns the path.
+pub fn write_bench9_json(result: &SwimDetectionResult) -> std::io::Result<std::path::PathBuf> {
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()?
+        .join("BENCH_9.json");
+    let json = serde_json::to_string_pretty(result).expect("serialise E9 result");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+// ----------------------------------------------------------------------
 // E6 — broker ingest throughput: lanes × verify workers × cache ablation
 // ----------------------------------------------------------------------
 

@@ -45,6 +45,7 @@ use crate::plumtree::{GossipId, PlumtreeState};
 use crate::metrics::{FederationMetrics, FederationStats, PipelineMetrics, PipelineStats};
 use crate::net::{NetMessage, SimNetwork};
 use crate::shard::{self, SectionTree, ShardRing};
+use crate::swim::{AliveOutcome, DeadOutcome, SuspectOutcome, SwimDetector};
 use parking_lot::{Mutex, RwLock};
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -138,6 +139,19 @@ pub struct BrokerConfig {
     /// Capacity of the membership layer's passive healing reservoir.
     /// Defaults to [`crate::membership::DEFAULT_PASSIVE_VIEW`].
     pub passive_view: usize,
+    /// Known-peer count above which the epidemic fabric engages (see
+    /// [`Broker::epidemic_engaged`]).
+    ///
+    /// `None` (the default) keeps the implicit PR 9 rule — engage once the
+    /// peer set outgrows [`BrokerConfig::active_view`], i.e. exactly when
+    /// the views stop being complete.  `Some(n)` pins the threshold
+    /// explicitly, decoupling *when* the federation goes epidemic from *how
+    /// wide* its routing degree is: a deployment can hold the full-mesh
+    /// fabric up to a larger backbone (`n` above the view capacity) or
+    /// engage early in tests (`Some(0)` engages at any size).  Like
+    /// [`BrokerConfig::full_mesh`], all brokers of one federation must
+    /// agree on it — the predicate must be uniform for forwarding to work.
+    pub engagement_threshold: Option<usize>,
 }
 
 impl Default for BrokerConfig {
@@ -152,6 +166,7 @@ impl Default for BrokerConfig {
             full_mesh: false,
             active_view: crate::membership::DEFAULT_ACTIVE_VIEW,
             passive_view: crate::membership::DEFAULT_PASSIVE_VIEW,
+            engagement_threshold: None,
         }
     }
 }
@@ -216,6 +231,14 @@ impl BrokerConfig {
     pub fn with_view_capacities(mut self, active: usize, passive: usize) -> Self {
         self.active_view = active;
         self.passive_view = passive;
+        self
+    }
+
+    /// Pins the epidemic engagement threshold: the fabric engages once the
+    /// known peer count exceeds `threshold`, independent of the view
+    /// capacity — see [`BrokerConfig::engagement_threshold`].
+    pub fn with_engagement_threshold(mut self, threshold: usize) -> Self {
+        self.engagement_threshold = Some(threshold);
         self
     }
 }
@@ -287,6 +310,13 @@ const REPAIR_PAGE_MAX: usize = 256;
 /// of descending further — massive divergence degrades toward the flat
 /// snapshot cost, never to an unbounded descent message.
 const REPAIR_MAX_RANGE_NODES: usize = 1024;
+
+/// Inbox backlog (messages delivered but not yet processed) per unit of
+/// SWIM local health: a broker `n ×` this far behind runs its failure
+/// detector `1 + n` times slower (capped at [`crate::swim::MAX_HEALTH`]),
+/// the Lifeguard insight that a node too busy to process acks in time
+/// should doubt itself before accusing its peers.
+const SWIM_BACKLOG_THRESHOLD: u64 = 64;
 
 /// How many arrivals one verify worker stamps per ingress-lock acquisition.
 /// Batching amortises the lock (and the wake-up of the next waiting worker)
@@ -509,6 +539,12 @@ pub struct Broker {
     /// Gossip ids pending lazy advertisement, coalesced into one
     /// `PlumtreeIHave` per destination at the next flush.
     ihave_outbox: Mutex<BTreeMap<PeerId, Vec<GossipId>>>,
+    /// SWIM failure detector over the admitted peer set, ticked by the
+    /// repair cadence ([`Broker::start_repair_round`]).  Confirmed deaths
+    /// feed `view` / `plumtree` through [`Broker::on_swim_death`]; the
+    /// admission state (`peer_brokers`, `seen_seq`) is deliberately left
+    /// alone so a recovered broker re-enters by simply answering a probe.
+    swim: Mutex<SwimDetector>,
     /// Which brokers host live members of each group: group → member →
     /// home broker.  Maintained from the same fully replicated join/leave
     /// gossip that feeds `peer_homes`, so it needs no extra wire traffic;
@@ -611,6 +647,7 @@ impl Broker {
                 PlumtreeState::new(crate::plumtree::DEFAULT_CACHE),
             ),
             ihave_outbox: Mutex::with_class("broker.ihave_outbox", BTreeMap::new()),
+            swim: Mutex::with_class("broker.swim", SwimDetector::new(id)),
             group_hosts: RwLock::with_class("broker.group_hosts", HashMap::new()),
             peer_homes: RwLock::with_class("broker.peer_homes", HashMap::new()),
             peer_versions: RwLock::with_class("broker.peer_versions", HashMap::new()),
@@ -691,6 +728,8 @@ impl Broker {
             view.active()
         };
         self.plumtree.lock().sync_active(&active);
+        let peers = self.peer_brokers.read().clone();
+        self.swim.lock().sync_members(&peers);
     }
 
     /// Removes a broker from the federation backbone and the shard ring.
@@ -739,6 +778,8 @@ impl Broker {
         };
         self.plumtree.lock().sync_active(&active);
         self.ihave_outbox.lock().remove(broker);
+        let peers = self.peer_brokers.read().clone();
+        self.swim.lock().sync_members(&peers);
         // The dead broker's hosted members left with it (mirrors the
         // peer_homes cleanup above).
         for hosts in self.group_hosts.write().values_mut() {
@@ -787,14 +828,21 @@ impl Broker {
     }
 
     /// Whether the epidemic fabric is active: the broker is not pinned to
-    /// full mesh and the known peer set has outgrown the active view, so
-    /// the view is a strict subset and broadcasts must be forwarded.  The
-    /// predicate depends only on configuration and the (replicated) peer
-    /// count, so every broker of a federation reaches the same answer —
-    /// which the forwarding protocol needs: a broker that pushed eagerly
-    /// must be able to rely on its neighbours pushing onward.
+    /// full mesh and the known peer set has outgrown the engagement
+    /// threshold (the active-view capacity unless
+    /// [`BrokerConfig::engagement_threshold`] pins it), so the view is a
+    /// strict subset and broadcasts must be forwarded.  The predicate
+    /// depends only on configuration and the (replicated) peer count, so
+    /// every broker of a federation reaches the same answer — which the
+    /// forwarding protocol needs: a broker that pushed eagerly must be able
+    /// to rely on its neighbours pushing onward.
     pub fn epidemic_engaged(&self) -> bool {
-        !self.config.full_mesh && self.peer_brokers.read().len() > self.config.active_view
+        !self.config.full_mesh
+            && self.peer_brokers.read().len()
+                > self
+                    .config
+                    .engagement_threshold
+                    .unwrap_or(self.config.active_view)
     }
 
     /// The peer brokers that broadcast gossip, anti-entropy and extension
@@ -1406,14 +1454,31 @@ impl Broker {
                 self.federation.count_sync_sent();
             }
         }
-        // Lazy edges get one coalesced `IHave` digest per destination: the
-        // gossip ids only, so a lazy edge costs bytes proportional to the
-        // event count, not the payload size.
+    }
+
+    /// Ships the pending lazy-edge advertisements: one coalesced
+    /// `PlumtreeIHave` digest per destination — the gossip ids only, so a
+    /// lazy edge costs bytes proportional to the event count, not the
+    /// payload size.
+    ///
+    /// Unlike the payload digests (flushed by every gossiping operation so
+    /// a publish keeps its one-message cost), the `IHave` queue drains only
+    /// on the repair cadence ([`Broker::start_repair_round`]): lazy edges
+    /// exist for tree repair, and repair latency is already bounded by that
+    /// cadence, so advertising per-publish bought nothing but messages.
+    /// Batching across publishes makes a busy tick cost one digest per lazy
+    /// edge instead of one per publish; the sends avoided are counted as
+    /// `ihave_digests_saved`.
+    pub fn flush_ihaves(&self) {
         let ihaves: Vec<(PeerId, Vec<GossipId>)> = {
             let mut outbox = self.ihave_outbox.lock();
             std::mem::take(&mut *outbox).into_iter().collect()
         };
         for (destination, gids) in ihaves {
+            // Per-publish flushing would have shipped each id in its own
+            // digest; coalescing n ids saves n-1 sends to this destination.
+            self.federation
+                .count_ihave_digests_saved(gids.len().saturating_sub(1) as u64);
             let mut digest = Message::new(MessageKind::PlumtreeIHave, self.id, 0)
                 .with_str("count", &gids.len().to_string());
             for (i, (origin, seq)) in gids.iter().enumerate() {
@@ -1733,6 +1798,59 @@ impl Broker {
                 }
                 self.federation.count_sync_applied();
             }
+            // SWIM verdicts ride the same gossip fabric as data events but
+            // mutate the failure detector, not the replicated state (so they
+            // do not count as `sync_applied`).  `sinc` is the incarnation
+            // the accusation or refutation is made at; the detector's
+            // precedence rules decide whether it lands.
+            Some("swim-suspect") => {
+                let (Some(peer), Some(sinc)) = (
+                    get("peer").and_then(|urn| PeerId::from_urn(&urn)),
+                    get("sinc").and_then(|s| s.parse::<u64>().ok()),
+                ) else {
+                    return;
+                };
+                let outcome = self.swim.lock().on_suspect(peer, sinc);
+                match outcome {
+                    SuspectOutcome::RefuteWith(incarnation) => {
+                        // Someone suspects *us*: broadcast an alive
+                        // announcement at a higher incarnation, which orders
+                        // above the accusation everywhere it reached.
+                        self.federation.count_swim_refutation();
+                        self.gossip_swim_alive(incarnation);
+                    }
+                    SuspectOutcome::Suspected => self.federation.count_swim_suspicion(),
+                    SuspectOutcome::Ignored => {}
+                }
+            }
+            Some("swim-alive") => {
+                let (Some(peer), Some(sinc)) = (
+                    get("peer").and_then(|urn| PeerId::from_urn(&urn)),
+                    get("sinc").and_then(|s| s.parse::<u64>().ok()),
+                ) else {
+                    return;
+                };
+                if self.swim.lock().on_alive(peer, sinc) == AliveOutcome::Cleared {
+                    self.swim_member_alive(peer);
+                }
+            }
+            Some("swim-dead") => {
+                let (Some(peer), Some(sinc)) = (
+                    get("peer").and_then(|urn| PeerId::from_urn(&urn)),
+                    get("sinc").and_then(|s| s.parse::<u64>().ok()),
+                ) else {
+                    return;
+                };
+                let outcome = self.swim.lock().on_dead(peer, sinc);
+                match outcome {
+                    DeadOutcome::Confirmed => self.on_swim_death(peer, sinc, false),
+                    DeadOutcome::RefuteWith(incarnation) => {
+                        self.federation.count_swim_refutation();
+                        self.gossip_swim_alive(incarnation);
+                    }
+                    DeadOutcome::Ignored => {}
+                }
+            }
             _ => {}
         }
     }
@@ -1757,6 +1875,10 @@ impl Broker {
         {
             return;
         }
+        // The shuffle doubles as a SWIM liveness signal: the sender
+        // piggybacks its incarnation, and receiving the message at all is
+        // first-hand proof of life.
+        self.swim_contact(message);
         let incoming = Self::parse_peer_list(&message.element_str("peers").unwrap_or_default());
         let reply_sample = {
             let mut view = self.view.lock();
@@ -1768,10 +1890,12 @@ impl Broker {
             return;
         }
         let urns: Vec<String> = reply_sample.iter().map(PeerId::to_urn).collect();
+        let incarnation = self.swim.lock().incarnation();
         // Replied through the sequencing choke point, not `apply_net`'s
         // response path: inter-broker admission requires a fresh `seq`.
         let reply = Message::new(MessageKind::MembershipShuffleReply, self.id, 0)
-            .with_str("peers", &urns.join(","));
+            .with_str("peers", &urns.join(","))
+            .with_str("inc", &incarnation.to_string());
         self.send_sequenced(message.sender, reply, Duration::ZERO);
     }
 
@@ -1783,6 +1907,7 @@ impl Broker {
         {
             return;
         }
+        self.swim_contact(message);
         let incoming = Self::parse_peer_list(&message.element_str("peers").unwrap_or_default());
         self.view.lock().integrate_shuffle(&incoming);
     }
@@ -1894,6 +2019,230 @@ impl Broker {
             return;
         }
         self.plumtree.lock().demote(message.sender);
+    }
+
+    // ------------------------------------------------------------------
+    // SWIM failure detection
+    // ------------------------------------------------------------------
+
+    /// Feeds a received inter-broker message into the detector as
+    /// first-hand contact: the sender is demonstrably alive at whatever
+    /// incarnation it piggybacked (0 when the message carries none — still
+    /// proof of life, just without refutation precedence).
+    fn swim_contact(&self, message: &Message) {
+        let incarnation = message
+            .element_str("inc")
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        let outcome = self.swim.lock().on_contact(message.sender, incarnation);
+        if outcome == AliveOutcome::Cleared {
+            self.swim_member_alive(message.sender);
+        }
+    }
+
+    /// Handles a SWIM direct probe.  The ping itself is first-hand
+    /// evidence the *sender* lives; the answer is an ack carrying our own
+    /// incarnation, addressed to `reply-to` when present (the prober an
+    /// indirect probe relays for) or to the sender (the direct case).
+    fn handle_swim_ping(&self, message: &Message, transport_from: Option<PeerId>) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        self.swim_contact(message);
+        let reply_to = message
+            .element_str("reply-to")
+            .and_then(|urn| PeerId::from_urn(&urn))
+            .unwrap_or(message.sender);
+        if reply_to == self.id || !self.is_peer_broker(&reply_to) {
+            return;
+        }
+        let incarnation = self.swim.lock().incarnation();
+        let ack = Message::new(MessageKind::SwimAck, self.id, 0)
+            .with_str("inc", &incarnation.to_string());
+        if self.send_sequenced(reply_to, ack, Duration::ZERO).is_some() {
+            self.federation.count_swim_ack();
+        }
+    }
+
+    /// Handles an indirect ping request: a prober whose direct probe of
+    /// `target` timed out asks us to try from our vantage point.  We relay
+    /// a `SwimPing` whose `reply-to` names the original prober, so a live
+    /// target acks the prober directly and one relay hop suffices.
+    fn handle_swim_ping_req(&self, message: &Message, transport_from: Option<PeerId>) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        self.swim_contact(message);
+        let Some(target) = message
+            .element_str("target")
+            .and_then(|urn| PeerId::from_urn(&urn))
+        else {
+            return;
+        };
+        if target == self.id || !self.is_peer_broker(&target) {
+            return;
+        }
+        let incarnation = self.swim.lock().incarnation();
+        let ping = Message::new(MessageKind::SwimPing, self.id, 0)
+            .with_str("inc", &incarnation.to_string())
+            .with_str("reply-to", &message.sender.to_urn());
+        if self.send_sequenced(target, ping, Duration::ZERO).is_some() {
+            self.federation.count_swim_probe();
+        }
+    }
+
+    /// Handles a probe ack: clears the outstanding probe (direct or
+    /// relayed) for the acking broker and refreshes it as alive.
+    fn handle_swim_ack(&self, message: &Message, transport_from: Option<PeerId>) {
+        if self
+            .accept_from_peer_broker(message.sender, transport_from, message.element_str("seq"))
+            .is_none()
+        {
+            return;
+        }
+        let incarnation = message
+            .element_str("inc")
+            .and_then(|s| s.parse::<u64>().ok())
+            .unwrap_or(0);
+        let outcome = self.swim.lock().on_ack(message.sender, incarnation);
+        if outcome == AliveOutcome::Cleared {
+            self.swim_member_alive(message.sender);
+        }
+    }
+
+    /// Re-admits a member the detector cleared — a refutation, an ack from
+    /// a falsely-buried broker, or direct contact from a recovered one —
+    /// into the membership view and the Plumtree edge sets.  The inverse of
+    /// [`Broker::on_swim_death`]; admission state never changed, so this is
+    /// all a resurrection takes.
+    fn swim_member_alive(&self, peer: PeerId) {
+        if !self.is_peer_broker(&peer) {
+            return;
+        }
+        let active = {
+            let mut view = self.view.lock();
+            view.on_join(peer);
+            view.active()
+        };
+        self.plumtree.lock().sync_active(&active);
+    }
+
+    /// Applies a confirmed death verdict: evict `peer` from the membership
+    /// views (promotion from the passive reservoir heals the active set),
+    /// drop it from the Plumtree edge sets and the pending gossip queues,
+    /// and — when the verdict is this broker's own (`announce`) — gossip it
+    /// so the rest of the federation converges without each broker paying
+    /// its own suspicion timeout.  The admission set (`peer_brokers`), the
+    /// shard ring and the replay floor are deliberately untouched:
+    /// forgetting those is the operator-driven [`Broker::remove_peer_broker`]
+    /// path, and keeping them lets a recovered broker re-enter by simply
+    /// answering a probe again.
+    fn on_swim_death(&self, peer: PeerId, incarnation: u64, announce: bool) {
+        self.federation.count_swim_death();
+        let active = {
+            let mut view = self.view.lock();
+            view.on_failure(&peer);
+            view.active()
+        };
+        self.plumtree.lock().sync_active(&active);
+        self.ihave_outbox.lock().remove(&peer);
+        self.outbox.lock().remove(&peer);
+        if announce {
+            self.gossip_to_all(GossipEvent::new(vec![
+                ("op", "swim-dead".to_string()),
+                ("seq", self.next_sync_seq().to_string()),
+                ("peer", peer.to_urn()),
+                ("sinc", incarnation.to_string()),
+            ]));
+            self.flush_gossip();
+        }
+    }
+
+    /// Broadcasts this broker's refutation: an alive announcement at the
+    /// (freshly bumped) incarnation, which orders above every standing
+    /// accusation made at a lower one.
+    fn gossip_swim_alive(&self, incarnation: u64) {
+        self.gossip_to_all(GossipEvent::new(vec![
+            ("op", "swim-alive".to_string()),
+            ("seq", self.next_sync_seq().to_string()),
+            ("peer", self.id.to_urn()),
+            ("sinc", incarnation.to_string()),
+        ]));
+        self.flush_gossip();
+    }
+
+    /// One SWIM protocol period, driven by the repair cadence: advance the
+    /// detector's logical clock, apply the expirations that fall out
+    /// (suspicions start, deadlines confirm deaths), then send the round's
+    /// probes.  The local-health multiplier is refreshed first from this
+    /// broker's own inbox backlog, so an overloaded broker stretches its
+    /// timeouts instead of flooding the federation with false accusations
+    /// it is merely too slow to see refuted.
+    fn start_swim_probe(&self) {
+        let peers = self.peer_brokers.read().clone();
+        if peers.is_empty() {
+            return;
+        }
+        let backlog = self
+            .network
+            .delivered_to(&self.id)
+            .saturating_sub(self.processed_count());
+        let plan = {
+            let mut swim = self.swim.lock();
+            swim.sync_members(&peers);
+            swim.set_backlog(backlog, SWIM_BACKLOG_THRESHOLD);
+            swim.tick()
+        };
+        for (peer, incarnation) in plan.new_dead {
+            self.on_swim_death(peer, incarnation, true);
+        }
+        for (peer, incarnation) in plan.new_suspects {
+            self.federation.count_swim_suspicion();
+            self.gossip_to_all(GossipEvent::new(vec![
+                ("op", "swim-suspect".to_string()),
+                ("seq", self.next_sync_seq().to_string()),
+                ("peer", peer.to_urn()),
+                ("sinc", incarnation.to_string()),
+            ]));
+        }
+        if let Some(target) = plan.probe {
+            let incarnation = self.swim.lock().incarnation();
+            let ping = Message::new(MessageKind::SwimPing, self.id, 0)
+                .with_str("inc", &incarnation.to_string());
+            if self.send_sequenced(target, ping, Duration::ZERO).is_some() {
+                self.federation.count_swim_probe();
+            }
+        }
+        for (relay, target) in plan.indirect {
+            let request = Message::new(MessageKind::SwimPingReq, self.id, 0)
+                .with_str("target", &target.to_urn());
+            if self.send_sequenced(relay, request, Duration::ZERO).is_some() {
+                self.federation.count_swim_indirect_probe();
+            }
+        }
+        self.flush_gossip();
+    }
+
+    /// The SWIM detector's record for `peer` (state and incarnation), or
+    /// `None` when the detector is not tracking it.
+    pub fn swim_record(&self, peer: &PeerId) -> Option<crate::swim::PeerRecord> {
+        self.swim.lock().record(peer)
+    }
+
+    /// The members the SWIM detector currently holds confirmed dead.
+    pub fn swim_dead_members(&self) -> Vec<PeerId> {
+        self.swim.lock().dead_members()
+    }
+
+    /// This broker's own SWIM incarnation (bumped by each refutation).
+    pub fn swim_incarnation(&self) -> u64 {
+        self.swim.lock().incarnation()
     }
 
     /// Replicates the extension's opaque repair state (e.g. its installed
@@ -2366,6 +2715,13 @@ impl Broker {
         // clock: one shuffle per round refreshes the passive reservoir so
         // failure-triggered promotions have fresh candidates.
         self.start_shuffle();
+        // Lazy IHave digests batched across every publish since the last
+        // round ship now, one digest per lazy edge (see
+        // [`Broker::flush_ihaves`]).
+        self.flush_ihaves();
+        // And the same cadence is the SWIM protocol period: one direct
+        // probe per round, suspicion/death expirations, verdict gossip.
+        self.start_swim_probe();
     }
 
     /// Sends one `MembershipShuffle` to a deterministically rotating active
@@ -2388,8 +2744,10 @@ impl Broker {
             return;
         }
         let urns: Vec<String> = sample.iter().map(PeerId::to_urn).collect();
+        let incarnation = self.swim.lock().incarnation();
         let shuffle = Message::new(MessageKind::MembershipShuffle, self.id, 0)
-            .with_str("peers", &urns.join(","));
+            .with_str("peers", &urns.join(","))
+            .with_str("inc", &incarnation.to_string());
         self.send_sequenced(target, shuffle, Duration::ZERO);
     }
 
@@ -3526,6 +3884,18 @@ impl Broker {
                 self.handle_plumtree_prune(&message, Some(net_message.from));
                 None
             }
+            MessageKind::SwimPing => {
+                self.handle_swim_ping(&message, Some(net_message.from));
+                None
+            }
+            MessageKind::SwimPingReq => {
+                self.handle_swim_ping_req(&message, Some(net_message.from));
+                None
+            }
+            MessageKind::SwimAck => {
+                self.handle_swim_ack(&message, Some(net_message.from));
+                None
+            }
             _ => self.handle_message(&message),
         };
         // Belt and braces: any handler that queued gossip has flushed it
@@ -3605,6 +3975,18 @@ impl Broker {
             }
             MessageKind::PlumtreePrune => {
                 self.handle_plumtree_prune(message, None);
+                None
+            }
+            MessageKind::SwimPing => {
+                self.handle_swim_ping(message, None);
+                None
+            }
+            MessageKind::SwimPingReq => {
+                self.handle_swim_ping_req(message, None);
+                None
+            }
+            MessageKind::SwimAck => {
+                self.handle_swim_ack(message, None);
                 None
             }
             MessageKind::SecureConnectChallenge

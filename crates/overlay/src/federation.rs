@@ -806,6 +806,127 @@ mod tests {
     }
 
     #[test]
+    fn engagement_threshold_is_a_config_knob() {
+        // Default rule: engage once peers outgrow the active view.
+        let (_net, _db, brokers) = make_view_brokers(6, 3, 8, 0xE830);
+        let federation = InlineFederation::new(brokers);
+        assert!(federation.broker(0).epidemic_engaged(), "5 peers > view 3");
+
+        // Pinned high: the same federation stays full mesh — a deployment
+        // can hold the mesh fabric up to a larger backbone than its view.
+        let mut rng = HmacDrbg::from_seed_u64(0xE831);
+        let network = SimNetwork::new(LinkModel::ideal());
+        let database = Arc::new(UserDatabase::new());
+        let build = |threshold: usize, rng: &mut HmacDrbg| -> Vec<Arc<Broker>> {
+            (0..6)
+                .map(|i| {
+                    Broker::new(
+                        PeerId::random(rng),
+                        BrokerConfig::named(format!("t{i}"))
+                            .with_view_capacities(3, 8)
+                            .with_engagement_threshold(threshold),
+                        Arc::clone(&network),
+                        Arc::clone(&database),
+                    )
+                })
+                .collect()
+        };
+        let held = InlineFederation::new(build(16, &mut rng));
+        assert!(
+            !held.broker(0).epidemic_engaged(),
+            "threshold 16 holds 5 peers in full mesh despite view 3"
+        );
+        // Pinned at zero: even a tiny federation engages (the test knob).
+        let eager = InlineFederation::new(build(0, &mut rng));
+        assert!(
+            eager.broker(0).epidemic_engaged(),
+            "threshold 0 engages at any size"
+        );
+        // Both shapes still replicate correctly.
+        let alice = PeerId::random(&mut rng);
+        held.broker(0).establish_session(alice, "alice");
+        held.broker(0).index_and_distribute(
+            alice,
+            &GroupId::new("math"),
+            "jxta:PipeAdvertisement",
+            "<held/>",
+        );
+        held.pump();
+        assert!(held.converged());
+        eager.broker(1).index_and_distribute(
+            PeerId::random(&mut rng),
+            &GroupId::new("math"),
+            "jxta:PipeAdvertisement",
+            "<eager/>",
+        );
+        eager.pump();
+        assert!(eager.repair_until_converged(4).is_some());
+    }
+
+    #[test]
+    fn lazy_ihaves_batch_across_publishes_until_the_repair_tick() {
+        const N: usize = 10;
+        let (_net, _db, brokers) = make_view_brokers(N, 3, 8, 0xE840);
+        let federation = InlineFederation::new(brokers);
+        let mut rng = HmacDrbg::from_seed_u64(0xE841);
+        let group = GroupId::new("math");
+        // Prune the initial all-eager topology so lazy edges exist.
+        for round in 0..8 {
+            federation.broker(0).index_and_distribute(
+                PeerId::random(&mut rng),
+                &group,
+                "jxta:PipeAdvertisement",
+                &format!("<warm n=\"{round}\"/>"),
+            );
+            federation.pump();
+            federation.repair();
+            let pruned: u64 = (0..N)
+                .map(|i| federation.broker(i).federation_stats().prunes_sent)
+                .sum();
+            if pruned > 0 {
+                break;
+            }
+        }
+        let stat = |pick: fn(&crate::metrics::FederationStats) -> u64| -> u64 {
+            (0..N)
+                .map(|i| pick(&federation.broker(i).federation_stats()))
+                .sum()
+        };
+        assert!(stat(|s| s.prunes_sent) > 0, "warm-up pruned the eager graph");
+
+        // A burst of publishes between repair ticks: no IHave digest moves
+        // until the tick, then each lazy edge gets exactly one digest
+        // carrying the whole burst — the per-publish digests are the saving.
+        let ihaves_before = stat(|s| s.ihaves_sent);
+        let saved_before = stat(|s| s.ihave_digests_saved);
+        const BURST: u64 = 5;
+        for n in 0..BURST {
+            federation.broker(0).index_and_distribute(
+                PeerId::random(&mut rng),
+                &group,
+                "jxta:PipeAdvertisement",
+                &format!("<burst n=\"{n}\"/>"),
+            );
+            federation.pump();
+        }
+        assert_eq!(
+            stat(|s| s.ihaves_sent),
+            ihaves_before,
+            "no IHave digest ships between repair ticks"
+        );
+        federation.repair();
+        let shipped = stat(|s| s.ihaves_sent) - ihaves_before;
+        let saved = stat(|s| s.ihave_digests_saved) - saved_before;
+        assert!(shipped > 0, "the repair tick ships the batched digests");
+        assert!(saved > 0, "a multi-publish burst saves per-publish digests");
+        // Aggregated over every (broker, lazy edge): per-publish flushing
+        // would have cost `shipped + saved` digests; each destination's
+        // batch of k ids saved k-1, bounded by BURST-1 per edge.
+        assert!(saved <= (BURST - 1) * shipped);
+        assert!(federation.repair_until_converged(4).is_some());
+    }
+
+    #[test]
     fn epidemic_backbone_converges_with_bounded_fanout() {
         const N: usize = 10;
         const ACTIVE: usize = 3;
@@ -2850,6 +2971,253 @@ mod epidemic_proptests {
                 "churned federation failed to reconverge (full_mesh={full_mesh})"
             );
             prop_assert!(churn.overlay_connected().is_ok());
+        }
+    }
+}
+
+#[cfg(test)]
+mod swim_detection {
+    //! The SWIM failure detector riding the repair cadence: a crashed
+    //! broker must be confirmed dead — and evicted from every survivor's
+    //! active view — within [`crate::swim::PROBE_BUDGET_TICKS`] repair
+    //! rounds with **no** operator `remove_broker` call, a recovered
+    //! broker must be dug back out by its own probe acks, and (the safety
+    //! half, property-tested below) a *live* broker must never be left
+    //! permanently buried no matter what a lossy network manufactured.
+
+    use super::*;
+    use crate::broker::BrokerConfig;
+    use crate::database::UserDatabase;
+    use crate::net::{FaultPlan, LinkModel, SimNetwork};
+    use crate::swim::{PeerState, PROBE_BUDGET_TICKS};
+    use jxta_crypto::drbg::HmacDrbg;
+    use proptest::prelude::*;
+
+    /// An epidemic inline federation over small pinned view capacities.
+    fn build(n: usize, seed: u64) -> (Arc<SimNetwork>, InlineFederation, Vec<PeerId>) {
+        let mut rng = HmacDrbg::from_seed_u64(seed);
+        let network = SimNetwork::new(LinkModel::ideal());
+        let database = Arc::new(UserDatabase::new());
+        let brokers: Vec<Arc<Broker>> = (0..n)
+            .map(|i| {
+                Broker::new(
+                    PeerId::random(&mut rng),
+                    BrokerConfig::named(format!("b{i}")).with_view_capacities(3, 8),
+                    Arc::clone(&network),
+                    Arc::clone(&database),
+                )
+            })
+            .collect();
+        let ids: Vec<PeerId> = brokers.iter().map(|b| b.id()).collect();
+        let federation = InlineFederation::new(brokers);
+        assert!(federation.broker(0).epidemic_engaged());
+        (network, federation, ids)
+    }
+
+    /// One repair round as a crashy world sees it: only brokers the fault
+    /// plan holds up run their cadence, the round's traffic is pumped, and
+    /// the plan's logical clock advances with the round.
+    fn survivor_round(federation: &InlineFederation, ids: &[PeerId], plan: &FaultPlan) {
+        for (i, id) in ids.iter().enumerate() {
+            if !plan.is_crashed(id) {
+                federation.broker(i).start_repair_round();
+            }
+        }
+        federation.pump();
+        plan.advance_tick();
+    }
+
+    #[test]
+    fn quiet_federation_probes_without_suspicion() {
+        let (_network, federation, ids) = build(8, 0x51A0);
+        for _ in 0..16 {
+            federation.repair();
+        }
+        let probes: u64 = (0..ids.len())
+            .map(|i| federation.broker(i).federation_stats().swim_probes)
+            .sum();
+        let acks: u64 = (0..ids.len())
+            .map(|i| federation.broker(i).federation_stats().swim_acks)
+            .sum();
+        let suspicions: u64 = (0..ids.len())
+            .map(|i| federation.broker(i).federation_stats().swim_suspicions)
+            .sum();
+        assert!(probes >= 16, "every round probes");
+        assert!(acks >= probes, "a healthy backbone acks every probe");
+        assert_eq!(suspicions, 0, "nobody suspects anybody on an ideal network");
+        for i in 0..ids.len() {
+            assert!(federation.broker(i).swim_dead_members().is_empty());
+        }
+    }
+
+    #[test]
+    fn crashed_broker_is_evicted_from_every_view_within_the_probe_budget() {
+        let (network, federation, ids) = build(16, 0x51A1);
+        let victim = 3usize;
+        let plan = FaultPlan::new(0x51A2).crash_stop(ids[victim], 0).into_adversary();
+        network.set_adversary(plan.clone());
+
+        // The crash lands mid-broadcast: the victim dies holding an
+        // undelivered forwarding obligation, exactly the case the lazy
+        // edges + failure detector exist for.
+        let mut rng = HmacDrbg::from_seed_u64(0x51A3);
+        federation.broker(0).index_and_distribute(
+            PeerId::random(&mut rng),
+            &crate::group::GroupId::new("ops"),
+            "jxta:PipeAdvertisement",
+            "<mid-broadcast/>",
+        );
+        federation.pump();
+
+        for _ in 0..PROBE_BUDGET_TICKS {
+            survivor_round(&federation, &ids, &plan);
+        }
+
+        for (i, id) in ids.iter().enumerate() {
+            if i == victim {
+                continue;
+            }
+            let record = federation.broker(i).swim_record(&ids[victim]);
+            assert!(
+                matches!(record.map(|r| r.state), Some(PeerState::Dead)),
+                "survivor {i} ({id}) has not confirmed the crashed broker dead: {record:?}"
+            );
+            assert!(
+                !federation.broker(i).active_view().contains(&ids[victim]),
+                "survivor {i} still routes to the crashed broker"
+            );
+            // Nobody else got buried along the way.
+            assert_eq!(federation.broker(i).swim_dead_members(), vec![ids[victim]]);
+        }
+    }
+
+    #[test]
+    fn recovered_broker_is_resurrected_by_its_own_acks() {
+        let (network, federation, ids) = build(8, 0x51B0);
+        let victim = 2usize;
+        let dark_for = PROBE_BUDGET_TICKS + 2;
+        let plan = FaultPlan::new(0x51B1)
+            .crash_recover(ids[victim], 0, dark_for)
+            .into_adversary();
+        network.set_adversary(plan.clone());
+
+        for _ in 0..dark_for {
+            survivor_round(&federation, &ids, &plan);
+        }
+        let buried: usize = (0..ids.len())
+            .filter(|&i| i != victim)
+            .filter(|&i| {
+                matches!(
+                    federation.broker(i).swim_record(&ids[victim]).map(|r| r.state),
+                    Some(PeerState::Dead)
+                )
+            })
+            .count();
+        assert!(buried > 0, "the dark window was long enough to bury the victim");
+
+        // The probe ring keeps visiting dead members precisely so this
+        // works: once the victim answers again, the ack resurrects it —
+        // no re-admission ceremony, no operator call.
+        for _ in 0..(2 * ids.len() as u64 + 4) {
+            survivor_round(&federation, &ids, &plan);
+        }
+        for (i, _) in ids.iter().enumerate() {
+            if i == victim {
+                continue;
+            }
+            assert!(
+                federation.broker(i).swim_dead_members().is_empty(),
+                "survivor {i} still holds the recovered broker dead"
+            );
+            assert!(
+                matches!(
+                    federation.broker(i).swim_record(&ids[victim]).map(|r| r.state),
+                    Some(PeerState::Alive)
+                ),
+                "survivor {i} has not restored the recovered broker to Alive"
+            );
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(10))]
+
+        /// Liveness safety: arbitrary seeded flaky links may suspect — even
+        /// bury — live brokers, but once the loss stops, refutations and
+        /// probe acks must always dig everyone back out.  No permanent
+        /// false positive, for any seed and any drop rate.
+        #[test]
+        fn seeded_drops_never_permanently_bury_a_live_broker(
+            seed in any::<u64>(),
+            drop_percent in 0u32..=95,
+            lossy_rounds in 3u64..10,
+        ) {
+            const N: usize = 7;
+            let (network, federation, ids) = build(N, 0x51C0 ^ seed);
+            let mut plan = FaultPlan::new(seed);
+            for a in 0..N {
+                for b in (a + 1)..N {
+                    plan = plan.flaky_link(ids[a], ids[b], drop_percent);
+                }
+            }
+            let plan = plan.into_adversary();
+            network.set_adversary(plan.clone());
+            for _ in 0..lossy_rounds {
+                survivor_round(&federation, &ids, &plan);
+            }
+            if drop_percent > 0 {
+                // (Not asserted: low rates may drop nothing in few rounds.)
+                let _ = plan.dropped_count();
+            }
+
+            // Loss stops.  Any standing suspicion expires within its
+            // deadline (3 ticks at health 1), the resulting false verdicts
+            // are refuted by gossip or the probe ring's next visit, and the
+            // ring revisits every member within N-1 ticks.
+            network.clear_adversary();
+            for _ in 0..(3 + 2 * (N as u64 - 1) + 4) {
+                federation.repair();
+            }
+            for i in 0..N {
+                let dead = federation.broker(i).swim_dead_members();
+                prop_assert!(
+                    dead.is_empty(),
+                    "broker {i} permanently buried live peers {dead:?} \
+                     (seed={seed} drop_percent={drop_percent} lossy_rounds={lossy_rounds})"
+                );
+            }
+        }
+
+        /// Completeness: a crash-stopped broker is confirmed dead by every
+        /// survivor within the probe budget, whichever broker dies.
+        #[test]
+        fn any_crashed_broker_is_confirmed_within_the_probe_budget(
+            seed in any::<u64>(),
+            victim in 0usize..6,
+        ) {
+            const N: usize = 6;
+            let (network, federation, ids) = build(N, 0x51D0 ^ seed);
+            let plan = FaultPlan::new(seed).crash_stop(ids[victim], 0).into_adversary();
+            network.set_adversary(plan.clone());
+            for _ in 0..PROBE_BUDGET_TICKS {
+                survivor_round(&federation, &ids, &plan);
+            }
+            for i in 0..N {
+                if i == victim {
+                    continue;
+                }
+                prop_assert!(
+                    matches!(
+                        federation.broker(i).swim_record(&ids[victim]).map(|r| r.state),
+                        Some(PeerState::Dead)
+                    ),
+                    "survivor {i} missed the crash (seed={seed} victim={victim})"
+                );
+                prop_assert!(
+                    !federation.broker(i).active_view().contains(&ids[victim]),
+                    "survivor {i} still routes to the crashed broker (seed={seed} victim={victim})"
+                );
+            }
         }
     }
 }

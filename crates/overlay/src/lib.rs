@@ -41,6 +41,11 @@
 //!   push along a self-repairing spanning tree, lazy `IHave` digests on the
 //!   remaining active edges, `Graft`/`Prune` tree repair, with anti-entropy
 //!   as the last-resort safety net.
+//! * [`swim`] — SWIM-style failure detection over the same fabric: per-tick
+//!   direct probes with indirect fan-out on timeout, an
+//!   `Alive → Suspect → Dead` state machine with incarnation-numbered
+//!   refutation, and a Lifeguard local-health multiplier.  Confirmed deaths
+//!   feed the membership view and Plumtree edges automatically.
 //! * [`shard`] — the consistent-hash ring that partitions the advertisement
 //!   index and group membership across K replica brokers instead of fully
 //!   replicating them (the peer→home-broker routing table stays fully
@@ -71,6 +76,7 @@ pub mod metrics;
 pub mod net;
 pub mod plumtree;
 pub mod shard;
+pub mod swim;
 
 pub use broker::{Broker, BrokerConfig, BrokerHandle};
 pub use federation::BrokerNetwork;

@@ -99,6 +99,18 @@ pub enum MessageKind {
     /// Broker ↔ broker: demotes the edge to lazy — the receiver keeps
     /// delivering duplicates the tree already covers.
     PlumtreePrune = 51,
+    /// Broker ↔ broker: a SWIM direct probe.  Carries the sender's
+    /// incarnation; an optional `reply-to` element names the broker the ack
+    /// must go to (set when the ping travels an indirect route on behalf of
+    /// another prober).  Answered with [`MessageKind::SwimAck`].
+    SwimPing = 52,
+    /// Broker ↔ broker: an indirect probe request — the sender's direct
+    /// probe of `target` timed out, so the receiver pings `target` itself
+    /// with `reply-to` pointing back at the original prober.
+    SwimPingReq = 53,
+    /// Broker ↔ broker: a liveness acknowledgement carrying the acking
+    /// broker's incarnation (direct evidence overriding gossiped verdicts).
+    SwimAck = 54,
 }
 
 impl MessageKind {
@@ -135,6 +147,9 @@ impl MessageKind {
             49 => PlumtreeIHave,
             50 => PlumtreeGraft,
             51 => PlumtreePrune,
+            52 => SwimPing,
+            53 => SwimPingReq,
+            54 => SwimAck,
             _ => return None,
         })
     }
@@ -426,6 +441,9 @@ mod tests {
             MessageKind::PlumtreeIHave,
             MessageKind::PlumtreeGraft,
             MessageKind::PlumtreePrune,
+            MessageKind::SwimPing,
+            MessageKind::SwimPingReq,
+            MessageKind::SwimAck,
         ] {
             assert_eq!(MessageKind::from_u8(kind as u8), Some(kind));
         }

@@ -355,6 +355,24 @@ pub struct FederationStats {
     pub publish_fanout_total: u64,
     /// Largest single-publish fan-out observed.
     pub publish_fanout_max: u64,
+    /// Lazy `IHave` digests *not* sent because per-publish advertisements
+    /// were batched into the next repair tick's coalesced digest (each
+    /// destination whose batch held n gossip ids saved n−1 digests).
+    pub ihave_digests_saved: u64,
+    /// SWIM direct probes sent (one member pinged per detector tick).
+    pub swim_probes: u64,
+    /// SWIM indirect ping-requests fanned out after direct-probe timeouts.
+    pub swim_indirect_probes: u64,
+    /// SWIM acks sent in answer to pings.
+    pub swim_acks: u64,
+    /// Members this broker newly marked `Suspect` (gossiped accusations).
+    pub swim_suspicions: u64,
+    /// Suspicions/death verdicts about *this* broker it refuted by bumping
+    /// its incarnation.
+    pub swim_refutations: u64,
+    /// Members this broker confirmed `Dead` (locally expired or accepted
+    /// from gossip) and evicted from its view and Plumtree edges.
+    pub swim_deaths: u64,
 }
 
 /// Thread-safe counters describing a broker's participation in the
@@ -386,6 +404,13 @@ pub struct FederationMetrics {
     publishes: AtomicU64,
     publish_fanout_total: AtomicU64,
     publish_fanout_max: AtomicU64,
+    ihave_digests_saved: AtomicU64,
+    swim_probes: AtomicU64,
+    swim_indirect_probes: AtomicU64,
+    swim_acks: AtomicU64,
+    swim_suspicions: AtomicU64,
+    swim_refutations: AtomicU64,
+    swim_deaths: AtomicU64,
 }
 
 impl FederationMetrics {
@@ -506,6 +531,42 @@ impl FederationMetrics {
         self.publish_fanout_max.fetch_max(fanout, Ordering::Relaxed);
     }
 
+    /// Records `n` lazy `IHave` digests saved by batching advertisements
+    /// across publishes into one digest per repair tick.
+    pub fn count_ihave_digests_saved(&self, n: u64) {
+        self.ihave_digests_saved.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Records a SWIM direct probe sent.
+    pub fn count_swim_probe(&self) {
+        self.swim_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a SWIM indirect ping-request sent.
+    pub fn count_swim_indirect_probe(&self) {
+        self.swim_indirect_probes.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a SWIM ack sent.
+    pub fn count_swim_ack(&self) {
+        self.swim_acks.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a member newly marked `Suspect`.
+    pub fn count_swim_suspicion(&self) {
+        self.swim_suspicions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an accusation about this broker it refuted.
+    pub fn count_swim_refutation(&self) {
+        self.swim_refutations.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a member confirmed `Dead` and evicted from the view.
+    pub fn count_swim_death(&self) {
+        self.swim_deaths.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Consistent snapshot of the counters.
     pub fn snapshot(&self) -> FederationStats {
         FederationStats {
@@ -533,6 +594,13 @@ impl FederationMetrics {
             publishes: self.publishes.load(Ordering::Relaxed),
             publish_fanout_total: self.publish_fanout_total.load(Ordering::Relaxed),
             publish_fanout_max: self.publish_fanout_max.load(Ordering::Relaxed),
+            ihave_digests_saved: self.ihave_digests_saved.load(Ordering::Relaxed),
+            swim_probes: self.swim_probes.load(Ordering::Relaxed),
+            swim_indirect_probes: self.swim_indirect_probes.load(Ordering::Relaxed),
+            swim_acks: self.swim_acks.load(Ordering::Relaxed),
+            swim_suspicions: self.swim_suspicions.load(Ordering::Relaxed),
+            swim_refutations: self.swim_refutations.load(Ordering::Relaxed),
+            swim_deaths: self.swim_deaths.load(Ordering::Relaxed),
         }
     }
 }
@@ -619,6 +687,14 @@ mod tests {
         metrics.count_graft_miss();
         metrics.count_publish_fanout(3);
         metrics.count_publish_fanout(7);
+        metrics.count_ihave_digests_saved(4);
+        metrics.count_swim_probe();
+        metrics.count_swim_probe();
+        metrics.count_swim_indirect_probe();
+        metrics.count_swim_ack();
+        metrics.count_swim_suspicion();
+        metrics.count_swim_refutation();
+        metrics.count_swim_death();
         let stats = metrics.snapshot();
         assert_eq!(stats.syncs_sent, 2);
         assert_eq!(stats.syncs_applied, 1);
@@ -644,6 +720,13 @@ mod tests {
         assert_eq!(stats.publishes, 2);
         assert_eq!(stats.publish_fanout_total, 10);
         assert_eq!(stats.publish_fanout_max, 7);
+        assert_eq!(stats.ihave_digests_saved, 4);
+        assert_eq!(stats.swim_probes, 2);
+        assert_eq!(stats.swim_indirect_probes, 1);
+        assert_eq!(stats.swim_acks, 1);
+        assert_eq!(stats.swim_suspicions, 1);
+        assert_eq!(stats.swim_refutations, 1);
+        assert_eq!(stats.swim_deaths, 1);
     }
 
     #[test]

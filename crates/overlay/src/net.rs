@@ -21,6 +21,7 @@ use crate::id::PeerId;
 use crossbeam::channel::{bounded, unbounded, Receiver, SendTimeoutError, Sender, TrySendError};
 use parking_lot::{Mutex, RwLock};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -115,6 +116,9 @@ pub enum Verdict {
     Redirect(PeerId),
     /// Replace the payload before delivery (man-in-the-middle tampering).
     Tamper(Vec<u8>),
+    /// Deliver, but charge the given extra virtual wire time on top of the
+    /// link model's cost (a latency spike on a congested or rerouted edge).
+    Delay(Duration),
 }
 
 /// A network-level adversary.
@@ -200,6 +204,281 @@ impl Adversary for RandomDrop {
         if (self.next() % 100) < u64::from(self.percent) {
             *self.dropped.lock() += 1;
             Verdict::Drop
+        } else {
+            Verdict::Deliver
+        }
+    }
+}
+
+/// One scheduled fault of a [`FaultPlan`].  Tick windows are half-open:
+/// a fault is active while `from_tick <= tick < until_tick`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fault {
+    /// `peer` crash-stops at `at_tick`: every message from or to it is
+    /// dropped from then on.  The peer stays registered — a crash is not an
+    /// operator-driven `remove_broker`, which is exactly the blindness the
+    /// SWIM detector exists to cure.
+    CrashStop {
+        /// The crashing peer.
+        peer: PeerId,
+        /// First tick at which the peer is dark.
+        at_tick: u64,
+    },
+    /// `peer` crashes at `at_tick` and recovers `recover_after` ticks later
+    /// (process restart): messages drop only inside the window.
+    CrashRecover {
+        /// The crashing peer.
+        peer: PeerId,
+        /// First tick at which the peer is dark.
+        at_tick: u64,
+        /// Ticks until it answers again.
+        recover_after: u64,
+    },
+    /// One-way partition: messages from `from` to `to` are dropped inside
+    /// the window while the reverse direction keeps flowing (the asymmetric
+    /// reachability NAT and routing failures produce).
+    PartitionOneWay {
+        /// Sending side of the severed direction.
+        from: PeerId,
+        /// Receiving side of the severed direction.
+        to: PeerId,
+        /// First tick of the partition window.
+        from_tick: u64,
+        /// First tick after the window.
+        until_tick: u64,
+    },
+    /// The edge between `a` and `b` (both directions) charges `extra`
+    /// virtual wire time inside the window (congestion, a rerouted path).
+    LatencySpike {
+        /// One endpoint of the slow edge.
+        a: PeerId,
+        /// The other endpoint.
+        b: PeerId,
+        /// Extra wire time charged per delivery.
+        extra: Duration,
+        /// First tick of the spike window.
+        from_tick: u64,
+        /// First tick after the window.
+        until_tick: u64,
+    },
+    /// The edge between `a` and `b` (both directions) drops each message
+    /// with probability `drop_percent`/100, from the plan's seeded stream.
+    FlakyLink {
+        /// One endpoint of the flaky edge.
+        a: PeerId,
+        /// The other endpoint.
+        b: PeerId,
+        /// Drop probability in percent (clamped to 100).
+        drop_percent: u32,
+    },
+}
+
+/// A deterministic fault-injection adversary: a scripted set of [`Fault`]s
+/// evaluated against a logical tick counter the driving harness advances
+/// (usually once per federation repair round).  Every decision — including
+/// the flaky-link coin flips — derives from the seed and the tick, so a
+/// failing run replays exactly.
+///
+/// ```
+/// # use jxta_overlay::net::{FaultPlan, LinkModel, SimNetwork};
+/// # use jxta_overlay::id::PeerId;
+/// # use jxta_crypto::drbg::HmacDrbg;
+/// # let mut rng = HmacDrbg::from_seed_u64(7);
+/// # let a = PeerId::random(&mut rng);
+/// # let b = PeerId::random(&mut rng);
+/// let plan = FaultPlan::new(0xFEED)
+///     .crash_stop(a, 3)
+///     .partition_one_way(b, a, 1, 4)
+///     .flaky_link(a, b, 20)
+///     .into_adversary();
+/// let network = SimNetwork::new(LinkModel::ideal());
+/// network.set_adversary(plan.clone());
+/// // ... per harness round: drive the federation, then
+/// plan.advance_tick();
+/// ```
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    tick: AtomicU64,
+    /// Seeded SplitMix64 stream behind the flaky-link decisions.
+    state: Mutex<u64>,
+    dropped: AtomicU64,
+}
+
+impl FaultPlan {
+    /// Creates an empty plan whose flaky links draw from `seed`.
+    pub fn new(seed: u64) -> Self {
+        FaultPlan {
+            faults: Vec::new(),
+            tick: AtomicU64::new(0),
+            state: Mutex::with_class("net.faultplan.state", seed),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds a [`Fault::CrashStop`].
+    pub fn crash_stop(mut self, peer: PeerId, at_tick: u64) -> Self {
+        self.faults.push(Fault::CrashStop { peer, at_tick });
+        self
+    }
+
+    /// Adds a [`Fault::CrashRecover`].
+    pub fn crash_recover(mut self, peer: PeerId, at_tick: u64, recover_after: u64) -> Self {
+        self.faults.push(Fault::CrashRecover {
+            peer,
+            at_tick,
+            recover_after,
+        });
+        self
+    }
+
+    /// Adds a [`Fault::PartitionOneWay`] active for `from_tick <= tick <
+    /// until_tick`.
+    pub fn partition_one_way(
+        mut self,
+        from: PeerId,
+        to: PeerId,
+        from_tick: u64,
+        until_tick: u64,
+    ) -> Self {
+        self.faults.push(Fault::PartitionOneWay {
+            from,
+            to,
+            from_tick,
+            until_tick,
+        });
+        self
+    }
+
+    /// Adds a [`Fault::LatencySpike`] on the `a`↔`b` edge.
+    pub fn latency_spike(
+        mut self,
+        a: PeerId,
+        b: PeerId,
+        extra: Duration,
+        from_tick: u64,
+        until_tick: u64,
+    ) -> Self {
+        self.faults.push(Fault::LatencySpike {
+            a,
+            b,
+            extra,
+            from_tick,
+            until_tick,
+        });
+        self
+    }
+
+    /// Adds a [`Fault::FlakyLink`] on the `a`↔`b` edge (always active).
+    pub fn flaky_link(mut self, a: PeerId, b: PeerId, drop_percent: u32) -> Self {
+        self.faults.push(Fault::FlakyLink {
+            a,
+            b,
+            drop_percent: drop_percent.min(100),
+        });
+        self
+    }
+
+    /// Finishes the builder for [`SimNetwork::set_adversary`].
+    pub fn into_adversary(self) -> Arc<Self> {
+        Arc::new(self)
+    }
+
+    /// Advances the logical clock by one tick and returns the new value.
+    /// The harness calls this once per round (after pumping the round's
+    /// traffic), so every fault window is expressed in rounds.
+    pub fn advance_tick(&self) -> u64 {
+        self.tick.fetch_add(1, Ordering::Relaxed) + 1
+    }
+
+    /// The current logical tick.
+    pub fn tick(&self) -> u64 {
+        self.tick.load(Ordering::Relaxed)
+    }
+
+    /// Messages dropped by this plan so far.
+    pub fn dropped_count(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Returns `true` while `peer` is dark at the current tick — harnesses
+    /// use it to stop driving a crashed broker's repair cadence.
+    pub fn is_crashed(&self, peer: &PeerId) -> bool {
+        let now = self.tick();
+        self.faults.iter().any(|fault| match fault {
+            Fault::CrashStop { peer: p, at_tick } => p == peer && now >= *at_tick,
+            Fault::CrashRecover {
+                peer: p,
+                at_tick,
+                recover_after,
+            } => p == peer && now >= *at_tick && now < at_tick + recover_after,
+            _ => false,
+        })
+    }
+
+    /// Next value of the SplitMix64 stream.
+    fn next(&self) -> u64 {
+        let mut state = self.state.lock();
+        *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn count_drop(&self) -> Verdict {
+        self.dropped.fetch_add(1, Ordering::Relaxed);
+        Verdict::Drop
+    }
+}
+
+impl Adversary for FaultPlan {
+    fn intercept(&self, message: &NetMessage) -> Verdict {
+        let now = self.tick();
+        if self.is_crashed(&message.from) || self.is_crashed(&message.to) {
+            return self.count_drop();
+        }
+        let mut delay = Duration::ZERO;
+        for fault in &self.faults {
+            match fault {
+                Fault::PartitionOneWay {
+                    from,
+                    to,
+                    from_tick,
+                    until_tick,
+                } => {
+                    if message.from == *from
+                        && message.to == *to
+                        && now >= *from_tick
+                        && now < *until_tick
+                    {
+                        return self.count_drop();
+                    }
+                }
+                Fault::FlakyLink { a, b, drop_percent } => {
+                    let on_edge = (message.from == *a && message.to == *b)
+                        || (message.from == *b && message.to == *a);
+                    if on_edge && (self.next() % 100) < u64::from(*drop_percent) {
+                        return self.count_drop();
+                    }
+                }
+                Fault::LatencySpike {
+                    a,
+                    b,
+                    extra,
+                    from_tick,
+                    until_tick,
+                } => {
+                    let on_edge = (message.from == *a && message.to == *b)
+                        || (message.from == *b && message.to == *a);
+                    if on_edge && now >= *from_tick && now < *until_tick {
+                        delay += *extra;
+                    }
+                }
+                Fault::CrashStop { .. } | Fault::CrashRecover { .. } => {}
+            }
+        }
+        if delay > Duration::ZERO {
+            Verdict::Delay(delay)
         } else {
             Verdict::Deliver
         }
@@ -385,7 +664,7 @@ impl SimNetwork {
         payload: Vec<u8>,
         carried_wire: Duration,
     ) -> Result<Duration, OverlayError> {
-        let hop_time = self.link_between(from, to).transfer_time(payload.len());
+        let mut hop_time = self.link_between(from, to).transfer_time(payload.len());
         let wire_time = carried_wire + hop_time;
         let mut message = NetMessage {
             from,
@@ -407,6 +686,10 @@ impl SimNetwork {
                 }
                 Verdict::Redirect(new_to) => message.to = new_to,
                 Verdict::Tamper(new_payload) => message.payload = new_payload,
+                Verdict::Delay(extra) => {
+                    hop_time += extra;
+                    message.wire_time += extra;
+                }
             }
         }
 
@@ -414,7 +697,7 @@ impl SimNetwork {
             // The destination's bounded inbox stayed full past the
             // backpressure timeout: the message was shed (and counted) but
             // the sender still paid the wire time, like an adversarial drop.
-            return Ok(wire_time);
+            return Ok(message.wire_time);
         }
         {
             let mut stats = self.stats.lock();
@@ -438,7 +721,7 @@ impl SimNetwork {
             }
         }
 
-        Ok(wire_time)
+        Ok(message.wire_time)
     }
 
     /// Enqueues `message` at its destination.  Returns `Ok(true)` when it was
@@ -861,5 +1144,128 @@ mod tests {
         let total: usize = receivers.iter().map(|r| r.try_iter().count()).sum();
         assert_eq!(total, 5 * 4);
         assert_eq!(net.stats().messages_sent, 20);
+    }
+
+    #[test]
+    fn fault_plan_crash_windows() {
+        let ids = peers(2);
+        let plan = FaultPlan::new(1)
+            .crash_stop(ids[0], 3)
+            .crash_recover(ids[1], 2, 4)
+            .into_adversary();
+        // tick 0..=2: the crash-stop peer is up; the crash-recover peer goes
+        // dark at 2 and returns at 6, the crash-stop peer never returns.
+        assert!(!plan.is_crashed(&ids[0]));
+        assert!(!plan.is_crashed(&ids[1]));
+        for _ in 0..2 {
+            plan.advance_tick();
+        }
+        assert_eq!(plan.tick(), 2);
+        assert!(!plan.is_crashed(&ids[0]));
+        assert!(plan.is_crashed(&ids[1]));
+        for _ in 0..4 {
+            plan.advance_tick();
+        }
+        assert_eq!(plan.tick(), 6);
+        assert!(plan.is_crashed(&ids[0]), "crash-stop is permanent");
+        assert!(!plan.is_crashed(&ids[1]), "crash-recover returns");
+    }
+
+    #[test]
+    fn fault_plan_crashed_peer_sends_and_receives_nothing() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(3);
+        let rx: Vec<_> = ids.iter().map(|id| net.register(*id)).collect();
+        let plan = FaultPlan::new(2).crash_stop(ids[0], 1).into_adversary();
+        net.set_adversary(plan.clone());
+
+        net.send(ids[0], ids[1], vec![1]).unwrap();
+        assert!(rx[1].try_recv().is_ok(), "not crashed yet at tick 0");
+        plan.advance_tick();
+        net.send(ids[0], ids[1], vec![2]).unwrap();
+        net.send(ids[1], ids[0], vec![3]).unwrap();
+        net.send(ids[1], ids[2], vec![4]).unwrap();
+        assert!(rx[1].try_recv().is_err(), "outbound from the crashed peer dropped");
+        assert!(rx[0].try_recv().is_err(), "inbound to the crashed peer dropped");
+        assert_eq!(rx[2].try_recv().unwrap().payload, vec![4], "third parties unaffected");
+        assert_eq!(plan.dropped_count(), 2);
+    }
+
+    #[test]
+    fn fault_plan_one_way_partition_drops_only_that_direction() {
+        let net = SimNetwork::new(LinkModel::ideal());
+        let ids = peers(2);
+        let rx: Vec<_> = ids.iter().map(|id| net.register(*id)).collect();
+        let plan = FaultPlan::new(3)
+            .partition_one_way(ids[0], ids[1], 0, 2)
+            .into_adversary();
+        net.set_adversary(plan.clone());
+
+        net.send(ids[0], ids[1], vec![1]).unwrap();
+        net.send(ids[1], ids[0], vec![2]).unwrap();
+        assert!(rx[1].try_recv().is_err(), "partitioned direction dropped");
+        assert_eq!(rx[0].try_recv().unwrap().payload, vec![2], "reverse direction flows");
+
+        plan.advance_tick();
+        plan.advance_tick();
+        net.send(ids[0], ids[1], vec![3]).unwrap();
+        assert_eq!(
+            rx[1].try_recv().unwrap().payload,
+            vec![3],
+            "the window is half-open: tick 2 is already healed"
+        );
+    }
+
+    #[test]
+    fn fault_plan_flaky_link_is_seeded_and_deterministic() {
+        let ids = peers(3);
+        let run = |seed: u64| {
+            let net = SimNetwork::new(LinkModel::ideal());
+            let rx: Vec<_> = ids.iter().map(|id| net.register(*id)).collect();
+            let plan = FaultPlan::new(seed).flaky_link(ids[0], ids[1], 40).into_adversary();
+            net.set_adversary(plan.clone());
+            let mut delivered = Vec::new();
+            for i in 0..50u8 {
+                net.send(ids[0], ids[1], vec![i]).unwrap();
+                net.send(ids[1], ids[0], vec![i]).unwrap();
+                net.send(ids[0], ids[2], vec![i]).unwrap();
+            }
+            delivered.push(rx[1].try_iter().count());
+            delivered.push(rx[0].try_iter().count());
+            delivered.push(rx[2].try_iter().count());
+            (delivered, plan.dropped_count())
+        };
+        let (first, first_drops) = run(0xF1A5);
+        let (again, again_drops) = run(0xF1A5);
+        assert_eq!(first, again, "same seed, same drops");
+        assert_eq!(first_drops, again_drops);
+        assert!(first_drops > 0, "a 40% link does drop");
+        assert!(first[0] < 50, "the flaky edge lost traffic");
+        assert!(first[1] < 50, "the flaky edge is bidirectional");
+        assert_eq!(first[2], 50, "the off-edge traffic is untouched");
+        let (other, _) = run(0x0DD5);
+        assert_ne!(first, other, "a different seed draws a different stream");
+    }
+
+    #[test]
+    fn fault_plan_latency_spike_stretches_wire_time() {
+        let base = LinkModel::new(Duration::from_millis(2), 0);
+        let net = SimNetwork::new(base);
+        let ids = peers(2);
+        let _rx_a = net.register(ids[0]);
+        let rx_b = net.register(ids[1]);
+        let extra = Duration::from_millis(75);
+        let plan = FaultPlan::new(4)
+            .latency_spike(ids[0], ids[1], extra, 0, 1)
+            .into_adversary();
+        net.set_adversary(plan.clone());
+
+        let spiked = net.send(ids[0], ids[1], vec![0u8; 8]).unwrap();
+        assert_eq!(spiked, Duration::from_millis(2) + extra);
+        assert_eq!(rx_b.try_recv().unwrap().wire_time, spiked);
+
+        plan.advance_tick();
+        let healed = net.send(ids[0], ids[1], vec![0u8; 8]).unwrap();
+        assert_eq!(healed, Duration::from_millis(2), "the spike window closed");
     }
 }

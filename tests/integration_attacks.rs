@@ -503,6 +503,10 @@ mod tree_repair {
                     &format!("<warm r=\"{round}\" b=\"{i}\"/>"),
                 );
                 federation.pump();
+                // Lazy digests batch until the repair tick now; the warm-up
+                // wants the IHave -> Graft -> duplicate -> Prune cycle after
+                // every publish, so drain them explicitly.
+                flush_ihaves(&federation);
             }
             if backbone_stat(&federation, |s| s.prunes_sent) > 0 {
                 break;
@@ -520,6 +524,15 @@ mod tree_repair {
         (0..federation.len())
             .map(|i| pick(&federation.broker(i).federation_stats()))
             .sum()
+    }
+
+    /// Ships every broker's batched lazy `IHave` digests and pumps the
+    /// deliveries (and the grafts they trigger) to quiescence.
+    fn flush_ihaves(federation: &InlineFederation) {
+        for i in 0..federation.len() {
+            federation.broker(i).flush_ihaves();
+        }
+        federation.pump();
     }
 
     fn holds_advertisement(federation: &InlineFederation, index: usize, marker: &str) -> bool {
@@ -585,6 +598,7 @@ mod tree_repair {
             "<healed/>",
         );
         federation.pump();
+        flush_ihaves(&federation);
 
         assert!(dropper.dropped_count() > 0, "the eager in-edges did carry traffic");
         assert!(
@@ -621,6 +635,7 @@ mod tree_repair {
             "<around/>",
         );
         federation.pump();
+        flush_ihaves(&federation);
         assert!(dropper.intercepted_count() > 0, "the cut edge was on the eager tree");
 
         network.clear_adversary();
@@ -634,10 +649,15 @@ mod tree_repair {
     }
 
     /// Black out the whole backbone mid-broadcast.  Plumtree has already
-    /// flushed its one shot; only the hash-tree anti-entropy of the repair
-    /// scheduler can still carry the event once the adversary lifts.
+    /// flushed its one shot, so two repair layers race to heal the damage
+    /// once the adversary lifts: the SWIM failure detector is the fast path
+    /// (unanswered probes suspect the unreachable peers and repair the
+    /// views, then refutation digs every live broker back out), and the
+    /// hash-tree anti-entropy is the fallback that carries the event data
+    /// itself.  Both must do their part — and nobody may stay falsely
+    /// buried once the refutations land.
     #[test]
-    fn blackout_broadcast_heals_through_anti_entropy_as_last_resort() {
+    fn blackout_broadcast_heals_through_swim_view_repair_and_anti_entropy() {
         let (network, federation) = epidemic_fixture(93, 9);
         let dropper = RandomDrop::new(5, 100);
         network.set_adversary(dropper.clone());
@@ -653,10 +673,43 @@ mod tree_repair {
         assert!(!federation.converged(), "a black-holed broadcast reaches nobody");
         assert!(dropper.dropped_count() > 0);
 
+        // Keep the repair cadence running *during* the blackout: every
+        // direct and indirect probe is eaten, so the SWIM fast path starts
+        // suspecting unreachable peers — the view repair that, in a real
+        // crash, evicts the dead broker long before anti-entropy notices.
+        for _ in 0..4 {
+            federation.repair();
+        }
+        assert!(
+            backbone_stat(&federation, |s| s.swim_probes) > 0,
+            "the repair cadence drives SWIM probes"
+        );
+        assert!(
+            backbone_stat(&federation, |s| s.swim_suspicions) > 0,
+            "a blacked-out backbone raises SWIM suspicions (the fast path engaged)"
+        );
+
+        // Lift the blackout.  Probe acks and alive-refutations clear the
+        // false suspicions (everyone is actually alive) while anti-entropy
+        // carries the black-holed event to the brokers eager push missed.
         network.clear_adversary();
-        assert!(federation.repair_until_converged(8).is_some());
+        assert!(federation.repair_until_converged(10).is_some());
         for i in 0..federation.len() {
             assert!(holds_advertisement(&federation, i, "<eclipse/>"));
+        }
+        // No live broker stays buried: whatever Suspect/Dead verdicts the
+        // blackout manufactured, refutation gossip and first-hand probe
+        // contact dig back out.  The probe ring revisits a member every
+        // `peers` ticks, so one full rotation (8 peers) plus slack bounds
+        // the worst case even if every refutation broadcast were lost.
+        for _ in 0..12 {
+            federation.repair();
+        }
+        for i in 0..federation.len() {
+            assert!(
+                federation.broker(i).swim_dead_members().is_empty(),
+                "broker {i} still holds a live peer dead after the blackout lifted"
+            );
         }
     }
 }

@@ -429,3 +429,82 @@ fn relay_to_a_peer_unknown_to_the_federation_is_rejected() {
     assert!(world.broker_at(0).federation_stats().relays_failed >= 1);
     world.shutdown();
 }
+
+/// The PR 10 acceptance scenario: a 128-broker epidemic federation loses one
+/// broker to a crash-stop mid-broadcast, and *every* surviving broker's
+/// active view excludes the dead broker within the SWIM probe budget —
+/// purely through the failure detector riding the repair cadence, with no
+/// operator `remove_broker` call anywhere.
+#[test]
+fn swim_evicts_a_crashed_broker_from_a_128_broker_federation() {
+    use jxta_crypto::drbg::HmacDrbg;
+    use jxta_overlay::broker::{Broker, BrokerConfig};
+    use jxta_overlay::federation::InlineFederation;
+    use jxta_overlay::net::{FaultPlan, SimNetwork};
+    use jxta_overlay::swim::{PeerState, PROBE_BUDGET_TICKS};
+    use jxta_overlay::{PeerId, UserDatabase};
+    use std::sync::Arc;
+
+    const N: usize = 128;
+    let mut rng = HmacDrbg::from_seed_u64(0x128B);
+    let network = SimNetwork::new(LinkModel::ideal());
+    let database = Arc::new(UserDatabase::new());
+    let brokers: Vec<Arc<Broker>> = (0..N)
+        .map(|i| {
+            Broker::new(
+                PeerId::random(&mut rng),
+                BrokerConfig::named(format!("b{i}")).with_view_capacities(4, 12),
+                Arc::clone(&network),
+                Arc::clone(&database),
+            )
+        })
+        .collect();
+    let ids: Vec<PeerId> = brokers.iter().map(|b| b.id()).collect();
+    let federation = InlineFederation::new(brokers);
+    assert!(federation.broker(0).epidemic_engaged());
+
+    let victim = 1usize;
+    let plan = FaultPlan::new(0x128C).crash_stop(ids[victim], 0).into_adversary();
+    network.set_adversary(plan.clone());
+
+    // The crash lands mid-broadcast.
+    federation.broker(0).index_and_distribute(
+        PeerId::random(&mut rng),
+        &GroupId::new("ops"),
+        "jxta:PipeAdvertisement",
+        "<casualty/>",
+    );
+    federation.pump();
+
+    for _ in 0..PROBE_BUDGET_TICKS {
+        for (i, id) in ids.iter().enumerate() {
+            if !plan.is_crashed(id) {
+                federation.broker(i).start_repair_round();
+            }
+        }
+        federation.pump();
+        plan.advance_tick();
+    }
+
+    for (i, _) in ids.iter().enumerate() {
+        if i == victim {
+            continue;
+        }
+        assert!(
+            matches!(
+                federation.broker(i).swim_record(&ids[victim]).map(|r| r.state),
+                Some(PeerState::Dead)
+            ),
+            "survivor {i} has not confirmed the crashed broker dead within the budget"
+        );
+        assert!(
+            !federation.broker(i).active_view().contains(&ids[victim]),
+            "survivor {i} still keeps the crashed broker in its active view"
+        );
+        assert_eq!(
+            federation.broker(i).swim_dead_members(),
+            vec![ids[victim]],
+            "survivor {i} buried a live broker along the way"
+        );
+    }
+}
